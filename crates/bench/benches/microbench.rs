@@ -1,0 +1,198 @@
+//! Criterion micro-benchmarks of the computational kernels.
+//!
+//! These quantify the cost of the pieces that dominate experiment runtime:
+//! the matrix exponential behind the exact discretization, a full MFC-MDP
+//! step, one finite-system epoch under both engines, neural policy
+//! inference and a PPO network update.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mflb_core::mdp::FixedRulePolicy;
+use mflb_core::{mean_field_step, DecisionRule, MeanFieldMdp, StateDist, SystemConfig};
+use mflb_linalg::{expm, Mat};
+use mflb_nn::{Activation, Mlp, Tensor};
+use mflb_policy::{jsq_rule, softmin_rule};
+use mflb_queue::sampler::Sampler;
+use mflb_sim::{AggregateEngine, FiniteEngine, PerClientEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_expm(c: &mut Criterion) {
+    // The 7x7 extended generator of the paper's B = 5 queues at Δt = 5.
+    let q = mflb_core::meanfield::extended_generator(0.9, 1.0, 5).scaled(5.0);
+    c.bench_function("expm_7x7_extended_generator", |b| {
+        b.iter(|| expm(black_box(&q)))
+    });
+    let big = {
+        let mut m = Mat::zeros(22, 22);
+        for i in 0..21 {
+            m[(i + 1, i)] = 0.9;
+            m[(i, i + 1)] = 1.0;
+            m[(i, i)] = -1.9;
+        }
+        m.scaled(5.0)
+    };
+    c.bench_function("expm_22x22_B20_generator", |b| b.iter(|| expm(black_box(&big))));
+}
+
+fn bench_mean_field_step(c: &mut Criterion) {
+    let nu = StateDist::new(vec![0.3, 0.25, 0.2, 0.15, 0.07, 0.03]);
+    let rule = jsq_rule(6, 2);
+    c.bench_function("mean_field_step_dt5", |b| {
+        b.iter(|| mean_field_step(black_box(&nu), black_box(&rule), 0.9, 1.0, 5.0))
+    });
+    let soft = softmin_rule(6, 2, 2.0);
+    c.bench_function("mean_field_step_softmin", |b| {
+        b.iter(|| mean_field_step(black_box(&nu), black_box(&soft), 0.9, 1.0, 5.0))
+    });
+}
+
+fn bench_mfc_rollout(c: &mut Criterion) {
+    let mdp = MeanFieldMdp::new(SystemConfig::paper().with_dt(5.0));
+    let policy = FixedRulePolicy::new(jsq_rule(6, 2), "JSQ");
+    c.bench_function("mfc_mdp_rollout_100_epochs", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            mdp.rollout(black_box(&policy), 100, &mut rng)
+        })
+    });
+}
+
+fn bench_engines(c: &mut Criterion) {
+    // Aggregate engine at the paper's largest size: M = 1000, N = 10^6.
+    let cfg = SystemConfig::paper().with_m_squared(1000).with_dt(5.0);
+    let agg = AggregateEngine::new(cfg.clone());
+    let rule = jsq_rule(6, 2);
+    c.bench_function("aggregate_epoch_M1000_N1e6", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let mut queues = vec![1usize; 1000];
+            agg.run_epoch(black_box(&mut queues), &rule, 0.9, &mut rng)
+        })
+    });
+
+    // Per-client engine at a moderate size for comparison: M = 100, N = 10^4.
+    let cfg_small = SystemConfig::paper().with_m_squared(100).with_dt(5.0);
+    let per = PerClientEngine::new(cfg_small);
+    c.bench_function("per_client_epoch_M100_N1e4", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut queues = vec![1usize; 100];
+            per.run_epoch(black_box(&mut queues), &rule, 0.9, &mut rng)
+        })
+    });
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    c.bench_function("binomial_btrs_n1e6_p1e-3", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| Sampler::binomial(&mut rng, 1_000_000, black_box(0.001)))
+    });
+    c.bench_function("poisson_ptrs_mean4500", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| Sampler::poisson(&mut rng, black_box(4500.0)))
+    });
+    c.bench_function("multinomial_6cat_n1e6", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        let probs = [0.3, 0.25, 0.2, 0.15, 0.07, 0.03];
+        b.iter(|| Sampler::multinomial(&mut rng, 1_000_000, black_box(&probs)))
+    });
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mlp = Mlp::new(&[8, 256, 256, 72], Activation::Tanh, &mut rng);
+    let obs = vec![0.25; 8];
+    c.bench_function("policy_forward_one_2x256", |b| {
+        b.iter(|| mlp.forward_one(black_box(&obs)))
+    });
+    let batch = Tensor::from_vec(128, 8, vec![0.25; 128 * 8]);
+    c.bench_function("policy_forward_batch128_2x256", |b| {
+        b.iter(|| mlp.forward(black_box(&batch)))
+    });
+    c.bench_function("policy_forward_backward_batch128", |b| {
+        b.iter(|| {
+            let cache = mlp.forward_cached(black_box(&batch));
+            let grad = cache.output().clone();
+            mlp.backward(&cache, &grad)
+        })
+    });
+}
+
+fn bench_rule_decoding(c: &mut Criterion) {
+    let logits: Vec<f64> = (0..72).map(|i| (i as f64 * 0.37).sin()).collect();
+    c.bench_function("decision_rule_from_logits_36x2", |b| {
+        b.iter(|| DecisionRule::from_logits(6, 2, black_box(&logits)))
+    });
+}
+
+fn bench_phase_type(c: &mut Criterion) {
+    use mflb_core::{ph_mean_field_step, PhDist};
+    use mflb_queue::PhaseType;
+    // One PH mean-field epoch: B = 5 with a 2-phase H2 service
+    // (13 joint states -> 14x14 matrix exponentials per length group).
+    let service = PhaseType::fit_mean_scv(1.0, 2.0);
+    let nu = StateDist::new(vec![0.3, 0.25, 0.2, 0.15, 0.07, 0.03]);
+    let joint = PhDist::from_lengths(&nu, &service);
+    let rule = jsq_rule(6, 2);
+    c.bench_function("ph_mean_field_step_2phase_dt5", |b| {
+        b.iter(|| {
+            ph_mean_field_step(black_box(&joint), black_box(&rule), 0.9, &service, 5.0)
+        })
+    });
+    // Gillespie on one PH queue for an epoch (the finite engine's inner
+    // loop).
+    let q = mflb_queue::PhQueue::new(0.9, service, 5);
+    c.bench_function("ph_queue_gillespie_epoch_dt5", |b| {
+        let mut rng = StdRng::seed_from_u64(8);
+        b.iter(|| {
+            q.simulate_epoch(
+                black_box(mflb_queue::PhQueueState { len: 2, phase: 0 }),
+                5.0,
+                &mut rng,
+            )
+        })
+    });
+}
+
+fn bench_dp(c: &mut Criterion) {
+    use mflb_dp::{ActionLibrary, DpConfig, DpSolution, SimplexGrid};
+    // Simplex-lattice interpolation: the inner kernel of every Bellman
+    // backup.
+    let grid = SimplexGrid::new(6, 12);
+    let nu = StateDist::new(vec![0.23, 0.17, 0.31, 0.12, 0.09, 0.08]);
+    c.bench_function("simplex_interpolate_B5_G12", |b| {
+        b.iter(|| grid.interpolate(black_box(&nu)))
+    });
+    c.bench_function("simplex_snap_B5_G12", |b| b.iter(|| grid.snap(black_box(&nu))));
+    // A full (small) DP solve: B = 3 lattice, softmin library — the
+    // certified-optimum pipeline of the ablation experiments.
+    let cfg = SystemConfig::paper().with_buffer(3).with_dt(5.0);
+    let mut group = c.benchmark_group("dp_solve");
+    group.sample_size(10);
+    group.bench_function("value_iteration_B3_G8", |b| {
+        b.iter(|| {
+            let dp_cfg =
+                DpConfig { grid_resolution: 8, tol: 1e-6, max_sweeps: 4000, threads: 1 };
+            DpSolution::solve(
+                black_box(&cfg),
+                ActionLibrary::softmin_default(4, 2),
+                &dp_cfg,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_expm,
+    bench_mean_field_step,
+    bench_mfc_rollout,
+    bench_engines,
+    bench_samplers,
+    bench_nn,
+    bench_rule_decoding,
+    bench_phase_type,
+    bench_dp
+);
+criterion_main!(benches);

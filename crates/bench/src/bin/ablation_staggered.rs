@@ -1,0 +1,125 @@
+//! Extension experiment (ours): synchronous broadcast vs staggered
+//! (asynchronous) information refreshes at equal per-client refresh
+//! period — the information-architecture comparison between the paper's
+//! model and the Zhou/Shroff/Wierman \[43\] setting.
+//!
+//! ```text
+//! cargo run -p mflb-bench --release --bin ablation_staggered -- [--scale quick|paper]
+//! ```
+//!
+//! For each refresh period `P` (time units) the same finite system runs
+//! under two architectures:
+//!
+//! * **synchronized**: the paper's model with Δt = P — everyone's
+//!   information refreshes simultaneously every P time units;
+//! * **staggered**: epochs of length 1 with `c = P` cohorts — each
+//!   client still refreshes every P time units, but refresh times are
+//!   spread out, and routing decisions are re-drawn every time unit.
+//!
+//! Expected shape: under JSQ(2) staggering wins increasingly with P —
+//! synchronized refreshes make all clients chase the same stale-shortest
+//! queues (herding), staggering de-correlates them. The softened policy
+//! is less architecture-sensitive (it never fully trusts observations).
+//! Arrivals are held at the constant high level so both architectures
+//! see identical offered load regardless of epoch length.
+
+use mflb_bench::harness::{arg_value, print_table, write_csv, Scale};
+use mflb_core::mdp::FixedRulePolicy;
+use mflb_core::SystemConfig;
+use mflb_linalg::stats::{welch_t_test, Summary};
+use mflb_policy::{jsq_rule, optimize_beta, softmin_rule};
+use mflb_sim::{run_episode, run_rng, PerClientEngine, StaggeredEngine};
+use mflb_queue::ArrivalProcess;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed: u64 = arg_value("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(23);
+    let (n_runs, m, total_time) = match scale {
+        Scale::Quick => (24usize, 20usize, 40.0f64),
+        Scale::Paper => (100, 100, 100.0),
+    };
+    let periods = [2usize, 4, 8];
+
+    let mut base = SystemConfig::paper().with_size((m * m) as u64, m);
+    base.arrivals = ArrivalProcess::constant(0.9);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &p in &periods {
+        // β tuned for the synchronized architecture at this period (the
+        // softmin both architectures deploy).
+        let sync_cfg = base.clone().with_dt(p as f64);
+        let beta = optimize_beta(&sync_cfg, 30, 6, seed).beta;
+        let zs = sync_cfg.num_states();
+        let jsq = FixedRulePolicy::new(jsq_rule(zs, 2), "JSQ(2)");
+        let soft = FixedRulePolicy::new(softmin_rule(zs, 2, beta), "SOFT");
+
+        // Synchronized: Δt = P, horizon = total_time / P epochs.
+        let sync_engine = PerClientEngine::new(sync_cfg.clone());
+        let sync_horizon = (total_time / p as f64).round() as usize;
+        // Staggered: Δt = 1, c = P cohorts, horizon = total_time epochs.
+        let stag_cfg = base.clone().with_dt(1.0);
+        let stag_engine = StaggeredEngine::new(stag_cfg, p);
+        let stag_horizon = total_time.round() as usize;
+
+        let mut cells = vec![format!("{p}")];
+        let mut csv = vec![format!("{p}"), format!("{beta:.4}")];
+        for (pi, policy) in [&jsq, &soft].into_iter().enumerate() {
+            let mut s_sync = Summary::new();
+            let mut s_stag = Summary::new();
+            for r in 0..n_runs {
+                s_sync.push(
+                    run_episode(&sync_engine, policy, sync_horizon, &mut run_rng(seed + pi as u64, r as u64))
+                        .total_drops,
+                );
+                s_stag.push(
+                    stag_engine
+                        .run_episode(policy, stag_horizon, &mut run_rng(seed + 50 + pi as u64, r as u64))
+                        .total_drops,
+                );
+            }
+            let (_, _, p_value) = welch_t_test(&s_sync, &s_stag);
+            cells.push(format!("{:.2} ± {:.2}", s_sync.mean(), s_sync.ci95_half_width()));
+            cells.push(format!("{:.2} ± {:.2}", s_stag.mean(), s_stag.ci95_half_width()));
+            cells.push(format!("{p_value:.1e}"));
+            csv.push(format!("{:.4}", s_sync.mean()));
+            csv.push(format!("{:.4}", s_stag.mean()));
+            csv.push(format!("{p_value:.3e}"));
+        }
+        rows.push(cells);
+        csv_rows.push(csv);
+    }
+    print_table(
+        &format!(
+            "Staggered-information ablation (M = {m}, N = M², constant λ = 0.9, ≈{total_time} time units)"
+        ),
+        &[
+            "period P",
+            "JSQ sync",
+            "JSQ staggered",
+            "p (Welch)",
+            "SOFT sync",
+            "SOFT staggered",
+            "p (Welch)",
+        ],
+        &rows,
+    );
+    write_csv(
+        &format!("ablation_staggered_{}.csv", scale.label()),
+        &[
+            "period",
+            "beta_star",
+            "jsq_sync",
+            "jsq_staggered",
+            "jsq_p",
+            "soft_sync",
+            "soft_staggered",
+            "soft_p",
+        ],
+        &csv_rows,
+    );
+
+    println!("\n[shape] staggered < synchronized for JSQ, with the gap growing in P");
+    println!("        (de-synchronized refreshes break the herd); SOFT is less");
+    println!("        architecture-sensitive. Welch p-values quantify significance.");
+}

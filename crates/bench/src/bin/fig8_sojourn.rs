@@ -1,0 +1,147 @@
+//! Extension experiment (ours): job-level response times under delay.
+//!
+//! ```text
+//! cargo run -p mflb-bench --release --bin fig8_sojourn -- [--scale quick|paper]
+//! ```
+//!
+//! The paper's objective is packet drops, but its introduction motivates
+//! the problem through "higher response times" under herd behaviour.
+//! This experiment runs the finite system at the *job level* — every
+//! queue is a FIFO queue with per-job arrival/departure timestamps
+//! ([`mflb_queue::fifo::FifoQueue`]) — and reports the mean and p95
+//! sojourn time of completed jobs, next to drops, for JSQ(2)/RND/tuned
+//! softmin across Δt.
+//!
+//! Expected shape: sojourn times mirror the drop story — RND keeps them
+//! flat-but-high, JSQ(2) is best at small Δt and degrades past the
+//! crossover, the tuned softmin tracks the lower envelope. p95 amplifies
+//! the effect (herding creates long-queue episodes that tail jobs eat).
+
+use mflb_bench::harness::{arg_value, print_table, write_csv, Scale};
+use mflb_core::mdp::{FixedRulePolicy, UpperPolicy};
+use mflb_core::{StateDist, SystemConfig};
+use mflb_policy::{jsq_rule, optimize_beta, rnd_rule, softmin_rule};
+use mflb_queue::fifo::FifoQueue;
+use mflb_sim::aggregate::sample_client_assignments;
+use mflb_sim::run_rng;
+use rand::rngs::StdRng;
+
+/// One job-level episode: aggregate client assignment over observed
+/// lengths, then each FIFO queue advances `dt` with its frozen rate.
+/// Returns `(sojourn times of completed jobs, dropped jobs, completed)`.
+fn run_job_level_episode(
+    cfg: &SystemConfig,
+    policy: &dyn UpperPolicy,
+    horizon: usize,
+    rng: &mut StdRng,
+) -> (Vec<f64>, u64, u64) {
+    let m = cfg.num_queues;
+    let mut queues: Vec<FifoQueue> = (0..m)
+        .map(|_| FifoQueue::new(cfg.service_rate, cfg.buffer))
+        .collect();
+    let mut lambda_idx = cfg.arrivals.sample_initial(rng);
+    let mut sojourns = Vec::new();
+    let mut dropped = 0u64;
+    let mut completed = 0u64;
+    let mut lengths = vec![0usize; m];
+    for _ in 0..horizon {
+        let lambda = cfg.arrivals.level_rate(lambda_idx);
+        for (l, q) in lengths.iter_mut().zip(queues.iter()) {
+            *l = q.len().min(cfg.buffer);
+        }
+        let h = StateDist::empirical(&lengths, cfg.buffer);
+        let rule = policy.decide(&h, lambda_idx, lambda);
+        let counts = sample_client_assignments(cfg.num_clients, cfg.buffer, &lengths, &rule, rng);
+        let scale = m as f64 * lambda / cfg.num_clients as f64;
+        for (j, q) in queues.iter_mut().enumerate() {
+            let stats = q.run_epoch(scale * counts[j] as f64, cfg.dt, rng);
+            completed += stats.completed;
+            sojourns.extend(stats.sojourn_times);
+            dropped += stats.drops;
+        }
+        lambda_idx = cfg.arrivals.step(lambda_idx, rng);
+    }
+    (sojourns, dropped, completed)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let pos = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[pos.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed: u64 = arg_value("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(31);
+    let (n_runs, m) = match scale {
+        Scale::Quick => (10usize, 50usize),
+        Scale::Paper => (40, 200),
+    };
+    let dt_grid: Vec<f64> = match scale {
+        Scale::Quick => vec![1.0, 3.0, 5.0, 10.0],
+        Scale::Paper => (1..=10).map(|d| d as f64).collect(),
+    };
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &dt in &dt_grid {
+        let cfg = SystemConfig::paper().with_dt(dt).with_m_squared(m);
+        let zs = cfg.num_states();
+        let horizon = cfg.eval_episode_len();
+        let beta = optimize_beta(&cfg, horizon.min(100), 6, seed).beta;
+        let policies: Vec<(&str, FixedRulePolicy)> = vec![
+            ("JSQ(2)", FixedRulePolicy::new(jsq_rule(zs, 2), "JSQ(2)")),
+            ("RND", FixedRulePolicy::new(rnd_rule(zs, 2), "RND")),
+            ("SOFT", FixedRulePolicy::new(softmin_rule(zs, 2, beta), "SOFT")),
+        ];
+        let mut cells = vec![format!("{dt}")];
+        let mut csv = vec![format!("{dt}"), format!("{beta:.4}")];
+        for (i, (_, policy)) in policies.iter().enumerate() {
+            let mut all = Vec::new();
+            let mut drops = 0u64;
+            let mut done = 0u64;
+            for r in 0..n_runs {
+                let (s, d, c) = run_job_level_episode(
+                    &cfg,
+                    policy,
+                    horizon,
+                    &mut run_rng(seed + i as u64, r as u64),
+                );
+                all.extend(s);
+                drops += d;
+                done += c;
+            }
+            all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mean = all.iter().sum::<f64>() / all.len().max(1) as f64;
+            let p95 = percentile(&all, 0.95);
+            let drop_frac = drops as f64 / (drops + done).max(1) as f64;
+            cells.push(format!("{mean:.2}/{p95:.2}/{:.1}%", drop_frac * 100.0));
+            csv.push(format!("{mean:.4}"));
+            csv.push(format!("{p95:.4}"));
+            csv.push(format!("{drop_frac:.5}"));
+        }
+        rows.push(cells);
+        csv_rows.push(csv);
+    }
+    print_table(
+        &format!(
+            "Fig. 8 (ours, M = {m}, N = M²): job sojourn mean/p95/drop% vs Δt (job-level FIFO)"
+        ),
+        &["dt", "JSQ(2)", "RND", "SOFT(beta*)"],
+        &rows,
+    );
+    write_csv(
+        &format!("fig8_sojourn_{}.csv", scale.label()),
+        &[
+            "dt", "beta_star", "jsq_mean", "jsq_p95", "jsq_dropfrac", "rnd_mean", "rnd_p95",
+            "rnd_dropfrac", "soft_mean", "soft_p95", "soft_dropfrac",
+        ],
+        &csv_rows,
+    );
+
+    println!("\n[shape] sojourn times mirror the drop story: JSQ best at small Δt,");
+    println!("        degrading past the crossover; SOFT tracks the lower envelope;");
+    println!("        p95 amplifies herding (long-queue episodes hit tail jobs).");
+}

@@ -1,0 +1,50 @@
+//! Regenerates Table 1 (system parameters used in the experiments).
+
+use mflb_bench::harness::{print_table, write_csv};
+use mflb_core::SystemConfig;
+
+fn main() {
+    let c = SystemConfig::paper();
+    let rows: Vec<Vec<String>> = vec![
+        vec!["Δt".into(), "Time step size".into(), "1 - 10".into()],
+        vec!["α".into(), "Service rate".into(), format!("{}", c.service_rate)],
+        vec![
+            "(λh, λl)".into(),
+            "Arrival rates".into(),
+            format!("({}, {})", c.arrivals.level_rate(0), c.arrivals.level_rate(1)),
+        ],
+        vec!["N".into(), "Number of clients".into(), "1000 - 1000000".into()],
+        vec!["M".into(), "Number of queues".into(), "100 - 1000".into()],
+        vec!["d".into(), "Number of accessible queues".into(), format!("{}", c.d)],
+        vec!["n".into(), "Monte Carlo simulations".into(), "100".into()],
+        vec!["B".into(), "Queue buffer size".into(), format!("{}", c.buffer)],
+        vec![
+            "ν0".into(),
+            "Queue starting state distribution".into(),
+            "[1, 0, 0, ...]".into(),
+        ],
+        vec!["D".into(), "Drop penalty per job".into(), "1".into()],
+        vec!["T".into(), "Training episode length".into(), format!("{}", c.train_episode_len)],
+        vec![
+            "Te".into(),
+            "Evaluation episode length".into(),
+            format!(
+                "{} - {} (≈ {}/Δt)",
+                c.clone().with_dt(10.0).eval_episode_len(),
+                c.clone().with_dt(1.0).eval_episode_len(),
+                c.eval_time
+            ),
+        ],
+    ];
+    print_table(
+        "Table 1: System parameters used in the experiments",
+        &["Symbol", "Name", "Value"],
+        &rows,
+    );
+    write_csv("table1_params.csv", &["symbol", "name", "value"], &rows);
+
+    // Also show the modulation kernel (Eq. 32-33) for completeness.
+    println!("\nArrival modulation kernel (Eq. 32-33):");
+    println!("  P(λ(t+1)=λl | λ(t)=λh) = {}", c.arrivals.kernel_row(0)[1]);
+    println!("  P(λ(t+1)=λh | λ(t)=λl) = {}", c.arrivals.kernel_row(1)[0]);
+}

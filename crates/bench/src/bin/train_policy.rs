@@ -1,0 +1,66 @@
+//! Trains an MF policy with PPO for a given synchronization delay and
+//! saves a checkpoint under `assets/policies/mf_dt<Δt>.json`.
+//!
+//! ```text
+//! cargo run -p mflb-bench --release --bin train_policy -- \
+//!     --dt 5 --iters 150 --threads 8 --seed 1 [--scale paper] [--out path] \
+//!     [--init assets/policies/mf_dt5.json]   # warm-start from a checkpoint
+//! ```
+
+use mflb_bench::harness::{arg_value, checkpoint_path, Scale};
+use mflb_bench::training::{iterations_for, ppo_config_for, train_mf_policy_from};
+use mflb_core::mdp::UpperPolicy;
+use mflb_core::{MeanFieldMdp, SystemConfig};
+use mflb_policy::NeuralUpperPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_args();
+    let dt: f64 = arg_value("--dt").map(|v| v.parse().expect("--dt")).unwrap_or(5.0);
+    let threads: usize =
+        arg_value("--threads").map(|v| v.parse().expect("--threads")).unwrap_or(8);
+    let seed: u64 = arg_value("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(1);
+    let iters: usize = arg_value("--iters")
+        .map(|v| v.parse().expect("--iters"))
+        .unwrap_or_else(|| iterations_for(scale));
+    let out = arg_value("--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| checkpoint_path(dt));
+
+    let config = SystemConfig::paper().with_dt(dt);
+    println!(
+        "training MF policy: dt={dt} scale={} iters={iters} threads={threads} seed={seed}",
+        scale.label()
+    );
+    let init_policy = arg_value("--init").map(|p| {
+        NeuralUpperPolicy::load(&p).unwrap_or_else(|e| panic!("load --init {p}: {e}"))
+    });
+    let ppo = ppo_config_for(scale, threads);
+    let (policy, curve) =
+        train_mf_policy_from(&config, ppo, iters, seed, true, init_policy.as_ref().map(|p| p.net()));
+
+    // Final deterministic evaluation in the MFC MDP.
+    let mdp = MeanFieldMdp::new(config.clone());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xEAE);
+    let eval = mdp.evaluate(&policy, config.train_episode_len, 20, &mut rng);
+    println!(
+        "deterministic MF return over T={} epochs: {:.2} ± {:.2}",
+        config.train_episode_len,
+        eval.mean(),
+        eval.ci95_half_width()
+    );
+
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).expect("create checkpoint dir");
+    }
+    let meta = format!(
+        "trained-by=train_policy scale={} iters={iters} seed={seed} steps={} final_return={:.3}",
+        scale.label(),
+        curve.last().map(|c| c.steps).unwrap_or(0),
+        eval.mean()
+    );
+    policy.save(&out, dt, meta).expect("save checkpoint");
+    println!("checkpoint written to {}", out.display());
+    let _ = policy.name();
+}

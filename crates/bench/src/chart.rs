@@ -1,0 +1,121 @@
+//! Terminal line charts for the experiment binaries.
+//!
+//! The paper's figures are line plots; a dependency-free ASCII renderer
+//! lets every binary show the *shape* (training curves, delay sweeps)
+//! directly in the terminal next to the exact CSV values.
+
+/// Renders one or more named series into an ASCII chart of the given
+/// width × height. X positions are taken from the first series' x values
+/// (all series must share them); y is auto-scaled over all series.
+pub fn line_chart(
+    title: &str,
+    series: &[(&str, &[f64])],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 10 && height >= 3, "chart too small");
+    assert!(!series.is_empty());
+    let n = series[0].1.len();
+    if n == 0 {
+        return format!("{title}\n(empty)\n");
+    }
+    for (_, s) in series {
+        assert_eq!(s.len(), n, "all series must share their length");
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, s) in series {
+        for &v in *s {
+            if v.is_finite() {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return format!("{title}\n(no finite data)\n");
+    }
+    if (hi - lo).abs() < 1e-12 {
+        hi = lo + 1.0;
+    }
+
+    const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        for (i, &v) in s.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let col = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let row_f = (v - lo) / (hi - lo) * (height - 1) as f64;
+            let row = height - 1 - (row_f.round() as usize).min(height - 1);
+            grid[row][col] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let y = hi - (hi - lo) * r as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y:>10.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}  {}\n", "", "-".repeat(width)));
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {}", MARKS[i % MARKS.len()], name))
+        .collect();
+    out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_monotone_series() {
+        let ys: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let s = line_chart("ramp", &[("y", &ys)], 40, 8);
+        assert!(s.contains("ramp"));
+        assert!(s.contains('*'));
+        // Highest label equals max, lowest equals min.
+        assert!(s.contains("19.00"));
+        assert!(s.contains("0.00"));
+    }
+
+    #[test]
+    fn handles_constant_series() {
+        let ys = vec![5.0; 10];
+        let s = line_chart("flat", &[("y", &ys)], 30, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_marks() {
+        let a: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..10).map(|i| (9 - i) as f64).collect();
+        let s = line_chart("cross", &[("up", &a), ("down", &b)], 30, 7);
+        assert!(s.contains('*') && s.contains('o'));
+        assert!(s.contains("* up") && s.contains("o down"));
+    }
+
+    #[test]
+    fn skips_nan_values() {
+        let ys = vec![1.0, f64::NAN, 3.0];
+        let s = line_chart("nan", &[("y", &ys)], 20, 4);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "share their length")]
+    fn rejects_ragged_series() {
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        line_chart("bad", &[("a", &a), ("b", &b)], 20, 4);
+    }
+}

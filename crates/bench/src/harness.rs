@@ -1,0 +1,251 @@
+//! Shared experiment-harness utilities for the per-figure binaries.
+//!
+//! * [`Scale`] — every binary accepts `--scale quick|paper`; `quick`
+//!   shrinks Monte-Carlo counts and system-size grids so the suite runs in
+//!   minutes while preserving the qualitative shape, `paper` reproduces
+//!   Table 1 exactly.
+//! * [`mf_policy_for`] — resolves the "MF" policy for a given Δt: a trained
+//!   PPO checkpoint from `assets/policies/mf_dt<Δt>.json` when present,
+//!   otherwise the β-optimized softmin stand-in (clearly labelled).
+//! * table printing and CSV output under `target/experiments/`.
+
+use mflb_core::mdp::{FixedRulePolicy, UpperPolicy};
+use mflb_core::SystemConfig;
+use mflb_policy::{jsq_rule, optimize_beta, rnd_rule, NeuralUpperPolicy, SoftminPolicy};
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Experiment scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale run preserving the qualitative shape.
+    Quick,
+    /// The paper's full grid (Table 1 sizes, n = 100 Monte-Carlo runs).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `--scale quick|paper` from the process arguments (default
+    /// quick).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--scale" {
+                return match w[1].as_str() {
+                    "paper" | "full" => Scale::Paper,
+                    _ => Scale::Quick,
+                };
+            }
+        }
+        Scale::Quick
+    }
+
+    /// Monte-Carlo run count (Table 1: n = 100).
+    pub fn n_runs(self) -> usize {
+        match self {
+            Scale::Quick => 20,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// Queue-count grid for Fig. 4.
+    pub fn m_grid_fig4(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![100, 200, 400],
+            Scale::Paper => vec![100, 200, 400, 600, 800, 1000],
+        }
+    }
+
+    /// Queue-count grid for Fig. 5.
+    pub fn m_grid_fig5(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![400],
+            Scale::Paper => vec![400, 600, 800, 1000],
+        }
+    }
+
+    /// Synchronization-delay grid for Fig. 4.
+    pub fn dt_grid_fig4(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![1.0, 5.0, 10.0],
+            Scale::Paper => vec![1.0, 3.0, 5.0, 7.0, 10.0],
+        }
+    }
+
+    /// Synchronization-delay grid for Fig. 5–6.
+    pub fn dt_grid_fig5(self) -> Vec<f64> {
+        match self {
+            Scale::Quick => vec![1.0, 2.0, 3.0, 5.0, 7.0, 10.0],
+            Scale::Paper => (1..=10).map(|d| d as f64).collect(),
+        }
+    }
+
+    /// Label used in output files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+/// Returns an optional `--flag value` string argument.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+/// The directory where experiment CSVs are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = PathBuf::from("target/experiments");
+    std::fs::create_dir_all(&dir).expect("create target/experiments");
+    dir
+}
+
+/// The directory holding trained policy checkpoints.
+pub fn policies_dir() -> PathBuf {
+    PathBuf::from("assets/policies")
+}
+
+/// Checkpoint path convention for a given synchronization delay.
+pub fn checkpoint_path(dt: f64) -> PathBuf {
+    policies_dir().join(format!("mf_dt{}.json", dt as i64))
+}
+
+/// The resolved "MF" policy plus a provenance label.
+pub struct ResolvedPolicy {
+    /// The policy object.
+    pub policy: Box<dyn UpperPolicy + Sync + Send>,
+    /// `"ppo-checkpoint"` or `"softmin-beta*"`.
+    pub provenance: String,
+}
+
+/// Resolves the learned MF policy for a configuration.
+///
+/// Candidates are (a) the PPO checkpoint trained for this Δt (if present
+/// under `assets/policies/`) and (b) the deterministic β-optimized softmin
+/// family. Both are scored in the *limiting mean-field model* (the
+/// training objective, cheap and deterministic up to arrival noise) and
+/// the better one is deployed — exactly the model-selection step a
+/// practitioner performs before going to production. The provenance label
+/// records which artifact won.
+pub fn mf_policy_for(config: &SystemConfig, search_horizon: usize, seed: u64) -> ResolvedPolicy {
+    use mflb_core::MeanFieldMdp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let res = optimize_beta(config, search_horizon, 8, seed);
+    let softmin = SoftminPolicy::new(config.num_states(), config.d, res.beta);
+
+    let path = checkpoint_path(config.dt);
+    if path.exists() {
+        match NeuralUpperPolicy::load(&path) {
+            Ok(p) => {
+                let mdp = MeanFieldMdp::new(config.clone());
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x5E1E);
+                let horizon = search_horizon.max(20);
+                let ppo_score = mdp.evaluate(&p, horizon, 40, &mut rng).mean();
+                let soft_score = mdp.evaluate(&softmin, horizon, 40, &mut rng).mean();
+                if ppo_score >= soft_score {
+                    return ResolvedPolicy {
+                        policy: Box::new(p.with_name("MF (PPO)")),
+                        provenance: "ppo-checkpoint".into(),
+                    };
+                }
+                return ResolvedPolicy {
+                    policy: Box::new(softmin),
+                    provenance: format!(
+                        "softmin-beta*={:.3} (beat checkpoint {:.1} vs {:.1})",
+                        res.beta, soft_score, ppo_score
+                    ),
+                };
+            }
+            Err(e) => eprintln!("warning: failed to load {}: {e}", path.display()),
+        }
+    }
+    ResolvedPolicy {
+        policy: Box::new(softmin),
+        provenance: format!("softmin-beta*={:.3}", res.beta),
+    }
+}
+
+/// The MF-JSQ(2) baseline as an upper-level policy.
+pub fn jsq_policy(config: &SystemConfig) -> FixedRulePolicy {
+    FixedRulePolicy::new(jsq_rule(config.num_states(), config.d), "JSQ(2)")
+}
+
+/// The MF-RND baseline as an upper-level policy.
+pub fn rnd_policy(config: &SystemConfig) -> FixedRulePolicy {
+    FixedRulePolicy::new(rnd_rule(config.num_states(), config.d), "RND")
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        s
+    };
+    println!("{}", line(headers.iter().map(|h| h.to_string()).collect()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", line(row.clone()));
+    }
+}
+
+/// Writes a CSV next to the printed table.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = experiments_dir().join(name);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&path).expect("create csv"));
+    writeln!(f, "{}", headers.join(",")).unwrap();
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).unwrap();
+    }
+    f.flush().unwrap();
+    println!("[csv] wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_grids_are_subsets_of_paper() {
+        let q = Scale::Quick;
+        let p = Scale::Paper;
+        for m in q.m_grid_fig4() {
+            assert!(p.m_grid_fig4().contains(&m));
+        }
+        for dt in q.dt_grid_fig4() {
+            assert!(p.dt_grid_fig4().contains(&dt));
+        }
+        assert!(q.n_runs() <= p.n_runs());
+    }
+
+    #[test]
+    fn checkpoint_path_convention() {
+        assert_eq!(
+            checkpoint_path(5.0),
+            PathBuf::from("assets/policies/mf_dt5.json")
+        );
+    }
+
+    #[test]
+    fn mf_policy_falls_back_to_softmin_without_checkpoint() {
+        // dt = 9 has no shipped checkpoint; short search must resolve.
+        let cfg = SystemConfig::paper().with_dt(9.0);
+        let resolved = mf_policy_for(&cfg, 10, 1);
+        assert!(resolved.provenance.starts_with("softmin"));
+    }
+}

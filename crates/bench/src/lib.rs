@@ -1,0 +1,18 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the experiment index).
+//!
+//! Binaries (all accept `--scale quick|paper`):
+//!
+//! * `table1_params`, `table2_hyperparams` — the configuration tables,
+//! * `fig3_training` — PPO training curve vs MF-JSQ(2)/MF-RND baselines,
+//! * `fig4_convergence` — finite-system → mean-field convergence over M,
+//! * `fig5_delay_sweep` — MF vs JSQ(2) vs RND over Δt (N = M²),
+//! * `fig6_ablation` — the N ⋡ M ablation,
+//! * `train_policy` — trains and checkpoints an MF policy for a given Δt.
+//!
+//! `cargo bench -p mflb-bench` runs the criterion micro-benchmarks of the
+//! computational kernels.
+
+pub mod chart;
+pub mod harness;
+pub mod training;

@@ -1,0 +1,40 @@
+//! The paper's primary contribution: the **mean-field control (MFC) model**
+//! of delayed-information load balancing, exactly discretized into a
+//! Markov decision process.
+//!
+//! Pipeline (paper §2):
+//!
+//! 1. `N` clients, `M` queues, power-of-`d` sampling, synchronization delay
+//!    `Δt` ([`config::SystemConfig`]);
+//! 2. infinite-agent limit `N → ∞`: agent choices enter only through the
+//!    state–action distribution `G_t^M` (§2.2);
+//! 3. infinite-queue limit `M → ∞`: queues enter only through the
+//!    queue-state distribution `ν_t ∈ P(Z)` ([`dist::StateDist`], §2.3);
+//! 4. exact discretization of the within-epoch CTMC through the matrix
+//!    exponential of the extended generator `Q̄(ν, z)` accumulating drops
+//!    ([`meanfield`], Eq. 20–28);
+//! 5. the resulting upper-level MDP with state `(ν_t, λ_t)` and action a
+//!    lower-level decision rule `h_t : Z^d → P(U)` ([`mdp::MeanFieldMdp`],
+//!    Eq. 29–31).
+//!
+//! [`theory`] provides the numerical counterpart of Theorem 1 (performance
+//! of the finite system converges to the mean-field performance).
+
+pub mod config;
+pub mod dist;
+pub mod hetero_meanfield;
+pub mod mdp;
+pub mod meanfield;
+pub mod partial;
+pub mod ph_meanfield;
+pub mod rule;
+pub mod theory;
+
+pub use config::SystemConfig;
+pub use dist::StateDist;
+pub use hetero_meanfield::{HeteroMeanField, HeteroMeanFieldStep};
+pub use mdp::{MeanFieldMdp, MfState, UpperPolicy};
+pub use meanfield::{mean_field_step, per_state_arrival_rates, MeanFieldStep};
+pub use partial::{sampled_estimate, ObservationModel, PartialObservationPolicy};
+pub use ph_meanfield::{ph_mean_field_step, PhDist, PhMeanFieldMdp, PhMfState};
+pub use rule::DecisionRule;

@@ -1,0 +1,384 @@
+//! The upper-level mean-field control MDP (Eq. 29–31).
+//!
+//! State: `(ν_t, λ_t)` — the queue-state distribution plus the current
+//! arrival-rate level. Action: a lower-level decision rule `h_t`. The
+//! `ν`-transition is *deterministic* (exact discretization); all
+//! stochasticity comes from the Markov-modulated arrival rate. Reward:
+//! `−D_t`, the negative expected per-queue drops of the epoch.
+
+use crate::config::SystemConfig;
+use crate::dist::StateDist;
+use crate::meanfield::{mean_field_step, MeanFieldStep};
+use crate::rule::DecisionRule;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Encodes the MFC-MDP observation fed to learned policies:
+/// `[ν(0..B), onehot(λ_idx)]`. Canonical encoder shared by the RL
+/// environment adapter and the deployed neural policy so the two can never
+/// drift apart.
+pub fn encode_observation(dist: &StateDist, lambda_idx: usize, num_levels: usize) -> Vec<f64> {
+    let mut obs = Vec::with_capacity(dist.num_states() + num_levels);
+    obs.extend_from_slice(dist.as_slice());
+    for l in 0..num_levels {
+        obs.push(if l == lambda_idx { 1.0 } else { 0.0 });
+    }
+    obs
+}
+
+/// Observation dimensionality of [`encode_observation`].
+pub fn observation_dim(num_states: usize, num_levels: usize) -> usize {
+    num_states + num_levels
+}
+
+/// Action (decision-rule logit) dimensionality: `|Z|^d · d`.
+pub fn action_dim(num_states: usize, d: usize) -> usize {
+    num_states.pow(d as u32) * d
+}
+
+/// A state of the MFC MDP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MfState {
+    /// Queue-state distribution `ν_t`.
+    pub dist: StateDist,
+    /// Index into the arrival process' level set.
+    pub lambda_idx: usize,
+}
+
+/// An upper-level policy `π̃ : P(Z) × Λ → H` (Eq. 30): maps the observed
+/// queue-state distribution and arrival level to a decision rule.
+///
+/// Implementations may be deterministic (the optimal stationary policy of
+/// Proposition 1) or stochastic (PPO exploration); stochastic ones carry
+/// their own RNG state internally or sample outside this trait.
+pub trait UpperPolicy {
+    /// Produces the decision rule for the epoch.
+    fn decide(&self, dist: &StateDist, lambda_idx: usize, lambda: f64) -> DecisionRule;
+
+    /// Human-readable identifier used by the experiment harness.
+    fn name(&self) -> &str {
+        "policy"
+    }
+}
+
+/// A constant upper-level policy applying a fixed decision rule regardless
+/// of the state — the paper's MF-JSQ(2) and MF-RND baselines.
+#[derive(Debug, Clone)]
+pub struct FixedRulePolicy {
+    rule: DecisionRule,
+    name: String,
+}
+
+impl FixedRulePolicy {
+    /// Wraps a fixed rule.
+    pub fn new(rule: DecisionRule, name: impl Into<String>) -> Self {
+        Self { rule, name: name.into() }
+    }
+
+    /// The wrapped rule.
+    pub fn rule(&self) -> &DecisionRule {
+        &self.rule
+    }
+}
+
+impl UpperPolicy for FixedRulePolicy {
+    fn decide(&self, _dist: &StateDist, _lambda_idx: usize, _lambda: f64) -> DecisionRule {
+        self.rule.clone()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Record of one rolled-out episode.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpisodeRecord {
+    /// Per-epoch expected per-queue drops `D_t`.
+    pub drops_per_epoch: Vec<f64>,
+    /// Undiscounted episode return `−Σ_t D_t` (the quantity plotted in
+    /// Fig. 3–6).
+    pub total_return: f64,
+    /// Discounted return `−Σ_t γ^t D_t` (the training objective, Eq. 31).
+    pub discounted_return: f64,
+}
+
+/// The mean-field control MDP.
+#[derive(Debug, Clone)]
+pub struct MeanFieldMdp {
+    config: SystemConfig,
+}
+
+impl MeanFieldMdp {
+    /// Creates the MDP from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is inconsistent.
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate().expect("invalid system configuration");
+        Self { config }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Samples the initial state: `ν₀` from the config, `λ₀` from the
+    /// arrival process' initial distribution.
+    pub fn initial_state<R: Rng + ?Sized>(&self, rng: &mut R) -> MfState {
+        MfState {
+            dist: StateDist::new(self.config.initial_dist.clone()),
+            lambda_idx: self.config.arrivals.sample_initial(rng),
+        }
+    }
+
+    /// The initial state with a *fixed* arrival level (used when
+    /// conditioning on the arrival sequence, as in Theorem 1).
+    pub fn initial_state_with_lambda(&self, lambda_idx: usize) -> MfState {
+        MfState {
+            dist: StateDist::new(self.config.initial_dist.clone()),
+            lambda_idx,
+        }
+    }
+
+    /// One MDP step: applies `rule` for one epoch, then advances the
+    /// arrival level stochastically.
+    ///
+    /// Returns `(next_state, reward, detail)` with `reward = −D_t`.
+    pub fn step<R: Rng + ?Sized>(
+        &self,
+        state: &MfState,
+        rule: &DecisionRule,
+        rng: &mut R,
+    ) -> (MfState, f64, MeanFieldStep) {
+        let next_lambda = self.config.arrivals.step(state.lambda_idx, rng);
+        self.step_with_next_lambda(state, rule, next_lambda)
+    }
+
+    /// One MDP step with an externally prescribed next arrival level —
+    /// fully deterministic, used by the Theorem-1 check which conditions on
+    /// the arrival-rate sequence.
+    pub fn step_with_next_lambda(
+        &self,
+        state: &MfState,
+        rule: &DecisionRule,
+        next_lambda_idx: usize,
+    ) -> (MfState, f64, MeanFieldStep) {
+        let lambda = self.config.arrivals.level_rate(state.lambda_idx);
+        let detail = mean_field_step(
+            &state.dist,
+            rule,
+            lambda,
+            self.config.service_rate,
+            self.config.dt,
+        );
+        let next = MfState {
+            dist: detail.next_dist.clone(),
+            lambda_idx: next_lambda_idx,
+        };
+        // Objective: drops, plus the optional holding-cost extension
+        // (queueing penalized per job-time-unit; end-of-epoch length is the
+        // exactly available statistic).
+        let mut cost = detail.expected_drops;
+        if self.config.holding_cost > 0.0 {
+            cost += self.config.holding_cost
+                * detail.next_dist.mean_queue_length()
+                * self.config.dt;
+        }
+        (next, -cost, detail)
+    }
+
+    /// Rolls out `horizon` epochs under an upper-level policy.
+    pub fn rollout<R: Rng + ?Sized>(
+        &self,
+        policy: &dyn UpperPolicy,
+        horizon: usize,
+        rng: &mut R,
+    ) -> EpisodeRecord {
+        let mut state = self.initial_state(rng);
+        self.rollout_from(&mut state, policy, horizon, rng)
+    }
+
+    /// Rolls out from a given (mutable) state, advancing it in place.
+    pub fn rollout_from<R: Rng + ?Sized>(
+        &self,
+        state: &mut MfState,
+        policy: &dyn UpperPolicy,
+        horizon: usize,
+        rng: &mut R,
+    ) -> EpisodeRecord {
+        let mut rec = EpisodeRecord::default();
+        let mut discount = 1.0;
+        for _ in 0..horizon {
+            let lambda = self.config.arrivals.level_rate(state.lambda_idx);
+            let rule = policy.decide(&state.dist, state.lambda_idx, lambda);
+            let (next, reward, _) = self.step(state, &rule, rng);
+            rec.drops_per_epoch.push(-reward);
+            rec.total_return += reward;
+            rec.discounted_return += discount * reward;
+            discount *= self.config.gamma;
+            *state = next;
+        }
+        rec
+    }
+
+    /// Deterministic rollout conditioned on an explicit arrival-level
+    /// sequence `lambda_seq[0..horizon]` (`lambda_seq[t]` is the level in
+    /// force during epoch `t`).
+    pub fn rollout_conditioned(
+        &self,
+        policy: &dyn UpperPolicy,
+        lambda_seq: &[usize],
+    ) -> EpisodeRecord {
+        let mut rec = EpisodeRecord::default();
+        let mut discount = 1.0;
+        let mut state = self.initial_state_with_lambda(lambda_seq[0]);
+        for t in 0..lambda_seq.len() {
+            let lambda = self.config.arrivals.level_rate(state.lambda_idx);
+            let rule = policy.decide(&state.dist, state.lambda_idx, lambda);
+            let next_lambda = *lambda_seq.get(t + 1).unwrap_or(&state.lambda_idx);
+            let (next, reward, _) = self.step_with_next_lambda(&state, &rule, next_lambda);
+            rec.drops_per_epoch.push(-reward);
+            rec.total_return += reward;
+            rec.discounted_return += discount * reward;
+            discount *= self.config.gamma;
+            state = next;
+        }
+        rec
+    }
+
+    /// Monte-Carlo estimate of the expected undiscounted episode return
+    /// over `episodes` independent arrival sequences.
+    pub fn evaluate<R: Rng + ?Sized>(
+        &self,
+        policy: &dyn UpperPolicy,
+        horizon: usize,
+        episodes: usize,
+        rng: &mut R,
+    ) -> mflb_linalg::stats::Summary {
+        let mut s = mflb_linalg::stats::Summary::new();
+        for _ in 0..episodes {
+            s.push(self.rollout(policy, horizon, rng).total_return);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_config() -> SystemConfig {
+        SystemConfig::paper().with_dt(5.0)
+    }
+
+    fn jsq_rule() -> DecisionRule {
+        DecisionRule::from_fn(6, 2, |t| {
+            use std::cmp::Ordering::*;
+            match t[0].cmp(&t[1]) {
+                Less => vec![1.0, 0.0],
+                Greater => vec![0.0, 1.0],
+                Equal => vec![0.5, 0.5],
+            }
+        })
+    }
+
+    #[test]
+    fn rollout_accumulates_consistent_returns() {
+        let mdp = MeanFieldMdp::new(small_config());
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(6, 2), "MF-RND");
+        let mut rng = StdRng::seed_from_u64(1);
+        let rec = mdp.rollout(&policy, 50, &mut rng);
+        assert_eq!(rec.drops_per_epoch.len(), 50);
+        let sum: f64 = rec.drops_per_epoch.iter().sum();
+        assert!((rec.total_return + sum).abs() < 1e-10);
+        assert!(rec.discounted_return <= 0.0);
+        assert!(rec.total_return <= rec.discounted_return); // discount shrinks losses
+    }
+
+    #[test]
+    fn conditioned_rollout_is_deterministic() {
+        let mdp = MeanFieldMdp::new(small_config());
+        let policy = FixedRulePolicy::new(jsq_rule(), "MF-JSQ(2)");
+        let seq = vec![0usize; 30];
+        let a = mdp.rollout_conditioned(&policy, &seq);
+        let b = mdp.rollout_conditioned(&policy, &seq);
+        assert_eq!(a.drops_per_epoch, b.drops_per_epoch);
+    }
+
+    #[test]
+    fn high_arrival_sequence_drops_more_than_low() {
+        let mdp = MeanFieldMdp::new(small_config());
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(6, 2), "MF-RND");
+        let high = mdp.rollout_conditioned(&policy, &vec![0usize; 40]); // λ_h = 0.9
+        let low = mdp.rollout_conditioned(&policy, &vec![1usize; 40]); // λ_l = 0.6
+        assert!(
+            high.total_return < low.total_return,
+            "high load must drop more: {} vs {}",
+            high.total_return,
+            low.total_return
+        );
+    }
+
+    #[test]
+    fn seeded_rollouts_reproduce() {
+        let mdp = MeanFieldMdp::new(small_config());
+        let policy = FixedRulePolicy::new(jsq_rule(), "MF-JSQ(2)");
+        let a = mdp.rollout(&policy, 25, &mut StdRng::seed_from_u64(7));
+        let b = mdp.rollout(&policy, 25, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.drops_per_epoch, b.drops_per_epoch);
+    }
+
+    #[test]
+    fn evaluate_returns_reasonable_summary() {
+        let mdp = MeanFieldMdp::new(small_config());
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(6, 2), "MF-RND");
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = mdp.evaluate(&policy, 20, 10, &mut rng);
+        assert_eq!(s.count(), 10);
+        assert!(s.mean() < 0.0, "a loaded system must drop packets");
+        // Bound: per epoch at most λ_max·Δt drops.
+        assert!(s.mean() > -(0.9 * 5.0 * 20.0));
+    }
+
+    #[test]
+    fn holding_cost_extension_changes_objective_and_ranks_policies() {
+        // Large buffer, light load: pure-drop objective is ~0 everywhere,
+        // but with a holding cost JSQ (which balances load, reducing total
+        // backlog only weakly) and RND differ through their queue-length
+        // distributions; the reward must become strictly negative and
+        // JSQ must not be worse than RND.
+        let cfg = SystemConfig::paper().with_buffer(20).with_dt(2.0).with_holding_cost(0.1);
+        let mdp = MeanFieldMdp::new(cfg);
+        let jsq = FixedRulePolicy::new(
+            DecisionRule::from_fn(21, 2, |t| {
+                use std::cmp::Ordering::*;
+                match t[0].cmp(&t[1]) {
+                    Less => vec![1.0, 0.0],
+                    Greater => vec![0.0, 1.0],
+                    Equal => vec![0.5, 0.5],
+                }
+            }),
+            "MF-JSQ(2)",
+        );
+        let rnd = FixedRulePolicy::new(DecisionRule::uniform(21, 2), "MF-RND");
+        let seq = vec![0usize; 40];
+        let j = mdp.rollout_conditioned(&jsq, &seq).total_return;
+        let r = mdp.rollout_conditioned(&rnd, &seq).total_return;
+        assert!(j < 0.0 && r < 0.0, "holding cost must make rewards negative");
+        assert!(j >= r, "JSQ must not hold more jobs than RND: {j} vs {r}");
+    }
+
+    #[test]
+    fn drops_vanish_for_huge_buffer_light_load() {
+        let cfg = SystemConfig::paper().with_buffer(30).with_dt(1.0);
+        let mdp = MeanFieldMdp::new(cfg);
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(31, 2), "MF-RND");
+        let mut rng = StdRng::seed_from_u64(4);
+        let rec = mdp.rollout(&policy, 10, &mut rng);
+        assert!(rec.total_return.abs() < 1e-6, "return {}", rec.total_return);
+    }
+}

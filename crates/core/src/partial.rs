@@ -1,0 +1,383 @@
+//! Partial observability of the mean-field state — the paper's §2.1
+//! remark ("we may also drop dependence on the current arrival rate and
+//! empirical distribution, or estimate e.g. the empirical queue state
+//! distribution by sampling a subset of random queues") and §5 future
+//! work, made concrete.
+//!
+//! [`ObservationModel`] distorts what an upper-level policy sees;
+//! [`PartialObservationPolicy`] wraps *any* [`UpperPolicy`] behind such a
+//! model, so the ablation runs the same trained/analytic policies under
+//! degraded information and measures the value of each information
+//! channel:
+//!
+//! * [`ObservationModel::SampledQueues`] — the policy sees an empirical
+//!   estimate `ν̂` built from `k` queues sampled i.i.d. from `ν` (the
+//!   "sample a subset of random queues" estimator; `k → ∞` recovers the
+//!   exact state),
+//! * [`ObservationModel::Stale`] — the policy sees the distribution from
+//!   `e` epochs ago (information delay *beyond* the synchronization delay
+//!   Δt already in the model),
+//! * [`ObservationModel::NoArrivalInfo`] — the arrival level is hidden
+//!   (replaced by a fixed placeholder level), i.e. "drop dependence on
+//!   the current arrival rate",
+//! * [`ObservationModel::Exact`] — the fully observed baseline.
+
+use crate::dist::StateDist;
+use crate::mdp::UpperPolicy;
+use crate::rule::DecisionRule;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How the mean-field state is distorted before the policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ObservationModel {
+    /// Full state `(ν_t, λ_t)` — the paper's baseline information
+    /// structure.
+    Exact,
+    /// `ν_t` replaced by the empirical distribution of `k` queues sampled
+    /// i.i.d. from `ν_t`.
+    SampledQueues {
+        /// Number of sampled queues `k ≥ 1`.
+        k: usize,
+    },
+    /// `ν_t` replaced by the distribution observed `epochs` decision
+    /// epochs ago (`ν₀`-padded at the start of an episode).
+    Stale {
+        /// Additional information age in epochs.
+        epochs: usize,
+    },
+    /// The arrival level is hidden: the policy always sees level index 0.
+    NoArrivalInfo,
+}
+
+impl ObservationModel {
+    /// Human-readable tag used by harness output.
+    pub fn label(&self) -> String {
+        match self {
+            ObservationModel::Exact => "exact".to_string(),
+            ObservationModel::SampledQueues { k } => format!("sampled(k={k})"),
+            ObservationModel::Stale { epochs } => format!("stale(e={epochs})"),
+            ObservationModel::NoArrivalInfo => "no-lambda".to_string(),
+        }
+    }
+}
+
+/// Draws the `k`-sample empirical estimate `ν̂` of a distribution
+/// (sampling queues i.i.d. — the estimator a client could realize by
+/// polling `k` random servers).
+pub fn sampled_estimate<R: Rng + ?Sized>(dist: &StateDist, k: usize, rng: &mut R) -> StateDist {
+    assert!(k >= 1, "need at least one sampled queue");
+    let mut counts = vec![0u64; dist.num_states()];
+    for _ in 0..k {
+        let mut u: f64 = rng.gen();
+        let mut z = dist.num_states() - 1;
+        for (i, &p) in dist.as_slice().iter().enumerate() {
+            u -= p;
+            if u <= 0.0 {
+                z = i;
+                break;
+            }
+        }
+        counts[z] += 1;
+    }
+    StateDist::from_counts(&counts)
+}
+
+/// Wraps an upper-level policy behind an observation model.
+///
+/// The wrapper owns the RNG of the estimator and the staleness buffer
+/// behind mutexes so it stays `Send + Sync` (the Monte-Carlo harness
+/// shares policies across worker threads). Staleness history is
+/// per-wrapper: create one wrapper per evaluated episode stream, or call
+/// [`PartialObservationPolicy::reset`] between episodes.
+pub struct PartialObservationPolicy<P> {
+    inner: P,
+    model: ObservationModel,
+    rng: Mutex<StdRng>,
+    history: Mutex<VecDeque<StateDist>>,
+    name: String,
+}
+
+impl<P: UpperPolicy> PartialObservationPolicy<P> {
+    /// Wraps `inner` behind `model`; `seed` drives the sampling estimator.
+    pub fn new(inner: P, model: ObservationModel, seed: u64) -> Self {
+        let name = format!("{}[{}]", inner.name(), model.label());
+        Self {
+            inner,
+            model,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            history: Mutex::new(VecDeque::new()),
+            name,
+        }
+    }
+
+    /// The wrapped policy.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The observation model in force.
+    pub fn model(&self) -> ObservationModel {
+        self.model
+    }
+
+    /// Clears the staleness buffer and reseeds the estimator (call
+    /// between episodes for reproducible evaluation).
+    pub fn reset(&self, seed: u64) {
+        self.history.lock().clear();
+        *self.rng.lock() = StdRng::seed_from_u64(seed);
+    }
+}
+
+impl<P: UpperPolicy> UpperPolicy for PartialObservationPolicy<P> {
+    fn decide(&self, dist: &StateDist, lambda_idx: usize, lambda: f64) -> DecisionRule {
+        match self.model {
+            ObservationModel::Exact => self.inner.decide(dist, lambda_idx, lambda),
+            ObservationModel::SampledQueues { k } => {
+                let estimate = sampled_estimate(dist, k, &mut *self.rng.lock());
+                self.inner.decide(&estimate, lambda_idx, lambda)
+            }
+            ObservationModel::Stale { epochs } => {
+                let mut hist = self.history.lock();
+                hist.push_back(dist.clone());
+                // The observation aged `epochs` epochs: front of the buffer
+                // once it is full, else the oldest available (ν₀ stand-in).
+                while hist.len() > epochs + 1 {
+                    hist.pop_front();
+                }
+                let seen = hist.front().expect("just pushed").clone();
+                drop(hist);
+                self.inner.decide(&seen, lambda_idx, lambda)
+            }
+            ObservationModel::NoArrivalInfo => self.inner.decide(dist, 0, lambda),
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::mdp::{FixedRulePolicy, MeanFieldMdp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A ν-feedback test policy: JSQ when congestion is visible, RND
+    /// otherwise — deliberately sensitive to the observed distribution.
+    struct ThresholdPolicy {
+        threshold: f64,
+    }
+
+    impl UpperPolicy for ThresholdPolicy {
+        fn decide(&self, dist: &StateDist, _l: usize, _lam: f64) -> DecisionRule {
+            if dist.mean_queue_length() > self.threshold {
+                DecisionRule::from_fn(dist.num_states(), 2, |t| {
+                    use std::cmp::Ordering::*;
+                    match t[0].cmp(&t[1]) {
+                        Less => vec![1.0, 0.0],
+                        Greater => vec![0.0, 1.0],
+                        Equal => vec![0.5, 0.5],
+                    }
+                })
+            } else {
+                DecisionRule::uniform(dist.num_states(), 2)
+            }
+        }
+
+        fn name(&self) -> &str {
+            "threshold"
+        }
+    }
+
+    /// A λ-feedback test policy: JSQ at the high level, RND at the low.
+    struct LambdaSwitchPolicy;
+
+    impl UpperPolicy for LambdaSwitchPolicy {
+        fn decide(&self, dist: &StateDist, lambda_idx: usize, _lam: f64) -> DecisionRule {
+            if lambda_idx == 0 {
+                DecisionRule::from_fn(dist.num_states(), 2, |t| {
+                    use std::cmp::Ordering::*;
+                    match t[0].cmp(&t[1]) {
+                        Less => vec![1.0, 0.0],
+                        Greater => vec![0.0, 1.0],
+                        Equal => vec![0.5, 0.5],
+                    }
+                })
+            } else {
+                DecisionRule::uniform(dist.num_states(), 2)
+            }
+        }
+
+        fn name(&self) -> &str {
+            "lambda-switch"
+        }
+    }
+
+    #[test]
+    fn exact_model_is_transparent() {
+        let inner = ThresholdPolicy { threshold: 1.0 };
+        let wrapped = PartialObservationPolicy::new(
+            ThresholdPolicy { threshold: 1.0 },
+            ObservationModel::Exact,
+            7,
+        );
+        for nu in [
+            StateDist::all_empty(5),
+            StateDist::uniform(5),
+            StateDist::delta(5, 5),
+        ] {
+            let a = inner.decide(&nu, 0, 0.9);
+            let b = wrapped.decide(&nu, 0, 0.9);
+            assert!(a.max_abs_diff(&b) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sampled_estimate_concentrates_with_k() {
+        let nu = StateDist::new(vec![0.3, 0.25, 0.2, 0.15, 0.07, 0.03]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean_err = |k: usize, rng: &mut StdRng| {
+            let reps = 200;
+            let mut total = 0.0;
+            for _ in 0..reps {
+                total += nu.l1_distance(&sampled_estimate(&nu, k, rng));
+            }
+            total / reps as f64
+        };
+        let e10 = mean_err(10, &mut rng);
+        let e100 = mean_err(100, &mut rng);
+        let e1000 = mean_err(1000, &mut rng);
+        assert!(e10 > e100 && e100 > e1000, "{e10} > {e100} > {e1000} expected");
+        assert!(e1000 < 0.1);
+    }
+
+    #[test]
+    fn sampled_estimate_is_a_distribution() {
+        let nu = StateDist::uniform(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        for k in [1usize, 7, 64] {
+            let est = sampled_estimate(&nu, k, &mut rng);
+            let mass: f64 = est.as_slice().iter().sum();
+            assert!((mass - 1.0).abs() < 1e-12);
+            // Entries are multiples of 1/k.
+            for &p in est.as_slice() {
+                let scaled = p * k as f64;
+                assert!((scaled - scaled.round()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_zero_is_exact_and_stale_sees_old_state() {
+        let mk = |e: usize| {
+            PartialObservationPolicy::new(
+                ThresholdPolicy { threshold: 1.0 },
+                ObservationModel::Stale { epochs: e },
+                0,
+            )
+        };
+        let empty = StateDist::all_empty(5);
+        let full = StateDist::delta(5, 5);
+        // Stale(0): always the current state.
+        let p0 = mk(0);
+        let r = p0.decide(&full, 0, 0.9);
+        assert!(r.max_abs_diff(&ThresholdPolicy { threshold: 1.0 }.decide(&full, 0, 0.9)) < 1e-15);
+        // Stale(2): after feeding empty, empty, full → still sees empty
+        // (RND branch), then catches up.
+        let p2 = mk(2);
+        let rnd = DecisionRule::uniform(6, 2);
+        assert!(p2.decide(&empty, 0, 0.9).max_abs_diff(&rnd) < 1e-15);
+        assert!(p2.decide(&empty, 0, 0.9).max_abs_diff(&rnd) < 1e-15);
+        assert!(p2.decide(&full, 0, 0.9).max_abs_diff(&rnd) < 1e-15, "must still see empty");
+        assert!(p2.decide(&full, 0, 0.9).max_abs_diff(&rnd) < 1e-15, "one epoch closer");
+        let caught_up = p2.decide(&full, 0, 0.9);
+        assert!(caught_up.max_abs_diff(&rnd) > 0.4, "now sees the full state (JSQ branch)");
+    }
+
+    #[test]
+    fn reset_clears_history_and_reseeds() {
+        let p = PartialObservationPolicy::new(
+            ThresholdPolicy { threshold: 1.0 },
+            ObservationModel::Stale { epochs: 1 },
+            0,
+        );
+        let full = StateDist::delta(5, 5);
+        let _ = p.decide(&full, 0, 0.9);
+        let after_warm = p.decide(&full, 0, 0.9);
+        p.reset(0);
+        let fresh = p.decide(&StateDist::all_empty(5), 0, 0.9);
+        // After reset the buffer restarts: first decision sees the current
+        // (empty) state, not the stale full one.
+        assert!(fresh.max_abs_diff(&DecisionRule::uniform(6, 2)) < 1e-15);
+        assert!(after_warm.max_abs_diff(&fresh) > 0.4);
+    }
+
+    #[test]
+    fn no_arrival_info_masks_lambda() {
+        let wrapped = PartialObservationPolicy::new(
+            LambdaSwitchPolicy,
+            ObservationModel::NoArrivalInfo,
+            0,
+        );
+        let nu = StateDist::uniform(5);
+        // Regardless of the true level, the wrapper routes level 0 inside.
+        let at_high = wrapped.decide(&nu, 0, 0.9);
+        let at_low = wrapped.decide(&nu, 1, 0.6);
+        assert!(at_high.max_abs_diff(&at_low) < 1e-15);
+        // And the inner policy *would* have differed.
+        let raw = LambdaSwitchPolicy;
+        assert!(raw.decide(&nu, 0, 0.9).max_abs_diff(&raw.decide(&nu, 1, 0.6)) > 0.4);
+    }
+
+    #[test]
+    fn richer_observation_does_not_hurt_threshold_policy() {
+        // In the MFC MDP, the threshold policy with exact observation must
+        // perform at least as well as with a crude k=3 estimate (common
+        // arrival sequences, same inner policy).
+        let cfg = SystemConfig::paper().with_dt(5.0);
+        let mdp = MeanFieldMdp::new(cfg);
+        let seq = vec![0usize; 40];
+        let exact = PartialObservationPolicy::new(
+            ThresholdPolicy { threshold: 1.5 },
+            ObservationModel::Exact,
+            1,
+        );
+        let crude = PartialObservationPolicy::new(
+            ThresholdPolicy { threshold: 1.5 },
+            ObservationModel::SampledQueues { k: 3 },
+            1,
+        );
+        let v_exact = mdp.rollout_conditioned(&exact, &seq).total_return;
+        let mut v_crude = 0.0;
+        for run in 0..16 {
+            crude.reset(run);
+            v_crude += mdp.rollout_conditioned(&crude, &seq).total_return;
+        }
+        v_crude /= 16.0;
+        assert!(
+            v_exact >= v_crude - 1e-9,
+            "exact {v_exact} must be at least crude {v_crude}"
+        );
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(ObservationModel::Exact.label(), "exact");
+        assert_eq!(ObservationModel::SampledQueues { k: 42 }.label(), "sampled(k=42)");
+        assert_eq!(ObservationModel::Stale { epochs: 3 }.label(), "stale(e=3)");
+        assert_eq!(ObservationModel::NoArrivalInfo.label(), "no-lambda");
+        let p = PartialObservationPolicy::new(
+            FixedRulePolicy::new(DecisionRule::uniform(6, 2), "MF-RND"),
+            ObservationModel::SampledQueues { k: 10 },
+            0,
+        );
+        assert_eq!(p.name(), "MF-RND[sampled(k=10)]");
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based invariants of the partial-observability estimators.
+
+use mflb_core::partial::sampled_estimate;
+use mflb_core::StateDist;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dist_strategy() -> impl Strategy<Value = StateDist> {
+    prop::collection::vec(0.0f64..1.0, 6).prop_filter_map("positive mass", |w| {
+        let total: f64 = w.iter().sum();
+        if total < 1e-3 {
+            return None;
+        }
+        let mut probs: Vec<f64> = w.iter().map(|x| x / total).collect();
+        let drift: f64 = 1.0 - probs.iter().sum::<f64>();
+        probs[0] += drift;
+        if probs[0] < 0.0 {
+            return None;
+        }
+        Some(StateDist::new(probs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn estimates_are_distributions_on_the_support(
+        nu in dist_strategy(),
+        k in 1usize..200,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let est = sampled_estimate(&nu, k, &mut rng);
+        let mass: f64 = est.as_slice().iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        // The estimator can only see states that have positive mass.
+        for (z, &p) in est.as_slice().iter().enumerate() {
+            if nu.prob(z) == 0.0 {
+                prop_assert_eq!(p, 0.0, "phantom mass at state {}", z);
+            }
+        }
+        // Entries are multiples of 1/k.
+        for &p in est.as_slice() {
+            let scaled = p * k as f64;
+            prop_assert!((scaled - scaled.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn estimator_is_unbiased(nu in dist_strategy(), seed in 0u64..1_000) {
+        // Average of many k = 16 estimates converges to ν (law of large
+        // numbers over estimates; tolerance from the binomial CLT).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reps = 600usize;
+        let mut acc = [0.0f64; 6];
+        for _ in 0..reps {
+            let est = sampled_estimate(&nu, 16, &mut rng);
+            for (a, &p) in acc.iter_mut().zip(est.as_slice()) {
+                *a += p;
+            }
+        }
+        for (z, a) in acc.iter_mut().enumerate() {
+            *a /= reps as f64;
+            // std err of the averaged estimate ≈ sqrt(p(1−p)/(16·reps)).
+            let se = (nu.prob(z) * (1.0 - nu.prob(z)) / (16.0 * reps as f64)).sqrt();
+            prop_assert!(
+                (*a - nu.prob(z)).abs() < 6.0 * se + 1e-9,
+                "state {z}: mean estimate {a} vs true {} (se {se})",
+                nu.prob(z)
+            );
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Exact dynamic programming for the mean-field control MDP.
+//!
+//! The paper solves the MFC MDP (Eq. 29–31) with policy-gradient RL
+//! because the state/action spaces are continuous. For moderate buffer
+//! sizes the state space `P(Z) × Λ` is low-dimensional enough to
+//! discretize and solve *exactly* (up to lattice resolution and a finite
+//! action family) with value iteration. This crate provides that
+//! certified yardstick:
+//!
+//! * [`simplex_grid::SimplexGrid`] — a `1/G`-lattice over `P(Z)` with
+//!   exact combinatorial indexing and ℓ₁-optimal snapping,
+//! * [`actions::ActionLibrary`] — finite decision-rule families (softmin
+//!   β-grids bracketing MF-RND and MF-JSQ),
+//! * [`value_iteration::DpSolution`] — parallel transition precompute +
+//!   value iteration, with Howard policy iteration as an independent
+//!   cross-check solver and JSON checkpoints;
+//!   [`value_iteration::GridPolicy`] deploys the greedy solution as a
+//!   standard [`mflb_core::UpperPolicy`].
+//!
+//! Used by the `ablation_dp` experiment to ask: *how close does PPO get
+//! to the restricted-family optimum, and how much does ν-feedback add
+//! over the best constant rule?*
+
+pub mod actions;
+pub mod simplex_grid;
+pub mod value_iteration;
+
+pub use actions::ActionLibrary;
+pub use simplex_grid::SimplexGrid;
+pub use value_iteration::{DpCheckpoint, DpConfig, DpSolution, GridPolicy};

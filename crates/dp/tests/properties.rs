@@ -1,0 +1,90 @@
+//! Property-based tests for the simplex lattice: ranking, snapping and
+//! linear-exact interpolation must hold for *arbitrary* distributions and
+//! grid shapes, not just the hand-picked unit-test cases.
+
+use mflb_core::StateDist;
+use mflb_dp::SimplexGrid;
+use proptest::prelude::*;
+
+/// Strategy: a random distribution over `n` states (normalized positive
+/// weights, bounded away from degenerate all-zero vectors).
+fn dist_strategy(n: usize) -> impl Strategy<Value = StateDist> {
+    prop::collection::vec(0.0f64..1.0, n).prop_filter_map("needs positive mass", move |w| {
+        let total: f64 = w.iter().sum();
+        if total < 1e-3 {
+            return None;
+        }
+        let mut probs: Vec<f64> = w.iter().map(|x| x / total).collect();
+        // Compensate rounding drift on the largest entry.
+        let drift: f64 = 1.0 - probs.iter().sum::<f64>();
+        let argmax = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap();
+        probs[argmax] += drift;
+        Some(StateDist::new(probs))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn rank_unrank_roundtrip(
+        n in 2usize..7,
+        g in 1usize..12,
+        seed in 0usize..10_000,
+    ) {
+        let grid = SimplexGrid::new(n, g);
+        let idx = seed % grid.num_points();
+        let counts = grid.unrank(idx);
+        prop_assert_eq!(counts.iter().sum::<usize>(), g);
+        prop_assert_eq!(grid.rank(&counts), idx);
+    }
+
+    #[test]
+    fn snap_yields_nearby_lattice_point(nu in dist_strategy(6), g in 2usize..24) {
+        let grid = SimplexGrid::new(6, g);
+        let idx = grid.snap(&nu);
+        let point = grid.point(idx);
+        // Largest-remainder rounding moves < 1/G per coordinate.
+        let bound = 6.0 / g as f64;
+        prop_assert!(nu.l1_distance(&point) <= bound + 1e-9,
+            "snap distance {} exceeds {}", nu.l1_distance(&point), bound);
+    }
+
+    #[test]
+    fn interpolation_reconstructs_exactly(nu in dist_strategy(6), g in 2usize..24) {
+        let grid = SimplexGrid::new(6, g);
+        let parts = grid.interpolate(&nu);
+        let total: f64 = parts.iter().map(|(_, w)| w).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "weights sum {total}");
+        prop_assert!(parts.len() <= 7, "{} vertices", parts.len());
+        let mut recon = [0.0f64; 6];
+        for &(idx, w) in &parts {
+            prop_assert!(w > 0.0);
+            for (r, &p) in recon.iter_mut().zip(grid.point(idx).as_slice()) {
+                *r += w * p;
+            }
+        }
+        for (a, b) in recon.iter().zip(nu.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-8, "reconstruction {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn interpolation_weights_are_a_partition_even_at_vertices(
+        n in 2usize..7,
+        g in 1usize..10,
+        seed in 0usize..5_000,
+    ) {
+        // Lattice points themselves must interpolate to a single vertex.
+        let grid = SimplexGrid::new(n, g);
+        let idx = seed % grid.num_points();
+        let parts = grid.interpolate(&grid.point(idx));
+        prop_assert_eq!(parts.len(), 1);
+        prop_assert_eq!(parts[0].0, idx);
+    }
+}

@@ -1,0 +1,34 @@
+//! Small dense linear algebra for continuous-time Markov chain (CTMC)
+//! transient analysis.
+//!
+//! This crate provides exactly the numerical kernels needed by the
+//! mean-field load-balancing model of Tahir, Cui & Koeppl (ICPP '22):
+//!
+//! * [`Mat`] — a dense row-major `f64` matrix with the usual arithmetic,
+//! * [`lu::Lu`] — LU decomposition with partial pivoting (used by the Padé
+//!   matrix exponential),
+//! * [`expm::expm`] — scaling-and-squaring matrix exponential with Padé
+//!   approximants (Higham 2005 degree selection),
+//! * [`uniformization`] — the action of `exp(Q·t)` on a distribution for
+//!   conservative generators `Q`, with rigorous truncation control,
+//! * [`stats`] — scalar statistics (mean, variance, confidence intervals,
+//!   chi-square goodness-of-fit) used by the experiment harness and the
+//!   sampler test-suites.
+//!
+//! The matrices arising in the model are tiny ((B+2)×(B+2) with B ≈ 5), so
+//! the implementations favour clarity and numerical robustness over
+//! asymptotic tricks; everything is allocation-conscious enough to sit in
+//! the inner loop of the simulator regardless.
+
+pub mod expm;
+pub mod lu;
+pub mod matrix;
+pub mod stationary;
+pub mod stats;
+pub mod uniformization;
+
+pub use expm::{expm, expm_apply};
+pub use lu::Lu;
+pub use matrix::Mat;
+pub use stationary::{ctmc_stationary, dtmc_stationary, StationaryError};
+pub use uniformization::{transient_distribution, UniformizationError};

@@ -1,0 +1,217 @@
+//! LU decomposition with partial pivoting.
+//!
+//! Needed by the Padé matrix exponential ([`crate::expm()`]), which solves a
+//! linear system `(−U + V)·R = (U + V)` at its final step, and generally
+//! useful for stationary-distribution computations in the queueing
+//! substrate.
+
+use crate::matrix::Mat;
+
+/// An LU factorization `P·A = L·U` of a square matrix with partial
+/// (row) pivoting.
+#[derive(Clone, Debug)]
+pub struct Lu {
+    /// Combined L (unit lower, below diagonal) and U (upper, including
+    /// diagonal) factors, stored in-place.
+    lu: Mat,
+    /// Row permutation: row `i` of `L·U` corresponds to row `perm[i]` of `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1.0` or `-1.0`), used by [`Lu::det`].
+    perm_sign: f64,
+    /// Whether a zero (to working precision) pivot was encountered.
+    singular: bool,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn new(a: &Mat) -> Self {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let mut singular = false;
+
+        for k in 0..n {
+            // Find the pivot: the largest |entry| in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val == 0.0 {
+                singular = true;
+                continue;
+            }
+            if pivot_row != k {
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let upd = factor * lu[(k, j)];
+                        lu[(i, j)] -= upd;
+                    }
+                }
+            }
+        }
+        Self { lu, perm, perm_sign, singular }
+    }
+
+    /// `true` iff a zero pivot was hit (matrix numerically singular).
+    pub fn is_singular(&self) -> bool {
+        self.singular
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        if self.singular {
+            return 0.0;
+        }
+        let n = self.lu.rows();
+        let mut d = self.perm_sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Solves `A·x = b` for a single right-hand side.
+    ///
+    /// Returns `None` if the factorization is singular.
+    // Triangular substitution indexes `x` at lag `j < i`, which iterator
+    // adapters would only obscure.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve_vec(&self, b: &[f64]) -> Option<Vec<f64>> {
+        if self.singular {
+            return None;
+        }
+        let n = self.lu.rows();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation, then forward substitution with unit L.
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Some(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// Returns `None` if the factorization is singular.
+    pub fn solve_mat(&self, b: &Mat) -> Option<Mat> {
+        if self.singular {
+            return None;
+        }
+        let n = self.lu.rows();
+        assert_eq!(b.rows(), n, "rhs row count mismatch");
+        let mut out = Mat::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve_vec(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Some(out)
+    }
+
+    /// Inverse of the original matrix, or `None` if singular.
+    pub fn inverse(&self) -> Option<Mat> {
+        self.solve_mat(&Mat::identity(self.lu.rows()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &Mat, x: &[f64], b: &[f64]) -> f64 {
+        let ax = a.matvec(x);
+        ax.iter().zip(b.iter()).map(|(p, q)| (p - q).abs()).fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn solves_well_conditioned_system() {
+        let a = Mat::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let b = [1.0, 2.0, 3.0];
+        let lu = Lu::new(&a);
+        let x = lu.solve_vec(&b).unwrap();
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::new(&a);
+        assert!(!lu.is_singular());
+        let x = lu.solve_vec(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-14);
+        assert!((x[1] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn detects_singular_matrix() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let lu = Lu::new(&a);
+        assert!(lu.is_singular());
+        assert!(lu.solve_vec(&[1.0, 1.0]).is_none());
+        assert_eq!(lu.det(), 0.0);
+    }
+
+    #[test]
+    fn determinant_of_triangular_matrix() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 5.0], &[0.0, 3.0, -1.0], &[0.0, 0.0, 4.0]]);
+        let lu = Lu::new(&a);
+        assert!((lu.det() - 24.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Mat::from_rows(&[&[3.0, 0.5, -1.0], &[0.2, 2.0, 0.3], &[-0.7, 0.1, 1.5]]);
+        let inv = Lu::new(&a).inverse().unwrap();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Mat::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise_solves() {
+        let a = Mat::from_rows(&[&[5.0, 1.0], &[2.0, 3.0]]);
+        let b = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let lu = Lu::new(&a);
+        let x = lu.solve_mat(&b).unwrap();
+        let prod = a.matmul(&x);
+        assert!(prod.max_abs_diff(&Mat::identity(2)) < 1e-12);
+    }
+}

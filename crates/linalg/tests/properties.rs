@@ -1,0 +1,117 @@
+//! Crate-level property tests for the linear-algebra kernels.
+
+use mflb_linalg::stats::Summary;
+use mflb_linalg::{ctmc_stationary, expm, transient_distribution, Lu, Mat};
+use proptest::prelude::*;
+
+/// Strategy: a random well-conditioned-ish square matrix (diagonally
+/// dominated to keep LU solvable).
+fn dd_matrix(n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut v| {
+        for i in 0..n {
+            v[i * n + i] += 4.0; // diagonal dominance
+        }
+        Mat::from_vec(n, n, v)
+    })
+}
+
+/// Strategy: a random conservative generator on n states.
+fn generator(n: usize) -> impl Strategy<Value = Mat> {
+    proptest::collection::vec(0.0f64..2.0, n * n).prop_map(move |v| {
+        let mut q = Mat::zeros(n, n);
+        for i in 0..n {
+            let mut total = 0.0;
+            for j in 0..n {
+                if i != j {
+                    let r = v[i * n + j];
+                    q[(i, j)] = r;
+                    total += r;
+                }
+            }
+            q[(i, i)] = -total;
+        }
+        q
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lu_solves_diagonally_dominant_systems(a in dd_matrix(5), b in proptest::collection::vec(-3.0f64..3.0, 5)) {
+        let lu = Lu::new(&a);
+        prop_assert!(!lu.is_singular());
+        let x = lu.solve_vec(&b).unwrap();
+        let ax = a.matvec(&x);
+        for (p, q) in ax.iter().zip(b.iter()) {
+            prop_assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lu_determinant_is_multiplicative(a in dd_matrix(4), b in dd_matrix(4)) {
+        let da = Lu::new(&a).det();
+        let db = Lu::new(&b).det();
+        let dab = Lu::new(&a.matmul(&b)).det();
+        prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+    }
+
+    #[test]
+    fn expm_matches_uniformization_on_random_generators(q in generator(5), t in 0.05f64..8.0) {
+        let p0 = [1.0, 0.0, 0.0, 0.0, 0.0];
+        let via_uni = transient_distribution(&q, &p0, t, 1e-13).unwrap();
+        let via_pade = expm(&q.scaled(t)).vecmat(&p0);
+        for (a, b) in via_uni.iter().zip(via_pade.iter()) {
+            prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stationary_is_invariant_under_expm(q in generator(4)) {
+        // Perturb to ensure irreducibility (strictly positive off-diagonal).
+        let mut qq = q.clone();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j && qq[(i, j)] < 0.05 {
+                    let bump = 0.05 - qq[(i, j)];
+                    qq[(i, j)] += bump;
+                    qq[(i, i)] -= bump;
+                }
+            }
+        }
+        let pi = ctmc_stationary(&qq).unwrap();
+        let moved = expm(&qq.scaled(3.0)).vecmat(&pi);
+        for (a, b) in pi.iter().zip(moved.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn summary_merge_is_associative_enough(
+        xs in proptest::collection::vec(-10.0f64..10.0, 3..60),
+        split in 0usize..60,
+    ) {
+        let k = split.min(xs.len());
+        let mut left = Summary::from_slice(&xs[..k]);
+        let right = Summary::from_slice(&xs[k..]);
+        left.merge(&right);
+        let full = Summary::from_slice(&xs);
+        prop_assert!((left.mean() - full.mean()).abs() < 1e-10);
+        prop_assert!((left.variance() - full.variance()).abs() < 1e-8);
+        prop_assert_eq!(left.count(), full.count());
+    }
+
+    #[test]
+    fn matrix_norm_inequalities(a in dd_matrix(4)) {
+        // ‖A‖_F ≤ √(rank)·‖A‖₂ ≤ ... we check the easy consistency
+        // relations between implemented norms: ‖A‖₁, ‖A‖_∞ ≥ max |a_ij|.
+        let max_entry = a
+            .as_slice()
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f64, f64::max);
+        prop_assert!(a.norm_one() >= max_entry - 1e-12);
+        prop_assert!(a.norm_inf() >= max_entry - 1e-12);
+        prop_assert!(a.norm_fro() >= max_entry - 1e-12);
+    }
+}

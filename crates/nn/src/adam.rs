@@ -1,0 +1,128 @@
+//! Adam optimizer on flat parameter vectors (Kingma & Ba, 2015).
+
+use serde::{Deserialize, Serialize};
+
+/// Adam state for one parameter vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical-stability constant ε.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates an optimizer for `num_params` parameters with default
+    /// moments (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn new(num_params: usize, lr: f64) -> Self {
+        assert!(lr > 0.0 && lr.is_finite());
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; num_params],
+            v: vec![0.0; num_params],
+            t: 0,
+        }
+    }
+
+    /// Number of optimization steps taken.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+
+    /// Applies one Adam update in place: `params ← params − lr·m̂/(√v̂+ε)`.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
+        assert_eq!(params.len(), self.m.len(), "param length mismatch");
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            let g = grads[i];
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+/// Clips a gradient vector to a maximum global ℓ₂ norm, in place; returns
+/// the pre-clip norm (PPO's standard stabilizer).
+pub fn clip_grad_norm(grads: &mut [f64], max_norm: f64) -> f64 {
+    let norm = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for g in grads.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = Σ (x_i - target_i)^2; Adam should converge.
+        let target = [3.0, -1.5, 0.25];
+        let mut x = vec![0.0; 3];
+        let mut opt = Adam::new(3, 0.05);
+        for _ in 0..2_000 {
+            let grads: Vec<f64> =
+                x.iter().zip(target.iter()).map(|(xi, t)| 2.0 * (xi - t)).collect();
+            opt.step(&mut x, &grads);
+        }
+        for (xi, t) in x.iter().zip(target.iter()) {
+            assert!((xi - t).abs() < 1e-3, "{xi} vs {t}");
+        }
+    }
+
+    #[test]
+    fn bias_correction_first_step() {
+        // After one step with gradient g, the update is exactly -lr·sign(g)
+        // (up to eps), by construction of the bias correction.
+        let mut x = vec![0.0];
+        let mut opt = Adam::new(1, 0.1);
+        opt.step(&mut x, &[0.5]);
+        assert!((x[0] + 0.1).abs() < 1e-6, "x {}", x[0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_behaviour() {
+        let mut g = vec![3.0, 4.0]; // norm 5
+        let pre = clip_grad_norm(&mut g, 1.0);
+        assert!((pre - 5.0).abs() < 1e-12);
+        let post = (g[0] * g[0] + g[1] * g[1]).sqrt();
+        assert!((post - 1.0).abs() < 1e-12);
+        // Below the cap: untouched.
+        let mut h = vec![0.3, 0.4];
+        clip_grad_norm(&mut h, 1.0);
+        assert_eq!(h, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn step_counter_increments() {
+        let mut opt = Adam::new(2, 0.01);
+        let mut p = vec![0.0, 0.0];
+        assert_eq!(opt.steps(), 0);
+        opt.step(&mut p, &[1.0, 1.0]);
+        opt.step(&mut p, &[1.0, 1.0]);
+        assert_eq!(opt.steps(), 2);
+    }
+}

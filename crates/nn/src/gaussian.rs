@@ -1,0 +1,207 @@
+//! Diagonal Gaussian action distributions for continuous-control PPO.
+//!
+//! The upper-level policy emits a mean vector (the decision-rule logits)
+//! from the MLP plus a state-independent learnable `log_std` vector; actions
+//! are sampled as `a = μ + σ·ξ`, `ξ ∼ N(0, I)`. This module provides
+//! sampling, log-densities, entropy and their gradients — everything the
+//! PPO loss needs, in closed form.
+
+use rand::Rng;
+
+/// Natural log of √(2π).
+const LN_SQRT_2PI: f64 = 0.918_938_533_204_672_7;
+
+/// A diagonal Gaussian `N(mean, diag(exp(log_std))²)` over `ℝ^k`.
+///
+/// The struct borrows its parameters; PPO owns `log_std` as trainable
+/// parameters next to the network weights.
+#[derive(Debug, Clone, Copy)]
+pub struct DiagGaussian<'a> {
+    /// Mean vector μ.
+    pub mean: &'a [f64],
+    /// Per-dimension log standard deviations.
+    pub log_std: &'a [f64],
+}
+
+impl<'a> DiagGaussian<'a> {
+    /// Creates the distribution (dimensions must agree).
+    pub fn new(mean: &'a [f64], log_std: &'a [f64]) -> Self {
+        assert_eq!(mean.len(), log_std.len(), "mean/log_std dim mismatch");
+        Self { mean, log_std }
+    }
+
+    /// Dimensionality `k`.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Samples an action with the Box–Muller transform (no external
+    /// distribution crates).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.mean
+            .iter()
+            .zip(self.log_std.iter())
+            .map(|(&m, &ls)| m + ls.exp() * standard_normal(rng))
+            .collect()
+    }
+
+    /// Log-density `ln p(a)`.
+    pub fn log_prob(&self, action: &[f64]) -> f64 {
+        assert_eq!(action.len(), self.dim());
+        let mut lp = 0.0;
+        for ((&a, &m), &ls) in action.iter().zip(self.mean).zip(self.log_std) {
+            let inv_std = (-ls).exp();
+            let z = (a - m) * inv_std;
+            lp += -0.5 * z * z - ls - LN_SQRT_2PI;
+        }
+        lp
+    }
+
+    /// Differential entropy `Σ_i (log_std_i + ½·ln(2πe))`.
+    pub fn entropy(&self) -> f64 {
+        let half_ln_2pie = 0.5 * (1.0 + LN_SQRT_2PI * 2.0);
+        self.log_std.iter().map(|&ls| ls + half_ln_2pie).sum()
+    }
+
+    /// Gradient of `ln p(a)` with respect to the mean:
+    /// `∂lnp/∂μ_i = (a_i − μ_i)/σ_i²`.
+    pub fn log_prob_grad_mean(&self, action: &[f64]) -> Vec<f64> {
+        action
+            .iter()
+            .zip(self.mean)
+            .zip(self.log_std)
+            .map(|((&a, &m), &ls)| {
+                let inv_var = (-2.0 * ls).exp();
+                (a - m) * inv_var
+            })
+            .collect()
+    }
+
+    /// Gradient of `ln p(a)` with respect to `log_std`:
+    /// `∂lnp/∂ls_i = ((a_i − μ_i)/σ_i)² − 1`.
+    pub fn log_prob_grad_log_std(&self, action: &[f64]) -> Vec<f64> {
+        action
+            .iter()
+            .zip(self.mean)
+            .zip(self.log_std)
+            .map(|((&a, &m), &ls)| {
+                let z = (a - m) * (-ls).exp();
+                z * z - 1.0
+            })
+            .collect()
+    }
+}
+
+/// One standard-normal variate via Box–Muller (two uniforms per pair; we
+/// draw fresh pairs for simplicity — the simulator dominates runtime).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>(); // (0, 1]
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_prob_matches_scalar_formula() {
+        let mean = [1.0];
+        let log_std = [0.5f64];
+        let g = DiagGaussian::new(&mean, &log_std);
+        let a = 1.7;
+        let sigma = 0.5f64.exp();
+        let expect = -0.5 * ((a - 1.0) / sigma).powi(2)
+            - sigma.ln()
+            - 0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((g.log_prob(&[a]) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_matches_formula() {
+        let mean = [0.0, 0.0];
+        let log_std = [0.0, 1.0];
+        let g = DiagGaussian::new(&mean, &log_std);
+        let per_dim = 0.5 * (2.0 * std::f64::consts::PI * std::f64::consts::E).ln();
+        assert!((g.entropy() - (2.0 * per_dim + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mean = [0.3, -0.7, 1.2];
+        let log_std = [0.1, -0.4, 0.0];
+        let action = [0.5, -0.5, 1.0];
+        let g = DiagGaussian::new(&mean, &log_std);
+        let gm = g.log_prob_grad_mean(&action);
+        let gs = g.log_prob_grad_log_std(&action);
+        let eps = 1e-6;
+        for i in 0..3 {
+            let mut m2 = mean;
+            m2[i] += eps;
+            let up = DiagGaussian::new(&m2, &log_std).log_prob(&action);
+            m2[i] -= 2.0 * eps;
+            let down = DiagGaussian::new(&m2, &log_std).log_prob(&action);
+            assert!(((up - down) / (2.0 * eps) - gm[i]).abs() < 1e-6, "mean[{i}]");
+
+            let mut s2 = log_std;
+            s2[i] += eps;
+            let up = DiagGaussian::new(&mean, &s2).log_prob(&action);
+            s2[i] -= 2.0 * eps;
+            let down = DiagGaussian::new(&mean, &s2).log_prob(&action);
+            assert!(((up - down) / (2.0 * eps) - gs[i]).abs() < 1e-6, "log_std[{i}]");
+        }
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let mean = [2.0];
+        let log_std = [0.0]; // σ = 1
+        let g = DiagGaussian::new(&mean, &log_std);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = mflb_linalg_stats_shim::Summary::new();
+        for _ in 0..100_000 {
+            s.push(g.sample(&mut rng)[0]);
+        }
+        assert!((s.mean() - 2.0).abs() < 0.02, "mean {}", s.mean());
+        assert!((s.variance() - 1.0).abs() < 0.03, "var {}", s.variance());
+    }
+
+    /// Tiny local Welford summary so the nn crate stays free of the linalg
+    /// dependency (kept private to the tests).
+    mod mflb_linalg_stats_shim {
+        pub struct Summary {
+            n: u64,
+            mean: f64,
+            m2: f64,
+        }
+        impl Summary {
+            pub fn new() -> Self {
+                Self { n: 0, mean: 0.0, m2: 0.0 }
+            }
+            pub fn push(&mut self, x: f64) {
+                self.n += 1;
+                let d = x - self.mean;
+                self.mean += d / self.n as f64;
+                self.m2 += d * (x - self.mean);
+            }
+            pub fn mean(&self) -> f64 {
+                self.mean
+            }
+            pub fn variance(&self) -> f64 {
+                self.m2 / (self.n - 1) as f64
+            }
+        }
+    }
+
+    #[test]
+    fn log_prob_is_maximized_at_mean() {
+        let mean = [0.5, -0.5];
+        let log_std = [0.2, 0.2];
+        let g = DiagGaussian::new(&mean, &log_std);
+        let at_mean = g.log_prob(&mean);
+        let off = g.log_prob(&[0.6, -0.4]);
+        assert!(at_mean > off);
+    }
+}

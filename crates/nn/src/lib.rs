@@ -1,0 +1,30 @@
+//! Minimal neural-network substrate for the hand-rolled PPO stack.
+//!
+//! The `repro` assessment of this paper flags Rust RL crates as immature,
+//! so the whole learning stack is built from scratch. This crate provides
+//! the differentiable pieces:
+//!
+//! * [`tensor::Tensor`] — batched row-major 2-D math,
+//! * [`linear::Linear`] — dense layers with audit-friendly explicit
+//!   backprop,
+//! * [`mlp::Mlp`] — tanh MLPs (the paper's 2×256 policy/value networks,
+//!   Fig. 2) with flat-parameter I/O and finite-difference-checked
+//!   gradients,
+//! * [`adam::Adam`] — flat-vector Adam plus global-norm gradient clipping,
+//! * [`gaussian::DiagGaussian`] — diagonal Gaussian heads with closed-form
+//!   log-probability/entropy gradients.
+//!
+//! Everything serializes with `serde` so trained policies can be
+//! checkpointed to JSON and reloaded by the evaluation binaries.
+
+pub mod adam;
+pub mod gaussian;
+pub mod linear;
+pub mod mlp;
+pub mod tensor;
+
+pub use adam::{clip_grad_norm, Adam};
+pub use gaussian::{standard_normal, DiagGaussian};
+pub use linear::Linear;
+pub use mlp::{Activation, ForwardCache, Mlp};
+pub use tensor::Tensor;

@@ -1,0 +1,296 @@
+//! Multi-layer perceptron with explicit backprop and flat-parameter I/O.
+//!
+//! The paper's policy/value networks are tanh MLPs with two hidden layers
+//! of 256 units (Fig. 2, Table 2); [`Mlp::policy_default`] builds exactly
+//! that shape. Gradients come back as a flat `Vec<f64>` aligned with
+//! [`Mlp::write_params`] order, so the optimizer ([`crate::adam::Adam`])
+//! can stay a plain flat-vector method.
+
+use crate::linear::Linear;
+use crate::tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Supported hidden activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Hyperbolic tangent (the paper's choice).
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// No nonlinearity (degenerate, for tests).
+    Identity,
+}
+
+impl Activation {
+    #[inline]
+    fn apply(self, v: f64) -> f64 {
+        match self {
+            Activation::Tanh => v.tanh(),
+            Activation::Relu => v.max(0.0),
+            Activation::Identity => v,
+        }
+    }
+
+    /// Derivative expressed through the *post-activation* value (valid for
+    /// all supported activations and cheaper than keeping pre-activations).
+    #[inline]
+    fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+/// Cache of intermediate activations from a forward pass, consumed by
+/// [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// `activations[0]` is the input; `activations[i]` the post-activation
+    /// output of layer `i−1`; the last entry is the (linear) network output.
+    activations: Vec<Tensor>,
+}
+
+impl ForwardCache {
+    /// The network output.
+    pub fn output(&self) -> &Tensor {
+        self.activations.last().unwrap()
+    }
+}
+
+/// A fully connected network with a linear output layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes (`sizes[0]` inputs …
+    /// `sizes[last]` outputs) and hidden activation; Xavier init.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], activation: Activation, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let layers = sizes
+            .windows(2)
+            .map(|w| Linear::xavier(w[0], w[1], rng))
+            .collect();
+        Self { layers, activation }
+    }
+
+    /// The paper's policy/value network shape: two tanh hidden layers of
+    /// 256 units (Fig. 2), with the final layer scaled by 0.01 so the
+    /// initial policy is near-uniform after softmax normalization.
+    pub fn policy_default<R: Rng + ?Sized>(obs_dim: usize, act_dim: usize, rng: &mut R) -> Self {
+        let mut mlp = Self::new(&[obs_dim, 256, 256, act_dim], Activation::Tanh, rng);
+        mlp.layers.last_mut().unwrap().scale_weights(0.01);
+        mlp
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().unwrap().fan_in()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().fan_out()
+    }
+
+    /// Forward pass keeping the activation cache for backprop.
+    pub fn forward_cached(&self, x: &Tensor) -> ForwardCache {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(x.clone());
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut y = layer.forward(activations.last().unwrap());
+            if i < last {
+                let act = self.activation;
+                y.map_inplace(|v| act.apply(v));
+            }
+            activations.push(y);
+        }
+        ForwardCache { activations }
+    }
+
+    /// Forward pass without cache (inference).
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_cached(x).output().clone()
+    }
+
+    /// Convenience single-sample forward.
+    pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
+        self.forward(&Tensor::from_row(x)).as_slice().to_vec()
+    }
+
+    /// Backward pass: given the cache and `∂L/∂output`, returns the flat
+    /// parameter gradient (aligned with [`Mlp::write_params`]).
+    pub fn backward(&self, cache: &ForwardCache, grad_out: &Tensor) -> Vec<f64> {
+        let mut flat = vec![0.0; self.num_params()];
+        // Per-layer parameter offsets in flat order.
+        let mut offsets = Vec::with_capacity(self.layers.len());
+        let mut off = 0;
+        for layer in &self.layers {
+            offsets.push(off);
+            off += layer.num_params();
+        }
+
+        let mut grad = grad_out.clone();
+        for i in (0..self.layers.len()).rev() {
+            // Walking backwards: `grad` currently holds dL/d(post-activation
+            // of layer i) for the last layer (linear output) or has already
+            // been multiplied by the activation derivative below.
+            let x = &cache.activations[i];
+            let (gx, gw, gb) = self.layers[i].backward(x, &grad);
+            let o = offsets[i];
+            let nw = gw.as_slice().len();
+            flat[o..o + nw].copy_from_slice(gw.as_slice());
+            flat[o + nw..o + nw + gb.len()].copy_from_slice(&gb);
+            grad = gx;
+            if i > 0 {
+                // Multiply by the activation derivative of the previous
+                // layer's output (which is exactly cache.activations[i]).
+                let act = self.activation;
+                let y = &cache.activations[i];
+                for (g, &yv) in grad.as_mut_slice().iter_mut().zip(y.as_slice()) {
+                    *g *= act.derivative_from_output(yv);
+                }
+            }
+        }
+        flat
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(Linear::num_params).sum()
+    }
+
+    /// Writes all parameters into a flat buffer; returns count written.
+    pub fn write_params(&self, out: &mut [f64]) -> usize {
+        let mut off = 0;
+        for layer in &self.layers {
+            off += layer.write_params(&mut out[off..]);
+        }
+        off
+    }
+
+    /// Reads all parameters from a flat buffer.
+    pub fn read_params(&mut self, src: &[f64]) {
+        let mut off = 0;
+        for layer in &mut self.layers {
+            off += layer.read_params(&src[off..]);
+        }
+        debug_assert_eq!(off, src.len());
+    }
+
+    /// Flat copy of the parameters.
+    pub fn params_vec(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.num_params()];
+        self.write_params(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_loss(mlp: &Mlp, x: &Tensor) -> f64 {
+        mlp.forward(x).as_slice().iter().map(|v| v * v).sum::<f64>() / 2.0
+    }
+
+    #[test]
+    fn full_network_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for activation in [Activation::Tanh, Activation::Relu, Activation::Identity] {
+            let mut mlp = Mlp::new(&[4, 8, 5, 3], activation, &mut rng);
+            let x = Tensor::from_vec(
+                3,
+                4,
+                (0..12).map(|i| ((i as f64) * 0.7).sin()).collect(),
+            );
+            let cache = mlp.forward_cached(&x);
+            let grad_out = cache.output().clone(); // dL/dy = y for L = Σy²/2
+            let analytic = mlp.backward(&cache, &grad_out);
+
+            let eps = 1e-6;
+            let mut params = mlp.params_vec();
+            // Spot-check a spread of parameters (every 17th) to keep the
+            // test fast while covering all layers.
+            for idx in (0..params.len()).step_by(17) {
+                let orig = params[idx];
+                params[idx] = orig + eps;
+                mlp.read_params(&params);
+                let up = quadratic_loss(&mlp, &x);
+                params[idx] = orig - eps;
+                mlp.read_params(&params);
+                let down = quadratic_loss(&mlp, &x);
+                params[idx] = orig;
+                mlp.read_params(&params);
+                let numeric = (up - down) / (2.0 * eps);
+                assert!(
+                    (numeric - analytic[idx]).abs() < 1e-5,
+                    "{activation:?} param {idx}: numeric {numeric} vs analytic {}",
+                    analytic[idx]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policy_default_shape_matches_paper() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::policy_default(8, 72, &mut rng);
+        assert_eq!(mlp.input_dim(), 8);
+        assert_eq!(mlp.output_dim(), 72);
+        // 8·256 + 256 + 256·256 + 256 + 256·72 + 72
+        assert_eq!(mlp.num_params(), 8 * 256 + 256 + 256 * 256 + 256 + 256 * 72 + 72);
+        // Small final layer => near-zero initial outputs.
+        let out = mlp.forward_one(&[0.3; 8]);
+        assert!(out.iter().all(|v| v.abs() < 0.5));
+    }
+
+    #[test]
+    fn params_roundtrip_preserves_outputs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&[3, 6, 2], Activation::Tanh, &mut rng);
+        let v = mlp.params_vec();
+        let mut clone = Mlp::new(&[3, 6, 2], Activation::Tanh, &mut rng);
+        clone.read_params(&v);
+        let x = [0.1, -0.2, 0.9];
+        assert_eq!(mlp.forward_one(&x), clone.forward_one(&x));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mlp = Mlp::new(&[2, 4, 1], Activation::Tanh, &mut rng);
+        let json = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&json).unwrap();
+        assert_eq!(mlp, back);
+    }
+
+    #[test]
+    fn batch_forward_matches_per_sample() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mlp = Mlp::new(&[3, 5, 2], Activation::Tanh, &mut rng);
+        let rows = [vec![0.1, 0.2, 0.3], vec![-1.0, 0.5, 0.0]];
+        let batch = Tensor::from_vec(2, 3, rows.concat());
+        let y = mlp.forward(&batch);
+        for (i, r) in rows.iter().enumerate() {
+            let single = mlp.forward_one(r);
+            for (a, b) in y.row(i).iter().zip(single.iter()) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! A minimal 2-D tensor for batched MLP math.
+//!
+//! Row-major `f64` storage, shape `(rows, cols)`; rows are batch samples.
+//! Three matmul variants cover forward and backward passes without
+//! materializing transposes:
+//!
+//! * [`Tensor::matmul`] — `A·B`,
+//! * [`Tensor::matmul_tn`] — `Aᵀ·B` (weight gradients `xᵀ·∂y`),
+//! * [`Tensor::matmul_nt`] — `A·Bᵀ` (input gradients `∂y·Wᵀ`).
+
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major 2-D tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Tensor {
+    /// Zero-filled tensor.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "tensor shape mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// A single-row tensor viewing one observation/action vector.
+    pub fn from_row(v: &[f64]) -> Self {
+        Self::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// Number of rows (batch dimension).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (feature dimension).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// `A·B`: `(r×k)·(k×c) → (r×c)`, ikj loop order (cache-friendly for
+    /// row-major operands).
+    pub fn matmul(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.rows, "matmul dims");
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `Aᵀ·B`: `(k×r)ᵀ·(k×c) → (r×c)` without materializing `Aᵀ`.
+    pub fn matmul_tn(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.rows, rhs.rows, "matmul_tn dims");
+        let mut out = Tensor::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &aki) in a_row.iter().enumerate() {
+                if aki == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aki * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `A·Bᵀ`: `(r×k)·(c×k)ᵀ → (r×c)` without materializing `Bᵀ`.
+    pub fn matmul_nt(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!(self.cols, rhs.cols, "matmul_nt dims");
+        let mut out = Tensor::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Adds a bias row-vector to every row.
+    pub fn add_row_broadcast(&mut self, bias: &[f64]) {
+        assert_eq!(bias.len(), self.cols, "bias dims");
+        for i in 0..self.rows {
+            for (v, &b) in self.row_mut(i).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Applies `f` entry-wise, in place.
+    pub fn map_inplace<F: FnMut(f64) -> f64>(&mut self, mut f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Entry-wise product, in place (`self *= other`).
+    pub fn hadamard_inplace(&mut self, other: &Tensor) {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+    }
+
+    /// Column sums (bias gradients).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(i)) {
+                *o += v;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_variants_agree_with_explicit_transposes() {
+        let a = Tensor::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec(2, 3, vec![7., 8., 9., 10., 11., 12.]);
+        // a^T (3x2) * b (2x3) = 3x3
+        let tn = a.matmul_tn(&b);
+        assert_eq!(tn.rows(), 3);
+        assert_eq!(tn.get(0, 0), 1. * 7. + 4. * 10.);
+        assert_eq!(tn.get(2, 1), 3. * 8. + 6. * 11.);
+        // a (2x3) * b^T (3x2) = 2x2
+        let nt = a.matmul_nt(&b);
+        assert_eq!(nt.get(0, 0), 1. * 7. + 2. * 8. + 3. * 9.);
+        assert_eq!(nt.get(1, 1), 4. * 10. + 5. * 11. + 6. * 12.);
+    }
+
+    #[test]
+    fn broadcast_and_colsums() {
+        let mut a = Tensor::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, -2.0]);
+        assert_eq!(a.get(2, 0), 1.0);
+        assert_eq!(a.get(0, 1), -2.0);
+        let s = a.col_sums();
+        assert_eq!(s, vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn map_and_hadamard() {
+        let mut a = Tensor::from_vec(1, 3, vec![1.0, -1.0, 2.0]);
+        a.map_inplace(|v| v * v);
+        assert_eq!(a.as_slice(), &[1.0, 1.0, 4.0]);
+        let b = Tensor::from_vec(1, 3, vec![2.0, 3.0, 0.5]);
+        a.hadamard_inplace(&b);
+        assert_eq!(a.as_slice(), &[2.0, 3.0, 2.0]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Crate-level property tests for the neural-network substrate.
+
+use mflb_nn::{clip_grad_norm, Activation, Adam, DiagGaussian, Mlp, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Full-network gradient check on random shapes, inputs and seeds:
+    /// backprop must match central finite differences everywhere.
+    #[test]
+    fn random_network_gradient_check(
+        seed in 0u64..200,
+        hidden in 2usize..10,
+        batch in 1usize..4,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&[3, hidden, 2], Activation::Tanh, &mut rng);
+        let x = Tensor::from_vec(
+            batch,
+            3,
+            (0..batch * 3).map(|i| ((i as f64) * 1.37 + seed as f64).sin()).collect(),
+        );
+        let cache = mlp.forward_cached(&x);
+        let grad_out = cache.output().clone();
+        let analytic = mlp.backward(&cache, &grad_out);
+        let loss = |m: &Mlp| -> f64 {
+            m.forward(&x).as_slice().iter().map(|v| v * v).sum::<f64>() / 2.0
+        };
+        let mut params = mlp.params_vec();
+        let eps = 1e-6;
+        // Check a handful of random-ish indices.
+        for idx in (0..params.len()).step_by((params.len() / 7).max(1)) {
+            let orig = params[idx];
+            params[idx] = orig + eps;
+            mlp.read_params(&params);
+            let up = loss(&mlp);
+            params[idx] = orig - eps;
+            mlp.read_params(&params);
+            let down = loss(&mlp);
+            params[idx] = orig;
+            mlp.read_params(&params);
+            let numeric = (up - down) / (2.0 * eps);
+            prop_assert!((numeric - analytic[idx]).abs() < 1e-5,
+                "param {idx}: numeric {numeric} vs analytic {}", analytic[idx]);
+        }
+    }
+
+    /// Gaussian log-probabilities integrate sensibly: the density at the
+    /// mean dominates, and log_prob is symmetric around the mean.
+    #[test]
+    fn gaussian_symmetry(
+        mean in -3.0f64..3.0,
+        log_std in -1.5f64..1.0,
+        offset in 0.01f64..2.0,
+    ) {
+        let m = [mean];
+        let ls = [log_std];
+        let g = DiagGaussian::new(&m, &ls);
+        let up = g.log_prob(&[mean + offset]);
+        let down = g.log_prob(&[mean - offset]);
+        prop_assert!((up - down).abs() < 1e-10);
+        prop_assert!(g.log_prob(&[mean]) >= up);
+    }
+
+    /// Adam converges on random strongly convex quadratics.
+    #[test]
+    fn adam_minimizes_random_quadratic(seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let target: Vec<f64> = (0..4).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let curv: Vec<f64> = (0..4).map(|_| rng.gen_range(0.5..3.0)).collect();
+        let mut x = vec![0.0; 4];
+        let mut opt = Adam::new(4, 0.05);
+        for _ in 0..3_000 {
+            let grads: Vec<f64> = x
+                .iter()
+                .zip(&target)
+                .zip(&curv)
+                .map(|((xi, t), c)| 2.0 * c * (xi - t))
+                .collect();
+            opt.step(&mut x, &grads);
+        }
+        for (xi, t) in x.iter().zip(&target) {
+            prop_assert!((xi - t).abs() < 1e-2, "{xi} vs {t}");
+        }
+    }
+
+    /// Gradient clipping never increases the norm and preserves direction.
+    #[test]
+    fn clip_preserves_direction(
+        g in proptest::collection::vec(-5.0f64..5.0, 2..12),
+        max_norm in 0.1f64..10.0,
+    ) {
+        let mut clipped = g.clone();
+        clip_grad_norm(&mut clipped, max_norm);
+        let norm: f64 = clipped.iter().map(|v| v * v).sum::<f64>().sqrt();
+        prop_assert!(norm <= max_norm + 1e-9);
+        // Direction preserved: all components share sign and ratio.
+        let orig_norm: f64 = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if orig_norm > max_norm {
+            let scale = max_norm / orig_norm;
+            for (c, o) in clipped.iter().zip(&g) {
+                prop_assert!((c - o * scale).abs() < 1e-9);
+            }
+        } else {
+            prop_assert_eq!(&clipped, &g);
+        }
+    }
+
+    /// Tensor matmul identities: (A·B)·C == A·(B·C) for random chains.
+    #[test]
+    fn matmul_associativity(
+        a_vals in proptest::collection::vec(-1.0f64..1.0, 6),
+        b_vals in proptest::collection::vec(-1.0f64..1.0, 6),
+        c_vals in proptest::collection::vec(-1.0f64..1.0, 4),
+    ) {
+        let a = Tensor::from_vec(2, 3, a_vals);
+        let b = Tensor::from_vec(3, 2, b_vals);
+        let c = Tensor::from_vec(2, 2, c_vals);
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (l, r) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((l - r).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Load-balancing policies for the delayed-information system.
+//!
+//! * [`rules`] — classical decision rules: JSQ(d) (Eq. 34), RND (Eq. 35),
+//!   SED(d) over composite heterogeneous states;
+//! * [`softmin`] — the softmin(β) family interpolating RND ↔ JSQ with a
+//!   deterministic β optimizer in the mean-field MDP (ablation + learned-
+//!   policy stand-in);
+//! * [`upper`] — the neural upper-level policy π̃ (Fig. 2) with JSON
+//!   checkpointing.
+//!
+//! All policies implement [`mflb_core::mdp::UpperPolicy`] and therefore run
+//! unchanged in the mean-field MDP *and* in the finite `N,M` simulator
+//! (`mflb-sim`), exactly as in the paper's evaluation.
+
+pub mod rules;
+pub mod softmin;
+pub mod upper;
+
+pub use rules::{composite_decode, composite_index, jsq_rule, rnd_rule, sed_rule};
+pub use softmin::{optimize_beta, softmin_rule, BetaSearchResult, SoftminPolicy};
+pub use upper::{
+    action_dim, encode_observation, observation_dim, NeuralUpperPolicy, PolicyCheckpoint,
+};

@@ -1,0 +1,146 @@
+//! Classical load-balancing decision rules.
+//!
+//! All rules are expressed as [`DecisionRule`] tables over the observed
+//! (stale) states of the `d` sampled queues, exactly as applied by the
+//! paper's finite-system clients and mean-field baselines:
+//!
+//! * [`jsq_rule`] — Join-the-Shortest-Queue over the sample (MF-JSQ(d),
+//!   Eq. 34): route to an argmin of the observed queue lengths, ties split
+//!   uniformly,
+//! * [`rnd_rule`] — uniform random choice among the `d` samples (MF-RND,
+//!   Eq. 35),
+//! * [`sed_rule`] — Shortest-Expected-Delay for heterogeneous pools over
+//!   *composite* states `(queue length, rate class)`; with a single class
+//!   it coincides with JSQ (tested).
+
+use mflb_core::DecisionRule;
+
+/// MF-JSQ(d): probability `1/|argmin|` on each observed minimum (Eq. 34).
+pub fn jsq_rule(num_states: usize, d: usize) -> DecisionRule {
+    DecisionRule::from_fn(num_states, d, |tuple| {
+        let min = *tuple.iter().min().expect("d >= 1");
+        let n_min = tuple.iter().filter(|&&z| z == min).count() as f64;
+        tuple
+            .iter()
+            .map(|&z| if z == min { 1.0 / n_min } else { 0.0 })
+            .collect()
+    })
+}
+
+/// MF-RND: uniform over the `d` sampled queues (Eq. 35).
+pub fn rnd_rule(num_states: usize, d: usize) -> DecisionRule {
+    DecisionRule::uniform(num_states, d)
+}
+
+/// Encodes a composite heterogeneous state `(queue length z, rate class c)`
+/// into a single index `c·(B+1) + z` for rule tables over composite states.
+pub fn composite_index(z: usize, class: usize, num_queue_states: usize) -> usize {
+    class * num_queue_states + z
+}
+
+/// Decodes a composite index back into `(queue length, rate class)`.
+pub fn composite_decode(idx: usize, num_queue_states: usize) -> (usize, usize) {
+    (idx % num_queue_states, idx / num_queue_states)
+}
+
+/// SED(d) for heterogeneous pools: route to the sampled queue minimizing
+/// the expected delay `(z + 1)/α_class`, ties split uniformly.
+///
+/// The rule operates on composite states (see [`composite_index`]); the
+/// table therefore has `(num_queue_states · class_rates.len())^d` rows.
+pub fn sed_rule(num_queue_states: usize, d: usize, class_rates: &[f64]) -> DecisionRule {
+    assert!(!class_rates.is_empty());
+    assert!(class_rates.iter().all(|&r| r > 0.0));
+    let composite_states = num_queue_states * class_rates.len();
+    DecisionRule::from_fn(composite_states, d, |tuple| {
+        let delays: Vec<f64> = tuple
+            .iter()
+            .map(|&idx| {
+                let (z, c) = composite_decode(idx, num_queue_states);
+                (z as f64 + 1.0) / class_rates[c]
+            })
+            .collect();
+        let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
+        let n_min = delays.iter().filter(|&&x| (x - min).abs() < 1e-12).count() as f64;
+        delays
+            .iter()
+            .map(|&x| if (x - min).abs() < 1e-12 { 1.0 / n_min } else { 0.0 })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsq_routes_to_unique_minimum() {
+        let r = jsq_rule(6, 2);
+        assert_eq!(r.prob(&[0, 5], 0), 1.0);
+        assert_eq!(r.prob(&[5, 0], 1), 1.0);
+        assert_eq!(r.prob(&[3, 4], 0), 1.0);
+    }
+
+    #[test]
+    fn jsq_splits_ties_uniformly() {
+        let r = jsq_rule(6, 3);
+        // Two minima among three samples.
+        assert!((r.prob(&[2, 2, 5], 0) - 0.5).abs() < 1e-12);
+        assert!((r.prob(&[2, 2, 5], 1) - 0.5).abs() < 1e-12);
+        assert_eq!(r.prob(&[2, 2, 5], 2), 0.0);
+        // Full tie.
+        for u in 0..3 {
+            assert!((r.prob(&[1, 1, 1], u) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rnd_is_uniform_everywhere() {
+        let r = rnd_rule(6, 2);
+        for row in 0..r.num_rows() {
+            assert!((r.prob_by_row(row, 0) - 0.5).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn composite_roundtrip() {
+        let zs = 6;
+        for c in 0..3 {
+            for z in 0..zs {
+                let idx = composite_index(z, c, zs);
+                assert_eq!(composite_decode(idx, zs), (z, c));
+            }
+        }
+    }
+
+    #[test]
+    fn sed_single_class_equals_jsq() {
+        let sed = sed_rule(6, 2, &[1.0]);
+        let jsq = jsq_rule(6, 2);
+        assert!(sed.max_abs_diff(&jsq) < 1e-12);
+    }
+
+    #[test]
+    fn sed_prefers_fast_server_with_longer_queue() {
+        // Classes: 0 fast (α = 2), 1 slow (α = 0.5).
+        let zs = 6;
+        let sed = sed_rule(zs, 2, &[2.0, 0.5]);
+        // Fast server with 2 jobs: delay 1.5; slow empty server: delay 2.
+        let fast2 = composite_index(2, 0, zs);
+        let slow0 = composite_index(0, 1, zs);
+        assert_eq!(sed.prob(&[fast2, slow0], 0), 1.0);
+        // JSQ on raw lengths would pick the empty one — opposite choice.
+        let jsq = jsq_rule(zs, 2);
+        assert_eq!(jsq.prob(&[2, 0], 1), 1.0);
+    }
+
+    #[test]
+    fn sed_ties_split() {
+        let zs = 4;
+        let sed = sed_rule(zs, 2, &[1.0, 2.0]);
+        // (z=1, fast class 0): delay 2; (z=3, class 1): delay 2 — tie.
+        let a = composite_index(1, 0, zs);
+        let b = composite_index(3, 1, zs);
+        assert!((sed.prob(&[a, b], 0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,189 @@
+//! The learned upper-level policy: a neural network mapping the mean-field
+//! state `(ν_t, λ_t)` to decision-rule logits (Fig. 2).
+//!
+//! Observation encoding: the `B+1` probabilities of `ν_t` concatenated with
+//! a one-hot encoding of the arrival level. Action decoding: the network's
+//! `|Z|^d·d` outputs are treated as logits and row-softmax-normalized into
+//! a [`DecisionRule`] ("manual normalization", §4 — the Dirichlet head the
+//! authors tried performed worse).
+//!
+//! At evaluation time the policy is deterministic (the Gaussian
+//! exploration noise used during PPO training is dropped and the mean
+//! logits are used directly), matching how the paper deploys the trained
+//! MF policy in finite systems (Algorithm 1).
+
+use mflb_core::mdp::UpperPolicy;
+use mflb_core::{DecisionRule, StateDist};
+use mflb_nn::Mlp;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+// Canonical encoders live in `mflb_core::mdp` so the RL environment and the
+// deployed policy can never drift apart; re-exported here for convenience.
+pub use mflb_core::mdp::{action_dim, encode_observation, observation_dim};
+
+/// A trained policy checkpoint: network weights plus the shape metadata
+/// needed to rebuild the decision-rule decoding, and provenance fields.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyCheckpoint {
+    /// The policy network.
+    pub net: Mlp,
+    /// Number of queue states `|Z| = B+1`.
+    pub num_states: usize,
+    /// Number of sampled queues d.
+    pub d: usize,
+    /// Number of arrival levels `|Λ|`.
+    pub num_levels: usize,
+    /// Synchronization delay the policy was trained for.
+    pub dt: f64,
+    /// Free-form provenance (training steps, date, config hash …).
+    pub meta: String,
+}
+
+/// The neural upper-level policy π̃.
+#[derive(Debug, Clone)]
+pub struct NeuralUpperPolicy {
+    net: Mlp,
+    num_states: usize,
+    d: usize,
+    num_levels: usize,
+    name: String,
+}
+
+impl NeuralUpperPolicy {
+    /// Wraps a network; the network's input/output dims must match the
+    /// encoding implied by `(num_states, d, num_levels)`.
+    pub fn new(net: Mlp, num_states: usize, d: usize, num_levels: usize) -> Self {
+        assert_eq!(
+            net.input_dim(),
+            observation_dim(num_states, num_levels),
+            "network input dim mismatch"
+        );
+        assert_eq!(net.output_dim(), action_dim(num_states, d), "network output dim mismatch");
+        Self { net, num_states, d, num_levels, name: "MF (learned)".into() }
+    }
+
+    /// Builds from a checkpoint.
+    pub fn from_checkpoint(ckpt: PolicyCheckpoint) -> Self {
+        Self::new(ckpt.net, ckpt.num_states, ckpt.d, ckpt.num_levels)
+    }
+
+    /// Loads a checkpoint from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path.as_ref())
+            .map_err(|e| format!("read {}: {e}", path.as_ref().display()))?;
+        let ckpt: PolicyCheckpoint =
+            serde_json::from_str(&text).map_err(|e| format!("parse checkpoint: {e}"))?;
+        Ok(Self::from_checkpoint(ckpt))
+    }
+
+    /// Saves the policy as a checkpoint JSON file.
+    pub fn save(&self, path: impl AsRef<Path>, dt: f64, meta: impl Into<String>) -> Result<(), String> {
+        let ckpt = PolicyCheckpoint {
+            net: self.net.clone(),
+            num_states: self.num_states,
+            d: self.d,
+            num_levels: self.num_levels,
+            dt,
+            meta: meta.into(),
+        };
+        let text = serde_json::to_string(&ckpt).map_err(|e| format!("serialize: {e}"))?;
+        std::fs::write(path.as_ref(), text)
+            .map_err(|e| format!("write {}: {e}", path.as_ref().display()))
+    }
+
+    /// Access to the wrapped network (e.g. for continued training).
+    pub fn net(&self) -> &Mlp {
+        &self.net
+    }
+
+    /// Renames the policy (harness labels).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+impl UpperPolicy for NeuralUpperPolicy {
+    fn decide(&self, dist: &StateDist, lambda_idx: usize, _lambda: f64) -> DecisionRule {
+        let obs = encode_observation(dist, lambda_idx, self.num_levels);
+        let logits = self.net.forward_one(&obs);
+        DecisionRule::from_logits(self.num_states, self.d, &logits)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mflb_nn::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_policy() -> NeuralUpperPolicy {
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = observation_dim(6, 2);
+        let act = action_dim(6, 2);
+        let net = Mlp::new(&[obs, 16, act], Activation::Tanh, &mut rng);
+        NeuralUpperPolicy::new(net, 6, 2, 2)
+    }
+
+    #[test]
+    fn observation_encoding_layout() {
+        let dist = StateDist::new(vec![0.5, 0.2, 0.1, 0.1, 0.05, 0.05]);
+        let obs = encode_observation(&dist, 1, 2);
+        assert_eq!(obs.len(), 8);
+        assert_eq!(&obs[..6], dist.as_slice());
+        assert_eq!(&obs[6..], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn decide_returns_valid_rule_and_is_deterministic() {
+        let p = tiny_policy();
+        let dist = StateDist::all_empty(5);
+        let a = p.decide(&dist, 0, 0.9);
+        let b = p.decide(&dist, 0, 0.9);
+        assert!(a.max_abs_diff(&b) < 1e-15);
+        for row in 0..a.num_rows() {
+            let mass: f64 = a.row(row).iter().sum();
+            assert!((mass - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn different_lambda_levels_can_change_the_rule() {
+        let p = tiny_policy();
+        let dist = StateDist::uniform(5);
+        let a = p.decide(&dist, 0, 0.9);
+        let b = p.decide(&dist, 1, 0.6);
+        // A random net almost surely produces different logits for
+        // different one-hot inputs.
+        assert!(a.max_abs_diff(&b) > 1e-9);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_decisions() {
+        let p = tiny_policy();
+        let dir = std::env::temp_dir().join("mflb_test_ckpt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("policy.json");
+        p.save(&path, 5.0, "unit-test").unwrap();
+        let q = NeuralUpperPolicy::load(&path).unwrap();
+        let dist = StateDist::new(vec![0.3, 0.3, 0.2, 0.1, 0.05, 0.05]);
+        let a = p.decide(&dist, 1, 0.6);
+        let b = q.decide(&dist, 1, 0.6);
+        assert!(a.max_abs_diff(&b) < 1e-15);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "output dim mismatch")]
+    fn rejects_wrong_network_shape() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Mlp::new(&[8, 4, 10], Activation::Tanh, &mut rng);
+        NeuralUpperPolicy::new(net, 6, 2, 2);
+    }
+}

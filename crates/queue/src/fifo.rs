@@ -1,0 +1,239 @@
+//! Job-level FIFO queue with sojourn-time tracking.
+//!
+//! The headline objective of the paper is the drop count, for which the
+//! birth–death abstraction suffices. This module keeps *individual jobs*
+//! so response times (sojourn = waiting + service) can be measured — the
+//! metric motivating the introduction ("higher response times … job
+//! drops") and the natural extension metric for the examples.
+//!
+//! Service is exponential and memoryless, so the queue-length process of
+//! [`FifoQueue`] coincides in law with [`crate::birth_death`]; the tests
+//! exploit that for cross-validation.
+
+use crate::sampler::Sampler;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// A finite-buffer FIFO queue tracking per-job arrival times.
+#[derive(Debug, Clone)]
+pub struct FifoQueue {
+    /// Service rate of the single server.
+    pub service_rate: f64,
+    /// Buffer capacity (maximum number of jobs in the system).
+    pub buffer: usize,
+    /// Arrival time of each job currently in the system, oldest first.
+    jobs: VecDeque<f64>,
+    /// Current absolute time of the queue's local clock.
+    clock: f64,
+}
+
+/// Statistics gathered while running a [`FifoQueue`] over an interval.
+#[derive(Debug, Clone, Default)]
+pub struct FifoStats {
+    /// Completed jobs' sojourn times (arrival to departure).
+    pub sojourn_times: Vec<f64>,
+    /// Number of jobs dropped because the buffer was full on arrival.
+    pub drops: u64,
+    /// Number of jobs accepted.
+    pub accepted: u64,
+    /// Number of jobs completed.
+    pub completed: u64,
+}
+
+impl FifoStats {
+    /// Mean sojourn time of completed jobs (0 if none completed).
+    pub fn mean_sojourn(&self) -> f64 {
+        if self.sojourn_times.is_empty() {
+            0.0
+        } else {
+            self.sojourn_times.iter().sum::<f64>() / self.sojourn_times.len() as f64
+        }
+    }
+
+    /// Merges another stats block into this one.
+    pub fn merge(&mut self, other: FifoStats) {
+        self.sojourn_times.extend(other.sojourn_times);
+        self.drops += other.drops;
+        self.accepted += other.accepted;
+        self.completed += other.completed;
+    }
+}
+
+impl FifoQueue {
+    /// Creates an empty queue.
+    pub fn new(service_rate: f64, buffer: usize) -> Self {
+        assert!(service_rate >= 0.0 && service_rate.is_finite());
+        assert!(buffer >= 1);
+        Self { service_rate, buffer, jobs: VecDeque::new(), clock: 0.0 }
+    }
+
+    /// Current number of jobs in the system.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` iff the queue holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Current local clock.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Seeds the queue with `n` jobs that arrived "just now" (used to start
+    /// epochs from a prescribed queue length).
+    pub fn preload(&mut self, n: usize) {
+        assert!(n <= self.buffer);
+        self.jobs.clear();
+        for _ in 0..n {
+            self.jobs.push_back(self.clock);
+        }
+    }
+
+    /// Runs the queue for `dt` time units with Poisson arrivals at `rate`,
+    /// exactly (event-driven, exponential clocks).
+    pub fn run_epoch<R: Rng + ?Sized>(&mut self, rate: f64, dt: f64, rng: &mut R) -> FifoStats {
+        assert!(rate >= 0.0 && dt >= 0.0);
+        let mut stats = FifoStats::default();
+        let end = self.clock + dt;
+        loop {
+            let service = if self.jobs.is_empty() { 0.0 } else { self.service_rate };
+            let total = rate + service;
+            if total <= 0.0 {
+                break;
+            }
+            let dt_next = Sampler::exponential(rng, total);
+            if self.clock + dt_next > end {
+                break;
+            }
+            self.clock += dt_next;
+            if rng.gen::<f64>() * total < rate {
+                // Arrival.
+                if self.jobs.len() == self.buffer {
+                    stats.drops += 1;
+                } else {
+                    self.jobs.push_back(self.clock);
+                    stats.accepted += 1;
+                }
+            } else {
+                // FIFO departure of the oldest job.
+                let arrived = self.jobs.pop_front().expect("service fired on empty queue");
+                stats.sojourn_times.push(self.clock - arrived);
+                stats.completed += 1;
+            }
+        }
+        self.clock = end;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::birth_death::BirthDeathQueue;
+    use mflb_linalg::stats::Summary;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conservation_of_jobs() {
+        let mut q = FifoQueue::new(1.0, 5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = q.len();
+        let stats = q.run_epoch(0.8, 50.0, &mut rng);
+        assert_eq!(
+            q.len() as i64,
+            start as i64 + stats.accepted as i64 - stats.completed as i64
+        );
+    }
+
+    #[test]
+    fn sojourn_times_positive_and_fifo_ordered_departures() {
+        let mut q = FifoQueue::new(1.5, 8);
+        let mut rng = StdRng::seed_from_u64(2);
+        let stats = q.run_epoch(1.0, 200.0, &mut rng);
+        assert!(stats.completed > 50);
+        for &s in &stats.sojourn_times {
+            assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn queue_length_law_matches_birth_death() {
+        // Same (λ, α, B): the end-of-epoch length distribution must match
+        // the birth-death model statistically.
+        let (lam, alpha, b, dt) = (0.9, 1.0, 5usize, 4.0);
+        let bd = BirthDeathQueue::new(lam, alpha, b);
+        let (analytic, _) = bd.epoch_expectation(0, dt);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n_runs = 100_000;
+        let mut counts = vec![0.0; b + 1];
+        for _ in 0..n_runs {
+            let mut q = FifoQueue::new(alpha, b);
+            q.run_epoch(lam, dt, &mut rng);
+            counts[q.len()] += 1.0;
+        }
+        for c in &mut counts {
+            *c /= n_runs as f64;
+        }
+        for (e, a) in counts.iter().zip(analytic.iter()) {
+            assert!((e - a).abs() < 6e-3, "{e} vs {a}");
+        }
+    }
+
+    #[test]
+    fn mean_sojourn_matches_littles_law_in_steady_state() {
+        // Little's law on the accepted stream: E[L] = λ_eff · E[W].
+        let (lam, alpha, b) = (0.7, 1.0, 10usize);
+        let mut q = FifoQueue::new(alpha, b);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Warm-up to approach stationarity.
+        q.run_epoch(lam, 500.0, &mut rng);
+        let mut stats = FifoStats::default();
+        let mut area = 0.0; // time-integral of queue length, via sampling
+        let samples = 40_000;
+        let step = 0.25;
+        for _ in 0..samples {
+            stats.merge(q.run_epoch(lam, step, &mut rng));
+            area += q.len() as f64;
+        }
+        let mean_len = area / samples as f64;
+        let horizon = samples as f64 * step;
+        let lam_eff = stats.accepted as f64 / horizon;
+        let lhs = mean_len;
+        let rhs = lam_eff * stats.mean_sojourn();
+        assert!((lhs - rhs).abs() < 0.1 * lhs.max(0.1), "L {lhs} vs λW {rhs}");
+    }
+
+    #[test]
+    fn preload_sets_length() {
+        let mut q = FifoQueue::new(1.0, 6);
+        q.preload(4);
+        assert_eq!(q.len(), 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let stats = q.run_epoch(0.0, 100.0, &mut rng);
+        assert_eq!(stats.completed, 4);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heavier_load_gives_longer_sojourns() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut means = Vec::new();
+        for &lam in &[0.3, 0.8] {
+            let mut q = FifoQueue::new(1.0, 20);
+            q.run_epoch(lam, 300.0, &mut rng); // warm-up
+            let mut s = Summary::new();
+            for _ in 0..200 {
+                let st = q.run_epoch(lam, 10.0, &mut rng);
+                for v in st.sojourn_times {
+                    s.push(v);
+                }
+            }
+            means.push(s.mean());
+        }
+        assert!(means[1] > means[0], "sojourn must grow with load: {means:?}");
+    }
+}

@@ -1,0 +1,175 @@
+//! Deterministic fluid (large-buffer) approximation of a queue — the
+//! paper's §5 note that "real-valued approximations of the queue states as
+//! B ≫ 1" would help scaling.
+//!
+//! For a queue with arrival rate `λ` and service rate `α`, the fluid level
+//! `x(τ) ∈ [0, B]` follows
+//!
+//! ```text
+//! ẋ = λ − α·1{x > 0}   clipped to [0, B],
+//! ```
+//!
+//! with overflow `λ − α` accumulating as drops while `x = B` and `λ > α`.
+//! Between boundary hits the dynamics are affine, so the epoch can be
+//! integrated **exactly** piecewise — no ODE solver needed. The fluid
+//! model is the `B → ∞`-style limit of the CTMC in the law-of-large-
+//! numbers scaling; tests verify it bounds/approximates the CTMC's mean
+//! behaviour for large buffers and heavy loads.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of one fluid epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluidEpoch {
+    /// Fluid level at the end of the epoch.
+    pub final_level: f64,
+    /// Fluid volume lost to overflow during the epoch.
+    pub drops: f64,
+    /// Time-integral of the level over the epoch (for holding costs /
+    /// Little's-law estimates).
+    pub level_integral: f64,
+}
+
+/// Exactly integrates the fluid queue from `level` for `dt` time units
+/// with constant rates.
+///
+/// # Panics
+/// Panics on negative inputs or `level > buffer`.
+pub fn fluid_epoch(level: f64, arrival: f64, service: f64, buffer: f64, dt: f64) -> FluidEpoch {
+    assert!(level >= 0.0 && level <= buffer + 1e-12, "level out of range");
+    assert!(arrival >= 0.0 && service >= 0.0 && buffer > 0.0 && dt >= 0.0);
+    let mut x = level.min(buffer);
+    let mut t = 0.0;
+    let mut drops = 0.0;
+    let mut integral = 0.0;
+    let net = arrival - service;
+
+    while t < dt {
+        let remaining = dt - t;
+        if x <= 0.0 && arrival <= service {
+            // Stuck at empty: level stays 0 (served as it arrives).
+            return FluidEpoch { final_level: 0.0, drops, level_integral: integral };
+        }
+        if x >= buffer && net >= 0.0 {
+            // Stuck at full: overflow at rate net for the rest of the epoch.
+            drops += net * remaining;
+            integral += buffer * remaining;
+            return FluidEpoch { final_level: buffer, drops, level_integral: integral };
+        }
+        // Interior affine segment: find the next boundary hit.
+        let slope = if x > 0.0 || net > 0.0 { net } else { 0.0 };
+        if slope == 0.0 {
+            integral += x * remaining;
+            return FluidEpoch { final_level: x, drops, level_integral: integral };
+        }
+        let hit = if slope > 0.0 { (buffer - x) / slope } else { -x / slope };
+        let seg = hit.min(remaining);
+        integral += x * seg + 0.5 * slope * seg * seg;
+        x += slope * seg;
+        x = x.clamp(0.0, buffer);
+        t += seg;
+    }
+    FluidEpoch { final_level: x, drops, level_integral: integral }
+}
+
+/// Long-run fluid drop rate: `max(λ − α, 0)` once the buffer is saturated,
+/// 0 otherwise (the classic fluid loss formula).
+pub fn fluid_loss_rate(arrival: f64, service: f64) -> f64 {
+    (arrival - service).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::birth_death::BirthDeathQueue;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn drains_exactly_when_idle() {
+        // x0 = 3, λ = 0, α = 1: empties after exactly 3 time units.
+        let e = fluid_epoch(3.0, 0.0, 1.0, 10.0, 5.0);
+        assert_eq!(e.final_level, 0.0);
+        assert_eq!(e.drops, 0.0);
+        // Integral: triangle 3·3/2 = 4.5.
+        assert!((e.level_integral - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fills_and_overflows() {
+        // x0 = 0, λ = 2, α = 1, B = 3: fills in 3 units, then overflows at
+        // rate 1 for the remaining 2 units.
+        let e = fluid_epoch(0.0, 2.0, 1.0, 3.0, 5.0);
+        assert_eq!(e.final_level, 3.0);
+        assert!((e.drops - 2.0).abs() < 1e-12);
+        // Integral: ramp (0..3 over 3u) = 4.5, plateau 3·2 = 6.
+        assert!((e.level_integral - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balanced_rates_hold_level() {
+        let e = fluid_epoch(2.0, 1.0, 1.0, 5.0, 4.0);
+        assert!((e.final_level - 2.0).abs() < 1e-12);
+        assert_eq!(e.drops, 0.0);
+        assert!((e.level_integral - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_rate_formula() {
+        assert_eq!(fluid_loss_rate(0.8, 1.0), 0.0);
+        assert!((fluid_loss_rate(1.4, 1.0) - 0.4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn approximates_ctmc_mean_for_large_buffer_overload() {
+        // Heavy overload, large buffer: CTMC mean drops per epoch approach
+        // the fluid prediction (law of large numbers in the rates).
+        let (lam, alpha, b, dt) = (30.0, 10.0, 200usize, 20.0);
+        let fluid = fluid_epoch(0.0, lam, alpha, b as f64, dt);
+        let q = BirthDeathQueue::new(lam, alpha, b);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut drops = 0.0;
+        let mut level = 0.0;
+        let runs = 400;
+        for _ in 0..runs {
+            let o = q.simulate_epoch(0, dt, &mut rng);
+            drops += o.drops as f64;
+            level += o.final_state as f64;
+        }
+        drops /= runs as f64;
+        level /= runs as f64;
+        // Fluid: fill 200/(30-10)=10u, then overflow 20/u · 10u = 200.
+        assert!((fluid.drops - 200.0).abs() < 1e-9);
+        assert!(
+            (drops - fluid.drops).abs() / fluid.drops < 0.05,
+            "ctmc {drops} vs fluid {}",
+            fluid.drops
+        );
+        assert!(
+            (level - fluid.final_level).abs() < 12.0,
+            "ctmc level {level} vs fluid {}",
+            fluid.final_level
+        );
+    }
+
+    #[test]
+    fn underload_fluid_never_drops_ctmc_rarely() {
+        let e = fluid_epoch(0.0, 0.9, 1.0, 50.0, 100.0);
+        assert_eq!(e.drops, 0.0);
+        assert_eq!(e.final_level, 0.0);
+    }
+
+    #[test]
+    fn epoch_is_time_additive() {
+        // Integrating 2×dt/2 equals one dt pass.
+        let (lam, alpha, b) = (1.7, 1.0, 4.0);
+        let whole = fluid_epoch(1.0, lam, alpha, b, 6.0);
+        let half1 = fluid_epoch(1.0, lam, alpha, b, 3.0);
+        let half2 = fluid_epoch(half1.final_level, lam, alpha, b, 3.0);
+        assert!((whole.final_level - half2.final_level).abs() < 1e-12);
+        assert!((whole.drops - (half1.drops + half2.drops)).abs() < 1e-12);
+        assert!(
+            (whole.level_integral - (half1.level_integral + half2.level_integral)).abs() < 1e-12
+        );
+    }
+}

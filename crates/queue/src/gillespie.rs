@@ -1,0 +1,212 @@
+//! Exact stochastic simulation (Gillespie's direct method) for finite-state
+//! continuous-time Markov chains.
+//!
+//! The paper simulates the finite `N,M` system "exactly by sampling
+//! exponential waiting times for all events according to the Gillespie
+//! algorithm" (§4). This module provides the generic engine; the
+//! specialized per-queue birth–death fast path lives in
+//! [`crate::birth_death`].
+
+use crate::sampler::Sampler;
+use rand::Rng;
+
+/// A finite-state CTMC specification: for every state, the list of
+/// `(target_state, rate)` transitions.
+#[derive(Debug, Clone)]
+pub struct CtmcSpec {
+    transitions: Vec<Vec<(usize, f64)>>,
+}
+
+impl CtmcSpec {
+    /// Creates a spec with `n` states and no transitions.
+    pub fn new(n: usize) -> Self {
+        Self { transitions: vec![Vec::new(); n] }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Adds a transition `from → to` with the given `rate`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range states or a negative/non-finite rate.
+    pub fn add_transition(&mut self, from: usize, to: usize, rate: f64) {
+        assert!(from < self.transitions.len() && to < self.transitions.len());
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be nonnegative");
+        if rate > 0.0 {
+            self.transitions[from].push((to, rate));
+        }
+    }
+
+    /// Outgoing transitions of a state.
+    pub fn transitions_from(&self, state: usize) -> &[(usize, f64)] {
+        &self.transitions[state]
+    }
+
+    /// Total exit rate of a state.
+    pub fn exit_rate(&self, state: usize) -> f64 {
+        self.transitions[state].iter().map(|&(_, r)| r).sum()
+    }
+
+    /// Builds the row-convention generator matrix of this chain.
+    pub fn generator(&self) -> mflb_linalg::Mat {
+        let n = self.num_states();
+        let mut q = mflb_linalg::Mat::zeros(n, n);
+        for (from, outs) in self.transitions.iter().enumerate() {
+            for &(to, rate) in outs {
+                q[(from, to)] += rate;
+                q[(from, from)] -= rate;
+            }
+        }
+        q
+    }
+}
+
+/// One recorded jump of a trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Jump {
+    /// Absolute time of the jump.
+    pub time: f64,
+    /// State entered by the jump.
+    pub to: usize,
+}
+
+/// Simulates the chain exactly from `initial` for `horizon` time units.
+///
+/// Returns the final state and (optionally, if `record` is true) the jump
+/// trajectory.
+pub fn simulate_ctmc<R: Rng + ?Sized>(
+    spec: &CtmcSpec,
+    initial: usize,
+    horizon: f64,
+    rng: &mut R,
+    record: bool,
+) -> (usize, Vec<Jump>) {
+    assert!(initial < spec.num_states(), "initial state out of range");
+    assert!(horizon >= 0.0, "horizon must be nonnegative");
+    let mut state = initial;
+    let mut t = 0.0;
+    let mut jumps = Vec::new();
+    loop {
+        let outs = spec.transitions_from(state);
+        let total: f64 = outs.iter().map(|&(_, r)| r).sum();
+        if total <= 0.0 {
+            break; // absorbing state
+        }
+        t += Sampler::exponential(rng, total);
+        if t > horizon {
+            break;
+        }
+        // Pick the event proportionally to its rate.
+        let mut u = rng.gen::<f64>() * total;
+        let mut next = outs[outs.len() - 1].0;
+        for &(to, rate) in outs {
+            u -= rate;
+            if u <= 0.0 {
+                next = to;
+                break;
+            }
+        }
+        state = next;
+        if record {
+            jumps.push(Jump { time: t, to: state });
+        }
+    }
+    (state, jumps)
+}
+
+/// Estimates the state distribution at `horizon` from `n_runs` exact
+/// simulations (used by the test-suite to cross-validate the analytic
+/// transient solvers).
+pub fn empirical_transient<R: Rng + ?Sized>(
+    spec: &CtmcSpec,
+    initial: usize,
+    horizon: f64,
+    n_runs: usize,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut counts = vec![0.0; spec.num_states()];
+    for _ in 0..n_runs {
+        let (s, _) = simulate_ctmc(spec, initial, horizon, rng, false);
+        counts[s] += 1.0;
+    }
+    for c in &mut counts {
+        *c /= n_runs as f64;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mflb_linalg::transient_distribution;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_state_spec(a: f64, b: f64) -> CtmcSpec {
+        let mut spec = CtmcSpec::new(2);
+        spec.add_transition(0, 1, a);
+        spec.add_transition(1, 0, b);
+        spec
+    }
+
+    #[test]
+    fn generator_rows_sum_to_zero() {
+        let spec = two_state_spec(1.5, 0.7);
+        let q = spec.generator();
+        for i in 0..2 {
+            let s: f64 = q.row(i).iter().sum();
+            assert!(s.abs() < 1e-14);
+        }
+        assert_eq!(q[(0, 1)], 1.5);
+        assert_eq!(q[(1, 0)], 0.7);
+    }
+
+    #[test]
+    fn absorbing_state_stops_simulation() {
+        let mut spec = CtmcSpec::new(2);
+        spec.add_transition(0, 1, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (s, jumps) = simulate_ctmc(&spec, 0, 100.0, &mut rng, true);
+        assert_eq!(s, 1);
+        assert_eq!(jumps.len(), 1);
+        assert_eq!(jumps[0].to, 1);
+    }
+
+    #[test]
+    fn zero_horizon_stays_put() {
+        let spec = two_state_spec(5.0, 5.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let (s, jumps) = simulate_ctmc(&spec, 0, 0.0, &mut rng, true);
+        assert_eq!(s, 0);
+        assert!(jumps.is_empty());
+    }
+
+    #[test]
+    fn empirical_matches_analytic_transient() {
+        // Two-state chain with known transient solution.
+        let (a, b) = (1.0, 2.0);
+        let spec = two_state_spec(a, b);
+        let q = spec.generator();
+        let t = 0.8;
+        let analytic = transient_distribution(&q, &[1.0, 0.0], t, 1e-12).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let empirical = empirical_transient(&spec, 0, t, 200_000, &mut rng);
+        for (e, an) in empirical.iter().zip(analytic.iter()) {
+            assert!((e - an).abs() < 5e-3, "{e} vs {an}");
+        }
+    }
+
+    #[test]
+    fn jump_times_increase() {
+        let spec = two_state_spec(3.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_, jumps) = simulate_ctmc(&spec, 0, 50.0, &mut rng, true);
+        assert!(jumps.len() > 10);
+        for w in jumps.windows(2) {
+            assert!(w[0].time < w[1].time);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Heterogeneous server pools — the paper's §5 extension.
+//!
+//! The main model assumes homogeneous service rate `α`; the discussion
+//! section names heterogeneous rates as a straightforward extension. This
+//! module provides the server-pool description consumed by the SED(d)
+//! policy (`mflb-policy`) and by the heterogeneous mode of the finite
+//! simulator: each server keeps its own rate, and the "expected delay" of
+//! assigning to server `j` in state `z_j` is `(z_j + 1) / α_j`.
+
+use serde::{Deserialize, Serialize};
+
+/// A pool of servers with per-server service rates and a shared buffer
+/// capacity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerPool {
+    rates: Vec<f64>,
+    buffer: usize,
+}
+
+impl ServerPool {
+    /// Creates a homogeneous pool of `m` servers with rate `alpha`.
+    pub fn homogeneous(m: usize, alpha: f64, buffer: usize) -> Self {
+        assert!(m >= 1 && buffer >= 1);
+        assert!(alpha > 0.0 && alpha.is_finite());
+        Self { rates: vec![alpha; m], buffer }
+    }
+
+    /// Creates a pool from explicit per-server rates.
+    pub fn heterogeneous(rates: Vec<f64>, buffer: usize) -> Self {
+        assert!(!rates.is_empty() && buffer >= 1);
+        assert!(rates.iter().all(|&r| r > 0.0 && r.is_finite()));
+        Self { rates, buffer }
+    }
+
+    /// A two-speed pool: `m_fast` servers at `fast` and `m_slow` at `slow`
+    /// (the classic edge-computing setup used in `examples/edge_datacenter`).
+    pub fn two_speed(m_fast: usize, fast: f64, m_slow: usize, slow: f64, buffer: usize) -> Self {
+        let mut rates = vec![fast; m_fast];
+        rates.extend(std::iter::repeat_n(slow, m_slow));
+        Self::heterogeneous(rates, buffer)
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// `true` iff the pool has no servers (never: constructors forbid it).
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Service rate of server `j`.
+    pub fn rate(&self, j: usize) -> f64 {
+        self.rates[j]
+    }
+
+    /// All rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Shared buffer capacity.
+    pub fn buffer(&self) -> usize {
+        self.buffer
+    }
+
+    /// `true` iff every server has the same rate (within `1e-12`).
+    pub fn is_homogeneous(&self) -> bool {
+        let first = self.rates[0];
+        self.rates.iter().all(|&r| (r - first).abs() < 1e-12)
+    }
+
+    /// Expected delay of a new job at server `j` currently holding `z`
+    /// jobs: `(z + 1) / α_j` (the SED criterion).
+    pub fn expected_delay(&self, j: usize, z: usize) -> f64 {
+        (z as f64 + 1.0) / self.rates[j]
+    }
+
+    /// Aggregate service capacity `Σ_j α_j`.
+    pub fn total_capacity(&self) -> f64 {
+        self.rates.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_pool_properties() {
+        let p = ServerPool::homogeneous(10, 1.0, 5);
+        assert_eq!(p.len(), 10);
+        assert!(p.is_homogeneous());
+        assert_eq!(p.total_capacity(), 10.0);
+        assert_eq!(p.buffer(), 5);
+    }
+
+    #[test]
+    fn two_speed_pool() {
+        let p = ServerPool::two_speed(3, 2.0, 7, 0.5, 5);
+        assert_eq!(p.len(), 10);
+        assert!(!p.is_homogeneous());
+        assert_eq!(p.rate(0), 2.0);
+        assert_eq!(p.rate(9), 0.5);
+        assert!((p.total_capacity() - (6.0 + 3.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expected_delay_orders_servers_correctly() {
+        let p = ServerPool::two_speed(1, 2.0, 1, 0.5, 5);
+        // A fast server with 2 jobs beats a slow empty server:
+        // (2+1)/2 = 1.5 < (0+1)/0.5 = 2.
+        assert!(p.expected_delay(0, 2) < p.expected_delay(1, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_rate() {
+        ServerPool::heterogeneous(vec![1.0, 0.0], 5);
+    }
+}

@@ -1,0 +1,205 @@
+//! Markov-modulated arrival-rate process.
+//!
+//! The paper models time-varying load (e.g. day/night traffic) by letting
+//! the arrival-rate parameter `λ_t` follow an independent discrete-time
+//! Markov chain over a finite level set `Λ` (Eq. 1); the experiments use
+//! two levels `(λ_h, λ_l) = (0.9, 0.6)` with switching probabilities
+//! `P(h→l) = 0.2`, `P(l→h) = 0.5` (Eq. 32–33) and a uniform initial level.
+
+use crate::sampler::Sampler;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A discrete-time Markov chain over arrival-rate levels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArrivalProcess {
+    /// The rate value of each level.
+    levels: Vec<f64>,
+    /// Row-stochastic transition kernel `P_λ` between levels.
+    kernel: Vec<Vec<f64>>,
+    /// Initial distribution over levels.
+    initial: Vec<f64>,
+}
+
+impl ArrivalProcess {
+    /// Creates a process from levels, a row-stochastic kernel and an
+    /// initial distribution.
+    ///
+    /// # Panics
+    /// Panics if dimensions are inconsistent, rows do not sum to 1, or any
+    /// probability is negative.
+    pub fn new(levels: Vec<f64>, kernel: Vec<Vec<f64>>, initial: Vec<f64>) -> Self {
+        let k = levels.len();
+        assert!(k >= 1, "need at least one arrival level");
+        assert_eq!(kernel.len(), k, "kernel row count mismatch");
+        assert_eq!(initial.len(), k, "initial distribution length mismatch");
+        for lvl in &levels {
+            assert!(*lvl >= 0.0 && lvl.is_finite(), "levels must be nonnegative");
+        }
+        for row in &kernel {
+            assert_eq!(row.len(), k, "kernel must be square");
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "kernel rows must sum to 1 (got {s})");
+            assert!(row.iter().all(|&p| p >= 0.0), "kernel entries must be >= 0");
+        }
+        let s: f64 = initial.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "initial distribution must sum to 1");
+        Self { levels, kernel, initial }
+    }
+
+    /// The paper's two-level process: `λ_h = 0.9`, `λ_l = 0.6`,
+    /// `P(h→l) = 0.2`, `P(l→h) = 0.5`, `λ_0 ∼ Unif{λ_h, λ_l}`.
+    pub fn paper_default() -> Self {
+        Self::new(
+            vec![0.9, 0.6],
+            vec![vec![0.8, 0.2], vec![0.5, 0.5]],
+            vec![0.5, 0.5],
+        )
+    }
+
+    /// A constant-rate process (useful for tests and the Theorem-1 check,
+    /// which conditions on the arrival-rate sequence).
+    pub fn constant(rate: f64) -> Self {
+        Self::new(vec![rate], vec![vec![1.0]], vec![1.0])
+    }
+
+    /// Number of levels `|Λ|`.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Rate value of level `i`.
+    pub fn level_rate(&self, i: usize) -> f64 {
+        self.levels[i]
+    }
+
+    /// All level rates.
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// The maximum rate over levels (used by boundedness arguments and for
+    /// normalizing observations fed to the neural policy).
+    pub fn max_rate(&self) -> f64 {
+        self.levels.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Transition kernel row for level `i`.
+    pub fn kernel_row(&self, i: usize) -> &[f64] {
+        &self.kernel[i]
+    }
+
+    /// Samples the initial level index.
+    pub fn sample_initial<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        Sampler::categorical(rng, &self.initial)
+    }
+
+    /// Samples the next level index given the current one.
+    pub fn step<R: Rng + ?Sized>(&self, current: usize, rng: &mut R) -> usize {
+        Sampler::categorical(rng, &self.kernel[current])
+    }
+
+    /// Stationary distribution of the modulation chain (power iteration;
+    /// the chains here are tiny and aperiodic).
+    pub fn stationary(&self) -> Vec<f64> {
+        let k = self.num_levels();
+        let mut pi = vec![1.0 / k as f64; k];
+        for _ in 0..10_000 {
+            let mut next = vec![0.0; k];
+            for (i, &p) in pi.iter().enumerate() {
+                for (j, &kij) in self.kernel[i].iter().enumerate() {
+                    next[j] += p * kij;
+                }
+            }
+            let diff: f64 =
+                next.iter().zip(pi.iter()).map(|(a, b)| (a - b).abs()).sum();
+            pi = next;
+            if diff < 1e-14 {
+                break;
+            }
+        }
+        pi
+    }
+
+    /// Long-run average arrival rate `Σ_i π_i λ_i`.
+    pub fn mean_rate(&self) -> f64 {
+        self.stationary()
+            .iter()
+            .zip(self.levels.iter())
+            .map(|(p, l)| p * l)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_default_structure() {
+        let p = ArrivalProcess::paper_default();
+        assert_eq!(p.num_levels(), 2);
+        assert_eq!(p.level_rate(0), 0.9);
+        assert_eq!(p.level_rate(1), 0.6);
+        assert_eq!(p.kernel_row(0), &[0.8, 0.2]);
+        assert_eq!(p.kernel_row(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn stationary_of_paper_chain() {
+        // pi_h * 0.2 = pi_l * 0.5  =>  pi_h = 5/7, pi_l = 2/7.
+        let p = ArrivalProcess::paper_default();
+        let pi = p.stationary();
+        assert!((pi[0] - 5.0 / 7.0).abs() < 1e-10);
+        assert!((pi[1] - 2.0 / 7.0).abs() < 1e-10);
+        let mean = p.mean_rate();
+        assert!((mean - (0.9 * 5.0 / 7.0 + 0.6 * 2.0 / 7.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empirical_occupancy_matches_stationary() {
+        let p = ArrivalProcess::paper_default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut level = p.sample_initial(&mut rng);
+        let mut high = 0usize;
+        let steps = 200_000;
+        for _ in 0..steps {
+            level = p.step(level, &mut rng);
+            if level == 0 {
+                high += 1;
+            }
+        }
+        let frac = high as f64 / steps as f64;
+        assert!((frac - 5.0 / 7.0).abs() < 5e-3, "high fraction {frac}");
+    }
+
+    #[test]
+    fn constant_process_never_moves() {
+        let p = ArrivalProcess::constant(0.75);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut level = p.sample_initial(&mut rng);
+        for _ in 0..100 {
+            level = p.step(level, &mut rng);
+            assert_eq!(level, 0);
+        }
+        assert_eq!(p.level_rate(0), 0.75);
+        assert_eq!(p.mean_rate(), 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel rows must sum to 1")]
+    fn rejects_non_stochastic_kernel() {
+        ArrivalProcess::new(vec![1.0, 2.0], vec![vec![0.7, 0.7], vec![0.5, 0.5]], vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = ArrivalProcess::paper_default();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ArrivalProcess = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.levels(), p.levels());
+        assert_eq!(back.kernel_row(1), p.kernel_row(1));
+    }
+}

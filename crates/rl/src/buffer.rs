@@ -1,0 +1,219 @@
+//! Rollout storage and generalized advantage estimation (GAE).
+//!
+//! PPO collects a fixed-size batch of transitions, then computes
+//! advantages with GAE(λ) (Schulman et al. 2016). The paper trains with
+//! `λ_RL = 1` (Table 2), i.e. plain discounted Monte-Carlo advantages, but
+//! the implementation supports the full `λ ∈ [0, 1]` range and is tested
+//! against hand-computed values at both ends.
+
+/// One batch of experience plus derived training targets.
+#[derive(Debug, Clone, Default)]
+pub struct RolloutBuffer {
+    /// Observations, one row per step.
+    pub obs: Vec<Vec<f64>>,
+    /// Sampled actions.
+    pub actions: Vec<Vec<f64>>,
+    /// Behaviour log-probabilities at sampling time.
+    pub log_probs: Vec<f64>,
+    /// Behaviour policy means at sampling time (for the exact-KL penalty).
+    pub means: Vec<Vec<f64>>,
+    /// Behaviour log-std vector shared by every sample of the batch (PPO
+    /// snapshots the Gaussian head once per iteration).
+    pub behaviour_log_std: Vec<f64>,
+    /// Rewards.
+    pub rewards: Vec<f64>,
+    /// Value predictions at sampling time.
+    pub values: Vec<f64>,
+    /// Episode-termination flags (true if the episode ended AT this step).
+    pub dones: Vec<bool>,
+    /// Bootstrap value of the observation after the final stored step
+    /// (0 if that step terminated an episode).
+    pub last_value: f64,
+    /// GAE advantages (filled by [`RolloutBuffer::compute_gae`]).
+    pub advantages: Vec<f64>,
+    /// Value-function regression targets (advantage + value).
+    pub returns: Vec<f64>,
+}
+
+impl RolloutBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored steps.
+    pub fn len(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// `true` iff no steps are stored.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+
+    /// Appends one transition.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push(
+        &mut self,
+        obs: Vec<f64>,
+        action: Vec<f64>,
+        log_prob: f64,
+        mean: Vec<f64>,
+        reward: f64,
+        value: f64,
+        done: bool,
+    ) {
+        self.obs.push(obs);
+        self.actions.push(action);
+        self.log_probs.push(log_prob);
+        self.means.push(mean);
+        self.rewards.push(reward);
+        self.values.push(value);
+        self.dones.push(done);
+    }
+
+    /// Computes GAE(λ) advantages and value targets in place.
+    ///
+    /// `δ_t = r_t + γ·V(s_{t+1})·(1−done_t) − V(s_t)`;
+    /// `A_t = δ_t + γλ·(1−done_t)·A_{t+1}`.
+    pub fn compute_gae(&mut self, gamma: f64, lam: f64) {
+        let n = self.len();
+        self.advantages = vec![0.0; n];
+        self.returns = vec![0.0; n];
+        let mut next_adv = 0.0;
+        let mut next_value = self.last_value;
+        for t in (0..n).rev() {
+            let nonterminal = if self.dones[t] { 0.0 } else { 1.0 };
+            let delta = self.rewards[t] + gamma * next_value * nonterminal - self.values[t];
+            next_adv = delta + gamma * lam * nonterminal * next_adv;
+            self.advantages[t] = next_adv;
+            self.returns[t] = next_adv + self.values[t];
+            next_value = self.values[t];
+        }
+    }
+
+    /// Normalizes advantages to zero mean / unit variance (the standard
+    /// PPO stabilizer; no-op for a single sample).
+    pub fn normalize_advantages(&mut self) {
+        let n = self.advantages.len();
+        if n < 2 {
+            return;
+        }
+        let mean: f64 = self.advantages.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            self.advantages.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / n as f64;
+        let std = var.sqrt().max(1e-8);
+        for a in &mut self.advantages {
+            *a = (*a - mean) / std;
+        }
+    }
+
+    /// Clears all storage for reuse.
+    pub fn clear(&mut self) {
+        self.obs.clear();
+        self.actions.clear();
+        self.log_probs.clear();
+        self.means.clear();
+        self.behaviour_log_std.clear();
+        self.rewards.clear();
+        self.values.clear();
+        self.dones.clear();
+        self.advantages.clear();
+        self.returns.clear();
+        self.last_value = 0.0;
+    }
+
+    /// Merges another buffer's transitions into this one (parallel worker
+    /// shards; GAE must already have been computed per shard since episode
+    /// boundaries are per-worker).
+    pub fn merge(&mut self, other: RolloutBuffer) {
+        self.obs.extend(other.obs);
+        self.actions.extend(other.actions);
+        self.log_probs.extend(other.log_probs);
+        self.means.extend(other.means);
+        if self.behaviour_log_std.is_empty() {
+            self.behaviour_log_std = other.behaviour_log_std;
+        } else {
+            debug_assert_eq!(self.behaviour_log_std, other.behaviour_log_std);
+        }
+        self.rewards.extend(other.rewards);
+        self.values.extend(other.values);
+        self.dones.extend(other.dones);
+        self.advantages.extend(other.advantages);
+        self.returns.extend(other.returns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_buffer(rewards: &[f64], values: &[f64], dones: &[bool], last_value: f64) -> RolloutBuffer {
+        let mut b = RolloutBuffer::new();
+        for i in 0..rewards.len() {
+            b.push(vec![0.0], vec![0.0], 0.0, vec![0.0], rewards[i], values[i], dones[i]);
+        }
+        b.last_value = last_value;
+        b
+    }
+
+    #[test]
+    fn gae_lambda_zero_is_one_step_td() {
+        // λ=0: A_t = δ_t exactly.
+        let mut b = simple_buffer(&[1.0, 2.0], &[0.5, 0.25], &[false, false], 0.125);
+        b.compute_gae(0.9, 0.0);
+        let d0 = 1.0 + 0.9 * 0.25 - 0.5;
+        let d1 = 2.0 + 0.9 * 0.125 - 0.25;
+        assert!((b.advantages[0] - d0).abs() < 1e-12);
+        assert!((b.advantages[1] - d1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gae_lambda_one_is_discounted_monte_carlo() {
+        // λ=1, terminal episode: A_t = Σ γ^k r_{t+k} − V(s_t) (Table 2's
+        // setting).
+        let mut b = simple_buffer(&[1.0, 1.0, 1.0], &[0.2, 0.3, 0.4], &[false, false, true], 99.0);
+        let g = 0.5;
+        b.compute_gae(g, 1.0);
+        let ret2 = 1.0;
+        let ret1 = 1.0 + g * ret2;
+        let ret0 = 1.0 + g * ret1;
+        assert!((b.advantages[0] - (ret0 - 0.2)).abs() < 1e-12);
+        assert!((b.advantages[1] - (ret1 - 0.3)).abs() < 1e-12);
+        assert!((b.advantages[2] - (ret2 - 0.4)).abs() < 1e-12);
+        // last_value must be ignored after a terminal step.
+        assert!((b.returns[2] - ret2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn done_resets_propagation_mid_batch() {
+        let mut b = simple_buffer(&[1.0, 5.0], &[0.0, 0.0], &[true, false], 2.0);
+        b.compute_gae(0.9, 1.0);
+        // Step 0 terminated: advantage sees only its own reward.
+        assert!((b.advantages[0] - 1.0).abs() < 1e-12);
+        // Step 1 bootstraps from last_value.
+        assert!((b.advantages[1] - (5.0 + 0.9 * 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_zero_mean_unit_std() {
+        let mut b = simple_buffer(&[1.0, 2.0, 3.0, 4.0], &[0.0; 4], &[false, false, false, true], 0.0);
+        b.compute_gae(1.0, 1.0);
+        b.normalize_advantages();
+        let mean: f64 = b.advantages.iter().sum::<f64>() / 4.0;
+        let var: f64 = b.advantages.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = simple_buffer(&[1.0], &[0.0], &[true], 0.0);
+        a.compute_gae(0.9, 1.0);
+        let mut b = simple_buffer(&[2.0], &[0.0], &[true], 0.0);
+        b.compute_gae(0.9, 1.0);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.advantages.len(), 2);
+    }
+}

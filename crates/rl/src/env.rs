@@ -1,0 +1,128 @@
+//! The reinforcement-learning environment interface.
+//!
+//! Continuous observation and action vectors, episodic with fixed or
+//! environment-decided horizons. Deliberately minimal: exactly what PPO
+//! needs, nothing more.
+
+use rand::rngs::StdRng;
+
+/// Result of one environment step.
+#[derive(Debug, Clone)]
+pub struct StepResult {
+    /// Observation after the transition.
+    pub obs: Vec<f64>,
+    /// Scalar reward of the transition.
+    pub reward: f64,
+    /// `true` iff the episode ended with this transition.
+    pub done: bool,
+}
+
+/// An episodic environment with continuous observations and actions.
+pub trait Env: Send {
+    /// Observation dimensionality.
+    fn obs_dim(&self) -> usize;
+
+    /// Action dimensionality.
+    fn act_dim(&self) -> usize;
+
+    /// Starts a new episode, returning the initial observation.
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64>;
+
+    /// Applies an action.
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> StepResult;
+
+    /// Clones the environment into a fresh boxed instance (parallel rollout
+    /// workers each own one).
+    fn boxed_clone(&self) -> Box<dyn Env>;
+}
+
+/// A deterministic LQR-flavoured toy environment used by the PPO
+/// test-suite: state `x ∈ ℝ`, action `a ∈ ℝ`, dynamics `x' = x + a`,
+/// reward `−x'² − 0.01·a²`, horizon 10, `x₀ ∼ U(−1, 1)`.
+///
+/// The optimal policy is `a = −x`; PPO must learn a clearly negative
+/// correlation within a few iterations, which the tests assert.
+#[derive(Debug, Clone)]
+pub struct ToyControlEnv {
+    x: f64,
+    t: usize,
+    horizon: usize,
+}
+
+impl ToyControlEnv {
+    /// Creates the toy environment.
+    pub fn new(horizon: usize) -> Self {
+        Self { x: 0.0, t: 0, horizon }
+    }
+}
+
+impl Env for ToyControlEnv {
+    fn obs_dim(&self) -> usize {
+        1
+    }
+
+    fn act_dim(&self) -> usize {
+        1
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        use rand::Rng;
+        self.x = rng.gen_range(-1.0..1.0);
+        self.t = 0;
+        vec![self.x]
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut StdRng) -> StepResult {
+        let a = action[0].clamp(-3.0, 3.0);
+        self.x += a;
+        self.t += 1;
+        let reward = -self.x * self.x - 0.01 * a * a;
+        StepResult {
+            obs: vec![self.x],
+            reward,
+            done: self.t >= self.horizon,
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Env> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn toy_env_episode_structure() {
+        let mut env = ToyControlEnv::new(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.len(), 1);
+        let mut steps = 0;
+        loop {
+            let r = env.step(&[0.1], &mut rng);
+            steps += 1;
+            assert!(r.reward <= 0.0);
+            if r.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 5);
+    }
+
+    #[test]
+    fn zeroing_action_is_better_than_runaway() {
+        let mut env = ToyControlEnv::new(10);
+        let mut rng = StdRng::seed_from_u64(2);
+        env.reset(&mut rng);
+        let x0 = env.x;
+        let good = env.step(&[-x0], &mut rng).reward;
+        // Restart with same state and take a bad action.
+        env.x = x0;
+        env.t = 0;
+        let bad = env.step(&[2.0], &mut rng).reward;
+        assert!(good > bad);
+    }
+}

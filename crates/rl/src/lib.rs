@@ -1,0 +1,34 @@
+//! Hand-rolled reinforcement learning for the MFC MDP: PPO (the paper's
+//! algorithm) plus REINFORCE and CEM baselines, and the environment
+//! adapter.
+//!
+//! Rust's RL ecosystem is immature (the reproduction assessment for this
+//! paper flags exactly that), so the full training stack is implemented
+//! here on top of `mflb-nn`:
+//!
+//! * [`env::Env`] — the minimal episodic environment interface (with a toy
+//!   control task for the test-suite),
+//! * [`buffer::RolloutBuffer`] — experience storage + GAE(λ),
+//! * [`ppo::PpoTrainer`] — clipped-surrogate PPO with adaptive KL penalty
+//!   and parallel rollout workers; [`ppo::PpoConfig::paper`] is Table 2,
+//! * [`reinforce::ReinforceTrainer`] — Monte-Carlo policy gradient with a
+//!   learned baseline (the no-trust-region ablation),
+//! * [`cem::CemTrainer`] — cross-entropy search over policy parameters
+//!   (the derivative-free ablation),
+//! * [`mfc_env::MfcEnv`] — the paper's upper-level mean-field MDP as an
+//!   environment (observation `[ν_t, onehot λ_t]`, action = decision-rule
+//!   logits, reward `−D_t`).
+
+pub mod buffer;
+pub mod cem;
+pub mod env;
+pub mod mfc_env;
+pub mod ppo;
+pub mod reinforce;
+
+pub use buffer::RolloutBuffer;
+pub use cem::{CemConfig, CemStats, CemTrainer};
+pub use env::{Env, StepResult, ToyControlEnv};
+pub use mfc_env::MfcEnv;
+pub use ppo::{IterationStats, PpoConfig, PpoTrainer};
+pub use reinforce::{ReinforceConfig, ReinforceStats, ReinforceTrainer};

@@ -1,0 +1,154 @@
+//! The MFC-MDP as a PPO environment.
+//!
+//! Observation: `[ν_t (B+1 dims), onehot(λ_t)]` (the canonical encoding
+//! from `mflb_core::mdp`). Action: a continuous vector of `|Z|^d·d`
+//! decision-rule logits, softmax-normalized per observation tuple into
+//! `h_t` — the paper's "manual normalization" parameterization (§4).
+//! Reward: `−D_t` (expected per-queue drops of the epoch). Episodes last
+//! `horizon` decision epochs (Table 1: T = 500 for training).
+
+use crate::env::{Env, StepResult};
+use mflb_core::mdp::{action_dim, encode_observation, observation_dim};
+use mflb_core::{DecisionRule, MeanFieldMdp, MfState, SystemConfig};
+use rand::rngs::StdRng;
+
+/// The mean-field control environment.
+pub struct MfcEnv {
+    mdp: MeanFieldMdp,
+    state: MfState,
+    t: usize,
+    horizon: usize,
+    num_levels: usize,
+}
+
+impl MfcEnv {
+    /// Creates the environment with the configured training horizon.
+    pub fn new(config: SystemConfig) -> Self {
+        let horizon = config.train_episode_len;
+        Self::with_horizon(config, horizon)
+    }
+
+    /// Creates the environment with an explicit episode horizon.
+    pub fn with_horizon(config: SystemConfig, horizon: usize) -> Self {
+        assert!(horizon >= 1);
+        let num_levels = config.arrivals.num_levels();
+        let mdp = MeanFieldMdp::new(config);
+        let state = mdp.initial_state_with_lambda(0);
+        Self { mdp, state, t: 0, horizon, num_levels }
+    }
+
+    /// The wrapped MDP (evaluation helpers).
+    pub fn mdp(&self) -> &MeanFieldMdp {
+        &self.mdp
+    }
+
+    /// Decodes a raw action vector into the decision rule it induces.
+    pub fn decode_action(&self, action: &[f64]) -> DecisionRule {
+        let cfg = self.mdp.config();
+        DecisionRule::from_logits(cfg.num_states(), cfg.d, action)
+    }
+}
+
+impl Env for MfcEnv {
+    fn obs_dim(&self) -> usize {
+        observation_dim(self.mdp.config().num_states(), self.num_levels)
+    }
+
+    fn act_dim(&self) -> usize {
+        action_dim(self.mdp.config().num_states(), self.mdp.config().d)
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.state = self.mdp.initial_state(rng);
+        self.t = 0;
+        encode_observation(&self.state.dist, self.state.lambda_idx, self.num_levels)
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> StepResult {
+        let rule = self.decode_action(action);
+        let (next, reward, _) = self.mdp.step(&self.state, &rule, rng);
+        self.state = next;
+        self.t += 1;
+        StepResult {
+            obs: encode_observation(&self.state.dist, self.state.lambda_idx, self.num_levels),
+            reward,
+            done: self.t >= self.horizon,
+        }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Env> {
+        Box::new(Self::with_horizon(self.mdp.config().clone(), self.horizon))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn env() -> MfcEnv {
+        MfcEnv::with_horizon(SystemConfig::paper().with_dt(5.0), 20)
+    }
+
+    #[test]
+    fn dimensions_match_paper_shapes() {
+        let e = env();
+        assert_eq!(e.obs_dim(), 6 + 2);
+        assert_eq!(e.act_dim(), 36 * 2);
+    }
+
+    #[test]
+    fn episode_runs_to_horizon() {
+        let mut e = env();
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = e.reset(&mut rng);
+        assert_eq!(obs.len(), 8);
+        // ν₀ = δ₀ encoding.
+        assert_eq!(obs[0], 1.0);
+        let zero_action = vec![0.0; e.act_dim()];
+        let mut steps = 0;
+        loop {
+            let r = e.step(&zero_action, &mut rng);
+            steps += 1;
+            assert!(r.reward <= 0.0, "reward is minus drops");
+            assert!(r.obs.len() == 8);
+            let mass: f64 = r.obs[..6].iter().sum();
+            assert!((mass - 1.0).abs() < 1e-9, "ν stays a distribution");
+            if r.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 20);
+    }
+
+    #[test]
+    fn zero_logits_act_like_mf_rnd() {
+        // All-zero logits -> uniform rule; the first-step reward must match
+        // the MF-RND step from ν₀ under the sampled λ.
+        let mut e = env();
+        let mut rng = StdRng::seed_from_u64(2);
+        e.reset(&mut rng);
+        let lam_idx = e.state.lambda_idx;
+        let lam = e.mdp.config().arrivals.level_rate(lam_idx);
+        let expected = mflb_core::mean_field_step(
+            &e.state.dist,
+            &DecisionRule::uniform(6, 2),
+            lam,
+            1.0,
+            5.0,
+        )
+        .expected_drops;
+        let r = e.step(&vec![0.0; e.act_dim()], &mut rng);
+        assert!((r.reward + expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decode_action_shape() {
+        let e = env();
+        let rule = e.decode_action(&vec![0.25; e.act_dim()]);
+        assert_eq!(rule.num_rows(), 36);
+        for row in 0..36 {
+            assert!((rule.prob_by_row(row, 0) - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,590 @@
+//! Proximal Policy Optimization (Schulman et al. 2017), hand-rolled.
+//!
+//! Matches the paper's RLlib setup (Table 2): clipped surrogate objective
+//! *plus* an adaptive KL penalty, GAE(λ) advantages, tanh MLPs for policy
+//! and value, diagonal Gaussian actions with state-independent log-stds,
+//! minibatch Adam. Rollouts can be collected by parallel workers
+//! (crossbeam scoped threads), mirroring the paper's 20-core training.
+//!
+//! Loss per minibatch sample `i` with ratio `r_i = exp(lnπ(a|s) − lnπ_old)`:
+//!
+//! ```text
+//! L_i = −min(r_i·Â_i, clip(r_i, 1±ε)·Â_i) + c_KL·KL(π_old‖π) − c_H·H(π)
+//! ```
+//!
+//! with `c_KL` adapted towards a KL target as in RLlib.
+
+use crate::buffer::RolloutBuffer;
+use crate::env::Env;
+use mflb_nn::{clip_grad_norm, Activation, Adam, DiagGaussian, Mlp, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// PPO hyper-parameters. [`PpoConfig::paper`] reproduces Table 2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// GAE λ.
+    pub gae_lambda: f64,
+    /// Clip parameter ε.
+    pub clip: f64,
+    /// Initial KL penalty coefficient β.
+    pub kl_coeff: f64,
+    /// KL target for the adaptive coefficient (RLlib default 0.01).
+    pub kl_target: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Environment steps collected per iteration.
+    pub train_batch_size: usize,
+    /// SGD minibatch size.
+    pub minibatch_size: usize,
+    /// SGD epochs per iteration.
+    pub num_epochs: usize,
+    /// Entropy bonus coefficient (RLlib default 0).
+    pub entropy_coeff: f64,
+    /// Global gradient-norm clip.
+    pub grad_clip: f64,
+    /// Initial `log σ` of the Gaussian head.
+    pub initial_log_std: f64,
+    /// Hidden layer widths of both networks.
+    pub hidden: Vec<usize>,
+    /// Number of parallel rollout workers.
+    pub rollout_threads: usize,
+}
+
+impl PpoConfig {
+    /// Table 2 of the paper: γ=0.99, λ_RL=1, KL coeff 0.2, clip 0.3,
+    /// lr 5·10⁻⁵, batch 4000, minibatch 128, 30 epochs; 2×256 tanh nets.
+    pub fn paper() -> Self {
+        Self {
+            gamma: 0.99,
+            gae_lambda: 1.0,
+            clip: 0.3,
+            kl_coeff: 0.2,
+            kl_target: 0.01,
+            lr: 5e-5,
+            train_batch_size: 4000,
+            minibatch_size: 128,
+            num_epochs: 30,
+            entropy_coeff: 0.0,
+            grad_clip: 10.0,
+            initial_log_std: 0.0,
+            hidden: vec![256, 256],
+            rollout_threads: 1,
+        }
+    }
+
+    /// A reduced configuration for CI-scale smoke training: smaller nets,
+    /// batches and epoch counts, higher learning rate.
+    pub fn quick() -> Self {
+        Self {
+            lr: 3e-4,
+            train_batch_size: 1024,
+            minibatch_size: 128,
+            num_epochs: 8,
+            hidden: vec![64, 64],
+            ..Self::paper()
+        }
+    }
+}
+
+/// Per-iteration training statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IterationStats {
+    /// Iteration counter (1-based after the first call).
+    pub iteration: u64,
+    /// Cumulative environment steps.
+    pub total_steps: u64,
+    /// Episodes completed during this iteration's rollouts.
+    pub episodes_completed: usize,
+    /// Mean return of those episodes (NaN if none completed).
+    pub mean_episode_return: f64,
+    /// Mean surrogate policy loss over the last epoch.
+    pub policy_loss: f64,
+    /// Mean value loss over the last epoch.
+    pub value_loss: f64,
+    /// Mean KL(π_old‖π) over the last epoch.
+    pub mean_kl: f64,
+    /// Mean policy entropy.
+    pub entropy: f64,
+    /// Current (post-adaptation) KL coefficient.
+    pub kl_coeff: f64,
+}
+
+/// One rollout worker: a persistent environment with its own RNG so
+/// episodes continue across training batches.
+struct Worker {
+    env: Box<dyn Env>,
+    obs: Vec<f64>,
+    rng: StdRng,
+    episode_return: f64,
+}
+
+/// The PPO trainer: owns policy network, Gaussian head, value network,
+/// optimizers and rollout workers.
+pub struct PpoTrainer {
+    cfg: PpoConfig,
+    policy: Mlp,
+    log_std: Vec<f64>,
+    value: Mlp,
+    opt_policy: Adam,
+    opt_value: Adam,
+    kl_coeff: f64,
+    workers: Vec<Worker>,
+    total_steps: u64,
+    iteration: u64,
+}
+
+impl PpoTrainer {
+    /// Creates a trainer for environments shaped like `prototype`.
+    pub fn new(prototype: &dyn Env, cfg: PpoConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let obs_dim = prototype.obs_dim();
+        let act_dim = prototype.act_dim();
+
+        let mut policy_sizes = vec![obs_dim];
+        policy_sizes.extend_from_slice(&cfg.hidden);
+        policy_sizes.push(act_dim);
+        let mut policy = Mlp::new(&policy_sizes, Activation::Tanh, &mut rng);
+        // Near-uniform initial policy (standard PPO practice; also what the
+        // softmax decision-rule decoding wants at iteration 0).
+        {
+            let mut p = policy.params_vec();
+            let n_last = policy_sizes[policy_sizes.len() - 2] * act_dim + act_dim;
+            let start = p.len() - n_last;
+            for v in &mut p[start..] {
+                *v *= 0.01;
+            }
+            policy.read_params(&p);
+        }
+
+        let mut value_sizes = vec![obs_dim];
+        value_sizes.extend_from_slice(&cfg.hidden);
+        value_sizes.push(1);
+        let value = Mlp::new(&value_sizes, Activation::Tanh, &mut rng);
+
+        let log_std = vec![cfg.initial_log_std; act_dim];
+        let opt_policy = Adam::new(policy.num_params() + act_dim, cfg.lr);
+        let opt_value = Adam::new(value.num_params(), cfg.lr);
+
+        let n_workers = cfg.rollout_threads.max(1);
+        let workers = (0..n_workers)
+            .map(|w| {
+                let mut wrng = StdRng::seed_from_u64(seed ^ (0xABCD_EF00 + w as u64));
+                let mut env = prototype.boxed_clone();
+                let obs = env.reset(&mut wrng);
+                Worker { env, obs, rng: wrng, episode_return: 0.0 }
+            })
+            .collect();
+
+        Self {
+            kl_coeff: cfg.kl_coeff,
+            cfg,
+            policy,
+            log_std,
+            value,
+            opt_policy,
+            opt_value,
+            workers,
+            total_steps: 0,
+            iteration: 0,
+        }
+    }
+
+    /// The policy network (deterministic head = decision-rule logits).
+    pub fn policy_net(&self) -> &Mlp {
+        &self.policy
+    }
+
+    /// Warm-starts the policy network from an existing one (same shape),
+    /// e.g. a previously saved checkpoint. The Adam moments are reset; the
+    /// value network keeps its fresh initialization and re-fits within the
+    /// first few iterations.
+    pub fn load_policy_net(&mut self, net: &Mlp) {
+        assert_eq!(net.input_dim(), self.policy.input_dim(), "input dim mismatch");
+        assert_eq!(net.output_dim(), self.policy.output_dim(), "output dim mismatch");
+        assert_eq!(net.num_params(), self.policy.num_params(), "hidden shape mismatch");
+        self.policy = net.clone();
+        self.opt_policy = Adam::new(self.policy.num_params() + self.log_std.len(), self.cfg.lr);
+    }
+
+    /// The value network.
+    pub fn value_net(&self) -> &Mlp {
+        &self.value
+    }
+
+    /// Current Gaussian log-stds.
+    pub fn log_std(&self) -> &[f64] {
+        &self.log_std
+    }
+
+    /// Cumulative environment steps.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Deterministic (mean) action for an observation.
+    pub fn deterministic_action(&self, obs: &[f64]) -> Vec<f64> {
+        self.policy.forward_one(obs)
+    }
+
+    /// Collects one rollout shard on a single worker.
+    fn collect_shard(
+        policy: &Mlp,
+        value: &Mlp,
+        log_std: &[f64],
+        worker: &mut Worker,
+        steps: usize,
+        completed: &mut Vec<f64>,
+    ) -> RolloutBuffer {
+        let mut buf = RolloutBuffer::new();
+        for _ in 0..steps {
+            let mean = policy.forward_one(&worker.obs);
+            let dist = DiagGaussian::new(&mean, log_std);
+            let action = dist.sample(&mut worker.rng);
+            let log_prob = dist.log_prob(&action);
+            let v = value.forward_one(&worker.obs)[0];
+            let result = worker.env.step(&action, &mut worker.rng);
+            worker.episode_return += result.reward;
+            buf.push(
+                std::mem::replace(&mut worker.obs, result.obs.clone()),
+                action,
+                log_prob,
+                mean,
+                result.reward,
+                v,
+                result.done,
+            );
+            if result.done {
+                completed.push(worker.episode_return);
+                worker.episode_return = 0.0;
+                worker.obs = worker.env.reset(&mut worker.rng);
+            }
+        }
+        // Bootstrap value for the (possibly unfinished) trailing episode.
+        buf.last_value = if *buf.dones.last().unwrap_or(&true) {
+            0.0
+        } else {
+            value.forward_one(&worker.obs)[0]
+        };
+        buf.behaviour_log_std = log_std.to_vec();
+        buf
+    }
+
+    /// Runs one PPO iteration: collect `train_batch_size` steps, compute
+    /// GAE, run `num_epochs` of minibatch updates, adapt the KL
+    /// coefficient.
+    pub fn train_iteration(&mut self, rng: &mut StdRng) -> IterationStats {
+        self.iteration += 1;
+        let n_workers = self.workers.len();
+        let shard = self.cfg.train_batch_size.div_ceil(n_workers);
+
+        // --- Rollout collection (parallel over workers). ---
+        let policy = &self.policy;
+        let value = &self.value;
+        let log_std_snapshot = self.log_std.clone();
+        let mut shards: Vec<(RolloutBuffer, Vec<f64>)> = Vec::with_capacity(n_workers);
+        if n_workers == 1 {
+            let mut completed = Vec::new();
+            let b = Self::collect_shard(
+                policy,
+                value,
+                &log_std_snapshot,
+                &mut self.workers[0],
+                shard,
+                &mut completed,
+            );
+            shards.push((b, completed));
+        } else {
+            let results: Vec<(RolloutBuffer, Vec<f64>)> = crossbeam::scope(|scope| {
+                let handles: Vec<_> = self
+                    .workers
+                    .iter_mut()
+                    .map(|worker| {
+                        let ls = &log_std_snapshot;
+                        scope.spawn(move |_| {
+                            let mut completed = Vec::new();
+                            let b = Self::collect_shard(policy, value, ls, worker, shard, &mut completed);
+                            (b, completed)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("rollout worker panicked")).collect()
+            })
+            .expect("rollout scope failed");
+            shards = results;
+        }
+
+        let mut buffer = RolloutBuffer::new();
+        let mut completed_returns = Vec::new();
+        for (mut shard_buf, completed) in shards {
+            shard_buf.compute_gae(self.cfg.gamma, self.cfg.gae_lambda);
+            buffer.merge(shard_buf);
+            completed_returns.extend(completed);
+        }
+        buffer.normalize_advantages();
+        self.total_steps += buffer.len() as u64;
+
+        // --- Minibatch SGD. ---
+        let n = buffer.len();
+        let act_dim = self.log_std.len();
+        let mut indices: Vec<usize> = (0..n).collect();
+        let mut last_policy_loss = 0.0;
+        let mut last_value_loss = 0.0;
+        let mut last_kl = 0.0;
+        let mut last_entropy = 0.0;
+
+        for _epoch in 0..self.cfg.num_epochs {
+            // Fisher–Yates shuffle.
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                indices.swap(i, j);
+            }
+            let mut epoch_policy_loss = 0.0;
+            let mut epoch_value_loss = 0.0;
+            let mut epoch_kl = 0.0;
+            let mut epoch_entropy = 0.0;
+            let mut minibatches = 0usize;
+
+            for chunk in indices.chunks(self.cfg.minibatch_size) {
+                let b = chunk.len();
+                let obs_dim = buffer.obs[0].len();
+                let mut obs_mb = Tensor::zeros(b, obs_dim);
+                for (row, &idx) in chunk.iter().enumerate() {
+                    obs_mb.row_mut(row).copy_from_slice(&buffer.obs[idx]);
+                }
+
+                // Policy forward.
+                let cache = self.policy.forward_cached(&obs_mb);
+                let means = cache.output().clone();
+
+                let mut grad_mean = Tensor::zeros(b, act_dim);
+                let mut grad_log_std = vec![0.0; act_dim];
+                let mut policy_loss = 0.0;
+                let mut kl_sum = 0.0;
+                let entropy = DiagGaussian::new(means.row(0), &self.log_std).entropy();
+                let inv_b = 1.0 / b as f64;
+
+                for (row, &idx) in chunk.iter().enumerate() {
+                    let mean_new = means.row(row);
+                    let dist_new = DiagGaussian::new(mean_new, &self.log_std);
+                    let action = &buffer.actions[idx];
+                    let new_logp = dist_new.log_prob(action);
+                    let ratio = (new_logp - buffer.log_probs[idx]).exp();
+                    let adv = buffer.advantages[idx];
+
+                    // Clipped surrogate.
+                    let unclipped = ratio * adv;
+                    let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
+                    let surrogate = unclipped.min(clipped);
+                    policy_loss -= surrogate * inv_b;
+                    // d(−surrogate)/d new_logp = −ratio·adv when the
+                    // unclipped branch is active (min picks it), else 0.
+                    let surr_coeff = if unclipped <= clipped { -ratio * adv * inv_b } else { 0.0 };
+
+                    // Exact diagonal-Gaussian KL(old‖new) and its gradients.
+                    let mean_old = &buffer.means[idx];
+                    let mut kl = 0.0;
+                    for k in 0..act_dim {
+                        let ls_old = buffer.behaviour_log_std[k];
+                        let ls_new = self.log_std[k];
+                        let var_old = (2.0 * ls_old).exp();
+                        let inv_var_new = (-2.0 * ls_new).exp();
+                        let dmean = mean_new[k] - mean_old[k];
+                        kl += ls_new - ls_old + 0.5 * (var_old + dmean * dmean) * inv_var_new
+                            - 0.5;
+                        // Gradients of the KL penalty term (coefficient
+                        // applied below).
+                        let kl_grad_mean = dmean * inv_var_new;
+                        let kl_grad_ls = 1.0 - (var_old + dmean * dmean) * inv_var_new;
+                        let c = self.kl_coeff * inv_b;
+                        grad_mean.set(row, k, grad_mean.get(row, k) + c * kl_grad_mean);
+                        grad_log_std[k] += c * kl_grad_ls;
+                    }
+                    kl_sum += kl;
+
+                    // Surrogate gradients through log-prob.
+                    if surr_coeff != 0.0 {
+                        let glp_mean = dist_new.log_prob_grad_mean(action);
+                        let glp_ls = dist_new.log_prob_grad_log_std(action);
+                        for k in 0..act_dim {
+                            grad_mean.set(row, k, grad_mean.get(row, k) + surr_coeff * glp_mean[k]);
+                            grad_log_std[k] += surr_coeff * glp_ls[k];
+                        }
+                    }
+                }
+
+                // Entropy bonus (state-independent for a Gaussian with
+                // fixed log-std): dH/d log_std_k = 1.
+                if self.cfg.entropy_coeff != 0.0 {
+                    for g in grad_log_std.iter_mut() {
+                        *g -= self.cfg.entropy_coeff;
+                    }
+                }
+
+                // Backprop through the policy network and step Adam over
+                // [network params ‖ log_std].
+                let mut flat = self.policy.backward(&cache, &grad_mean);
+                flat.extend_from_slice(&grad_log_std);
+                clip_grad_norm(&mut flat, self.cfg.grad_clip);
+                let mut params = self.policy.params_vec();
+                params.extend_from_slice(&self.log_std);
+                self.opt_policy.step(&mut params, &flat);
+                let np = self.policy.num_params();
+                self.policy.read_params(&params[..np]);
+                self.log_std.copy_from_slice(&params[np..]);
+                // Keep exploration noise in a sane band (RLlib clamps too).
+                for ls in &mut self.log_std {
+                    *ls = ls.clamp(-5.0, 2.0);
+                }
+
+                // Value-network regression on returns.
+                let vcache = self.value.forward_cached(&obs_mb);
+                let mut vgrad = Tensor::zeros(b, 1);
+                let mut vloss = 0.0;
+                for (row, &idx) in chunk.iter().enumerate() {
+                    let err = vcache.output().get(row, 0) - buffer.returns[idx];
+                    vloss += err * err * inv_b;
+                    vgrad.set(row, 0, 2.0 * err * inv_b);
+                }
+                let mut vflat = self.value.backward(&vcache, &vgrad);
+                clip_grad_norm(&mut vflat, self.cfg.grad_clip);
+                let mut vparams = self.value.params_vec();
+                self.opt_value.step(&mut vparams, &vflat);
+                self.value.read_params(&vparams);
+
+                epoch_policy_loss += policy_loss;
+                epoch_value_loss += vloss;
+                epoch_kl += kl_sum * inv_b;
+                epoch_entropy += entropy;
+                minibatches += 1;
+            }
+
+            let mb = minibatches.max(1) as f64;
+            last_policy_loss = epoch_policy_loss / mb;
+            last_value_loss = epoch_value_loss / mb;
+            last_kl = epoch_kl / mb;
+            last_entropy = epoch_entropy / mb;
+        }
+
+        // Adaptive KL coefficient (RLlib rule).
+        if last_kl > 2.0 * self.cfg.kl_target {
+            self.kl_coeff *= 1.5;
+        } else if last_kl < 0.5 * self.cfg.kl_target {
+            self.kl_coeff *= 0.5;
+        }
+
+        IterationStats {
+            iteration: self.iteration,
+            total_steps: self.total_steps,
+            episodes_completed: completed_returns.len(),
+            mean_episode_return: if completed_returns.is_empty() {
+                f64::NAN
+            } else {
+                completed_returns.iter().sum::<f64>() / completed_returns.len() as f64
+            },
+            policy_loss: last_policy_loss,
+            value_loss: last_value_loss,
+            mean_kl: last_kl,
+            entropy: last_entropy,
+            kl_coeff: self.kl_coeff,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ToyControlEnv;
+
+    #[test]
+    fn paper_config_matches_table2() {
+        let c = PpoConfig::paper();
+        assert_eq!(c.gamma, 0.99);
+        assert_eq!(c.gae_lambda, 1.0);
+        assert_eq!(c.kl_coeff, 0.2);
+        assert_eq!(c.clip, 0.3);
+        assert_eq!(c.lr, 5e-5);
+        assert_eq!(c.train_batch_size, 4000);
+        assert_eq!(c.minibatch_size, 128);
+        assert_eq!(c.num_epochs, 30);
+        assert_eq!(c.hidden, vec![256, 256]);
+    }
+
+    #[test]
+    fn ppo_improves_on_toy_control() {
+        let env = ToyControlEnv::new(10);
+        let cfg = PpoConfig {
+            lr: 3e-3,
+            train_batch_size: 512,
+            minibatch_size: 64,
+            num_epochs: 6,
+            hidden: vec![16, 16],
+            initial_log_std: -0.5,
+            ..PpoConfig::paper()
+        };
+        let mut trainer = PpoTrainer::new(&env, cfg, 7);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut first = f64::NAN;
+        let mut last = f64::NAN;
+        for it in 0..25 {
+            let stats = trainer.train_iteration(&mut rng);
+            if it == 0 {
+                first = stats.mean_episode_return;
+            }
+            last = stats.mean_episode_return;
+        }
+        assert!(
+            last > first + 0.3,
+            "PPO failed to improve: first {first}, last {last}"
+        );
+        // The learned deterministic policy must push x towards 0:
+        // action(x=1) should be clearly negative, action(x=-1) positive.
+        let a_pos = trainer.deterministic_action(&[1.0])[0];
+        let a_neg = trainer.deterministic_action(&[-1.0])[0];
+        assert!(a_pos < -0.2, "action at x=1 should be negative, got {a_pos}");
+        assert!(a_neg > 0.2, "action at x=-1 should be positive, got {a_neg}");
+    }
+
+    #[test]
+    fn iteration_bookkeeping() {
+        let env = ToyControlEnv::new(5);
+        let cfg = PpoConfig {
+            train_batch_size: 64,
+            minibatch_size: 32,
+            num_epochs: 2,
+            hidden: vec![8],
+            ..PpoConfig::paper()
+        };
+        let mut trainer = PpoTrainer::new(&env, cfg, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s1 = trainer.train_iteration(&mut rng);
+        let s2 = trainer.train_iteration(&mut rng);
+        assert_eq!(s1.iteration, 1);
+        assert_eq!(s2.iteration, 2);
+        assert_eq!(s1.total_steps, 64);
+        assert_eq!(s2.total_steps, 128);
+        assert!(s1.episodes_completed > 0);
+        assert!(s1.mean_kl >= 0.0 || s1.mean_kl.is_nan());
+    }
+
+    #[test]
+    fn parallel_rollouts_run() {
+        let env = ToyControlEnv::new(5);
+        let cfg = PpoConfig {
+            train_batch_size: 128,
+            minibatch_size: 32,
+            num_epochs: 2,
+            hidden: vec![8],
+            rollout_threads: 4,
+            ..PpoConfig::paper()
+        };
+        let mut trainer = PpoTrainer::new(&env, cfg, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let stats = trainer.train_iteration(&mut rng);
+        assert_eq!(stats.total_steps, 128);
+        assert!(stats.episodes_completed >= 4);
+    }
+}

@@ -1,0 +1,353 @@
+//! REINFORCE (Monte-Carlo policy gradient) with a learned value baseline —
+//! the classic predecessor of PPO, included as the simplest gradient-based
+//! ablation point.
+//!
+//! Per iteration: roll out complete episodes, compute discounted
+//! returns-to-go `G_t`, form advantages `Â_t = G_t − V(s_t)` against the
+//! learned baseline, and take **one** policy-gradient step
+//!
+//! ```text
+//! ∇ J = E[ ∇ log π(a_t | s_t) · Â_t ] + c_H · ∇H(π)
+//! ```
+//!
+//! followed by a few epochs of value regression on `G_t`. Shares the
+//! Gaussian-head parameterization (state-independent log-stds, softmax
+//! decision-rule decoding) with [`crate::ppo::PpoTrainer`], so learned
+//! policies deploy identically. Compared against PPO in the
+//! `ablation_learners` experiment: same parameterization, no trust region
+//! — isolating what the clipped surrogate buys.
+
+use crate::env::Env;
+use mflb_nn::{clip_grad_norm, Activation, Adam, DiagGaussian, Mlp, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// REINFORCE hyper-parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReinforceConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Policy Adam learning rate.
+    pub lr: f64,
+    /// Value-baseline Adam learning rate.
+    pub value_lr: f64,
+    /// Complete episodes collected per iteration.
+    pub episodes_per_iter: usize,
+    /// Value-regression epochs per iteration.
+    pub value_epochs: usize,
+    /// Entropy bonus coefficient.
+    pub entropy_coeff: f64,
+    /// Global gradient-norm clip.
+    pub grad_clip: f64,
+    /// Initial `log σ` of the Gaussian head.
+    pub initial_log_std: f64,
+    /// Hidden layer widths of both networks.
+    pub hidden: Vec<usize>,
+}
+
+impl Default for ReinforceConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            lr: 1e-3,
+            value_lr: 1e-3,
+            episodes_per_iter: 8,
+            value_epochs: 5,
+            entropy_coeff: 0.0,
+            grad_clip: 10.0,
+            initial_log_std: 0.0,
+            hidden: vec![64, 64],
+        }
+    }
+}
+
+/// Per-iteration statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReinforceStats {
+    /// Iteration counter (1-based).
+    pub iteration: u64,
+    /// Cumulative environment steps.
+    pub total_steps: u64,
+    /// Mean undiscounted return of the collected episodes.
+    pub mean_episode_return: f64,
+    /// Policy-gradient loss (−surrogate) of the update.
+    pub policy_loss: f64,
+    /// Final value-regression loss.
+    pub value_loss: f64,
+    /// Policy entropy.
+    pub entropy: f64,
+}
+
+/// The REINFORCE trainer.
+pub struct ReinforceTrainer {
+    cfg: ReinforceConfig,
+    policy: Mlp,
+    log_std: Vec<f64>,
+    value: Mlp,
+    opt_policy: Adam,
+    opt_value: Adam,
+    env: Box<dyn Env>,
+    env_rng: StdRng,
+    total_steps: u64,
+    iteration: u64,
+}
+
+impl ReinforceTrainer {
+    /// Creates a trainer for environments shaped like `prototype`.
+    pub fn new(prototype: &dyn Env, cfg: ReinforceConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (obs_dim, act_dim) = (prototype.obs_dim(), prototype.act_dim());
+
+        let mut sizes = vec![obs_dim];
+        sizes.extend_from_slice(&cfg.hidden);
+        sizes.push(act_dim);
+        let mut policy = Mlp::new(&sizes, Activation::Tanh, &mut rng);
+        // Near-uniform initial decision rules, as in the PPO trainer.
+        {
+            let mut p = policy.params_vec();
+            let n_last = sizes[sizes.len() - 2] * act_dim + act_dim;
+            let start = p.len() - n_last;
+            for v in &mut p[start..] {
+                *v *= 0.01;
+            }
+            policy.read_params(&p);
+        }
+
+        let mut vsizes = vec![obs_dim];
+        vsizes.extend_from_slice(&cfg.hidden);
+        vsizes.push(1);
+        let value = Mlp::new(&vsizes, Activation::Tanh, &mut rng);
+
+        let log_std = vec![cfg.initial_log_std; act_dim];
+        let opt_policy = Adam::new(policy.num_params() + act_dim, cfg.lr);
+        let opt_value = Adam::new(value.num_params(), cfg.value_lr);
+        let env = prototype.boxed_clone();
+
+        Self {
+            cfg,
+            policy,
+            log_std,
+            value,
+            opt_policy,
+            opt_value,
+            env,
+            env_rng: StdRng::seed_from_u64(seed ^ 0x51AC_EED5),
+            total_steps: 0,
+            iteration: 0,
+        }
+    }
+
+    /// The policy network.
+    pub fn policy_net(&self) -> &Mlp {
+        &self.policy
+    }
+
+    /// Cumulative environment steps.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Deterministic (mean) action for an observation.
+    pub fn deterministic_action(&self, obs: &[f64]) -> Vec<f64> {
+        self.policy.forward_one(obs)
+    }
+
+    /// Runs one iteration: collect episodes, one policy-gradient step,
+    /// several value-regression epochs.
+    pub fn train_iteration(&mut self, rng: &mut StdRng) -> ReinforceStats {
+        self.iteration += 1;
+        let act_dim = self.log_std.len();
+
+        // --- Collect complete episodes. ---
+        let mut obs_all: Vec<Vec<f64>> = Vec::new();
+        let mut act_all: Vec<Vec<f64>> = Vec::new();
+        let mut ret_all: Vec<f64> = Vec::new();
+        let mut episode_returns = Vec::with_capacity(self.cfg.episodes_per_iter);
+        for _ in 0..self.cfg.episodes_per_iter {
+            let mut obs = self.env.reset(&mut self.env_rng);
+            let mut rewards = Vec::new();
+            let start = obs_all.len();
+            loop {
+                let mean = self.policy.forward_one(&obs);
+                let action = DiagGaussian::new(&mean, &self.log_std).sample(rng);
+                let result = self.env.step(&action, &mut self.env_rng);
+                obs_all.push(std::mem::replace(&mut obs, result.obs));
+                act_all.push(action);
+                rewards.push(result.reward);
+                if result.done {
+                    break;
+                }
+            }
+            episode_returns.push(rewards.iter().sum::<f64>());
+            // Discounted returns-to-go for this episode.
+            let mut g = 0.0;
+            let mut returns = vec![0.0; rewards.len()];
+            for (t, &r) in rewards.iter().enumerate().rev() {
+                g = r + self.cfg.gamma * g;
+                returns[t] = g;
+            }
+            ret_all.extend_from_slice(&returns);
+            debug_assert_eq!(obs_all.len() - start, returns.len());
+        }
+        let n = obs_all.len();
+        self.total_steps += n as u64;
+
+        // --- Advantages against the value baseline, normalized. ---
+        let mut adv: Vec<f64> = (0..n)
+            .map(|i| ret_all[i] - self.value.forward_one(&obs_all[i])[0])
+            .collect();
+        let mean_adv = adv.iter().sum::<f64>() / n as f64;
+        let var_adv =
+            adv.iter().map(|a| (a - mean_adv) * (a - mean_adv)).sum::<f64>() / n as f64;
+        let std_adv = var_adv.sqrt().max(1e-8);
+        for a in &mut adv {
+            *a = (*a - mean_adv) / std_adv;
+        }
+
+        // --- One policy-gradient step over the whole batch. ---
+        let obs_dim = obs_all[0].len();
+        let mut obs_mb = Tensor::zeros(n, obs_dim);
+        for (row, o) in obs_all.iter().enumerate() {
+            obs_mb.row_mut(row).copy_from_slice(o);
+        }
+        let cache = self.policy.forward_cached(&obs_mb);
+        let means = cache.output();
+        let inv_n = 1.0 / n as f64;
+        let mut grad_mean = Tensor::zeros(n, act_dim);
+        let mut grad_log_std = vec![0.0; act_dim];
+        let mut policy_loss = 0.0;
+        for i in 0..n {
+            let dist = DiagGaussian::new(means.row(i), &self.log_std);
+            policy_loss -= dist.log_prob(&act_all[i]) * adv[i] * inv_n;
+            let coeff = -adv[i] * inv_n; // d(−logp·adv)/d logp
+            let glp_mean = dist.log_prob_grad_mean(&act_all[i]);
+            let glp_ls = dist.log_prob_grad_log_std(&act_all[i]);
+            for k in 0..act_dim {
+                grad_mean.set(i, k, coeff * glp_mean[k]);
+                grad_log_std[k] += coeff * glp_ls[k];
+            }
+        }
+        if self.cfg.entropy_coeff != 0.0 {
+            // dH/d log_std_k = 1 for a diagonal Gaussian.
+            for g in grad_log_std.iter_mut() {
+                *g -= self.cfg.entropy_coeff;
+            }
+        }
+        let entropy = DiagGaussian::new(means.row(0), &self.log_std).entropy();
+        let mut flat = self.policy.backward(&cache, &grad_mean);
+        flat.extend_from_slice(&grad_log_std);
+        clip_grad_norm(&mut flat, self.cfg.grad_clip);
+        let mut params = self.policy.params_vec();
+        params.extend_from_slice(&self.log_std);
+        self.opt_policy.step(&mut params, &flat);
+        let np = self.policy.num_params();
+        self.policy.read_params(&params[..np]);
+        self.log_std.copy_from_slice(&params[np..]);
+        for ls in &mut self.log_std {
+            *ls = ls.clamp(-5.0, 2.0);
+        }
+
+        // --- Value regression on the returns. ---
+        let mut value_loss = 0.0;
+        for _ in 0..self.cfg.value_epochs {
+            let vcache = self.value.forward_cached(&obs_mb);
+            let mut vgrad = Tensor::zeros(n, 1);
+            value_loss = 0.0;
+            for i in 0..n {
+                let err = vcache.output().get(i, 0) - ret_all[i];
+                value_loss += err * err * inv_n;
+                vgrad.set(i, 0, 2.0 * err * inv_n);
+            }
+            let mut vflat = self.value.backward(&vcache, &vgrad);
+            clip_grad_norm(&mut vflat, self.cfg.grad_clip);
+            let mut vparams = self.value.params_vec();
+            self.opt_value.step(&mut vparams, &vflat);
+            self.value.read_params(&vparams);
+        }
+
+        ReinforceStats {
+            iteration: self.iteration,
+            total_steps: self.total_steps,
+            mean_episode_return: episode_returns.iter().sum::<f64>()
+                / episode_returns.len() as f64,
+            policy_loss,
+            value_loss,
+            entropy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ToyControlEnv;
+
+    #[test]
+    fn reinforce_improves_on_toy_control() {
+        let env = ToyControlEnv::new(10);
+        let cfg = ReinforceConfig {
+            lr: 5e-3,
+            value_lr: 5e-3,
+            episodes_per_iter: 16,
+            hidden: vec![16, 16],
+            initial_log_std: -0.5,
+            ..ReinforceConfig::default()
+        };
+        let mut trainer = ReinforceTrainer::new(&env, cfg, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut first = f64::NAN;
+        let mut last = f64::NAN;
+        for it in 0..60 {
+            let stats = trainer.train_iteration(&mut rng);
+            if it == 0 {
+                first = stats.mean_episode_return;
+            }
+            last = stats.mean_episode_return;
+        }
+        assert!(last > first + 0.3, "REINFORCE failed to improve: {first} -> {last}");
+        let a_pos = trainer.deterministic_action(&[1.0])[0];
+        let a_neg = trainer.deterministic_action(&[-1.0])[0];
+        assert!(a_pos < -0.2, "action at x=1 should be negative, got {a_pos}");
+        assert!(a_neg > 0.2, "action at x=-1 should be positive, got {a_neg}");
+    }
+
+    #[test]
+    fn bookkeeping_counts_full_episodes() {
+        let env = ToyControlEnv::new(7);
+        let cfg = ReinforceConfig {
+            episodes_per_iter: 3,
+            hidden: vec![8],
+            ..ReinforceConfig::default()
+        };
+        let mut trainer = ReinforceTrainer::new(&env, cfg, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s1 = trainer.train_iteration(&mut rng);
+        assert_eq!(s1.iteration, 1);
+        assert_eq!(s1.total_steps, 21, "3 episodes × 7 steps");
+        assert!(s1.mean_episode_return.is_finite());
+        assert!(s1.value_loss >= 0.0);
+        let s2 = trainer.train_iteration(&mut rng);
+        assert_eq!(s2.total_steps, 42);
+    }
+
+    #[test]
+    fn seeded_training_is_reproducible() {
+        let env = ToyControlEnv::new(5);
+        let cfg = ReinforceConfig {
+            episodes_per_iter: 4,
+            hidden: vec![8],
+            ..ReinforceConfig::default()
+        };
+        let run = || {
+            let mut t = ReinforceTrainer::new(&env, cfg.clone(), 9);
+            let mut rng = StdRng::seed_from_u64(10);
+            let mut v = Vec::new();
+            for _ in 0..3 {
+                v.push(t.train_iteration(&mut rng).mean_episode_return);
+            }
+            v
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,281 @@
+//! The exact aggregated finite-system engine: `O(M)` per epoch instead of
+//! `O(N·d)`, following the *same probability law* as the per-client engine.
+//!
+//! ### Exactness argument
+//! Conditional on the epoch-start queue states and the decision rule, the
+//! clients' (sampled queues, action) tuples are i.i.d. (Eq. 3–4). A single
+//! client assigns its traffic to one specific queue `j` with probability
+//! depending only on the *state* `z_j` of that queue:
+//!
+//! ```text
+//! q_z = (1/M) · Σ_u Σ_{z̄ : z̄_u = z} h(u | z̄) · Π_{k≠u} H(z̄_k)
+//! ```
+//!
+//! where `H` is the empirical state distribution. (This is exactly
+//! `per_state_arrival_rates(H, h, 1)/M` from `mflb-core` — the same integral
+//! as the mean-field arrival rate, evaluated at the empirical measure.)
+//! Therefore the client-count vector over queues is
+//! `Multinomial(N, (q_{z_1}, …, q_{z_M}))`, which we sample hierarchically:
+//!
+//! 1. counts per *state group* `C_z ∼ Multinomial(N, (m_z·q_z)_z)` —
+//!    `|Z|` categories,
+//! 2. within a group, clients split uniformly over its `m_z` queues
+//!    (exchangeability) — conditional binomials, `O(M)` total.
+//!
+//! Both levels use the exact samplers from `mflb-queue`, so the resulting
+//! per-queue counts have *identical* distribution to the per-client engine
+//! for any `N` — including the paper's `N = M² = 10^6` (Fig. 4–5) and the
+//! `N ⋡ M` ablation (Fig. 6). The integration tests verify the agreement
+//! statistically.
+
+use crate::episode::FiniteEngine;
+use mflb_core::meanfield::per_state_arrival_rates;
+use mflb_core::{DecisionRule, StateDist, SystemConfig};
+use mflb_queue::sampler::Sampler;
+use mflb_queue::BirthDeathQueue;
+use rand::rngs::StdRng;
+
+/// Samples the per-queue client counts for one epoch by the hierarchical
+/// multinomial decomposition described in the module docs. `queues` holds
+/// the epoch-start queue **lengths**; the result assigns all
+/// `num_clients` clients. Shared by the homogeneous aggregate engine and
+/// the phase-type engine (whose assignment law depends on lengths only).
+pub fn sample_client_assignments(
+    num_clients: u64,
+    buffer: usize,
+    queues: &[usize],
+    rule: &DecisionRule,
+    rng: &mut StdRng,
+) -> Vec<u64> {
+    let m = queues.len();
+    let zs = buffer + 1;
+
+    // Empirical state distribution and per-state group sizes.
+    let mut group_size = vec![0u64; zs];
+    for &z in queues {
+        group_size[z] += 1;
+    }
+    let h = StateDist::empirical(queues, buffer);
+
+    // q_z·M = per-state specific-queue assignment probability × M.
+    // per_state_arrival_rates(H, h, 1.0) returns exactly M·q_z.
+    let m_qz = per_state_arrival_rates(&h, rule, 1.0);
+
+    // Level 1: clients per state group, Multinomial(N, m_z·q_z).
+    let group_probs: Vec<f64> = (0..zs)
+        .map(|z| (group_size[z] as f64 / m as f64) * m_qz[z])
+        .collect();
+    // Conservation: Σ_z group_probs = 1 exactly (up to fp). Clamp tiny
+    // drift so the residual "none" category never goes negative.
+    let group_counts = Sampler::multinomial(rng, num_clients, &group_probs);
+
+    // Level 2: uniform split of each group's clients over its queues.
+    let mut counts = vec![0u64; m];
+    let mut remaining_in_group = group_size.clone();
+    let mut remaining_clients = group_counts;
+    for (j, &z) in queues.iter().enumerate() {
+        let g = remaining_in_group[z];
+        debug_assert!(g >= 1);
+        let c = if g == 1 {
+            remaining_clients[z]
+        } else {
+            Sampler::binomial(rng, remaining_clients[z], 1.0 / g as f64)
+        };
+        counts[j] = c;
+        remaining_clients[z] -= c;
+        remaining_in_group[z] -= 1;
+    }
+    counts
+}
+
+/// Aggregated epoch executor.
+#[derive(Debug, Clone)]
+pub struct AggregateEngine {
+    config: SystemConfig,
+}
+
+impl AggregateEngine {
+    /// Creates the engine for a validated configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate().expect("invalid system configuration");
+        Self { config }
+    }
+
+    /// Samples the per-queue client counts by the hierarchical multinomial
+    /// decomposition (exposed for the engine-agreement tests).
+    pub fn sample_assignments(
+        &self,
+        queues: &[usize],
+        rule: &DecisionRule,
+        rng: &mut StdRng,
+    ) -> Vec<u64> {
+        sample_client_assignments(
+            self.config.num_clients,
+            self.config.buffer,
+            queues,
+            rule,
+            rng,
+        )
+    }
+}
+
+impl FiniteEngine for AggregateEngine {
+    fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn run_epoch(
+        &self,
+        queues: &mut [usize],
+        rule: &DecisionRule,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let m = queues.len();
+        debug_assert_eq!(m, self.config.num_queues);
+        let counts = self.sample_assignments(queues, rule, rng);
+
+        let n = self.config.num_clients as f64;
+        let scale = m as f64 * lambda / n;
+        let mut total_drops = 0u64;
+        for (j, q) in queues.iter_mut().enumerate() {
+            if counts[j] == 0 && *q == 0 {
+                continue; // idle empty queue: nothing can happen
+            }
+            let rate = scale * counts[j] as f64;
+            let model = BirthDeathQueue::new(rate, self.config.service_rate, self.config.buffer);
+            let outcome = model.simulate_epoch(*q, self.config.dt, rng);
+            *q = outcome.final_state;
+            total_drops += outcome.drops;
+        }
+        total_drops as f64 / m as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "aggregate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PerClientEngine;
+    use crate::episode::{run_episode, run_rng};
+    use mflb_core::mdp::FixedRulePolicy;
+    use mflb_linalg::stats::{chi_square_test, Summary};
+    use rand::SeedableRng;
+
+    fn jsq_rule() -> DecisionRule {
+        DecisionRule::from_fn(6, 2, |t| {
+            use std::cmp::Ordering::*;
+            match t[0].cmp(&t[1]) {
+                Less => vec![1.0, 0.0],
+                Greater => vec![0.0, 1.0],
+                Equal => vec![0.5, 0.5],
+            }
+        })
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        let cfg = SystemConfig::paper().with_size(10_000, 50);
+        let engine = AggregateEngine::new(cfg.clone());
+        let queues: Vec<usize> = (0..50).map(|j| j % 6).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for rule in [DecisionRule::uniform(6, 2), jsq_rule()] {
+            let counts = engine.sample_assignments(&queues, &rule, &mut rng);
+            assert_eq!(counts.iter().sum::<u64>(), 10_000);
+        }
+    }
+
+    #[test]
+    fn per_queue_count_marginals_match_per_client_engine() {
+        // Same mixed state profile, both engines, many resamples: the
+        // count distribution on a designated queue must agree.
+        let cfg = SystemConfig::paper().with_size(2_000, 10);
+        let agg = AggregateEngine::new(cfg.clone());
+        let per = PerClientEngine::new(cfg.clone());
+        let queues: Vec<usize> = vec![0, 0, 1, 2, 3, 4, 5, 5, 2, 1];
+        let rule = jsq_rule();
+        let reps = 4_000;
+        let mut rng_a = StdRng::seed_from_u64(2);
+        let mut rng_b = StdRng::seed_from_u64(3);
+        let mut sum_a = Summary::new();
+        let mut sum_b = Summary::new();
+        // Compare the count histogram of queue 0 (a short queue under JSQ).
+        let max_c = 1200usize;
+        let mut hist_a = vec![0.0; 30];
+        let mut hist_b = vec![0.0; 30];
+        let bucket = |c: u64| ((c as usize).min(max_c) * 29 / max_c).min(29);
+        for _ in 0..reps {
+            let ca = agg.sample_assignments(&queues, &rule, &mut rng_a);
+            let cb = per.sample_assignments(&queues, &rule, &mut rng_b);
+            sum_a.push(ca[0] as f64);
+            sum_b.push(cb[0] as f64);
+            hist_a[bucket(ca[0])] += 1.0;
+            hist_b[bucket(cb[0])] += 1.0;
+        }
+        // Means within joint noise.
+        let tol = 4.0 * (sum_a.std_err() + sum_b.std_err());
+        assert!(
+            (sum_a.mean() - sum_b.mean()).abs() < tol,
+            "means {} vs {}",
+            sum_a.mean(),
+            sum_b.mean()
+        );
+        // Histogram agreement via chi-square (per-client as "expected").
+        let (_, _, p) = chi_square_test(&hist_a, &hist_b, 8.0);
+        assert!(p > 1e-4, "count-histogram chi-square p = {p}");
+    }
+
+    #[test]
+    fn episode_totals_agree_between_engines_statistically() {
+        let cfg = SystemConfig::paper().with_size(900, 30).with_dt(3.0);
+        let agg = AggregateEngine::new(cfg.clone());
+        let per = PerClientEngine::new(cfg.clone());
+        let policy = FixedRulePolicy::new(jsq_rule(), "JSQ(2)");
+        let horizon = 15;
+        let runs = 60;
+        let mut sa = Summary::new();
+        let mut sb = Summary::new();
+        for r in 0..runs {
+            sa.push(run_episode(&agg, &policy, horizon, &mut run_rng(100, r)).total_drops);
+            sb.push(run_episode(&per, &policy, horizon, &mut run_rng(200, r)).total_drops);
+        }
+        let tol = 4.0 * (sa.std_err() + sb.std_err());
+        assert!(
+            (sa.mean() - sb.mean()).abs() < tol,
+            "episode drops {} vs {} (tol {tol})",
+            sa.mean(),
+            sb.mean()
+        );
+    }
+
+    #[test]
+    fn large_n_runs_fast_enough_to_be_usable() {
+        // N = 10^6 clients, M = 1000 queues: one epoch must complete (this
+        // is the whole point of the aggregation).
+        let cfg = SystemConfig::paper().with_m_squared(1000).with_dt(5.0);
+        let engine = AggregateEngine::new(cfg.clone());
+        let mut queues = vec![0usize; 1000];
+        let rule = jsq_rule();
+        let mut rng = StdRng::seed_from_u64(4);
+        let drops = engine.run_epoch(&mut queues, &rule, 0.9, &mut rng);
+        assert!(drops >= 0.0);
+        // After one epoch from empty under load 0.9, some queues are
+        // occupied.
+        assert!(queues.iter().any(|&z| z > 0));
+    }
+
+    #[test]
+    fn zero_arrival_rate_only_drains() {
+        let cfg = SystemConfig::paper().with_size(100, 10).with_dt(50.0);
+        let engine = AggregateEngine::new(cfg.clone());
+        let mut queues = vec![5usize; 10];
+        let rule = DecisionRule::uniform(6, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let drops = engine.run_epoch(&mut queues, &rule, 0.0, &mut rng);
+        assert_eq!(drops, 0.0);
+        assert!(queues.iter().all(|&z| z == 0), "queues must drain: {queues:?}");
+    }
+}

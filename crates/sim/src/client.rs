@@ -1,0 +1,179 @@
+//! The literal per-client finite-system engine (Algorithm 1, lines 10–19).
+//!
+//! Every client independently samples `d` queue indices uniformly at random
+//! (Eq. 3), observes their *epoch-start* states (the synchronously
+//! broadcast, hence stale, information), draws its destination from the
+//! decision rule (Eq. 4), and commits its share of the epoch's traffic to
+//! that queue. Queue `j` then runs an exact birth–death CTMC for `Δt` time
+//! units with frozen arrival rate `λ_j = M·λ_t·(#clients on j)/N` (Eq. 5).
+//!
+//! Cost is `O(N·d + M·events)` per epoch — the faithful baseline against
+//! which the O(M)-per-epoch [`crate::aggregate::AggregateEngine`] is
+//! validated (they follow the same probability law; see the crate docs).
+
+use crate::episode::FiniteEngine;
+use mflb_core::{DecisionRule, SystemConfig};
+use mflb_queue::BirthDeathQueue;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Per-client epoch executor.
+#[derive(Debug, Clone)]
+pub struct PerClientEngine {
+    config: SystemConfig,
+}
+
+impl PerClientEngine {
+    /// Creates the engine for a validated configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate().expect("invalid system configuration");
+        Self { config }
+    }
+
+    /// Samples every client's assignment and returns the per-queue client
+    /// counts (exposed for the engine-agreement tests).
+    pub fn sample_assignments(
+        &self,
+        queues: &[usize],
+        rule: &DecisionRule,
+        rng: &mut StdRng,
+    ) -> Vec<u64> {
+        let m = queues.len();
+        let d = self.config.d;
+        let mut counts = vec![0u64; m];
+        let mut sampled = vec![0usize; d];
+        let mut tuple = vec![0usize; d];
+        for _ in 0..self.config.num_clients {
+            for k in 0..d {
+                sampled[k] = rng.gen_range(0..m);
+                tuple[k] = queues[sampled[k]];
+            }
+            let u = rule.sample(&tuple, rng);
+            counts[sampled[u]] += 1;
+        }
+        counts
+    }
+}
+
+impl FiniteEngine for PerClientEngine {
+    fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn run_epoch(
+        &self,
+        queues: &mut [usize],
+        rule: &DecisionRule,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let m = queues.len();
+        debug_assert_eq!(m, self.config.num_queues);
+        let counts = self.sample_assignments(queues, rule, rng);
+
+        // Per-queue arrival rates (Eq. 5) and exact CTMC simulation.
+        let n = self.config.num_clients as f64;
+        let scale = m as f64 * lambda / n;
+        let mut total_drops = 0u64;
+        for (j, q) in queues.iter_mut().enumerate() {
+            let rate = scale * counts[j] as f64;
+            let model = BirthDeathQueue::new(rate, self.config.service_rate, self.config.buffer);
+            let outcome = model.simulate_epoch(*q, self.config.dt, rng);
+            *q = outcome.final_state;
+            total_drops += outcome.drops;
+        }
+        total_drops as f64 / m as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "per-client"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::episode::{run_episode, run_rng};
+    use mflb_core::mdp::FixedRulePolicy;
+    use mflb_core::DecisionRule;
+    use rand::SeedableRng;
+
+    fn small_config() -> SystemConfig {
+        SystemConfig::paper().with_size(400, 20).with_dt(2.0)
+    }
+
+    #[test]
+    fn assignment_counts_sum_to_n() {
+        let cfg = small_config();
+        let engine = PerClientEngine::new(cfg.clone());
+        let queues = vec![0usize; cfg.num_queues];
+        let rule = DecisionRule::uniform(cfg.num_states(), cfg.d);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = engine.sample_assignments(&queues, &rule, &mut rng);
+        assert_eq!(counts.iter().sum::<u64>(), cfg.num_clients);
+    }
+
+    #[test]
+    fn uniform_rule_spreads_assignments() {
+        let cfg = small_config();
+        let engine = PerClientEngine::new(cfg.clone());
+        let queues = vec![0usize; cfg.num_queues];
+        let rule = DecisionRule::uniform(cfg.num_states(), cfg.d);
+        let mut rng = StdRng::seed_from_u64(2);
+        let counts = engine.sample_assignments(&queues, &rule, &mut rng);
+        let expect = cfg.num_clients as f64 / cfg.num_queues as f64; // 20
+        for &c in &counts {
+            // 6σ band for Binomial(400, 1/20).
+            let sd = (cfg.num_clients as f64 * (1.0 / 20.0) * (19.0 / 20.0)).sqrt();
+            assert!((c as f64 - expect).abs() < 6.0 * sd, "count {c}");
+        }
+    }
+
+    #[test]
+    fn jsq_rule_sends_everyone_to_short_queues() {
+        let cfg = SystemConfig::paper().with_size(1000, 10).with_dt(1.0);
+        let engine = PerClientEngine::new(cfg.clone());
+        // Queue 0 empty, the rest full.
+        let mut queues = vec![5usize; 10];
+        queues[0] = 0;
+        let rule = mflb_core::DecisionRule::from_fn(6, 2, |t| {
+            use std::cmp::Ordering::*;
+            match t[0].cmp(&t[1]) {
+                Less => vec![1.0, 0.0],
+                Greater => vec![0.0, 1.0],
+                Equal => vec![0.5, 0.5],
+            }
+        });
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = engine.sample_assignments(&queues, &rule, &mut rng);
+        // Herd behaviour: every client that sampled queue 0 sends there.
+        // P(sample includes queue 0) = 1 - (9/10)^2 = 0.19.
+        let frac = counts[0] as f64 / 1000.0;
+        assert!((frac - 0.19).abs() < 0.06, "herding fraction {frac}");
+    }
+
+    #[test]
+    fn episode_runs_and_accumulates() {
+        let cfg = small_config();
+        let engine = PerClientEngine::new(cfg.clone());
+        let policy =
+            FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
+        let mut rng = run_rng(7, 0);
+        let out = run_episode(&engine, &policy, 20, &mut rng);
+        assert_eq!(out.drops_per_epoch.len(), 20);
+        assert!((out.total_drops + out.total_return).abs() < 1e-12);
+        assert!(out.total_drops >= 0.0);
+        assert!(out.mean_queue_len.iter().all(|&l| (0.0..=5.0).contains(&l)));
+    }
+
+    #[test]
+    fn seeded_episodes_reproduce() {
+        let cfg = small_config();
+        let engine = PerClientEngine::new(cfg.clone());
+        let policy =
+            FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
+        let a = run_episode(&engine, &policy, 10, &mut run_rng(11, 3));
+        let b = run_episode(&engine, &policy, 10, &mut run_rng(11, 3));
+        assert_eq!(a.drops_per_epoch, b.drops_per_epoch);
+    }
+}

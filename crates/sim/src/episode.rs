@@ -1,0 +1,141 @@
+//! Episode driver for the finite `N`-client `M`-queue system
+//! (Algorithm 1 of the paper).
+//!
+//! One evaluation episode runs `T_e` decision epochs. At each epoch:
+//!
+//! 1. the empirical queue-state distribution `H_t^M` is computed (line 8),
+//! 2. the upper-level policy produces the decision rule `h_t` (line 9),
+//! 3. the engine assigns clients and simulates every queue's CTMC for `Δt`
+//!    time units, counting drops (lines 10–19),
+//! 4. the arrival level advances (line 20).
+//!
+//! Two interchangeable engines implement step 3: the literal
+//! [`crate::client::PerClientEngine`] and the exact aggregated
+//! [`crate::aggregate::AggregateEngine`] (see the crate docs for the
+//! exactness argument).
+
+use mflb_core::mdp::UpperPolicy;
+use mflb_core::{DecisionRule, StateDist, SystemConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A finite-system epoch executor.
+pub trait FiniteEngine: Send + Sync {
+    /// System configuration in force.
+    fn config(&self) -> &SystemConfig;
+
+    /// Runs one decision epoch in place on `queues` (current queue lengths)
+    /// and returns the **average number of drops per queue** during the
+    /// epoch (`D_t^{N,M}`, Eq. 6).
+    fn run_epoch(
+        &self,
+        queues: &mut [usize],
+        rule: &DecisionRule,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> f64;
+
+    /// Engine identifier for harness output.
+    fn name(&self) -> &'static str;
+}
+
+/// Everything recorded over one finite-system episode.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpisodeOutcome {
+    /// Average per-queue drops in each epoch (`D_t^{N,M}`).
+    pub drops_per_epoch: Vec<f64>,
+    /// Cumulative average per-queue drops `Σ_t D_t^{N,M}` — the quantity
+    /// plotted in Fig. 4–6 ("total packets dropped", normalized per queue).
+    pub total_drops: f64,
+    /// Episode return `−total_drops` (comparable to the MFC MDP value).
+    pub total_return: f64,
+    /// Mean queue length at the end of each epoch (diagnostics).
+    pub mean_queue_len: Vec<f64>,
+    /// Arrival-level index in force during each epoch.
+    pub lambda_trace: Vec<usize>,
+}
+
+/// Samples initial queue states i.i.d. from the configured `ν₀` (Alg. 1,
+/// lines 4–6).
+pub fn sample_initial_queues(config: &SystemConfig, rng: &mut StdRng) -> Vec<usize> {
+    let nu0 = &config.initial_dist;
+    (0..config.num_queues)
+        .map(|_| {
+            let mut u: f64 = rng.gen();
+            for (z, &p) in nu0.iter().enumerate() {
+                u -= p;
+                if u <= 0.0 {
+                    return z;
+                }
+            }
+            nu0.len() - 1
+        })
+        .collect()
+}
+
+/// Runs one episode of `horizon` epochs under an upper-level policy, with
+/// the arrival level evolving stochastically (Algorithm 1).
+pub fn run_episode<E: FiniteEngine + ?Sized>(
+    engine: &E,
+    policy: &dyn UpperPolicy,
+    horizon: usize,
+    rng: &mut StdRng,
+) -> EpisodeOutcome {
+    let config = engine.config();
+    let mut queues = sample_initial_queues(config, rng);
+    let mut lambda_idx = config.arrivals.sample_initial(rng);
+    let mut out = EpisodeOutcome::default();
+    for _ in 0..horizon {
+        let lambda = config.arrivals.level_rate(lambda_idx);
+        let h = StateDist::empirical(&queues, config.buffer);
+        let rule = policy.decide(&h, lambda_idx, lambda);
+        let drops = engine.run_epoch(&mut queues, &rule, lambda, rng);
+        out.drops_per_epoch.push(drops);
+        out.total_drops += drops;
+        out.mean_queue_len
+            .push(queues.iter().map(|&z| z as f64).sum::<f64>() / queues.len() as f64);
+        out.lambda_trace.push(lambda_idx);
+        lambda_idx = config.arrivals.step(lambda_idx, rng);
+    }
+    out.total_return = -out.total_drops;
+    out
+}
+
+/// Runs one episode conditioned on an explicit arrival-level sequence (the
+/// Theorem-1 setting: the same `λ` path is fed to the mean-field model and
+/// the finite system).
+pub fn run_episode_conditioned<E: FiniteEngine + ?Sized>(
+    engine: &E,
+    policy: &dyn UpperPolicy,
+    lambda_seq: &[usize],
+    rng: &mut StdRng,
+) -> EpisodeOutcome {
+    let config = engine.config();
+    let mut queues = sample_initial_queues(config, rng);
+    let mut out = EpisodeOutcome::default();
+    for &lambda_idx in lambda_seq {
+        let lambda = config.arrivals.level_rate(lambda_idx);
+        let h = StateDist::empirical(&queues, config.buffer);
+        let rule = policy.decide(&h, lambda_idx, lambda);
+        let drops = engine.run_epoch(&mut queues, &rule, lambda, rng);
+        out.drops_per_epoch.push(drops);
+        out.total_drops += drops;
+        out.mean_queue_len
+            .push(queues.iter().map(|&z| z as f64).sum::<f64>() / queues.len() as f64);
+        out.lambda_trace.push(lambda_idx);
+    }
+    out.total_return = -out.total_drops;
+    out
+}
+
+/// Derives a per-run RNG from a base seed (stable across thread counts so
+/// Monte-Carlo results are reproducible regardless of parallelism).
+pub fn run_rng(base_seed: u64, run_index: u64) -> StdRng {
+    // SplitMix64 scramble keeps consecutive run seeds decorrelated.
+    let mut z = base_seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run_index + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}

@@ -1,0 +1,219 @@
+//! Heterogeneous-server finite system — the paper's §5 extension.
+//!
+//! Servers carry per-class service rates ([`mflb_queue::hetero::ServerPool`]);
+//! clients observe *composite* states `(queue length, rate class)` and
+//! apply a decision rule over composite indices (built e.g. with
+//! [`mflb_policy::sed_rule`]). This engine is per-client (the clean
+//! aggregation of the homogeneous engine would need per-(state, class)
+//! grouping; at the example scales N ≤ 10⁵ the literal loop is fine).
+
+use mflb_core::{DecisionRule, SystemConfig};
+use mflb_queue::hetero::ServerPool;
+use mflb_queue::BirthDeathQueue;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a heterogeneous episode.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HeteroOutcome {
+    /// Average per-queue drops per epoch.
+    pub drops_per_epoch: Vec<f64>,
+    /// Cumulative average per-queue drops.
+    pub total_drops: f64,
+}
+
+/// Finite system with heterogeneous service rates.
+#[derive(Debug, Clone)]
+pub struct HeteroEngine {
+    config: SystemConfig,
+    pool: ServerPool,
+    /// Rate class of each server (index into the distinct-rate table).
+    class_of: Vec<usize>,
+    /// Distinct class rates, in class order.
+    class_rates: Vec<f64>,
+}
+
+impl HeteroEngine {
+    /// Builds the engine from a configuration (N, d, Δt, arrivals, buffer)
+    /// and a server pool; the pool's size overrides `config.num_queues`.
+    pub fn new(mut config: SystemConfig, pool: ServerPool) -> Self {
+        config.num_queues = pool.len();
+        config.validate().expect("invalid system configuration");
+        // Quantize rates into classes (exact comparison suffices: pools are
+        // constructed from explicit class rates).
+        let mut class_rates: Vec<f64> = Vec::new();
+        let class_of = pool
+            .rates()
+            .iter()
+            .map(|&r| {
+                if let Some(c) = class_rates.iter().position(|&x| (x - r).abs() < 1e-12) {
+                    c
+                } else {
+                    class_rates.push(r);
+                    class_rates.len() - 1
+                }
+            })
+            .collect();
+        Self { config, pool, class_of, class_rates }
+    }
+
+    /// System configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of distinct rate classes.
+    pub fn num_classes(&self) -> usize {
+        self.class_rates.len()
+    }
+
+    /// Distinct class rates.
+    pub fn class_rates(&self) -> &[f64] {
+        &self.class_rates
+    }
+
+    /// Composite state (for rule lookup) of server `j` holding `z` jobs.
+    pub fn composite_state(&self, j: usize, z: usize) -> usize {
+        mflb_policy::composite_index(z, self.class_of[j], self.config.num_states())
+    }
+
+    /// One decision epoch under a composite-state decision rule; returns
+    /// average per-queue drops. `rule` must be built over
+    /// `num_states × num_classes` composite states with the same `d`.
+    pub fn run_epoch(
+        &self,
+        queues: &mut [usize],
+        rule: &DecisionRule,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> f64 {
+        let m = queues.len();
+        assert_eq!(
+            rule.num_states(),
+            self.config.num_states() * self.num_classes(),
+            "rule must cover composite states"
+        );
+        let d = self.config.d;
+        let mut counts = vec![0u64; m];
+        let mut sampled = vec![0usize; d];
+        let mut tuple = vec![0usize; d];
+        for _ in 0..self.config.num_clients {
+            for k in 0..d {
+                sampled[k] = rng.gen_range(0..m);
+                tuple[k] = self.composite_state(sampled[k], queues[sampled[k]]);
+            }
+            let u = rule.sample(&tuple, rng);
+            counts[sampled[u]] += 1;
+        }
+        let scale = m as f64 * lambda / self.config.num_clients as f64;
+        let mut total_drops = 0u64;
+        for (j, q) in queues.iter_mut().enumerate() {
+            let model = BirthDeathQueue::new(
+                scale * counts[j] as f64,
+                self.pool.rate(j),
+                self.config.buffer,
+            );
+            let outcome = model.simulate_epoch(*q, self.config.dt, rng);
+            *q = outcome.final_state;
+            total_drops += outcome.drops;
+        }
+        total_drops as f64 / m as f64
+    }
+
+    /// Runs a fixed-rule episode of `horizon` epochs with stochastic
+    /// arrival modulation.
+    pub fn run_episode(
+        &self,
+        rule: &DecisionRule,
+        horizon: usize,
+        rng: &mut StdRng,
+    ) -> HeteroOutcome {
+        let mut queues = vec![0usize; self.pool.len()];
+        let mut lambda_idx = self.config.arrivals.sample_initial(rng);
+        let mut out = HeteroOutcome::default();
+        for _ in 0..horizon {
+            let lambda = self.config.arrivals.level_rate(lambda_idx);
+            let drops = self.run_epoch(&mut queues, rule, lambda, rng);
+            out.drops_per_epoch.push(drops);
+            out.total_drops += drops;
+            lambda_idx = self.config.arrivals.step(lambda_idx, rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::episode::run_rng;
+    use mflb_policy::{jsq_rule, sed_rule};
+
+    fn two_speed_engine() -> HeteroEngine {
+        let cfg = mflb_core::SystemConfig::paper().with_size(2_000, 20).with_dt(2.0);
+        // 10 fast servers (α = 1.6), 10 slow (α = 0.4): same total capacity
+        // as 20 homogeneous α = 1 servers.
+        let pool = ServerPool::two_speed(10, 1.6, 10, 0.4, 5);
+        HeteroEngine::new(cfg, pool)
+    }
+
+    #[test]
+    fn classes_detected() {
+        let e = two_speed_engine();
+        assert_eq!(e.num_classes(), 2);
+        assert_eq!(e.class_rates(), &[1.6, 0.4]);
+        assert_eq!(e.composite_state(0, 3), 3); // class 0
+        assert_eq!(e.composite_state(19, 3), 6 + 3); // class 1
+    }
+
+    #[test]
+    fn sed_beats_state_only_jsq_on_two_speed_pool() {
+        // JSQ ignores rates and overloads slow servers; SED accounts for
+        // them. Expanded to composite states, JSQ compares only z.
+        let e = two_speed_engine();
+        let zs = 6;
+        let sed = sed_rule(zs, 2, e.class_rates());
+        // State-only JSQ lifted to composite indices.
+        let jsq_plain = jsq_rule(zs, 2);
+        let jsq_lifted = mflb_core::DecisionRule::from_fn(zs * 2, 2, |t| {
+            let raw: Vec<usize> = t.iter().map(|&c| c % zs).collect();
+            (0..2).map(|u| jsq_plain.prob(&raw, u)).collect()
+        });
+        let mut drops_sed = 0.0;
+        let mut drops_jsq = 0.0;
+        let runs = 24;
+        for r in 0..runs {
+            drops_sed += e.run_episode(&sed, 30, &mut run_rng(1, r)).total_drops;
+            drops_jsq += e.run_episode(&jsq_lifted, 30, &mut run_rng(2, r)).total_drops;
+        }
+        assert!(
+            drops_sed < drops_jsq,
+            "SED ({drops_sed:.2}) must beat rate-blind JSQ ({drops_jsq:.2})"
+        );
+    }
+
+    #[test]
+    fn homogeneous_pool_reduces_to_plain_engine_statistics() {
+        // One class -> composite == plain states; compare against the
+        // homogeneous aggregate engine.
+        let cfg = mflb_core::SystemConfig::paper().with_size(900, 30).with_dt(3.0);
+        let pool = ServerPool::homogeneous(30, 1.0, 5);
+        let hetero = HeteroEngine::new(cfg.clone(), pool);
+        let rule = jsq_rule(6, 2);
+        let mut h_total = 0.0;
+        let runs = 30;
+        for r in 0..runs {
+            h_total += hetero.run_episode(&rule, 15, &mut run_rng(3, r)).total_drops;
+        }
+        let agg = crate::aggregate::AggregateEngine::new(cfg);
+        let policy = mflb_core::mdp::FixedRulePolicy::new(rule, "JSQ");
+        let mc = crate::monte_carlo::monte_carlo(&agg, &policy, 15, runs as usize, 9, 0);
+        let h_mean = h_total / runs as f64;
+        // Loose statistical agreement (different engines, same law).
+        assert!(
+            (h_mean - mc.mean()).abs() < 0.25 * mc.mean().max(1.0),
+            "hetero {h_mean} vs aggregate {}",
+            mc.mean()
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Finite `N`-client `M`-queue system simulator (Algorithm 1 of the
+//! paper), with two interchangeable engines:
+//!
+//! * [`client::PerClientEngine`] — the literal model: every client samples
+//!   `d` queues, observes their stale states, draws its destination from
+//!   the decision rule; `O(N·d)` per epoch;
+//! * [`aggregate::AggregateEngine`] — exact hierarchical-multinomial
+//!   aggregation of the client layer, `O(M)` per epoch, *identical in
+//!   law* (see its module docs for the argument). This is what makes the
+//!   paper's `N = M² = 10^6` configurations tractable.
+//!
+//! [`episode`] drives full evaluation episodes; [`monte_carlo()`] fans runs
+//! out over threads with reproducible per-run seeding.
+
+pub mod aggregate;
+pub mod client;
+pub mod episode;
+pub mod hetero;
+pub mod monte_carlo;
+pub mod ph_engine;
+pub mod staggered;
+
+pub use aggregate::AggregateEngine;
+pub use client::PerClientEngine;
+pub use hetero::{HeteroEngine, HeteroOutcome};
+pub use ph_engine::{run_ph_episode, sample_initial_ph_queues, PhAggregateEngine};
+pub use staggered::StaggeredEngine;
+pub use episode::{
+    run_episode, run_episode_conditioned, run_rng, sample_initial_queues, EpisodeOutcome,
+    FiniteEngine,
+};
+pub use monte_carlo::{monte_carlo, monte_carlo_conditioned, MonteCarloResult};

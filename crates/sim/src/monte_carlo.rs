@@ -1,0 +1,169 @@
+//! Parallel Monte-Carlo evaluation of policies on the finite system.
+//!
+//! The paper evaluates every configuration with `n = 100` independent
+//! simulations and reports means with 95% confidence intervals (Fig. 4–6).
+//! Runs are distributed over worker threads with crossbeam's scoped
+//! threads; each run derives its RNG from `(base_seed, run_index)` so the
+//! result is bit-identical regardless of the worker count.
+
+use crate::episode::{run_episode, run_episode_conditioned, run_rng, EpisodeOutcome, FiniteEngine};
+use mflb_core::mdp::UpperPolicy;
+use mflb_linalg::stats::Summary;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated Monte-Carlo output.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MonteCarloResult {
+    /// Summary over runs of the cumulative per-queue drops.
+    pub drops: Summary,
+    /// Total drops of each run (for downstream statistics/plots).
+    pub per_run: Vec<f64>,
+    /// Mean per-epoch drop trajectory averaged over runs.
+    pub mean_drops_per_epoch: Vec<f64>,
+}
+
+impl MonteCarloResult {
+    /// Mean cumulative drops.
+    pub fn mean(&self) -> f64 {
+        self.drops.mean()
+    }
+
+    /// 95% confidence half-width.
+    pub fn ci95(&self) -> f64 {
+        self.drops.ci95_half_width()
+    }
+}
+
+/// Runs `n_runs` independent episodes of `horizon` epochs and aggregates
+/// drop statistics, using up to `threads` workers (0 → available
+/// parallelism).
+pub fn monte_carlo<E: FiniteEngine + ?Sized>(
+    engine: &E,
+    policy: &(dyn UpperPolicy + Sync),
+    horizon: usize,
+    n_runs: usize,
+    base_seed: u64,
+    threads: usize,
+) -> MonteCarloResult {
+    run_many(engine, n_runs, threads, |run| {
+        run_episode(engine, policy, horizon, &mut run_rng(base_seed, run))
+    })
+}
+
+/// Conditioned variant: every run uses the same arrival-level sequence
+/// (queue noise still differs per run), isolating the Theorem-1 comparison.
+pub fn monte_carlo_conditioned<E: FiniteEngine + ?Sized>(
+    engine: &E,
+    policy: &(dyn UpperPolicy + Sync),
+    lambda_seq: &[usize],
+    n_runs: usize,
+    base_seed: u64,
+    threads: usize,
+) -> MonteCarloResult {
+    run_many(engine, n_runs, threads, |run| {
+        run_episode_conditioned(engine, policy, lambda_seq, &mut run_rng(base_seed, run))
+    })
+}
+
+fn run_many<E, F>(engine: &E, n_runs: usize, threads: usize, job: F) -> MonteCarloResult
+where
+    E: FiniteEngine + ?Sized,
+    F: Fn(u64) -> EpisodeOutcome + Sync,
+{
+    let _ = engine;
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n_runs.max(1));
+
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let results: Mutex<Vec<(u64, EpisodeOutcome)>> = Mutex::new(Vec::with_capacity(n_runs));
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let run = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if run >= n_runs as u64 {
+                    break;
+                }
+                let outcome = job(run);
+                results.lock().push((run, outcome));
+            });
+        }
+    })
+    .expect("monte-carlo worker panicked");
+
+    let mut outcomes = results.into_inner();
+    outcomes.sort_by_key(|(run, _)| *run);
+
+    let mut drops = Summary::new();
+    let mut per_run = Vec::with_capacity(n_runs);
+    let mut mean_per_epoch: Vec<f64> = Vec::new();
+    for (_, o) in &outcomes {
+        drops.push(o.total_drops);
+        per_run.push(o.total_drops);
+        if mean_per_epoch.len() < o.drops_per_epoch.len() {
+            mean_per_epoch.resize(o.drops_per_epoch.len(), 0.0);
+        }
+        for (acc, &v) in mean_per_epoch.iter_mut().zip(&o.drops_per_epoch) {
+            *acc += v;
+        }
+    }
+    let n = outcomes.len().max(1) as f64;
+    for v in &mut mean_per_epoch {
+        *v /= n;
+    }
+
+    MonteCarloResult { drops, per_run, mean_drops_per_epoch: mean_per_epoch }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateEngine;
+    use mflb_core::mdp::FixedRulePolicy;
+    use mflb_core::{DecisionRule, SystemConfig};
+
+    fn setup() -> (AggregateEngine, FixedRulePolicy) {
+        let cfg = SystemConfig::paper().with_size(400, 20).with_dt(2.0);
+        let engine = AggregateEngine::new(cfg.clone());
+        let policy =
+            FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
+        (engine, policy)
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (engine, policy) = setup();
+        let a = monte_carlo(&engine, &policy, 10, 8, 42, 1);
+        let b = monte_carlo(&engine, &policy, 10, 8, 42, 4);
+        assert_eq!(a.per_run, b.per_run);
+        assert_eq!(a.mean_drops_per_epoch, b.mean_drops_per_epoch);
+    }
+
+    #[test]
+    fn summary_matches_per_run_values() {
+        let (engine, policy) = setup();
+        let r = monte_carlo(&engine, &policy, 10, 12, 7, 0);
+        assert_eq!(r.per_run.len(), 12);
+        let mean = r.per_run.iter().sum::<f64>() / 12.0;
+        assert!((r.mean() - mean).abs() < 1e-12);
+        assert!(r.ci95() >= 0.0);
+        assert_eq!(r.mean_drops_per_epoch.len(), 10);
+    }
+
+    #[test]
+    fn conditioned_runs_share_lambda_path() {
+        let (engine, policy) = setup();
+        let seq = vec![0usize; 10];
+        let r = monte_carlo_conditioned(&engine, &policy, &seq, 6, 3, 2);
+        assert_eq!(r.per_run.len(), 6);
+        // All-high-load conditioning: more drops than all-low.
+        let seq_low = vec![1usize; 10];
+        let r_low = monte_carlo_conditioned(&engine, &policy, &seq_low, 6, 3, 2);
+        assert!(r.mean() > r_low.mean());
+    }
+}

@@ -1,0 +1,270 @@
+//! Staggered (asynchronous) information updates — the information
+//! structure of Zhou/Shroff/Wierman \[43\] that the paper contrasts its
+//! synchronous broadcast against, built so the two can be compared
+//! head-to-head.
+//!
+//! The paper's model refreshes *every* client's `d`-sample and observed
+//! states at every decision epoch (synchronous broadcast every Δt). Here
+//! clients are partitioned into `c` cohorts; cohort `r` refreshes its
+//! sample/observations only at epochs `t ≡ r (mod c)`, and routes on its
+//! **stored stale snapshot** in between. Each client therefore works with
+//! information aged 0..c−1 epochs — but crucially the refresh times are
+//! *spread out*, so clients do not all chase the same momentary shortest
+//! queues.
+//!
+//! The head-to-head this enables (`ablation_staggered`): synchronized
+//! broadcast with period `c·Δt` versus `c` staggered cohorts at epoch
+//! `Δt` — identical per-client refresh period, very different herding
+//! behaviour.
+//!
+//! This engine is per-client (the aggregate multinomial law does not
+//! apply: a client's destination now depends on its private stale
+//! snapshot, not the current queue states alone), so it targets the
+//! `N ≤ 10^5` scales also used by the heterogeneous engine.
+
+use crate::episode::EpisodeOutcome;
+use mflb_core::mdp::UpperPolicy;
+use mflb_core::{StateDist, SystemConfig};
+use mflb_queue::BirthDeathQueue;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Finite system with cohort-staggered information refreshes.
+#[derive(Debug, Clone)]
+pub struct StaggeredEngine {
+    config: SystemConfig,
+    cohorts: usize,
+}
+
+impl StaggeredEngine {
+    /// Creates the engine with `cohorts ≥ 1` refresh cohorts
+    /// (`cohorts = 1` is the paper's synchronous model).
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration or zero cohorts.
+    pub fn new(config: SystemConfig, cohorts: usize) -> Self {
+        config.validate().expect("invalid system configuration");
+        assert!(cohorts >= 1, "need at least one cohort");
+        Self { config, cohorts }
+    }
+
+    /// System configuration in force.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of refresh cohorts.
+    pub fn cohorts(&self) -> usize {
+        self.cohorts
+    }
+
+    /// Runs one episode of `horizon` epochs under an upper-level policy.
+    ///
+    /// Per epoch: the due cohort resamples its `d` queues and snapshots
+    /// their states; every client draws its destination from the epoch's
+    /// decision rule applied to its **own stored snapshot**; queues then
+    /// evolve for `Δt` with frozen arrival splits (Algorithm 1 lines
+    /// 15–19).
+    pub fn run_episode(
+        &self,
+        policy: &dyn UpperPolicy,
+        horizon: usize,
+        rng: &mut StdRng,
+    ) -> EpisodeOutcome {
+        let cfg = &self.config;
+        let n = cfg.num_clients as usize;
+        let m = cfg.num_queues;
+        let d = cfg.d;
+
+        let mut queues = crate::episode::sample_initial_queues(cfg, rng);
+        let mut lambda_idx = cfg.arrivals.sample_initial(rng);
+
+        // Per-client persistent state: sampled queue indices and the
+        // states observed at the last refresh.
+        let mut samples = vec![0usize; n * d];
+        let mut snapshots = vec![0u8; n * d];
+        // Epoch 0 initializes everyone (cold start = fresh broadcast).
+        for i in 0..n {
+            for k in 0..d {
+                let j = rng.gen_range(0..m);
+                samples[i * d + k] = j;
+                snapshots[i * d + k] = queues[j] as u8;
+            }
+        }
+
+        let mut out = EpisodeOutcome::default();
+        let mut counts = vec![0u64; m];
+        let mut tuple = vec![0usize; d];
+        for t in 0..horizon {
+            let lambda = cfg.arrivals.level_rate(lambda_idx);
+            let h = StateDist::empirical(&queues, cfg.buffer);
+            let rule = policy.decide(&h, lambda_idx, lambda);
+
+            // Refresh the due cohort (all cohorts when c = 1).
+            if self.cohorts >= 1 {
+                let due = t % self.cohorts;
+                for i in 0..n {
+                    if i % self.cohorts == due {
+                        for k in 0..d {
+                            let j = rng.gen_range(0..m);
+                            samples[i * d + k] = j;
+                            snapshots[i * d + k] = queues[j] as u8;
+                        }
+                    }
+                }
+            }
+
+            // Route every client on its stored (possibly stale) snapshot.
+            counts.iter_mut().for_each(|c| *c = 0);
+            for i in 0..n {
+                for k in 0..d {
+                    tuple[k] = snapshots[i * d + k] as usize;
+                }
+                let u = rule.sample(&tuple, rng);
+                counts[samples[i * d + u]] += 1;
+            }
+
+            // Queue evolution with frozen per-queue arrival rates.
+            let scale = m as f64 * lambda / n as f64;
+            let mut drops = 0u64;
+            for (j, q) in queues.iter_mut().enumerate() {
+                if counts[j] == 0 && *q == 0 {
+                    continue;
+                }
+                let model =
+                    BirthDeathQueue::new(scale * counts[j] as f64, cfg.service_rate, cfg.buffer);
+                let outcome = model.simulate_epoch(*q, cfg.dt, rng);
+                *q = outcome.final_state;
+                drops += outcome.drops;
+            }
+            let per_queue = drops as f64 / m as f64;
+            out.drops_per_epoch.push(per_queue);
+            out.total_drops += per_queue;
+            out.mean_queue_len
+                .push(queues.iter().map(|&z| z as f64).sum::<f64>() / m as f64);
+            out.lambda_trace.push(lambda_idx);
+            lambda_idx = cfg.arrivals.step(lambda_idx, rng);
+        }
+        out.total_return = -out.total_drops;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PerClientEngine;
+    use crate::episode::{run_episode, run_rng};
+    use mflb_core::mdp::FixedRulePolicy;
+    use mflb_core::DecisionRule;
+    use mflb_linalg::stats::Summary;
+    use mflb_queue::ArrivalProcess;
+
+    fn jsq() -> DecisionRule {
+        DecisionRule::from_fn(6, 2, |t| {
+            use std::cmp::Ordering::*;
+            match t[0].cmp(&t[1]) {
+                Less => vec![1.0, 0.0],
+                Greater => vec![0.0, 1.0],
+                Equal => vec![0.5, 0.5],
+            }
+        })
+    }
+
+    #[test]
+    fn one_cohort_matches_per_client_engine_statistically() {
+        // c = 1 refreshes everyone every epoch — the paper's synchronous
+        // model — so episode totals must agree in law with the literal
+        // per-client engine.
+        let cfg = SystemConfig::paper().with_size(800, 20).with_dt(2.0);
+        let staggered = StaggeredEngine::new(cfg.clone(), 1);
+        let per = PerClientEngine::new(cfg);
+        let policy = FixedRulePolicy::new(jsq(), "JSQ(2)");
+        let (mut sa, mut sb) = (Summary::new(), Summary::new());
+        for r in 0..40 {
+            sa.push(staggered.run_episode(&policy, 12, &mut run_rng(1, r)).total_drops);
+            sb.push(run_episode(&per, &policy, 12, &mut run_rng(2, r)).total_drops);
+        }
+        let tol = 4.0 * (sa.std_err() + sb.std_err());
+        assert!(
+            (sa.mean() - sb.mean()).abs() < tol,
+            "staggered(1) {} vs per-client {} (tol {tol})",
+            sa.mean(),
+            sb.mean()
+        );
+    }
+
+    #[test]
+    fn staleness_hurts_jsq() {
+        // More cohorts = older private snapshots. Under JSQ (which trusts
+        // its observations absolutely) drops must grow with the cohort
+        // count at fixed epoch length.
+        let mut cfg = SystemConfig::paper().with_size(2_000, 20).with_dt(1.0);
+        cfg.arrivals = ArrivalProcess::constant(0.9);
+        let policy = FixedRulePolicy::new(jsq(), "JSQ(2)");
+        let drops_at = |c: usize| {
+            let engine = StaggeredEngine::new(cfg.clone(), c);
+            let mut s = Summary::new();
+            for r in 0..24 {
+                s.push(engine.run_episode(&policy, 30, &mut run_rng(10 + c as u64, r)).total_drops);
+            }
+            s.mean()
+        };
+        let fresh = drops_at(1);
+        let stale = drops_at(10);
+        assert!(
+            stale > fresh,
+            "10-epoch-old snapshots ({stale:.2}) must drop more than fresh ({fresh:.2})"
+        );
+    }
+
+    #[test]
+    fn staggering_beats_synchronized_slow_broadcast() {
+        // Same per-client refresh period (4 time units), two architectures:
+        // (a) synchronized broadcast every 4 time units (paper's model at
+        //     Δt = 4), (b) 4 staggered cohorts refreshing every 4 epochs
+        //     of length 1. Staggering de-synchronizes the herd, so JSQ
+        //     should drop fewer packets under (b).
+        let mut base = SystemConfig::paper().with_size(2_000, 20);
+        base.arrivals = ArrivalProcess::constant(0.9);
+        let policy = FixedRulePolicy::new(jsq(), "JSQ(2)");
+
+        let sync_cfg = base.clone().with_dt(4.0);
+        let sync = PerClientEngine::new(sync_cfg);
+        let mut s_sync = Summary::new();
+        for r in 0..30 {
+            s_sync.push(run_episode(&sync, &policy, 10, &mut run_rng(30, r)).total_drops);
+        }
+
+        let stag_cfg = base.with_dt(1.0);
+        let stag = StaggeredEngine::new(stag_cfg, 4);
+        let mut s_stag = Summary::new();
+        for r in 0..30 {
+            // 40 epochs of length 1 = the same 40 time units.
+            s_stag.push(stag.run_episode(&policy, 40, &mut run_rng(31, r)).total_drops);
+        }
+
+        assert!(
+            s_stag.mean() < s_sync.mean(),
+            "staggered {:.2} should beat synchronized {:.2}",
+            s_stag.mean(),
+            s_sync.mean()
+        );
+    }
+
+    #[test]
+    fn per_epoch_assignment_conserves_clients() {
+        // Sanity through observable behaviour: with zero service and tiny
+        // buffers, total drops + accepted across an epoch equal arrivals;
+        // indirectly verified by the drop bound D ≤ λ·Δt·horizon.
+        let mut cfg = SystemConfig::paper().with_size(500, 10).with_dt(2.0);
+        cfg.arrivals = ArrivalProcess::constant(0.9);
+        let engine = StaggeredEngine::new(cfg, 3);
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(6, 2), "RND");
+        let out = engine.run_episode(&policy, 20, &mut run_rng(50, 0));
+        assert_eq!(out.drops_per_epoch.len(), 20);
+        for &dpq in &out.drops_per_epoch {
+            assert!((0.0..=0.9 * 2.0 + 1.0).contains(&dpq));
+        }
+    }
+}

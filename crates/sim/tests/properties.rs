@@ -1,0 +1,104 @@
+//! Property-based invariants of the finite-system engines: the exact
+//! aggregation must conserve clients and respect the assignment law for
+//! *arbitrary* queue-length profiles and decision rules.
+
+use mflb_core::meanfield::per_state_arrival_rates;
+use mflb_core::{DecisionRule, StateDist};
+use mflb_sim::aggregate::sample_client_assignments;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: an arbitrary queue-length profile over `{0..5}` for M queues.
+fn profile_strategy() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..6, 5..40)
+}
+
+/// Strategy: a random row-stochastic d = 2 decision rule over 6 states.
+fn rule_strategy() -> impl Strategy<Value = DecisionRule> {
+    prop::collection::vec(0.0f64..1.0, 36).prop_map(|ps| {
+        DecisionRule::from_fn(6, 2, |tuple| {
+            let p = ps[tuple[0] * 6 + tuple[1]].clamp(0.0, 1.0);
+            vec![p, 1.0 - p]
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn assignments_conserve_clients(
+        queues in profile_strategy(),
+        rule in rule_strategy(),
+        n in 1u64..50_000,
+        seed in 0u64..10_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = sample_client_assignments(n, 5, &queues, &rule, &mut rng);
+        prop_assert_eq!(counts.len(), queues.len());
+        prop_assert_eq!(counts.iter().sum::<u64>(), n, "every client lands somewhere");
+    }
+
+    #[test]
+    fn equal_state_queues_are_exchangeable_in_expectation(
+        rule in rule_strategy(),
+        seed in 0u64..500,
+    ) {
+        // Two queues in the same state must receive statistically equal
+        // client counts (the level-2 uniform split of the aggregation).
+        let queues = vec![2usize, 2, 0, 4, 1, 1, 3, 2];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reps = 400;
+        let (mut a, mut b) = (0u64, 0u64);
+        for _ in 0..reps {
+            let counts = sample_client_assignments(4_000, 5, &queues, &rule, &mut rng);
+            a += counts[0];
+            b += counts[1];
+        }
+        let (a, b) = (a as f64 / reps as f64, b as f64 / reps as f64);
+        let scale = (a + b).max(1.0);
+        prop_assert!(
+            (a - b).abs() / scale < 0.10,
+            "same-state queues got {a:.1} vs {b:.1} clients on average"
+        );
+    }
+
+    #[test]
+    fn group_totals_match_the_mean_field_integral(
+        queues in profile_strategy(),
+        rule in rule_strategy(),
+        seed in 0u64..500,
+    ) {
+        // The expected per-state client share is m_z/M · M·q_z from
+        // per_state_arrival_rates(H, h, 1) — check the empirical group
+        // totals against it.
+        let n = 20_000u64;
+        let m = queues.len();
+        let h = StateDist::empirical(&queues, 5);
+        let m_qz = per_state_arrival_rates(&h, &rule, 1.0);
+        let mut group_size = [0u64; 6];
+        for &z in &queues {
+            group_size[z] += 1;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reps = 60;
+        let mut group_totals = [0.0f64; 6];
+        for _ in 0..reps {
+            let counts = sample_client_assignments(n, 5, &queues, &rule, &mut rng);
+            for (j, &z) in queues.iter().enumerate() {
+                group_totals[z] += counts[j] as f64;
+            }
+        }
+        for z in 0..6 {
+            let expected = n as f64 * (group_size[z] as f64 / m as f64) * m_qz[z];
+            let got = group_totals[z] / reps as f64;
+            // Multinomial noise of the group total over reps averages.
+            let se = (expected.max(1.0)).sqrt() / (reps as f64).sqrt() * 3.0 + 6.0;
+            prop_assert!(
+                (got - expected).abs() < 6.0 * se,
+                "state {z}: mean group total {got:.1} vs expected {expected:.1}"
+            );
+        }
+    }
+}

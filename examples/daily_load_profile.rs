@@ -1,0 +1,105 @@
+//! A three-level "daily load profile" — night / day / peak — showing
+//! that nothing in the stack is hard-wired to the paper's two arrival
+//! levels: the MMPP, the mean-field MDP, the exact DP and the finite
+//! system all take arbitrary finite level sets.
+//!
+//! The DP solution becomes genuinely *load-adaptive*: it plays sharper
+//! rules at night (fresh-ish information over an emptying system) and
+//! softer ones at peak (herding is deadliest when everything is full).
+//!
+//! ```text
+//! cargo run --release --example daily_load_profile
+//! ```
+
+use mflb::core::mdp::FixedRulePolicy;
+use mflb::core::{MeanFieldMdp, StateDist, SystemConfig};
+use mflb::dp::{ActionLibrary, DpConfig, DpSolution};
+use mflb::policy::{jsq_rule, rnd_rule};
+use mflb::queue::ArrivalProcess;
+use mflb::sim::{monte_carlo, AggregateEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Night 0.4, day 0.75, peak 0.95 jobs per queue per time unit; the
+    // kernel cycles night → day → peak → day → night with some jitter.
+    let levels = vec![0.95, 0.75, 0.4]; // index 0 = peak, 1 = day, 2 = night
+    let kernel = vec![
+        vec![0.6, 0.4, 0.0], // peak: mostly stays, falls to day
+        vec![0.25, 0.5, 0.25], // day: drifts either way
+        vec![0.0, 0.5, 0.5], // night: rises to day
+    ];
+    let initial = vec![0.2, 0.5, 0.3];
+    let arrivals = ArrivalProcess::new(levels, kernel, initial);
+
+    let config = SystemConfig::paper()
+        .with_dt(5.0)
+        .with_m_squared(100)
+        .with_arrivals(arrivals);
+    let zs = config.num_states();
+    let horizon = config.eval_episode_len();
+    println!(
+        "3-level MMPP: rates {:?}, stationary {:?}",
+        config.arrivals.levels(),
+        config
+            .arrivals
+            .stationary()
+            .iter()
+            .map(|p| format!("{p:.3}"))
+            .collect::<Vec<_>>()
+    );
+
+    // Exact DP over the softmin family — the state space is now
+    // P(Z) × {peak, day, night}.
+    println!("\nsolving the lattice DP over 3 arrival levels …");
+    let dp_cfg = DpConfig { grid_resolution: 8, tol: 1e-6, max_sweeps: 4000, threads: 0 };
+    let sol = DpSolution::solve(&config, ActionLibrary::softmin_default(zs, config.d), &dp_cfg);
+    println!(
+        "  {} lattice states × 3 levels, {} sweeps",
+        sol.grid().num_points(),
+        sol.sweeps
+    );
+
+    println!("\ngreedy rule by arrival level (same congested ν):");
+    let nu = StateDist::new(vec![0.1, 0.1, 0.2, 0.2, 0.2, 0.2]);
+    for (l, name) in [(0usize, "peak"), (1, "day"), (2, "night")] {
+        let a = sol.greedy_action(&nu, l);
+        println!(
+            "  {name:<6} (λ = {:.2}): plays {:<14} V = {:.2}",
+            config.arrivals.level_rate(l),
+            sol.actions().name(a),
+            sol.value(&nu, l)
+        );
+    }
+
+    let dp_policy = sol.into_policy();
+    let jsq = FixedRulePolicy::new(jsq_rule(zs, config.d), "JSQ(2)");
+    let rnd = FixedRulePolicy::new(rnd_rule(zs, config.d), "RND");
+
+    // Mean-field comparison.
+    let mdp = MeanFieldMdp::new(config.clone());
+    let mut rng = StdRng::seed_from_u64(5);
+    println!("\nmean-field drops over ≈500 time units:");
+    println!("  DP      {:7.2}", -mdp.evaluate(&dp_policy, horizon, 40, &mut rng).mean());
+    println!("  JSQ(2)  {:7.2}", -mdp.evaluate(&jsq, horizon, 40, &mut rng).mean());
+    println!("  RND     {:7.2}", -mdp.evaluate(&rnd, horizon, 40, &mut rng).mean());
+
+    // Finite system.
+    let engine = AggregateEngine::new(config.clone());
+    println!(
+        "\nfinite system (N = {}, M = {}) drops:",
+        config.num_clients, config.num_queues
+    );
+    let r_dp = monte_carlo(&engine, &dp_policy, horizon, 16, 9, 0);
+    let r_jsq = monte_carlo(&engine, &jsq, horizon, 16, 9, 0);
+    let r_rnd = monte_carlo(&engine, &rnd, horizon, 16, 9, 0);
+    println!("  DP      {:7.2} ± {:.2}", r_dp.mean(), r_dp.ci95());
+    println!("  JSQ(2)  {:7.2} ± {:.2}", r_jsq.mean(), r_jsq.ci95());
+    println!("  RND     {:7.2} ± {:.2}", r_rnd.mean(), r_rnd.ci95());
+
+    println!(
+        "\nReading: with a richer load process the optimal rule depends on \
+         *both* the queue distribution and the current load level — the \
+         enlarged-state-space machinery handles any finite Λ unchanged."
+    );
+}

@@ -1,0 +1,98 @@
+//! The motivating phenomenon: *herd behaviour* of JSQ under delayed
+//! information (Mitzenmacher 2000, paper §1).
+//!
+//! When queue states are only broadcast every Δt time units, every client
+//! sees the same stale snapshot. Under JSQ they all pile onto the
+//! momentarily-shortest queues, which are full long before the next
+//! update. This example measures, per epoch, how concentrated the client
+//! assignments are (max share of clients on one queue) and what it costs
+//! (drops), for growing Δt.
+//!
+//! ```text
+//! cargo run --release --example herd_behaviour
+//! ```
+
+use mflb::core::{DecisionRule, StateDist, SystemConfig};
+use mflb::policy::{jsq_rule, rnd_rule};
+use mflb::queue::BirthDeathQueue;
+use mflb::sim::{run_rng, sample_initial_queues, FiniteEngine, PerClientEngine};
+
+fn episode_with_concentration(
+    engine: &PerClientEngine,
+    rule: &DecisionRule,
+    horizon: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let config = engine.config();
+    let mut rng = run_rng(seed, 0);
+    let mut queues = sample_initial_queues(config, &mut rng);
+    let mut lambda_idx = config.arrivals.sample_initial(&mut rng);
+    let mut total_drops = 0.0;
+    let mut max_share_sum = 0.0;
+    for _ in 0..horizon {
+        let lambda = config.arrivals.level_rate(lambda_idx);
+        // Assignments of every client this epoch (the herding signal).
+        let counts = engine.sample_assignments(&queues, rule, &mut rng);
+        let max_count = *counts.iter().max().unwrap() as f64;
+        max_share_sum += max_count / config.num_clients as f64;
+        // Simulate the queues with those frozen assignment rates.
+        let scale = config.num_queues as f64 * lambda / config.num_clients as f64;
+        let mut drops = 0u64;
+        for (j, q) in queues.iter_mut().enumerate() {
+            let model =
+                BirthDeathQueue::new(scale * counts[j] as f64, config.service_rate, config.buffer);
+            let out = model.simulate_epoch(*q, config.dt, &mut rng);
+            *q = out.final_state;
+            drops += out.drops;
+        }
+        total_drops += drops as f64 / config.num_queues as f64;
+        lambda_idx = config.arrivals.step(lambda_idx, &mut rng);
+    }
+    (total_drops, max_share_sum / horizon as f64)
+}
+
+fn main() {
+    let m = 50usize;
+    let n = 2_500u64;
+    println!("herd behaviour demo: N = {n}, M = {m}, d = 2");
+    println!("(max-share = average fraction of ALL clients assigned to the single most-popular queue;");
+    println!(" uniform share would be 1/M = {:.3})\n", 1.0 / m as f64);
+    println!(
+        "{:>5}  {:>14}  {:>14}  {:>14}  {:>14}",
+        "Δt", "JSQ drops", "JSQ max-share", "RND drops", "RND max-share"
+    );
+    for &dt in &[0.5, 1.0, 2.0, 4.0, 8.0] {
+        let config = SystemConfig::paper().with_dt(dt).with_size(n, m);
+        let horizon = config.eval_episode_len();
+        let engine = PerClientEngine::new(config.clone());
+        let jsq = jsq_rule(config.num_states(), config.d);
+        let rnd = rnd_rule(config.num_states(), config.d);
+        let (jsq_drops, jsq_share) = episode_with_concentration(&engine, &jsq, horizon, 1);
+        let (rnd_drops, rnd_share) = episode_with_concentration(&engine, &rnd, horizon, 2);
+        println!(
+            "{dt:>5}  {jsq_drops:>14.2}  {jsq_share:>14.3}  {rnd_drops:>14.2}  {rnd_share:>14.3}"
+        );
+    }
+
+    // Show one frozen snapshot of herding explicitly.
+    let config = SystemConfig::paper().with_dt(8.0).with_size(n, m);
+    let engine = PerClientEngine::new(config.clone());
+    let mut rng = run_rng(3, 0);
+    // A state where one queue looks empty and the rest are half-full.
+    let mut queues = vec![3usize; m];
+    queues[0] = 0;
+    let jsq = jsq_rule(config.num_states(), config.d);
+    let counts = engine.sample_assignments(&queues, &jsq, &mut rng);
+    let share0 = counts[0] as f64 / n as f64;
+    let h = StateDist::empirical(&queues, config.buffer);
+    println!(
+        "\nsnapshot: one empty queue among {} half-full ones (H = {:?})",
+        m - 1,
+        h.as_slice()
+    );
+    println!(
+        "JSQ sends {:.1}% of ALL clients to that single queue (uniform would be {:.1}%) — the herd.",
+        100.0 * share0,
+        100.0 / m as f64
+    );
+}

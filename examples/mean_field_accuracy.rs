@@ -1,0 +1,71 @@
+//! Theorem 1, numerically: the finite-system performance `J^{N,M}`
+//! approaches the mean-field performance `J` as the system grows.
+//!
+//! Following the proof's setup, we condition on a fixed arrival-level
+//! sequence (shared between the limit model and every finite run) and
+//! sweep `M` with `N = M²`, printing the absolute gap.
+//!
+//! ```text
+//! cargo run --release --example mean_field_accuracy
+//! ```
+
+use mflb::core::mdp::FixedRulePolicy;
+use mflb::core::theory::{conditioned_return, sample_lambda_sequence, ConvergenceRow};
+use mflb::core::SystemConfig;
+use mflb::policy::jsq_rule;
+use mflb::sim::{monte_carlo_conditioned, AggregateEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let base = SystemConfig::paper().with_dt(5.0);
+    let horizon = base.eval_episode_len();
+    let policy = FixedRulePolicy::new(jsq_rule(base.num_states(), base.d), "JSQ(2)");
+
+    // One fixed arrival path, as in the Theorem-1 conditioning.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let lambda_seq = sample_lambda_sequence(&base, horizon, &mut rng);
+
+    // Mean-field value: fully deterministic given the arrival path.
+    let mf_return = conditioned_return(&base, &policy, &lambda_seq);
+    println!(
+        "mean-field episode drops (Δt = {}, Te = {horizon}, fixed λ path): {:.3}",
+        base.dt, -mf_return
+    );
+
+    println!(
+        "\n{:>6} {:>10} {:>12} {:>9} {:>9}  consistent?",
+        "M", "N", "finite", "ci95", "|gap|"
+    );
+    let mut rows = Vec::new();
+    for &m in &[25usize, 50, 100, 200, 400] {
+        let cfg = base.clone().with_m_squared(m);
+        let engine = AggregateEngine::new(cfg.clone());
+        let mc = monte_carlo_conditioned(&engine, &policy, &lambda_seq, 30, 7, 0);
+        let row = ConvergenceRow {
+            num_clients: cfg.num_clients,
+            num_queues: m,
+            mean_field: mf_return,
+            finite_mean: -mc.mean(),
+            finite_ci95: mc.ci95(),
+        };
+        println!(
+            "{:>6} {:>10} {:>12.3} {:>9.3} {:>9.3}  {}",
+            m,
+            cfg.num_clients,
+            mc.mean(),
+            mc.ci95(),
+            row.gap(),
+            if row.consistent_within(0.5) { "yes" } else { "not yet" }
+        );
+        rows.push(row);
+    }
+
+    let first = rows.first().unwrap().gap();
+    let last = rows.last().unwrap().gap();
+    println!(
+        "\ngap shrank from {:.3} (M = 25) to {:.3} (M = 400): the mean-field \
+         model is an accurate description of large systems — Theorem 1 in numbers.",
+        first, last
+    );
+}

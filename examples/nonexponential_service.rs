@@ -1,0 +1,90 @@
+//! Non-exponential service times: load balancing with phase-type service
+//! (the paper's §5 extension, end to end).
+//!
+//! Fits phase-type laws to a target mean and squared coefficient of
+//! variation (SCV), then compares JSQ(2)/RND/softmin at Δt = 5 in
+//! (a) the PH mean-field model and (b) a finite system with Gillespie
+//! PH queues — showing that service *variability*, not just load,
+//! drives drops, and that the softened policy's advantage survives.
+//!
+//! ```text
+//! cargo run --release --example nonexponential_service
+//! ```
+
+use mflb::core::mdp::FixedRulePolicy;
+use mflb::core::{PhMeanFieldMdp, SystemConfig};
+use mflb::policy::{jsq_rule, rnd_rule, softmin_rule};
+use mflb::queue::PhaseType;
+use mflb::sim::{run_ph_episode, run_rng, PhAggregateEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let config = SystemConfig::paper().with_dt(5.0).with_m_squared(50);
+    let horizon = config.eval_episode_len();
+    let zs = config.num_states();
+
+    println!("service laws fitted to mean 1 (two-moment phase-type fits):");
+    for &scv in &[0.25, 1.0, 4.0] {
+        let ph = PhaseType::fit_mean_scv(1.0, scv);
+        println!(
+            "  SCV {scv:<5} -> {} phases, fitted mean {:.4}, fitted SCV {:.4}",
+            ph.num_phases(),
+            ph.mean(),
+            ph.scv()
+        );
+    }
+
+    let policies = [
+        FixedRulePolicy::new(jsq_rule(zs, config.d), "JSQ(2)"),
+        FixedRulePolicy::new(rnd_rule(zs, config.d), "RND"),
+        FixedRulePolicy::new(softmin_rule(zs, config.d, 0.8), "SOFT(0.8)"),
+    ];
+
+    for &scv in &[0.25, 1.0, 4.0] {
+        let service = PhaseType::fit_mean_scv(1.0, scv);
+        println!("\n== SCV = {scv} ({} phases) ==", service.num_phases());
+
+        // (a) PH mean-field model: joint (length, phase) distribution,
+        //     exact discretization per epoch.
+        let mdp = PhMeanFieldMdp::new(config.clone(), service.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        print!("  mean-field drops: ");
+        for p in &policies {
+            let mut total = 0.0;
+            let episodes = 20;
+            for _ in 0..episodes {
+                total -= mdp.rollout(p, horizon, &mut rng).total_return;
+            }
+            print!("{} {:.1}  ", name_of(p), total / episodes as f64);
+        }
+        println!();
+
+        // (b) Finite system: exact multinomial client aggregation +
+        //     per-queue Gillespie over (length, phase) states.
+        let engine = PhAggregateEngine::new(config.clone(), service);
+        print!("  finite  drops:    ");
+        for (i, p) in policies.iter().enumerate() {
+            let runs = 12;
+            let mut total = 0.0;
+            for r in 0..runs {
+                total +=
+                    run_ph_episode(&engine, p, horizon, &mut run_rng(40 + i as u64, r)).total_drops;
+            }
+            print!("{} {:.1}  ", name_of(p), total / runs as f64);
+        }
+        println!();
+    }
+
+    println!(
+        "\nReading: at equal load (ρ = λ/α), higher service variability \
+         fills buffers in bursts and drops more packets under every policy; \
+         the finite system tracks the PH mean field, so the paper's \
+         mean-field machinery carries over to non-exponential service."
+    );
+}
+
+fn name_of(p: &FixedRulePolicy) -> &str {
+    use mflb::core::mdp::UpperPolicy;
+    p.name()
+}

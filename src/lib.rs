@@ -1,0 +1,26 @@
+//! # meanfield-lb (`mflb`)
+//!
+//! Umbrella crate for the reproduction of **"Learning Mean-Field Control for
+//! Delayed Information Load Balancing in Large Queuing Systems"** (Tahir,
+//! Cui & Koeppl, ICPP '22). It re-exports the public API of every workspace
+//! crate so downstream users can depend on a single crate:
+//!
+//! * [`linalg`] — dense matrices, matrix exponentials, statistics,
+//! * [`queue`] — CTMC queueing substrate, Gillespie simulation, samplers,
+//! * [`core`] — the mean-field control model and its exactly-discretized MDP,
+//! * [`policy`] — JSQ(d)/SED(d)/RND/softmin/learned load-balancing policies,
+//! * [`sim`] — the finite N-client M-queue simulator (Algorithm 1),
+//! * [`nn`] — the minimal neural-network substrate,
+//! * [`rl`] — hand-rolled PPO, REINFORCE and CEM,
+//! * [`dp`] — exact value iteration on the discretized MFC MDP.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use mflb_core as core;
+pub use mflb_dp as dp;
+pub use mflb_linalg as linalg;
+pub use mflb_nn as nn;
+pub use mflb_policy as policy;
+pub use mflb_queue as queue;
+pub use mflb_rl as rl;
+pub use mflb_sim as sim;

@@ -1,0 +1,306 @@
+//! `mflb` — command-line front end for the mean-field load-balancing
+//! library.
+//!
+//! ```text
+//! mflb simulate --dt 5 --m 100 --policy jsq        # finite-system episode
+//! mflb meanfield --dt 5 --policy softmin --beta 2  # limiting-model episode
+//! mflb compare --dt 5 --m 100                      # JSQ vs RND vs softmin
+//! mflb tune-beta --dt 5                            # optimal softmin(β*)
+//! mflb dp-solve --dt 5 --grid 8 --out dp.json      # certified lattice optimum
+//! mflb scv-compare --dt 5 --scv 4                  # phase-type service check
+//! ```
+//!
+//! The heavy experiment pipeline lives in `mflb-bench` (one binary per
+//! paper artifact); this CLI is the interactive, single-command surface a
+//! downstream operator uses to poke at a configuration.
+
+use mflb::core::mdp::{FixedRulePolicy, UpperPolicy};
+use mflb::core::{MeanFieldMdp, SystemConfig};
+use mflb::policy::{jsq_rule, optimize_beta, rnd_rule, softmin_rule, NeuralUpperPolicy};
+use mflb::sim::{monte_carlo, AggregateEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2).find(|w| w[0] == flag).map(|w| w[1].clone())
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    arg(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn build_config() -> SystemConfig {
+    let dt: f64 = parse("--dt", 5.0);
+    let m: usize = parse("--m", 100);
+    let n: u64 = parse("--n", (m as u64) * (m as u64));
+    let b: usize = parse("--buffer", 5);
+    let d: usize = parse("--d", 2);
+    SystemConfig::paper().with_dt(dt).with_buffer(b).with_d(d).with_size(n, m)
+}
+
+fn build_policy(config: &SystemConfig) -> Box<dyn UpperPolicy + Sync + Send> {
+    let name = arg("--policy").unwrap_or_else(|| "jsq".into());
+    let zs = config.num_states();
+    match name.as_str() {
+        "jsq" => Box::new(FixedRulePolicy::new(jsq_rule(zs, config.d), "JSQ(d)")),
+        "rnd" => Box::new(FixedRulePolicy::new(rnd_rule(zs, config.d), "RND")),
+        "softmin" => {
+            let beta: f64 = parse("--beta", 1.0);
+            Box::new(FixedRulePolicy::new(
+                softmin_rule(zs, config.d, beta),
+                format!("SOFT({beta})"),
+            ))
+        }
+        "checkpoint" => {
+            let path = arg("--checkpoint").expect("--checkpoint <path> required");
+            Box::new(NeuralUpperPolicy::load(&path).expect("load checkpoint"))
+        }
+        other => {
+            eprintln!("unknown policy '{other}' (jsq|rnd|softmin|checkpoint)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_simulate() {
+    let config = build_config();
+    let policy = build_policy(&config);
+    let runs: usize = parse("--runs", 20);
+    let seed: u64 = parse("--seed", 1);
+    let horizon = config.eval_episode_len();
+    let engine = AggregateEngine::new(config.clone());
+    let mc = monte_carlo(&engine, policy.as_ref(), horizon, runs, seed, 0);
+    println!(
+        "finite system N={} M={} Δt={} Te={horizon} policy={}",
+        config.num_clients,
+        config.num_queues,
+        config.dt,
+        policy.name()
+    );
+    println!("drops/queue over episode: {:.3} ± {:.3} ({} runs)", mc.mean(), mc.ci95(), runs);
+}
+
+fn cmd_meanfield() {
+    let config = build_config();
+    let policy = build_policy(&config);
+    let episodes: usize = parse("--episodes", 100);
+    let seed: u64 = parse("--seed", 1);
+    let horizon = config.eval_episode_len();
+    let mdp = MeanFieldMdp::new(config.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let eval = mdp.evaluate(policy.as_ref(), horizon, episodes, &mut rng);
+    println!(
+        "mean-field model Δt={} Te={horizon} policy={}",
+        config.dt,
+        policy.name()
+    );
+    println!(
+        "expected drops/queue over episode: {:.3} ± {:.3} ({episodes} episodes)",
+        -eval.mean(),
+        eval.ci95_half_width()
+    );
+}
+
+fn cmd_compare() {
+    let config = build_config();
+    let runs: usize = parse("--runs", 20);
+    let seed: u64 = parse("--seed", 1);
+    let horizon = config.eval_episode_len();
+    let engine = AggregateEngine::new(config.clone());
+    let zs = config.num_states();
+    println!(
+        "N={} M={} Δt={} Te={horizon} ({} runs each)",
+        config.num_clients, config.num_queues, config.dt, runs
+    );
+    let beta = optimize_beta(&config, horizon.min(100), 6, seed).beta;
+    let policies: Vec<(String, Box<dyn UpperPolicy + Sync + Send>)> = vec![
+        ("JSQ(2)".into(), Box::new(FixedRulePolicy::new(jsq_rule(zs, config.d), "JSQ"))),
+        ("RND".into(), Box::new(FixedRulePolicy::new(rnd_rule(zs, config.d), "RND"))),
+        (
+            format!("SOFT(β*={beta:.2})"),
+            Box::new(FixedRulePolicy::new(softmin_rule(zs, config.d, beta), "SOFT")),
+        ),
+    ];
+    for (name, p) in &policies {
+        let mc = monte_carlo(&engine, p.as_ref(), horizon, runs, seed, 0);
+        println!("  {name:<16} {:8.3} ± {:.3}", mc.mean(), mc.ci95());
+    }
+}
+
+fn cmd_tune_beta() {
+    let config = build_config();
+    let seed: u64 = parse("--seed", 1);
+    let horizon = config.eval_episode_len().min(150);
+    let res = optimize_beta(&config, horizon, 10, seed);
+    println!("Δt={}: β* = {:.3}  (mean-field return {:.3})", config.dt, res.beta, res.value);
+    println!("trace (β → return):");
+    let mut trace = res.trace.clone();
+    trace.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for (b, v) in trace.iter().take(24) {
+        println!("  {b:>8.3} -> {v:>9.3}");
+    }
+}
+
+fn cmd_dp_solve() {
+    use mflb::dp::{ActionLibrary, DpConfig, DpSolution};
+    let config = build_config();
+    let grid: usize = parse("--grid", 8);
+    let zs = config.num_states();
+    let t0 = std::time::Instant::now();
+    let dp_cfg = DpConfig { grid_resolution: grid, tol: 1e-6, max_sweeps: 4000, threads: 0 };
+    let sol = DpSolution::solve(&config, ActionLibrary::softmin_default(zs, config.d), &dp_cfg);
+    println!(
+        "solved Δt={} B={} on a G={grid} lattice ({} states x {} levels): {} sweeps, {:.1}s",
+        config.dt,
+        config.buffer,
+        sol.grid().num_points(),
+        config.arrivals.num_levels(),
+        sol.sweeps,
+        t0.elapsed().as_secs_f64()
+    );
+    let nu0 = mflb::core::StateDist::all_empty(config.buffer);
+    for l in 0..config.arrivals.num_levels() {
+        println!(
+            "  V(ν₀, λ-level {l}) = {:.3}, greedy action: {}",
+            sol.value(&nu0, l),
+            sol.actions().name(sol.greedy_action(&nu0, l))
+        );
+    }
+    if let Some(path) = arg("--out") {
+        sol.save_json(&path).expect("write DP checkpoint");
+        println!("checkpoint written to {path}");
+    }
+
+    // Quick deployment check against the baselines in the limiting model.
+    let mdp = MeanFieldMdp::new(config.clone());
+    let horizon = config.eval_episode_len().min(120);
+    let mut rng = StdRng::seed_from_u64(parse("--seed", 1));
+    let policy = sol.into_policy();
+    let v_dp = mdp.evaluate(&policy, horizon, 24, &mut rng).mean();
+    let jsq = FixedRulePolicy::new(jsq_rule(config.num_states(), config.d), "JSQ");
+    let v_jsq = mdp.evaluate(&jsq, horizon, 24, &mut rng).mean();
+    println!("mean-field return over {horizon} epochs: DP {v_dp:.2} vs JSQ(d) {v_jsq:.2}");
+}
+
+fn cmd_scv_compare() {
+    use mflb::core::PhMeanFieldMdp;
+    use mflb::queue::PhaseType;
+    use mflb::sim::{run_ph_episode, run_rng, PhAggregateEngine};
+    let config = build_config();
+    let scv: f64 = parse("--scv", 2.0);
+    let runs: usize = parse("--runs", 16);
+    let seed: u64 = parse("--seed", 1);
+    let horizon = config.eval_episode_len();
+    let service = PhaseType::fit_mean_scv(1.0 / config.service_rate, scv);
+    println!(
+        "service: mean {:.3}, SCV {:.3}, {} phases (two-moment PH fit)",
+        service.mean(),
+        service.scv(),
+        service.num_phases()
+    );
+    let policy = build_policy(&config);
+
+    let mdp = PhMeanFieldMdp::new(config.clone(), service.clone());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mf = mflb::linalg::stats::Summary::new();
+    for _ in 0..24 {
+        mf.push(-mdp.rollout(policy.as_ref(), horizon, &mut rng).total_return);
+    }
+    let engine = PhAggregateEngine::new(config.clone(), service);
+    let mut fin = mflb::linalg::stats::Summary::new();
+    for r in 0..runs {
+        fin.push(run_ph_episode(&engine, policy.as_ref(), horizon, &mut run_rng(seed, r as u64)).total_drops);
+    }
+    println!(
+        "policy {} at Δt={} Te={horizon}: mean-field drops {:.3} ± {:.3}, finite (M={}) {:.3} ± {:.3}",
+        policy.name(),
+        config.dt,
+        mf.mean(),
+        mf.ci95_half_width(),
+        config.num_queues,
+        fin.mean(),
+        fin.ci95_half_width()
+    );
+}
+
+fn cmd_fit_mmpp() {
+    use mflb::queue::fit_mmpp;
+    let levels: usize = parse("--levels", 2);
+    let trace: Vec<f64> = match arg("--trace") {
+        Some(path) => {
+            let raw = std::fs::read_to_string(&path).expect("read trace file");
+            raw.split(|c: char| c.is_whitespace() || c == ',')
+                .filter(|t| !t.is_empty())
+                .map(|t| t.parse().expect("trace entries must be numbers"))
+                .collect()
+        }
+        None => {
+            // Demo: sample the paper's process so the round-trip is visible.
+            println!("no --trace <file> given; fitting a demo trace sampled from the paper's MMPP");
+            let mut rng = StdRng::seed_from_u64(parse("--seed", 1));
+            let process = mflb::queue::ArrivalProcess::paper_default();
+            let mut level = process.sample_initial(&mut rng);
+            (0..5_000)
+                .map(|_| {
+                    let r = process.level_rate(level);
+                    level = process.step(level, &mut rng);
+                    r
+                })
+                .collect()
+        }
+    };
+    let fit = fit_mmpp(&trace, levels);
+    println!(
+        "fitted {levels}-level MMPP from {} samples ({} Lloyd iterations, distortion {:.3e}):",
+        trace.len(),
+        fit.iterations,
+        fit.distortion
+    );
+    for l in 0..levels {
+        println!(
+            "  level {l}: rate {:.4}, kernel row {:?}",
+            fit.process.level_rate(l),
+            fit.process
+                .kernel_row(l)
+                .iter()
+                .map(|p| format!("{p:.3}"))
+                .collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "  stationary occupancy: {:?}, mean rate {:.4}",
+        fit.process.stationary().iter().map(|p| format!("{p:.3}")).collect::<Vec<_>>(),
+        fit.process.mean_rate()
+    );
+    println!("use it via SystemConfig::paper().with_arrivals(<the fit>) in library code.");
+}
+
+fn main() {
+    let cmd = std::env::args().nth(1).unwrap_or_else(|| "help".into());
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(),
+        "meanfield" => cmd_meanfield(),
+        "compare" => cmd_compare(),
+        "tune-beta" => cmd_tune_beta(),
+        "dp-solve" => cmd_dp_solve(),
+        "scv-compare" => cmd_scv_compare(),
+        "fit-mmpp" => cmd_fit_mmpp(),
+        _ => {
+            println!("mflb — delayed-information load balancing (ICPP '22 reproduction)");
+            println!();
+            println!("commands:");
+            println!("  simulate     run a finite-system Monte-Carlo evaluation");
+            println!("  meanfield    evaluate a policy in the limiting mean-field MDP");
+            println!("  compare      JSQ vs RND vs tuned softmin on one configuration");
+            println!("  tune-beta    find the optimal softmin temperature for a Δt");
+            println!("  dp-solve     solve the lattice DP (certified optimum), optionally --out <json>");
+            println!("  scv-compare  phase-type service: mean-field vs finite at a given --scv");
+            println!("  fit-mmpp     estimate an L-level MMPP from a rate trace (--trace <file>, --levels L)");
+            println!();
+            println!("common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>");
+            println!("              --policy jsq|rnd|softmin|checkpoint [--beta f] [--checkpoint path]");
+            println!("              --runs <int> --episodes <int> --seed <int> --grid <int> --scv <f>");
+        }
+    }
+}

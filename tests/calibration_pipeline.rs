@@ -1,0 +1,84 @@
+//! Cross-crate integration test of the measurement → fit → tune → deploy
+//! calibration loop: a policy tuned against the *estimated* arrival
+//! process must perform on the *true* system.
+
+use mflb::core::mdp::FixedRulePolicy;
+use mflb::core::{MeanFieldMdp, SystemConfig};
+use mflb::policy::{jsq_rule, optimize_beta, softmin_rule};
+use mflb::queue::{fit_mmpp, ArrivalProcess};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn noisy_trace(truth: &ArrivalProcess, len: usize, noise: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut level = truth.sample_initial(&mut rng);
+    (0..len)
+        .map(|_| {
+            let jitter: f64 = rng.gen_range(-noise..noise);
+            let r = (truth.level_rate(level) + jitter).max(0.0);
+            level = truth.step(level, &mut rng);
+            r
+        })
+        .collect()
+}
+
+#[test]
+fn tuned_on_fitted_model_performs_on_true_system() {
+    let truth = ArrivalProcess::new(
+        vec![0.92, 0.55],
+        vec![vec![0.75, 0.25], vec![0.4, 0.6]],
+        vec![0.5, 0.5],
+    );
+    let true_cfg = SystemConfig::paper().with_dt(5.0).with_arrivals(truth.clone());
+
+    let fit = fit_mmpp(&noisy_trace(&truth, 3_000, 0.04, 7), 2);
+    // Rates recovered within the noise band.
+    assert!((fit.process.level_rate(0) - 0.92).abs() < 0.03);
+    assert!((fit.process.level_rate(1) - 0.55).abs() < 0.03);
+
+    let fitted_cfg = true_cfg.clone().with_arrivals(fit.process);
+    let beta_fitted = optimize_beta(&fitted_cfg, 60, 8, 11).beta;
+    let beta_oracle = optimize_beta(&true_cfg, 60, 8, 11).beta;
+    assert!(
+        (beta_fitted - beta_oracle).abs() < 0.5 * beta_oracle.max(0.2),
+        "fitted β* {beta_fitted} far from oracle {beta_oracle}"
+    );
+
+    // Deploy on the TRUE mean-field model: tuned softmin beats JSQ(2).
+    let zs = true_cfg.num_states();
+    let mdp = MeanFieldMdp::new(true_cfg.clone());
+    let soft = FixedRulePolicy::new(softmin_rule(zs, 2, beta_fitted), "SOFT(fitted)");
+    let jsq = FixedRulePolicy::new(jsq_rule(zs, 2), "JSQ(2)");
+    let mut rng = StdRng::seed_from_u64(13);
+    let (mut v_soft, mut v_jsq) = (0.0, 0.0);
+    for _ in 0..12 {
+        let seq = mflb::core::theory::sample_lambda_sequence(&true_cfg, 60, &mut rng);
+        v_soft += mdp.rollout_conditioned(&soft, &seq).total_return;
+        v_jsq += mdp.rollout_conditioned(&jsq, &seq).total_return;
+    }
+    assert!(
+        v_soft > v_jsq,
+        "calibrated softmin {v_soft:.1} must beat JSQ(2) {v_jsq:.1} on the true system"
+    );
+}
+
+#[test]
+fn fit_quality_degrades_gracefully_with_noise() {
+    // Heavier measurement noise widens the level estimates but the fit
+    // still lands in the right neighbourhood — the calibration loop is
+    // not brittle.
+    let truth = ArrivalProcess::paper_default();
+    for &(noise, tol) in &[(0.02, 0.01), (0.1, 0.05)] {
+        let fit = fit_mmpp(&noisy_trace(&truth, 5_000, noise, 17), 2);
+        assert!(
+            (fit.process.level_rate(0) - 0.9).abs() < tol,
+            "noise {noise}: high level {}",
+            fit.process.level_rate(0)
+        );
+        assert!(
+            (fit.process.level_rate(1) - 0.6).abs() < tol,
+            "noise {noise}: low level {}",
+            fit.process.level_rate(1)
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) of the core invariants, across crates.
+
+use mflb::core::meanfield::{mean_field_step, per_state_arrival_rates};
+use mflb::core::{DecisionRule, StateDist};
+use mflb::linalg::{expm, Mat};
+use mflb::policy::{jsq_rule, softmin_rule};
+use mflb::queue::sampler::{AliasTable, Sampler};
+use mflb::queue::BirthDeathQueue;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a probability distribution over `n` states.
+fn dist_strategy(n: usize) -> impl Strategy<Value = StateDist> {
+    proptest::collection::vec(0.01f64..1.0, n).prop_map(|raw| {
+        let total: f64 = raw.iter().sum();
+        StateDist::new(raw.into_iter().map(|v| v / total).collect())
+    })
+}
+
+/// Strategy: a decision rule over `zs` states with d = 2 from raw logits.
+fn rule_strategy(zs: usize) -> impl Strategy<Value = DecisionRule> {
+    proptest::collection::vec(-3.0f64..3.0, zs * zs * 2)
+        .prop_map(move |logits| DecisionRule::from_logits(zs, 2, &logits))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 18–19 conservation: the measure-weighted per-state arrival
+    /// rates always sum to λ — every packet lands in exactly one queue.
+    #[test]
+    fn arrival_rates_conserve_lambda(
+        nu in dist_strategy(6),
+        rule in rule_strategy(6),
+        lambda in 0.0f64..3.0,
+    ) {
+        let rates = per_state_arrival_rates(&nu, &rule, lambda);
+        let total: f64 = rates.iter().enumerate().map(|(z, r)| nu.prob(z) * r).sum();
+        prop_assert!((total - lambda).abs() < 1e-9, "total {total} vs λ {lambda}");
+        prop_assert!(rates.iter().all(|r| r.is_finite() && *r >= -1e-12));
+    }
+
+    /// The exact mean-field step maps distributions to distributions and
+    /// never drops more than arrives.
+    #[test]
+    fn mean_field_step_preserves_simplex(
+        nu in dist_strategy(6),
+        rule in rule_strategy(6),
+        lambda in 0.0f64..2.0,
+        dt in 0.1f64..10.0,
+    ) {
+        let step = mean_field_step(&nu, &rule, lambda, 1.0, dt);
+        let mass: f64 = step.next_dist.as_slice().iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+        prop_assert!(step.next_dist.as_slice().iter().all(|&p| p >= 0.0));
+        prop_assert!(step.expected_drops >= -1e-12);
+        prop_assert!(step.expected_drops <= lambda * dt + 1e-9);
+    }
+
+    /// exp(Q·t) of a row-convention generator is a stochastic matrix.
+    #[test]
+    fn expm_of_generator_is_stochastic(
+        lam in 0.0f64..3.0,
+        mu in 0.0f64..3.0,
+        t in 0.01f64..20.0,
+        b in 1usize..8,
+    ) {
+        let q = BirthDeathQueue::new(lam, mu, b).generator().scaled(t);
+        let p = expm(&q);
+        for i in 0..p.rows() {
+            let s: f64 = p.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-8, "row {i} sums to {s}");
+            prop_assert!(p.row(i).iter().all(|&v| (-1e-10..=1.0 + 1e-10).contains(&v)));
+        }
+    }
+
+    /// expm additivity along the time axis: exp(Q(s+t)) = exp(Qs)·exp(Qt)
+    /// (Q commutes with itself).
+    #[test]
+    fn expm_time_additivity(
+        s in 0.01f64..5.0,
+        t in 0.01f64..5.0,
+    ) {
+        let q = BirthDeathQueue::new(0.9, 1.0, 5).generator();
+        let whole = expm(&q.scaled(s + t));
+        let split = expm(&q.scaled(s)).matmul(&expm(&q.scaled(t)));
+        prop_assert!(whole.max_abs_diff(&split) < 1e-9);
+    }
+
+    /// Decision rules built from logits are always row-stochastic, and the
+    /// softmin family interpolates between RND and JSQ pointwise.
+    #[test]
+    fn softmin_family_is_monotone(beta in 0.0f64..16.0) {
+        let soft = softmin_rule(6, 2, beta);
+        for row in 0..soft.num_rows() {
+            let mass: f64 = soft.row(row).iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-9);
+        }
+        // In any strictly ordered pair, the shorter queue gets ≥ 1/2 and
+        // no more than JSQ's 1.
+        let jsq = jsq_rule(6, 2);
+        for a in 0..6usize {
+            for b in 0..6usize {
+                if a < b {
+                    let ps = soft.prob(&[a, b], 0);
+                    prop_assert!(ps >= 0.5 - 1e-9);
+                    prop_assert!(ps <= jsq.prob(&[a, b], 0) + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// Multinomial sampling allocates exactly n trials when probabilities
+    /// sum to one, and marginals stay inside 6σ bands.
+    #[test]
+    fn multinomial_allocates_everything(seed in 0u64..1000, n in 1u64..100_000) {
+        let probs = [0.4, 0.3, 0.2, 0.1];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = Sampler::multinomial(&mut rng, n, &probs);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n);
+        for (c, p) in counts.iter().zip(probs.iter()) {
+            let mean = n as f64 * p;
+            let sd = (n as f64 * p * (1.0 - p)).sqrt().max(1.0);
+            prop_assert!((*c as f64 - mean).abs() <= 6.5 * sd);
+        }
+    }
+
+    /// Alias tables never emit zero-weight categories.
+    #[test]
+    fn alias_table_zero_weights_never_drawn(seed in 0u64..500) {
+        let weights = [0.0, 2.0, 0.0, 1.0, 3.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let k = table.sample(&mut rng);
+            prop_assert!(weights[k] > 0.0, "drew zero-weight category {k}");
+        }
+    }
+
+    /// Gillespie epoch simulation respects the conservation law and the
+    /// buffer bound for arbitrary rates and starts.
+    #[test]
+    fn gillespie_epoch_conservation(
+        lam in 0.0f64..3.0,
+        start in 0usize..6,
+        dt in 0.1f64..10.0,
+        seed in 0u64..500,
+    ) {
+        let q = BirthDeathQueue::new(lam, 1.0, 5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let o = q.simulate_epoch(start, dt, &mut rng);
+        prop_assert!(o.final_state <= 5);
+        prop_assert_eq!(
+            o.final_state as i64,
+            start as i64 + o.accepted as i64 - o.served as i64
+        );
+    }
+
+    /// Matrix identities: (A·B)ᵀ = Bᵀ·Aᵀ on random small matrices.
+    #[test]
+    fn matmul_transpose_identity(
+        a_vals in proptest::collection::vec(-2.0f64..2.0, 12),
+        b_vals in proptest::collection::vec(-2.0f64..2.0, 12),
+    ) {
+        let a = Mat::from_vec(3, 4, a_vals);
+        let b = Mat::from_vec(4, 3, b_vals);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration tests for the partial-observability wrapper:
+//! degraded information must cost value in the right direction and
+//! recover the exact baseline in the rich-information limit, when
+//! wrapped around a genuinely ν-sensitive policy (the DP optimum).
+
+use mflb::core::partial::{ObservationModel, PartialObservationPolicy};
+use mflb::core::{MeanFieldMdp, SystemConfig};
+use mflb::dp::{ActionLibrary, DpConfig, DpSolution, GridPolicy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (SystemConfig, MeanFieldMdp, GridPolicy, Vec<Vec<usize>>) {
+    let cfg = SystemConfig::paper().with_dt(5.0).with_buffer(3);
+    let dp_cfg = DpConfig { grid_resolution: 8, tol: 1e-7, max_sweeps: 4000, threads: 0 };
+    let sol = DpSolution::solve(
+        &cfg,
+        ActionLibrary::softmin_default(cfg.num_states(), cfg.d),
+        &dp_cfg,
+    );
+    let mdp = MeanFieldMdp::new(cfg.clone());
+    let mut rng = StdRng::seed_from_u64(2);
+    let seqs: Vec<Vec<usize>> = (0..10)
+        .map(|_| mflb::core::theory::sample_lambda_sequence(&cfg, 60, &mut rng))
+        .collect();
+    (cfg, mdp, sol.into_policy(), seqs)
+}
+
+fn value_under(
+    mdp: &MeanFieldMdp,
+    base: &GridPolicy,
+    model: ObservationModel,
+    seqs: &[Vec<usize>],
+) -> f64 {
+    let mut total = 0.0;
+    for (run, seq) in seqs.iter().enumerate() {
+        let wrapped = PartialObservationPolicy::new(base.clone(), model, 500 + run as u64);
+        total += mdp.rollout_conditioned(&wrapped, seq).total_return;
+    }
+    total / seqs.len() as f64
+}
+
+#[test]
+fn huge_sample_recovers_exact_performance() {
+    let (_cfg, mdp, base, seqs) = setup();
+    let exact = value_under(&mdp, &base, ObservationModel::Exact, &seqs);
+    let rich = value_under(&mdp, &base, ObservationModel::SampledQueues { k: 20_000 }, &seqs);
+    assert!(
+        (exact - rich).abs() < 0.02 * exact.abs().max(1.0),
+        "k = 20000 should be indistinguishable from exact: {exact} vs {rich}"
+    );
+}
+
+#[test]
+fn information_is_weakly_valuable_in_k() {
+    let (_cfg, mdp, base, seqs) = setup();
+    let v3 = value_under(&mdp, &base, ObservationModel::SampledQueues { k: 3 }, &seqs);
+    let v300 = value_under(&mdp, &base, ObservationModel::SampledQueues { k: 300 }, &seqs);
+    let exact = value_under(&mdp, &base, ObservationModel::Exact, &seqs);
+    assert!(
+        v300 >= v3 - 0.01 * v3.abs(),
+        "more samples must not hurt: k=3 {v3} vs k=300 {v300}"
+    );
+    assert!(exact >= v3 - 1e-9, "exact {exact} must be at least k=3 {v3}");
+}
+
+#[test]
+fn extra_staleness_costs_value() {
+    let (_cfg, mdp, base, seqs) = setup();
+    let exact = value_under(&mdp, &base, ObservationModel::Exact, &seqs);
+    let stale4 = value_under(&mdp, &base, ObservationModel::Stale { epochs: 4 }, &seqs);
+    assert!(
+        exact >= stale4,
+        "4 extra epochs of information age must not help: {exact} vs {stale4}"
+    );
+}
+
+#[test]
+fn wrapped_policy_names_carry_the_model_label() {
+    let (_cfg, _mdp, base, _seqs) = setup();
+    let wrapped = PartialObservationPolicy::new(
+        base,
+        ObservationModel::SampledQueues { k: 30 },
+        1,
+    );
+    assert!(mflb::core::UpperPolicy::name(&wrapped).contains("sampled(k=30)"));
+}

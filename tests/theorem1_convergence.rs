@@ -1,0 +1,116 @@
+//! Integration test of Theorem 1: the finite-system performance converges
+//! to the mean-field performance as the system grows (N = M²).
+//!
+//! Mirrors the proof's conditioning on the arrival sequence: the same λ
+//! path drives the deterministic mean-field rollout and every finite
+//! Monte-Carlo run.
+
+use mflb::core::mdp::FixedRulePolicy;
+use mflb::core::theory::{conditioned_return, gaps_shrink, sample_lambda_sequence, ConvergenceRow};
+use mflb::core::SystemConfig;
+use mflb::policy::{jsq_rule, rnd_rule, softmin_rule};
+use mflb::sim::{monte_carlo_conditioned, AggregateEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn convergence_rows(
+    base: &SystemConfig,
+    policy: &FixedRulePolicy,
+    ms: &[usize],
+    horizon: usize,
+    seed: u64,
+) -> Vec<ConvergenceRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lambda_seq = sample_lambda_sequence(base, horizon, &mut rng);
+    let mf = conditioned_return(base, policy, &lambda_seq);
+    ms.iter()
+        .map(|&m| {
+            let cfg = base.clone().with_m_squared(m);
+            let engine = AggregateEngine::new(cfg.clone());
+            let mc = monte_carlo_conditioned(&engine, policy, &lambda_seq, 24, seed ^ 0xA5, 0);
+            ConvergenceRow {
+                num_clients: cfg.num_clients,
+                num_queues: m,
+                mean_field: mf,
+                finite_mean: -mc.mean(),
+                finite_ci95: mc.ci95(),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn finite_system_approaches_mean_field_under_jsq() {
+    let base = SystemConfig::paper().with_dt(5.0);
+    let policy = FixedRulePolicy::new(jsq_rule(6, 2), "JSQ(2)");
+    let rows = convergence_rows(&base, &policy, &[20, 60, 180], 40, 1);
+    // Large system must be consistent with the limit within CI + slack.
+    let last = rows.last().unwrap();
+    assert!(
+        last.consistent_within(0.8),
+        "M=180 gap {} exceeds ci {} + slack",
+        last.gap(),
+        last.finite_ci95
+    );
+    // Gaps shrink along the size ladder, modulo Monte-Carlo jitter.
+    assert!(
+        gaps_shrink(&rows, 0.6),
+        "gaps did not shrink: {:?}",
+        rows.iter().map(ConvergenceRow::gap).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn finite_system_approaches_mean_field_under_rnd_and_softmin() {
+    let base = SystemConfig::paper().with_dt(3.0);
+    for (rule, name) in [(rnd_rule(6, 2), "RND"), (softmin_rule(6, 2, 1.5), "SOFT")] {
+        let policy = FixedRulePolicy::new(rule, name);
+        let rows = convergence_rows(&base, &policy, &[30, 150], 30, 2);
+        let (small, large) = (&rows[0], &rows[1]);
+        assert!(
+            large.gap() <= small.gap() + 0.5,
+            "{name}: gap grew from {} to {}",
+            small.gap(),
+            large.gap()
+        );
+        assert!(
+            large.consistent_within(0.8),
+            "{name}: M=150 inconsistent with limit (gap {})",
+            large.gap()
+        );
+    }
+}
+
+#[test]
+fn mean_field_value_is_deterministic_and_policy_ordering_holds() {
+    // The paper's central qualitative claim at large delay: sharp JSQ is
+    // far from optimal (herding on stale data), RND is near-optimal but
+    // still beatable by a mildly state-sensitive rule. The softmin family
+    // contains both extremes, so its best member on a FIXED arrival path
+    // must weakly dominate both, and at Δt = 10 the interior optimum must
+    // strictly beat JSQ by a wide margin.
+    let base = SystemConfig::paper().with_dt(10.0);
+    let mut rng = StdRng::seed_from_u64(3);
+    let seq = sample_lambda_sequence(&base, 50, &mut rng);
+    let value = |beta: f64| {
+        conditioned_return(
+            &base,
+            &FixedRulePolicy::new(softmin_rule(6, 2, beta), "SOFT"),
+            &seq,
+        )
+    };
+    let jsq = conditioned_return(&base, &FixedRulePolicy::new(jsq_rule(6, 2), "JSQ"), &seq);
+    let rnd = conditioned_return(&base, &FixedRulePolicy::new(rnd_rule(6, 2), "RND"), &seq);
+    let best = [0.0, 0.1, 0.2, 0.4, 0.8, 1.6, 64.0]
+        .iter()
+        .map(|&b| value(b))
+        .fold(f64::NEG_INFINITY, f64::max);
+    // Family limits reproduce the baselines exactly.
+    assert!((value(0.0) - rnd).abs() < 1e-9, "β=0 must equal RND");
+    assert!((value(200.0) - jsq).abs() < 1e-9, "β→∞ must equal JSQ");
+    // Best member dominates both; at Δt=10 it beats JSQ decisively and
+    // RND at least marginally.
+    assert!(best >= rnd - 1e-9 && best >= jsq - 1e-9);
+    assert!(best > jsq + 1.0, "at Δt=10 sharp JSQ must lose clearly: {best} vs {jsq}");
+    assert!(best >= rnd, "optimized softmin cannot lose to RND: {best} vs {rnd}");
+}
