@@ -19,9 +19,7 @@ use rand::SeedableRng;
 fn bench_expm(c: &mut Criterion) {
     // The 7x7 extended generator of the paper's B = 5 queues at Δt = 5.
     let q = mflb_core::meanfield::extended_generator(0.9, 1.0, 5).scaled(5.0);
-    c.bench_function("expm_7x7_extended_generator", |b| {
-        b.iter(|| expm(black_box(&q)))
-    });
+    c.bench_function("expm_7x7_extended_generator", |b| b.iter(|| expm(black_box(&q))));
     let big = {
         let mut m = Mat::zeros(22, 22);
         for i in 0..21 {
@@ -102,9 +100,7 @@ fn bench_nn(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(7);
     let mlp = Mlp::new(&[8, 256, 256, 72], Activation::Tanh, &mut rng);
     let obs = vec![0.25; 8];
-    c.bench_function("policy_forward_one_2x256", |b| {
-        b.iter(|| mlp.forward_one(black_box(&obs)))
-    });
+    c.bench_function("policy_forward_one_2x256", |b| b.iter(|| mlp.forward_one(black_box(&obs))));
     let batch = Tensor::from_vec(128, 8, vec![0.25; 128 * 8]);
     c.bench_function("policy_forward_batch128_2x256", |b| {
         b.iter(|| mlp.forward(black_box(&batch)))
@@ -135,9 +131,7 @@ fn bench_phase_type(c: &mut Criterion) {
     let joint = PhDist::from_lengths(&nu, &service);
     let rule = jsq_rule(6, 2);
     c.bench_function("ph_mean_field_step_2phase_dt5", |b| {
-        b.iter(|| {
-            ph_mean_field_step(black_box(&joint), black_box(&rule), 0.9, &service, 5.0)
-        })
+        b.iter(|| ph_mean_field_step(black_box(&joint), black_box(&rule), 0.9, &service, 5.0))
     });
     // Gillespie on one PH queue for an epoch (the finite engine's inner
     // loop).
@@ -160,9 +154,7 @@ fn bench_dp(c: &mut Criterion) {
     // backup.
     let grid = SimplexGrid::new(6, 12);
     let nu = StateDist::new(vec![0.23, 0.17, 0.31, 0.12, 0.09, 0.08]);
-    c.bench_function("simplex_interpolate_B5_G12", |b| {
-        b.iter(|| grid.interpolate(black_box(&nu)))
-    });
+    c.bench_function("simplex_interpolate_B5_G12", |b| b.iter(|| grid.interpolate(black_box(&nu))));
     c.bench_function("simplex_snap_B5_G12", |b| b.iter(|| grid.snap(black_box(&nu))));
     // A full (small) DP solve: B = 3 lattice, softmin library — the
     // certified-optimum pipeline of the ablation experiments.
@@ -171,13 +163,8 @@ fn bench_dp(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("value_iteration_B3_G8", |b| {
         b.iter(|| {
-            let dp_cfg =
-                DpConfig { grid_resolution: 8, tol: 1e-6, max_sweeps: 4000, threads: 1 };
-            DpSolution::solve(
-                black_box(&cfg),
-                ActionLibrary::softmin_default(4, 2),
-                &dp_cfg,
-            )
+            let dp_cfg = DpConfig { grid_resolution: 8, tol: 1e-6, max_sweeps: 4000, threads: 1 };
+            DpSolution::solve(black_box(&cfg), ActionLibrary::softmin_default(4, 2), &dp_cfg)
         })
     });
     group.finish();

@@ -142,9 +142,7 @@ fn main() {
 
     // Curves to CSV (downsampled implicitly by iteration granularity).
     let mut csv_rows = Vec::new();
-    for (name, curve) in
-        [("ppo", &ppo_curve), ("reinforce", &rf_curve), ("cem", &cem_curve)]
-    {
+    for (name, curve) in [("ppo", &ppo_curve), ("reinforce", &rf_curve), ("cem", &cem_curve)] {
         for &(steps, ret) in curve {
             csv_rows.push(vec![name.to_string(), steps.to_string(), format!("{ret:.4}")]);
         }

@@ -61,9 +61,7 @@ fn main() {
         let cfg = base.clone().with_m_squared(m);
         let engine = AggregateEngine::new(cfg);
         let mc = monte_carlo_conditioned(&engine, &policy, &seq, n_runs, seed + m as u64, 0);
-        let finite = Summary::from_slice(
-            &mc.per_run.iter().map(|d| -d).collect::<Vec<_>>(),
-        );
+        let finite = Summary::from_slice(&mc.per_run.iter().map(|d| -d).collect::<Vec<_>>());
         let gap = (reference - finite.mean()).abs();
         let resolvable = gap > 2.0 * finite.std_err();
         if resolvable {
@@ -113,8 +111,7 @@ fn main() {
     let n_surrogate: u64 = 163_840; // stands in for N = ∞ at this M
     let cfg_inf = base.clone().with_size(n_surrogate, m_fixed);
     let engine_inf = AggregateEngine::new(cfg_inf);
-    let mc_inf =
-        monte_carlo_conditioned(&engine_inf, &policy, &seq, n_runs, seed ^ 0xA5A5, 0);
+    let mc_inf = monte_carlo_conditioned(&engine_inf, &policy, &seq, n_runs, seed ^ 0xA5A5, 0);
     let j_inf = -mc_inf.mean();
 
     let mut rows2 = Vec::new();

@@ -36,18 +36,15 @@ fn tune_beta_ph(cfg: &SystemConfig, service: &PhaseType, horizon: usize, seed: u
     use rand::SeedableRng;
     let mdp = PhMeanFieldMdp::new(cfg.clone(), service.clone());
     let mut rng = StdRng::seed_from_u64(seed);
-    let seqs: Vec<Vec<usize>> = (0..6)
-        .map(|_| mflb_core::theory::sample_lambda_sequence(cfg, horizon, &mut rng))
-        .collect();
+    let seqs: Vec<Vec<usize>> =
+        (0..6).map(|_| mflb_core::theory::sample_lambda_sequence(cfg, horizon, &mut rng)).collect();
     let zs = cfg.num_states();
     let mut best = (0.0, f64::NEG_INFINITY);
     for beta in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0] {
         let policy = FixedRulePolicy::new(softmin_rule(zs, cfg.d, beta), "soft");
-        let v: f64 = seqs
-            .iter()
-            .map(|s| mdp.rollout_conditioned(&policy, s).total_return)
-            .sum::<f64>()
-            / seqs.len() as f64;
+        let v: f64 =
+            seqs.iter().map(|s| mdp.rollout_conditioned(&policy, s).total_return).sum::<f64>()
+                / seqs.len() as f64;
         if v > best.1 {
             best = (beta, v);
         }
@@ -77,10 +74,7 @@ fn main() {
         let policies: Vec<(&str, Box<dyn UpperPolicy + Send + Sync>)> = vec![
             ("JSQ(2)", Box::new(FixedRulePolicy::new(jsq_rule(zs, 2), "JSQ(2)"))),
             ("RND", Box::new(FixedRulePolicy::new(rnd_rule(zs, 2), "RND"))),
-            (
-                "SOFT(beta*)",
-                Box::new(FixedRulePolicy::new(softmin_rule(zs, 2, beta), "SOFT")),
-            ),
+            ("SOFT(beta*)", Box::new(FixedRulePolicy::new(softmin_rule(zs, 2, beta), "SOFT"))),
         ];
 
         // Finite PH system (aggregate multinomial + Gillespie PH queues).
@@ -138,12 +132,29 @@ fn main() {
     }
     print_table(
         &format!("Service-variability ablation (M = {m}, N = M², Δt = {dt}): drops vs SCV"),
-        &["SCV", "phases", "beta*", "JSQ(2) finite", "RND finite", "SOFT finite", "SOFT mean-field"],
+        &[
+            "SCV",
+            "phases",
+            "beta*",
+            "JSQ(2) finite",
+            "RND finite",
+            "SOFT finite",
+            "SOFT mean-field",
+        ],
         &rows,
     );
     write_csv(
         &format!("ablation_service_scv_{}.csv", scale.label()),
-        &["scv", "beta_star", "jsq_finite", "rnd_finite", "soft_finite", "jsq_mf", "rnd_mf", "soft_mf"],
+        &[
+            "scv",
+            "beta_star",
+            "jsq_finite",
+            "rnd_finite",
+            "soft_finite",
+            "jsq_mf",
+            "rnd_mf",
+            "soft_mf",
+        ],
         &csv_rows,
     );
 

@@ -70,15 +70,20 @@ fn main() {
     );
     write_csv(
         &format!("ablation_softmin_{}.csv", scale.label()),
-        &["dt", "beta_star", "softmin_drops", "jsq_drops", "rnd_drops", "ppo_drops", "feedback_gain"],
+        &[
+            "dt",
+            "beta_star",
+            "softmin_drops",
+            "jsq_drops",
+            "rnd_drops",
+            "ppo_drops",
+            "feedback_gain",
+        ],
         &rows,
     );
 
     // Shape check: β* decreasing in Δt (allowing plateau noise).
-    let monotone_violations = betas
-        .windows(2)
-        .filter(|w| w[1].1 > w[0].1 + 0.35)
-        .count();
+    let monotone_violations = betas.windows(2).filter(|w| w[1].1 > w[0].1 + 0.35).count();
     println!(
         "\n[shape] beta* sequence {:?} — {}",
         betas.iter().map(|(_, b)| (*b * 1000.0).round() / 1000.0).collect::<Vec<_>>(),

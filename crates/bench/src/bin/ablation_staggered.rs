@@ -28,8 +28,8 @@ use mflb_core::mdp::FixedRulePolicy;
 use mflb_core::SystemConfig;
 use mflb_linalg::stats::{welch_t_test, Summary};
 use mflb_policy::{jsq_rule, optimize_beta, softmin_rule};
-use mflb_sim::{run_episode, run_rng, PerClientEngine, StaggeredEngine};
 use mflb_queue::ArrivalProcess;
+use mflb_sim::{run_episode, run_rng, PerClientEngine, StaggeredEngine};
 
 fn main() {
     let scale = Scale::from_args();
@@ -69,12 +69,21 @@ fn main() {
             let mut s_stag = Summary::new();
             for r in 0..n_runs {
                 s_sync.push(
-                    run_episode(&sync_engine, policy, sync_horizon, &mut run_rng(seed + pi as u64, r as u64))
-                        .total_drops,
+                    run_episode(
+                        &sync_engine,
+                        policy,
+                        sync_horizon,
+                        &mut run_rng(seed + pi as u64, r as u64),
+                    )
+                    .total_drops,
                 );
                 s_stag.push(
                     stag_engine
-                        .run_episode(policy, stag_horizon, &mut run_rng(seed + 50 + pi as u64, r as u64))
+                        .run_episode(
+                            policy,
+                            stag_horizon,
+                            &mut run_rng(seed + 50 + pi as u64, r as u64),
+                        )
                         .total_drops,
                 );
             }

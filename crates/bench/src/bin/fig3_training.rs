@@ -25,8 +25,7 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_args();
     let dt: f64 = arg_value("--dt").map(|v| v.parse().expect("--dt")).unwrap_or(5.0);
-    let threads: usize =
-        arg_value("--threads").map(|v| v.parse().expect("--threads")).unwrap_or(8);
+    let threads: usize = arg_value("--threads").map(|v| v.parse().expect("--threads")).unwrap_or(8);
     let seed: u64 = arg_value("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(1);
     let iters: usize = arg_value("--iters")
         .map(|v| v.parse().expect("--iters"))
@@ -80,7 +79,11 @@ fn main() {
         );
     } else {
         policy
-            .save(&ckpt, dt, format!("trained-by=fig3_training scale={} iters={iters}", scale.label()))
+            .save(
+                &ckpt,
+                dt,
+                format!("trained-by=fig3_training scale={} iters={iters}", scale.label()),
+            )
             .expect("save checkpoint");
         println!("checkpoint saved to {}", ckpt.display());
     }
@@ -97,11 +100,8 @@ fn main() {
             ]
         })
         .collect();
-    let console_rows: Vec<Vec<String>> = rows
-        .iter()
-        .step_by((rows.len() / 20).max(1))
-        .cloned()
-        .collect();
+    let console_rows: Vec<Vec<String>> =
+        rows.iter().step_by((rows.len() / 20).max(1)).cloned().collect();
     print_table(
         &format!("Figure 3: MF training curve (Δt = {dt}, T = {horizon})"),
         &["timesteps", "episode return", "KL", "entropy"],
@@ -126,9 +126,24 @@ fn main() {
 
     let mut csv_rows = rows.clone();
     // Append baseline markers so the CSV is self-contained for plotting.
-    csv_rows.push(vec!["baseline:MF-JSQ(2)".into(), format!("{:.3}", jsq.mean()), String::new(), String::new()]);
-    csv_rows.push(vec!["baseline:MF-RND".into(), format!("{:.3}", rnd.mean()), String::new(), String::new()]);
-    csv_rows.push(vec!["final:MF".into(), format!("{:.3}", final_eval.mean()), String::new(), String::new()]);
+    csv_rows.push(vec![
+        "baseline:MF-JSQ(2)".into(),
+        format!("{:.3}", jsq.mean()),
+        String::new(),
+        String::new(),
+    ]);
+    csv_rows.push(vec![
+        "baseline:MF-RND".into(),
+        format!("{:.3}", rnd.mean()),
+        String::new(),
+        String::new(),
+    ]);
+    csv_rows.push(vec![
+        "final:MF".into(),
+        format!("{:.3}", final_eval.mean()),
+        String::new(),
+        String::new(),
+    ]);
     write_csv(
         "fig3_training_curve.csv",
         &["timesteps", "episode_return", "kl", "entropy"],
@@ -138,7 +153,11 @@ fn main() {
     // Qualitative check mirrored from the figure: learning must end above
     // the MF-RND baseline.
     if final_eval.mean() > rnd.mean() {
-        println!("[shape] OK: learned MF beats MF-RND ({:.2} > {:.2})", final_eval.mean(), rnd.mean());
+        println!(
+            "[shape] OK: learned MF beats MF-RND ({:.2} > {:.2})",
+            final_eval.mean(),
+            rnd.mean()
+        );
     } else {
         println!(
             "[shape] WARNING: learned MF did not beat MF-RND at this scale ({:.2} <= {:.2})",

@@ -72,10 +72,8 @@ fn main() {
     // delays.
     println!("\n[shape] at the largest Δt, MF must beat both baselines:");
     for &(n, m) in size_grid {
-        let last: Vec<&Vec<String>> = all_rows
-            .iter()
-            .filter(|r| r[0] == format!("{n}") && r[1] == format!("{m}"))
-            .collect();
+        let last: Vec<&Vec<String>> =
+            all_rows.iter().filter(|r| r[0] == format!("{n}") && r[1] == format!("{m}")).collect();
         if let Some(r) = last.last() {
             let (mf, jsq, rnd): (f64, f64, f64) =
                 (r[3].parse().unwrap(), r[5].parse().unwrap(), r[7].parse().unwrap());

@@ -42,8 +42,7 @@ fn main() {
             let engine = AggregateEngine::new(cfg.clone());
 
             let beta = optimize_beta(&cfg, horizon.min(120), 8, seed).beta;
-            let soft =
-                FixedRulePolicy::new(softmin_rule(zs, d, beta), format!("SOFT(d={d})"));
+            let soft = FixedRulePolicy::new(softmin_rule(zs, d, beta), format!("SOFT(d={d})"));
             let jsq = FixedRulePolicy::new(jsq_rule(zs, d), format!("JSQ({d})"));
             let rnd = FixedRulePolicy::new(rnd_rule(zs, d), "RND");
 
@@ -91,8 +90,7 @@ fn main() {
             .filter(|r| r[0] == format!("{dt}"))
             .map(|r| (r[1].parse().unwrap(), r[2].parse().unwrap()))
             .collect();
-        let trend: Vec<String> =
-            per_d.iter().map(|(d, v)| format!("d={d}: {v:.1}")).collect();
+        let trend: Vec<String> = per_d.iter().map(|(d, v)| format!("d={d}: {v:.1}")).collect();
         println!("  Δt={dt}: {}", trend.join("  "));
     }
 }

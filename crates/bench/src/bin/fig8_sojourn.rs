@@ -36,9 +36,8 @@ fn run_job_level_episode(
     rng: &mut StdRng,
 ) -> (Vec<f64>, u64, u64) {
     let m = cfg.num_queues;
-    let mut queues: Vec<FifoQueue> = (0..m)
-        .map(|_| FifoQueue::new(cfg.service_rate, cfg.buffer))
-        .collect();
+    let mut queues: Vec<FifoQueue> =
+        (0..m).map(|_| FifoQueue::new(cfg.service_rate, cfg.buffer)).collect();
     let mut lambda_idx = cfg.arrivals.sample_initial(rng);
     let mut sojourns = Vec::new();
     let mut dropped = 0u64;
@@ -135,8 +134,17 @@ fn main() {
     write_csv(
         &format!("fig8_sojourn_{}.csv", scale.label()),
         &[
-            "dt", "beta_star", "jsq_mean", "jsq_p95", "jsq_dropfrac", "rnd_mean", "rnd_p95",
-            "rnd_dropfrac", "soft_mean", "soft_p95", "soft_dropfrac",
+            "dt",
+            "beta_star",
+            "jsq_mean",
+            "jsq_p95",
+            "jsq_dropfrac",
+            "rnd_mean",
+            "rnd_p95",
+            "rnd_dropfrac",
+            "soft_mean",
+            "soft_p95",
+            "soft_dropfrac",
         ],
         &csv_rows,
     );

@@ -18,11 +18,7 @@ fn main() {
         vec!["d".into(), "Number of accessible queues".into(), format!("{}", c.d)],
         vec!["n".into(), "Monte Carlo simulations".into(), "100".into()],
         vec!["B".into(), "Queue buffer size".into(), format!("{}", c.buffer)],
-        vec![
-            "ν0".into(),
-            "Queue starting state distribution".into(),
-            "[1, 0, 0, ...]".into(),
-        ],
+        vec!["ν0".into(), "Queue starting state distribution".into(), "[1, 0, 0, ...]".into()],
         vec!["D".into(), "Drop penalty per job".into(), "1".into()],
         vec!["T".into(), "Training episode length".into(), format!("{}", c.train_episode_len)],
         vec![

@@ -14,11 +14,7 @@ fn main() {
         vec!["Bb".into(), "Training batch size".into(), format!("{}", c.train_batch_size)],
         vec!["Bm".into(), "SGD mini batch size".into(), format!("{}", c.minibatch_size)],
         vec!["Tb".into(), "Number of epochs".into(), format!("{}", c.num_epochs)],
-        vec![
-            "net".into(),
-            "Policy/value networks".into(),
-            format!("{:?} tanh (Fig. 2)", c.hidden),
-        ],
+        vec!["net".into(), "Policy/value networks".into(), format!("{:?} tanh (Fig. 2)", c.hidden)],
     ];
     print_table(
         "Table 2: Hyperparameter configuration for PPO",

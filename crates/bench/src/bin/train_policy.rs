@@ -18,27 +18,30 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_args();
     let dt: f64 = arg_value("--dt").map(|v| v.parse().expect("--dt")).unwrap_or(5.0);
-    let threads: usize =
-        arg_value("--threads").map(|v| v.parse().expect("--threads")).unwrap_or(8);
+    let threads: usize = arg_value("--threads").map(|v| v.parse().expect("--threads")).unwrap_or(8);
     let seed: u64 = arg_value("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(1);
     let iters: usize = arg_value("--iters")
         .map(|v| v.parse().expect("--iters"))
         .unwrap_or_else(|| iterations_for(scale));
-    let out = arg_value("--out")
-        .map(std::path::PathBuf::from)
-        .unwrap_or_else(|| checkpoint_path(dt));
+    let out =
+        arg_value("--out").map(std::path::PathBuf::from).unwrap_or_else(|| checkpoint_path(dt));
 
     let config = SystemConfig::paper().with_dt(dt);
     println!(
         "training MF policy: dt={dt} scale={} iters={iters} threads={threads} seed={seed}",
         scale.label()
     );
-    let init_policy = arg_value("--init").map(|p| {
-        NeuralUpperPolicy::load(&p).unwrap_or_else(|e| panic!("load --init {p}: {e}"))
-    });
+    let init_policy = arg_value("--init")
+        .map(|p| NeuralUpperPolicy::load(&p).unwrap_or_else(|e| panic!("load --init {p}: {e}")));
     let ppo = ppo_config_for(scale, threads);
-    let (policy, curve) =
-        train_mf_policy_from(&config, ppo, iters, seed, true, init_policy.as_ref().map(|p| p.net()));
+    let (policy, curve) = train_mf_policy_from(
+        &config,
+        ppo,
+        iters,
+        seed,
+        true,
+        init_policy.as_ref().map(|p| p.net()),
+    );
 
     // Final deterministic evaluation in the MFC MDP.
     let mdp = MeanFieldMdp::new(config.clone());

@@ -7,12 +7,7 @@
 /// Renders one or more named series into an ASCII chart of the given
 /// width × height. X positions are taken from the first series' x values
 /// (all series must share them); y is auto-scaled over all series.
-pub fn line_chart(
-    title: &str,
-    series: &[(&str, &[f64])],
-    width: usize,
-    height: usize,
-) -> String {
+pub fn line_chart(title: &str, series: &[(&str, &[f64])], width: usize, height: usize) -> String {
     assert!(width >= 10 && height >= 3, "chart too small");
     assert!(!series.is_empty());
     let n = series[0].1.len();

@@ -235,10 +235,7 @@ mod tests {
 
     #[test]
     fn checkpoint_path_convention() {
-        assert_eq!(
-            checkpoint_path(5.0),
-            PathBuf::from("assets/policies/mf_dt5.json")
-        );
+        assert_eq!(checkpoint_path(5.0), PathBuf::from("assets/policies/mf_dt5.json"));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! `cargo bench -p mflb-bench` runs the criterion micro-benchmarks of the
 //! computational kernels.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod chart;
 pub mod harness;
 pub mod training;

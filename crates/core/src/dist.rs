@@ -20,10 +20,7 @@ impl StateDist {
     pub fn new(probs: Vec<f64>) -> Self {
         assert!(!probs.is_empty(), "distribution needs at least one state");
         let mass: f64 = probs.iter().sum();
-        assert!(
-            (mass - 1.0).abs() < 1e-8,
-            "probabilities must sum to 1 (got {mass})"
-        );
+        assert!((mass - 1.0).abs() < 1e-8, "probabilities must sum to 1 (got {mass})");
         assert!(probs.iter().all(|&p| p >= -1e-12), "negative probability");
         let mut probs = probs;
         // Clean tiny negative round-off so downstream code can rely on >= 0.
@@ -74,9 +71,7 @@ impl StateDist {
     pub fn from_counts(counts: &[u64]) -> Self {
         let total: u64 = counts.iter().sum();
         assert!(total > 0, "empty count vector");
-        Self {
-            probs: counts.iter().map(|&c| c as f64 / total as f64).collect(),
-        }
+        Self { probs: counts.iter().map(|&c| c as f64 / total as f64).collect() }
     }
 
     /// Number of states `|Z| = B + 1`.
@@ -115,11 +110,7 @@ impl StateDist {
     /// ℓ₁ distance `‖ν − ω‖₁` (the metric of Theorem 1's proof).
     pub fn l1_distance(&self, other: &StateDist) -> f64 {
         assert_eq!(self.num_states(), other.num_states());
-        self.probs
-            .iter()
-            .zip(other.probs.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum()
+        self.probs.iter().zip(other.probs.iter()).map(|(a, b)| (a - b).abs()).sum()
     }
 
     /// Product-measure probability `μ(z̄) = Π_k ν(z̄_k)` of an observation

@@ -73,11 +73,7 @@ impl HeteroMeanField {
     ///
     /// # Panics
     /// See [`HeteroMeanField::all_empty`].
-    pub fn new(
-        class_weights: Vec<f64>,
-        class_rates: Vec<f64>,
-        dists: Vec<StateDist>,
-    ) -> Self {
+    pub fn new(class_weights: Vec<f64>, class_rates: Vec<f64>, dists: Vec<StateDist>) -> Self {
         assert!(!class_weights.is_empty(), "need at least one class");
         assert_eq!(class_weights.len(), class_rates.len(), "class shape");
         assert_eq!(class_weights.len(), dists.len(), "class shape");
@@ -135,11 +131,7 @@ impl HeteroMeanField {
 
     /// Mean queue length across classes.
     pub fn mean_queue_length(&self) -> f64 {
-        self.class_weights
-            .iter()
-            .zip(&self.dists)
-            .map(|(w, d)| w * d.mean_queue_length())
-            .sum()
+        self.class_weights.iter().zip(&self.dists).map(|(w, d)| w * d.mean_queue_length()).sum()
     }
 
     /// Advances the system by one decision epoch of length `dt` under a
@@ -289,12 +281,12 @@ mod tests {
     fn step_conserves_class_masses_and_bounds_drops() {
         let hetero = HeteroMeanField::all_empty(vec![0.5, 0.5], vec![1.6, 0.4], 5);
         let rule = composite_sed(6, &[1.6, 0.4]);
-        let (end, drops) = hetero.rollout_conditioned(&rule, &vec![0.9; 20], 5.0);
+        let (end, drops) = hetero.rollout_conditioned(&rule, &[0.9; 20], 5.0);
         for c in 0..2 {
             let mass: f64 = end.class_dist(c).as_slice().iter().sum();
             assert!((mass - 1.0).abs() < 1e-9, "class {c} mass {mass}");
         }
-        assert!(drops >= 0.0 && drops <= 0.9 * 5.0 * 20.0);
+        assert!((0.0..=0.9 * 5.0 * 20.0).contains(&drops));
     }
 
     #[test]
@@ -303,10 +295,9 @@ mod tests {
         // as fast ones and their queues must sit higher in steady state.
         let hetero = HeteroMeanField::all_empty(vec![0.5, 0.5], vec![1.6, 0.4], 5);
         let rule = composite_jsq(6, 2);
-        let (end, _) = hetero.rollout_conditioned(&rule, &vec![0.9; 40], 5.0);
+        let (end, _) = hetero.rollout_conditioned(&rule, &[0.9; 40], 5.0);
         assert!(
-            end.class_dist(1).mean_queue_length()
-                > end.class_dist(0).mean_queue_length() + 0.5,
+            end.class_dist(1).mean_queue_length() > end.class_dist(0).mean_queue_length() + 0.5,
             "slow {} vs fast {}",
             end.class_dist(1).mean_queue_length(),
             end.class_dist(0).mean_queue_length()
@@ -317,8 +308,7 @@ mod tests {
     fn sed_beats_rate_blind_jsq_in_hetero_mean_field() {
         let hetero = HeteroMeanField::all_empty(vec![0.5, 0.5], vec![1.6, 0.4], 5);
         let seq = vec![0.9; 40];
-        let (_, drops_sed) =
-            hetero.rollout_conditioned(&composite_sed(6, &[1.6, 0.4]), &seq, 5.0);
+        let (_, drops_sed) = hetero.rollout_conditioned(&composite_sed(6, &[1.6, 0.4]), &seq, 5.0);
         let (_, drops_jsq) = hetero.rollout_conditioned(&composite_jsq(6, 2), &seq, 5.0);
         assert!(
             drops_sed < drops_jsq,

@@ -20,6 +20,8 @@
 //! [`theory`] provides the numerical counterpart of Theorem 1 (performance
 //! of the finite system converges to the mean-field performance).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod config;
 pub mod dist;
 pub mod hetero_meanfield;

@@ -136,10 +136,7 @@ impl MeanFieldMdp {
     /// The initial state with a *fixed* arrival level (used when
     /// conditioning on the arrival sequence, as in Theorem 1).
     pub fn initial_state_with_lambda(&self, lambda_idx: usize) -> MfState {
-        MfState {
-            dist: StateDist::new(self.config.initial_dist.clone()),
-            lambda_idx,
-        }
+        MfState { dist: StateDist::new(self.config.initial_dist.clone()), lambda_idx }
     }
 
     /// One MDP step: applies `rule` for one epoch, then advances the
@@ -166,25 +163,16 @@ impl MeanFieldMdp {
         next_lambda_idx: usize,
     ) -> (MfState, f64, MeanFieldStep) {
         let lambda = self.config.arrivals.level_rate(state.lambda_idx);
-        let detail = mean_field_step(
-            &state.dist,
-            rule,
-            lambda,
-            self.config.service_rate,
-            self.config.dt,
-        );
-        let next = MfState {
-            dist: detail.next_dist.clone(),
-            lambda_idx: next_lambda_idx,
-        };
+        let detail =
+            mean_field_step(&state.dist, rule, lambda, self.config.service_rate, self.config.dt);
+        let next = MfState { dist: detail.next_dist.clone(), lambda_idx: next_lambda_idx };
         // Objective: drops, plus the optional holding-cost extension
         // (queueing penalized per job-time-unit; end-of-epoch length is the
         // exactly available statistic).
         let mut cost = detail.expected_drops;
         if self.config.holding_cost > 0.0 {
-            cost += self.config.holding_cost
-                * detail.next_dist.mean_queue_length()
-                * self.config.dt;
+            cost +=
+                self.config.holding_cost * detail.next_dist.mean_queue_length() * self.config.dt;
         }
         (next, -cost, detail)
     }

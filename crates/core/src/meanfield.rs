@@ -137,11 +137,7 @@ pub fn mean_field_step(
         *v = v.max(0.0) / total;
     }
 
-    MeanFieldStep {
-        next_dist: StateDist::new(next),
-        expected_drops: drops,
-        arrival_rates: rates,
-    }
+    MeanFieldStep { next_dist: StateDist::new(next), expected_drops: drops, arrival_rates: rates }
 }
 
 #[cfg(test)]
@@ -166,11 +162,7 @@ mod tests {
         let nu = StateDist::new(vec![0.3, 0.25, 0.2, 0.15, 0.07, 0.03]);
         for rule in [DecisionRule::uniform(6, 2), jsq_rule(6)] {
             let rates = per_state_arrival_rates(&nu, &rule, 0.9);
-            let total: f64 = rates
-                .iter()
-                .enumerate()
-                .map(|(z, r)| nu.prob(z) * r)
-                .sum();
+            let total: f64 = rates.iter().enumerate().map(|(z, r)| nu.prob(z) * r).sum();
             assert!((total - 0.9).abs() < 1e-12, "total {total}");
         }
     }
@@ -248,8 +240,7 @@ mod tests {
         // yield fewer expected drops than random assignment (no delay
         // within one epoch from the same ν, so JSQ's information is fresh).
         let nu = StateDist::new(vec![0.2, 0.1, 0.1, 0.1, 0.1, 0.4]);
-        let drops_jsq =
-            mean_field_step(&nu, &jsq_rule(6), 0.9, 1.0, 1.0).expected_drops;
+        let drops_jsq = mean_field_step(&nu, &jsq_rule(6), 0.9, 1.0, 1.0).expected_drops;
         let drops_rnd =
             mean_field_step(&nu, &DecisionRule::uniform(6, 2), 0.9, 1.0, 1.0).expected_drops;
         assert!(

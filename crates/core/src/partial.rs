@@ -228,11 +228,7 @@ mod tests {
             ObservationModel::Exact,
             7,
         );
-        for nu in [
-            StateDist::all_empty(5),
-            StateDist::uniform(5),
-            StateDist::delta(5, 5),
-        ] {
+        for nu in [StateDist::all_empty(5), StateDist::uniform(5), StateDist::delta(5, 5)] {
             let a = inner.decide(&nu, 0, 0.9);
             let b = wrapped.decide(&nu, 0, 0.9);
             assert!(a.max_abs_diff(&b) < 1e-15);
@@ -321,11 +317,8 @@ mod tests {
 
     #[test]
     fn no_arrival_info_masks_lambda() {
-        let wrapped = PartialObservationPolicy::new(
-            LambdaSwitchPolicy,
-            ObservationModel::NoArrivalInfo,
-            0,
-        );
+        let wrapped =
+            PartialObservationPolicy::new(LambdaSwitchPolicy, ObservationModel::NoArrivalInfo, 0);
         let nu = StateDist::uniform(5);
         // Regardless of the true level, the wrapper routes level 0 inside.
         let at_high = wrapped.decide(&nu, 0, 0.9);
@@ -361,10 +354,7 @@ mod tests {
             v_crude += mdp.rollout_conditioned(&crude, &seq).total_return;
         }
         v_crude /= 16.0;
-        assert!(
-            v_exact >= v_crude - 1e-9,
-            "exact {v_exact} must be at least crude {v_crude}"
-        );
+        assert!(v_exact >= v_crude - 1e-9, "exact {v_exact} must be at least crude {v_crude}");
     }
 
     #[test]

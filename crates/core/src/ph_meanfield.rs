@@ -139,11 +139,7 @@ impl PhDist {
     /// ℓ₁ distance to another joint distribution of the same shape.
     pub fn l1_distance(&self, other: &PhDist) -> f64 {
         assert_eq!(self.probs.len(), other.probs.len());
-        self.probs
-            .iter()
-            .zip(other.probs.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum()
+        self.probs.iter().zip(other.probs.iter()).map(|(a, b)| (a - b).abs()).sum()
     }
 }
 
@@ -281,17 +277,12 @@ impl PhMeanFieldMdp {
         next_lambda_idx: usize,
     ) -> (PhMfState, f64, PhMeanFieldStep) {
         let lambda = self.config.arrivals.level_rate(state.lambda_idx);
-        let detail =
-            ph_mean_field_step(&state.dist, rule, lambda, &self.service, self.config.dt);
-        let next = PhMfState {
-            dist: detail.next_dist.clone(),
-            lambda_idx: next_lambda_idx,
-        };
+        let detail = ph_mean_field_step(&state.dist, rule, lambda, &self.service, self.config.dt);
+        let next = PhMfState { dist: detail.next_dist.clone(), lambda_idx: next_lambda_idx };
         let mut cost = detail.expected_drops;
         if self.config.holding_cost > 0.0 {
-            cost += self.config.holding_cost
-                * detail.next_dist.mean_queue_length()
-                * self.config.dt;
+            cost +=
+                self.config.holding_cost * detail.next_dist.mean_queue_length() * self.config.dt;
         }
         (next, -cost, detail)
     }
@@ -430,10 +421,7 @@ mod tests {
         };
         let low = drops_of(0.25);
         let high = drops_of(4.0);
-        assert!(
-            low < high,
-            "SCV 0.25 drops {low} must be below SCV 4 drops {high}"
-        );
+        assert!(low < high, "SCV 0.25 drops {low} must be below SCV 4 drops {high}");
     }
 
     #[test]

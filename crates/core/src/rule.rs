@@ -35,10 +35,7 @@ impl DecisionRule {
         for r in 0..rows {
             let row = &table[r * d..(r + 1) * d];
             let mass: f64 = row.iter().sum();
-            assert!(
-                (mass - 1.0).abs() < 1e-8,
-                "row {r} sums to {mass}, expected 1"
-            );
+            assert!((mass - 1.0).abs() < 1e-8, "row {r} sums to {mass}, expected 1");
             assert!(row.iter().all(|&p| p >= -1e-12), "row {r} has negative mass");
         }
         Self { num_states, d, table }
@@ -48,11 +45,7 @@ impl DecisionRule {
     /// (the paper's MF-RND, Eq. 35).
     pub fn uniform(num_states: usize, d: usize) -> Self {
         let rows = num_states.pow(d as u32);
-        Self {
-            num_states,
-            d,
-            table: vec![1.0 / d as f64; rows * d],
-        }
+        Self { num_states, d, table: vec![1.0 / d as f64; rows * d] }
     }
 
     /// Builds a rule by evaluating `f` on every observation tuple; `f` must
@@ -180,11 +173,7 @@ impl DecisionRule {
     pub fn max_abs_diff(&self, other: &DecisionRule) -> f64 {
         assert_eq!(self.num_states, other.num_states);
         assert_eq!(self.d, other.d);
-        self.table
-            .iter()
-            .zip(other.table.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
+        self.table.iter().zip(other.table.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
     }
 
     /// Convex combination `(1−w)·self + w·other` — used by ablations that
@@ -193,12 +182,8 @@ impl DecisionRule {
         assert!((0.0..=1.0).contains(&w));
         assert_eq!(self.num_states, other.num_states);
         assert_eq!(self.d, other.d);
-        let table = self
-            .table
-            .iter()
-            .zip(other.table.iter())
-            .map(|(a, b)| (1.0 - w) * a + w * b)
-            .collect();
+        let table =
+            self.table.iter().zip(other.table.iter()).map(|(a, b)| (1.0 - w) * a + w * b).collect();
         DecisionRule::new(self.num_states, self.d, table)
     }
 }
@@ -232,13 +217,18 @@ mod tests {
     fn from_fn_sees_correct_tuples() {
         // Rule that always routes to the arg-min coordinate; check a few
         // known tuples.
-        let r = DecisionRule::from_fn(3, 2, |t| {
-            if t[0] <= t[1] {
-                vec![1.0, 0.0]
-            } else {
-                vec![0.0, 1.0]
-            }
-        });
+        let r =
+            DecisionRule::from_fn(
+                3,
+                2,
+                |t| {
+                    if t[0] <= t[1] {
+                        vec![1.0, 0.0]
+                    } else {
+                        vec![0.0, 1.0]
+                    }
+                },
+            );
         assert_eq!(r.prob(&[0, 2], 0), 1.0);
         assert_eq!(r.prob(&[2, 0], 1), 1.0);
         assert_eq!(r.prob(&[1, 1], 0), 1.0); // ties at first coordinate
@@ -285,7 +275,8 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let r = DecisionRule::from_logits(3, 2, &(0..18).map(|i| i as f64 * 0.1).collect::<Vec<_>>());
+        let r =
+            DecisionRule::from_logits(3, 2, &(0..18).map(|i| i as f64 * 0.1).collect::<Vec<_>>());
         let json = serde_json::to_string(&r).unwrap();
         let back: DecisionRule = serde_json::from_str(&json).unwrap();
         assert!(r.max_abs_diff(&back) < 1e-15);

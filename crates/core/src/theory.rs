@@ -21,9 +21,7 @@ pub fn conditioned_value(
     policy: &dyn UpperPolicy,
     lambda_seq: &[usize],
 ) -> f64 {
-    MeanFieldMdp::new(config.clone())
-        .rollout_conditioned(policy, lambda_seq)
-        .discounted_return
+    MeanFieldMdp::new(config.clone()).rollout_conditioned(policy, lambda_seq).discounted_return
 }
 
 /// The undiscounted conditioned episode return (the quantity compared in
@@ -33,9 +31,7 @@ pub fn conditioned_return(
     policy: &dyn UpperPolicy,
     lambda_seq: &[usize],
 ) -> f64 {
-    MeanFieldMdp::new(config.clone())
-        .rollout_conditioned(policy, lambda_seq)
-        .total_return
+    MeanFieldMdp::new(config.clone()).rollout_conditioned(policy, lambda_seq).total_return
 }
 
 /// Samples an arrival-level trajectory of the configured process (shared

@@ -119,9 +119,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "shape mismatch")]
     fn rejects_mixed_shapes() {
-        ActionLibrary::new(vec![
-            ("a".into(), rnd_rule(6, 2)),
-            ("b".into(), rnd_rule(5, 2)),
-        ]);
+        ActionLibrary::new(vec![("a".into(), rnd_rule(6, 2)), ("b".into(), rnd_rule(5, 2))]);
     }
 }

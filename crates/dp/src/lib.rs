@@ -21,6 +21,8 @@
 //! to the restricted-family optimum, and how much does ν-feedback add
 //! over the best constant rule?*
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod actions;
 pub mod simplex_grid;
 pub mod value_iteration;

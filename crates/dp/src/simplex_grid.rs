@@ -424,11 +424,8 @@ mod tests {
         let grid = SimplexGrid::new(6, 8);
         let nu = StateDist::new(vec![0.21, 0.19, 0.18, 0.17, 0.13, 0.12]);
         let f = |d: &StateDist| d.full_fraction();
-        let interp: f64 = grid
-            .interpolate(&nu)
-            .iter()
-            .map(|&(idx, w)| w * f(&grid.point(idx)))
-            .sum();
+        let interp: f64 =
+            grid.interpolate(&nu).iter().map(|&(idx, w)| w * f(&grid.point(idx))).sum();
         let snapped = f(&grid.point(grid.snap(&nu)));
         assert!((interp - f(&nu)).abs() < 1e-9);
         assert!((interp - f(&nu)).abs() <= (snapped - f(&nu)).abs());

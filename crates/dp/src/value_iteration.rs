@@ -123,9 +123,8 @@ impl DpSolution {
 
         // ---- Value-iteration sweeps (pure table arithmetic). -----------
         let gamma = config.gamma;
-        let kernel: Vec<Vec<f64>> = (0..num_levels)
-            .map(|l| config.arrivals.kernel_row(l).to_vec())
-            .collect();
+        let kernel: Vec<Vec<f64>> =
+            (0..num_levels).map(|l| config.arrivals.kernel_row(l).to_vec()).collect();
         let mut values = vec![0.0f64; s_count * num_levels];
         let mut fresh = vec![0.0f64; s_count * num_levels];
         let mut best = vec![0u32; s_count * num_levels];
@@ -156,16 +155,7 @@ impl DpSolution {
             sweeps += 1;
         }
 
-        Self {
-            config: config.clone(),
-            grid,
-            actions,
-            num_levels,
-            values,
-            best,
-            sweeps,
-            residual,
-        }
+        Self { config: config.clone(), grid, actions, num_levels, values, best, sweeps, residual }
     }
 
     /// Solves the discretized MDP by **policy iteration** (Howard's
@@ -187,9 +177,8 @@ impl DpSolution {
 
         let table = Self::precompute(config, &grid, &actions, num_levels, dp.threads);
         let gamma = config.gamma;
-        let kernel: Vec<Vec<f64>> = (0..num_levels)
-            .map(|l| config.arrivals.kernel_row(l).to_vec())
-            .collect();
+        let kernel: Vec<Vec<f64>> =
+            (0..num_levels).map(|l| config.arrivals.kernel_row(l).to_vec()).collect();
 
         let mut policy = vec![0u32; s_count * num_levels];
         let mut values = vec![0.0f64; s_count * num_levels];
@@ -435,9 +424,8 @@ impl DpSolution {
         let num_levels = ckpt.config.arrivals.num_levels();
         assert_eq!(ckpt.values.len(), grid.num_points() * num_levels, "value table shape");
         assert_eq!(ckpt.best.len(), ckpt.values.len(), "policy table shape");
-        let actions = ActionLibrary::new(
-            ckpt.action_names.into_iter().zip(ckpt.action_rules).collect(),
-        );
+        let actions =
+            ActionLibrary::new(ckpt.action_names.into_iter().zip(ckpt.action_rules).collect());
         assert!(
             ckpt.best.iter().all(|&a| (a as usize) < actions.len()),
             "action index out of range"
@@ -561,10 +549,7 @@ mod tests {
         // With only RND available, VI computes the RND value function; the
         // value at ν₀ must match a Monte-Carlo discounted return of MF-RND.
         let cfg = small_config();
-        let lib = ActionLibrary::new(vec![(
-            "RND".into(),
-            rnd_rule(cfg.num_states(), cfg.d),
-        )]);
+        let lib = ActionLibrary::new(vec![("RND".into(), rnd_rule(cfg.num_states(), cfg.d))]);
         let sol = DpSolution::solve(&cfg, lib, &small_dp());
         let mdp = MeanFieldMdp::new(cfg.clone());
         let policy = FixedRulePolicy::new(rnd_rule(cfg.num_states(), cfg.d), "MF-RND");
@@ -574,8 +559,8 @@ mod tests {
         for _ in 0..64 {
             s.push(mdp.rollout(&policy, 900, &mut rng).discounted_return);
         }
-        let v0 = 0.5
-            * (sol.value(&StateDist::all_empty(3), 0) + sol.value(&StateDist::all_empty(3), 1));
+        let v0 =
+            0.5 * (sol.value(&StateDist::all_empty(3), 0) + sol.value(&StateDist::all_empty(3), 1));
         let tol = 4.0 * s.std_err() + 0.02 * s.mean().abs();
         assert!(
             (v0 - s.mean()).abs() < tol,
@@ -591,8 +576,7 @@ mod tests {
         // operator in the action set).
         let cfg = small_config();
         let zs = cfg.num_states();
-        let full =
-            DpSolution::solve(&cfg, ActionLibrary::softmin_default(zs, cfg.d), &small_dp());
+        let full = DpSolution::solve(&cfg, ActionLibrary::softmin_default(zs, cfg.d), &small_dp());
         for only in [0usize, 5, 9] {
             let lib = ActionLibrary::softmin_default(zs, cfg.d);
             let single =
@@ -619,8 +603,7 @@ mod tests {
         // arrival sequences.
         let cfg = small_config();
         let zs = cfg.num_states();
-        let sol =
-            DpSolution::solve(&cfg, ActionLibrary::softmin_default(zs, cfg.d), &small_dp());
+        let sol = DpSolution::solve(&cfg, ActionLibrary::softmin_default(zs, cfg.d), &small_dp());
         let dp_policy = sol.into_policy();
         let mdp = MeanFieldMdp::new(cfg.clone());
         let jsq = FixedRulePolicy::new(jsq_rule(zs, cfg.d), "MF-JSQ(2)");
@@ -698,12 +681,7 @@ mod tests {
         let slack = 2.0 * small_dp().tol / (1.0 - cfg.gamma);
         assert!(max_diff < slack.max(1e-4), "VI/PI value mismatch {max_diff}");
         // Greedy actions agree except where two actions tie in value.
-        let disagreements = vi
-            .best
-            .iter()
-            .zip(pi.best.iter())
-            .filter(|(a, b)| a != b)
-            .count();
+        let disagreements = vi.best.iter().zip(pi.best.iter()).filter(|(a, b)| a != b).count();
         let frac = disagreements as f64 / vi.best.len() as f64;
         assert!(frac < 0.02, "VI/PI greedy policies differ on {frac:.3} of states");
     }
@@ -712,8 +690,7 @@ mod tests {
     fn checkpoint_roundtrip_preserves_solution_and_policy() {
         let cfg = small_config();
         let zs = cfg.num_states();
-        let sol =
-            DpSolution::solve(&cfg, ActionLibrary::softmin_default(zs, cfg.d), &small_dp());
+        let sol = DpSolution::solve(&cfg, ActionLibrary::softmin_default(zs, cfg.d), &small_dp());
         let restored = DpSolution::from_checkpoint(sol.to_checkpoint());
         assert_eq!(sol.values, restored.values);
         assert_eq!(sol.best, restored.best);

@@ -214,11 +214,7 @@ mod tests {
     fn row_convention_generator_gives_stochastic_transitions() {
         // Row-convention CTMC generator (rows sum to 0): exp(Qt) must be a
         // stochastic matrix (rows sum to 1, entries in [0,1]).
-        let q = Mat::from_rows(&[
-            &[-2.0, 2.0, 0.0],
-            &[1.0, -3.0, 2.0],
-            &[0.0, 1.5, -1.5],
-        ]);
+        let q = Mat::from_rows(&[&[-2.0, 2.0, 0.0], &[1.0, -3.0, 2.0], &[0.0, 1.5, -1.5]]);
         for &t in &[0.01, 0.5, 2.0, 10.0] {
             let p = expm(&q.scaled(t));
             for i in 0..3 {

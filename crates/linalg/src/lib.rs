@@ -20,6 +20,8 @@
 //! asymptotic tricks; everything is allocation-conscious enough to sit in
 //! the inner loop of the simulator regardless.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod expm;
 pub mod lu;
 pub mod matrix;

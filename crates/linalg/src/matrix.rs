@@ -157,9 +157,7 @@ impl Mat {
     /// Matrix–vector product `self * v` (treating `v` as a column vector).
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec dimension mismatch");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(v.iter()).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(v.iter()).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Row-vector–matrix product `v * self`.
@@ -208,11 +206,7 @@ impl Mat {
     pub fn max_abs_diff(&self, other: &Mat) -> f64 {
         assert_eq!(self.rows, other.rows);
         assert_eq!(self.cols, other.cols);
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max)
     }
 
     /// Adds `s` to every diagonal entry in place.

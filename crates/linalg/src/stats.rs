@@ -380,8 +380,7 @@ pub fn welch_t_test(a: &Summary, b: &Summary) -> (f64, f64, f64) {
     }
     let t = (a.mean() - b.mean()) / se;
     // Welch–Satterthwaite effective degrees of freedom.
-    let df = (va + vb) * (va + vb)
-        / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+    let df = (va + vb) * (va + vb) / (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
     (t, df, p.clamp(0.0, 1.0))
 }
@@ -513,10 +512,7 @@ mod tests {
         assert!((regularized_lower_gamma(3.0, 1e3) - 1.0).abs() < 1e-12);
         // P(1, x) = 1 - exp(-x).
         for &x in &[0.1, 1.0, 2.5] {
-            assert!(
-                (regularized_lower_gamma(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12,
-                "x={x}"
-            );
+            assert!((regularized_lower_gamma(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12, "x={x}");
         }
     }
 
@@ -584,8 +580,10 @@ mod tests {
 
     #[test]
     fn welch_detects_separated_groups() {
-        let a = Summary::from_slice(&(0..30).map(|i| 1.0 + (i % 5) as f64 * 0.1).collect::<Vec<_>>());
-        let b = Summary::from_slice(&(0..30).map(|i| 9.0 + (i % 7) as f64 * 0.1).collect::<Vec<_>>());
+        let a =
+            Summary::from_slice(&(0..30).map(|i| 1.0 + (i % 5) as f64 * 0.1).collect::<Vec<_>>());
+        let b =
+            Summary::from_slice(&(0..30).map(|i| 9.0 + (i % 7) as f64 * 0.1).collect::<Vec<_>>());
         let (t, _, p) = welch_t_test(&a, &b);
         assert!(t < -10.0, "t = {t}");
         assert!(p < 1e-9, "p = {p}");
@@ -594,8 +592,14 @@ mod tests {
     #[test]
     fn welch_matches_textbook_example() {
         // Two small groups with hand-computed Welch statistic.
-        let a = Summary::from_slice(&[27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7, 21.4]);
-        let b = Summary::from_slice(&[27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0, 23.9]);
+        let a = Summary::from_slice(&[
+            27.5, 21.0, 19.0, 23.6, 17.0, 17.9, 16.9, 20.1, 21.9, 22.6, 23.1, 19.6, 19.0, 21.7,
+            21.4,
+        ]);
+        let b = Summary::from_slice(&[
+            27.1, 22.0, 20.8, 23.4, 23.4, 23.5, 25.8, 22.0, 24.8, 20.2, 21.9, 22.1, 22.9, 30.0,
+            23.9,
+        ]);
         let (t, df, p) = welch_t_test(&a, &b);
         // Reference values computed independently (Welch formulas + the
         // regularized incomplete beta): t ≈ −2.83526, df ≈ 27.7136,
@@ -634,14 +638,8 @@ mod tests {
     #[test]
     fn bootstrap_is_deterministic_in_seed() {
         let xs: Vec<f64> = (0..64).map(|i| (i as f64).sqrt()).collect();
-        assert_eq!(
-            bootstrap_mean_ci(&xs, 0.95, 500, 42),
-            bootstrap_mean_ci(&xs, 0.95, 500, 42)
-        );
-        assert_ne!(
-            bootstrap_mean_ci(&xs, 0.95, 500, 42),
-            bootstrap_mean_ci(&xs, 0.95, 500, 43)
-        );
+        assert_eq!(bootstrap_mean_ci(&xs, 0.95, 500, 42), bootstrap_mean_ci(&xs, 0.95, 500, 42));
+        assert_ne!(bootstrap_mean_ci(&xs, 0.95, 500, 42), bootstrap_mean_ci(&xs, 0.95, 500, 43));
     }
 
     #[test]

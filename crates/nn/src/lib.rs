@@ -17,6 +17,8 @@
 //! Everything serializes with `serde` so trained policies can be
 //! checkpointed to JSON and reloaded by the evaluation binaries.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod adam;
 pub mod gaussian;
 pub mod linear;

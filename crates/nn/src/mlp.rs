@@ -78,10 +78,7 @@ impl Mlp {
     /// `sizes[last]` outputs) and hidden activation; Xavier init.
     pub fn new<R: Rng + ?Sized>(sizes: &[usize], activation: Activation, rng: &mut R) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
-        let layers = sizes
-            .windows(2)
-            .map(|w| Linear::xavier(w[0], w[1], rng))
-            .collect();
+        let layers = sizes.windows(2).map(|w| Linear::xavier(w[0], w[1], rng)).collect();
         Self { layers, activation }
     }
 
@@ -213,11 +210,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         for activation in [Activation::Tanh, Activation::Relu, Activation::Identity] {
             let mut mlp = Mlp::new(&[4, 8, 5, 3], activation, &mut rng);
-            let x = Tensor::from_vec(
-                3,
-                4,
-                (0..12).map(|i| ((i as f64) * 0.7).sin()).collect(),
-            );
+            let x = Tensor::from_vec(3, 4, (0..12).map(|i| ((i as f64) * 0.7).sin()).collect());
             let cache = mlp.forward_cached(&x);
             let grad_out = cache.output().clone(); // dL/dy = y for L = Σy²/2
             let analytic = mlp.backward(&cache, &grad_out);

@@ -74,7 +74,13 @@ proptest! {
         let curv: Vec<f64> = (0..4).map(|_| rng.gen_range(0.5..3.0)).collect();
         let mut x = vec![0.0; 4];
         let mut opt = Adam::new(4, 0.05);
-        for _ in 0..3_000 {
+        for step in 0..4_000 {
+            // Constant-rate Adam limit-cycles with amplitude ~lr around the
+            // optimum; decay the rate over the last quarter so the iterate
+            // settles well inside the 1e-2 tolerance for every curvature draw.
+            if step >= 3_000 {
+                opt.lr = 0.05 * (4_000 - step) as f64 / 1_000.0;
+            }
             let grads: Vec<f64> = x
                 .iter()
                 .zip(&target)

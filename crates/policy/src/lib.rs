@@ -12,6 +12,8 @@
 //! unchanged in the mean-field MDP *and* in the finite `N,M` simulator
 //! (`mflb-sim`), exactly as in the paper's evaluation.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod rules;
 pub mod softmin;
 pub mod upper;

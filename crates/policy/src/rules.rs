@@ -20,10 +20,7 @@ pub fn jsq_rule(num_states: usize, d: usize) -> DecisionRule {
     DecisionRule::from_fn(num_states, d, |tuple| {
         let min = *tuple.iter().min().expect("d >= 1");
         let n_min = tuple.iter().filter(|&&z| z == min).count() as f64;
-        tuple
-            .iter()
-            .map(|&z| if z == min { 1.0 / n_min } else { 0.0 })
-            .collect()
+        tuple.iter().map(|&z| if z == min { 1.0 / n_min } else { 0.0 }).collect()
     })
 }
 
@@ -62,10 +59,7 @@ pub fn sed_rule(num_queue_states: usize, d: usize, class_rates: &[f64]) -> Decis
             .collect();
         let min = delays.iter().copied().fold(f64::INFINITY, f64::min);
         let n_min = delays.iter().filter(|&&x| (x - min).abs() < 1e-12).count() as f64;
-        delays
-            .iter()
-            .map(|&x| if (x - min).abs() < 1e-12 { 1.0 / n_min } else { 0.0 })
-            .collect()
+        delays.iter().map(|&x| if (x - min).abs() < 1e-12 { 1.0 / n_min } else { 0.0 }).collect()
     })
 }
 

@@ -27,8 +27,7 @@ pub fn softmin_rule(num_states: usize, d: usize, beta: f64) -> DecisionRule {
     assert!(beta >= 0.0 && beta.is_finite());
     DecisionRule::from_fn(num_states, d, |tuple| {
         let min = *tuple.iter().min().expect("d >= 1") as f64;
-        let weights: Vec<f64> =
-            tuple.iter().map(|&z| (-beta * (z as f64 - min)).exp()).collect();
+        let weights: Vec<f64> = tuple.iter().map(|&z| (-beta * (z as f64 - min)).exp()).collect();
         let total: f64 = weights.iter().sum();
         weights.into_iter().map(|w| w / total).collect()
     })
@@ -96,18 +95,15 @@ pub fn optimize_beta(
 ) -> BetaSearchResult {
     let mdp = MeanFieldMdp::new(config.clone());
     let mut rng = StdRng::seed_from_u64(seed);
-    let seqs: Vec<Vec<usize>> = (0..episodes)
-        .map(|_| sample_lambda_sequence(config, horizon, &mut rng))
-        .collect();
+    let seqs: Vec<Vec<usize>> =
+        (0..episodes).map(|_| sample_lambda_sequence(config, horizon, &mut rng)).collect();
     let zs = config.num_states();
     let d = config.d;
 
     let eval = |beta: f64| -> f64 {
         let policy = FixedRulePolicy::new(softmin_rule(zs, d, beta), "softmin");
-        let total: f64 = seqs
-            .iter()
-            .map(|seq| mdp.rollout_conditioned(&policy, seq).total_return)
-            .sum();
+        let total: f64 =
+            seqs.iter().map(|seq| mdp.rollout_conditioned(&policy, seq).total_return).sum();
         total / seqs.len() as f64
     };
 
@@ -208,12 +204,8 @@ mod tests {
         assert!(res.value <= 0.0);
         assert!(res.trace.len() > 10);
         // Optimum must be at least as good as both endpoints of the family.
-        let anchors: Vec<f64> = res
-            .trace
-            .iter()
-            .filter(|(b, _)| *b == 0.0 || *b == 64.0)
-            .map(|(_, v)| *v)
-            .collect();
+        let anchors: Vec<f64> =
+            res.trace.iter().filter(|(b, _)| *b == 0.0 || *b == 64.0).map(|(_, v)| *v).collect();
         for v in anchors {
             assert!(res.value >= v - 1e-9);
         }

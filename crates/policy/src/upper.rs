@@ -78,7 +78,12 @@ impl NeuralUpperPolicy {
     }
 
     /// Saves the policy as a checkpoint JSON file.
-    pub fn save(&self, path: impl AsRef<Path>, dt: f64, meta: impl Into<String>) -> Result<(), String> {
+    pub fn save(
+        &self,
+        path: impl AsRef<Path>,
+        dt: f64,
+        meta: impl Into<String>,
+    ) -> Result<(), String> {
         let ckpt = PolicyCheckpoint {
             net: self.net.clone(),
             num_states: self.num_states,

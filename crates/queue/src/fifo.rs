@@ -143,10 +143,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let start = q.len();
         let stats = q.run_epoch(0.8, 50.0, &mut rng);
-        assert_eq!(
-            q.len() as i64,
-            start as i64 + stats.accepted as i64 - stats.completed as i64
-        );
+        assert_eq!(q.len() as i64, start as i64 + stats.accepted as i64 - stats.completed as i64);
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! * [`phase_type`] — phase-type service-time distributions and the
 //!   `M/PH/1/B` queue (the paper's §5 non-exponential-service extension).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod birth_death;
 pub mod fifo;
 pub mod fluid;
@@ -31,9 +33,9 @@ pub mod phase_type;
 pub mod sampler;
 
 pub use birth_death::{BirthDeathQueue, EpochOutcome};
-pub use mmpp_fit::{fit_mmpp, MmppFit};
-pub use phase_type::{PhQueue, PhQueueState, PhaseType};
 pub use fluid::{fluid_epoch, fluid_loss_rate, FluidEpoch};
 pub use gillespie::{simulate_ctmc, CtmcSpec};
 pub use mmpp::ArrivalProcess;
+pub use mmpp_fit::{fit_mmpp, MmppFit};
+pub use phase_type::{PhQueue, PhQueueState, PhaseType};
 pub use sampler::{AliasTable, Sampler};

@@ -50,11 +50,7 @@ impl ArrivalProcess {
     /// The paper's two-level process: `λ_h = 0.9`, `λ_l = 0.6`,
     /// `P(h→l) = 0.2`, `P(l→h) = 0.5`, `λ_0 ∼ Unif{λ_h, λ_l}`.
     pub fn paper_default() -> Self {
-        Self::new(
-            vec![0.9, 0.6],
-            vec![vec![0.8, 0.2], vec![0.5, 0.5]],
-            vec![0.5, 0.5],
-        )
+        Self::new(vec![0.9, 0.6], vec![vec![0.8, 0.2], vec![0.5, 0.5]], vec![0.5, 0.5])
     }
 
     /// A constant-rate process (useful for tests and the Theorem-1 check,
@@ -111,8 +107,7 @@ impl ArrivalProcess {
                     next[j] += p * kij;
                 }
             }
-            let diff: f64 =
-                next.iter().zip(pi.iter()).map(|(a, b)| (a - b).abs()).sum();
+            let diff: f64 = next.iter().zip(pi.iter()).map(|(a, b)| (a - b).abs()).sum();
             pi = next;
             if diff < 1e-14 {
                 break;
@@ -123,11 +118,7 @@ impl ArrivalProcess {
 
     /// Long-run average arrival rate `Σ_i π_i λ_i`.
     pub fn mean_rate(&self) -> f64 {
-        self.stationary()
-            .iter()
-            .zip(self.levels.iter())
-            .map(|(p, l)| p * l)
-            .sum()
+        self.stationary().iter().zip(self.levels.iter()).map(|(p, l)| p * l).sum()
     }
 }
 

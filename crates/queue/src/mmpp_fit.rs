@@ -148,12 +148,7 @@ mod tests {
 
     /// Generates a rate trace from a known process, with optional
     /// per-epoch measurement noise.
-    fn generate_trace(
-        process: &ArrivalProcess,
-        len: usize,
-        noise: f64,
-        seed: u64,
-    ) -> Vec<f64> {
+    fn generate_trace(process: &ArrivalProcess, len: usize, noise: f64, seed: u64) -> Vec<f64> {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut level = process.sample_initial(&mut rng);
@@ -176,8 +171,16 @@ mod tests {
         assert!((fit.process.level_rate(1) - 0.6).abs() < 1e-12);
         assert!(fit.distortion < 1e-20);
         // Kernel within counting noise of (0.2, 0.5).
-        assert!((fit.process.kernel_row(0)[1] - 0.2).abs() < 0.02, "P(h->l) {:?}", fit.process.kernel_row(0));
-        assert!((fit.process.kernel_row(1)[0] - 0.5).abs() < 0.02, "P(l->h) {:?}", fit.process.kernel_row(1));
+        assert!(
+            (fit.process.kernel_row(0)[1] - 0.2).abs() < 0.02,
+            "P(h->l) {:?}",
+            fit.process.kernel_row(0)
+        );
+        assert!(
+            (fit.process.kernel_row(1)[0] - 0.5).abs() < 0.02,
+            "P(l->h) {:?}",
+            fit.process.kernel_row(1)
+        );
     }
 
     #[test]
@@ -195,11 +198,7 @@ mod tests {
     fn recovers_three_levels() {
         let truth = ArrivalProcess::new(
             vec![0.95, 0.7, 0.3],
-            vec![
-                vec![0.7, 0.3, 0.0],
-                vec![0.2, 0.6, 0.2],
-                vec![0.0, 0.4, 0.6],
-            ],
+            vec![vec![0.7, 0.3, 0.0], vec![0.2, 0.6, 0.2], vec![0.0, 0.4, 0.6]],
             vec![0.3, 0.4, 0.3],
         );
         let trace = generate_trace(&truth, 30_000, 0.03, 3);

@@ -417,8 +417,7 @@ impl PhQueue {
                         for j in 0..k {
                             let rate = exit[i] * alpha[j];
                             if rate > 0.0 {
-                                let to =
-                                    self.state_index(PhQueueState { len: z - 1, phase: j });
+                                let to = self.state_index(PhQueueState { len: z - 1, phase: j });
                                 q[(from, to)] += rate;
                                 q[(from, from)] -= rate;
                             }
@@ -614,16 +613,8 @@ mod tests {
         for &scv in &[0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0, 8.0] {
             for &mean in &[0.5, 1.0, 3.0] {
                 let ph = PhaseType::fit_mean_scv(mean, scv);
-                assert!(
-                    (ph.mean() - mean).abs() < 1e-9,
-                    "scv={scv} mean: {} vs {mean}",
-                    ph.mean()
-                );
-                assert!(
-                    (ph.scv() - scv).abs() < 1e-9,
-                    "scv fit: {} vs {scv}",
-                    ph.scv()
-                );
+                assert!((ph.mean() - mean).abs() < 1e-9, "scv={scv} mean: {} vs {mean}", ph.mean());
+                assert!((ph.scv() - scv).abs() < 1e-9, "scv fit: {} vs {scv}", ph.scv());
             }
         }
     }
@@ -774,10 +765,7 @@ mod tests {
             let start = PhQueueState { len, phase: 0 };
             for _ in 0..300 {
                 let (end, o) = q.simulate_epoch(start, 3.0, &mut rng);
-                assert_eq!(
-                    end.len as i64,
-                    len as i64 + o.accepted as i64 - o.served as i64
-                );
+                assert_eq!(end.len as i64, len as i64 + o.accepted as i64 - o.served as i64);
                 assert!(end.len <= 4);
                 if end.len > 0 {
                     assert!(end.phase < q.service.num_phases());
@@ -829,8 +817,7 @@ mod tests {
             assert!((a - e).abs() < 1e-10, "{a} vs {e}");
         }
         assert!(
-            (phq.stationary_blocking_probability() - bd.stationary_blocking_probability())
-                .abs()
+            (phq.stationary_blocking_probability() - bd.stationary_blocking_probability()).abs()
                 < 1e-10
         );
     }

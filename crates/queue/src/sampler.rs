@@ -421,8 +421,7 @@ mod tests {
         for _ in 0..draws {
             obs[Sampler::binomial(&mut rng, n, p) as usize] += 1.0;
         }
-        let exp: Vec<f64> =
-            (0..=n).map(|k| binomial_pmf(n, p, k) * draws as f64).collect();
+        let exp: Vec<f64> = (0..=n).map(|k| binomial_pmf(n, p, k) * draws as f64).collect();
         let (_, _, pv) = chi_square_test(&obs, &exp, 5.0);
         assert!(pv > 1e-4, "binomial BINV chi-square p = {pv}");
     }
@@ -439,8 +438,7 @@ mod tests {
             let k = Sampler::binomial(&mut rng, n, p).clamp(lo, hi);
             obs[(k - lo) as usize] += 1.0;
         }
-        let mut exp: Vec<f64> =
-            (lo..=hi).map(|k| binomial_pmf(n, p, k) * draws as f64).collect();
+        let mut exp: Vec<f64> = (lo..=hi).map(|k| binomial_pmf(n, p, k) * draws as f64).collect();
         let covered: f64 = exp.iter().sum();
         exp[0] += ((draws as f64) - covered).max(0.0);
         let (_, _, pv) = chi_square_test(&obs, &exp, 5.0);
@@ -472,10 +470,7 @@ mod tests {
         for (c, p) in counts.iter().zip(probs.iter()) {
             let expect = n as f64 * p;
             let sd = (n as f64 * p * (1.0 - p)).sqrt();
-            assert!(
-                ((*c as f64) - expect).abs() < 6.0 * sd,
-                "count {c} vs expected {expect}"
-            );
+            assert!(((*c as f64) - expect).abs() < 6.0 * sd, "count {c} vs expected {expect}");
         }
     }
 

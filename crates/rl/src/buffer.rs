@@ -100,8 +100,7 @@ impl RolloutBuffer {
             return;
         }
         let mean: f64 = self.advantages.iter().sum::<f64>() / n as f64;
-        let var: f64 =
-            self.advantages.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / n as f64;
+        let var: f64 = self.advantages.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / n as f64;
         let std = var.sqrt().max(1e-8);
         for a in &mut self.advantages {
             *a = (*a - mean) / std;
@@ -148,7 +147,12 @@ impl RolloutBuffer {
 mod tests {
     use super::*;
 
-    fn simple_buffer(rewards: &[f64], values: &[f64], dones: &[bool], last_value: f64) -> RolloutBuffer {
+    fn simple_buffer(
+        rewards: &[f64],
+        values: &[f64],
+        dones: &[bool],
+        last_value: f64,
+    ) -> RolloutBuffer {
         let mut b = RolloutBuffer::new();
         for i in 0..rewards.len() {
             b.push(vec![0.0], vec![0.0], 0.0, vec![0.0], rewards[i], values[i], dones[i]);
@@ -197,7 +201,8 @@ mod tests {
 
     #[test]
     fn normalization_zero_mean_unit_std() {
-        let mut b = simple_buffer(&[1.0, 2.0, 3.0, 4.0], &[0.0; 4], &[false, false, false, true], 0.0);
+        let mut b =
+            simple_buffer(&[1.0, 2.0, 3.0, 4.0], &[0.0; 4], &[false, false, false, true], 0.0);
         b.compute_gae(1.0, 1.0);
         b.normalize_advantages();
         let mean: f64 = b.advantages.iter().sum::<f64>() / 4.0;

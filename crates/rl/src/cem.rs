@@ -200,8 +200,7 @@ impl CemTrainer {
         let cands = &candidates;
         // Env is Send but not Sync: clone per worker on this thread, then
         // move each clone into its worker.
-        let worker_envs: Vec<Box<dyn Env>> =
-            (0..threads).map(|_| self.env.boxed_clone()).collect();
+        let worker_envs: Vec<Box<dyn Env>> = (0..threads).map(|_| self.env.boxed_clone()).collect();
         crossbeam::scope(|scope| {
             for mut env in worker_envs {
                 let counter = &counter;
@@ -241,8 +240,7 @@ impl CemTrainer {
             generation: self.generation,
             total_steps: self.total_steps,
             best_return: scores[order[0]].0,
-            elite_mean_return: elites.iter().map(|&i| scores[i].0).sum::<f64>()
-                / n_elite as f64,
+            elite_mean_return: elites.iter().map(|&i| scores[i].0).sum::<f64>() / n_elite as f64,
             mean_candidate_return: scores[0].0,
             mean_std: self.std.iter().sum::<f64>() / dim as f64,
         }
@@ -275,10 +273,7 @@ mod tests {
             last = stats.mean_candidate_return;
         }
         // Losses shrink towards 0 (optimal return for this task is ≈ 0).
-        assert!(
-            last > first && last > -0.05,
-            "CEM failed to improve: {first} -> {last}"
-        );
+        assert!(last > first && last > -0.05, "CEM failed to improve: {first} -> {last}");
         let a_pos = trainer.deterministic_action(&[1.0])[0];
         let a_neg = trainer.deterministic_action(&[-1.0])[0];
         assert!(a_pos < -0.2, "action at x=1 should be negative, got {a_pos}");
@@ -288,12 +283,8 @@ mod tests {
     #[test]
     fn exploration_std_decays_but_respects_floor() {
         let env = ToyControlEnv::new(5);
-        let cfg = CemConfig {
-            population: 16,
-            min_std: 0.05,
-            hidden: vec![4],
-            ..CemConfig::default()
-        };
+        let cfg =
+            CemConfig { population: 16, min_std: 0.05, hidden: vec![4], ..CemConfig::default() };
         let mut trainer = CemTrainer::new(&env, cfg, 1);
         let mut rng = StdRng::seed_from_u64(2);
         let s1 = trainer.train_iteration(&mut rng);
@@ -309,12 +300,8 @@ mod tests {
     fn thread_count_does_not_change_the_search() {
         let env = ToyControlEnv::new(5);
         let run = |threads: usize| {
-            let cfg = CemConfig {
-                population: 12,
-                hidden: vec![4],
-                threads,
-                ..CemConfig::default()
-            };
+            let cfg =
+                CemConfig { population: 12, hidden: vec![4], threads, ..CemConfig::default() };
             let mut t = CemTrainer::new(&env, cfg, 7);
             let mut rng = StdRng::seed_from_u64(8);
             let mut v = Vec::new();

@@ -77,11 +77,7 @@ impl Env for ToyControlEnv {
         self.x += a;
         self.t += 1;
         let reward = -self.x * self.x - 0.01 * a * a;
-        StepResult {
-            obs: vec![self.x],
-            reward,
-            done: self.t >= self.horizon,
-        }
+        StepResult { obs: vec![self.x], reward, done: self.t >= self.horizon }
     }
 
     fn boxed_clone(&self) -> Box<dyn Env> {

@@ -19,6 +19,8 @@
 //!   environment (observation `[ν_t, onehot λ_t]`, action = decision-rule
 //!   logits, reward `−D_t`).
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod buffer;
 pub mod cem;
 pub mod env;

@@ -130,14 +130,9 @@ mod tests {
         e.reset(&mut rng);
         let lam_idx = e.state.lambda_idx;
         let lam = e.mdp.config().arrivals.level_rate(lam_idx);
-        let expected = mflb_core::mean_field_step(
-            &e.state.dist,
-            &DecisionRule::uniform(6, 2),
-            lam,
-            1.0,
-            5.0,
-        )
-        .expected_drops;
+        let expected =
+            mflb_core::mean_field_step(&e.state.dist, &DecisionRule::uniform(6, 2), lam, 1.0, 5.0)
+                .expected_drops;
         let r = e.step(&vec![0.0; e.act_dim()], &mut rng);
         assert!((r.reward + expected).abs() < 1e-12);
     }

@@ -306,7 +306,14 @@ impl PpoTrainer {
                         let ls = &log_std_snapshot;
                         scope.spawn(move |_| {
                             let mut completed = Vec::new();
-                            let b = Self::collect_shard(policy, value, ls, worker, shard, &mut completed);
+                            let b = Self::collect_shard(
+                                policy,
+                                value,
+                                ls,
+                                worker,
+                                shard,
+                                &mut completed,
+                            );
                             (b, completed)
                         })
                     })
@@ -393,8 +400,7 @@ impl PpoTrainer {
                         let var_old = (2.0 * ls_old).exp();
                         let inv_var_new = (-2.0 * ls_new).exp();
                         let dmean = mean_new[k] - mean_old[k];
-                        kl += ls_new - ls_old + 0.5 * (var_old + dmean * dmean) * inv_var_new
-                            - 0.5;
+                        kl += ls_new - ls_old + 0.5 * (var_old + dmean * dmean) * inv_var_new - 0.5;
                         // Gradients of the KL penalty term (coefficient
                         // applied below).
                         let kl_grad_mean = dmean * inv_var_new;
@@ -536,10 +542,7 @@ mod tests {
             }
             last = stats.mean_episode_return;
         }
-        assert!(
-            last > first + 0.3,
-            "PPO failed to improve: first {first}, last {last}"
-        );
+        assert!(last > first + 0.3, "PPO failed to improve: first {first}, last {last}");
         // The learned deterministic policy must push x towards 0:
         // action(x=1) should be clearly negative, action(x=-1) positive.
         let a_pos = trainer.deterministic_action(&[1.0])[0];

@@ -194,12 +194,10 @@ impl ReinforceTrainer {
         self.total_steps += n as u64;
 
         // --- Advantages against the value baseline, normalized. ---
-        let mut adv: Vec<f64> = (0..n)
-            .map(|i| ret_all[i] - self.value.forward_one(&obs_all[i])[0])
-            .collect();
+        let mut adv: Vec<f64> =
+            (0..n).map(|i| ret_all[i] - self.value.forward_one(&obs_all[i])[0]).collect();
         let mean_adv = adv.iter().sum::<f64>() / n as f64;
-        let var_adv =
-            adv.iter().map(|a| (a - mean_adv) * (a - mean_adv)).sum::<f64>() / n as f64;
+        let var_adv = adv.iter().map(|a| (a - mean_adv) * (a - mean_adv)).sum::<f64>() / n as f64;
         let std_adv = var_adv.sqrt().max(1e-8);
         for a in &mut adv {
             *a = (*a - mean_adv) / std_adv;
@@ -269,8 +267,7 @@ impl ReinforceTrainer {
         ReinforceStats {
             iteration: self.iteration,
             total_steps: self.total_steps,
-            mean_episode_return: episode_returns.iter().sum::<f64>()
-                / episode_returns.len() as f64,
+            mean_episode_return: episode_returns.iter().sum::<f64>() / episode_returns.len() as f64,
             policy_loss,
             value_loss,
             entropy,
@@ -315,11 +312,8 @@ mod tests {
     #[test]
     fn bookkeeping_counts_full_episodes() {
         let env = ToyControlEnv::new(7);
-        let cfg = ReinforceConfig {
-            episodes_per_iter: 3,
-            hidden: vec![8],
-            ..ReinforceConfig::default()
-        };
+        let cfg =
+            ReinforceConfig { episodes_per_iter: 3, hidden: vec![8], ..ReinforceConfig::default() };
         let mut trainer = ReinforceTrainer::new(&env, cfg, 1);
         let mut rng = StdRng::seed_from_u64(2);
         let s1 = trainer.train_iteration(&mut rng);
@@ -334,11 +328,8 @@ mod tests {
     #[test]
     fn seeded_training_is_reproducible() {
         let env = ToyControlEnv::new(5);
-        let cfg = ReinforceConfig {
-            episodes_per_iter: 4,
-            hidden: vec![8],
-            ..ReinforceConfig::default()
-        };
+        let cfg =
+            ReinforceConfig { episodes_per_iter: 4, hidden: vec![8], ..ReinforceConfig::default() };
         let run = || {
             let mut t = ReinforceTrainer::new(&env, cfg.clone(), 9);
             let mut rng = StdRng::seed_from_u64(10);

@@ -62,9 +62,8 @@ pub fn sample_client_assignments(
     let m_qz = per_state_arrival_rates(&h, rule, 1.0);
 
     // Level 1: clients per state group, Multinomial(N, m_z·q_z).
-    let group_probs: Vec<f64> = (0..zs)
-        .map(|z| (group_size[z] as f64 / m as f64) * m_qz[z])
-        .collect();
+    let group_probs: Vec<f64> =
+        (0..zs).map(|z| (group_size[z] as f64 / m as f64) * m_qz[z]).collect();
     // Conservation: Σ_z group_probs = 1 exactly (up to fp). Clamp tiny
     // drift so the residual "none" category never goes negative.
     let group_counts = Sampler::multinomial(rng, num_clients, &group_probs);
@@ -109,13 +108,7 @@ impl AggregateEngine {
         rule: &DecisionRule,
         rng: &mut StdRng,
     ) -> Vec<u64> {
-        sample_client_assignments(
-            self.config.num_clients,
-            self.config.buffer,
-            queues,
-            rule,
-            rng,
-        )
+        sample_client_assignments(self.config.num_clients, self.config.buffer, queues, rule, rng)
     }
 }
 

@@ -156,8 +156,7 @@ mod tests {
     fn episode_runs_and_accumulates() {
         let cfg = small_config();
         let engine = PerClientEngine::new(cfg.clone());
-        let policy =
-            FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
         let mut rng = run_rng(7, 0);
         let out = run_episode(&engine, &policy, 20, &mut rng);
         assert_eq!(out.drops_per_epoch.len(), 20);
@@ -170,8 +169,7 @@ mod tests {
     fn seeded_episodes_reproduce() {
         let cfg = small_config();
         let engine = PerClientEngine::new(cfg.clone());
-        let policy =
-            FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
         let a = run_episode(&engine, &policy, 10, &mut run_rng(11, 3));
         let b = run_episode(&engine, &policy, 10, &mut run_rng(11, 3));
         assert_eq!(a.drops_per_epoch, b.drops_per_epoch);

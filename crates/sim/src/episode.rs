@@ -133,8 +133,7 @@ pub fn run_episode_conditioned<E: FiniteEngine + ?Sized>(
 /// Monte-Carlo results are reproducible regardless of parallelism).
 pub fn run_rng(base_seed: u64, run_index: u64) -> StdRng {
     // SplitMix64 scramble keeps consecutive run seeds decorrelated.
-    let mut z = base_seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run_index + 1));
+    let mut z = base_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(run_index + 1));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     StdRng::seed_from_u64(z ^ (z >> 31))

@@ -201,7 +201,10 @@ mod tests {
         let hetero = HeteroEngine::new(cfg.clone(), pool);
         let rule = jsq_rule(6, 2);
         let mut h_total = 0.0;
-        let runs = 30;
+        // Per-episode drop counts are skewed (sd ≈ 0.7 vs mean ≈ 1.6), so 30
+        // runs leave the sample means ~0.4 apart at the 95th percentile; 120
+        // runs bring both engines within ~0.1 of each other.
+        let runs = 120;
         for r in 0..runs {
             h_total += hetero.run_episode(&rule, 15, &mut run_rng(3, r)).total_drops;
         }

@@ -12,6 +12,8 @@
 //! [`episode`] drives full evaluation episodes; [`monte_carlo()`] fans runs
 //! out over threads with reproducible per-run seeding.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub mod aggregate;
 pub mod client;
 pub mod episode;
@@ -22,11 +24,11 @@ pub mod staggered;
 
 pub use aggregate::AggregateEngine;
 pub use client::PerClientEngine;
-pub use hetero::{HeteroEngine, HeteroOutcome};
-pub use ph_engine::{run_ph_episode, sample_initial_ph_queues, PhAggregateEngine};
-pub use staggered::StaggeredEngine;
 pub use episode::{
     run_episode, run_episode_conditioned, run_rng, sample_initial_queues, EpisodeOutcome,
     FiniteEngine,
 };
+pub use hetero::{HeteroEngine, HeteroOutcome};
 pub use monte_carlo::{monte_carlo, monte_carlo_conditioned, MonteCarloResult};
+pub use ph_engine::{run_ph_episode, sample_initial_ph_queues, PhAggregateEngine};
+pub use staggered::StaggeredEngine;

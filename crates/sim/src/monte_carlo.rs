@@ -130,8 +130,7 @@ mod tests {
     fn setup() -> (AggregateEngine, FixedRulePolicy) {
         let cfg = SystemConfig::paper().with_size(400, 20).with_dt(2.0);
         let engine = AggregateEngine::new(cfg.clone());
-        let policy =
-            FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
         (engine, policy)
     }
 

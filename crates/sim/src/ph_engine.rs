@@ -96,10 +96,7 @@ pub fn sample_initial_ph_queues(
 ) -> Vec<PhQueueState> {
     crate::episode::sample_initial_queues(config, rng)
         .into_iter()
-        .map(|len| PhQueueState {
-            len,
-            phase: if len > 0 { service.sample_phase(rng) } else { 0 },
-        })
+        .map(|len| PhQueueState { len, phase: if len > 0 { service.sample_phase(rng) } else { 0 } })
         .collect()
 }
 

@@ -140,8 +140,7 @@ impl StaggeredEngine {
             let per_queue = drops as f64 / m as f64;
             out.drops_per_epoch.push(per_queue);
             out.total_drops += per_queue;
-            out.mean_queue_len
-                .push(queues.iter().map(|&z| z as f64).sum::<f64>() / m as f64);
+            out.mean_queue_len.push(queues.iter().map(|&z| z as f64).sum::<f64>() / m as f64);
             out.lambda_trace.push(lambda_idx);
             lambda_idx = cfg.arrivals.step(lambda_idx, rng);
         }

@@ -1,0 +1,141 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the slice of the criterion API the workspace's micro-benchmarks
+//! use (`bench_function`, `benchmark_group`, `iter`, [`black_box`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros) with a simple
+//! calibrated wall-clock timer: warm up, pick an iteration count targeting
+//! ~0.2 s per benchmark, report mean time per iteration. No statistics,
+//! plots, or HTML reports.
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work. Same contract as `criterion::black_box`.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Timing loop handle passed to `bench_function` closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { target: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark: calibrate an iteration count against the target
+    /// time, then measure and print mean ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        // Calibration pass: one iteration to estimate cost.
+        let mut calib = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut calib);
+        let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+        let iters = (self.target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut bench = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bench);
+        let ns = bench.elapsed.as_nanos() as f64 / bench.iters as f64;
+        println!("{name:<44} {:>12}/iter  ({} iters)", format_ns(ns), bench.iters);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { parent: self }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Scoped collection of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's timer ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.parent.bench_function(name, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runner function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { target: Duration::from_millis(5) };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("grouped", |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+}

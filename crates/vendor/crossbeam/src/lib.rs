@@ -1,0 +1,82 @@
+//! Offline stand-in for [`crossbeam`](https://crates.io/crates/crossbeam).
+//!
+//! Only [`scope`] is provided, implemented over `std::thread::scope`
+//! (stabilized in Rust 1.63, after crossbeam's API was designed). As in
+//! crossbeam, `scope` returns `Err` instead of panicking when a worker
+//! thread panics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Placeholder passed to [`Scope::spawn`] closures where crossbeam passes a
+/// nested scope handle. This workspace's workers never spawn nested threads,
+/// so the value is inert.
+#[derive(Debug, Clone, Copy)]
+pub struct NestedScope;
+
+/// Scope handle allowing borrowing spawns, mirroring `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker that may borrow from the enclosing stack frame.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(NestedScope) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.inner.spawn(|| f(NestedScope))
+    }
+}
+
+/// Run `f` with a scope handle; all spawned workers are joined before this
+/// returns. A panicking worker yields `Err(payload)` rather than unwinding.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_share_borrows() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|scope| {
+            for chunk in data.chunks(2) {
+                scope.spawn(|_| {
+                    let s: u64 = chunk.iter().sum();
+                    total.fetch_add(s, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(total.into_inner(), 10);
+    }
+
+    #[test]
+    fn panic_becomes_err() {
+        let r = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn join_handles_return_values() {
+        let r = super::scope(|scope| {
+            let h1 = scope.spawn(|_| 21);
+            let h2 = scope.spawn(|_| 21);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(r, 42);
+    }
+}

@@ -1,0 +1,329 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serde replacement. Unlike real serde's format-generic data model,
+//! this shim is JSON-backed: [`Serialize`] renders a value into a
+//! [`json::Value`] tree and [`Deserialize`] rebuilds a value from one. The
+//! companion vendored `serde_json` crate provides `to_string` / `from_str`
+//! on top, and the vendored `serde_derive` proc-macro derives both traits
+//! for plain structs and enums (honouring `#[serde(skip)]` and
+//! `#[serde(default)]`).
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+use json::{Error, Value};
+
+/// Render `self` as a JSON value tree.
+pub trait Serialize {
+    /// Convert to the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a JSON value tree.
+pub trait Deserialize: Sized {
+    /// Convert from the JSON data model.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = match v {
+                    Value::Int(n) => *n,
+                    // Tolerate floats holding integral values (e.g. 3.0).
+                    Value::Float(f) if f.fract() == 0.0 && f.is_finite() => *f as i128,
+                    other => return Err(Error::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(n).map_err(|_| Error::new(format!(
+                    "integer {n} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let f = *self as f64;
+                if f.is_finite() {
+                    Value::Float(f)
+                } else if f.is_nan() {
+                    // JSON has no non-finite numbers; use sentinel strings
+                    // (our vendored serde_json is the only consumer).
+                    Value::Str("NaN".to_string())
+                } else if f > 0.0 {
+                    Value::Str("inf".to_string())
+                } else {
+                    Value::Str("-inf".to_string())
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::Str(s) if s == "NaN" => Ok(<$t>::NAN),
+                    Value::Str(s) if s == "inf" => Ok(<$t>::INFINITY),
+                    Value::Str(s) if s == "-inf" => Ok(<$t>::NEG_INFINITY),
+                    other => Err(Error::type_mismatch(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::type_mismatch("char", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::new(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Arr(items) if items.len() == LEN => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::type_mismatch("tuple array", other)),
+                }
+            }
+        }
+    )+};
+}
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<K: ToString + std::str::FromStr, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+impl<K: Ord + std::str::FromStr, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Obj(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key = k
+                        .parse::<K>()
+                        .map_err(|_| Error::new(format!("unparsable map key {k:?}")))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            other => Err(Error::type_mismatch("object", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Derive-macro support (not part of the public serde API)
+// ---------------------------------------------------------------------------
+
+/// Runtime helpers used by generated `serde_derive` code. Hidden from docs;
+/// not a stable API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// Look up `field` in an object and deserialize it; missing fields are an
+    /// error (the derive emits [`get_field_or_default`] for `#[serde(default)]`).
+    pub fn get_field<T: Deserialize>(entries: &[(String, Value)], field: &str) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == field) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::new(format!("field `{field}`: {e}")))
+            }
+            None => Err(Error::new(format!("missing field `{field}`"))),
+        }
+    }
+
+    /// Like [`get_field`] but a missing field yields `T::default()`.
+    pub fn get_field_or_default<T: Deserialize + Default>(
+        entries: &[(String, Value)],
+        field: &str,
+    ) -> Result<T, Error> {
+        match entries.iter().find(|(k, _)| k == field) {
+            Some((_, v)) => {
+                T::from_value(v).map_err(|e| Error::new(format!("field `{field}`: {e}")))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
+    /// Expect `v` to be an object and return its entries.
+    pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+        match v {
+            Value::Obj(entries) => Ok(entries),
+            other => Err(Error::new(format!("expected object for `{ty}`, got {}", other.kind()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Value;
+    use super::{Deserialize, Serialize};
+
+    #[test]
+    fn primitive_roundtrips() {
+        let v = 3.5f64.to_value();
+        assert_eq!(f64::from_value(&v).unwrap(), 3.5);
+        let v = 42usize.to_value();
+        assert_eq!(usize::from_value(&v).unwrap(), 42);
+        let v = f64::INFINITY.to_value();
+        assert!(f64::from_value(&v).unwrap().is_infinite());
+        let v = vec![1.0f64, 2.0].to_value();
+        assert_eq!(Vec::<f64>::from_value(&v).unwrap(), vec![1.0, 2.0]);
+        let v = Option::<u32>::None.to_value();
+        assert_eq!(v, Value::Null);
+        assert_eq!(Option::<u32>::from_value(&v).unwrap(), None);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let v = (1usize, 2.5f64).to_value();
+        assert_eq!(<(usize, f64)>::from_value(&v).unwrap(), (1, 2.5));
+    }
+}

@@ -1,0 +1,467 @@
+//! Offline vendored `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` shim. Written against the bare `proc_macro` API (no `syn`/`quote`
+//! available offline), so it supports exactly the shapes this workspace
+//! uses: non-generic structs with named fields and non-generic enums with
+//! unit / struct / tuple variants, honouring `#[serde(skip)]` and
+//! `#[serde(default)]` on struct fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Struct(Vec<Field>),
+    Tuple(usize),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize` (JSON-backed shim flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => serialize_struct(name, fields),
+        Input::Enum { name, variants } => serialize_enum(name, variants),
+    };
+    body.parse().expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (JSON-backed shim flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let body = match &parsed {
+        Input::Struct { name, fields } => deserialize_struct(name, fields),
+        Input::Enum { name, variants } => deserialize_enum(name, variants),
+    };
+    body.parse().expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and doc comments.
+    skip_attributes(&tokens, &mut i);
+    // Skip visibility.
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic types are not supported (type `{name}`)");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple structs are not supported (type `{name}`)")
+            }
+            Some(_) => i += 1, // e.g. `where` clauses would land here; none exist
+            None => panic!("serde_derive: no body found for `{name}`"),
+        }
+    };
+
+    match keyword.as_str() {
+        "struct" => Input::Struct { fields: parse_fields(body.stream()), name },
+        "enum" => Input::Enum { variants: parse_variants(body.stream()), name },
+        other => panic!("serde_derive: cannot derive for `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Vec<FieldAttrs> {
+    let mut collected = Vec::new();
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        // Inner attribute marker `!` (not expected, but harmless).
+        if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            collected.push(parse_serde_attr(g.stream()));
+            *i += 1;
+        } else {
+            panic!("serde_derive: malformed attribute");
+        }
+    }
+    collected
+}
+
+/// Extract skip/default flags from one attribute group like `serde(skip)`.
+fn parse_serde_attr(stream: TokenStream) -> FieldAttrs {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut attrs = FieldAttrs::default();
+    if let Some(TokenTree::Ident(id)) = tokens.first() {
+        if id.to_string() == "serde" {
+            if let Some(TokenTree::Group(g)) = tokens.get(1) {
+                for tt in g.stream() {
+                    if let TokenTree::Ident(flag) = tt {
+                        match flag.to_string().as_str() {
+                            "skip" => attrs.skip = true,
+                            "default" => attrs.default = true,
+                            other => {
+                                panic!("serde_derive shim: unsupported serde attribute `{other}`")
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // `pub(crate)` etc.
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip a type expression: everything until a comma at angle-bracket depth 0.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let attr_groups = skip_attributes(&tokens, &mut i);
+        let attrs = attr_groups.into_iter().fold(FieldAttrs::default(), |a, b| FieldAttrs {
+            skip: a.skip || b.skip,
+            default: a.default || b.default,
+        });
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        // Consume the trailing comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                i += 1;
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        // Tuple-variant fields may carry attributes and visibility too.
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn serialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let fname = &f.name;
+        pushes.push_str(&format!(
+            "entries.push((\"{fname}\".to_string(), \
+             ::serde::Serialize::to_value(&self.{fname})));\n"
+        ));
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n\
+                 let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 let _ = &mut entries;\n\
+                 ::serde::json::Value::Obj(entries)\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_struct(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        let fname = &f.name;
+        if f.attrs.skip {
+            inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+        } else if f.attrs.default {
+            inits.push_str(&format!(
+                "{fname}: ::serde::__private::get_field_or_default(entries, \"{fname}\")?,\n"
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{fname}: ::serde::__private::get_field(entries, \"{fname}\")?,\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 let entries = ::serde::__private::as_object(v, \"{name}\")?;\n\
+                 let _ = entries;\n\
+                 ::std::result::Result::Ok({name} {{\n\
+                     {inits}\
+                 }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::serde::json::Value::Str(\"{vname}\".to_string()),\n"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                let mut pushes = String::new();
+                for f in fields {
+                    if f.attrs.skip {
+                        continue;
+                    }
+                    let fname = &f.name;
+                    pushes.push_str(&format!(
+                        "fields.push((\"{fname}\".to_string(), \
+                         ::serde::Serialize::to_value({fname})));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::json::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         let _ = &mut fields;\n\
+                         ::serde::json::Value::Obj(vec![(\"{vname}\".to_string(), ::serde::json::Value::Obj(fields))])\n\
+                     }}\n",
+                    bindings.join(", ")
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                arms.push_str(&format!(
+                    "{name}::{vname}(f0) => ::serde::json::Value::Obj(vec![\
+                     (\"{vname}\".to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let items: Vec<String> =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => ::serde::json::Value::Obj(vec![\
+                     (\"{vname}\".to_string(), ::serde::json::Value::Arr(vec![{}]))]),\n",
+                    binds.join(", "),
+                    items.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::json::Value {{\n\
+                 match self {{\n\
+                     {arms}\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.kind {
+            VariantKind::Unit => {
+                unit_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let mut inits = String::new();
+                for f in fields {
+                    let fname = &f.name;
+                    if f.attrs.skip {
+                        inits.push_str(&format!("{fname}: ::std::default::Default::default(),\n"));
+                    } else if f.attrs.default {
+                        inits.push_str(&format!(
+                            "{fname}: ::serde::__private::get_field_or_default(fields, \"{fname}\")?,\n"
+                        ));
+                    } else {
+                        inits.push_str(&format!(
+                            "{fname}: ::serde::__private::get_field(fields, \"{fname}\")?,\n"
+                        ));
+                    }
+                }
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => {{\n\
+                         let fields = ::serde::__private::as_object(inner, \"{name}::{vname}\")?;\n\
+                         let _ = fields;\n\
+                         ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                     }}\n"
+                ));
+            }
+            VariantKind::Tuple(1) => {
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => ::std::result::Result::Ok(\
+                     {name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                ));
+            }
+            VariantKind::Tuple(n) => {
+                let gets: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                tagged_arms.push_str(&format!(
+                    "\"{vname}\" => match inner {{\n\
+                         ::serde::json::Value::Arr(items) if items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vname}({})),\n\
+                         _ => ::std::result::Result::Err(::serde::json::Error::new(\
+                             \"expected {n}-element array for {name}::{vname}\")),\n\
+                     }},\n",
+                    gets.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::json::Value) -> ::std::result::Result<Self, ::serde::json::Error> {{\n\
+                 match v {{\n\
+                     ::serde::json::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(::serde::json::Error::new(\
+                             format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     ::serde::json::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::json::Error::new(\
+                                 format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     other => ::std::result::Result::Err(::serde::json::Error::new(format!(\
+                         \"expected string or 1-entry object for {name}, got {{}}\", other.kind()))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}

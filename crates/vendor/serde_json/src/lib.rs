@@ -1,0 +1,75 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json),
+//! built on the vendored `serde` shim's JSON data model.
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub use serde::json::{Error, Value};
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json())
+}
+
+/// Serialize `value` to an indented JSON string (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(pretty(&value.to_value(), 0))
+}
+
+/// Deserialize a value of type `T` from a JSON string.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&Value::parse(text)?)
+}
+
+fn pretty(v: &Value, depth: usize) -> String {
+    let pad = "  ".repeat(depth + 1);
+    let close = "  ".repeat(depth);
+    match v {
+        Value::Arr(items) if !items.is_empty() => {
+            let body: Vec<String> =
+                items.iter().map(|item| format!("{pad}{}", pretty(item, depth + 1))).collect();
+            format!("[\n{}\n{close}]", body.join(",\n"))
+        }
+        Value::Obj(entries) if !entries.is_empty() => {
+            let body: Vec<String> = entries
+                .iter()
+                .map(|(k, val)| {
+                    let mut key = String::new();
+                    Value::Str(k.clone()).write_into(&mut key);
+                    format!("{pad}{key}: {}", pretty(val, depth + 1))
+                })
+                .collect();
+            format!("{{\n{}\n{close}}}", body.join(",\n"))
+        }
+        other => other.to_json(),
+    }
+}
+
+/// Internal helper so `pretty` can reuse the compact string escaping.
+trait WriteInto {
+    fn write_into(&self, out: &mut String);
+}
+impl WriteInto for Value {
+    fn write_into(&self, out: &mut String) {
+        out.push_str(&self.to_json());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_strings() {
+        let v: Vec<f64> = vec![1.5, -2.25, 0.0];
+        let s = to_string(&v).unwrap();
+        let back: Vec<f64> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn pretty_output_parses() {
+        let v: Vec<Vec<u32>> = vec![vec![1, 2], vec![]];
+        let s = to_string_pretty(&v).unwrap();
+        let back: Vec<Vec<u32>> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -35,10 +35,8 @@ fn main() {
         vec![vec![0.75, 0.25], vec![0.4, 0.6]],
         vec![0.5, 0.5],
     );
-    let true_config = SystemConfig::paper()
-        .with_dt(5.0)
-        .with_m_squared(100)
-        .with_arrivals(truth.clone());
+    let true_config =
+        SystemConfig::paper().with_dt(5.0).with_m_squared(100).with_arrivals(truth.clone());
 
     // --- 1. Measure: a noisy rate trace over 2000 epochs. ---
     let mut rng = StdRng::seed_from_u64(7);

@@ -25,28 +25,20 @@ fn main() {
     // kernel cycles night → day → peak → day → night with some jitter.
     let levels = vec![0.95, 0.75, 0.4]; // index 0 = peak, 1 = day, 2 = night
     let kernel = vec![
-        vec![0.6, 0.4, 0.0], // peak: mostly stays, falls to day
+        vec![0.6, 0.4, 0.0],   // peak: mostly stays, falls to day
         vec![0.25, 0.5, 0.25], // day: drifts either way
-        vec![0.0, 0.5, 0.5], // night: rises to day
+        vec![0.0, 0.5, 0.5],   // night: rises to day
     ];
     let initial = vec![0.2, 0.5, 0.3];
     let arrivals = ArrivalProcess::new(levels, kernel, initial);
 
-    let config = SystemConfig::paper()
-        .with_dt(5.0)
-        .with_m_squared(100)
-        .with_arrivals(arrivals);
+    let config = SystemConfig::paper().with_dt(5.0).with_m_squared(100).with_arrivals(arrivals);
     let zs = config.num_states();
     let horizon = config.eval_episode_len();
     println!(
         "3-level MMPP: rates {:?}, stationary {:?}",
         config.arrivals.levels(),
-        config
-            .arrivals
-            .stationary()
-            .iter()
-            .map(|p| format!("{p:.3}"))
-            .collect::<Vec<_>>()
+        config.arrivals.stationary().iter().map(|p| format!("{p:.3}")).collect::<Vec<_>>()
     );
 
     // Exact DP over the softmin family — the state space is now
@@ -54,11 +46,7 @@ fn main() {
     println!("\nsolving the lattice DP over 3 arrival levels …");
     let dp_cfg = DpConfig { grid_resolution: 8, tol: 1e-6, max_sweeps: 4000, threads: 0 };
     let sol = DpSolution::solve(&config, ActionLibrary::softmin_default(zs, config.d), &dp_cfg);
-    println!(
-        "  {} lattice states × 3 levels, {} sweeps",
-        sol.grid().num_points(),
-        sol.sweeps
-    );
+    println!("  {} lattice states × 3 levels, {} sweeps", sol.grid().num_points(), sol.sweeps);
 
     println!("\ngreedy rule by arrival level (same congested ν):");
     let nu = StateDist::new(vec![0.1, 0.1, 0.2, 0.2, 0.2, 0.2]);
@@ -86,10 +74,7 @@ fn main() {
 
     // Finite system.
     let engine = AggregateEngine::new(config.clone());
-    println!(
-        "\nfinite system (N = {}, M = {}) drops:",
-        config.num_clients, config.num_queues
-    );
+    println!("\nfinite system (N = {}, M = {}) drops:", config.num_clients, config.num_queues);
     let r_dp = monte_carlo(&engine, &dp_policy, horizon, 16, 9, 0);
     let r_jsq = monte_carlo(&engine, &jsq, horizon, 16, 9, 0);
     let r_rnd = monte_carlo(&engine, &rnd, horizon, 16, 9, 0);

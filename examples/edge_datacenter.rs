@@ -31,24 +31,18 @@ fn main() {
     // 8 fast servers (α = 2.0) + 32 slow ones (α = 0.75); day/night load.
     let pool = ServerPool::two_speed(8, 2.0, 32, 0.75, 5);
     let day_night = ArrivalProcess::new(
-        vec![0.85, 0.35],                               // day, night rate per queue
-        vec![vec![0.9, 0.1], vec![0.3, 0.7]],           // slow modulation
+        vec![0.85, 0.35],                     // day, night rate per queue
+        vec![vec![0.9, 0.1], vec![0.3, 0.7]], // slow modulation
         vec![0.5, 0.5],
     );
-    let config = SystemConfig::paper()
-        .with_dt(4.0)
-        .with_size(40 * 40, 40)
-        .with_arrivals(day_night);
+    let config = SystemConfig::paper().with_dt(4.0).with_size(40 * 40, 40).with_arrivals(day_night);
     let engine = HeteroEngine::new(config.clone(), pool.clone());
     let horizon = config.eval_episode_len();
     let zs = config.num_states();
 
     println!(
         "edge site: {} fast + {} slow servers, N = {} clients, Δt = {}, Te = {horizon}",
-        8,
-        32,
-        config.num_clients,
-        config.dt
+        8, 32, config.num_clients, config.dt
     );
 
     let sed = sed_rule(zs, config.d, engine.class_rates());

@@ -55,7 +55,9 @@ fn main() {
     let m = 50usize;
     let n = 2_500u64;
     println!("herd behaviour demo: N = {n}, M = {m}, d = 2");
-    println!("(max-share = average fraction of ALL clients assigned to the single most-popular queue;");
+    println!(
+        "(max-share = average fraction of ALL clients assigned to the single most-popular queue;"
+    );
     println!(" uniform share would be 1/M = {:.3})\n", 1.0 / m as f64);
     println!(
         "{:>5}  {:>14}  {:>14}  {:>14}  {:>14}",
@@ -85,11 +87,7 @@ fn main() {
     let counts = engine.sample_assignments(&queues, &jsq, &mut rng);
     let share0 = counts[0] as f64 / n as f64;
     let h = StateDist::empirical(&queues, config.buffer);
-    println!(
-        "\nsnapshot: one empty queue among {} half-full ones (H = {:?})",
-        m - 1,
-        h.as_slice()
-    );
+    println!("\nsnapshot: one empty queue among {} half-full ones (H = {:?})", m - 1, h.as_slice());
     println!(
         "JSQ sends {:.1}% of ALL clients to that single queue (uniform would be {:.1}%) — the herd.",
         100.0 * share0,

@@ -33,10 +33,7 @@ fn main() {
         base.dt, -mf_return
     );
 
-    println!(
-        "\n{:>6} {:>10} {:>12} {:>9} {:>9}  consistent?",
-        "M", "N", "finite", "ci95", "|gap|"
-    );
+    println!("\n{:>6} {:>10} {:>12} {:>9} {:>9}  consistent?", "M", "N", "finite", "ci95", "|gap|");
     let mut rows = Vec::new();
     for &m in &[25usize, 50, 100, 200, 400] {
         let cfg = base.clone().with_m_squared(m);

@@ -21,7 +21,10 @@ fn main() {
     // M = 100 queues and N = M² clients.
     let config = SystemConfig::paper().with_dt(5.0).with_m_squared(100);
     let horizon = config.eval_episode_len(); // ≈ 500 time units
-    println!("system: N = {}, M = {}, Δt = {}, Te = {horizon} epochs", config.num_clients, config.num_queues, config.dt);
+    println!(
+        "system: N = {}, M = {}, Δt = {}, Te = {horizon} epochs",
+        config.num_clients, config.num_queues, config.dt
+    );
 
     // Three policies, all expressed as decision rules h : Z^d -> P(U).
     let policies = [

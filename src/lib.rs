@@ -16,6 +16,8 @@
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use mflb_core as core;
 pub use mflb_dp as dp;
 pub use mflb_linalg as linalg;

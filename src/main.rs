@@ -90,11 +90,7 @@ fn cmd_meanfield() {
     let mdp = MeanFieldMdp::new(config.clone());
     let mut rng = StdRng::seed_from_u64(seed);
     let eval = mdp.evaluate(policy.as_ref(), horizon, episodes, &mut rng);
-    println!(
-        "mean-field model Δt={} Te={horizon} policy={}",
-        config.dt,
-        policy.name()
-    );
+    println!("mean-field model Δt={} Te={horizon} policy={}", config.dt, policy.name());
     println!(
         "expected drops/queue over episode: {:.3} ± {:.3} ({episodes} episodes)",
         -eval.mean(),
@@ -210,7 +206,10 @@ fn cmd_scv_compare() {
     let engine = PhAggregateEngine::new(config.clone(), service);
     let mut fin = mflb::linalg::stats::Summary::new();
     for r in 0..runs {
-        fin.push(run_ph_episode(&engine, policy.as_ref(), horizon, &mut run_rng(seed, r as u64)).total_drops);
+        fin.push(
+            run_ph_episode(&engine, policy.as_ref(), horizon, &mut run_rng(seed, r as u64))
+                .total_drops,
+        );
     }
     println!(
         "policy {} at Δt={} Te={horizon}: mean-field drops {:.3} ± {:.3}, finite (M={}) {:.3} ± {:.3}",
@@ -261,11 +260,7 @@ fn cmd_fit_mmpp() {
         println!(
             "  level {l}: rate {:.4}, kernel row {:?}",
             fit.process.level_rate(l),
-            fit.process
-                .kernel_row(l)
-                .iter()
-                .map(|p| format!("{p:.3}"))
-                .collect::<Vec<_>>()
+            fit.process.kernel_row(l).iter().map(|p| format!("{p:.3}")).collect::<Vec<_>>()
         );
     }
     println!(
@@ -294,13 +289,19 @@ fn main() {
             println!("  meanfield    evaluate a policy in the limiting mean-field MDP");
             println!("  compare      JSQ vs RND vs tuned softmin on one configuration");
             println!("  tune-beta    find the optimal softmin temperature for a Δt");
-            println!("  dp-solve     solve the lattice DP (certified optimum), optionally --out <json>");
+            println!(
+                "  dp-solve     solve the lattice DP (certified optimum), optionally --out <json>"
+            );
             println!("  scv-compare  phase-type service: mean-field vs finite at a given --scv");
             println!("  fit-mmpp     estimate an L-level MMPP from a rate trace (--trace <file>, --levels L)");
             println!();
             println!("common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>");
-            println!("              --policy jsq|rnd|softmin|checkpoint [--beta f] [--checkpoint path]");
-            println!("              --runs <int> --episodes <int> --seed <int> --grid <int> --scv <f>");
+            println!(
+                "              --policy jsq|rnd|softmin|checkpoint [--beta f] [--checkpoint path]"
+            );
+            println!(
+                "              --runs <int> --episodes <int> --seed <int> --grid <int> --scv <f>"
+            );
         }
     }
 }

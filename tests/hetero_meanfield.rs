@@ -24,9 +24,8 @@ fn finite_hetero_system_tracks_hetero_mean_field() {
     // Finite pools of growing size, same constant arrival level.
     let mut gaps = Vec::new();
     for &half in &[10usize, 40, 160] {
-        let mut cfg = SystemConfig::paper()
-            .with_dt(dt)
-            .with_size(((2 * half) * (2 * half)) as u64, 2 * half);
+        let mut cfg =
+            SystemConfig::paper().with_dt(dt).with_size(((2 * half) * (2 * half)) as u64, 2 * half);
         cfg.arrivals = ArrivalProcess::constant(0.9);
         let pool = ServerPool::two_speed(half, 1.6, half, 0.4, 5);
         let engine = HeteroEngine::new(cfg, pool);

@@ -24,6 +24,9 @@ fn eval_policy(cfg: &SystemConfig, policy: &dyn mflb::core::UpperPolicy, seed: u
 }
 
 #[test]
+// Long-running reproduction test (~30-80 s in debug): run with
+// `cargo test -- --ignored`.
+#[ignore = "full REINFORCE training run; quarantined for CI speed"]
 fn reinforce_learns_on_the_mfc_mdp() {
     let (cfg, env) = small_env();
     let rf_cfg = ReinforceConfig {
@@ -61,10 +64,7 @@ fn reinforce_learns_on_the_mfc_mdp() {
     let v_learned = eval_policy(&cfg, &policy, 7);
     let rnd = FixedRulePolicy::new(rnd_rule(cfg.num_states(), cfg.d), "MF-RND");
     let v_rnd = eval_policy(&cfg, &rnd, 7);
-    assert!(
-        v_learned > v_rnd + 0.3,
-        "learned {v_learned:.2} should beat MF-RND {v_rnd:.2}"
-    );
+    assert!(v_learned > v_rnd + 0.3, "learned {v_learned:.2} should beat MF-RND {v_rnd:.2}");
 }
 
 #[test]
@@ -99,8 +99,5 @@ fn cem_learns_on_the_mfc_mdp() {
     let v_learned = eval_policy(&cfg, &policy, 9);
     let rnd = FixedRulePolicy::new(rnd_rule(cfg.num_states(), cfg.d), "MF-RND");
     let v_rnd = eval_policy(&cfg, &rnd, 9);
-    assert!(
-        v_learned > v_rnd + 0.3,
-        "learned {v_learned:.2} should beat MF-RND {v_rnd:.2}"
-    );
+    assert!(v_learned > v_rnd + 0.3, "learned {v_learned:.2} should beat MF-RND {v_rnd:.2}");
 }

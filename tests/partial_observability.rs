@@ -12,16 +12,12 @@ use rand::SeedableRng;
 fn setup() -> (SystemConfig, MeanFieldMdp, GridPolicy, Vec<Vec<usize>>) {
     let cfg = SystemConfig::paper().with_dt(5.0).with_buffer(3);
     let dp_cfg = DpConfig { grid_resolution: 8, tol: 1e-7, max_sweeps: 4000, threads: 0 };
-    let sol = DpSolution::solve(
-        &cfg,
-        ActionLibrary::softmin_default(cfg.num_states(), cfg.d),
-        &dp_cfg,
-    );
+    let sol =
+        DpSolution::solve(&cfg, ActionLibrary::softmin_default(cfg.num_states(), cfg.d), &dp_cfg);
     let mdp = MeanFieldMdp::new(cfg.clone());
     let mut rng = StdRng::seed_from_u64(2);
-    let seqs: Vec<Vec<usize>> = (0..10)
-        .map(|_| mflb::core::theory::sample_lambda_sequence(&cfg, 60, &mut rng))
-        .collect();
+    let seqs: Vec<Vec<usize>> =
+        (0..10).map(|_| mflb::core::theory::sample_lambda_sequence(&cfg, 60, &mut rng)).collect();
     (cfg, mdp, sol.into_policy(), seqs)
 }
 
@@ -56,10 +52,7 @@ fn information_is_weakly_valuable_in_k() {
     let v3 = value_under(&mdp, &base, ObservationModel::SampledQueues { k: 3 }, &seqs);
     let v300 = value_under(&mdp, &base, ObservationModel::SampledQueues { k: 300 }, &seqs);
     let exact = value_under(&mdp, &base, ObservationModel::Exact, &seqs);
-    assert!(
-        v300 >= v3 - 0.01 * v3.abs(),
-        "more samples must not hurt: k=3 {v3} vs k=300 {v300}"
-    );
+    assert!(v300 >= v3 - 0.01 * v3.abs(), "more samples must not hurt: k=3 {v3} vs k=300 {v300}");
     assert!(exact >= v3 - 1e-9, "exact {exact} must be at least k=3 {v3}");
 }
 
@@ -77,10 +70,6 @@ fn extra_staleness_costs_value() {
 #[test]
 fn wrapped_policy_names_carry_the_model_label() {
     let (_cfg, _mdp, base, _seqs) = setup();
-    let wrapped = PartialObservationPolicy::new(
-        base,
-        ObservationModel::SampledQueues { k: 30 },
-        1,
-    );
+    let wrapped = PartialObservationPolicy::new(base, ObservationModel::SampledQueues { k: 30 }, 1);
     assert!(mflb::core::UpperPolicy::name(&wrapped).contains("sampled(k=30)"));
 }

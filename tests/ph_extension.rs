@@ -101,10 +101,7 @@ fn finite_ph_system_approaches_mean_field_with_size() {
         }
         gaps.push((s.mean() - reference).abs() / reference.max(1.0));
     }
-    assert!(
-        gaps[2] < gaps[0] + 0.02,
-        "relative gap should not grow with M: {gaps:?}"
-    );
+    assert!(gaps[2] < gaps[0] + 0.02, "relative gap should not grow with M: {gaps:?}");
     assert!(gaps[2] < 0.1, "largest system should be within 10%: {gaps:?}");
 }
 

@@ -93,11 +93,7 @@ fn mean_field_value_is_deterministic_and_policy_ordering_holds() {
     let mut rng = StdRng::seed_from_u64(3);
     let seq = sample_lambda_sequence(&base, 50, &mut rng);
     let value = |beta: f64| {
-        conditioned_return(
-            &base,
-            &FixedRulePolicy::new(softmin_rule(6, 2, beta), "SOFT"),
-            &seq,
-        )
+        conditioned_return(&base, &FixedRulePolicy::new(softmin_rule(6, 2, beta), "SOFT"), &seq)
     };
     let jsq = conditioned_return(&base, &FixedRulePolicy::new(jsq_rule(6, 2), "JSQ"), &seq);
     let rnd = conditioned_return(&base, &FixedRulePolicy::new(rnd_rule(6, 2), "RND"), &seq);

@@ -1,0 +1,61 @@
+//! Sub-second canary that the workspace wiring stays sound: builds a
+//! [`SystemConfig`], runs one finite-system episode on the
+//! [`AggregateEngine`] and one limiting-model [`mean_field_step`], and
+//! checks every produced distribution stays on the probability simplex.
+//!
+//! This test goes through the `mflb` umbrella crate on purpose — it fails
+//! to *compile* if any re-export in `src/lib.rs` drifts from the workspace
+//! crates, which is exactly the regression a manifest refactor can cause.
+
+use mflb::core::mdp::FixedRulePolicy;
+use mflb::core::{mean_field_step, StateDist, SystemConfig};
+use mflb::policy::jsq_rule;
+use mflb::sim::{run_episode, AggregateEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SIMPLEX_TOL: f64 = 1e-9;
+
+fn assert_on_simplex(dist: &[f64], what: &str) {
+    let total: f64 = dist.iter().sum();
+    assert!((total - 1.0).abs() < SIMPLEX_TOL, "{what}: mass {total} != 1 (dist {dist:?})");
+    for (z, &p) in dist.iter().enumerate() {
+        assert!(
+            (-SIMPLEX_TOL..=1.0 + SIMPLEX_TOL).contains(&p),
+            "{what}: p[{z}] = {p} outside [0, 1]"
+        );
+    }
+}
+
+#[test]
+fn one_aggregate_episode_and_one_mean_field_step() {
+    // Small but non-trivial: M = 50 queues, N = 2500 clients, 20 epochs.
+    let config = SystemConfig::paper().with_m_squared(50).with_dt(5.0);
+    let buffer = config.buffer;
+
+    let engine = AggregateEngine::new(config);
+    let policy = FixedRulePolicy::new(jsq_rule(buffer + 1, 2), "JSQ");
+    let mut rng = StdRng::seed_from_u64(20260729);
+    let outcome = run_episode(&engine, &policy, 20, &mut rng);
+
+    assert_eq!(outcome.drops_per_epoch.len(), 20);
+    assert!(outcome.total_drops >= 0.0, "negative drop count");
+    assert!(
+        outcome.mean_queue_len.iter().all(|&m| (0.0..=buffer as f64).contains(&m)),
+        "mean queue length left [0, B]: {:?}",
+        outcome.mean_queue_len
+    );
+
+    // One exact-discretization step of the limiting model from a hand-rolled
+    // simplex point, under the same decision rule.
+    let nu = StateDist::new(vec![0.3, 0.25, 0.2, 0.15, 0.07, 0.03]);
+    assert_on_simplex(nu.as_slice(), "initial ν");
+    let step = mean_field_step(&nu, &jsq_rule(6, 2), 0.9, 1.0, 5.0);
+    assert_on_simplex(step.next_dist.as_slice(), "ν after mean_field_step");
+    assert!(step.expected_drops >= 0.0, "negative expected drops");
+    assert!(
+        step.arrival_rates.iter().all(|&r| r.is_finite() && r >= 0.0),
+        "invalid arrival rates {:?}",
+        step.arrival_rates
+    );
+}
