@@ -12,7 +12,9 @@ use mflb_linalg::{expm, Mat};
 use mflb_nn::{Activation, Mlp, Tensor};
 use mflb_policy::{jsq_rule, softmin_rule};
 use mflb_queue::sampler::Sampler;
-use mflb_sim::{AggregateEngine, FiniteEngine, PerClientEngine};
+use mflb_sim::aggregate::AggregateState;
+use mflb_sim::client::PerClientState;
+use mflb_sim::{AggregateEngine, Engine, PerClientEngine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -57,25 +59,41 @@ fn bench_mfc_rollout(c: &mut Criterion) {
 
 fn bench_engines(c: &mut Criterion) {
     // Aggregate engine at the paper's largest size: M = 1000, N = 10^6.
+    // The state is created once and evolves across iterations (each epoch
+    // starts from the previous epoch's queues, converging to steady
+    // state), so the bench measures the allocation-free recurring epoch
+    // cost rather than cold epochs from a fixed profile.
     let cfg = SystemConfig::paper().with_m_squared(1000).with_dt(5.0);
     let agg = AggregateEngine::new(cfg.clone());
     let rule = jsq_rule(6, 2);
     c.bench_function("aggregate_epoch_M1000_N1e6", |b| {
+        let mut state = AggregateState::from_queues(vec![1usize; 1000]);
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            let mut queues = vec![1usize; 1000];
-            agg.run_epoch(black_box(&mut queues), &rule, 0.9, &mut rng)
+            agg.step(black_box(&mut state), &rule, 0.9, &mut rng)
         })
     });
 
     // Per-client engine at a moderate size for comparison: M = 100, N = 10^4.
     let cfg_small = SystemConfig::paper().with_m_squared(100).with_dt(5.0);
-    let per = PerClientEngine::new(cfg_small);
+    let per = PerClientEngine::new(cfg_small.clone());
     c.bench_function("per_client_epoch_M100_N1e4", |b| {
+        let mut state = PerClientState::from_queues(vec![1usize; 100], cfg_small.d);
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
-            let mut queues = vec![1usize; 100];
-            per.run_epoch(black_box(&mut queues), &rule, 0.9, &mut rng)
+            per.step(black_box(&mut state), &rule, 0.9, &mut rng)
+        })
+    });
+
+    // Staggered engine (per-client with persistent snapshots) at the same
+    // size — newly reachable through the unified Engine trait.
+    let stag = mflb_sim::StaggeredEngine::new(cfg_small, 4);
+    c.bench_function("staggered_epoch_M100_N1e4_c4", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut state = stag.init_state(&mut rng);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(5);
+            stag.step(black_box(&mut state), &rule, 0.9, &mut rng)
         })
     });
 }

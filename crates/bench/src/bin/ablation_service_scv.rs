@@ -11,7 +11,8 @@
 //! paper's exponential). For each SCV:
 //!
 //! * JSQ(2), RND and a softmin(β) tuned *in the PH mean-field model* run
-//!   on the finite PH system (`mflb_sim::PhAggregateEngine`),
+//!   on the finite PH system (a [`mflb_sim::Scenario`]-built PH engine,
+//!   evaluated with the thread-parallel `monte_carlo` fan-out),
 //! * the PH mean-field value is reported next to the finite-system value
 //!   (the Theorem-1 story carried to the extension).
 //!
@@ -26,7 +27,7 @@ use mflb_core::{PhMeanFieldMdp, SystemConfig};
 use mflb_linalg::stats::Summary;
 use mflb_policy::{jsq_rule, rnd_rule, softmin_rule};
 use mflb_queue::PhaseType;
-use mflb_sim::{run_ph_episode, run_rng, PhAggregateEngine};
+use mflb_sim::{monte_carlo, EngineSpec, Scenario, ServiceLaw};
 
 /// Tunes softmin(β) in the PH mean-field model on common arrival
 /// sequences (coarse log grid; the deterministic model makes this exact
@@ -77,23 +78,18 @@ fn main() {
             ("SOFT(beta*)", Box::new(FixedRulePolicy::new(softmin_rule(zs, 2, beta), "SOFT"))),
         ];
 
-        // Finite PH system (aggregate multinomial + Gillespie PH queues).
-        let engine = PhAggregateEngine::new(cfg.clone(), service.clone());
+        // Finite PH system (aggregate multinomial + Gillespie PH queues),
+        // built from a data-level scenario and fanned out over threads.
+        let scenario = Scenario::new(
+            cfg.clone(),
+            EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv } },
+        );
+        let engine = scenario.build().expect("valid SCV scenario");
         let mut finite = Vec::new();
         for (i, (_, policy)) in policies.iter().enumerate() {
-            let mut s = Summary::new();
-            for r in 0..n_runs {
-                s.push(
-                    run_ph_episode(
-                        &engine,
-                        policy.as_ref(),
-                        horizon,
-                        &mut run_rng(seed + i as u64, r as u64),
-                    )
-                    .total_drops,
-                );
-            }
-            finite.push(s);
+            finite.push(
+                monte_carlo(&engine, policy.as_ref(), horizon, n_runs, seed + i as u64, 0).drops,
+            );
         }
 
         // PH mean-field reference (stochastic only through λ).

@@ -26,10 +26,10 @@
 use mflb_bench::harness::{arg_value, print_table, write_csv, Scale};
 use mflb_core::mdp::FixedRulePolicy;
 use mflb_core::SystemConfig;
-use mflb_linalg::stats::{welch_t_test, Summary};
+use mflb_linalg::stats::welch_t_test;
 use mflb_policy::{jsq_rule, optimize_beta, softmin_rule};
 use mflb_queue::ArrivalProcess;
-use mflb_sim::{run_episode, run_rng, PerClientEngine, StaggeredEngine};
+use mflb_sim::{monte_carlo, EngineSpec, Scenario};
 
 fn main() {
     let scale = Scale::from_args();
@@ -55,38 +55,27 @@ fn main() {
         let soft = FixedRulePolicy::new(softmin_rule(zs, 2, beta), "SOFT");
 
         // Synchronized: Δt = P, horizon = total_time / P epochs.
-        let sync_engine = PerClientEngine::new(sync_cfg.clone());
+        let sync_engine = Scenario::new(sync_cfg.clone(), EngineSpec::PerClient)
+            .build()
+            .expect("valid synchronized scenario");
         let sync_horizon = (total_time / p as f64).round() as usize;
         // Staggered: Δt = 1, c = P cohorts, horizon = total_time epochs.
-        let stag_cfg = base.clone().with_dt(1.0);
-        let stag_engine = StaggeredEngine::new(stag_cfg, p);
+        let stag_engine =
+            Scenario::new(base.clone().with_dt(1.0), EngineSpec::Staggered { cohorts: p })
+                .build()
+                .expect("valid staggered scenario");
         let stag_horizon = total_time.round() as usize;
 
         let mut cells = vec![format!("{p}")];
         let mut csv = vec![format!("{p}"), format!("{beta:.4}")];
         for (pi, policy) in [&jsq, &soft].into_iter().enumerate() {
-            let mut s_sync = Summary::new();
-            let mut s_stag = Summary::new();
-            for r in 0..n_runs {
-                s_sync.push(
-                    run_episode(
-                        &sync_engine,
-                        policy,
-                        sync_horizon,
-                        &mut run_rng(seed + pi as u64, r as u64),
-                    )
-                    .total_drops,
-                );
-                s_stag.push(
-                    stag_engine
-                        .run_episode(
-                            policy,
-                            stag_horizon,
-                            &mut run_rng(seed + 50 + pi as u64, r as u64),
-                        )
-                        .total_drops,
-                );
-            }
+            // Both architectures fan runs out over threads; per-run RNG
+            // derivation is unchanged, so results match the serial loops.
+            let s_sync =
+                monte_carlo(&sync_engine, policy, sync_horizon, n_runs, seed + pi as u64, 0).drops;
+            let s_stag =
+                monte_carlo(&stag_engine, policy, stag_horizon, n_runs, seed + 50 + pi as u64, 0)
+                    .drops;
             let (_, _, p_value) = welch_t_test(&s_sync, &s_stag);
             cells.push(format!("{:.2} ± {:.2}", s_sync.mean(), s_sync.ci95_half_width()));
             cells.push(format!("{:.2} ± {:.2}", s_stag.mean(), s_stag.ci95_half_width()));

@@ -8,9 +8,11 @@
 //! the problem through "higher response times" under herd behaviour.
 //! This experiment runs the finite system at the *job level* — every
 //! queue is a FIFO queue with per-job arrival/departure timestamps
-//! ([`mflb_queue::fifo::FifoQueue`]) — and reports the mean and p95
-//! sojourn time of completed jobs, next to drops, for JSQ(2)/RND/tuned
-//! softmin across Δt.
+//! ([`mflb_sim::FifoEngine`], built from a [`mflb_sim::Scenario`]) — and
+//! reports the mean and p95 sojourn time of completed jobs, next to the
+//! drop fraction, for JSQ(2)/RND/tuned softmin across Δt. Sojourn
+//! samples flow through the generic `EpisodeOutcome` and are pooled over
+//! the thread-parallel `monte_carlo` fan-out.
 //!
 //! Expected shape: sojourn times mirror the drop story — RND keeps them
 //! flat-but-high, JSQ(2) is best at small Δt and degrades past the
@@ -18,50 +20,10 @@
 //! the effect (herding creates long-queue episodes that tail jobs eat).
 
 use mflb_bench::harness::{arg_value, print_table, write_csv, Scale};
-use mflb_core::mdp::{FixedRulePolicy, UpperPolicy};
-use mflb_core::{StateDist, SystemConfig};
+use mflb_core::mdp::FixedRulePolicy;
+use mflb_core::SystemConfig;
 use mflb_policy::{jsq_rule, optimize_beta, rnd_rule, softmin_rule};
-use mflb_queue::fifo::FifoQueue;
-use mflb_sim::aggregate::sample_client_assignments;
-use mflb_sim::run_rng;
-use rand::rngs::StdRng;
-
-/// One job-level episode: aggregate client assignment over observed
-/// lengths, then each FIFO queue advances `dt` with its frozen rate.
-/// Returns `(sojourn times of completed jobs, dropped jobs, completed)`.
-fn run_job_level_episode(
-    cfg: &SystemConfig,
-    policy: &dyn UpperPolicy,
-    horizon: usize,
-    rng: &mut StdRng,
-) -> (Vec<f64>, u64, u64) {
-    let m = cfg.num_queues;
-    let mut queues: Vec<FifoQueue> =
-        (0..m).map(|_| FifoQueue::new(cfg.service_rate, cfg.buffer)).collect();
-    let mut lambda_idx = cfg.arrivals.sample_initial(rng);
-    let mut sojourns = Vec::new();
-    let mut dropped = 0u64;
-    let mut completed = 0u64;
-    let mut lengths = vec![0usize; m];
-    for _ in 0..horizon {
-        let lambda = cfg.arrivals.level_rate(lambda_idx);
-        for (l, q) in lengths.iter_mut().zip(queues.iter()) {
-            *l = q.len().min(cfg.buffer);
-        }
-        let h = StateDist::empirical(&lengths, cfg.buffer);
-        let rule = policy.decide(&h, lambda_idx, lambda);
-        let counts = sample_client_assignments(cfg.num_clients, cfg.buffer, &lengths, &rule, rng);
-        let scale = m as f64 * lambda / cfg.num_clients as f64;
-        for (j, q) in queues.iter_mut().enumerate() {
-            let stats = q.run_epoch(scale * counts[j] as f64, cfg.dt, rng);
-            completed += stats.completed;
-            sojourns.extend(stats.sojourn_times);
-            dropped += stats.drops;
-        }
-        lambda_idx = cfg.arrivals.step(lambda_idx, rng);
-    }
-    (sojourns, dropped, completed)
-}
+use mflb_sim::{monte_carlo, EngineSpec, Scenario};
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -90,6 +52,8 @@ fn main() {
         let zs = cfg.num_states();
         let horizon = cfg.eval_episode_len();
         let beta = optimize_beta(&cfg, horizon.min(100), 6, seed).beta;
+        let engine =
+            Scenario::new(cfg, EngineSpec::JobLevel).build().expect("valid job-level scenario");
         let policies: Vec<(&str, FixedRulePolicy)> = vec![
             ("JSQ(2)", FixedRulePolicy::new(jsq_rule(zs, 2), "JSQ(2)")),
             ("RND", FixedRulePolicy::new(rnd_rule(zs, 2), "RND")),
@@ -98,24 +62,12 @@ fn main() {
         let mut cells = vec![format!("{dt}")];
         let mut csv = vec![format!("{dt}"), format!("{beta:.4}")];
         for (i, (_, policy)) in policies.iter().enumerate() {
-            let mut all = Vec::new();
-            let mut drops = 0u64;
-            let mut done = 0u64;
-            for r in 0..n_runs {
-                let (s, d, c) = run_job_level_episode(
-                    &cfg,
-                    policy,
-                    horizon,
-                    &mut run_rng(seed + i as u64, r as u64),
-                );
-                all.extend(s);
-                drops += d;
-                done += c;
-            }
+            let mc = monte_carlo(&engine, policy, horizon, n_runs, seed + i as u64, 0);
+            let drop_frac = mc.drop_fraction();
+            let mut all = mc.sojourns;
             all.sort_by(|a, b| a.partial_cmp(b).unwrap());
             let mean = all.iter().sum::<f64>() / all.len().max(1) as f64;
             let p95 = percentile(&all, 0.95);
-            let drop_frac = drops as f64 / (drops + done).max(1) as f64;
             cells.push(format!("{mean:.2}/{p95:.2}/{:.1}%", drop_frac * 100.0));
             csv.push(format!("{mean:.4}"));
             csv.push(format!("{p95:.4}"));

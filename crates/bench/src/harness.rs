@@ -25,19 +25,27 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--scale quick|paper` from the process arguments (default
-    /// quick).
-    pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        for w in args.windows(2) {
-            if w[0] == "--scale" {
-                return match w[1].as_str() {
-                    "paper" | "full" => Scale::Paper,
-                    _ => Scale::Quick,
-                };
-            }
+    /// Parses a `--scale` value; unknown values are an error (no silent
+    /// fallback).
+    pub fn parse(value: &str) -> Result<Self, String> {
+        match value {
+            "quick" => Ok(Scale::Quick),
+            "paper" | "full" => Ok(Scale::Paper),
+            other => Err(format!("unknown --scale value `{other}` (expected quick|paper)")),
         }
-        Scale::Quick
+    }
+
+    /// Parses `--scale quick|paper` from the process arguments (default
+    /// quick). An unrecognized value prints an error and exits with
+    /// status 2 instead of silently falling back to `quick`.
+    pub fn from_args() -> Self {
+        match arg_value("--scale") {
+            None => Scale::Quick,
+            Some(v) => Scale::parse(&v).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }),
+        }
     }
 
     /// Monte-Carlo run count (Table 1: n = 100).
@@ -231,6 +239,15 @@ mod tests {
             assert!(p.dt_grid_fig4().contains(&dt));
         }
         assert!(q.n_runs() <= p.n_runs());
+    }
+
+    #[test]
+    fn scale_parse_rejects_unknown_values() {
+        assert_eq!(Scale::parse("quick").unwrap(), Scale::Quick);
+        assert_eq!(Scale::parse("paper").unwrap(), Scale::Paper);
+        assert_eq!(Scale::parse("full").unwrap(), Scale::Paper);
+        let err = Scale::parse("qick").unwrap_err();
+        assert!(err.contains("qick"), "message should name the bad value: {err}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `SystemConfig::paper()` reproduces Table 1; builder-style setters derive
 /// variants for sweeps.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
     /// Synchronization delay Δt — the decision-epoch length (Table 1: 1–10).
     pub dt: f64,

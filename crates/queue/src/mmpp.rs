@@ -11,7 +11,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// A discrete-time Markov chain over arrival-rate levels.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ArrivalProcess {
     /// The rate value of each level.
     levels: Vec<f64>,

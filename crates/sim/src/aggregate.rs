@@ -28,18 +28,18 @@
 //! `N ⋡ M` ablation (Fig. 6). The integration tests verify the agreement
 //! statistically.
 
-use crate::episode::FiniteEngine;
+use crate::episode::{length_epoch_stats, simulate_birth_death_epoch, Engine, EpochStats};
 use mflb_core::meanfield::per_state_arrival_rates;
 use mflb_core::{DecisionRule, StateDist, SystemConfig};
 use mflb_queue::sampler::Sampler;
-use mflb_queue::BirthDeathQueue;
 use rand::rngs::StdRng;
 
 /// Samples the per-queue client counts for one epoch by the hierarchical
 /// multinomial decomposition described in the module docs. `queues` holds
 /// the epoch-start queue **lengths**; the result assigns all
-/// `num_clients` clients. Shared by the homogeneous aggregate engine and
-/// the phase-type engine (whose assignment law depends on lengths only).
+/// `num_clients` clients. Shared by the homogeneous aggregate engine, the
+/// phase-type engine and the job-level FIFO engine (whose assignment laws
+/// depend on lengths only).
 pub fn sample_client_assignments(
     num_clients: u64,
     buffer: usize,
@@ -47,8 +47,26 @@ pub fn sample_client_assignments(
     rule: &DecisionRule,
     rng: &mut StdRng,
 ) -> Vec<u64> {
+    let mut counts = vec![0u64; queues.len()];
+    sample_client_assignments_into(num_clients, buffer, queues, rule, rng, &mut counts);
+    counts
+}
+
+/// Buffer-reusing core of [`sample_client_assignments`]: writes the counts
+/// into `counts` (which must have one slot per queue) instead of
+/// allocating. The `O(B)` group-level temporaries are negligible next to
+/// the `O(M)` count vector and are kept local.
+pub fn sample_client_assignments_into(
+    num_clients: u64,
+    buffer: usize,
+    queues: &[usize],
+    rule: &DecisionRule,
+    rng: &mut StdRng,
+    counts: &mut [u64],
+) {
     let m = queues.len();
     let zs = buffer + 1;
+    debug_assert_eq!(counts.len(), m);
 
     // Empirical state distribution and per-state group sizes.
     let mut group_size = vec![0u64; zs];
@@ -69,8 +87,7 @@ pub fn sample_client_assignments(
     let group_counts = Sampler::multinomial(rng, num_clients, &group_probs);
 
     // Level 2: uniform split of each group's clients over its queues.
-    let mut counts = vec![0u64; m];
-    let mut remaining_in_group = group_size.clone();
+    let mut remaining_in_group = group_size;
     let mut remaining_clients = group_counts;
     for (j, &z) in queues.iter().enumerate() {
         let g = remaining_in_group[z];
@@ -84,7 +101,27 @@ pub fn sample_client_assignments(
         remaining_clients[z] -= c;
         remaining_in_group[z] -= 1;
     }
-    counts
+}
+
+/// Episode state of [`AggregateEngine`]: queue lengths plus the reusable
+/// client-count buffer.
+#[derive(Debug, Clone)]
+pub struct AggregateState {
+    queues: Vec<usize>,
+    counts: Vec<u64>,
+}
+
+impl AggregateState {
+    /// Wraps explicit queue lengths (benchmarks and tests).
+    pub fn from_queues(queues: Vec<usize>) -> Self {
+        let m = queues.len();
+        Self { queues, counts: vec![0; m] }
+    }
+
+    /// Current queue lengths.
+    pub fn queues(&self) -> &[usize] {
+        &self.queues
+    }
 }
 
 /// Aggregated epoch executor.
@@ -112,36 +149,51 @@ impl AggregateEngine {
     }
 }
 
-impl FiniteEngine for AggregateEngine {
+impl Engine for AggregateEngine {
+    type State = AggregateState;
+
     fn config(&self) -> &SystemConfig {
         &self.config
     }
 
-    fn run_epoch(
+    fn init_state(&self, rng: &mut StdRng) -> AggregateState {
+        AggregateState::from_queues(crate::episode::sample_initial_queues(&self.config, rng))
+    }
+
+    fn empirical(&self, state: &AggregateState) -> StateDist {
+        StateDist::empirical(&state.queues, self.config.buffer)
+    }
+
+    fn step(
         &self,
-        queues: &mut [usize],
+        state: &mut AggregateState,
         rule: &DecisionRule,
         lambda: f64,
         rng: &mut StdRng,
-    ) -> f64 {
-        let m = queues.len();
-        debug_assert_eq!(m, self.config.num_queues);
-        let counts = self.sample_assignments(queues, rule, rng);
+    ) -> EpochStats {
+        let AggregateState { queues, counts } = state;
+        debug_assert_eq!(queues.len(), self.config.num_queues);
+        sample_client_assignments_into(
+            self.config.num_clients,
+            self.config.buffer,
+            queues,
+            rule,
+            rng,
+            counts,
+        );
 
-        let n = self.config.num_clients as f64;
-        let scale = m as f64 * lambda / n;
-        let mut total_drops = 0u64;
-        for (j, q) in queues.iter_mut().enumerate() {
-            if counts[j] == 0 && *q == 0 {
-                continue; // idle empty queue: nothing can happen
-            }
-            let rate = scale * counts[j] as f64;
-            let model = BirthDeathQueue::new(rate, self.config.service_rate, self.config.buffer);
-            let outcome = model.simulate_epoch(*q, self.config.dt, rng);
-            *q = outcome.final_state;
-            total_drops += outcome.drops;
-        }
-        total_drops as f64 / m as f64
+        let m = queues.len();
+        let scale = m as f64 * lambda / self.config.num_clients as f64;
+        let (dropped, served) = simulate_birth_death_epoch(
+            queues,
+            counts,
+            scale,
+            &|_| self.config.service_rate,
+            self.config.buffer,
+            self.config.dt,
+            rng,
+        );
+        length_epoch_stats(queues, counts, self.config.num_clients, dropped, served)
     }
 
     fn name(&self) -> &'static str {
@@ -250,25 +302,25 @@ mod tests {
         // is the whole point of the aggregation).
         let cfg = SystemConfig::paper().with_m_squared(1000).with_dt(5.0);
         let engine = AggregateEngine::new(cfg.clone());
-        let mut queues = vec![0usize; 1000];
+        let mut state = AggregateState::from_queues(vec![0usize; 1000]);
         let rule = jsq_rule();
         let mut rng = StdRng::seed_from_u64(4);
-        let drops = engine.run_epoch(&mut queues, &rule, 0.9, &mut rng);
-        assert!(drops >= 0.0);
+        let stats = engine.step(&mut state, &rule, 0.9, &mut rng);
+        assert!(stats.drops >= 0.0);
         // After one epoch from empty under load 0.9, some queues are
         // occupied.
-        assert!(queues.iter().any(|&z| z > 0));
+        assert!(state.queues().iter().any(|&z| z > 0));
     }
 
     #[test]
     fn zero_arrival_rate_only_drains() {
         let cfg = SystemConfig::paper().with_size(100, 10).with_dt(50.0);
         let engine = AggregateEngine::new(cfg.clone());
-        let mut queues = vec![5usize; 10];
+        let mut state = AggregateState::from_queues(vec![5usize; 10]);
         let rule = DecisionRule::uniform(6, 2);
         let mut rng = StdRng::seed_from_u64(5);
-        let drops = engine.run_epoch(&mut queues, &rule, 0.0, &mut rng);
-        assert_eq!(drops, 0.0);
-        assert!(queues.iter().all(|&z| z == 0), "queues must drain: {queues:?}");
+        let stats = engine.step(&mut state, &rule, 0.0, &mut rng);
+        assert_eq!(stats.drops, 0.0);
+        assert!(state.queues().iter().all(|&z| z == 0), "queues must drain: {:?}", state.queues());
     }
 }

@@ -11,11 +11,32 @@
 //! which the O(M)-per-epoch [`crate::aggregate::AggregateEngine`] is
 //! validated (they follow the same probability law; see the crate docs).
 
-use crate::episode::FiniteEngine;
-use mflb_core::{DecisionRule, SystemConfig};
-use mflb_queue::BirthDeathQueue;
+use crate::episode::{length_epoch_stats, simulate_birth_death_epoch, Engine, EpochStats};
+use mflb_core::{DecisionRule, StateDist, SystemConfig};
 use rand::rngs::StdRng;
-use rand::Rng;
+
+/// Episode state of [`PerClientEngine`]: queue lengths plus reusable
+/// per-epoch scratch buffers (client counts and `d`-sample workspace).
+#[derive(Debug, Clone)]
+pub struct PerClientState {
+    queues: Vec<usize>,
+    counts: Vec<u64>,
+    sampled: Vec<usize>,
+    tuple: Vec<usize>,
+}
+
+impl PerClientState {
+    /// Wraps explicit queue lengths (benchmarks and tests).
+    pub fn from_queues(queues: Vec<usize>, d: usize) -> Self {
+        let m = queues.len();
+        Self { queues, counts: vec![0; m], sampled: vec![0; d], tuple: vec![0; d] }
+    }
+
+    /// Current queue lengths.
+    pub fn queues(&self) -> &[usize] {
+        &self.queues
+    }
+}
 
 /// Per-client epoch executor.
 #[derive(Debug, Clone)]
@@ -38,51 +59,76 @@ impl PerClientEngine {
         rule: &DecisionRule,
         rng: &mut StdRng,
     ) -> Vec<u64> {
-        let m = queues.len();
-        let d = self.config.d;
-        let mut counts = vec![0u64; m];
-        let mut sampled = vec![0usize; d];
-        let mut tuple = vec![0usize; d];
-        for _ in 0..self.config.num_clients {
-            for k in 0..d {
-                sampled[k] = rng.gen_range(0..m);
-                tuple[k] = queues[sampled[k]];
-            }
-            let u = rule.sample(&tuple, rng);
-            counts[sampled[u]] += 1;
-        }
+        let mut counts = vec![0u64; queues.len()];
+        let mut sampled = vec![0usize; self.config.d];
+        let mut tuple = vec![0usize; self.config.d];
+        self.sample_assignments_into(queues, rule, rng, &mut counts, &mut sampled, &mut tuple);
         counts
+    }
+
+    fn sample_assignments_into(
+        &self,
+        queues: &[usize],
+        rule: &DecisionRule,
+        rng: &mut StdRng,
+        counts: &mut [u64],
+        sampled: &mut [usize],
+        tuple: &mut [usize],
+    ) {
+        crate::episode::sample_per_client_assignments(
+            self.config.num_clients,
+            &|j| queues[j],
+            rule,
+            rng,
+            counts,
+            sampled,
+            tuple,
+        );
     }
 }
 
-impl FiniteEngine for PerClientEngine {
+impl Engine for PerClientEngine {
+    type State = PerClientState;
+
     fn config(&self) -> &SystemConfig {
         &self.config
     }
 
-    fn run_epoch(
+    fn init_state(&self, rng: &mut StdRng) -> PerClientState {
+        PerClientState::from_queues(
+            crate::episode::sample_initial_queues(&self.config, rng),
+            self.config.d,
+        )
+    }
+
+    fn empirical(&self, state: &PerClientState) -> StateDist {
+        StateDist::empirical(&state.queues, self.config.buffer)
+    }
+
+    fn step(
         &self,
-        queues: &mut [usize],
+        state: &mut PerClientState,
         rule: &DecisionRule,
         lambda: f64,
         rng: &mut StdRng,
-    ) -> f64 {
-        let m = queues.len();
-        debug_assert_eq!(m, self.config.num_queues);
-        let counts = self.sample_assignments(queues, rule, rng);
+    ) -> EpochStats {
+        let PerClientState { queues, counts, sampled, tuple } = state;
+        debug_assert_eq!(queues.len(), self.config.num_queues);
+        self.sample_assignments_into(queues, rule, rng, counts, sampled, tuple);
 
         // Per-queue arrival rates (Eq. 5) and exact CTMC simulation.
-        let n = self.config.num_clients as f64;
-        let scale = m as f64 * lambda / n;
-        let mut total_drops = 0u64;
-        for (j, q) in queues.iter_mut().enumerate() {
-            let rate = scale * counts[j] as f64;
-            let model = BirthDeathQueue::new(rate, self.config.service_rate, self.config.buffer);
-            let outcome = model.simulate_epoch(*q, self.config.dt, rng);
-            *q = outcome.final_state;
-            total_drops += outcome.drops;
-        }
-        total_drops as f64 / m as f64
+        let m = queues.len();
+        let scale = m as f64 * lambda / self.config.num_clients as f64;
+        let (dropped, served) = simulate_birth_death_epoch(
+            queues,
+            counts,
+            scale,
+            &|_| self.config.service_rate,
+            self.config.buffer,
+            self.config.dt,
+            rng,
+        );
+        length_epoch_stats(queues, counts, self.config.num_clients, dropped, served)
     }
 
     fn name(&self) -> &'static str {
@@ -163,6 +209,12 @@ mod tests {
         assert!((out.total_drops + out.total_return).abs() < 1e-12);
         assert!(out.total_drops >= 0.0);
         assert!(out.mean_queue_len.iter().all(|&l| (0.0..=5.0).contains(&l)));
+        // The richer outcome fields are filled for every engine.
+        assert_eq!(out.max_share_per_epoch.len(), 20);
+        assert!(out.max_share_per_epoch.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // total_drops is Σ_t (dropped_t / M): the raw counter matches it
+        // up to float summation order.
+        assert!((out.jobs_dropped as f64 / cfg.num_queues as f64 - out.total_drops).abs() < 1e-9);
     }
 
     #[test]
@@ -173,5 +225,26 @@ mod tests {
         let a = run_episode(&engine, &policy, 10, &mut run_rng(11, 3));
         let b = run_episode(&engine, &policy, 10, &mut run_rng(11, 3));
         assert_eq!(a.drops_per_epoch, b.drops_per_epoch);
+    }
+
+    #[test]
+    fn state_scratch_buffers_do_not_leak_between_epochs() {
+        // Two consecutive steps on one state must match two fresh
+        // single-step states driven by the same RNG stream.
+        let cfg = small_config();
+        let engine = PerClientEngine::new(cfg.clone());
+        let rule = DecisionRule::uniform(cfg.num_states(), cfg.d);
+        let mut rng_a = run_rng(5, 0);
+        let mut rng_b = run_rng(5, 0);
+        let mut state = engine.init_state(&mut rng_a);
+        let mut queues = crate::episode::sample_initial_queues(&cfg, &mut rng_b);
+        let s1 = engine.step(&mut state, &rule, 0.9, &mut rng_a);
+        let s2 = engine.step(&mut state, &rule, 0.9, &mut rng_a);
+        for expect in [s1, s2] {
+            let mut fresh = PerClientState::from_queues(queues.clone(), cfg.d);
+            let got = engine.step(&mut fresh, &rule, 0.9, &mut rng_b);
+            assert_eq!(got, expect);
+            queues = fresh.queues().to_vec();
+        }
     }
 }

@@ -1,18 +1,25 @@
-//! Episode driver for the finite `N`-client `M`-queue system
+//! The stateful [`Engine`] abstraction and the generic episode drivers
 //! (Algorithm 1 of the paper).
 //!
 //! One evaluation episode runs `T_e` decision epochs. At each epoch:
 //!
-//! 1. the empirical queue-state distribution `H_t^M` is computed (line 8),
+//! 1. the empirical queue-state distribution `H_t^M` is computed (line 8)
+//!    via [`Engine::empirical`],
 //! 2. the upper-level policy produces the decision rule `h_t` (line 9),
-//! 3. the engine assigns clients and simulates every queue's CTMC for `Δt`
-//!    time units, counting drops (lines 10–19),
+//! 3. [`Engine::step`] assigns clients and simulates every queue's CTMC
+//!    for `Δt` time units, counting drops (lines 10–19),
 //! 4. the arrival level advances (line 20).
 //!
-//! Two interchangeable engines implement step 3: the literal
-//! [`crate::client::PerClientEngine`] and the exact aggregated
-//! [`crate::aggregate::AggregateEngine`] (see the crate docs for the
-//! exactness argument).
+//! Engines own an associated [`Engine::State`] type, so variants whose
+//! per-queue state is richer than a plain length — phase-carrying
+//! ([`crate::ph_engine::PhAggregateEngine`]), class-composite
+//! ([`crate::hetero::HeteroEngine`]), private-snapshot
+//! ([`crate::staggered::StaggeredEngine`]) and job-level
+//! ([`crate::fifo_engine::FifoEngine`]) — all run through the same
+//! [`run_episode`] / [`run_episode_conditioned`] /
+//! [`crate::monte_carlo()`] drivers as the homogeneous
+//! [`crate::client::PerClientEngine`] and
+//! [`crate::aggregate::AggregateEngine`].
 
 use mflb_core::mdp::UpperPolicy;
 use mflb_core::{DecisionRule, StateDist, SystemConfig};
@@ -20,27 +27,60 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-/// A finite-system epoch executor.
-pub trait FiniteEngine: Send + Sync {
+/// A finite-system simulation engine with persistent episode state.
+///
+/// The state carries everything that must survive from one decision epoch
+/// to the next (queue lengths, service phases, per-client snapshots, …)
+/// plus reusable scratch buffers, so the per-epoch hot path allocates
+/// nothing proportional to `M` or `N`.
+pub trait Engine: Send + Sync {
+    /// Per-episode simulation state (queue contents + scratch buffers).
+    type State;
+
     /// System configuration in force.
     fn config(&self) -> &SystemConfig;
 
-    /// Runs one decision epoch in place on `queues` (current queue lengths)
-    /// and returns the **average number of drops per queue** during the
-    /// epoch (`D_t^{N,M}`, Eq. 6).
-    fn run_epoch(
+    /// Samples a fresh episode-start state (Alg. 1, lines 4–6).
+    fn init_state(&self, rng: &mut StdRng) -> Self::State;
+
+    /// The empirical queue-**length** distribution `H_t^M` the upper-level
+    /// policy observes (Eq. 2). Richer engines project onto lengths.
+    fn empirical(&self, state: &Self::State) -> StateDist;
+
+    /// Runs one decision epoch in place and returns its statistics
+    /// (lines 10–19; drops are `D_t^{N,M}` of Eq. 6).
+    fn step(
         &self,
-        queues: &mut [usize],
+        state: &mut Self::State,
         rule: &DecisionRule,
         lambda: f64,
         rng: &mut StdRng,
-    ) -> f64;
+    ) -> EpochStats;
 
     /// Engine identifier for harness output.
     fn name(&self) -> &'static str;
 }
 
-/// Everything recorded over one finite-system episode.
+/// Everything one [`Engine::step`] reports about its epoch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochStats {
+    /// Average drops per queue during the epoch (`D_t^{N,M}`, Eq. 6).
+    pub drops: f64,
+    /// Raw dropped-packet count (i.e. `drops · M`).
+    pub dropped: u64,
+    /// Raw service completions during the epoch.
+    pub completed: u64,
+    /// Mean queue length at the end of the epoch.
+    pub mean_queue_len: f64,
+    /// Largest fraction of all `N` clients assigned to a single queue —
+    /// the herding diagnostic of the paper's §1.
+    pub max_share: f64,
+    /// Sojourn times of jobs completed this epoch (job-level engines
+    /// only; empty elsewhere).
+    pub sojourns: Vec<f64>,
+}
+
+/// Everything recorded over one finite-system episode, for every engine.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EpisodeOutcome {
     /// Average per-queue drops in each epoch (`D_t^{N,M}`).
@@ -54,6 +94,42 @@ pub struct EpisodeOutcome {
     pub mean_queue_len: Vec<f64>,
     /// Arrival-level index in force during each epoch.
     pub lambda_trace: Vec<usize>,
+    /// Per-epoch herding diagnostic: largest fraction of all clients
+    /// assigned to one queue (`examples/herd_behaviour`).
+    #[serde(default)]
+    pub max_share_per_epoch: Vec<f64>,
+    /// Sojourn times of completed jobs (job-level engines only; Fig. 8).
+    #[serde(default)]
+    pub sojourns: Vec<f64>,
+    /// Raw service completions over the episode.
+    #[serde(default)]
+    pub jobs_completed: u64,
+    /// Raw dropped-packet count over the episode.
+    #[serde(default)]
+    pub jobs_dropped: u64,
+}
+
+impl EpisodeOutcome {
+    fn record(&mut self, lambda_idx: usize, stats: EpochStats) {
+        self.drops_per_epoch.push(stats.drops);
+        self.total_drops += stats.drops;
+        self.mean_queue_len.push(stats.mean_queue_len);
+        self.lambda_trace.push(lambda_idx);
+        self.max_share_per_epoch.push(stats.max_share);
+        self.sojourns.extend(stats.sojourns);
+        self.jobs_completed += stats.completed;
+        self.jobs_dropped += stats.dropped;
+    }
+
+    fn finish(&mut self) {
+        self.total_return = -self.total_drops;
+    }
+
+    /// Fraction of jobs dropped among all jobs that reached a queue.
+    pub fn drop_fraction(&self) -> f64 {
+        let total = self.jobs_dropped + self.jobs_completed;
+        self.jobs_dropped as f64 / (total.max(1)) as f64
+    }
 }
 
 /// Samples initial queue states i.i.d. from the configured `ν₀` (Alg. 1,
@@ -76,56 +152,48 @@ pub fn sample_initial_queues(config: &SystemConfig, rng: &mut StdRng) -> Vec<usi
 
 /// Runs one episode of `horizon` epochs under an upper-level policy, with
 /// the arrival level evolving stochastically (Algorithm 1).
-pub fn run_episode<E: FiniteEngine + ?Sized>(
+pub fn run_episode<E: Engine>(
     engine: &E,
     policy: &dyn UpperPolicy,
     horizon: usize,
     rng: &mut StdRng,
 ) -> EpisodeOutcome {
     let config = engine.config();
-    let mut queues = sample_initial_queues(config, rng);
+    let mut state = engine.init_state(rng);
     let mut lambda_idx = config.arrivals.sample_initial(rng);
     let mut out = EpisodeOutcome::default();
     for _ in 0..horizon {
         let lambda = config.arrivals.level_rate(lambda_idx);
-        let h = StateDist::empirical(&queues, config.buffer);
+        let h = engine.empirical(&state);
         let rule = policy.decide(&h, lambda_idx, lambda);
-        let drops = engine.run_epoch(&mut queues, &rule, lambda, rng);
-        out.drops_per_epoch.push(drops);
-        out.total_drops += drops;
-        out.mean_queue_len
-            .push(queues.iter().map(|&z| z as f64).sum::<f64>() / queues.len() as f64);
-        out.lambda_trace.push(lambda_idx);
+        let stats = engine.step(&mut state, &rule, lambda, rng);
+        out.record(lambda_idx, stats);
         lambda_idx = config.arrivals.step(lambda_idx, rng);
     }
-    out.total_return = -out.total_drops;
+    out.finish();
     out
 }
 
 /// Runs one episode conditioned on an explicit arrival-level sequence (the
 /// Theorem-1 setting: the same `λ` path is fed to the mean-field model and
-/// the finite system).
-pub fn run_episode_conditioned<E: FiniteEngine + ?Sized>(
+/// the finite system). Available for every engine.
+pub fn run_episode_conditioned<E: Engine>(
     engine: &E,
     policy: &dyn UpperPolicy,
     lambda_seq: &[usize],
     rng: &mut StdRng,
 ) -> EpisodeOutcome {
     let config = engine.config();
-    let mut queues = sample_initial_queues(config, rng);
+    let mut state = engine.init_state(rng);
     let mut out = EpisodeOutcome::default();
     for &lambda_idx in lambda_seq {
         let lambda = config.arrivals.level_rate(lambda_idx);
-        let h = StateDist::empirical(&queues, config.buffer);
+        let h = engine.empirical(&state);
         let rule = policy.decide(&h, lambda_idx, lambda);
-        let drops = engine.run_epoch(&mut queues, &rule, lambda, rng);
-        out.drops_per_epoch.push(drops);
-        out.total_drops += drops;
-        out.mean_queue_len
-            .push(queues.iter().map(|&z| z as f64).sum::<f64>() / queues.len() as f64);
-        out.lambda_trace.push(lambda_idx);
+        let stats = engine.step(&mut state, &rule, lambda, rng);
+        out.record(lambda_idx, stats);
     }
-    out.total_return = -out.total_drops;
+    out.finish();
     out
 }
 
@@ -137,4 +205,84 @@ pub fn run_rng(base_seed: u64, run_index: u64) -> StdRng {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Shared per-client assignment sweep (Eq. 3–4): every client samples `d`
+/// queue indices uniformly with replacement, observes each through
+/// `observe(j)` (plain length for the homogeneous engine, composite
+/// `(length, class)` index for the heterogeneous one), draws its action
+/// from the rule and increments its destination's count. The draw order is
+/// part of the seed-pinned regression contract — change it only together
+/// with `tests/engine_regression.rs`.
+pub(crate) fn sample_per_client_assignments(
+    num_clients: u64,
+    observe: &dyn Fn(usize) -> usize,
+    rule: &DecisionRule,
+    rng: &mut StdRng,
+    counts: &mut [u64],
+    sampled: &mut [usize],
+    tuple: &mut [usize],
+) {
+    let m = counts.len();
+    let d = tuple.len();
+    debug_assert_eq!(sampled.len(), d);
+    counts.iter_mut().for_each(|c| *c = 0);
+    for _ in 0..num_clients {
+        for k in 0..d {
+            sampled[k] = rng.gen_range(0..m);
+            tuple[k] = observe(sampled[k]);
+        }
+        let u = rule.sample(tuple, rng);
+        counts[sampled[u]] += 1;
+    }
+}
+
+/// Shared birth–death epoch sweep: every queue `j` runs an exact CTMC for
+/// `dt` with frozen arrival rate `scale · counts[j]` (Alg. 1 lines 15–19).
+/// Idle empty queues are skipped — [`mflb_queue::BirthDeathQueue`] with a
+/// zero total rate consumes no randomness, so the skip is RNG-neutral.
+/// Returns `(dropped, served)` raw event counts.
+pub(crate) fn simulate_birth_death_epoch(
+    queues: &mut [usize],
+    counts: &[u64],
+    scale: f64,
+    service_rate: &dyn Fn(usize) -> f64,
+    buffer: usize,
+    dt: f64,
+    rng: &mut StdRng,
+) -> (u64, u64) {
+    let mut dropped = 0u64;
+    let mut served = 0u64;
+    for (j, q) in queues.iter_mut().enumerate() {
+        if counts[j] == 0 && *q == 0 {
+            continue; // idle empty queue: nothing can happen
+        }
+        let model =
+            mflb_queue::BirthDeathQueue::new(scale * counts[j] as f64, service_rate(j), buffer);
+        let outcome = model.simulate_epoch(*q, dt, rng);
+        *q = outcome.final_state;
+        dropped += outcome.drops;
+        served += outcome.served;
+    }
+    (dropped, served)
+}
+
+/// Assembles the [`EpochStats`] common to all length-state engines.
+pub(crate) fn length_epoch_stats(
+    queues: &[usize],
+    counts: &[u64],
+    num_clients: u64,
+    dropped: u64,
+    served: u64,
+) -> EpochStats {
+    let m = queues.len().max(1) as f64;
+    let max_count = counts.iter().copied().max().unwrap_or(0);
+    EpochStats {
+        drops: dropped as f64 / m,
+        dropped,
+        completed: served,
+        mean_queue_len: queues.iter().map(|&z| z as f64).sum::<f64>() / m,
+        max_share: max_count as f64 / num_clients.max(1) as f64,
+        sojourns: Vec::new(),
+    }
 }

@@ -1,0 +1,172 @@
+//! Job-level finite-system engine: every queue is a FIFO queue with
+//! per-job arrival/departure timestamps ([`mflb_queue::fifo::FifoQueue`]),
+//! so **sojourn times** (waiting + service) of completed jobs can be
+//! measured next to drops — the response-time story the paper's
+//! introduction motivates, executed in `fig8_sojourn`.
+//!
+//! Service is exponential, so the queue-*length* process coincides in law
+//! with [`crate::aggregate::AggregateEngine`] (the FIFO discipline only
+//! decides *which* job departs); client assignment reuses the exact
+//! hierarchical multinomial aggregation over observed lengths. Sojourn
+//! samples of each epoch flow into
+//! [`crate::episode::EpisodeOutcome::sojourns`] through the generic
+//! episode drivers, and [`crate::monte_carlo()`] pools them across runs.
+
+use crate::aggregate::sample_client_assignments_into;
+use crate::episode::{Engine, EpochStats};
+use mflb_core::{DecisionRule, StateDist, SystemConfig};
+use mflb_queue::fifo::FifoQueue;
+use rand::rngs::StdRng;
+
+/// Episode state of [`FifoEngine`]: the job-level queues plus scratch.
+#[derive(Debug, Clone)]
+pub struct FifoState {
+    queues: Vec<FifoQueue>,
+    /// Observed (buffer-capped) queue lengths, kept in sync with `queues`.
+    lengths: Vec<usize>,
+    counts: Vec<u64>,
+}
+
+impl FifoState {
+    /// Current job-level queues.
+    pub fn queues(&self) -> &[FifoQueue] {
+        &self.queues
+    }
+}
+
+/// Job-level epoch executor with homogeneous exponential service.
+#[derive(Debug, Clone)]
+pub struct FifoEngine {
+    config: SystemConfig,
+}
+
+impl FifoEngine {
+    /// Creates the engine for a validated configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        config.validate().expect("invalid system configuration");
+        Self { config }
+    }
+}
+
+impl Engine for FifoEngine {
+    type State = FifoState;
+
+    fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn init_state(&self, rng: &mut StdRng) -> FifoState {
+        let lengths = crate::episode::sample_initial_queues(&self.config, rng);
+        let queues: Vec<FifoQueue> = lengths
+            .iter()
+            .map(|&n| {
+                let mut q = FifoQueue::new(self.config.service_rate, self.config.buffer);
+                q.preload(n);
+                q
+            })
+            .collect();
+        let m = queues.len();
+        FifoState { queues, lengths, counts: vec![0; m] }
+    }
+
+    fn empirical(&self, state: &FifoState) -> StateDist {
+        StateDist::empirical(&state.lengths, self.config.buffer)
+    }
+
+    fn step(
+        &self,
+        state: &mut FifoState,
+        rule: &DecisionRule,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> EpochStats {
+        let FifoState { queues, lengths, counts } = state;
+        let m = queues.len();
+        debug_assert_eq!(m, self.config.num_queues);
+        sample_client_assignments_into(
+            self.config.num_clients,
+            self.config.buffer,
+            lengths,
+            rule,
+            rng,
+            counts,
+        );
+
+        let scale = m as f64 * lambda / self.config.num_clients as f64;
+        let mut dropped = 0u64;
+        let mut completed = 0u64;
+        let mut sojourns = Vec::new();
+        let mut total_len = 0usize;
+        for (j, q) in queues.iter_mut().enumerate() {
+            let stats = q.run_epoch(scale * counts[j] as f64, self.config.dt, rng);
+            dropped += stats.drops;
+            completed += stats.completed;
+            if sojourns.is_empty() {
+                sojourns = stats.sojourn_times;
+            } else {
+                sojourns.extend(stats.sojourn_times);
+            }
+            lengths[j] = q.len().min(self.config.buffer);
+            total_len += q.len();
+        }
+        let max_count = counts.iter().copied().max().unwrap_or(0);
+        EpochStats {
+            drops: dropped as f64 / m as f64,
+            dropped,
+            completed,
+            mean_queue_len: total_len as f64 / m as f64,
+            max_share: max_count as f64 / self.config.num_clients.max(1) as f64,
+            sojourns,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "fifo-job-level"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateEngine;
+    use crate::episode::{run_episode, run_rng};
+    use mflb_core::mdp::FixedRulePolicy;
+    use mflb_linalg::stats::Summary;
+    use mflb_policy::{jsq_rule, rnd_rule};
+
+    #[test]
+    fn drop_totals_agree_with_aggregate_engine_in_law() {
+        // Exponential service: the length process matches the aggregate
+        // birth–death engine, so episode drop totals agree statistically.
+        let cfg = SystemConfig::paper().with_size(900, 30).with_dt(3.0);
+        let fifo = FifoEngine::new(cfg.clone());
+        let agg = AggregateEngine::new(cfg);
+        let policy = FixedRulePolicy::new(jsq_rule(6, 2), "JSQ(2)");
+        let (mut sa, mut sb) = (Summary::new(), Summary::new());
+        for r in 0..50 {
+            sa.push(run_episode(&fifo, &policy, 15, &mut run_rng(61, r)).total_drops);
+            sb.push(run_episode(&agg, &policy, 15, &mut run_rng(62, r)).total_drops);
+        }
+        let tol = 4.0 * (sa.std_err() + sb.std_err());
+        assert!(
+            (sa.mean() - sb.mean()).abs() < tol,
+            "fifo {} vs aggregate {} (tol {tol})",
+            sa.mean(),
+            sb.mean()
+        );
+    }
+
+    #[test]
+    fn episodes_report_sojourns_and_job_counters() {
+        let cfg = SystemConfig::paper().with_size(400, 20).with_dt(5.0);
+        let engine = FifoEngine::new(cfg.clone());
+        let policy = FixedRulePolicy::new(rnd_rule(6, 2), "RND");
+        let out = run_episode(&engine, &policy, 20, &mut run_rng(70, 0));
+        assert!(out.jobs_completed > 0, "busy system must complete jobs");
+        assert_eq!(out.sojourns.len() as u64, out.jobs_completed);
+        // Sojourn = waiting + service > 0, and bounded by the episode span.
+        let span = cfg.dt * 20.0;
+        assert!(out.sojourns.iter().all(|&s| s > 0.0 && s <= span));
+        assert!((0.0..=1.0).contains(&out.drop_fraction()));
+    }
+}

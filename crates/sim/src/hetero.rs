@@ -3,24 +3,33 @@
 //! Servers carry per-class service rates ([`mflb_queue::hetero::ServerPool`]);
 //! clients observe *composite* states `(queue length, rate class)` and
 //! apply a decision rule over composite indices (built e.g. with
-//! [`mflb_policy::sed_rule`]). This engine is per-client (the clean
+//! [`mflb_policy::sed_rule`]). Assignment is per-client (the clean
 //! aggregation of the homogeneous engine would need per-(state, class)
-//! grouping; at the example scales N ≤ 10⁵ the literal loop is fine).
+//! grouping; at the example scales N ≤ 10⁵ the literal loop is fine), but
+//! episodes run through the generic [`crate::run_episode`] /
+//! [`crate::monte_carlo()`] drivers like every other engine, so the §5
+//! evaluations get thread-parallel Monte Carlo and conditioned-λ episodes
+//! for free.
 
-use mflb_core::{DecisionRule, SystemConfig};
+use crate::episode::{length_epoch_stats, simulate_birth_death_epoch, Engine, EpochStats};
+use mflb_core::{DecisionRule, StateDist, SystemConfig};
 use mflb_queue::hetero::ServerPool;
-use mflb_queue::BirthDeathQueue;
 use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
 
-/// Outcome of a heterogeneous episode.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
-pub struct HeteroOutcome {
-    /// Average per-queue drops per epoch.
-    pub drops_per_epoch: Vec<f64>,
-    /// Cumulative average per-queue drops.
-    pub total_drops: f64,
+/// Episode state of [`HeteroEngine`]: queue lengths plus per-epoch scratch.
+#[derive(Debug, Clone)]
+pub struct HeteroState {
+    queues: Vec<usize>,
+    counts: Vec<u64>,
+    sampled: Vec<usize>,
+    tuple: Vec<usize>,
+}
+
+impl HeteroState {
+    /// Current queue lengths.
+    pub fn queues(&self) -> &[usize] {
+        &self.queues
+    }
 }
 
 /// Finite system with heterogeneous service rates.
@@ -58,9 +67,9 @@ impl HeteroEngine {
         Self { config, pool, class_of, class_rates }
     }
 
-    /// System configuration.
-    pub fn config(&self) -> &SystemConfig {
-        &self.config
+    /// The server pool in force.
+    pub fn pool(&self) -> &ServerPool {
+        &self.pool
     }
 
     /// Number of distinct rate classes.
@@ -77,76 +86,82 @@ impl HeteroEngine {
     pub fn composite_state(&self, j: usize, z: usize) -> usize {
         mflb_policy::composite_index(z, self.class_of[j], self.config.num_states())
     }
+}
 
-    /// One decision epoch under a composite-state decision rule; returns
-    /// average per-queue drops. `rule` must be built over
-    /// `num_states × num_classes` composite states with the same `d`.
-    pub fn run_epoch(
+impl Engine for HeteroEngine {
+    type State = HeteroState;
+
+    fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The §5 heterogeneous experiments start from an empty system; `ν₀`
+    /// is a length-only distribution and carries no class information, so
+    /// the engine does not consume randomness here (composite initial
+    /// sampling is the sparse/localized follow-up work's territory).
+    fn init_state(&self, _rng: &mut StdRng) -> HeteroState {
+        let m = self.pool.len();
+        HeteroState {
+            queues: vec![0; m],
+            counts: vec![0; m],
+            sampled: vec![0; self.config.d],
+            tuple: vec![0; self.config.d],
+        }
+    }
+
+    fn empirical(&self, state: &HeteroState) -> StateDist {
+        StateDist::empirical(&state.queues, self.config.buffer)
+    }
+
+    /// One decision epoch under a composite-state decision rule. `rule`
+    /// must be built over `num_states × num_classes` composite states with
+    /// the same `d`.
+    fn step(
         &self,
-        queues: &mut [usize],
+        state: &mut HeteroState,
         rule: &DecisionRule,
         lambda: f64,
         rng: &mut StdRng,
-    ) -> f64 {
+    ) -> EpochStats {
+        let HeteroState { queues, counts, sampled, tuple } = state;
         let m = queues.len();
         assert_eq!(
             rule.num_states(),
             self.config.num_states() * self.num_classes(),
             "rule must cover composite states"
         );
-        let d = self.config.d;
-        let mut counts = vec![0u64; m];
-        let mut sampled = vec![0usize; d];
-        let mut tuple = vec![0usize; d];
-        for _ in 0..self.config.num_clients {
-            for k in 0..d {
-                sampled[k] = rng.gen_range(0..m);
-                tuple[k] = self.composite_state(sampled[k], queues[sampled[k]]);
-            }
-            let u = rule.sample(&tuple, rng);
-            counts[sampled[u]] += 1;
-        }
+        crate::episode::sample_per_client_assignments(
+            self.config.num_clients,
+            &|j| self.composite_state(j, queues[j]),
+            rule,
+            rng,
+            counts,
+            sampled,
+            tuple,
+        );
         let scale = m as f64 * lambda / self.config.num_clients as f64;
-        let mut total_drops = 0u64;
-        for (j, q) in queues.iter_mut().enumerate() {
-            let model = BirthDeathQueue::new(
-                scale * counts[j] as f64,
-                self.pool.rate(j),
-                self.config.buffer,
-            );
-            let outcome = model.simulate_epoch(*q, self.config.dt, rng);
-            *q = outcome.final_state;
-            total_drops += outcome.drops;
-        }
-        total_drops as f64 / m as f64
+        let (dropped, served) = simulate_birth_death_epoch(
+            queues,
+            counts,
+            scale,
+            &|j| self.pool.rate(j),
+            self.config.buffer,
+            self.config.dt,
+            rng,
+        );
+        length_epoch_stats(queues, counts, self.config.num_clients, dropped, served)
     }
 
-    /// Runs a fixed-rule episode of `horizon` epochs with stochastic
-    /// arrival modulation.
-    pub fn run_episode(
-        &self,
-        rule: &DecisionRule,
-        horizon: usize,
-        rng: &mut StdRng,
-    ) -> HeteroOutcome {
-        let mut queues = vec![0usize; self.pool.len()];
-        let mut lambda_idx = self.config.arrivals.sample_initial(rng);
-        let mut out = HeteroOutcome::default();
-        for _ in 0..horizon {
-            let lambda = self.config.arrivals.level_rate(lambda_idx);
-            let drops = self.run_epoch(&mut queues, rule, lambda, rng);
-            out.drops_per_epoch.push(drops);
-            out.total_drops += drops;
-            lambda_idx = self.config.arrivals.step(lambda_idx, rng);
-        }
-        out
+    fn name(&self) -> &'static str {
+        "hetero"
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::episode::run_rng;
+    use crate::episode::{run_episode, run_rng};
+    use mflb_core::mdp::FixedRulePolicy;
     use mflb_policy::{jsq_rule, sed_rule};
 
     fn two_speed_engine() -> HeteroEngine {
@@ -172,19 +187,22 @@ mod tests {
         // them. Expanded to composite states, JSQ compares only z.
         let e = two_speed_engine();
         let zs = 6;
-        let sed = sed_rule(zs, 2, e.class_rates());
+        let sed = FixedRulePolicy::new(sed_rule(zs, 2, e.class_rates()), "SED");
         // State-only JSQ lifted to composite indices.
         let jsq_plain = jsq_rule(zs, 2);
-        let jsq_lifted = mflb_core::DecisionRule::from_fn(zs * 2, 2, |t| {
-            let raw: Vec<usize> = t.iter().map(|&c| c % zs).collect();
-            (0..2).map(|u| jsq_plain.prob(&raw, u)).collect()
-        });
+        let jsq_lifted = FixedRulePolicy::new(
+            mflb_core::DecisionRule::from_fn(zs * 2, 2, |t| {
+                let raw: Vec<usize> = t.iter().map(|&c| c % zs).collect();
+                (0..2).map(|u| jsq_plain.prob(&raw, u)).collect()
+            }),
+            "JSQ",
+        );
         let mut drops_sed = 0.0;
         let mut drops_jsq = 0.0;
         let runs = 24;
         for r in 0..runs {
-            drops_sed += e.run_episode(&sed, 30, &mut run_rng(1, r)).total_drops;
-            drops_jsq += e.run_episode(&jsq_lifted, 30, &mut run_rng(2, r)).total_drops;
+            drops_sed += run_episode(&e, &sed, 30, &mut run_rng(1, r)).total_drops;
+            drops_jsq += run_episode(&e, &jsq_lifted, 30, &mut run_rng(2, r)).total_drops;
         }
         assert!(
             drops_sed < drops_jsq,
@@ -199,17 +217,16 @@ mod tests {
         let cfg = mflb_core::SystemConfig::paper().with_size(900, 30).with_dt(3.0);
         let pool = ServerPool::homogeneous(30, 1.0, 5);
         let hetero = HeteroEngine::new(cfg.clone(), pool);
-        let rule = jsq_rule(6, 2);
+        let policy = FixedRulePolicy::new(jsq_rule(6, 2), "JSQ");
         let mut h_total = 0.0;
         // Per-episode drop counts are skewed (sd ≈ 0.7 vs mean ≈ 1.6), so 30
         // runs leave the sample means ~0.4 apart at the 95th percentile; 120
         // runs bring both engines within ~0.1 of each other.
         let runs = 120;
         for r in 0..runs {
-            h_total += hetero.run_episode(&rule, 15, &mut run_rng(3, r)).total_drops;
+            h_total += run_episode(&hetero, &policy, 15, &mut run_rng(3, r)).total_drops;
         }
         let agg = crate::aggregate::AggregateEngine::new(cfg);
-        let policy = mflb_core::mdp::FixedRulePolicy::new(rule, "JSQ");
         let mc = crate::monte_carlo::monte_carlo(&agg, &policy, 15, runs as usize, 9, 0);
         let h_mean = h_total / runs as f64;
         // Loose statistical agreement (different engines, same law).

@@ -1,5 +1,11 @@
 //! Finite `N`-client `M`-queue system simulator (Algorithm 1 of the
-//! paper), with two interchangeable engines:
+//! paper), built around one stateful [`Engine`] trait.
+//!
+//! Every engine owns an associated [`Engine::State`] (queue contents plus
+//! reusable scratch buffers) and exposes three hooks — `init_state`,
+//! `empirical`, `step` — so the generic episode drivers
+//! ([`run_episode`], [`run_episode_conditioned`]) and the thread-parallel
+//! [`monte_carlo()`] fan-out work identically for all of them:
 //!
 //! * [`client::PerClientEngine`] — the literal model: every client samples
 //!   `d` queues, observes their stale states, draws its destination from
@@ -7,28 +13,44 @@
 //! * [`aggregate::AggregateEngine`] — exact hierarchical-multinomial
 //!   aggregation of the client layer, `O(M)` per epoch, *identical in
 //!   law* (see its module docs for the argument). This is what makes the
-//!   paper's `N = M² = 10^6` configurations tractable.
+//!   paper's `N = M² = 10^6` configurations tractable;
+//! * [`hetero::HeteroEngine`] — heterogeneous service rates with
+//!   composite `(length, class)` observations (the paper's §5 extension);
+//! * [`staggered::StaggeredEngine`] — cohort-staggered information
+//!   refreshes (the Zhou/Shroff/Wierman baseline), with per-client stale
+//!   snapshots carried in its state;
+//! * [`ph_engine::PhAggregateEngine`] — phase-type service over joint
+//!   `(length, phase)` queue states (§5 extension);
+//! * [`fifo_engine::FifoEngine`] — job-level FIFO queues reporting
+//!   per-job sojourn times (the Fig. 8 response-time extension).
 //!
-//! [`episode`] drives full evaluation episodes; [`monte_carlo()`] fans runs
-//! out over threads with reproducible per-run seeding.
+//! [`scenario`] adds a serde-driven construction layer: a [`Scenario`]
+//! (engine kind + [`mflb_core::SystemConfig`] + service law / pool /
+//! cohort parameters) validates itself and builds an [`AnyEngine`] from
+//! data, so benches, examples and downstream tools can describe whole
+//! experiments as JSON.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod aggregate;
 pub mod client;
 pub mod episode;
+pub mod fifo_engine;
 pub mod hetero;
 pub mod monte_carlo;
 pub mod ph_engine;
+pub mod scenario;
 pub mod staggered;
 
 pub use aggregate::AggregateEngine;
 pub use client::PerClientEngine;
 pub use episode::{
-    run_episode, run_episode_conditioned, run_rng, sample_initial_queues, EpisodeOutcome,
-    FiniteEngine,
+    run_episode, run_episode_conditioned, run_rng, sample_initial_queues, Engine, EpisodeOutcome,
+    EpochStats,
 };
-pub use hetero::{HeteroEngine, HeteroOutcome};
+pub use fifo_engine::FifoEngine;
+pub use hetero::HeteroEngine;
 pub use monte_carlo::{monte_carlo, monte_carlo_conditioned, MonteCarloResult};
-pub use ph_engine::{run_ph_episode, sample_initial_ph_queues, PhAggregateEngine};
+pub use ph_engine::{sample_initial_ph_queues, PhAggregateEngine};
+pub use scenario::{AnyEngine, AnyState, EngineSpec, Scenario, ServiceLaw};
 pub use staggered::StaggeredEngine;

@@ -4,9 +4,12 @@
 //! simulations and reports means with 95% confidence intervals (Fig. 4–6).
 //! Runs are distributed over worker threads with crossbeam's scoped
 //! threads; each run derives its RNG from `(base_seed, run_index)` so the
-//! result is bit-identical regardless of the worker count.
+//! result is bit-identical regardless of the worker count. The driver is
+//! generic over [`Engine`], so every engine — including the
+//! heterogeneous, staggered-information, phase-type and job-level ones —
+//! fans out over threads.
 
-use crate::episode::{run_episode, run_episode_conditioned, run_rng, EpisodeOutcome, FiniteEngine};
+use crate::episode::{run_episode, run_episode_conditioned, run_rng, Engine, EpisodeOutcome};
 use mflb_core::mdp::UpperPolicy;
 use mflb_linalg::stats::Summary;
 use parking_lot::Mutex;
@@ -21,6 +24,16 @@ pub struct MonteCarloResult {
     pub per_run: Vec<f64>,
     /// Mean per-epoch drop trajectory averaged over runs.
     pub mean_drops_per_epoch: Vec<f64>,
+    /// Sojourn times of completed jobs pooled over all runs, in run order
+    /// (job-level engines only; empty elsewhere).
+    #[serde(default)]
+    pub sojourns: Vec<f64>,
+    /// Raw service completions summed over runs.
+    #[serde(default)]
+    pub jobs_completed: u64,
+    /// Raw dropped-packet count summed over runs.
+    #[serde(default)]
+    pub jobs_dropped: u64,
 }
 
 impl MonteCarloResult {
@@ -33,12 +46,18 @@ impl MonteCarloResult {
     pub fn ci95(&self) -> f64 {
         self.drops.ci95_half_width()
     }
+
+    /// Fraction of jobs dropped among all jobs that reached a queue.
+    pub fn drop_fraction(&self) -> f64 {
+        let total = self.jobs_dropped + self.jobs_completed;
+        self.jobs_dropped as f64 / (total.max(1)) as f64
+    }
 }
 
 /// Runs `n_runs` independent episodes of `horizon` epochs and aggregates
 /// drop statistics, using up to `threads` workers (0 → available
 /// parallelism).
-pub fn monte_carlo<E: FiniteEngine + ?Sized>(
+pub fn monte_carlo<E: Engine>(
     engine: &E,
     policy: &(dyn UpperPolicy + Sync),
     horizon: usize,
@@ -46,14 +65,14 @@ pub fn monte_carlo<E: FiniteEngine + ?Sized>(
     base_seed: u64,
     threads: usize,
 ) -> MonteCarloResult {
-    run_many(engine, n_runs, threads, |run| {
+    run_many(n_runs, threads, |run| {
         run_episode(engine, policy, horizon, &mut run_rng(base_seed, run))
     })
 }
 
 /// Conditioned variant: every run uses the same arrival-level sequence
 /// (queue noise still differs per run), isolating the Theorem-1 comparison.
-pub fn monte_carlo_conditioned<E: FiniteEngine + ?Sized>(
+pub fn monte_carlo_conditioned<E: Engine>(
     engine: &E,
     policy: &(dyn UpperPolicy + Sync),
     lambda_seq: &[usize],
@@ -61,17 +80,15 @@ pub fn monte_carlo_conditioned<E: FiniteEngine + ?Sized>(
     base_seed: u64,
     threads: usize,
 ) -> MonteCarloResult {
-    run_many(engine, n_runs, threads, |run| {
+    run_many(n_runs, threads, |run| {
         run_episode_conditioned(engine, policy, lambda_seq, &mut run_rng(base_seed, run))
     })
 }
 
-fn run_many<E, F>(engine: &E, n_runs: usize, threads: usize, job: F) -> MonteCarloResult
+fn run_many<F>(n_runs: usize, threads: usize, job: F) -> MonteCarloResult
 where
-    E: FiniteEngine + ?Sized,
     F: Fn(u64) -> EpisodeOutcome + Sync,
 {
-    let _ = engine;
     let threads = if threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
     } else {
@@ -102,6 +119,9 @@ where
     let mut drops = Summary::new();
     let mut per_run = Vec::with_capacity(n_runs);
     let mut mean_per_epoch: Vec<f64> = Vec::new();
+    let mut sojourns = Vec::new();
+    let mut jobs_completed = 0u64;
+    let mut jobs_dropped = 0u64;
     for (_, o) in &outcomes {
         drops.push(o.total_drops);
         per_run.push(o.total_drops);
@@ -111,19 +131,30 @@ where
         for (acc, &v) in mean_per_epoch.iter_mut().zip(&o.drops_per_epoch) {
             *acc += v;
         }
+        sojourns.extend_from_slice(&o.sojourns);
+        jobs_completed += o.jobs_completed;
+        jobs_dropped += o.jobs_dropped;
     }
     let n = outcomes.len().max(1) as f64;
     for v in &mut mean_per_epoch {
         *v /= n;
     }
 
-    MonteCarloResult { drops, per_run, mean_drops_per_epoch: mean_per_epoch }
+    MonteCarloResult {
+        drops,
+        per_run,
+        mean_drops_per_epoch: mean_per_epoch,
+        sojourns,
+        jobs_completed,
+        jobs_dropped,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::aggregate::AggregateEngine;
+    use crate::staggered::StaggeredEngine;
     use mflb_core::mdp::FixedRulePolicy;
     use mflb_core::{DecisionRule, SystemConfig};
 
@@ -141,6 +172,18 @@ mod tests {
         let b = monte_carlo(&engine, &policy, 10, 8, 42, 4);
         assert_eq!(a.per_run, b.per_run);
         assert_eq!(a.mean_drops_per_epoch, b.mean_drops_per_epoch);
+    }
+
+    #[test]
+    fn stateful_engines_are_deterministic_across_thread_counts_too() {
+        // The staggered engine carries per-client snapshot state; the
+        // unified driver must still be reproducible under parallelism.
+        let cfg = SystemConfig::paper().with_size(300, 15).with_dt(2.0);
+        let engine = StaggeredEngine::new(cfg.clone(), 3);
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
+        let a = monte_carlo(&engine, &policy, 8, 6, 13, 1);
+        let b = monte_carlo(&engine, &policy, 8, 6, 13, 3);
+        assert_eq!(a.per_run, b.per_run);
     }
 
     #[test]
@@ -164,5 +207,16 @@ mod tests {
         let seq_low = vec![1usize; 10];
         let r_low = monte_carlo_conditioned(&engine, &policy, &seq_low, 6, 3, 2);
         assert!(r.mean() > r_low.mean());
+    }
+
+    #[test]
+    fn job_counters_pool_across_runs() {
+        let cfg = SystemConfig::paper().with_size(400, 20).with_dt(3.0);
+        let engine = crate::fifo_engine::FifoEngine::new(cfg.clone());
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(cfg.num_states(), cfg.d), "RND");
+        let r = monte_carlo(&engine, &policy, 10, 4, 9, 2);
+        assert!(r.jobs_completed > 0);
+        assert_eq!(r.sojourns.len() as u64, r.jobs_completed);
+        assert!((0.0..=1.0).contains(&r.drop_fraction()));
     }
 }

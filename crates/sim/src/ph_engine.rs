@@ -9,15 +9,34 @@
 //! `(length, phase)` states, simulated exactly with Gillespie
 //! ([`mflb_queue::PhQueue::simulate_epoch`]). Phases persist *across*
 //! epochs — residual service ages correctly, which is the whole point of
-//! the extension.
+//! the extension. The joint states live in [`PhState`], so the engine
+//! runs through the generic [`crate::run_episode`] and thread-parallel
+//! [`crate::monte_carlo()`] drivers like every other engine.
 
-use mflb_core::mdp::UpperPolicy;
 use mflb_core::{DecisionRule, StateDist, SystemConfig};
 use mflb_queue::{PhQueue, PhQueueState, PhaseType};
 use rand::rngs::StdRng;
 
-use crate::aggregate::sample_client_assignments;
-use crate::episode::EpisodeOutcome;
+use crate::aggregate::sample_client_assignments_into;
+use crate::episode::{Engine, EpochStats};
+
+/// Episode state of [`PhAggregateEngine`]: joint `(length, phase)` queue
+/// states, a reusable `M/PH/1/B` model (only the frozen arrival rate
+/// varies per queue) and per-epoch scratch.
+#[derive(Debug, Clone)]
+pub struct PhState {
+    queues: Vec<PhQueueState>,
+    model: PhQueue,
+    lengths: Vec<usize>,
+    counts: Vec<u64>,
+}
+
+impl PhState {
+    /// Current joint queue states.
+    pub fn queues(&self) -> &[PhQueueState] {
+        &self.queues
+    }
+}
 
 /// Aggregated finite-system engine with phase-type service.
 ///
@@ -39,41 +58,70 @@ impl PhAggregateEngine {
         Self { config, service }
     }
 
-    /// System configuration in force.
-    pub fn config(&self) -> &SystemConfig {
-        &self.config
-    }
-
     /// Service-time distribution.
     pub fn service(&self) -> &PhaseType {
         &self.service
     }
 
-    /// Runs one decision epoch in place on the joint queue states and
-    /// returns the average drops per queue.
-    pub fn run_epoch(
+    /// Wraps explicit joint queue states (tests).
+    pub fn state_from_queues(&self, queues: Vec<PhQueueState>) -> PhState {
+        let m = queues.len();
+        PhState {
+            queues,
+            model: PhQueue::new(0.0, self.service.clone(), self.config.buffer),
+            lengths: vec![0; m],
+            counts: vec![0; m],
+        }
+    }
+}
+
+impl Engine for PhAggregateEngine {
+    type State = PhState;
+
+    fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn init_state(&self, rng: &mut StdRng) -> PhState {
+        self.state_from_queues(sample_initial_ph_queues(&self.config, &self.service, rng))
+    }
+
+    fn empirical(&self, state: &PhState) -> StateDist {
+        // Length histogram over B+1 bins — O(B) temporary, not O(M).
+        let mut counts = vec![0u64; self.config.num_states()];
+        for q in &state.queues {
+            counts[q.len] += 1;
+        }
+        StateDist::from_counts(&counts)
+    }
+
+    /// Runs one decision epoch in place on the joint queue states.
+    fn step(
         &self,
-        queues: &mut [PhQueueState],
+        state: &mut PhState,
         rule: &DecisionRule,
         lambda: f64,
         rng: &mut StdRng,
-    ) -> f64 {
+    ) -> EpochStats {
+        let PhState { queues, model, lengths, counts } = state;
         let m = queues.len();
         debug_assert_eq!(m, self.config.num_queues);
-        let lengths: Vec<usize> = queues.iter().map(|q| q.len).collect();
-        let counts = sample_client_assignments(
+        for (l, q) in lengths.iter_mut().zip(queues.iter()) {
+            *l = q.len;
+        }
+        sample_client_assignments_into(
             self.config.num_clients,
             self.config.buffer,
-            &lengths,
+            lengths,
             rule,
             rng,
+            counts,
         );
 
         let n = self.config.num_clients as f64;
         let scale = m as f64 * lambda / n;
-        // One reusable model; only the frozen arrival rate varies per queue.
-        let mut model = PhQueue::new(0.0, self.service.clone(), self.config.buffer);
-        let mut total_drops = 0u64;
+        let mut dropped = 0u64;
+        let mut served = 0u64;
         for (j, q) in queues.iter_mut().enumerate() {
             if counts[j] == 0 && q.len == 0 {
                 continue; // idle empty queue: nothing can happen
@@ -81,9 +129,22 @@ impl PhAggregateEngine {
             model.arrival_rate = scale * counts[j] as f64;
             let (end, outcome) = model.simulate_epoch(*q, self.config.dt, rng);
             *q = end;
-            total_drops += outcome.drops;
+            dropped += outcome.drops;
+            served += outcome.served;
         }
-        total_drops as f64 / m as f64
+        let max_count = counts.iter().copied().max().unwrap_or(0);
+        EpochStats {
+            drops: dropped as f64 / m as f64,
+            dropped,
+            completed: served,
+            mean_queue_len: queues.iter().map(|q| q.len as f64).sum::<f64>() / m as f64,
+            max_share: max_count as f64 / self.config.num_clients.max(1) as f64,
+            sojourns: Vec::new(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "ph-aggregate"
     }
 }
 
@@ -98,39 +159,6 @@ pub fn sample_initial_ph_queues(
         .into_iter()
         .map(|len| PhQueueState { len, phase: if len > 0 { service.sample_phase(rng) } else { 0 } })
         .collect()
-}
-
-/// Runs one PH episode of `horizon` epochs under an upper-level policy
-/// (which observes the empirical **length** distribution, exactly as in
-/// Algorithm 1).
-pub fn run_ph_episode(
-    engine: &PhAggregateEngine,
-    policy: &dyn UpperPolicy,
-    horizon: usize,
-    rng: &mut StdRng,
-) -> EpisodeOutcome {
-    let config = engine.config();
-    let mut queues = sample_initial_ph_queues(config, engine.service(), rng);
-    let mut lambda_idx = config.arrivals.sample_initial(rng);
-    let mut out = EpisodeOutcome::default();
-    let mut lengths = vec![0usize; queues.len()];
-    for _ in 0..horizon {
-        let lambda = config.arrivals.level_rate(lambda_idx);
-        for (l, q) in lengths.iter_mut().zip(queues.iter()) {
-            *l = q.len;
-        }
-        let h = StateDist::empirical(&lengths, config.buffer);
-        let rule = policy.decide(&h, lambda_idx, lambda);
-        let drops = engine.run_epoch(&mut queues, &rule, lambda, rng);
-        out.drops_per_epoch.push(drops);
-        out.total_drops += drops;
-        out.mean_queue_len
-            .push(queues.iter().map(|q| q.len as f64).sum::<f64>() / queues.len() as f64);
-        out.lambda_trace.push(lambda_idx);
-        lambda_idx = config.arrivals.step(lambda_idx, rng);
-    }
-    out.total_return = -out.total_drops;
-    out
 }
 
 #[cfg(test)]
@@ -164,7 +192,7 @@ mod tests {
         let (mut sa, mut sb) = (Summary::new(), Summary::new());
         let runs = 50;
         for r in 0..runs {
-            sa.push(run_ph_episode(&ph, &policy, 15, &mut run_rng(10, r)).total_drops);
+            sa.push(run_episode(&ph, &policy, 15, &mut run_rng(10, r)).total_drops);
             sb.push(run_episode(&agg, &policy, 15, &mut run_rng(20, r)).total_drops);
         }
         let tol = 4.0 * (sa.std_err() + sb.std_err());
@@ -180,11 +208,11 @@ mod tests {
     fn zero_arrivals_drain_and_clear_phases() {
         let cfg = SystemConfig::paper().with_size(100, 10).with_dt(60.0);
         let engine = PhAggregateEngine::new(cfg, PhaseType::erlang(3, 3.0));
-        let mut queues = vec![PhQueueState { len: 5, phase: 1 }; 10];
+        let mut state = engine.state_from_queues(vec![PhQueueState { len: 5, phase: 1 }; 10]);
         let mut rng = StdRng::seed_from_u64(1);
-        let drops = engine.run_epoch(&mut queues, &DecisionRule::uniform(6, 2), 0.0, &mut rng);
-        assert_eq!(drops, 0.0);
-        assert!(queues.iter().all(|q| q.len == 0 && q.phase == 0), "{queues:?}");
+        let stats = engine.step(&mut state, &DecisionRule::uniform(6, 2), 0.0, &mut rng);
+        assert_eq!(stats.drops, 0.0);
+        assert!(state.queues().iter().all(|q| q.len == 0 && q.phase == 0), "{:?}", state.queues());
     }
 
     #[test]
@@ -199,7 +227,7 @@ mod tests {
         let horizon = 20;
         let mut s = Summary::new();
         for r in 0..40 {
-            s.push(run_ph_episode(&engine, &policy, horizon, &mut run_rng(30, r)).total_drops);
+            s.push(run_episode(&engine, &policy, horizon, &mut run_rng(30, r)).total_drops);
         }
         // Mean-field reference on matched random arrival sequences.
         let mdp = mflb_core::PhMeanFieldMdp::new(cfg, service);
@@ -226,7 +254,7 @@ mod tests {
             let engine = PhAggregateEngine::new(cfg.clone(), PhaseType::fit_mean_scv(1.0, scv));
             let mut s = Summary::new();
             for r in 0..40 {
-                s.push(run_ph_episode(&engine, &policy, 25, &mut run_rng(40, r)).total_drops);
+                s.push(run_episode(&engine, &policy, 25, &mut run_rng(40, r)).total_drops);
             }
             total.push(s.mean());
         }

@@ -1,0 +1,477 @@
+//! Data-driven scenario layer: construct **any** engine from a serde
+//! spec.
+//!
+//! A [`Scenario`] bundles a [`SystemConfig`] with an [`EngineSpec`]
+//! (engine kind plus its extra parameters — server-pool rates, cohort
+//! count, service law). [`Scenario::build`] validates the spec and
+//! returns an [`AnyEngine`], which implements [`Engine`] by delegation,
+//! so a scenario loaded from JSON runs through [`crate::run_episode`] and
+//! the thread-parallel [`crate::monte_carlo()`] exactly like a
+//! hand-constructed engine. This is what lets the bench binaries and
+//! examples describe *what* to simulate as data instead of wiring each
+//! engine type by hand — and what the sparse/localized follow-up work
+//! plugs richer engines into.
+//!
+//! Malformed specs (zero cohorts, an empty server pool, an invalid
+//! service law, an inconsistent `SystemConfig`) are reported as `Err`
+//! from [`Scenario::validate`] / [`Scenario::build`] — never as panics.
+
+use crate::aggregate::AggregateEngine;
+use crate::client::PerClientEngine;
+use crate::episode::{Engine, EpochStats};
+use crate::fifo_engine::FifoEngine;
+use crate::hetero::HeteroEngine;
+use crate::ph_engine::PhAggregateEngine;
+use crate::staggered::StaggeredEngine;
+use mflb_core::{DecisionRule, StateDist, SystemConfig};
+use mflb_queue::hetero::ServerPool;
+use mflb_queue::PhaseType;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A service-time law as data (constructs a [`PhaseType`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceLaw {
+    /// Exponential service with the given rate (the paper's model).
+    Exponential {
+        /// Service rate α.
+        rate: f64,
+    },
+    /// Erlang-`k` service (SCV `1/k`).
+    Erlang {
+        /// Number of phases.
+        k: usize,
+        /// Per-phase rate.
+        rate: f64,
+    },
+    /// Hyperexponential mixture (SCV ≥ 1).
+    Hyperexponential {
+        /// Mixture weights (must sum to 1).
+        probs: Vec<f64>,
+        /// Per-branch rates.
+        rates: Vec<f64>,
+    },
+    /// Two-moment phase-type fit to a target mean and SCV.
+    MeanScv {
+        /// Target mean service time.
+        mean: f64,
+        /// Target squared coefficient of variation.
+        scv: f64,
+    },
+}
+
+/// Largest phase count a [`ServiceLaw`] may expand to. Phase-type solvers
+/// and the Gillespie engine work with dense `k × k` matrices, so an
+/// unbounded `k` from a data file would abort on allocation instead of
+/// erroring; every SCV the experiments sweep needs ≤ 4 phases.
+pub const MAX_SERVICE_PHASES: usize = 64;
+
+impl ServiceLaw {
+    /// Checks the law's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        let pos = |v: f64, what: &str| {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{what} must be positive and finite, got {v}"))
+            }
+        };
+        match self {
+            ServiceLaw::Exponential { rate } => pos(*rate, "exponential rate"),
+            ServiceLaw::Erlang { k, rate } => {
+                if *k == 0 {
+                    return Err("erlang law needs at least one phase".into());
+                }
+                if *k > MAX_SERVICE_PHASES {
+                    return Err(format!(
+                        "erlang law with {k} phases exceeds the {MAX_SERVICE_PHASES}-phase cap"
+                    ));
+                }
+                pos(*rate, "erlang rate")
+            }
+            ServiceLaw::Hyperexponential { probs, rates } => {
+                if probs.is_empty() || probs.len() != rates.len() {
+                    return Err(format!(
+                        "hyperexponential law needs matching non-empty probs/rates, got {}/{}",
+                        probs.len(),
+                        rates.len()
+                    ));
+                }
+                if probs.iter().any(|&p| !(0.0..=1.0).contains(&p) || !p.is_finite()) {
+                    return Err("hyperexponential probs must lie in [0, 1]".into());
+                }
+                let mass: f64 = probs.iter().sum();
+                if (mass - 1.0).abs() > 1e-9 {
+                    return Err(format!("hyperexponential probs must sum to 1, got {mass}"));
+                }
+                if probs.len() > MAX_SERVICE_PHASES {
+                    return Err(format!(
+                        "hyperexponential law with {} branches exceeds the \
+                         {MAX_SERVICE_PHASES}-phase cap",
+                        probs.len()
+                    ));
+                }
+                for &r in rates {
+                    pos(r, "hyperexponential rate")?;
+                }
+                Ok(())
+            }
+            ServiceLaw::MeanScv { mean, scv } => {
+                pos(*mean, "service mean")?;
+                pos(*scv, "service scv")?;
+                // The two-moment fit uses an Erlang mixture with
+                // k = ceil(1/scv) phases below SCV 1.
+                if (1.0 / *scv).ceil() > MAX_SERVICE_PHASES as f64 {
+                    return Err(format!(
+                        "scv {scv} needs more than {MAX_SERVICE_PHASES} Erlang phases to fit"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Constructs the phase-type law.
+    pub fn build(&self) -> Result<PhaseType, String> {
+        self.validate()?;
+        Ok(match self {
+            ServiceLaw::Exponential { rate } => PhaseType::exponential(*rate),
+            ServiceLaw::Erlang { k, rate } => PhaseType::erlang(*k, *rate),
+            ServiceLaw::Hyperexponential { probs, rates } => {
+                PhaseType::hyperexponential(probs, rates)
+            }
+            ServiceLaw::MeanScv { mean, scv } => PhaseType::fit_mean_scv(*mean, *scv),
+        })
+    }
+}
+
+/// Which engine a [`Scenario`] constructs, plus its extra parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineSpec {
+    /// The literal per-client engine ([`PerClientEngine`]).
+    PerClient,
+    /// The exact `O(M)` aggregation ([`AggregateEngine`]).
+    Aggregate,
+    /// Heterogeneous service rates (§5; [`HeteroEngine`]). One rate per
+    /// server; must match `config.num_queues`.
+    Hetero {
+        /// Per-server service rates.
+        rates: Vec<f64>,
+    },
+    /// Cohort-staggered information refreshes ([`StaggeredEngine`]).
+    Staggered {
+        /// Number of refresh cohorts (≥ 1; 1 = synchronous model).
+        cohorts: usize,
+    },
+    /// Phase-type service ([`PhAggregateEngine`]).
+    Ph {
+        /// The service-time law.
+        service: ServiceLaw,
+    },
+    /// Job-level FIFO queues with sojourn tracking ([`FifoEngine`]).
+    JobLevel,
+}
+
+/// A complete, serializable simulation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// System configuration (sizes, Δt, arrivals, buffer, ν₀, …).
+    pub config: SystemConfig,
+    /// Engine kind and engine-specific parameters.
+    pub engine: EngineSpec,
+}
+
+impl Scenario {
+    /// Bundles a configuration with an engine spec.
+    pub fn new(config: SystemConfig, engine: EngineSpec) -> Self {
+        Self { config, engine }
+    }
+
+    /// Checks the whole spec; returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.config.validate().map_err(|e| format!("config: {e}"))?;
+        match &self.engine {
+            EngineSpec::PerClient | EngineSpec::Aggregate | EngineSpec::JobLevel => Ok(()),
+            EngineSpec::Hetero { rates } => {
+                if rates.is_empty() {
+                    return Err("hetero engine needs a non-empty server pool".into());
+                }
+                if rates.len() != self.config.num_queues {
+                    return Err(format!(
+                        "hetero pool has {} servers but config.num_queues is {}",
+                        rates.len(),
+                        self.config.num_queues
+                    ));
+                }
+                if rates.iter().any(|&r| !(r > 0.0 && r.is_finite())) {
+                    return Err("hetero server rates must be positive and finite".into());
+                }
+                Ok(())
+            }
+            EngineSpec::Staggered { cohorts } => {
+                if *cohorts == 0 {
+                    return Err("staggered engine needs at least one cohort".into());
+                }
+                // Client snapshots store queue lengths as u8.
+                if self.config.buffer > u8::MAX as usize {
+                    return Err(format!(
+                        "staggered engine supports buffers up to {}, got {}",
+                        u8::MAX,
+                        self.config.buffer
+                    ));
+                }
+                Ok(())
+            }
+            EngineSpec::Ph { service } => service.validate().map_err(|e| format!("service: {e}")),
+        }
+    }
+
+    /// Validates and constructs the engine.
+    pub fn build(&self) -> Result<AnyEngine, String> {
+        self.validate()?;
+        Ok(match &self.engine {
+            EngineSpec::PerClient => {
+                AnyEngine::PerClient(PerClientEngine::new(self.config.clone()))
+            }
+            EngineSpec::Aggregate => {
+                AnyEngine::Aggregate(AggregateEngine::new(self.config.clone()))
+            }
+            EngineSpec::Hetero { rates } => AnyEngine::Hetero(HeteroEngine::new(
+                self.config.clone(),
+                ServerPool::heterogeneous(rates.clone(), self.config.buffer),
+            )),
+            EngineSpec::Staggered { cohorts } => {
+                AnyEngine::Staggered(StaggeredEngine::new(self.config.clone(), *cohorts))
+            }
+            EngineSpec::Ph { service } => {
+                AnyEngine::Ph(PhAggregateEngine::new(self.config.clone(), service.build()?))
+            }
+            EngineSpec::JobLevel => AnyEngine::JobLevel(FifoEngine::new(self.config.clone())),
+        })
+    }
+
+    /// Serializes the scenario to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario serialization cannot fail")
+    }
+
+    /// Parses a scenario from JSON (syntax errors and unknown engine
+    /// kinds surface as `Err`; call [`Scenario::validate`] / `build` for
+    /// semantic checks).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// Any engine a [`Scenario`] can construct, usable directly with
+/// [`crate::run_episode`] / [`crate::monte_carlo()`] through its
+/// [`Engine`] impl.
+#[derive(Debug, Clone)]
+pub enum AnyEngine {
+    /// Literal per-client engine.
+    PerClient(PerClientEngine),
+    /// Exact aggregated engine.
+    Aggregate(AggregateEngine),
+    /// Heterogeneous-pool engine.
+    Hetero(HeteroEngine),
+    /// Staggered-information engine.
+    Staggered(StaggeredEngine),
+    /// Phase-type service engine.
+    Ph(PhAggregateEngine),
+    /// Job-level FIFO engine.
+    JobLevel(FifoEngine),
+}
+
+/// Episode state of [`AnyEngine`] (one variant per engine).
+#[allow(missing_docs)]
+pub enum AnyState {
+    PerClient(<PerClientEngine as Engine>::State),
+    Aggregate(<AggregateEngine as Engine>::State),
+    Hetero(<HeteroEngine as Engine>::State),
+    Staggered(<StaggeredEngine as Engine>::State),
+    Ph(<PhAggregateEngine as Engine>::State),
+    JobLevel(<FifoEngine as Engine>::State),
+}
+
+macro_rules! delegate {
+    ($self:ident, $e:ident => $body:expr) => {
+        match $self {
+            AnyEngine::PerClient($e) => $body,
+            AnyEngine::Aggregate($e) => $body,
+            AnyEngine::Hetero($e) => $body,
+            AnyEngine::Staggered($e) => $body,
+            AnyEngine::Ph($e) => $body,
+            AnyEngine::JobLevel($e) => $body,
+        }
+    };
+}
+
+macro_rules! delegate_state {
+    ($self:ident, $state:ident, $e:ident, $s:ident => $body:expr) => {
+        match ($self, $state) {
+            (AnyEngine::PerClient($e), AnyState::PerClient($s)) => $body,
+            (AnyEngine::Aggregate($e), AnyState::Aggregate($s)) => $body,
+            (AnyEngine::Hetero($e), AnyState::Hetero($s)) => $body,
+            (AnyEngine::Staggered($e), AnyState::Staggered($s)) => $body,
+            (AnyEngine::Ph($e), AnyState::Ph($s)) => $body,
+            (AnyEngine::JobLevel($e), AnyState::JobLevel($s)) => $body,
+            _ => panic!("AnyState does not belong to this AnyEngine"),
+        }
+    };
+}
+
+impl Engine for AnyEngine {
+    type State = AnyState;
+
+    fn config(&self) -> &SystemConfig {
+        delegate!(self, e => e.config())
+    }
+
+    fn init_state(&self, rng: &mut StdRng) -> AnyState {
+        match self {
+            AnyEngine::PerClient(e) => AnyState::PerClient(e.init_state(rng)),
+            AnyEngine::Aggregate(e) => AnyState::Aggregate(e.init_state(rng)),
+            AnyEngine::Hetero(e) => AnyState::Hetero(e.init_state(rng)),
+            AnyEngine::Staggered(e) => AnyState::Staggered(e.init_state(rng)),
+            AnyEngine::Ph(e) => AnyState::Ph(e.init_state(rng)),
+            AnyEngine::JobLevel(e) => AnyState::JobLevel(e.init_state(rng)),
+        }
+    }
+
+    fn empirical(&self, state: &AnyState) -> StateDist {
+        delegate_state!(self, state, e, s => e.empirical(s))
+    }
+
+    fn step(
+        &self,
+        state: &mut AnyState,
+        rule: &DecisionRule,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> EpochStats {
+        delegate_state!(self, state, e, s => e.step(s, rule, lambda, rng))
+    }
+
+    fn name(&self) -> &'static str {
+        delegate!(self, e => e.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::episode::{run_episode, run_rng};
+    use mflb_core::mdp::FixedRulePolicy;
+    use mflb_policy::rnd_rule;
+
+    fn base_config() -> SystemConfig {
+        SystemConfig::paper().with_size(200, 10).with_dt(2.0)
+    }
+
+    fn all_specs() -> Vec<EngineSpec> {
+        vec![
+            EngineSpec::PerClient,
+            EngineSpec::Aggregate,
+            EngineSpec::Hetero { rates: vec![1.0; 10] },
+            EngineSpec::Staggered { cohorts: 4 },
+            EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: 2.0 } },
+            EngineSpec::JobLevel,
+        ]
+    }
+
+    #[test]
+    fn every_engine_kind_builds_and_runs_an_episode() {
+        let policy = FixedRulePolicy::new(rnd_rule(6, 2), "RND");
+        for spec in all_specs() {
+            let scenario = Scenario::new(base_config(), spec);
+            let engine = scenario.build().expect("valid scenario must build");
+            let out = run_episode(&engine, &policy, 5, &mut run_rng(1, 0));
+            assert_eq!(out.drops_per_epoch.len(), 5, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn any_engine_matches_direct_engine_bit_for_bit() {
+        // The enum wrapper must not perturb the RNG stream.
+        let policy = FixedRulePolicy::new(rnd_rule(6, 2), "RND");
+        let direct = AggregateEngine::new(base_config());
+        let wrapped = Scenario::new(base_config(), EngineSpec::Aggregate).build().unwrap();
+        let a = run_episode(&direct, &policy, 10, &mut run_rng(2, 0));
+        let b = run_episode(&wrapped, &policy, 10, &mut run_rng(2, 0));
+        assert_eq!(a.drops_per_epoch, b.drops_per_epoch);
+        assert_eq!(a.mean_queue_len, b.mean_queue_len);
+    }
+
+    #[test]
+    fn malformed_specs_error_instead_of_panicking() {
+        let cases = vec![
+            ("zero cohorts", EngineSpec::Staggered { cohorts: 0 }),
+            ("empty pool", EngineSpec::Hetero { rates: vec![] }),
+            ("pool size mismatch", EngineSpec::Hetero { rates: vec![1.0; 3] }),
+            (
+                "negative rate",
+                EngineSpec::Hetero {
+                    rates: vec![1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],
+                },
+            ),
+            (
+                "zero erlang phases",
+                EngineSpec::Ph { service: ServiceLaw::Erlang { k: 0, rate: 1.0 } },
+            ),
+            (
+                "negative scv",
+                EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: -2.0 } },
+            ),
+            (
+                "probs not summing to 1",
+                EngineSpec::Ph {
+                    service: ServiceLaw::Hyperexponential {
+                        probs: vec![0.3, 0.3],
+                        rates: vec![1.0, 2.0],
+                    },
+                },
+            ),
+            (
+                "phase count beyond the cap",
+                EngineSpec::Ph { service: ServiceLaw::Erlang { k: 1_000_000, rate: 1.0 } },
+            ),
+            (
+                "scv needing more phases than the cap",
+                EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: 1e-9 } },
+            ),
+        ];
+        for (what, spec) in cases {
+            let scenario = Scenario::new(base_config(), spec);
+            assert!(scenario.build().is_err(), "{what} must be rejected");
+        }
+        // Broken SystemConfig is caught too.
+        let mut bad = Scenario::new(base_config(), EngineSpec::Aggregate);
+        bad.config.initial_dist = vec![0.5; 2];
+        assert!(bad.build().is_err(), "inconsistent config must be rejected");
+        // The staggered engine's u8 snapshots cap the buffer at 255.
+        let wide =
+            Scenario::new(base_config().with_buffer(300), EngineSpec::Staggered { cohorts: 2 });
+        assert!(wide.build().is_err(), "buffer > 255 must be rejected for staggered");
+        assert!(
+            Scenario::new(base_config().with_buffer(300), EngineSpec::Aggregate).build().is_ok(),
+            "wide buffers stay fine for engines without u8 snapshots"
+        );
+    }
+
+    #[test]
+    fn scenarios_round_trip_through_json_for_every_engine_kind() {
+        for spec in all_specs() {
+            let scenario = Scenario::new(base_config(), spec);
+            let json = scenario.to_json();
+            let back = Scenario::from_json(&json).expect("round trip");
+            assert_eq!(scenario, back, "json: {json}");
+        }
+    }
+
+    #[test]
+    fn unknown_engine_kind_is_a_parse_error() {
+        let mut json = Scenario::new(base_config(), EngineSpec::PerClient).to_json();
+        json = json.replace("PerClient", "Quantum");
+        assert!(Scenario::from_json(&json).is_err());
+    }
+}

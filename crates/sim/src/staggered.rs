@@ -17,17 +17,43 @@
 //! `Δt` — identical per-client refresh period, very different herding
 //! behaviour.
 //!
-//! This engine is per-client (the aggregate multinomial law does not
+//! Assignment is per-client (the aggregate multinomial law does not
 //! apply: a client's destination now depends on its private stale
-//! snapshot, not the current queue states alone), so it targets the
-//! `N ≤ 10^5` scales also used by the heterogeneous engine.
+//! snapshot, not the current queue states alone). The per-client
+//! snapshots live in [`StaggeredState`], so the engine runs through the
+//! generic [`crate::run_episode`] and thread-parallel
+//! [`crate::monte_carlo()`] drivers like every other engine.
 
-use crate::episode::EpisodeOutcome;
-use mflb_core::mdp::UpperPolicy;
-use mflb_core::{StateDist, SystemConfig};
-use mflb_queue::BirthDeathQueue;
+use crate::episode::{length_epoch_stats, simulate_birth_death_epoch, Engine, EpochStats};
+use mflb_core::{DecisionRule, StateDist, SystemConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// Episode state of [`StaggeredEngine`]: queue lengths, every client's
+/// persistent `d`-sample and stale state snapshot, the epoch counter that
+/// drives the cohort refresh schedule, and per-epoch scratch.
+#[derive(Debug, Clone)]
+pub struct StaggeredState {
+    queues: Vec<usize>,
+    /// Sampled queue indices, `d` per client.
+    samples: Vec<usize>,
+    /// States observed at the owning client's last refresh.
+    snapshots: Vec<u8>,
+    /// Epoch counter (selects the due cohort).
+    epoch: usize,
+    /// Cold-start flag: the first step initializes every client's
+    /// snapshot (fresh broadcast), exactly like the synchronous model.
+    primed: bool,
+    counts: Vec<u64>,
+    tuple: Vec<usize>,
+}
+
+impl StaggeredState {
+    /// Current queue lengths.
+    pub fn queues(&self) -> &[usize] {
+        &self.queues
+    }
+}
 
 /// Finite system with cohort-staggered information refreshes.
 #[derive(Debug, Clone)]
@@ -41,111 +67,115 @@ impl StaggeredEngine {
     /// (`cohorts = 1` is the paper's synchronous model).
     ///
     /// # Panics
-    /// Panics on an invalid configuration or zero cohorts.
+    /// Panics on an invalid configuration, zero cohorts, or a buffer
+    /// beyond 255 (client snapshots store queue lengths as `u8`).
     pub fn new(config: SystemConfig, cohorts: usize) -> Self {
         config.validate().expect("invalid system configuration");
         assert!(cohorts >= 1, "need at least one cohort");
+        assert!(config.buffer <= u8::MAX as usize, "u8 snapshots cap the buffer at 255");
         Self { config, cohorts }
-    }
-
-    /// System configuration in force.
-    pub fn config(&self) -> &SystemConfig {
-        &self.config
     }
 
     /// Number of refresh cohorts.
     pub fn cohorts(&self) -> usize {
         self.cohorts
     }
+}
 
-    /// Runs one episode of `horizon` epochs under an upper-level policy.
-    ///
-    /// Per epoch: the due cohort resamples its `d` queues and snapshots
+impl Engine for StaggeredEngine {
+    type State = StaggeredState;
+
+    fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn init_state(&self, rng: &mut StdRng) -> StaggeredState {
+        let n = self.config.num_clients as usize;
+        let d = self.config.d;
+        StaggeredState {
+            queues: crate::episode::sample_initial_queues(&self.config, rng),
+            samples: vec![0; n * d],
+            snapshots: vec![0; n * d],
+            epoch: 0,
+            primed: false,
+            counts: vec![0; self.config.num_queues],
+            tuple: vec![0; d],
+        }
+    }
+
+    fn empirical(&self, state: &StaggeredState) -> StateDist {
+        StateDist::empirical(&state.queues, self.config.buffer)
+    }
+
+    /// One epoch: the due cohort resamples its `d` queues and snapshots
     /// their states; every client draws its destination from the epoch's
     /// decision rule applied to its **own stored snapshot**; queues then
     /// evolve for `Δt` with frozen arrival splits (Algorithm 1 lines
     /// 15–19).
-    pub fn run_episode(
+    fn step(
         &self,
-        policy: &dyn UpperPolicy,
-        horizon: usize,
+        state: &mut StaggeredState,
+        rule: &DecisionRule,
+        lambda: f64,
         rng: &mut StdRng,
-    ) -> EpisodeOutcome {
+    ) -> EpochStats {
         let cfg = &self.config;
         let n = cfg.num_clients as usize;
         let m = cfg.num_queues;
         let d = cfg.d;
+        let StaggeredState { queues, samples, snapshots, epoch, primed, counts, tuple } = state;
 
-        let mut queues = crate::episode::sample_initial_queues(cfg, rng);
-        let mut lambda_idx = cfg.arrivals.sample_initial(rng);
-
-        // Per-client persistent state: sampled queue indices and the
-        // states observed at the last refresh.
-        let mut samples = vec![0usize; n * d];
-        let mut snapshots = vec![0u8; n * d];
-        // Epoch 0 initializes everyone (cold start = fresh broadcast).
-        for i in 0..n {
-            for k in 0..d {
-                let j = rng.gen_range(0..m);
-                samples[i * d + k] = j;
-                snapshots[i * d + k] = queues[j] as u8;
-            }
-        }
-
-        let mut out = EpisodeOutcome::default();
-        let mut counts = vec![0u64; m];
-        let mut tuple = vec![0usize; d];
-        for t in 0..horizon {
-            let lambda = cfg.arrivals.level_rate(lambda_idx);
-            let h = StateDist::empirical(&queues, cfg.buffer);
-            let rule = policy.decide(&h, lambda_idx, lambda);
-
-            // Refresh the due cohort (all cohorts when c = 1).
-            if self.cohorts >= 1 {
-                let due = t % self.cohorts;
-                for i in 0..n {
-                    if i % self.cohorts == due {
-                        for k in 0..d {
-                            let j = rng.gen_range(0..m);
-                            samples[i * d + k] = j;
-                            snapshots[i * d + k] = queues[j] as u8;
-                        }
-                    }
-                }
-            }
-
-            // Route every client on its stored (possibly stale) snapshot.
-            counts.iter_mut().for_each(|c| *c = 0);
+        // Cold start: epoch 0 initializes everyone (fresh broadcast).
+        if !*primed {
             for i in 0..n {
                 for k in 0..d {
-                    tuple[k] = snapshots[i * d + k] as usize;
+                    let j = rng.gen_range(0..m);
+                    samples[i * d + k] = j;
+                    snapshots[i * d + k] = queues[j] as u8;
                 }
-                let u = rule.sample(&tuple, rng);
-                counts[samples[i * d + u]] += 1;
             }
-
-            // Queue evolution with frozen per-queue arrival rates.
-            let scale = m as f64 * lambda / n as f64;
-            let mut drops = 0u64;
-            for (j, q) in queues.iter_mut().enumerate() {
-                if counts[j] == 0 && *q == 0 {
-                    continue;
-                }
-                let model =
-                    BirthDeathQueue::new(scale * counts[j] as f64, cfg.service_rate, cfg.buffer);
-                let outcome = model.simulate_epoch(*q, cfg.dt, rng);
-                *q = outcome.final_state;
-                drops += outcome.drops;
-            }
-            let per_queue = drops as f64 / m as f64;
-            out.drops_per_epoch.push(per_queue);
-            out.total_drops += per_queue;
-            out.mean_queue_len.push(queues.iter().map(|&z| z as f64).sum::<f64>() / m as f64);
-            out.lambda_trace.push(lambda_idx);
-            lambda_idx = cfg.arrivals.step(lambda_idx, rng);
+            *primed = true;
         }
-        out.total_return = -out.total_drops;
-        out
+
+        // Refresh the due cohort (all cohorts when c = 1).
+        let due = *epoch % self.cohorts;
+        for i in 0..n {
+            if i % self.cohorts == due {
+                for k in 0..d {
+                    let j = rng.gen_range(0..m);
+                    samples[i * d + k] = j;
+                    snapshots[i * d + k] = queues[j] as u8;
+                }
+            }
+        }
+
+        // Route every client on its stored (possibly stale) snapshot.
+        counts.iter_mut().for_each(|c| *c = 0);
+        for i in 0..n {
+            for k in 0..d {
+                tuple[k] = snapshots[i * d + k] as usize;
+            }
+            let u = rule.sample(tuple, rng);
+            counts[samples[i * d + u]] += 1;
+        }
+
+        // Queue evolution with frozen per-queue arrival rates.
+        let scale = m as f64 * lambda / n as f64;
+        let (dropped, served) = simulate_birth_death_epoch(
+            queues,
+            counts,
+            scale,
+            &|_| cfg.service_rate,
+            cfg.buffer,
+            cfg.dt,
+            rng,
+        );
+        *epoch += 1;
+        length_epoch_stats(queues, counts, cfg.num_clients, dropped, served)
+    }
+
+    fn name(&self) -> &'static str {
+        "staggered"
     }
 }
 
@@ -181,7 +211,7 @@ mod tests {
         let policy = FixedRulePolicy::new(jsq(), "JSQ(2)");
         let (mut sa, mut sb) = (Summary::new(), Summary::new());
         for r in 0..40 {
-            sa.push(staggered.run_episode(&policy, 12, &mut run_rng(1, r)).total_drops);
+            sa.push(run_episode(&staggered, &policy, 12, &mut run_rng(1, r)).total_drops);
             sb.push(run_episode(&per, &policy, 12, &mut run_rng(2, r)).total_drops);
         }
         let tol = 4.0 * (sa.std_err() + sb.std_err());
@@ -205,7 +235,9 @@ mod tests {
             let engine = StaggeredEngine::new(cfg.clone(), c);
             let mut s = Summary::new();
             for r in 0..24 {
-                s.push(engine.run_episode(&policy, 30, &mut run_rng(10 + c as u64, r)).total_drops);
+                s.push(
+                    run_episode(&engine, &policy, 30, &mut run_rng(10 + c as u64, r)).total_drops,
+                );
             }
             s.mean()
         };
@@ -240,7 +272,7 @@ mod tests {
         let mut s_stag = Summary::new();
         for r in 0..30 {
             // 40 epochs of length 1 = the same 40 time units.
-            s_stag.push(stag.run_episode(&policy, 40, &mut run_rng(31, r)).total_drops);
+            s_stag.push(run_episode(&stag, &policy, 40, &mut run_rng(31, r)).total_drops);
         }
 
         assert!(
@@ -260,7 +292,7 @@ mod tests {
         cfg.arrivals = ArrivalProcess::constant(0.9);
         let engine = StaggeredEngine::new(cfg, 3);
         let policy = FixedRulePolicy::new(DecisionRule::uniform(6, 2), "RND");
-        let out = engine.run_episode(&policy, 20, &mut run_rng(50, 0));
+        let out = run_episode(&engine, &policy, 20, &mut run_rng(50, 0));
         assert_eq!(out.drops_per_epoch.len(), 20);
         for &dpq in &out.drops_per_epoch {
             assert!((0.0..=0.9 * 2.0 + 1.0).contains(&dpq));

@@ -11,12 +11,13 @@
 //! cargo run --release --example edge_datacenter
 //! ```
 
+use mflb::core::mdp::FixedRulePolicy;
 use mflb::core::{DecisionRule, SystemConfig};
 use mflb::policy::{jsq_rule, rnd_rule, sed_rule};
 use mflb::queue::fifo::FifoQueue;
 use mflb::queue::hetero::ServerPool;
 use mflb::queue::mmpp::ArrivalProcess;
-use mflb::sim::{run_rng, HeteroEngine};
+use mflb::sim::{monte_carlo, run_rng, AnyEngine, EngineSpec, Scenario};
 use rand::Rng;
 
 /// Lifts a plain queue-length rule to composite (length, class) states.
@@ -36,7 +37,15 @@ fn main() {
         vec![0.5, 0.5],
     );
     let config = SystemConfig::paper().with_dt(4.0).with_size(40 * 40, 40).with_arrivals(day_night);
-    let engine = HeteroEngine::new(config.clone(), pool.clone());
+    // Data-level scenario: the heterogeneous engine is described by its
+    // per-server rates and built through the scenario layer.
+    let scenario =
+        Scenario::new(config.clone(), EngineSpec::Hetero { rates: pool.rates().to_vec() });
+    let built = scenario.build().expect("valid edge scenario");
+    let engine = match &built {
+        AnyEngine::Hetero(e) => e,
+        _ => unreachable!("hetero spec builds a hetero engine"),
+    };
     let horizon = config.eval_episode_len();
     let zs = config.num_states();
 
@@ -49,14 +58,11 @@ fn main() {
     let jsq = lift(&jsq_rule(zs, config.d), zs, engine.num_classes(), config.d);
     let rnd = lift(&rnd_rule(zs, config.d), zs, engine.num_classes(), config.d);
 
-    println!("\ncumulative per-queue drops over the episode (mean of 20 runs):");
+    println!("\ncumulative per-queue drops over the episode (mean of 20 runs, parallel MC):");
     for (name, rule, seed) in [("SED(2)", &sed, 1u64), ("JSQ(2)", &jsq, 2), ("RND", &rnd, 3)] {
-        let mut total = 0.0;
-        let runs = 20;
-        for r in 0..runs {
-            total += engine.run_episode(rule, horizon, &mut run_rng(seed, r)).total_drops;
-        }
-        println!("  {name:<8} {:7.2}", total / runs as f64);
+        let policy = FixedRulePolicy::new(rule.clone(), name);
+        let mc = monte_carlo(&built, &policy, horizon, 20, seed, 0);
+        println!("  {name:<8} {:7.2}", mc.mean());
     }
 
     // Response-time view on the job level: feed the SED vs JSQ arrival

@@ -5,51 +5,18 @@
 //! sees the same stale snapshot. Under JSQ they all pile onto the
 //! momentarily-shortest queues, which are full long before the next
 //! update. This example measures, per epoch, how concentrated the client
-//! assignments are (max share of clients on one queue) and what it costs
-//! (drops), for growing Δt.
+//! assignments are (max share of clients on one queue — the
+//! `max_share_per_epoch` diagnostic every engine now reports through the
+//! unified `EpisodeOutcome`) and what it costs (drops), for growing Δt.
 //!
 //! ```text
 //! cargo run --release --example herd_behaviour
 //! ```
 
-use mflb::core::{DecisionRule, StateDist, SystemConfig};
+use mflb::core::mdp::FixedRulePolicy;
+use mflb::core::{StateDist, SystemConfig};
 use mflb::policy::{jsq_rule, rnd_rule};
-use mflb::queue::BirthDeathQueue;
-use mflb::sim::{run_rng, sample_initial_queues, FiniteEngine, PerClientEngine};
-
-fn episode_with_concentration(
-    engine: &PerClientEngine,
-    rule: &DecisionRule,
-    horizon: usize,
-    seed: u64,
-) -> (f64, f64) {
-    let config = engine.config();
-    let mut rng = run_rng(seed, 0);
-    let mut queues = sample_initial_queues(config, &mut rng);
-    let mut lambda_idx = config.arrivals.sample_initial(&mut rng);
-    let mut total_drops = 0.0;
-    let mut max_share_sum = 0.0;
-    for _ in 0..horizon {
-        let lambda = config.arrivals.level_rate(lambda_idx);
-        // Assignments of every client this epoch (the herding signal).
-        let counts = engine.sample_assignments(&queues, rule, &mut rng);
-        let max_count = *counts.iter().max().unwrap() as f64;
-        max_share_sum += max_count / config.num_clients as f64;
-        // Simulate the queues with those frozen assignment rates.
-        let scale = config.num_queues as f64 * lambda / config.num_clients as f64;
-        let mut drops = 0u64;
-        for (j, q) in queues.iter_mut().enumerate() {
-            let model =
-                BirthDeathQueue::new(scale * counts[j] as f64, config.service_rate, config.buffer);
-            let out = model.simulate_epoch(*q, config.dt, &mut rng);
-            *q = out.final_state;
-            drops += out.drops;
-        }
-        total_drops += drops as f64 / config.num_queues as f64;
-        lambda_idx = config.arrivals.step(lambda_idx, &mut rng);
-    }
-    (total_drops, max_share_sum / horizon as f64)
-}
+use mflb::sim::{run_episode, run_rng, EngineSpec, PerClientEngine, Scenario};
 
 fn main() {
     let m = 50usize;
@@ -66,13 +33,21 @@ fn main() {
     for &dt in &[0.5, 1.0, 2.0, 4.0, 8.0] {
         let config = SystemConfig::paper().with_dt(dt).with_size(n, m);
         let horizon = config.eval_episode_len();
-        let engine = PerClientEngine::new(config.clone());
-        let jsq = jsq_rule(config.num_states(), config.d);
-        let rnd = rnd_rule(config.num_states(), config.d);
-        let (jsq_drops, jsq_share) = episode_with_concentration(&engine, &jsq, horizon, 1);
-        let (rnd_drops, rnd_share) = episode_with_concentration(&engine, &rnd, horizon, 2);
+        // The literal per-client engine, constructed from a data-level
+        // scenario spec and driven through the generic episode loop.
+        let engine =
+            Scenario::new(config.clone(), EngineSpec::PerClient).build().expect("valid scenario");
+        let jsq = FixedRulePolicy::new(jsq_rule(config.num_states(), config.d), "JSQ(2)");
+        let rnd = FixedRulePolicy::new(rnd_rule(config.num_states(), config.d), "RND");
+        let out_jsq = run_episode(&engine, &jsq, horizon, &mut run_rng(1, 0));
+        let out_rnd = run_episode(&engine, &rnd, horizon, &mut run_rng(2, 0));
+        let mean_share = |shares: &[f64]| shares.iter().sum::<f64>() / shares.len().max(1) as f64;
         println!(
-            "{dt:>5}  {jsq_drops:>14.2}  {jsq_share:>14.3}  {rnd_drops:>14.2}  {rnd_share:>14.3}"
+            "{dt:>5}  {:>14.2}  {:>14.3}  {:>14.2}  {:>14.3}",
+            out_jsq.total_drops,
+            mean_share(&out_jsq.max_share_per_epoch),
+            out_rnd.total_drops,
+            mean_share(&out_rnd.max_share_per_epoch),
         );
     }
 

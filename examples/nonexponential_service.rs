@@ -15,7 +15,7 @@ use mflb::core::mdp::FixedRulePolicy;
 use mflb::core::{PhMeanFieldMdp, SystemConfig};
 use mflb::policy::{jsq_rule, rnd_rule, softmin_rule};
 use mflb::queue::PhaseType;
-use mflb::sim::{run_ph_episode, run_rng, PhAggregateEngine};
+use mflb::sim::{monte_carlo, EngineSpec, Scenario, ServiceLaw};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -61,17 +61,18 @@ fn main() {
         println!();
 
         // (b) Finite system: exact multinomial client aggregation +
-        //     per-queue Gillespie over (length, phase) states.
-        let engine = PhAggregateEngine::new(config.clone(), service);
+        //     per-queue Gillespie over (length, phase) states, built from
+        //     a data-level scenario and fanned out over threads.
+        let engine = Scenario::new(
+            config.clone(),
+            EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv } },
+        )
+        .build()
+        .expect("valid PH scenario");
         print!("  finite  drops:    ");
         for (i, p) in policies.iter().enumerate() {
-            let runs = 12;
-            let mut total = 0.0;
-            for r in 0..runs {
-                total +=
-                    run_ph_episode(&engine, p, horizon, &mut run_rng(40 + i as u64, r)).total_drops;
-            }
-            print!("{} {:.1}  ", name_of(p), total / runs as f64);
+            let mc = monte_carlo(&engine, p, horizon, 12, 40 + i as u64, 0);
+            print!("{} {:.1}  ", name_of(p), mc.mean());
         }
         println!();
     }

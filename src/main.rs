@@ -182,7 +182,7 @@ fn cmd_dp_solve() {
 fn cmd_scv_compare() {
     use mflb::core::PhMeanFieldMdp;
     use mflb::queue::PhaseType;
-    use mflb::sim::{run_ph_episode, run_rng, PhAggregateEngine};
+    use mflb::sim::{monte_carlo, PhAggregateEngine};
     let config = build_config();
     let scv: f64 = parse("--scv", 2.0);
     let runs: usize = parse("--runs", 16);
@@ -204,13 +204,7 @@ fn cmd_scv_compare() {
         mf.push(-mdp.rollout(policy.as_ref(), horizon, &mut rng).total_return);
     }
     let engine = PhAggregateEngine::new(config.clone(), service);
-    let mut fin = mflb::linalg::stats::Summary::new();
-    for r in 0..runs {
-        fin.push(
-            run_ph_episode(&engine, policy.as_ref(), horizon, &mut run_rng(seed, r as u64))
-                .total_drops,
-        );
-    }
+    let fin = monte_carlo(&engine, policy.as_ref(), horizon, runs, seed, 0).drops;
     println!(
         "policy {} at Δt={} Te={horizon}: mean-field drops {:.3} ± {:.3}, finite (M={}) {:.3} ± {:.3}",
         policy.name(),

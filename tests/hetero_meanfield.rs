@@ -3,12 +3,13 @@
 //! mean-field drops as the pool grows — Theorem 1 carried to the
 //! composite-state extension.
 
+use mflb::core::mdp::FixedRulePolicy;
 use mflb::core::{HeteroMeanField, SystemConfig};
 use mflb::linalg::stats::Summary;
 use mflb::policy::sed_rule;
 use mflb::queue::hetero::ServerPool;
 use mflb::queue::ArrivalProcess;
-use mflb::sim::{run_rng, HeteroEngine};
+use mflb::sim::{run_episode, run_rng, HeteroEngine};
 
 #[test]
 fn finite_hetero_system_tracks_hetero_mean_field() {
@@ -29,9 +30,12 @@ fn finite_hetero_system_tracks_hetero_mean_field() {
         cfg.arrivals = ArrivalProcess::constant(0.9);
         let pool = ServerPool::two_speed(half, 1.6, half, 0.4, 5);
         let engine = HeteroEngine::new(cfg, pool);
+        let policy = FixedRulePolicy::new(rule.clone(), "SED(2)");
         let mut s = Summary::new();
         for r in 0..24 {
-            s.push(engine.run_episode(&rule, horizon, &mut run_rng(half as u64, r)).total_drops);
+            s.push(
+                run_episode(&engine, &policy, horizon, &mut run_rng(half as u64, r)).total_drops,
+            );
         }
         gaps.push(((s.mean() - mf_drops).abs(), s.std_err()));
     }

@@ -8,7 +8,9 @@ use mflb::core::{MeanFieldMdp, PhMeanFieldMdp, SystemConfig};
 use mflb::linalg::stats::Summary;
 use mflb::policy::{jsq_rule, rnd_rule, softmin_rule};
 use mflb::queue::PhaseType;
-use mflb::sim::{monte_carlo, run_ph_episode, run_rng, AggregateEngine, PhAggregateEngine};
+use mflb::sim::{
+    monte_carlo, run_episode, run_episode_conditioned, run_rng, AggregateEngine, PhAggregateEngine,
+};
 
 fn config() -> SystemConfig {
     SystemConfig::paper().with_dt(4.0).with_size(1_600, 40)
@@ -32,7 +34,7 @@ fn whole_stack_collapses_to_exponential_at_one_phase() {
     let mc = monte_carlo(&agg, &policy, 20, 40, 3, 0);
     let mut s = Summary::new();
     for r in 0..40 {
-        s.push(run_ph_episode(&ph_engine, &policy, 20, &mut run_rng(4, r)).total_drops);
+        s.push(run_episode(&ph_engine, &policy, 20, &mut run_rng(4, r)).total_drops);
     }
     let tol = 4.0 * (mc.drops.std_err() + s.std_err());
     assert!(
@@ -57,7 +59,7 @@ fn scv_ordering_holds_in_mean_field_and_finite_system() {
         let engine = PhAggregateEngine::new(cfg.clone(), service);
         let mut s = Summary::new();
         for r in 0..24 {
-            s.push(run_ph_episode(&engine, &policy, 25, &mut run_rng(9, r)).total_drops);
+            s.push(run_episode(&engine, &policy, 25, &mut run_rng(9, r)).total_drops);
         }
         fin.push(s.mean());
     }
@@ -82,22 +84,12 @@ fn finite_ph_system_approaches_mean_field_with_size() {
         let mdp = PhMeanFieldMdp::new(cfg.clone(), service.clone());
         let reference = -mdp.rollout_conditioned(&policy, &seq).total_return;
         let engine = PhAggregateEngine::new(cfg, service.clone());
-        // Conditioned finite episodes (same arrival path) — mirror the
-        // run_ph_episode loop with a fixed λ sequence.
+        // Conditioned finite episodes (same arrival path) — the unified
+        // driver handles the fixed λ sequence for every engine now.
         let mut s = Summary::new();
         for r in 0..30 {
             let rng = &mut run_rng(100 + m as u64, r);
-            let mut queues =
-                mflb::sim::sample_initial_ph_queues(engine.config(), engine.service(), rng);
-            let mut total = 0.0;
-            for &l in &seq {
-                let lambda = engine.config().arrivals.level_rate(l);
-                let lengths: Vec<usize> = queues.iter().map(|q| q.len).collect();
-                let h = mflb::core::StateDist::empirical(&lengths, 5);
-                let rule = mflb::core::UpperPolicy::decide(&policy, &h, l, lambda);
-                total += engine.run_epoch(&mut queues, &rule, lambda, rng);
-            }
-            s.push(total);
+            s.push(run_episode_conditioned(&engine, &policy, &seq, rng).total_drops);
         }
         gaps.push((s.mean() - reference).abs() / reference.max(1.0));
     }
