@@ -17,8 +17,10 @@
 use mflb_bench::harness::{
     arg_value, checkpoint_path, jsq_policy, print_table, rnd_policy, write_csv, Scale,
 };
-use mflb_bench::training::{iterations_for, ppo_config_for, train_mf_policy};
+use mflb_bench::training::{iterations_for, ppo_config_for};
 use mflb_core::{MeanFieldMdp, SystemConfig};
+use mflb_rl::train_scenario;
+use mflb_sim::{EngineSpec, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,10 +48,12 @@ fn main() {
     println!("MF-JSQ(2) expected episode return: {:.2} ± {:.2}", jsq.mean(), jsq.ci95_half_width());
     println!("MF-RND    expected episode return: {:.2} ± {:.2}", rnd.mean(), rnd.ci95_half_width());
 
-    // Training.
+    // Training, through the scenario subsystem (same path as `mflb train`).
     println!("\ntraining (scale={}, {iters} iterations) ...", scale.label());
     let ppo = ppo_config_for(scale, threads);
-    let (policy, curve) = train_mf_policy(&config, ppo, iters, seed, true);
+    let scenario = Scenario::new(config.clone(), EngineSpec::Aggregate);
+    let result = train_scenario(&scenario, ppo, iters, seed, true).expect("training failed");
+    let (policy, curve) = (result.policy, result.checkpoint.curve.clone());
 
     // Final deterministic performance (red dotted line).
     let final_eval = mdp.evaluate(&policy, horizon, eval_episodes, &mut rng);
@@ -65,12 +69,16 @@ fn main() {
     if let Some(parent) = ckpt.parent() {
         std::fs::create_dir_all(parent).ok();
     }
-    let existing_better = match mflb_policy::NeuralUpperPolicy::load(&ckpt) {
-        Ok(old) => {
+    let existing = mflb_rl::TrainingCheckpoint::load(&ckpt)
+        .ok()
+        .and_then(|c| c.into_policy().ok())
+        .or_else(|| mflb_policy::NeuralUpperPolicy::load(&ckpt).ok());
+    let existing_better = match existing {
+        Some(old) => {
             let old_eval = mdp.evaluate(&old, horizon, eval_episodes, &mut rng);
             old_eval.mean() >= final_eval.mean()
         }
-        Err(_) => false,
+        None => false,
     };
     if existing_better {
         println!(
@@ -78,14 +86,8 @@ fn main() {
             ckpt.display()
         );
     } else {
-        policy
-            .save(
-                &ckpt,
-                dt,
-                format!("trained-by=fig3_training scale={} iters={iters}", scale.label()),
-            )
-            .expect("save checkpoint");
-        println!("checkpoint saved to {}", ckpt.display());
+        result.checkpoint.save(&ckpt).expect("save checkpoint");
+        println!("versioned checkpoint saved to {}", ckpt.display());
     }
 
     // Emit the curve (sub-sampled for the console, full in the CSV).

@@ -1,17 +1,23 @@
-//! Trains an MF policy with PPO for a given synchronization delay and
-//! saves a checkpoint under `assets/policies/mf_dt<Δt>.json`.
+//! Trains an MF policy with PPO — for a given synchronization delay or for
+//! an arbitrary scenario file — and saves a **versioned** training
+//! checkpoint (`mflb_rl::TrainingCheckpoint`).
 //!
 //! ```text
 //! cargo run -p mflb-bench --release --bin train_policy -- \
 //!     --dt 5 --iters 150 --threads 8 --seed 1 [--scale paper] [--out path] \
+//!     [--scenario examples/scenarios/aggregate.json] \
 //!     [--init assets/policies/mf_dt5.json]   # warm-start from a checkpoint
 //! ```
+//!
+//! The driver is `mflb_rl::train_scenario` — the same code path as
+//! `mflb train` — so checkpoints produced here and by the CLI are
+//! interchangeable.
 
 use mflb_bench::harness::{arg_value, checkpoint_path, Scale};
-use mflb_bench::training::{iterations_for, ppo_config_for, train_mf_policy_from};
-use mflb_core::mdp::UpperPolicy;
+use mflb_bench::training::{iterations_for, ppo_config_for};
 use mflb_core::{MeanFieldMdp, SystemConfig};
-use mflb_policy::NeuralUpperPolicy;
+use mflb_rl::{train_scenario_from, TrainingCheckpoint};
+use mflb_sim::{EngineSpec, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,44 +32,53 @@ fn main() {
     let out =
         arg_value("--out").map(std::path::PathBuf::from).unwrap_or_else(|| checkpoint_path(dt));
 
-    let config = SystemConfig::paper().with_dt(dt);
+    let scenario = match arg_value("--scenario") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path).expect("read scenario file");
+            Scenario::from_json(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+        }
+        None => Scenario::new(SystemConfig::paper().with_dt(dt), EngineSpec::Aggregate),
+    };
     println!(
-        "training MF policy: dt={dt} scale={} iters={iters} threads={threads} seed={seed}",
+        "training MF policy: scenario={:?} dt={} scale={} iters={iters} threads={threads} seed={seed}",
+        scenario.engine,
+        scenario.config.dt,
         scale.label()
     );
-    let init_policy = arg_value("--init")
-        .map(|p| NeuralUpperPolicy::load(&p).unwrap_or_else(|e| panic!("load --init {p}: {e}")));
+
+    // Warm start: the versioned format, with the legacy PolicyCheckpoint as
+    // a fallback for old artifacts.
+    let init_net = arg_value("--init").map(|p| match TrainingCheckpoint::load(&p) {
+        Ok(c) => c.policy_net,
+        Err(_) => mflb_policy::NeuralUpperPolicy::load(&p)
+            .unwrap_or_else(|e| panic!("load --init {p}: {e}"))
+            .net()
+            .clone(),
+    });
+
     let ppo = ppo_config_for(scale, threads);
-    let (policy, curve) = train_mf_policy_from(
-        &config,
-        ppo,
-        iters,
-        seed,
-        true,
-        init_policy.as_ref().map(|p| p.net()),
-    );
+    let result = train_scenario_from(&scenario, ppo, iters, seed, true, init_net.as_ref())
+        .expect("training failed");
 
-    // Final deterministic evaluation in the MFC MDP.
-    let mdp = MeanFieldMdp::new(config.clone());
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xEAE);
-    let eval = mdp.evaluate(&policy, config.train_episode_len, 20, &mut rng);
-    println!(
-        "deterministic MF return over T={} epochs: {:.2} ± {:.2}",
-        config.train_episode_len,
-        eval.mean(),
-        eval.ci95_half_width()
-    );
-
-    if let Some(parent) = out.parent() {
-        std::fs::create_dir_all(parent).expect("create checkpoint dir");
+    // Final deterministic evaluation in the limiting model (homogeneous
+    // scenarios only; richer dynamics are evaluated by `mflb eval`).
+    if matches!(scenario.engine, EngineSpec::Aggregate | EngineSpec::PerClient) {
+        let mdp = MeanFieldMdp::new(scenario.config.clone());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xEAE);
+        let eval = mdp.evaluate(&result.policy, scenario.config.train_episode_len, 20, &mut rng);
+        println!(
+            "deterministic MF return over T={} epochs: {:.2} ± {:.2}",
+            scenario.config.train_episode_len,
+            eval.mean(),
+            eval.ci95_half_width()
+        );
     }
-    let meta = format!(
-        "trained-by=train_policy scale={} iters={iters} seed={seed} steps={} final_return={:.3}",
-        scale.label(),
-        curve.last().map(|c| c.steps).unwrap_or(0),
-        eval.mean()
+
+    result.checkpoint.save(&out).expect("save checkpoint");
+    println!(
+        "versioned checkpoint (format v{}, {} steps) written to {}",
+        result.checkpoint.format_version,
+        result.checkpoint.total_steps,
+        out.display()
     );
-    policy.save(&out, dt, meta).expect("save checkpoint");
-    println!("checkpoint written to {}", out.display());
-    let _ = policy.name();
 }

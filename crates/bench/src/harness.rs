@@ -147,7 +147,34 @@ pub fn mf_policy_for(config: &SystemConfig, search_horizon: usize, seed: u64) ->
 
     let path = checkpoint_path(config.dt);
     if path.exists() {
-        match NeuralUpperPolicy::load(&path) {
+        // Versioned training checkpoints first, legacy PolicyCheckpoint as
+        // fallback for pre-subsystem artifacts. Either way the network must
+        // fit *this* homogeneous configuration — the dt-keyed path may hold
+        // a checkpoint trained for a different engine kind or buffer, which
+        // would otherwise blow up inside `MeanFieldMdp::evaluate`.
+        use mflb_rl::PolicyShape;
+        use mflb_sim::{EngineSpec, Scenario};
+        let homog = Scenario::new(config.clone(), EngineSpec::Aggregate);
+        let shape = PolicyShape::for_scenario(&homog);
+        let loaded = mflb_rl::TrainingCheckpoint::load(&path)
+            .and_then(|c| c.validate_for(&homog).map(|()| c))
+            .and_then(|c| c.into_policy())
+            .or_else(|_| NeuralUpperPolicy::load(&path))
+            .and_then(|p| {
+                if p.net().input_dim() == shape.obs_dim() && p.net().output_dim() == shape.act_dim()
+                {
+                    Ok(p)
+                } else {
+                    Err(format!(
+                        "checkpoint network is {} -> {}, configuration needs {} -> {}",
+                        p.net().input_dim(),
+                        p.net().output_dim(),
+                        shape.obs_dim(),
+                        shape.act_dim()
+                    ))
+                }
+            });
+        match loaded {
             Ok(p) => {
                 let mdp = MeanFieldMdp::new(config.clone());
                 let mut rng = StdRng::seed_from_u64(seed ^ 0x5E1E);

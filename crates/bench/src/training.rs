@@ -1,88 +1,13 @@
-//! Shared PPO-training driver used by `fig3_training` and `train_policy`.
+//! Scale-dependent PPO configuration for the bench binaries.
+//!
+//! The training driver itself lives in `mflb_rl` ([`mflb_rl::train_scenario`]
+//! — the same code path as `mflb train`); this module only maps the
+//! harness [`harness::Scale`] to hyper-parameters and iteration counts.
 
 use crate::harness;
-use mflb_core::mdp::{action_dim, observation_dim};
-use mflb_core::SystemConfig;
-use mflb_policy::NeuralUpperPolicy;
-use mflb_rl::{MfcEnv, PpoConfig, PpoTrainer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mflb_rl::PpoConfig;
 
-/// One logged point of the training curve.
-#[derive(Debug, Clone)]
-pub struct CurvePoint {
-    /// Cumulative environment steps (the paper's x-axis).
-    pub steps: u64,
-    /// Mean return of episodes completed this iteration.
-    pub mean_return: f64,
-    /// Mean KL of the iteration's update.
-    pub kl: f64,
-    /// Entropy of the Gaussian head.
-    pub entropy: f64,
-}
-
-/// Trains an MF policy with PPO on the MFC MDP.
-///
-/// Returns the deployable deterministic policy and the training curve.
-pub fn train_mf_policy(
-    config: &SystemConfig,
-    ppo: PpoConfig,
-    iterations: usize,
-    seed: u64,
-    verbose: bool,
-) -> (NeuralUpperPolicy, Vec<CurvePoint>) {
-    train_mf_policy_from(config, ppo, iterations, seed, verbose, None)
-}
-
-/// Like [`train_mf_policy`], optionally warm-starting the policy network
-/// from an existing checkpoint's network.
-pub fn train_mf_policy_from(
-    config: &SystemConfig,
-    ppo: PpoConfig,
-    iterations: usize,
-    seed: u64,
-    verbose: bool,
-    init: Option<&mflb_nn::Mlp>,
-) -> (NeuralUpperPolicy, Vec<CurvePoint>) {
-    let env = MfcEnv::new(config.clone());
-    let mut trainer = PpoTrainer::new(&env, ppo, seed);
-    if let Some(net) = init {
-        trainer.load_policy_net(net);
-        if verbose {
-            println!("warm-started policy network from checkpoint");
-        }
-    }
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
-    let mut curve = Vec::with_capacity(iterations);
-    for it in 0..iterations {
-        let stats = trainer.train_iteration(&mut rng);
-        if !stats.mean_episode_return.is_nan() {
-            curve.push(CurvePoint {
-                steps: stats.total_steps,
-                mean_return: stats.mean_episode_return,
-                kl: stats.mean_kl,
-                entropy: stats.entropy,
-            });
-        }
-        if verbose && (it < 5 || it % 10 == 0 || it + 1 == iterations) {
-            println!(
-                "iter {:>4}  steps {:>9}  return {:>9.2}  kl {:.4}  entropy {:>7.2}  kl_coeff {:.3}",
-                stats.iteration,
-                stats.total_steps,
-                stats.mean_episode_return,
-                stats.mean_kl,
-                stats.entropy,
-                stats.kl_coeff
-            );
-        }
-    }
-    let num_levels = config.arrivals.num_levels();
-    let net = trainer.policy_net().clone();
-    debug_assert_eq!(net.input_dim(), observation_dim(config.num_states(), num_levels));
-    debug_assert_eq!(net.output_dim(), action_dim(config.num_states(), config.d));
-    let policy = NeuralUpperPolicy::new(net, config.num_states(), config.d, num_levels);
-    (policy, curve)
-}
+pub use mflb_rl::CurvePoint;
 
 /// The PPO configuration used at each harness scale. `paper` is Table 2
 /// verbatim; `quick` shrinks networks/batches so training fits in minutes.

@@ -14,9 +14,24 @@
 //! * [`gaussian::DiagGaussian`] — diagonal Gaussian heads with closed-form
 //!   log-probability/entropy gradients.
 //!
+//! Component ↔ paper map (Tahir, Cui & Koeppl, ICPP '22):
+//!
+//! * [`mlp::Mlp`] with [`mlp::Activation::Tanh`] realizes the 2×256 tanh
+//!   policy and value networks of Fig. 2 / Table 2 (`fcnet_hiddens`),
+//! * [`gaussian::DiagGaussian`] is the continuous action head whose means
+//!   are the decision-rule logits of the §4 "manual normalization"
+//!   parameterization; its exploration σ is the state-independent
+//!   `log_std` PPO adapts,
+//! * [`adam::Adam`] implements the optimizer behind Table 2's learning
+//!   rate `5·10⁻⁵`, with [`adam::clip_grad_norm`] as RLlib's `grad_clip`,
+//! * GAE(λ) itself lives in `mflb_rl::buffer` (Table 2: `λ_RL = 1`), and
+//!   the clipped surrogate + adaptive-KL loss in `mflb_rl::ppo`.
+//!
 //! Everything serializes with `serde` so trained policies can be
-//! checkpointed to JSON and reloaded by the evaluation binaries.
+//! checkpointed to JSON (`mflb_rl`'s versioned `TrainingCheckpoint`) and
+//! reloaded by the evaluation binaries.
 
+#![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod adam;

@@ -18,7 +18,9 @@ pub mod rules;
 pub mod softmin;
 pub mod upper;
 
-pub use rules::{composite_decode, composite_index, jsq_rule, rnd_rule, sed_rule};
+pub use rules::{
+    composite_decode, composite_index, jsq_rule, lift_to_composite, rnd_rule, sed_rule,
+};
 pub use softmin::{optimize_beta, softmin_rule, BetaSearchResult, SoftminPolicy};
 pub use upper::{
     action_dim, encode_observation, observation_dim, NeuralUpperPolicy, PolicyCheckpoint,

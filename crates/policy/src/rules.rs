@@ -40,6 +40,27 @@ pub fn composite_decode(idx: usize, num_queue_states: usize) -> (usize, usize) {
     (idx % num_queue_states, idx / num_queue_states)
 }
 
+/// Lifts a length-state rule to the composite `(length, class)` state space
+/// by ignoring the class: the lifted rule looks only at the queue lengths
+/// `idx % num_queue_states` of the sampled tuple.
+///
+/// This is how rate-blind baselines (JSQ(d), RND, softmin) are deployed on
+/// heterogeneous pools, whose engines and mean-field model expect rules
+/// over composite states (see [`composite_index`]).
+pub fn lift_to_composite(
+    rule: &DecisionRule,
+    num_queue_states: usize,
+    num_classes: usize,
+) -> DecisionRule {
+    assert!(num_classes >= 1);
+    assert_eq!(rule.num_states(), num_queue_states, "rule must be over plain length states");
+    let d = rule.d();
+    DecisionRule::from_fn(num_queue_states * num_classes, d, |tuple| {
+        let raw: Vec<usize> = tuple.iter().map(|&idx| idx % num_queue_states).collect();
+        (0..d).map(|u| rule.prob(&raw, u)).collect()
+    })
+}
+
 /// SED(d) for heterogeneous pools: route to the sampled queue minimizing
 /// the expected delay `(z + 1)/α_class`, ties split uniformly.
 ///
@@ -105,6 +126,27 @@ mod tests {
                 assert_eq!(composite_decode(idx, zs), (z, c));
             }
         }
+    }
+
+    #[test]
+    fn lifted_rule_ignores_class() {
+        let zs = 4;
+        let lifted = lift_to_composite(&jsq_rule(zs, 2), zs, 3);
+        assert_eq!(lifted.num_states(), 12);
+        // (z=1, class 2) vs (z=3, class 0): lengths decide, classes don't.
+        let a = composite_index(1, 2, zs);
+        let b = composite_index(3, 0, zs);
+        assert_eq!(lifted.prob(&[a, b], 0), 1.0);
+        // Equal lengths in different classes tie.
+        let c = composite_index(2, 0, zs);
+        let e = composite_index(2, 1, zs);
+        assert!((lifted.prob(&[c, e], 0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lift_single_class_is_identity() {
+        let jsq = jsq_rule(5, 2);
+        assert!(lift_to_composite(&jsq, 5, 1).max_abs_diff(&jsq) < 1e-15);
     }
 
     #[test]

@@ -44,7 +44,12 @@ pub struct PolicyCheckpoint {
 #[derive(Debug, Clone)]
 pub struct NeuralUpperPolicy {
     net: Mlp,
-    num_states: usize,
+    /// States of the *observed* distribution (queue lengths: `B + 1`).
+    obs_states: usize,
+    /// States of the emitted decision rule. Equal to `obs_states` for
+    /// homogeneous systems; `C·(B+1)` composite states for heterogeneous
+    /// pools, whose engines observe lengths but route on `(length, class)`.
+    rule_states: usize,
     d: usize,
     num_levels: usize,
     name: String,
@@ -54,13 +59,28 @@ impl NeuralUpperPolicy {
     /// Wraps a network; the network's input/output dims must match the
     /// encoding implied by `(num_states, d, num_levels)`.
     pub fn new(net: Mlp, num_states: usize, d: usize, num_levels: usize) -> Self {
+        Self::with_rule_space(net, num_states, num_states, d, num_levels)
+    }
+
+    /// Wraps a network whose decision rule lives on a *different* state
+    /// space than the observation — the heterogeneous-pool case, where the
+    /// policy observes the length distribution (`obs_states = B + 1`) but
+    /// must emit a rule over composite `(length, class)` states
+    /// (`rule_states = C·(B+1)`, see [`crate::composite_index`]).
+    pub fn with_rule_space(
+        net: Mlp,
+        obs_states: usize,
+        rule_states: usize,
+        d: usize,
+        num_levels: usize,
+    ) -> Self {
         assert_eq!(
             net.input_dim(),
-            observation_dim(num_states, num_levels),
+            observation_dim(obs_states, num_levels),
             "network input dim mismatch"
         );
-        assert_eq!(net.output_dim(), action_dim(num_states, d), "network output dim mismatch");
-        Self { net, num_states, d, num_levels, name: "MF (learned)".into() }
+        assert_eq!(net.output_dim(), action_dim(rule_states, d), "network output dim mismatch");
+        Self { net, obs_states, rule_states, d, num_levels, name: "MF (learned)".into() }
     }
 
     /// Builds from a checkpoint.
@@ -78,15 +98,23 @@ impl NeuralUpperPolicy {
     }
 
     /// Saves the policy as a checkpoint JSON file.
+    ///
+    /// This legacy format cannot represent composite-rule policies; those
+    /// travel in `mflb_rl`'s versioned `TrainingCheckpoint` instead.
     pub fn save(
         &self,
         path: impl AsRef<Path>,
         dt: f64,
         meta: impl Into<String>,
     ) -> Result<(), String> {
+        if self.rule_states != self.obs_states {
+            return Err("legacy PolicyCheckpoint cannot hold a composite-rule policy; \
+                 save the versioned training checkpoint instead"
+                .into());
+        }
         let ckpt = PolicyCheckpoint {
             net: self.net.clone(),
-            num_states: self.num_states,
+            num_states: self.obs_states,
             d: self.d,
             num_levels: self.num_levels,
             dt,
@@ -111,9 +139,10 @@ impl NeuralUpperPolicy {
 
 impl UpperPolicy for NeuralUpperPolicy {
     fn decide(&self, dist: &StateDist, lambda_idx: usize, _lambda: f64) -> DecisionRule {
+        debug_assert_eq!(dist.num_states(), self.obs_states, "observed distribution shape");
         let obs = encode_observation(dist, lambda_idx, self.num_levels);
         let logits = self.net.forward_one(&obs);
-        DecisionRule::from_logits(self.num_states, self.d, &logits)
+        DecisionRule::from_logits(self.rule_states, self.d, &logits)
     }
 
     fn name(&self) -> &str {

@@ -107,6 +107,22 @@ impl RolloutBuffer {
         }
     }
 
+    /// Truncates the buffer to its first `n` transitions (no-op if it
+    /// already holds at most `n`). The caller is responsible for refreshing
+    /// [`RolloutBuffer::last_value`] to the value of the observation that
+    /// followed the new final step before computing GAE.
+    pub fn truncate(&mut self, n: usize) {
+        self.obs.truncate(n);
+        self.actions.truncate(n);
+        self.log_probs.truncate(n);
+        self.means.truncate(n);
+        self.rewards.truncate(n);
+        self.values.truncate(n);
+        self.dones.truncate(n);
+        self.advantages.truncate(n);
+        self.returns.truncate(n);
+    }
+
     /// Clears all storage for reuse.
     pub fn clear(&mut self) {
         self.obs.clear();

@@ -34,6 +34,19 @@ pub trait Env: Send {
     /// Clones the environment into a fresh boxed instance (parallel rollout
     /// workers each own one).
     fn boxed_clone(&self) -> Box<dyn Env>;
+
+    /// Fixed episode length, if the environment always terminates after the
+    /// same number of steps.
+    ///
+    /// [`crate::PpoTrainer`] uses the hint to dispatch exactly the number of
+    /// episodes a rollout batch needs; environments with data-dependent
+    /// horizons return `None` (the default) and the trainer falls back to a
+    /// collect-until-full scheme. Either way, episode RNG streams are pinned
+    /// to global episode indices, so rollouts are bit-identical for any
+    /// worker count.
+    fn horizon_hint(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// A deterministic LQR-flavoured toy environment used by the PPO
@@ -82,6 +95,10 @@ impl Env for ToyControlEnv {
 
     fn boxed_clone(&self) -> Box<dyn Env> {
         Box::new(self.clone())
+    }
+
+    fn horizon_hint(&self) -> Option<usize> {
+        Some(self.horizon)
     }
 }
 

@@ -1,0 +1,157 @@
+//! Checkpoint evaluation: deploy a trained policy into the scenario's
+//! finite-N system and compare it against the classical baselines.
+//!
+//! Mirrors the paper's Fig. 4–6 protocol: for each system size `M` (with
+//! `N = M²`, the paper's scaling) the learned policy, JSQ(d), RND and the
+//! tuned softmin run `n` independent Monte-Carlo episodes of the scenario's
+//! finite engine over the evaluation horizon `T_e = round(eval_time/Δt)`,
+//! and the report holds mean cumulative per-queue drops with 95% confidence
+//! half-widths. Baselines are length-based; on heterogeneous pools they are
+//! lifted to the composite `(length, class)` rule space with
+//! [`mflb_policy::lift_to_composite`] (rate-blind, as in §5).
+
+use crate::checkpoint::TrainingCheckpoint;
+use crate::scenario_env::PolicyShape;
+use mflb_core::mdp::FixedRulePolicy;
+use mflb_sim::{monte_carlo, EngineSpec, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// One (policy, system size) cell of the evaluation table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalRow {
+    /// Policy label (`MF (learned)`, `JSQ(d)`, `RND`, `SOFT(β*)`).
+    pub policy: String,
+    /// Number of queues `M`.
+    pub m: usize,
+    /// Number of clients `N`.
+    pub n: u64,
+    /// Mean cumulative per-queue drops over the episode.
+    pub mean_drops: f64,
+    /// 95% confidence half-width over the Monte-Carlo runs.
+    pub ci95: f64,
+    /// Fraction of jobs dropped among all jobs that reached a queue.
+    pub drop_fraction: f64,
+}
+
+/// The full evaluation report (serialized by `mflb eval --out`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// The evaluated scenario (the checkpoint's, or an override).
+    pub scenario: Scenario,
+    /// Episode length in decision epochs (`T_e`).
+    pub horizon: usize,
+    /// Monte-Carlo runs per cell.
+    pub runs: usize,
+    /// Base seed of the per-run RNG streams.
+    pub seed: u64,
+    /// Softmin temperature used for the `SOFT` baseline.
+    pub softmin_beta: f64,
+    /// The table, grouped by system size then policy.
+    pub rows: Vec<EvalRow>,
+}
+
+impl EvalReport {
+    /// Serializes the report to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Mean drops of a policy at the scenario's own system size (first
+    /// swept `M`), if present.
+    pub fn mean_drops_of(&self, policy: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.policy == policy).map(|r| r.mean_drops)
+    }
+}
+
+/// Derives the scenario for a swept system size `M` (`N = M²`, the
+/// paper's scaling). Heterogeneous pools stretch their per-server rate
+/// pattern proportionally so class fractions are preserved to within one
+/// server.
+pub fn scenario_with_m(scenario: &Scenario, m: usize) -> Scenario {
+    let mut out = scenario.clone();
+    out.config = out.config.with_m_squared(m);
+    if let EngineSpec::Hetero { rates } = &scenario.engine {
+        let old = rates.len().max(1);
+        let stretched = (0..m).map(|i| rates[i * old / m.max(1)]).collect();
+        out.engine = EngineSpec::Hetero { rates: stretched };
+    }
+    out
+}
+
+/// Evaluates a checkpoint on its scenario's finite system for each `M` in
+/// `m_sweep` (empty sweep → the scenario's own size), comparing the
+/// learned policy against JSQ(d), RND and softmin(β*).
+///
+/// `threads = 0` uses all available cores for the Monte-Carlo fan-out.
+pub fn evaluate_checkpoint(
+    ckpt: &TrainingCheckpoint,
+    scenario: &Scenario,
+    m_sweep: &[usize],
+    runs: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<EvalReport, String> {
+    ckpt.validate_for(scenario)?;
+    let learned = ckpt.shape().into_policy(ckpt.policy_net.clone());
+    let shape = PolicyShape::for_scenario(scenario);
+    let zs = shape.obs_states;
+    let d = shape.d;
+    let classes = shape.rule_states / zs;
+
+    // Tune the softmin temperature once, in the homogeneous mean-field
+    // model (cheap, deterministic up to arrival noise).
+    let horizon = scenario.config.eval_episode_len();
+    let beta = mflb_policy::optimize_beta(&scenario.config, horizon.min(60), 6, seed).beta;
+
+    let lift = |rule: mflb_core::DecisionRule| {
+        if classes > 1 {
+            mflb_policy::lift_to_composite(&rule, zs, classes)
+        } else {
+            rule
+        }
+    };
+    let baselines: Vec<(String, FixedRulePolicy)> = vec![
+        (format!("JSQ({d})"), FixedRulePolicy::new(lift(mflb_policy::jsq_rule(zs, d)), "JSQ")),
+        ("RND".into(), FixedRulePolicy::new(lift(mflb_policy::rnd_rule(zs, d)), "RND")),
+        (
+            format!("SOFT(β*={beta:.2})"),
+            FixedRulePolicy::new(lift(mflb_policy::softmin_rule(zs, d, beta)), "SOFT"),
+        ),
+    ];
+
+    let sweep: Vec<usize> =
+        if m_sweep.is_empty() { vec![scenario.config.num_queues] } else { m_sweep.to_vec() };
+
+    let mut rows = Vec::new();
+    for &m in &sweep {
+        let sized = if m == scenario.config.num_queues {
+            scenario.clone()
+        } else {
+            scenario_with_m(scenario, m)
+        };
+        let engine = sized.build()?;
+        let n = sized.config.num_clients;
+        let mc = monte_carlo(&engine, &learned, horizon, runs, seed, threads);
+        rows.push(EvalRow {
+            policy: "MF (learned)".into(),
+            m,
+            n,
+            mean_drops: mc.mean(),
+            ci95: mc.ci95(),
+            drop_fraction: mc.drop_fraction(),
+        });
+        for (label, policy) in &baselines {
+            let mc = monte_carlo(&engine, policy, horizon, runs, seed, threads);
+            rows.push(EvalRow {
+                policy: label.clone(),
+                m,
+                n,
+                mean_drops: mc.mean(),
+                ci95: mc.ci95(),
+                drop_fraction: mc.drop_fraction(),
+            });
+        }
+    }
+
+    Ok(EvalReport { scenario: scenario.clone(), horizon, runs, seed, softmin_beta: beta, rows })
+}

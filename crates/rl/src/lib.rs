@@ -1,36 +1,58 @@
 //! Hand-rolled reinforcement learning for the MFC MDP: PPO (the paper's
-//! algorithm) plus REINFORCE and CEM baselines, and the environment
-//! adapter.
+//! algorithm) plus REINFORCE and CEM baselines, the environment adapters,
+//! and the scenario-driven training/evaluation subsystem.
 //!
 //! Rust's RL ecosystem is immature (the reproduction assessment for this
 //! paper flags exactly that), so the full training stack is implemented
-//! here on top of `mflb-nn`:
+//! here on top of `mflb-nn`. Component ↔ paper map:
 //!
 //! * [`env::Env`] — the minimal episodic environment interface (with a toy
 //!   control task for the test-suite),
-//! * [`buffer::RolloutBuffer`] — experience storage + GAE(λ),
-//! * [`ppo::PpoTrainer`] — clipped-surrogate PPO with adaptive KL penalty
-//!   and parallel rollout workers; [`ppo::PpoConfig::paper`] is Table 2,
+//! * [`buffer::RolloutBuffer`] — experience storage plus GAE(λ) advantages
+//!   (Schulman et al. 2016; the paper trains with `λ_RL = 1`, Table 2),
+//! * [`ppo::PpoTrainer`] — clipped-surrogate PPO with the adaptive KL
+//!   penalty of the paper's RLlib setup and parallel, episode-indexed
+//!   rollout workers; [`ppo::PpoConfig::paper`] is Table 2 verbatim,
 //! * [`reinforce::ReinforceTrainer`] — Monte-Carlo policy gradient with a
 //!   learned baseline (the no-trust-region ablation),
 //! * [`cem::CemTrainer`] — cross-entropy search over policy parameters
 //!   (the derivative-free ablation),
-//! * [`mfc_env::MfcEnv`] — the paper's upper-level mean-field MDP as an
-//!   environment (observation `[ν_t, onehot λ_t]`, action = decision-rule
-//!   logits, reward `−D_t`).
+//! * [`mfc_env::MfcEnv`] — the paper's upper-level mean-field MDP
+//!   (Eq. 29–31) as an environment: observation `[ν_t, onehot λ_t]`,
+//!   action = decision-rule logits with the §4 "manual normalization"
+//!   softmax decoding, reward `−D_t`,
+//! * [`scenario_env`] — training environments selected by a serde
+//!   [`mflb_sim::Scenario`]: homogeneous exponential, heterogeneous pools
+//!   (§2.5) and phase-type service (§5),
+//! * [`checkpoint::TrainingCheckpoint`] — the versioned training artifact
+//!   (scenario + config + seed + curve + networks) with strict load-time
+//!   shape validation,
+//! * [`train::train_scenario`] — the `Scenario → PPO → checkpoint` driver
+//!   behind `mflb train`,
+//! * [`eval::evaluate_checkpoint`] — finite-N Monte-Carlo comparison of a
+//!   checkpoint against JSQ(d)/RND/softmin, the Fig. 4–6 protocol.
 
+#![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod buffer;
 pub mod cem;
+pub mod checkpoint;
 pub mod env;
+pub mod eval;
 pub mod mfc_env;
 pub mod ppo;
 pub mod reinforce;
+pub mod scenario_env;
+pub mod train;
 
 pub use buffer::RolloutBuffer;
 pub use cem::{CemConfig, CemStats, CemTrainer};
+pub use checkpoint::{CurvePoint, TrainingCheckpoint, CHECKPOINT_FORMAT_VERSION};
 pub use env::{Env, StepResult, ToyControlEnv};
+pub use eval::{evaluate_checkpoint, scenario_with_m, EvalReport, EvalRow};
 pub use mfc_env::MfcEnv;
 pub use ppo::{IterationStats, PpoConfig, PpoTrainer};
 pub use reinforce::{ReinforceConfig, ReinforceStats, ReinforceTrainer};
+pub use scenario_env::{build_env, hetero_classes, HeteroMfcEnv, PhMfcEnv, PolicyShape};
+pub use train::{train_scenario, train_scenario_from, TrainResult};

@@ -79,6 +79,10 @@ impl Env for MfcEnv {
     fn boxed_clone(&self) -> Box<dyn Env> {
         Box::new(Self::with_horizon(self.mdp.config().clone(), self.horizon))
     }
+
+    fn horizon_hint(&self) -> Option<usize> {
+        Some(self.horizon)
+    }
 }
 
 #[cfg(test)]

@@ -3,8 +3,19 @@
 //! Matches the paper's RLlib setup (Table 2): clipped surrogate objective
 //! *plus* an adaptive KL penalty, GAE(λ) advantages, tanh MLPs for policy
 //! and value, diagonal Gaussian actions with state-independent log-stds,
-//! minibatch Adam. Rollouts can be collected by parallel workers
-//! (crossbeam scoped threads), mirroring the paper's 20-core training.
+//! minibatch Adam. Rollouts are collected by parallel workers (crossbeam
+//! scoped threads), mirroring the paper's 20-core training.
+//!
+//! # Rollout determinism
+//!
+//! Rollout collection is **episode-indexed**: every episode `e` (a global,
+//! monotonically increasing counter) draws all of its randomness from an RNG
+//! seeded by `(training seed, e)`, workers pull episode indices from a shared
+//! atomic counter, and the collected episodes are merged back **in episode
+//! order**. The content of a rollout batch therefore depends only on the
+//! seed and the networks — *not* on [`PpoConfig::rollout_threads`] or on OS
+//! scheduling — so training with 1 worker and with `k` workers produces
+//! bit-identical networks (verified by `tests/training_determinism.rs`).
 //!
 //! Loss per minibatch sample `i` with ratio `r_i = exp(lnπ(a|s) − lnπ_old)`:
 //!
@@ -50,7 +61,9 @@ pub struct PpoConfig {
     pub initial_log_std: f64,
     /// Hidden layer widths of both networks.
     pub hidden: Vec<usize>,
-    /// Number of parallel rollout workers.
+    /// Number of parallel rollout worker threads. Purely a throughput
+    /// knob: collected batches are identical for every value (see the
+    /// module docs on rollout determinism).
     pub rollout_threads: usize,
 }
 
@@ -113,17 +126,25 @@ pub struct IterationStats {
     pub kl_coeff: f64,
 }
 
-/// One rollout worker: a persistent environment with its own RNG so
-/// episodes continue across training batches.
-struct Worker {
-    env: Box<dyn Env>,
-    obs: Vec<f64>,
-    rng: StdRng,
+/// One collected episode, tagged with its global index so shards can be
+/// merged deterministically regardless of which worker produced them.
+struct EpisodeShard {
+    index: u64,
+    buf: RolloutBuffer,
+    /// The episode terminated inside the collected steps (as opposed to
+    /// hitting the per-episode step cap).
+    done: bool,
     episode_return: f64,
 }
 
+/// Derives the pinned RNG for episode `index` — the same SplitMix64
+/// construction (and code) as `mflb_sim`'s per-run Monte-Carlo seeds.
+fn episode_rng(seed: u64, index: u64) -> StdRng {
+    mflb_sim::run_rng(seed, index)
+}
+
 /// The PPO trainer: owns policy network, Gaussian head, value network,
-/// optimizers and rollout workers.
+/// optimizers and the rollout-environment prototype.
 pub struct PpoTrainer {
     cfg: PpoConfig,
     policy: Mlp,
@@ -132,7 +153,11 @@ pub struct PpoTrainer {
     opt_policy: Adam,
     opt_value: Adam,
     kl_coeff: f64,
-    workers: Vec<Worker>,
+    proto: Box<dyn Env>,
+    seed: u64,
+    /// Global episode counter: episode `e` always uses [`episode_rng`]
+    /// stream `(seed, e)`, across iterations.
+    episodes_started: u64,
     total_steps: u64,
     iteration: u64,
 }
@@ -169,16 +194,6 @@ impl PpoTrainer {
         let opt_policy = Adam::new(policy.num_params() + act_dim, cfg.lr);
         let opt_value = Adam::new(value.num_params(), cfg.lr);
 
-        let n_workers = cfg.rollout_threads.max(1);
-        let workers = (0..n_workers)
-            .map(|w| {
-                let mut wrng = StdRng::seed_from_u64(seed ^ (0xABCD_EF00 + w as u64));
-                let mut env = prototype.boxed_clone();
-                let obs = env.reset(&mut wrng);
-                Worker { env, obs, rng: wrng, episode_return: 0.0 }
-            })
-            .collect();
-
         Self {
             kl_coeff: cfg.kl_coeff,
             cfg,
@@ -187,7 +202,9 @@ impl PpoTrainer {
             value,
             opt_policy,
             opt_value,
-            workers,
+            proto: prototype.boxed_clone(),
+            seed,
+            episodes_started: 0,
             total_steps: 0,
             iteration: 0,
         }
@@ -230,26 +247,33 @@ impl PpoTrainer {
         self.policy.forward_one(obs)
     }
 
-    /// Collects one rollout shard on a single worker.
-    fn collect_shard(
+    /// Runs one complete episode with the pinned per-episode RNG, stopping
+    /// early after `cap` steps (the bootstrap value then covers the tail).
+    fn collect_episode(
         policy: &Mlp,
         value: &Mlp,
         log_std: &[f64],
-        worker: &mut Worker,
-        steps: usize,
-        completed: &mut Vec<f64>,
-    ) -> RolloutBuffer {
+        env: &mut dyn Env,
+        seed: u64,
+        index: u64,
+        cap: usize,
+    ) -> EpisodeShard {
+        let mut rng = episode_rng(seed, index);
+        let mut obs = env.reset(&mut rng);
         let mut buf = RolloutBuffer::new();
-        for _ in 0..steps {
-            let mean = policy.forward_one(&worker.obs);
+        let mut episode_return = 0.0;
+        let mut done = false;
+        while !done && buf.len() < cap {
+            let mean = policy.forward_one(&obs);
             let dist = DiagGaussian::new(&mean, log_std);
-            let action = dist.sample(&mut worker.rng);
+            let action = dist.sample(&mut rng);
             let log_prob = dist.log_prob(&action);
-            let v = value.forward_one(&worker.obs)[0];
-            let result = worker.env.step(&action, &mut worker.rng);
-            worker.episode_return += result.reward;
+            let v = value.forward_one(&obs)[0];
+            let result = env.step(&action, &mut rng);
+            episode_return += result.reward;
+            done = result.done;
             buf.push(
-                std::mem::replace(&mut worker.obs, result.obs.clone()),
+                std::mem::replace(&mut obs, result.obs),
                 action,
                 log_prob,
                 mean,
@@ -257,20 +281,81 @@ impl PpoTrainer {
                 v,
                 result.done,
             );
-            if result.done {
-                completed.push(worker.episode_return);
-                worker.episode_return = 0.0;
-                worker.obs = worker.env.reset(&mut worker.rng);
-            }
         }
-        // Bootstrap value for the (possibly unfinished) trailing episode.
-        buf.last_value = if *buf.dones.last().unwrap_or(&true) {
-            0.0
-        } else {
-            value.forward_one(&worker.obs)[0]
-        };
+        // Bootstrap value for a cap-truncated episode; terminated ones end
+        // with value 0 by definition.
+        buf.last_value = if done { 0.0 } else { value.forward_one(&obs)[0] };
         buf.behaviour_log_std = log_std.to_vec();
-        buf
+        EpisodeShard { index, buf, done, episode_return }
+    }
+
+    /// Collects at least `train_batch_size` steps as whole episodes,
+    /// parallel over `rollout_threads` workers, and returns the shards
+    /// sorted by episode index. The episode *content* depends only on the
+    /// networks and the pinned per-episode RNG streams, never on the worker
+    /// count.
+    fn collect_shards(&self) -> Vec<EpisodeShard> {
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+        let batch = self.cfg.train_batch_size;
+        let n_workers = self.cfg.rollout_threads.max(1);
+        let policy = &self.policy;
+        let value = &self.value;
+        let log_std = self.log_std.clone();
+        let seed = self.seed;
+        let start = self.episodes_started;
+
+        // With a fixed-horizon environment the exact episode demand is
+        // known up front; otherwise workers keep pulling indices until the
+        // shared step counter crosses the batch size (the deterministic
+        // prefix taken in `train_iteration` discards any overshoot).
+        let fixed_demand = self.proto.horizon_hint().map(|h| batch.div_ceil(h.min(batch)) as u64);
+
+        let next_index = AtomicU64::new(start);
+        let steps_collected = AtomicU64::new(0);
+        let full = AtomicBool::new(false);
+        let shards: parking_lot::Mutex<Vec<EpisodeShard>> = parking_lot::Mutex::new(Vec::new());
+
+        let worker_loop = |env: &mut dyn Env| loop {
+            // In the dynamic scheme the stop check must happen BEFORE an
+            // index is claimed: a claimed index is always collected, so the
+            // contiguous index range reaching the batch size is present in
+            // full regardless of worker scheduling.
+            if fixed_demand.is_none() && full.load(Ordering::Relaxed) {
+                break;
+            }
+            let e = next_index.fetch_add(1, Ordering::Relaxed);
+            if let Some(demand) = fixed_demand {
+                if e >= start + demand {
+                    break;
+                }
+            }
+            let shard = Self::collect_episode(policy, value, &log_std, env, seed, e, batch.max(1));
+            let got = steps_collected.fetch_add(shard.buf.len() as u64, Ordering::Relaxed)
+                + shard.buf.len() as u64;
+            shards.lock().push(shard);
+            if got >= batch as u64 {
+                full.store(true, Ordering::Relaxed);
+            }
+        };
+
+        if n_workers == 1 {
+            let mut env = self.proto.boxed_clone();
+            worker_loop(env.as_mut());
+        } else {
+            crossbeam::scope(|scope| {
+                for _ in 0..n_workers {
+                    let mut env = self.proto.boxed_clone();
+                    let work = &worker_loop;
+                    scope.spawn(move |_| work(env.as_mut()));
+                }
+            })
+            .expect("rollout scope failed");
+        }
+
+        let mut shards = shards.into_inner();
+        shards.sort_by_key(|s| s.index);
+        shards
     }
 
     /// Runs one PPO iteration: collect `train_batch_size` steps, compute
@@ -278,59 +363,42 @@ impl PpoTrainer {
     /// coefficient.
     pub fn train_iteration(&mut self, rng: &mut StdRng) -> IterationStats {
         self.iteration += 1;
-        let n_workers = self.workers.len();
-        let shard = self.cfg.train_batch_size.div_ceil(n_workers);
 
-        // --- Rollout collection (parallel over workers). ---
-        let policy = &self.policy;
-        let value = &self.value;
-        let log_std_snapshot = self.log_std.clone();
-        let mut shards: Vec<(RolloutBuffer, Vec<f64>)> = Vec::with_capacity(n_workers);
-        if n_workers == 1 {
-            let mut completed = Vec::new();
-            let b = Self::collect_shard(
-                policy,
-                value,
-                &log_std_snapshot,
-                &mut self.workers[0],
-                shard,
-                &mut completed,
-            );
-            shards.push((b, completed));
-        } else {
-            let results: Vec<(RolloutBuffer, Vec<f64>)> = crossbeam::scope(|scope| {
-                let handles: Vec<_> = self
-                    .workers
-                    .iter_mut()
-                    .map(|worker| {
-                        let ls = &log_std_snapshot;
-                        scope.spawn(move |_| {
-                            let mut completed = Vec::new();
-                            let b = Self::collect_shard(
-                                policy,
-                                value,
-                                ls,
-                                worker,
-                                shard,
-                                &mut completed,
-                            );
-                            (b, completed)
-                        })
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("rollout worker panicked")).collect()
-            })
-            .expect("rollout scope failed");
-            shards = results;
-        }
+        // --- Rollout collection (parallel, episode-indexed). ---
+        let shards = self.collect_shards();
 
+        // Deterministic prefix: take episodes in index order until the
+        // batch is exactly full, truncating the last one if necessary.
+        // Overshoot episodes (possible with data-dependent horizons and
+        // several workers) are discarded and their indices reused next
+        // iteration, so the consumed stream is worker-count-invariant.
+        let batch = self.cfg.train_batch_size;
         let mut buffer = RolloutBuffer::new();
         let mut completed_returns = Vec::new();
-        for (mut shard_buf, completed) in shards {
-            shard_buf.compute_gae(self.cfg.gamma, self.cfg.gae_lambda);
-            buffer.merge(shard_buf);
-            completed_returns.extend(completed);
+        let mut consumed = 0u64;
+        for mut shard in shards {
+            let remaining = batch - buffer.len();
+            if remaining == 0 {
+                break;
+            }
+            consumed += 1;
+            if shard.buf.len() > remaining {
+                let bootstrap_obs = shard.buf.obs[remaining].clone();
+                shard.buf.truncate(remaining);
+                shard.buf.last_value = if *shard.buf.dones.last().unwrap_or(&true) {
+                    0.0
+                } else {
+                    self.value.forward_one(&bootstrap_obs)[0]
+                };
+                shard.done = false;
+            }
+            if shard.done {
+                completed_returns.push(shard.episode_return);
+            }
+            shard.buf.compute_gae(self.cfg.gamma, self.cfg.gae_lambda);
+            buffer.merge(shard.buf);
         }
+        self.episodes_started += consumed;
         buffer.normalize_advantages();
         self.total_steps += buffer.len() as u64;
 

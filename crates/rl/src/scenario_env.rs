@@ -1,0 +1,405 @@
+//! Scenario-selected mean-field training environments.
+//!
+//! PR 2 made every *finite-system* engine reachable from a serde
+//! [`Scenario`]; this module does the same for the *training* side: given a
+//! scenario, [`build_env`] constructs the mean-field control MDP whose
+//! optimal policy is what the scenario's finite system should deploy
+//! (§2.3/§5 of the paper — train in the limit, evaluate at finite `N`):
+//!
+//! * [`EngineSpec::PerClient`] / [`EngineSpec::Aggregate`] /
+//!   [`EngineSpec::Staggered`] / [`EngineSpec::JobLevel`] — the homogeneous
+//!   exponential mean field ([`MfcEnv`], Eq. 20–31). Staggered refreshes and
+//!   job-level FIFO queues share the homogeneous limit, so the same training
+//!   environment serves all four.
+//! * [`EngineSpec::Hetero`] — the heterogeneous-pool mean field
+//!   ([`HeteroMfcEnv`] over [`mflb_core::HeteroMeanField`], the §2.5
+//!   extension). The policy observes the overall queue-**length**
+//!   distribution — exactly what `HeteroEngine::empirical` reports at
+//!   deployment — and emits a decision rule over composite
+//!   `(length, class)` states.
+//! * [`EngineSpec::Ph`] — the phase-type-service mean field ([`PhMfcEnv`]
+//!   over [`mflb_core::PhMeanFieldMdp`], the §5 extension). The policy
+//!   observes the length marginal of the joint `(length, phase)` state.
+//!
+//! [`PolicyShape`] is the single source of truth for the observation/action
+//! dimensions a scenario implies; checkpoint validation and policy
+//! construction both go through it so a net trained for one scenario can
+//! never silently deploy against an incompatible one.
+
+use crate::env::{Env, StepResult};
+use crate::mfc_env::MfcEnv;
+use mflb_core::mdp::{action_dim, encode_observation, observation_dim};
+use mflb_core::{
+    DecisionRule, HeteroMeanField, PhMeanFieldMdp, PhMfState, StateDist, SystemConfig,
+};
+use mflb_policy::NeuralUpperPolicy;
+use mflb_queue::PhaseType;
+use mflb_sim::{EngineSpec, Scenario};
+use rand::rngs::StdRng;
+
+/// The policy interface a scenario implies: what the learned network
+/// observes and the state space of the decision rule it emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyShape {
+    /// States of the observed length distribution (`B + 1`). Every engine
+    /// reports a length-only empirical distribution to the upper policy.
+    pub obs_states: usize,
+    /// States of the emitted decision rule: `B + 1` for homogeneous
+    /// scenarios, `C·(B+1)` composite states for heterogeneous pools.
+    pub rule_states: usize,
+    /// Number of sampled queues `d`.
+    pub d: usize,
+    /// Number of arrival levels `|Λ|`.
+    pub num_levels: usize,
+}
+
+impl PolicyShape {
+    /// Derives the shape from a scenario.
+    pub fn for_scenario(scenario: &Scenario) -> Self {
+        let config = &scenario.config;
+        let zs = config.num_states();
+        let rule_states = match &scenario.engine {
+            EngineSpec::Hetero { rates } => zs * hetero_classes(rates).1.len(),
+            _ => zs,
+        };
+        Self { obs_states: zs, rule_states, d: config.d, num_levels: config.arrivals.num_levels() }
+    }
+
+    /// Observation dimensionality: `obs_states + num_levels`.
+    pub fn obs_dim(&self) -> usize {
+        observation_dim(self.obs_states, self.num_levels)
+    }
+
+    /// Action (decision-rule logit) dimensionality: `rule_states^d · d`.
+    pub fn act_dim(&self) -> usize {
+        action_dim(self.rule_states, self.d)
+    }
+
+    /// Builds the deployable policy around a trained network of this shape.
+    ///
+    /// # Panics
+    /// Panics if the network dims do not match the shape (checkpoint
+    /// loading validates first and reports an `Err` instead).
+    pub fn into_policy(self, net: mflb_nn::Mlp) -> NeuralUpperPolicy {
+        NeuralUpperPolicy::with_rule_space(
+            net,
+            self.obs_states,
+            self.rule_states,
+            self.d,
+            self.num_levels,
+        )
+    }
+}
+
+/// Derives `(class_weights, class_rates)` from a per-server rate vector,
+/// deduplicating rates in first-appearance order — the same quantization
+/// `mflb_sim`'s `HeteroEngine` applies, so the composite state indices of
+/// training and deployment always agree.
+pub fn hetero_classes(rates: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut class_rates: Vec<f64> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    for &r in rates {
+        if let Some(c) = class_rates.iter().position(|&x| (x - r).abs() < 1e-12) {
+            counts[c] += 1;
+        } else {
+            class_rates.push(r);
+            counts.push(1);
+        }
+    }
+    let total = rates.len().max(1) as f64;
+    let weights = counts.iter().map(|&c| c as f64 / total).collect();
+    (weights, class_rates)
+}
+
+/// Builds the mean-field training environment a scenario selects.
+///
+/// The scenario is validated first; malformed specs come back as `Err`.
+pub fn build_env(scenario: &Scenario) -> Result<Box<dyn Env>, String> {
+    scenario.validate()?;
+    let config = scenario.config.clone();
+    Ok(match &scenario.engine {
+        EngineSpec::PerClient
+        | EngineSpec::Aggregate
+        | EngineSpec::Staggered { .. }
+        | EngineSpec::JobLevel => Box::new(MfcEnv::new(config)),
+        EngineSpec::Hetero { rates } => Box::new(HeteroMfcEnv::new(config, rates)),
+        EngineSpec::Ph { service } => Box::new(PhMfcEnv::new(config, service.build()?)),
+    })
+}
+
+/// The heterogeneous-pool mean-field control MDP as a PPO environment.
+///
+/// Observation: `[length marginal (B+1), onehot(λ_t)]` — the marginal is
+/// what `HeteroEngine::empirical` reports at deployment, so training and
+/// deployment see the same interface (the per-class split is hidden state,
+/// making this a POMDP like the paper's delayed-information setting).
+/// Action: decision-rule logits over composite `(length, class)` tuples.
+/// Reward: `−D_t` (minus the holding-cost extension if configured).
+pub struct HeteroMfcEnv {
+    config: SystemConfig,
+    class_weights: Vec<f64>,
+    class_rates: Vec<f64>,
+    state: HeteroMeanField,
+    lambda_idx: usize,
+    t: usize,
+    horizon: usize,
+}
+
+impl HeteroMfcEnv {
+    /// Creates the environment from a per-server rate vector (deduplicated
+    /// into classes via [`hetero_classes`]).
+    pub fn new(config: SystemConfig, rates: &[f64]) -> Self {
+        config.validate().expect("invalid system configuration");
+        let (class_weights, class_rates) = hetero_classes(rates);
+        let horizon = config.train_episode_len;
+        let state = Self::initial(&config, &class_weights, &class_rates);
+        Self { config, class_weights, class_rates, state, lambda_idx: 0, t: 0, horizon }
+    }
+
+    fn initial(config: &SystemConfig, weights: &[f64], rates: &[f64]) -> HeteroMeanField {
+        let nu0 = StateDist::new(config.initial_dist.clone());
+        HeteroMeanField::new(weights.to_vec(), rates.to_vec(), vec![nu0; weights.len()])
+    }
+
+    /// The overall queue-length marginal `Σ_c w_c·ν_c`.
+    fn length_marginal(&self) -> StateDist {
+        let zs = self.config.num_states();
+        let mut probs = vec![0.0; zs];
+        for (c, &w) in self.class_weights.iter().enumerate() {
+            let dist = self.state.class_dist(c);
+            for (z, p) in probs.iter_mut().enumerate() {
+                *p += w * dist.prob(z);
+            }
+        }
+        StateDist::new(probs)
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        encode_observation(
+            &self.length_marginal(),
+            self.lambda_idx,
+            self.config.arrivals.num_levels(),
+        )
+    }
+}
+
+impl Env for HeteroMfcEnv {
+    fn obs_dim(&self) -> usize {
+        observation_dim(self.config.num_states(), self.config.arrivals.num_levels())
+    }
+
+    fn act_dim(&self) -> usize {
+        action_dim(self.config.num_states() * self.class_rates.len(), self.config.d)
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.state = Self::initial(&self.config, &self.class_weights, &self.class_rates);
+        self.lambda_idx = self.config.arrivals.sample_initial(rng);
+        self.t = 0;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> StepResult {
+        let rule_states = self.config.num_states() * self.class_rates.len();
+        let rule = DecisionRule::from_logits(rule_states, self.config.d, action);
+        let lambda = self.config.arrivals.level_rate(self.lambda_idx);
+        let detail = self.state.step(&rule, lambda, self.config.dt);
+        let mut cost = detail.expected_drops;
+        if self.config.holding_cost > 0.0 {
+            cost += self.config.holding_cost * detail.next.mean_queue_length() * self.config.dt;
+        }
+        self.state = detail.next;
+        self.lambda_idx = self.config.arrivals.step(self.lambda_idx, rng);
+        self.t += 1;
+        StepResult { obs: self.observe(), reward: -cost, done: self.t >= self.horizon }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Env> {
+        Box::new(Self {
+            config: self.config.clone(),
+            class_weights: self.class_weights.clone(),
+            class_rates: self.class_rates.clone(),
+            state: Self::initial(&self.config, &self.class_weights, &self.class_rates),
+            lambda_idx: 0,
+            t: 0,
+            horizon: self.horizon,
+        })
+    }
+
+    fn horizon_hint(&self) -> Option<usize> {
+        Some(self.horizon)
+    }
+}
+
+/// The phase-type-service mean-field control MDP as a PPO environment
+/// (§5 "non-exponential service times").
+///
+/// Observation: `[length marginal (B+1), onehot(λ_t)]`; the joint
+/// `(length, phase)` distribution is hidden state. Action: decision-rule
+/// logits over plain length tuples, as in the homogeneous model.
+pub struct PhMfcEnv {
+    mdp: PhMeanFieldMdp,
+    state: PhMfState,
+    t: usize,
+    horizon: usize,
+}
+
+impl PhMfcEnv {
+    /// Creates the environment for a service-time law.
+    pub fn new(config: SystemConfig, service: PhaseType) -> Self {
+        let horizon = config.train_episode_len;
+        let mdp = PhMeanFieldMdp::new(config, service);
+        let state = PhMfState {
+            dist: mflb_core::PhDist::all_empty(mdp.config().buffer, mdp.service().num_phases()),
+            lambda_idx: 0,
+        };
+        Self { mdp, state, t: 0, horizon }
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        encode_observation(
+            &self.state.dist.length_marginal(),
+            self.state.lambda_idx,
+            self.mdp.config().arrivals.num_levels(),
+        )
+    }
+}
+
+impl Env for PhMfcEnv {
+    fn obs_dim(&self) -> usize {
+        observation_dim(self.mdp.config().num_states(), self.mdp.config().arrivals.num_levels())
+    }
+
+    fn act_dim(&self) -> usize {
+        action_dim(self.mdp.config().num_states(), self.mdp.config().d)
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.state = self.mdp.initial_state(rng);
+        self.t = 0;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> StepResult {
+        let rule =
+            DecisionRule::from_logits(self.mdp.config().num_states(), self.mdp.config().d, action);
+        let (next, reward, _) = self.mdp.step(&self.state, &rule, rng);
+        self.state = next;
+        self.t += 1;
+        StepResult { obs: self.observe(), reward, done: self.t >= self.horizon }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Env> {
+        Box::new(Self::new(self.mdp.config().clone(), self.mdp.service().clone()))
+    }
+
+    fn horizon_hint(&self) -> Option<usize> {
+        Some(self.horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mflb_sim::ServiceLaw;
+    use rand::SeedableRng;
+
+    fn base_config() -> SystemConfig {
+        let mut c = SystemConfig::paper().with_size(100, 10).with_dt(5.0);
+        c.train_episode_len = 10;
+        c
+    }
+
+    fn hetero_scenario() -> Scenario {
+        let mut rates = vec![1.6; 5];
+        rates.extend(vec![0.4; 5]);
+        Scenario::new(base_config(), EngineSpec::Hetero { rates })
+    }
+
+    #[test]
+    fn shapes_per_engine_kind() {
+        let homog = PolicyShape::for_scenario(&Scenario::new(base_config(), EngineSpec::Aggregate));
+        assert_eq!((homog.obs_states, homog.rule_states), (6, 6));
+        assert_eq!(homog.obs_dim(), 8);
+        assert_eq!(homog.act_dim(), 72);
+
+        let het = PolicyShape::for_scenario(&hetero_scenario());
+        assert_eq!((het.obs_states, het.rule_states), (6, 12));
+        assert_eq!(het.obs_dim(), 8);
+        assert_eq!(het.act_dim(), 12 * 12 * 2);
+
+        let ph = PolicyShape::for_scenario(&Scenario::new(
+            base_config(),
+            EngineSpec::Ph { service: ServiceLaw::Erlang { k: 2, rate: 2.0 } },
+        ));
+        assert_eq!((ph.obs_states, ph.rule_states), (6, 6));
+    }
+
+    #[test]
+    fn built_envs_match_their_shapes_and_run_episodes() {
+        let scenarios = vec![
+            Scenario::new(base_config(), EngineSpec::Aggregate),
+            hetero_scenario(),
+            Scenario::new(
+                base_config(),
+                EngineSpec::Ph { service: ServiceLaw::Erlang { k: 2, rate: 2.0 } },
+            ),
+        ];
+        for scenario in scenarios {
+            let shape = PolicyShape::for_scenario(&scenario);
+            let mut env = build_env(&scenario).expect("valid scenario");
+            assert_eq!(env.obs_dim(), shape.obs_dim());
+            assert_eq!(env.act_dim(), shape.act_dim());
+            assert_eq!(env.horizon_hint(), Some(10));
+            let mut rng = StdRng::seed_from_u64(1);
+            let obs = env.reset(&mut rng);
+            assert_eq!(obs.len(), shape.obs_dim());
+            let action = vec![0.0; env.act_dim()];
+            let mut steps = 0;
+            loop {
+                let r = env.step(&action, &mut rng);
+                steps += 1;
+                assert!(r.reward <= 0.0, "reward is minus drops");
+                let mass: f64 = r.obs[..shape.obs_states].iter().sum();
+                assert!((mass - 1.0).abs() < 1e-8, "length marginal stays a distribution");
+                if r.done {
+                    break;
+                }
+            }
+            assert_eq!(steps, 10);
+        }
+    }
+
+    #[test]
+    fn single_class_hetero_env_matches_homogeneous_env() {
+        // One rate class: the hetero mean field collapses to the Eq. 20–28
+        // model, and both envs consume one RNG draw per step, so identical
+        // seeds must give identical rewards.
+        let cfg = base_config();
+        let mut hetero = HeteroMfcEnv::new(cfg.clone(), &[1.0; 10]);
+        let mut homog = MfcEnv::new(cfg);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        hetero.reset(&mut rng_a);
+        homog.reset(&mut rng_b);
+        let action = vec![0.3; homog.act_dim()];
+        for _ in 0..10 {
+            let a = hetero.step(&action, &mut rng_a);
+            let b = homog.step(&action, &mut rng_b);
+            assert!((a.reward - b.reward).abs() < 1e-9, "{} vs {}", a.reward, b.reward);
+        }
+    }
+
+    #[test]
+    fn build_env_rejects_malformed_scenarios() {
+        let bad = Scenario::new(base_config(), EngineSpec::Hetero { rates: vec![1.0; 3] });
+        assert!(build_env(&bad).is_err(), "pool size mismatch must be rejected");
+    }
+
+    #[test]
+    fn hetero_class_derivation_matches_first_appearance_order() {
+        let (w, r) = hetero_classes(&[1.6, 0.4, 1.6, 0.4, 0.4]);
+        assert_eq!(r, vec![1.6, 0.4]);
+        assert!((w[0] - 0.4).abs() < 1e-12 && (w[1] - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,123 @@
+//! Round-trip and strict-validation behaviour of the versioned checkpoint.
+
+use mflb_core::SystemConfig;
+use mflb_rl::{train_scenario, PpoConfig, TrainingCheckpoint, CHECKPOINT_FORMAT_VERSION};
+use mflb_sim::{EngineSpec, Scenario, ServiceLaw};
+
+fn tiny_ppo() -> PpoConfig {
+    PpoConfig {
+        train_batch_size: 64,
+        minibatch_size: 32,
+        num_epochs: 1,
+        hidden: vec![8],
+        rollout_threads: 2,
+        ..PpoConfig::paper()
+    }
+}
+
+fn small_config() -> SystemConfig {
+    let mut c = SystemConfig::paper().with_size(100, 10).with_dt(5.0);
+    c.train_episode_len = 8;
+    c
+}
+
+fn train_tiny(scenario: &Scenario) -> mflb_rl::TrainResult {
+    train_scenario(scenario, tiny_ppo(), 1, 1, false).expect("tiny training")
+}
+
+#[test]
+fn checkpoint_round_trips_through_disk_and_preserves_decisions() {
+    let scenario = Scenario::new(small_config(), EngineSpec::Aggregate);
+    let result = train_tiny(&scenario);
+    let dir = std::env::temp_dir().join("mflb_ckpt_roundtrip");
+    let path = dir.join("ckpt.json");
+    result.checkpoint.save(&path).unwrap();
+
+    let loaded = TrainingCheckpoint::load(&path).unwrap();
+    assert_eq!(loaded.format_version, CHECKPOINT_FORMAT_VERSION);
+    assert_eq!(loaded.scenario, scenario);
+    assert_eq!(loaded.total_steps, result.checkpoint.total_steps);
+    assert_eq!(loaded.curve.len(), result.checkpoint.curve.len());
+
+    let policy = loaded.into_policy().unwrap();
+    let dist = mflb_core::StateDist::new(vec![0.4, 0.3, 0.15, 0.1, 0.03, 0.02]);
+    let a = mflb_core::mdp::UpperPolicy::decide(&result.policy, &dist, 1, 0.6);
+    let b = mflb_core::mdp::UpperPolicy::decide(&policy, &dist, 1, 0.6);
+    assert!(a.max_abs_diff(&b) < 1e-15, "reloaded policy must decide identically");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dim_mismatch_against_target_scenario_is_rejected() {
+    let homog = Scenario::new(small_config(), EngineSpec::Aggregate);
+    let ckpt = train_tiny(&homog).checkpoint;
+
+    // Same config, heterogeneous engine: needs composite-rule logits.
+    let mut rates = vec![1.6; 5];
+    rates.extend(vec![0.4; 5]);
+    let hetero = Scenario::new(small_config(), EngineSpec::Hetero { rates });
+    let err = ckpt.validate_for(&hetero).unwrap_err();
+    assert!(err.contains("logits"), "should name the action-dim mismatch: {err}");
+
+    // Wider buffer: observation dim changes.
+    let wide = Scenario::new(small_config().with_buffer(9), EngineSpec::Aggregate);
+    let err = ckpt.validate_for(&wide).unwrap_err();
+    assert!(err.contains("observes"), "should name the obs-dim mismatch: {err}");
+
+    // The checkpoint remains valid against its own scenario.
+    ckpt.validate().unwrap();
+}
+
+#[test]
+fn hetero_checkpoint_deploys_only_against_matching_pools() {
+    let mut rates = vec![1.6; 5];
+    rates.extend(vec![0.4; 5]);
+    let hetero = Scenario::new(small_config(), EngineSpec::Hetero { rates });
+    let ckpt = train_tiny(&hetero).checkpoint;
+    ckpt.validate().unwrap();
+
+    let homog = Scenario::new(small_config(), EngineSpec::Aggregate);
+    assert!(ckpt.validate_for(&homog).is_err(), "composite policy must not deploy homogeneous");
+
+    // A PH scenario shares the homogeneous shape, so the homogeneous
+    // mismatch message is the same; a 3-class pool differs again.
+    let three: Vec<f64> = vec![2.0, 1.0, 0.5, 2.0, 1.0, 0.5, 2.0, 1.0, 0.5, 2.0];
+    let other = Scenario::new(small_config(), EngineSpec::Hetero { rates: three });
+    assert!(ckpt.validate_for(&other).is_err());
+}
+
+#[test]
+fn unsupported_format_version_is_rejected() {
+    let scenario = Scenario::new(small_config(), EngineSpec::Aggregate);
+    let ckpt = train_tiny(&scenario).checkpoint;
+    let json = ckpt.to_json();
+    let bumped = json.replace(
+        &format!("\"format_version\":{CHECKPOINT_FORMAT_VERSION}"),
+        &format!("\"format_version\":{}", CHECKPOINT_FORMAT_VERSION + 1),
+    );
+    assert_ne!(json, bumped, "version field must be present in the JSON");
+    let err = TrainingCheckpoint::from_json(&bumped).unwrap_err();
+    assert!(err.contains("format version"), "{err}");
+}
+
+#[test]
+fn corrupt_json_is_a_parse_error_not_a_panic() {
+    assert!(TrainingCheckpoint::from_json("{\"not\": \"a checkpoint\"}").is_err());
+    assert!(TrainingCheckpoint::from_json("}garbage{").is_err());
+    assert!(TrainingCheckpoint::load("/nonexistent/ckpt.json").is_err());
+}
+
+#[test]
+fn eval_report_structure_for_ph_scenario() {
+    let scenario = Scenario::new(
+        small_config(),
+        EngineSpec::Ph { service: ServiceLaw::Erlang { k: 2, rate: 2.0 } },
+    );
+    let result = train_tiny(&scenario);
+    let report = mflb_rl::evaluate_checkpoint(&result.checkpoint, &scenario, &[], 3, 1, 0).unwrap();
+    assert_eq!(report.rows.len(), 4, "learned + 3 baselines at the scenario's own size");
+    assert!(report.rows.iter().all(|r| r.mean_drops.is_finite() && r.ci95 >= 0.0));
+    assert!(report.mean_drops_of("MF (learned)").is_some());
+    let json = report.to_json();
+    assert!(json.contains("\"rows\""));
+}

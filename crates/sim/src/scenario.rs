@@ -15,6 +15,71 @@
 //! Malformed specs (zero cohorts, an empty server pool, an invalid
 //! service law, an inconsistent `SystemConfig`) are reported as `Err`
 //! from [`Scenario::validate`] / [`Scenario::build`] — never as panics.
+//!
+//! # The scenario JSON schema
+//!
+//! Annotated examples — one per engine kind — live under
+//! `examples/scenarios/` and feed `mflb train` / `mflb eval` /
+//! `mflb simulate --scenario` directly. A spec is an object with exactly
+//! two keys:
+//!
+//! ```json
+//! {
+//!   "config":  { ... a SystemConfig ... },
+//!   "engine":  "Aggregate"  // or a tagged object, see below
+//! }
+//! ```
+//!
+//! ## `config` — the `SystemConfig` (Table 1 of the paper)
+//!
+//! | field | type | meaning | constraint |
+//! |---|---|---|---|
+//! | `dt` | float | synchronization delay Δt (epoch length) | > 0, finite |
+//! | `service_rate` | float | service rate α of every queue (ignored by `Ph`, overridden per server by `Hetero`) | > 0 |
+//! | `arrivals` | object | the MMPP: `{"levels": [λ…], "kernel": [[row-stochastic]], "initial": [probs]}` | rows/initial sum to 1 |
+//! | `num_clients` | int | N, finite system only | ≥ 1 |
+//! | `num_queues` | int | M, finite system only | ≥ 1 |
+//! | `d` | int | sampled accessible queues per client | ≥ 1 (sampling is with replacement, so `d > M` is legal) |
+//! | `buffer` | int | queue capacity B; the state space is `{0..B}` | ≥ 1; ≤ 255 for `Staggered` (u8 snapshots) |
+//! | `initial_dist` | float array | ν₀ over `{0..B}` | length `B+1`, sums to 1, entries ≥ 0 |
+//! | `gamma` | float | discount of the control objective | in (0, 1) |
+//! | `train_episode_len` | int | training horizon T in epochs (Table 1: 500) | ≥ 1 |
+//! | `eval_time` | float | evaluation horizon in *time units*; `T_e = round(eval_time/dt)` | > 0 |
+//! | `holding_cost` | float | per-job-per-time-unit cost added to the drop objective | ≥ 0; **default 0** (may be omitted) |
+//!
+//! All other fields are mandatory; a missing field is a parse error.
+//!
+//! ## `engine` — the `EngineSpec` (externally tagged)
+//!
+//! | JSON | engine | extra validation |
+//! |---|---|---|
+//! | `"PerClient"` | literal per-client engine | — |
+//! | `"Aggregate"` | exact O(M) aggregation | — |
+//! | `"JobLevel"` | job-level FIFO with sojourns | — |
+//! | `{"Staggered": {"cohorts": k}}` | cohort-staggered refreshes | `k ≥ 1`; `buffer ≤ 255` |
+//! | `{"Hetero": {"rates": [α…]}}` | heterogeneous pool | non-empty, `len == num_queues`, all rates > 0 and finite |
+//! | `{"Ph": {"service": law}}` | phase-type service | see laws below |
+//!
+//! Service laws for `Ph` (all rates/means/probabilities must be positive
+//! and finite; phase expansions are capped at [`MAX_SERVICE_PHASES`]):
+//!
+//! | JSON | law |
+//! |---|---|
+//! | `{"Exponential": {"rate": α}}` | exponential (the paper's model) |
+//! | `{"Erlang": {"k": k, "rate": α}}` | Erlang-k, SCV `1/k` |
+//! | `{"Hyperexponential": {"probs": […], "rates": […]}}` | mixture; `probs` sum to 1, lengths match |
+//! | `{"MeanScv": {"mean": m, "scv": c}}` | two-moment PH fit |
+//!
+//! ## Validation errors
+//!
+//! [`Scenario::from_json`] reports *syntax* problems (malformed JSON, an
+//! unknown engine tag, a missing field); [`Scenario::validate`] — called
+//! by [`Scenario::build`] and by every CLI entry point — reports
+//! *semantic* ones, each as a human-readable string naming the offending
+//! field: inconsistent `SystemConfig` (`initial_dist` length/mass, γ
+//! outside (0,1), `d = 0`), pool-size or rate-sign problems for `Hetero`,
+//! `cohorts = 0` or an over-wide buffer for `Staggered`, and every
+//! service-law complaint of [`ServiceLaw::validate`].
 
 use crate::aggregate::AggregateEngine;
 use crate::client::PerClientEngine;

@@ -2,15 +2,19 @@
 //! the paper's full offline-training / online-deployment loop (Fig. 2 +
 //! Algorithm 1), at toy scale so it finishes in about a minute.
 //!
+//! This drives the scenario subsystem end to end, exactly like
+//! `mflb train` / `mflb eval` do:
+//! `Scenario → train_scenario → TrainingCheckpoint → finite-N engines`.
+//!
 //! ```text
 //! cargo run --release --example train_and_deploy
 //! ```
 
 use mflb::core::mdp::FixedRulePolicy;
 use mflb::core::{MeanFieldMdp, SystemConfig};
-use mflb::policy::{jsq_rule, rnd_rule, NeuralUpperPolicy};
-use mflb::rl::{MfcEnv, PpoConfig, PpoTrainer};
-use mflb::sim::{monte_carlo, AggregateEngine};
+use mflb::policy::{jsq_rule, rnd_rule};
+use mflb::rl::{train_scenario, PpoConfig, TrainingCheckpoint};
+use mflb::sim::{monte_carlo, EngineSpec, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,6 +24,7 @@ fn main() {
     let mut config = SystemConfig::paper().with_dt(5.0).with_m_squared(100);
     config.train_episode_len = 100;
     let horizon = config.eval_episode_len();
+    let scenario = Scenario::new(config.clone(), EngineSpec::Aggregate);
 
     // --- offline: PPO in the mean-field control MDP -----------------------
     // Variance-reduced demo settings: the rule fixes the epoch's drops
@@ -38,30 +43,21 @@ fn main() {
         rollout_threads: 4,
         ..PpoConfig::paper()
     };
-    let env = MfcEnv::new(config.clone());
-    let mut trainer = PpoTrainer::new(&env, ppo, 42);
-    let mut rng = StdRng::seed_from_u64(43);
     println!("training PPO on the MFC MDP (toy scale) ...");
-    for it in 0..45 {
-        let stats = trainer.train_iteration(&mut rng);
-        if it % 5 == 0 || it == 44 {
-            println!(
-                "  iter {:>3}  steps {:>7}  episode return {:>8.2}",
-                stats.iteration, stats.total_steps, stats.mean_episode_return
-            );
-        }
+    let result = train_scenario(&scenario, ppo, 45, 42, false).expect("training failed");
+    for p in result.checkpoint.curve.iter().step_by(5) {
+        println!(
+            "  iter {:>3}  steps {:>7}  episode return {:>8.2}",
+            p.iteration, p.steps, p.mean_return
+        );
     }
-    let learned = NeuralUpperPolicy::new(
-        trainer.policy_net().clone(),
-        config.num_states(),
-        config.d,
-        config.arrivals.num_levels(),
-    );
+    let learned = result.policy;
 
     // --- evaluation in the mean-field model --------------------------------
     let mdp = MeanFieldMdp::new(config.clone());
     let jsq = FixedRulePolicy::new(jsq_rule(config.num_states(), config.d), "JSQ(2)");
     let rnd = FixedRulePolicy::new(rnd_rule(config.num_states(), config.d), "RND");
+    let mut rng = StdRng::seed_from_u64(43);
     println!("\nmean-field expected drops over Te = {horizon} epochs:");
     for (name, value) in [
         ("MF (learned)", -mdp.evaluate(&learned, horizon, 50, &mut rng).mean()),
@@ -76,7 +72,7 @@ fn main() {
         "\ndeploying to the finite system (N = {}, M = {}):",
         config.num_clients, config.num_queues
     );
-    let engine = AggregateEngine::new(config.clone());
+    let engine = scenario.build().expect("valid scenario");
     for (name, mc) in [
         ("MF (learned)", monte_carlo(&engine, &learned, horizon, 15, 1, 0)),
         ("JSQ(2)", monte_carlo(&engine, &jsq, horizon, 15, 2, 0)),
@@ -85,14 +81,15 @@ fn main() {
         println!("  {name:<13} {:6.2} ± {:.2}", mc.mean(), mc.ci95());
     }
 
-    // --- persistence --------------------------------------------------------
+    // --- persistence: the versioned checkpoint -----------------------------
     let path = std::env::temp_dir().join("mflb_quick_policy.json");
-    learned.save(&path, config.dt, "train_and_deploy example").unwrap();
-    let reloaded = NeuralUpperPolicy::load(&path).unwrap();
-    let check = monte_carlo(&engine, &reloaded, horizon, 5, 1, 0);
+    result.checkpoint.save(&path).unwrap();
+    let reloaded = TrainingCheckpoint::load(&path).unwrap();
+    let check = monte_carlo(&engine, &reloaded.into_policy().unwrap(), horizon, 5, 1, 0);
     println!(
-        "\ncheckpoint round-trip via {} (drops {:.2}) — same policy, ready for production.",
+        "\ncheckpoint round-trip via {} (format v{}, drops {:.2}) — same policy, ready for production.",
         path.display(),
+        reloaded.format_version,
         check.mean()
     );
 }

@@ -2,6 +2,8 @@
 //! library.
 //!
 //! ```text
+//! mflb train --scenario spec.json --scale quick    # PPO -> versioned checkpoint
+//! mflb eval --checkpoint ckpt.json --m 50,100      # vs JSQ/RND/softmin, JSON table
 //! mflb simulate --dt 5 --m 100 --policy jsq        # finite-system episode
 //! mflb meanfield --dt 5 --policy softmin --beta 2  # limiting-model episode
 //! mflb compare --dt 5 --m 100                      # JSQ vs RND vs softmin
@@ -12,12 +14,15 @@
 //!
 //! The heavy experiment pipeline lives in `mflb-bench` (one binary per
 //! paper artifact); this CLI is the interactive, single-command surface a
-//! downstream operator uses to poke at a configuration.
+//! downstream operator uses to train, evaluate and poke at a
+//! configuration. Invoking `mflb` with no subcommand or an unknown one
+//! prints the usage synopsis and exits with status 2.
 
 use mflb::core::mdp::{FixedRulePolicy, UpperPolicy};
 use mflb::core::{MeanFieldMdp, SystemConfig};
 use mflb::policy::{jsq_rule, optimize_beta, rnd_rule, softmin_rule, NeuralUpperPolicy};
-use mflb::sim::{monte_carlo, AggregateEngine};
+use mflb::rl::{evaluate_checkpoint, train_scenario, PpoConfig, TrainingCheckpoint};
+use mflb::sim::{monte_carlo, AggregateEngine, EngineSpec, Scenario, ServiceLaw};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,6 +35,13 @@ fn parse<T: std::str::FromStr>(flag: &str, default: T) -> T {
     arg(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Prints an error and exits with status 1 (runtime failure; status 2 is
+/// reserved for usage errors).
+fn fail(msg: impl AsRef<str>) -> ! {
+    eprintln!("error: {}", msg.as_ref());
+    std::process::exit(1);
+}
+
 fn build_config() -> SystemConfig {
     let dt: f64 = parse("--dt", 5.0);
     let m: usize = parse("--m", 100);
@@ -39,22 +51,100 @@ fn build_config() -> SystemConfig {
     SystemConfig::paper().with_dt(dt).with_buffer(b).with_d(d).with_size(n, m)
 }
 
-fn build_policy(config: &SystemConfig) -> Box<dyn UpperPolicy + Sync + Send> {
+/// Resolves the scenario: `--scenario <file>` wins; otherwise one is built
+/// from `--engine` plus the common flags.
+fn build_scenario() -> Scenario {
+    if let Some(path) = arg("--scenario") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        let scenario =
+            Scenario::from_json(&text).unwrap_or_else(|e| fail(format!("parse {path}: {e}")));
+        if let Err(e) = scenario.validate() {
+            fail(format!("invalid scenario {path}: {e}"));
+        }
+        return scenario;
+    }
+    let config = build_config();
+    let engine = match arg("--engine").as_deref().unwrap_or("aggregate") {
+        "aggregate" => EngineSpec::Aggregate,
+        "perclient" => EngineSpec::PerClient,
+        "staggered" => EngineSpec::Staggered { cohorts: parse("--cohorts", 4) },
+        "ph" => {
+            EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: parse("--scv", 2.0) } }
+        }
+        "joblevel" => EngineSpec::JobLevel,
+        other => fail(format!(
+            "unknown --engine '{other}' (aggregate|perclient|staggered|ph|joblevel; \
+             heterogeneous pools need a --scenario file)"
+        )),
+    };
+    Scenario::new(config, engine)
+}
+
+/// Builds the `--policy` selection for a scenario. Rule-based baselines
+/// are lifted to the composite `(length, class)` space on heterogeneous
+/// pools; checkpoints are strictly validated against the scenario's shape.
+fn build_policy_for(scenario: &Scenario) -> Box<dyn UpperPolicy + Sync + Send> {
     let name = arg("--policy").unwrap_or_else(|| "jsq".into());
+    let config = &scenario.config;
     let zs = config.num_states();
+    let classes = match &scenario.engine {
+        EngineSpec::Hetero { rates } => mflb::rl::hetero_classes(rates).1.len(),
+        _ => 1,
+    };
+    let lift = |rule: mflb::core::DecisionRule| {
+        if classes > 1 {
+            mflb::policy::lift_to_composite(&rule, zs, classes)
+        } else {
+            rule
+        }
+    };
     match name.as_str() {
-        "jsq" => Box::new(FixedRulePolicy::new(jsq_rule(zs, config.d), "JSQ(d)")),
-        "rnd" => Box::new(FixedRulePolicy::new(rnd_rule(zs, config.d), "RND")),
+        "jsq" => Box::new(FixedRulePolicy::new(lift(jsq_rule(zs, config.d)), "JSQ(d)")),
+        "rnd" => Box::new(FixedRulePolicy::new(lift(rnd_rule(zs, config.d)), "RND")),
         "softmin" => {
             let beta: f64 = parse("--beta", 1.0);
             Box::new(FixedRulePolicy::new(
-                softmin_rule(zs, config.d, beta),
+                lift(softmin_rule(zs, config.d, beta)),
                 format!("SOFT({beta})"),
             ))
         }
         "checkpoint" => {
-            let path = arg("--checkpoint").expect("--checkpoint <path> required");
-            Box::new(NeuralUpperPolicy::load(&path).expect("load checkpoint"))
+            let path = arg("--checkpoint").unwrap_or_else(|| {
+                fail("--policy checkpoint needs --checkpoint <path>");
+            });
+            // Versioned training checkpoints first, legacy format second.
+            match TrainingCheckpoint::load(&path) {
+                Ok(ckpt) => {
+                    ckpt.validate_for(scenario).unwrap_or_else(|e| {
+                        fail(format!("{path} does not fit this scenario: {e}"))
+                    });
+                    Box::new(ckpt.into_policy().unwrap_or_else(|e| fail(format!("{path}: {e}"))))
+                }
+                Err(versioned_err) => match NeuralUpperPolicy::load(&path) {
+                    Ok(p) => {
+                        // Legacy checkpoints carry no scenario; validate
+                        // their network dims against this scenario's shape
+                        // so a mismatch fails here, not inside an engine.
+                        let shape = mflb::rl::PolicyShape::for_scenario(scenario);
+                        if p.net().input_dim() != shape.obs_dim()
+                            || p.net().output_dim() != shape.act_dim()
+                        {
+                            fail(format!(
+                                "{path} does not fit this scenario: legacy checkpoint \
+                                 network is {} -> {}, scenario needs {} -> {}",
+                                p.net().input_dim(),
+                                p.net().output_dim(),
+                                shape.obs_dim(),
+                                shape.act_dim()
+                            ));
+                        }
+                        Box::new(p)
+                    }
+                    Err(legacy_err) => {
+                        fail(format!("load {path}: {versioned_err} (legacy format: {legacy_err})"))
+                    }
+                },
+            }
         }
         other => {
             eprintln!("unknown policy '{other}' (jsq|rnd|softmin|checkpoint)");
@@ -63,16 +153,180 @@ fn build_policy(config: &SystemConfig) -> Box<dyn UpperPolicy + Sync + Send> {
     }
 }
 
+/// Homogeneous-model variant of [`build_policy_for`] (the limiting-model
+/// subcommands have no engine spec).
+fn build_policy(config: &SystemConfig) -> Box<dyn UpperPolicy + Sync + Send> {
+    build_policy_for(&Scenario::new(config.clone(), EngineSpec::Aggregate))
+}
+
+/// The CLI's PPO presets. `quick` is sized so `mflb train --scale quick`
+/// finishes in minutes on a laptop core while still clearing the RND
+/// baseline; `paper` is Table 2 verbatim.
+fn ppo_for_scale(scale: &str, threads: usize) -> (PpoConfig, usize) {
+    let (mut ppo, iters) = match scale {
+        "paper" | "full" => (PpoConfig::paper(), 6250),
+        "quick" => (
+            PpoConfig {
+                gamma: 0.9,
+                gae_lambda: 0.9,
+                lr: 1e-3,
+                train_batch_size: 2000,
+                minibatch_size: 250,
+                num_epochs: 10,
+                kl_target: 0.02,
+                hidden: vec![32, 32],
+                initial_log_std: -0.5,
+                ..PpoConfig::paper()
+            },
+            60,
+        ),
+        other => {
+            eprintln!("error: unknown --scale value `{other}` (expected quick|paper)");
+            std::process::exit(2);
+        }
+    };
+    ppo.rollout_threads = threads.max(1);
+    (ppo, iters)
+}
+
+fn cmd_train() {
+    let scenario = build_scenario();
+    let scale = arg("--scale").unwrap_or_else(|| "quick".into());
+    let threads: usize = parse("--threads", 1);
+    let seed: u64 = parse("--seed", 1);
+    let (ppo, default_iters) = ppo_for_scale(&scale, threads);
+    let iters: usize = parse("--iters", default_iters);
+    let out = arg("--out").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::path::PathBuf::from(format!(
+            "target/checkpoints/mf_{}_dt{}.json",
+            engine_slug(&scenario.engine),
+            scenario.config.dt
+        ))
+    });
+    let curve_path = arg("--curve").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        let mut p = out.clone();
+        p.set_extension("curve.json");
+        p
+    });
+
+    println!(
+        "training: engine={} Δt={} B={} d={} T={} scale={scale} iters={iters} seed={seed}",
+        engine_slug(&scenario.engine),
+        scenario.config.dt,
+        scenario.config.buffer,
+        scenario.config.d,
+        scenario.config.train_episode_len,
+    );
+    let t0 = std::time::Instant::now();
+    let result = train_scenario(&scenario, ppo, iters, seed, true).unwrap_or_else(|e| fail(e));
+    println!(
+        "trained {} steps in {:.1}s",
+        result.checkpoint.total_steps,
+        t0.elapsed().as_secs_f64()
+    );
+
+    result.checkpoint.save(&out).unwrap_or_else(|e| fail(e));
+    println!(
+        "checkpoint (format v{}) written to {}",
+        result.checkpoint.format_version,
+        out.display()
+    );
+    let curve_json = serde_json::to_string_pretty(&result.checkpoint.curve)
+        .expect("curve serialization cannot fail");
+    if let Some(parent) = curve_path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&curve_path, curve_json).unwrap_or_else(|e| fail(format!("write curve: {e}")));
+    println!("training curve written to {}", curve_path.display());
+    println!("next: mflb eval --checkpoint {}", out.display());
+}
+
+fn engine_slug(spec: &EngineSpec) -> &'static str {
+    match spec {
+        EngineSpec::PerClient => "perclient",
+        EngineSpec::Aggregate => "aggregate",
+        EngineSpec::Hetero { .. } => "hetero",
+        EngineSpec::Staggered { .. } => "staggered",
+        EngineSpec::Ph { .. } => "ph",
+        EngineSpec::JobLevel => "joblevel",
+    }
+}
+
+fn cmd_eval() {
+    let path = arg("--checkpoint").unwrap_or_else(|| fail("eval needs --checkpoint <path>"));
+    let ckpt = TrainingCheckpoint::load(&path).unwrap_or_else(|e| fail(e));
+    let scenario = match arg("--scenario") {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).unwrap_or_else(|e| fail(format!("{p}: {e}")));
+            Scenario::from_json(&text).unwrap_or_else(|e| fail(format!("parse {p}: {e}")))
+        }
+        None => ckpt.scenario.clone(),
+    };
+    let m_sweep: Vec<usize> = arg("--m")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().unwrap_or_else(|_| fail(format!("bad --m entry '{t}'"))))
+                .collect()
+        })
+        .unwrap_or_default();
+    let runs: usize = parse("--runs", 20);
+    let seed: u64 = parse("--seed", 1);
+    let threads: usize = parse("--threads", 0);
+
+    let report = evaluate_checkpoint(&ckpt, &scenario, &m_sweep, runs, seed, threads)
+        .unwrap_or_else(|e| fail(e));
+    println!(
+        "eval: engine={} Δt={} Te={} ({} runs each, seed {seed})",
+        engine_slug(&scenario.engine),
+        scenario.config.dt,
+        report.horizon,
+        report.runs
+    );
+    println!(
+        "{:<16} {:>6} {:>10} {:>14} {:>10} {:>10}",
+        "policy", "M", "N", "drops/queue", "±95%", "drop frac"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<16} {:>6} {:>10} {:>14.3} {:>10.3} {:>10.4}",
+            row.policy, row.m, row.n, row.mean_drops, row.ci95, row.drop_fraction
+        );
+    }
+    let learned = report.mean_drops_of("MF (learned)");
+    let rnd = report.rows.iter().find(|r| r.policy == "RND").map(|r| r.mean_drops);
+    if let (Some(l), Some(r)) = (learned, rnd) {
+        if l < r {
+            println!("[check] learned policy beats RND ({l:.3} < {r:.3} drops/queue)");
+        } else {
+            println!("[check] WARNING: learned policy does not beat RND ({l:.3} >= {r:.3})");
+        }
+    }
+    let out = arg("--out").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::path::PathBuf::from(format!(
+            "target/experiments/eval_{}_dt{}.json",
+            engine_slug(&scenario.engine),
+            scenario.config.dt
+        ))
+    });
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| fail(format!("write report: {e}")));
+    println!("JSON table written to {}", out.display());
+}
+
 fn cmd_simulate() {
-    let config = build_config();
-    let policy = build_policy(&config);
+    let scenario = build_scenario();
+    let config = scenario.config.clone();
+    let policy = build_policy_for(&scenario);
     let runs: usize = parse("--runs", 20);
     let seed: u64 = parse("--seed", 1);
     let horizon = config.eval_episode_len();
-    let engine = AggregateEngine::new(config.clone());
+    let engine = scenario.build().unwrap_or_else(|e| fail(e));
     let mc = monte_carlo(&engine, policy.as_ref(), horizon, runs, seed, 0);
     println!(
-        "finite system N={} M={} Δt={} Te={horizon} policy={}",
+        "finite system engine={} N={} M={} Δt={} Te={horizon} policy={}",
+        engine_slug(&scenario.engine),
         config.num_clients,
         config.num_queues,
         config.dt,
@@ -265,37 +519,58 @@ fn cmd_fit_mmpp() {
     println!("use it via SystemConfig::paper().with_arrivals(<the fit>) in library code.");
 }
 
+/// The usage synopsis, listing every subcommand.
+fn usage() -> String {
+    [
+        "mflb — delayed-information load balancing (ICPP '22 reproduction)",
+        "",
+        "usage: mflb <command> [flags]",
+        "",
+        "commands:",
+        "  train        train a PPO policy for a scenario -> versioned checkpoint + curve JSON",
+        "  eval         evaluate a checkpoint vs JSQ/RND/softmin on its finite system -> JSON table",
+        "  simulate     run a finite-system Monte-Carlo evaluation",
+        "  meanfield    evaluate a policy in the limiting mean-field MDP",
+        "  compare      JSQ vs RND vs tuned softmin on one configuration",
+        "  tune-beta    find the optimal softmin temperature for a Δt",
+        "  dp-solve     solve the lattice DP (certified optimum), optionally --out <json>",
+        "  scv-compare  phase-type service: mean-field vs finite at a given --scv",
+        "  fit-mmpp     estimate an L-level MMPP from a rate trace (--trace <file>, --levels L)",
+        "  help         print this synopsis",
+        "",
+        "scenario selection (train / eval / simulate):",
+        "  --scenario <file.json>        a spec from examples/scenarios/, or",
+        "  --engine aggregate|perclient|staggered|ph|joblevel [--cohorts k] [--scv f]",
+        "",
+        "common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>",
+        "              --policy jsq|rnd|softmin|checkpoint [--beta f] [--checkpoint path]",
+        "              --runs <int> --episodes <int> --seed <int> --grid <int> --scv <f>",
+        "              --scale quick|paper --iters <int> --threads <int> --out <path>",
+    ]
+    .join("\n")
+}
+
 fn main() {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "help".into());
-    match cmd.as_str() {
-        "simulate" => cmd_simulate(),
-        "meanfield" => cmd_meanfield(),
-        "compare" => cmd_compare(),
-        "tune-beta" => cmd_tune_beta(),
-        "dp-solve" => cmd_dp_solve(),
-        "scv-compare" => cmd_scv_compare(),
-        "fit-mmpp" => cmd_fit_mmpp(),
-        _ => {
-            println!("mflb — delayed-information load balancing (ICPP '22 reproduction)");
-            println!();
-            println!("commands:");
-            println!("  simulate     run a finite-system Monte-Carlo evaluation");
-            println!("  meanfield    evaluate a policy in the limiting mean-field MDP");
-            println!("  compare      JSQ vs RND vs tuned softmin on one configuration");
-            println!("  tune-beta    find the optimal softmin temperature for a Δt");
-            println!(
-                "  dp-solve     solve the lattice DP (certified optimum), optionally --out <json>"
-            );
-            println!("  scv-compare  phase-type service: mean-field vs finite at a given --scv");
-            println!("  fit-mmpp     estimate an L-level MMPP from a rate trace (--trace <file>, --levels L)");
-            println!();
-            println!("common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>");
-            println!(
-                "              --policy jsq|rnd|softmin|checkpoint [--beta f] [--checkpoint path]"
-            );
-            println!(
-                "              --runs <int> --episodes <int> --seed <int> --grid <int> --scv <f>"
-            );
+    let cmd = std::env::args().nth(1);
+    match cmd.as_deref() {
+        Some("train") => cmd_train(),
+        Some("eval") => cmd_eval(),
+        Some("simulate") => cmd_simulate(),
+        Some("meanfield") => cmd_meanfield(),
+        Some("compare") => cmd_compare(),
+        Some("tune-beta") => cmd_tune_beta(),
+        Some("dp-solve") => cmd_dp_solve(),
+        Some("scv-compare") => cmd_scv_compare(),
+        Some("fit-mmpp") => cmd_fit_mmpp(),
+        Some("help") | Some("--help") | Some("-h") => println!("{}", usage()),
+        unknown => {
+            // No subcommand or an unrecognized one: synopsis on stderr,
+            // exit 2 (usage error), so scripts cannot mistake it for a run.
+            if let Some(u) = unknown {
+                eprintln!("error: unknown command '{u}'\n");
+            }
+            eprintln!("{}", usage());
+            std::process::exit(2);
         }
     }
 }

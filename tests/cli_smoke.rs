@@ -1,0 +1,140 @@
+//! CLI contract smoke tests: usage synopsis, exit codes and the train →
+//! eval plumbing surface.
+//!
+//! `CARGO_BIN_EXE_mflb` points at the freshly built binary, so these tests
+//! exercise exactly what an operator runs.
+
+use std::process::Command;
+
+fn mflb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mflb"))
+}
+
+#[test]
+fn no_subcommand_prints_usage_and_exits_2() {
+    let out = mflb().output().expect("run mflb");
+    assert_eq!(out.status.code(), Some(2), "no subcommand must be a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for cmd in ["train", "eval", "simulate", "meanfield", "compare", "dp-solve"] {
+        assert!(stderr.contains(cmd), "usage synopsis must list `{cmd}`:\n{stderr}");
+    }
+}
+
+#[test]
+fn unknown_subcommand_prints_usage_and_exits_2() {
+    let out = mflb().arg("frobnicate").output().expect("run mflb");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command 'frobnicate'"), "{stderr}");
+    assert!(stderr.contains("usage: mflb"), "{stderr}");
+}
+
+#[test]
+fn help_prints_synopsis_on_stdout_and_exits_0() {
+    let out = mflb().arg("help").output().expect("run mflb");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: mflb"), "{stdout}");
+    assert!(stdout.contains("train"), "{stdout}");
+}
+
+#[test]
+fn eval_without_checkpoint_fails_cleanly() {
+    let out = mflb().arg("eval").output().expect("run mflb");
+    assert_eq!(out.status.code(), Some(1), "runtime error, not a panic");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--checkpoint"), "{stderr}");
+}
+
+#[test]
+fn train_rejects_unknown_scale_with_exit_2() {
+    let out = mflb().args(["train", "--scale", "warpspeed"]).output().expect("run mflb");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warpspeed"), "{stderr}");
+}
+
+#[test]
+fn train_rejects_malformed_scenario_file() {
+    let dir = std::env::temp_dir().join("mflb_cli_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad_scenario.json");
+    std::fs::write(&bad, "{\"engine\": \"Quantum\"}").unwrap();
+    let out =
+        mflb().args(["train", "--scenario", bad.to_str().unwrap()]).output().expect("run mflb");
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_file(&bad).ok();
+}
+
+/// The shipped example specs parse, validate and survive a JSON
+/// round-trip — keeping the walkthrough files in lock-step with the code.
+#[test]
+fn shipped_scenario_specs_are_valid() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples/scenarios must exist") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let scenario = mflb::sim::Scenario::from_json(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        scenario.validate().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        scenario.build().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        seen += 1;
+    }
+    assert!(seen >= 6, "expected at least one spec per engine kind, found {seen}");
+}
+
+/// End-to-end `mflb train` → `mflb eval` at a deliberately tiny scale:
+/// the full loop must complete and produce the JSON artifacts. (The
+/// quick-scale quality bar — learned beats RND — is covered by the
+/// quarantined test in `tests/train_eval_loop.rs`.)
+#[test]
+fn train_then_eval_loop_completes_at_tiny_scale() {
+    let dir = std::env::temp_dir().join("mflb_cli_loop");
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("tiny.json");
+    let report = dir.join("tiny_eval.json");
+
+    let out = mflb()
+        .args([
+            "train",
+            "--engine",
+            "aggregate",
+            "--m",
+            "20",
+            "--iters",
+            "1",
+            "--seed",
+            "1",
+            "--out",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mflb train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.exists(), "checkpoint must be written");
+    assert!(dir.join("tiny.curve.json").exists(), "curve JSON must be written");
+
+    let out = mflb()
+        .args([
+            "eval",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--runs",
+            "2",
+            "--out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mflb eval");
+    assert!(out.status.success(), "eval failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MF (learned)"), "{stdout}");
+    assert!(stdout.contains("RND"), "{stdout}");
+    let text = std::fs::read_to_string(&report).unwrap();
+    assert!(text.contains("\"rows\""), "JSON table must be written");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,52 @@
+//! Quarantined full-loop reproduction test: `Scenario → PPO → checkpoint →
+//! finite-N eval` for three engine kinds, asserting the quality bar of the
+//! quick-scale pipeline — the learned policy beats the RND baseline.
+//!
+//! Run with `cargo test --release -- --ignored` (CI's long-tests job).
+
+use mflb::rl::{evaluate_checkpoint, train_scenario, PpoConfig};
+use mflb::sim::Scenario;
+
+/// The CLI's quick-scale preset, shortened: enough training to clear RND.
+fn quick_ppo() -> PpoConfig {
+    PpoConfig {
+        gamma: 0.9,
+        gae_lambda: 0.9,
+        lr: 1e-3,
+        train_batch_size: 2000,
+        minibatch_size: 250,
+        num_epochs: 10,
+        kl_target: 0.02,
+        hidden: vec![32, 32],
+        initial_log_std: -0.5,
+        rollout_threads: 2,
+        ..PpoConfig::paper()
+    }
+}
+
+fn scenario_from_file(name: &str) -> Scenario {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios").join(name);
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    Scenario::from_json(&text).unwrap()
+}
+
+#[test]
+#[ignore = "full train->eval loop over three engine kinds; quarantined for CI speed"]
+fn learned_policy_beats_rnd_on_three_engine_kinds() {
+    for (file, iters) in
+        [("aggregate.json", 40), ("hetero_two_speed.json", 40), ("ph_erlang2.json", 40)]
+    {
+        let scenario = scenario_from_file(file);
+        let result =
+            train_scenario(&scenario, quick_ppo(), iters, 1, false).expect("training failed");
+        let report = evaluate_checkpoint(&result.checkpoint, &scenario, &[], 10, 1, 0)
+            .expect("evaluation failed");
+        let learned = report.mean_drops_of("MF (learned)").unwrap();
+        let rnd = report.rows.iter().find(|r| r.policy == "RND").map(|r| r.mean_drops).unwrap();
+        assert!(
+            learned < rnd,
+            "{file}: learned policy ({learned:.3} drops/queue) must beat RND ({rnd:.3})"
+        );
+    }
+}
