@@ -9,7 +9,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mflb_core::mdp::FixedRulePolicy;
 use mflb_core::{mean_field_step, DecisionRule, MeanFieldMdp, StateDist, SystemConfig};
 use mflb_linalg::{expm, Mat};
-use mflb_nn::{Activation, Mlp, Tensor};
+use mflb_nn::{Activation, Mlp, Tensor, Workspace};
 use mflb_policy::{jsq_rule, softmin_rule};
 use mflb_queue::sampler::Sampler;
 use mflb_sim::aggregate::AggregateState;
@@ -119,6 +119,13 @@ fn bench_nn(c: &mut Criterion) {
     let mlp = Mlp::new(&[8, 256, 256, 72], Activation::Tanh, &mut rng);
     let obs = vec![0.25; 8];
     c.bench_function("policy_forward_one_2x256", |b| b.iter(|| mlp.forward_one(black_box(&obs))));
+    let mut ws = Workspace::new();
+    c.bench_function("policy_forward_one_into_2x256", |b| {
+        b.iter(|| {
+            let out = mlp.forward_one_into(black_box(&obs), &mut ws);
+            black_box(out[0])
+        })
+    });
     let batch = Tensor::from_vec(128, 8, vec![0.25; 128 * 8]);
     c.bench_function("policy_forward_batch128_2x256", |b| {
         b.iter(|| mlp.forward(black_box(&batch)))
@@ -129,6 +136,79 @@ fn bench_nn(c: &mut Criterion) {
             let grad = cache.output().clone();
             mlp.backward(&cache, &grad)
         })
+    });
+    let mut bws = Workspace::new();
+    let mut grad = Tensor::zeros(128, 72);
+    c.bench_function("policy_forward_backward_into_batch128", |b| {
+        b.iter(|| {
+            mlp.forward_into(black_box(&batch), &mut bws);
+            grad.reset(128, 72);
+            grad.as_mut_slice().copy_from_slice(bws.output().as_slice());
+            let flat = mlp.backward_into(&mut bws, &grad);
+            black_box(flat[0])
+        })
+    });
+}
+
+/// Blocked `*_into` kernels vs the naive allocating matmuls at the
+/// paper's 256×256 policy shape, plus the batch-1 `gemv_into` fast path —
+/// local guardrails against kernel regressions (the tracked numbers live
+/// in `mflb bench`'s BENCH_kernels.json).
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let salted = |rows: usize, cols: usize, salt: u64| {
+        Tensor::from_vec(
+            rows,
+            cols,
+            (0..rows * cols).map(|i| ((i as f64 + salt as f64) * 0.789).sin()).collect(),
+        )
+    };
+    let a = salted(128, 256, 1);
+    let w = salted(256, 256, 2);
+    c.bench_function("gemm_nn_128x256x256_naive", |b| b.iter(|| black_box(&a).matmul(&w)));
+    let mut out = Tensor::zeros(128, 256);
+    c.bench_function("gemm_nn_128x256x256_blocked", |b| {
+        b.iter(|| {
+            black_box(&a).matmul_into(&w, &mut out);
+            black_box(out.get(0, 0))
+        })
+    });
+    let g = salted(128, 256, 3);
+    c.bench_function("gemm_tn_128x256x256_naive", |b| b.iter(|| black_box(&a).matmul_tn(&g)));
+    let mut tn_out = Tensor::zeros(256, 256);
+    c.bench_function("gemm_tn_128x256x256_blocked", |b| {
+        b.iter(|| {
+            black_box(&a).matmul_tn_into(&g, &mut tn_out);
+            black_box(tn_out.get(0, 0))
+        })
+    });
+    let x = salted(1, 256, 4);
+    let mut row = vec![0.0; 256];
+    c.bench_function("gemv_into_256x256", |b| {
+        b.iter(|| {
+            Tensor::gemv_into(black_box(x.as_slice()), &w, &mut row);
+            black_box(row[0])
+        })
+    });
+}
+
+/// One full PPO minibatch-SGD phase (`PpoTrainer::update` over a single
+/// 128-sample minibatch, one epoch) — the training hot loop end to end.
+fn bench_ppo_minibatch(c: &mut Criterion) {
+    use mflb_rl::{Env, PpoConfig, PpoTrainer, ToyControlEnv};
+    let env = ToyControlEnv::new(16);
+    let cfg = PpoConfig {
+        train_batch_size: 128,
+        minibatch_size: 128,
+        num_epochs: 1,
+        hidden: vec![64, 64],
+        ..PpoConfig::paper()
+    };
+    let mut trainer = PpoTrainer::new(&env as &dyn Env, cfg, 5);
+    let mut rng = StdRng::seed_from_u64(6);
+    let (buffer, _) = trainer.collect_batch();
+    trainer.update(&buffer, &mut rng); // warm the workspaces
+    c.bench_function("ppo_update_minibatch128_1epoch", |b| {
+        b.iter(|| black_box(trainer.update(&buffer, &mut rng)))
     });
 }
 
@@ -196,6 +276,8 @@ criterion_group!(
     bench_engines,
     bench_samplers,
     bench_nn,
+    bench_gemm_kernels,
+    bench_ppo_minibatch,
     bench_rule_decoding,
     bench_phase_type,
     bench_dp

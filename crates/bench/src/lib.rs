@@ -17,4 +17,5 @@
 
 pub mod chart;
 pub mod harness;
+pub mod perf;
 pub mod training;

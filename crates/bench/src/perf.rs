@@ -1,0 +1,385 @@
+//! The tracked performance suite behind `mflb bench`.
+//!
+//! A pinned-seed wall-clock/throughput suite over the four hot paths the
+//! training and deployment pipelines funnel through:
+//!
+//! 1. **kernels** — the register-blocked `*_into` GEMMs vs the naive
+//!    allocating matmuls at the paper's 2×256 policy shape,
+//! 2. **batch-1 inference** — the `gemv`/workspace `forward_one_into`
+//!    fast path vs the allocating `forward_one` it replaced,
+//! 3. **PPO** — rollout collection and minibatch-update throughput of
+//!    [`mflb_rl::PpoTrainer`] on the mean-field control environment,
+//! 4. **deployment** — Monte-Carlo finite-system epochs driven by a
+//!    [`mflb_policy::NeuralUpperPolicy`] decision per epoch, plus one
+//!    end-to-end pinned-seed quick-scale `train_scenario` run.
+//!
+//! `mflb bench` serializes the [`BenchReport`] to `BENCH_kernels.json`,
+//! establishing the repo's perf trajectory: every PR's CI uploads the
+//! quick-suite JSON as an artifact, so kernel regressions show up as a
+//! diffable number, not a hunch. All workloads are seeded, so two runs on
+//! the same machine measure the same computation.
+
+use mflb_core::SystemConfig;
+use mflb_nn::{Activation, DiagGaussian, Mlp, Tensor, Workspace};
+use mflb_policy::{action_dim, observation_dim, NeuralUpperPolicy};
+use mflb_rl::{train_scenario, MfcEnv, PpoConfig, PpoTrainer};
+use mflb_sim::{monte_carlo, AggregateEngine, EngineSpec, Scenario};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmarked operation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchEntry {
+    /// Stable identifier (compare across commits).
+    pub name: String,
+    /// Timed repetitions.
+    pub iters: usize,
+    /// Total wall-clock of the timed loop, milliseconds.
+    pub wall_ms: f64,
+    /// Wall-clock per repetition, microseconds.
+    pub per_op_us: f64,
+    /// Work rate in `unit`.
+    pub throughput: f64,
+    /// Unit of `throughput` (`ops/s`, `steps/s`, `epochs/s`).
+    pub unit: String,
+    /// Per-repetition cost of the naive/allocating baseline path, when
+    /// the suite times one (microseconds; `null` otherwise).
+    pub baseline_per_op_us: Option<f64>,
+    /// `baseline_per_op_us / per_op_us` (≥ 1 means the fast path wins;
+    /// `null` when no baseline was timed).
+    pub speedup: Option<f64>,
+}
+
+/// The full suite result (`mflb bench` writes this as JSON).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Seconds since the Unix epoch at suite start.
+    pub unix_time: u64,
+    /// Whether the reduced CI-scale suite ran.
+    pub quick: bool,
+    /// Worker threads used for rollout/Monte-Carlo fan-outs.
+    pub workers: usize,
+    /// The measurements, in execution order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Pretty-JSON serialization (the `BENCH_kernels.json` payload).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+/// Times `iters` repetitions of `f`; returns total seconds.
+fn time_loop<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// Builds an entry from a timed loop: `ops_per_iter` units of work per
+/// repetition, reported in `unit`.
+fn entry(name: &str, iters: usize, secs: f64, ops_per_iter: f64, unit: &str) -> BenchEntry {
+    BenchEntry {
+        name: name.to_string(),
+        iters,
+        wall_ms: secs * 1e3,
+        per_op_us: secs / iters as f64 * 1e6,
+        throughput: iters as f64 * ops_per_iter / secs,
+        unit: unit.to_string(),
+        baseline_per_op_us: None,
+        speedup: None,
+    }
+}
+
+/// Attaches a naive-path baseline (seconds for the same `iters`).
+fn with_baseline(mut e: BenchEntry, baseline_secs: f64) -> BenchEntry {
+    let base_us = baseline_secs / e.iters as f64 * 1e6;
+    e.speedup = Some(base_us / e.per_op_us);
+    e.baseline_per_op_us = Some(base_us);
+    e
+}
+
+/// Deterministic test matrix (same generator as the nn property tests).
+fn bench_tensor(rows: usize, cols: usize, salt: u64) -> Tensor {
+    let data = (0..rows * cols).map(|i| ((i as f64 + salt as f64) * 0.789).sin()).collect();
+    Tensor::from_vec(rows, cols, data)
+}
+
+/// Runs the suite. `quick` shrinks every workload to CI scale (a few
+/// seconds total); `workers` pins the rollout/Monte-Carlo thread fan-out
+/// so runs on fixed-core CI machines are comparable.
+pub fn run_suite(quick: bool, workers: usize) -> BenchReport {
+    let unix_time =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs();
+    let mut entries = Vec::new();
+
+    // --- 1. Kernels: blocked vs naive GEMM at the 2×256 policy shape. ---
+    let scale = if quick { 1 } else { 10 };
+    {
+        let a = bench_tensor(128, 256, 1);
+        let w = bench_tensor(256, 256, 2);
+        let iters = 40 * scale;
+        let naive = time_loop(iters, || {
+            black_box(black_box(&a).matmul(&w));
+        });
+        let mut out = Tensor::zeros(128, 256);
+        let blocked = time_loop(iters, || {
+            black_box(&a).matmul_into(&w, &mut out);
+            black_box(&out);
+        });
+        let flops = 2.0 * 128.0 * 256.0 * 256.0;
+        entries.push(with_baseline(
+            entry("gemm_nn_128x256x256_blocked", iters, blocked, flops, "flop/s"),
+            naive,
+        ));
+
+        // Weight-gradient shape: activationsᵀ·∂y, both batch-major.
+        let g = bench_tensor(128, 256, 5);
+        let gnaive = time_loop(iters, || {
+            black_box(black_box(&a).matmul_tn(&g));
+        });
+        let mut gout = Tensor::zeros(256, 256);
+        let gblocked = time_loop(iters, || {
+            black_box(&a).matmul_tn_into(&g, &mut gout);
+            black_box(&gout);
+        });
+        entries.push(with_baseline(
+            entry("gemm_tn_128x256x256_blocked", iters, gblocked, flops, "flop/s"),
+            gnaive,
+        ));
+    }
+
+    // --- 2. Batch-1 inference: gemv fast path vs allocating forward_one
+    //     on the paper's 2×256 policy network (the Monte-Carlo decide and
+    //     rollout hot path). ---
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlp = Mlp::new(&[8, 256, 256, 72], Activation::Tanh, &mut rng);
+        let obs = [0.25; 8];
+        let iters = 2_000 * scale;
+        let naive = time_loop(iters, || {
+            black_box(mlp.forward_one(black_box(&obs)));
+        });
+        let mut ws = Workspace::new();
+        let fast = time_loop(iters, || {
+            black_box(mlp.forward_one_into(black_box(&obs), &mut ws));
+        });
+        entries.push(with_baseline(
+            entry("policy_forward_one_batch1_gemv", iters, fast, 1.0, "ops/s"),
+            naive,
+        ));
+
+        // The quick-scale deployment net (`mflb train --scale quick`
+        // checkpoints deploy 2×32 policies): small enough to live in L1,
+        // so the allocating path's overhead dominates and the gemv fast
+        // path shows its full margin. The 2×256 paper net above is bounded
+        // by streaming 512 KB of weights per call, which caps any batch-1
+        // kernel on this shape.
+        let quick_net = Mlp::new(&[8, 32, 32, 72], Activation::Tanh, &mut rng);
+        let qiters = 20_000 * scale;
+        let qnaive = time_loop(qiters, || {
+            black_box(quick_net.forward_one(black_box(&obs)));
+        });
+        let mut qws = Workspace::new();
+        let qfast = time_loop(qiters, || {
+            black_box(quick_net.forward_one_into(black_box(&obs), &mut qws));
+        });
+        entries.push(with_baseline(
+            entry("policy_forward_one_batch1_gemv_2x32", qiters, qfast, 1.0, "ops/s"),
+            qnaive,
+        ));
+
+        // The batch-1 gemv kernel against the allocating matmul layer path
+        // it replaced, isolated on the quick-scale policy head (32 → 72
+        // logits, linear). Whole-net forward_one ratios above are bounded
+        // by work both paths share — `tanh` (≈10 ns/element through libm)
+        // on the 2×32 net, and streaming 512 KB of weights per call on the
+        // 2×256 net — whereas the layer itself shows the full
+        // allocation+register-blocking margin.
+        let head = mflb_nn::Linear::xavier(32, 72, &mut rng);
+        let hx: Vec<f64> = (0..32).map(|i| (i as f64 * 0.17).sin()).collect();
+        let hiters = 50_000 * scale;
+        let hnaive = time_loop(hiters, || {
+            black_box(head.forward(&Tensor::from_row(black_box(&hx))));
+        });
+        let mut hout = Tensor::zeros(1, 72);
+        let hxt = Tensor::from_row(&hx);
+        let hfast = time_loop(hiters, || {
+            head.forward_into(black_box(&hxt), &mut hout);
+            black_box(&hout);
+        });
+        entries.push(with_baseline(
+            entry("gemv_policy_head_32x72_batch1", hiters, hfast, 1.0, "ops/s"),
+            hnaive,
+        ));
+    }
+
+    // --- 3. Backward pass: workspace vs allocating, batch 128. ---
+    {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mlp = Mlp::new(&[8, 256, 256, 72], Activation::Tanh, &mut rng);
+        let batch = bench_tensor(128, 8, 3);
+        let iters = 20 * scale;
+        let naive = time_loop(iters, || {
+            let cache = mlp.forward_cached(black_box(&batch));
+            let grad = cache.output().clone();
+            black_box(mlp.backward(&cache, &grad));
+        });
+        let mut ws = Workspace::new();
+        let mut grad = Tensor::zeros(0, 0);
+        let fast = time_loop(iters, || {
+            mlp.forward_into(black_box(&batch), &mut ws);
+            grad.reset(128, 72);
+            grad.as_mut_slice().copy_from_slice(ws.output().as_slice());
+            black_box(mlp.backward_into(&mut ws, &grad));
+        });
+        entries.push(with_baseline(
+            entry("mlp_forward_backward_batch128_ws", iters, fast, 1.0, "ops/s"),
+            naive,
+        ));
+    }
+
+    // --- 4. PPO rollout collection + minibatch update throughput. ---
+    {
+        let mut config = SystemConfig::paper().with_dt(5.0);
+        config.train_episode_len = 50;
+        let env = MfcEnv::new(config);
+        let ppo = PpoConfig {
+            train_batch_size: if quick { 500 } else { 2000 },
+            minibatch_size: 125,
+            num_epochs: if quick { 2 } else { 8 },
+            hidden: vec![64, 64],
+            rollout_threads: workers.max(1),
+            ..PpoConfig::paper()
+        };
+        let steps = ppo.train_batch_size as f64;
+        let epochs = ppo.num_epochs as f64;
+        let mut trainer = PpoTrainer::new(&env, ppo, 42);
+        let mut rng = StdRng::seed_from_u64(43);
+        // Warm up workspaces and caches out of the timed region.
+        let (warm_buffer, _) = trainer.collect_batch();
+        trainer.update(&warm_buffer, &mut rng);
+
+        let iters = if quick { 2 } else { 5 };
+        let mut buffers = Vec::new();
+        let collect = time_loop(iters, || {
+            buffers.push(trainer.collect_batch().0);
+        });
+        entries.push(entry("ppo_collect_batch_mfc", iters, collect, steps, "steps/s"));
+        let mut it = buffers.iter();
+        let update = time_loop(iters, || {
+            let buf = it.next().expect("one buffer per iter");
+            black_box(trainer.update(buf, &mut rng));
+        });
+        entries.push(entry("ppo_update_minibatch_sgd", iters, update, steps * epochs, "steps/s"));
+
+        // Gaussian head micro-op riding along: per-sample log-prob (the
+        // dominant scalar loop inside the update).
+        let mean = trainer.deterministic_action(&vec![0.1; env_obs_dim(&env)]);
+        let dist = DiagGaussian::new(&mean, trainer.log_std());
+        let action = vec![0.05; mean.len()];
+        let liters = 20_000 * scale;
+        let lp = time_loop(liters, || {
+            black_box(dist.log_prob(black_box(&action)));
+        });
+        entries.push(entry("gaussian_log_prob_72d", liters, lp, 1.0, "ops/s"));
+    }
+
+    // --- 5. Deployment-side Monte Carlo: neural decide per epoch. ---
+    {
+        let config = SystemConfig::paper().with_m_squared(100).with_dt(5.0);
+        let zs = config.num_states();
+        let levels = config.arrivals.num_levels();
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = Mlp::new(
+            &[observation_dim(zs, levels), 256, 256, action_dim(zs, config.d)],
+            Activation::Tanh,
+            &mut rng,
+        );
+        let policy = NeuralUpperPolicy::new(net, zs, config.d, levels);
+        let engine = AggregateEngine::new(config);
+        let horizon = 50;
+        let runs = if quick { 4 } else { 16 };
+        let iters = if quick { 2 } else { 5 };
+        let secs = time_loop(iters, || {
+            black_box(monte_carlo(&engine, &policy, horizon, runs, 17, workers));
+        });
+        entries.push(entry(
+            "monte_carlo_neural_decide_M100",
+            iters,
+            secs,
+            (horizon * runs) as f64,
+            "epochs/s",
+        ));
+    }
+
+    // --- 6. End-to-end pinned-seed quick-scale training run. ---
+    {
+        let config = SystemConfig::paper().with_m_squared(20).with_dt(5.0);
+        let scenario = Scenario::new(config, EngineSpec::Aggregate);
+        let ppo = PpoConfig {
+            gamma: 0.9,
+            gae_lambda: 0.9,
+            lr: 1e-3,
+            train_batch_size: 2000,
+            minibatch_size: 250,
+            num_epochs: 10,
+            kl_target: 0.02,
+            hidden: vec![32, 32],
+            initial_log_std: -0.5,
+            rollout_threads: workers.max(1),
+            ..PpoConfig::paper()
+        };
+        let iters = if quick { 2 } else { 8 };
+        let secs = time_loop(1, || {
+            black_box(
+                train_scenario(&scenario, ppo.clone(), iters, 1, false)
+                    .expect("bench training run"),
+            );
+        });
+        entries.push(entry(
+            "train_scenario_aggregate_quick",
+            1,
+            secs,
+            (iters * ppo.train_batch_size) as f64,
+            "steps/s",
+        ));
+    }
+
+    BenchReport { unix_time, quick, workers, entries }
+}
+
+/// Observation dimension of an env without dragging the trait into scope.
+fn env_obs_dim(env: &MfcEnv) -> usize {
+    use mflb_rl::Env;
+    env.obs_dim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_with_optional_fields() {
+        let report = BenchReport {
+            unix_time: 0,
+            quick: true,
+            workers: 1,
+            entries: vec![
+                entry("a", 2, 0.5, 1.0, "ops/s"),
+                with_baseline(entry("b", 2, 0.5, 1.0, "ops/s"), 1.0),
+            ],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"speedup\": 2.0"), "{json}");
+        let back: BenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.entries.len(), 2);
+        assert!(back.entries[0].speedup.is_none());
+    }
+}

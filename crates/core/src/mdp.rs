@@ -19,11 +19,24 @@ use serde::{Deserialize, Serialize};
 /// drift apart.
 pub fn encode_observation(dist: &StateDist, lambda_idx: usize, num_levels: usize) -> Vec<f64> {
     let mut obs = Vec::with_capacity(dist.num_states() + num_levels);
-    obs.extend_from_slice(dist.as_slice());
-    for l in 0..num_levels {
-        obs.push(if l == lambda_idx { 1.0 } else { 0.0 });
-    }
+    encode_observation_into(dist, lambda_idx, num_levels, &mut obs);
     obs
+}
+
+/// Allocation-free twin of [`encode_observation`]: clears `out` and fills
+/// it in place, reusing its capacity (the deployed policy's per-epoch
+/// decision path calls this with a pooled scratch vector).
+pub fn encode_observation_into(
+    dist: &StateDist,
+    lambda_idx: usize,
+    num_levels: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.extend_from_slice(dist.as_slice());
+    for l in 0..num_levels {
+        out.push(if l == lambda_idx { 1.0 } else { 0.0 });
+    }
 }
 
 /// Observation dimensionality of [`encode_observation`].

@@ -50,13 +50,53 @@ impl Adam {
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
         for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = self.m[i] / b1t;
-            let v_hat = self.v[i] / b2t;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            self.update_one(i, params, grads[i], b1t, b2t);
         }
+    }
+
+    /// One Adam update applied **in place over split parameter slices**:
+    /// `params` yields consecutive mutable segments (e.g.
+    /// [`crate::mlp::Mlp::params_mut`] chained with a `log_std` slice)
+    /// whose concatenation is the flat parameter vector aligned with
+    /// `grads`. Per-element arithmetic and ordering are identical to
+    /// [`Adam::step`], so the two are bit-for-bit interchangeable — this
+    /// variant just skips the gather/scatter round-trip through a
+    /// temporary flat vector.
+    ///
+    /// # Panics
+    /// Panics if `grads` or the concatenated segments mismatch the
+    /// optimizer length.
+    pub fn step_segments<'a, I>(&mut self, params: I, grads: &[f64])
+    where
+        I: IntoIterator<Item = &'a mut [f64]>,
+    {
+        assert_eq!(grads.len(), self.m.len(), "grad length mismatch");
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let mut off = 0;
+        for seg in params {
+            for (j, p) in seg.iter_mut().enumerate() {
+                let i = off + j;
+                let g = grads[i];
+                self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+                self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = self.m[i] / b1t;
+                let v_hat = self.v[i] / b2t;
+                *p -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            off += seg.len();
+        }
+        assert_eq!(off, self.m.len(), "param segments must cover the flat vector");
+    }
+
+    #[inline]
+    fn update_one(&mut self, i: usize, params: &mut [f64], g: f64, b1t: f64, b2t: f64) {
+        self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+        self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
+        let m_hat = self.m[i] / b1t;
+        let v_hat = self.v[i] / b2t;
+        params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
     }
 }
 
@@ -114,6 +154,31 @@ mod tests {
         let mut h = vec![0.3, 0.4];
         clip_grad_norm(&mut h, 1.0);
         assert_eq!(h, vec![0.3, 0.4]);
+    }
+
+    #[test]
+    fn step_segments_matches_flat_step_bitwise() {
+        let mut flat_opt = Adam::new(5, 0.03);
+        let mut seg_opt = Adam::new(5, 0.03);
+        let mut flat = vec![0.4, -0.2, 1.0, 0.0, 2.5];
+        let mut a = vec![0.4, -0.2];
+        let mut b = vec![1.0, 0.0, 2.5];
+        for step in 0..50 {
+            let grads: Vec<f64> = (0..5).map(|i| ((i + step) as f64 * 0.31).sin()).collect();
+            flat_opt.step(&mut flat, &grads);
+            seg_opt.step_segments([a.as_mut_slice(), b.as_mut_slice()], &grads);
+        }
+        for (x, y) in flat.iter().zip(a.iter().chain(b.iter())) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "param segments must cover")]
+    fn step_segments_rejects_short_segments() {
+        let mut opt = Adam::new(3, 0.1);
+        let mut a = vec![0.0, 0.0];
+        opt.step_segments([a.as_mut_slice()], &[1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -59,8 +59,17 @@ impl<'a> DiagGaussian<'a> {
 
     /// Differential entropy `Σ_i (log_std_i + ½·ln(2πe))`.
     pub fn entropy(&self) -> f64 {
+        Self::entropy_from_log_std(self.log_std)
+    }
+
+    /// Differential entropy computed straight from a `log_std` vector.
+    ///
+    /// The entropy of a diagonal Gaussian is **mean-independent**, so
+    /// callers that only track the exploration head (PPO's per-minibatch
+    /// entropy stat) need no throwaway distribution to evaluate it.
+    pub fn entropy_from_log_std(log_std: &[f64]) -> f64 {
         let half_ln_2pie = 0.5 * (1.0 + LN_SQRT_2PI * 2.0);
-        self.log_std.iter().map(|&ls| ls + half_ln_2pie).sum()
+        log_std.iter().map(|&ls| ls + half_ln_2pie).sum()
     }
 
     /// Gradient of `ln p(a)` with respect to the mean:
@@ -89,6 +98,32 @@ impl<'a> DiagGaussian<'a> {
                 z * z - 1.0
             })
             .collect()
+    }
+
+    /// Allocation-free twin of [`DiagGaussian::log_prob_grad_mean`]
+    /// writing into a caller-owned scratch slice (bit-identical values).
+    pub fn log_prob_grad_mean_into(&self, action: &[f64], out: &mut [f64]) {
+        assert_eq!(action.len(), self.dim());
+        assert_eq!(out.len(), self.dim());
+        for (o, ((&a, &m), &ls)) in
+            out.iter_mut().zip(action.iter().zip(self.mean).zip(self.log_std))
+        {
+            let inv_var = (-2.0 * ls).exp();
+            *o = (a - m) * inv_var;
+        }
+    }
+
+    /// Allocation-free twin of [`DiagGaussian::log_prob_grad_log_std`]
+    /// writing into a caller-owned scratch slice (bit-identical values).
+    pub fn log_prob_grad_log_std_into(&self, action: &[f64], out: &mut [f64]) {
+        assert_eq!(action.len(), self.dim());
+        assert_eq!(out.len(), self.dim());
+        for (o, ((&a, &m), &ls)) in
+            out.iter_mut().zip(action.iter().zip(self.mean).zip(self.log_std))
+        {
+            let z = (a - m) * (-ls).exp();
+            *o = z * z - 1.0;
+        }
     }
 }
 

@@ -14,6 +14,21 @@
 //! * [`gaussian::DiagGaussian`] — diagonal Gaussian heads with closed-form
 //!   log-probability/entropy gradients.
 //!
+//! # Performance
+//!
+//! The training/inference hot path is allocation-free: every matmul has a
+//! register-blocked `*_into` twin writing into caller-owned buffers
+//! ([`tensor::Tensor::matmul_into`] and friends, plus the batch-1
+//! [`tensor::Tensor::gemv_into`] fast path), [`mlp::Workspace`] keeps
+//! activations/gradients/flat-gradient buffers alive across calls
+//! ([`mlp::Mlp::forward_into`]/[`mlp::Mlp::backward_into`]), and
+//! [`adam::Adam::step_segments`] updates the network parameters in place
+//! over split slices ([`mlp::Mlp::params_mut`]) without the flat-vector
+//! round-trip. All fast paths are **bit-identical** to their naive,
+//! allocating counterparts (same per-element accumulation order), which
+//! the crate's property tests enforce — so enabling them never perturbs a
+//! seed-pinned training run.
+//!
 //! Component ↔ paper map (Tahir, Cui & Koeppl, ICPP '22):
 //!
 //! * [`mlp::Mlp`] with [`mlp::Activation::Tanh`] realizes the 2×256 tanh
@@ -43,5 +58,5 @@ pub mod tensor;
 pub use adam::{clip_grad_norm, Adam};
 pub use gaussian::{standard_normal, DiagGaussian};
 pub use linear::Linear;
-pub use mlp::{Activation, ForwardCache, Mlp};
+pub use mlp::{Activation, ForwardCache, Mlp, Workspace};
 pub use tensor::Tensor;

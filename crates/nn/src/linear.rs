@@ -65,6 +65,49 @@ impl Linear {
         (grad_x, grad_w, grad_b)
     }
 
+    /// Allocation-free forward pass into a caller-owned output
+    /// (bit-identical to [`Linear::forward`]; batch-1 inputs dispatch to
+    /// the `gemv` fast path inside [`Tensor::matmul_into`]).
+    pub fn forward_into(&self, x: &Tensor, out: &mut Tensor) {
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
+    }
+
+    /// Allocation-free backward pass (bit-identical to
+    /// [`Linear::backward`]). The input gradient lands in the caller-owned
+    /// `grad_x`; the weight gradient is written **directly into**
+    /// `grad_w` — a `fan_in·fan_out` slice laid out row-major, i.e. exactly
+    /// the [`Linear::write_params`] weight block of a flat gradient
+    /// buffer — and the bias gradient into `grad_b` (the bias block).
+    pub fn backward_into(
+        &self,
+        x: &Tensor,
+        grad_out: &Tensor,
+        grad_x: &mut Tensor,
+        grad_w: &mut [f64],
+        grad_b: &mut [f64],
+    ) {
+        assert_eq!(grad_w.len(), self.w.rows() * self.w.cols(), "grad_w dims");
+        assert_eq!(grad_b.len(), self.b.len(), "grad_b dims");
+        grad_out.matmul_nt_into(&self.w, grad_x);
+        crate::tensor::gemm_tn(
+            x.as_slice(),
+            x.rows(),
+            x.cols(),
+            grad_out.as_slice(),
+            grad_out.cols(),
+            grad_w,
+        );
+        // Column sums in the same row-ascending order as
+        // [`Tensor::col_sums`].
+        grad_b.fill(0.0);
+        for i in 0..grad_out.rows() {
+            for (o, &v) in grad_b.iter_mut().zip(grad_out.row(i)) {
+                *o += v;
+            }
+        }
+    }
+
     /// Number of scalar parameters.
     pub fn num_params(&self) -> usize {
         self.w.rows() * self.w.cols() + self.b.len()

@@ -66,6 +66,97 @@ impl ForwardCache {
     }
 }
 
+/// Reusable caller-owned scratch for allocation-free forward/backward
+/// passes ([`Mlp::forward_into`], [`Mlp::forward_one_into`],
+/// [`Mlp::backward_into`]).
+///
+/// Owns the per-layer activation tensors, the backward gradient tensors
+/// and a flat gradient buffer. Create one per long-lived consumer (a PPO
+/// minibatch loop, a rollout worker, a deployed policy) and reuse it
+/// across calls: buffers are reshaped in place ([`Tensor::reset`]) and
+/// their capacity never shrinks, so a warmed-up workspace performs **no
+/// heap allocation** — even when the batch size alternates (e.g. a final
+/// short minibatch).
+///
+/// A `Workspace` is not tied to one network instance, only to a shape: it
+/// lazily adapts to whatever [`Mlp`] uses it, re-allocating only when the
+/// layer count or widths actually change.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// `acts[0]` is the input copy; `acts[i+1]` the (post-activation,
+    /// except for the last) output of layer `i`. Mirrors
+    /// [`ForwardCache::activations`].
+    acts: Vec<Tensor>,
+    /// `grads[i]` holds `∂L/∂acts[i]` during [`Mlp::backward_into`].
+    grads: Vec<Tensor>,
+    /// Flat parameter gradient in [`Mlp::write_params`] order, plus
+    /// `grad_tail` extra trailing slots owned by the caller (e.g. PPO's
+    /// `log_std` gradients, kept contiguous for joint norm clipping).
+    flat: Vec<f64>,
+    /// Extra trailing slots appended to `flat` beyond `num_params`.
+    grad_tail: usize,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers materialize on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserves `extra` trailing slots in the flat gradient buffer after
+    /// the network parameters (see [`Workspace::flat_grad_mut`]).
+    pub fn with_grad_tail(mut self, extra: usize) -> Self {
+        self.grad_tail = extra;
+        self
+    }
+
+    /// The network output of the most recent forward pass.
+    ///
+    /// # Panics
+    /// Panics if no forward pass has been run yet.
+    pub fn output(&self) -> &Tensor {
+        self.acts.last().expect("workspace has not seen a forward pass")
+    }
+
+    /// The flat gradient buffer (`num_params + grad_tail` slots) filled by
+    /// the most recent [`Mlp::backward_into`]; the tail is caller-owned.
+    pub fn flat_grad(&self) -> &[f64] {
+        &self.flat
+    }
+
+    /// Mutable access to the flat gradient buffer (for filling the tail
+    /// and for in-place clipping).
+    pub fn flat_grad_mut(&mut self) -> &mut [f64] {
+        &mut self.flat
+    }
+
+    /// Reshapes all buffers for `mlp` at `batch` rows, reusing capacity.
+    fn ensure(&mut self, mlp: &Mlp, batch: usize) {
+        let n = mlp.layers.len();
+        if self.acts.len() != n + 1 {
+            self.acts = vec![Tensor::zeros(0, 0); n + 1];
+            self.grads = vec![Tensor::zeros(0, 0); n];
+        }
+        self.acts[0].reset(batch, mlp.input_dim());
+        for (i, layer) in mlp.layers.iter().enumerate() {
+            self.acts[i + 1].reset(batch, layer.fan_out());
+            self.grads[i].reset(batch, layer.fan_in());
+        }
+        // The flat-gradient buffer is sized lazily by `backward_into`:
+        // forward-only consumers (rollout inference, pooled `decide`
+        // scratches) never pay for a parameter-sized buffer.
+    }
+
+    /// Sizes the flat gradient buffer for `mlp` (reusing capacity).
+    fn ensure_flat(&mut self, mlp: &Mlp) {
+        let want = mlp.num_params() + self.grad_tail;
+        if self.flat.len() != want {
+            self.flat.clear();
+            self.flat.resize(want, 0.0);
+        }
+    }
+}
+
 /// A fully connected network with a linear output layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Mlp {
@@ -125,6 +216,86 @@ impl Mlp {
     /// Convenience single-sample forward.
     pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
         self.forward(&Tensor::from_row(x)).as_slice().to_vec()
+    }
+
+    /// Allocation-free forward pass through a reusable [`Workspace`]
+    /// (bit-identical to [`Mlp::forward_cached`]); returns the output
+    /// activation. The workspace keeps every intermediate activation, so
+    /// [`Mlp::backward_into`] can follow without a separate cache.
+    pub fn forward_into<'w>(&self, x: &Tensor, ws: &'w mut Workspace) -> &'w Tensor {
+        assert_eq!(x.cols(), self.input_dim(), "input dims");
+        ws.ensure(self, x.rows());
+        ws.acts[0].as_mut_slice().copy_from_slice(x.as_slice());
+        self.forward_ws(ws);
+        ws.output()
+    }
+
+    /// Batch-1 inference fast path: runs `x` through the network using the
+    /// workspace's scratch and the `gemv` kernels — no heap allocation
+    /// once `ws` is warm, bit-identical to [`Mlp::forward_one`].
+    pub fn forward_one_into<'w>(&self, x: &[f64], ws: &'w mut Workspace) -> &'w [f64] {
+        assert_eq!(x.len(), self.input_dim(), "input dims");
+        ws.ensure(self, 1);
+        ws.acts[0].as_mut_slice().copy_from_slice(x);
+        self.forward_ws(ws);
+        ws.output().as_slice()
+    }
+
+    /// Shared layer loop over a workspace whose `acts[0]` holds the input.
+    fn forward_ws(&self, ws: &mut Workspace) {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (prev, rest) = ws.acts.split_at_mut(i + 1);
+            let y = &mut rest[0];
+            layer.forward_into(&prev[i], y);
+            if i < last {
+                let act = self.activation;
+                y.map_inplace(|v| act.apply(v));
+            }
+        }
+    }
+
+    /// Allocation-free backward pass (bit-identical to [`Mlp::backward`])
+    /// over the activations left in `ws` by the preceding
+    /// [`Mlp::forward_into`]. The flat parameter gradient is written into
+    /// the workspace's buffer and returned mutably; any `grad_tail` slots
+    /// beyond `num_params` are left untouched for the caller.
+    pub fn backward_into<'w>(&self, ws: &'w mut Workspace, grad_out: &Tensor) -> &'w mut [f64] {
+        let n = self.layers.len();
+        assert_eq!(ws.acts.len(), n + 1, "workspace has not seen a forward pass");
+        assert_eq!(grad_out.rows(), ws.acts[0].rows(), "grad_out batch");
+        assert_eq!(grad_out.cols(), self.output_dim(), "grad_out dims");
+        ws.ensure_flat(self);
+        let Workspace { acts, grads, flat, .. } = ws;
+        // Walk layers backwards, peeling parameter offsets off the total.
+        let mut off = self.num_params();
+        for i in (0..n).rev() {
+            let layer = &self.layers[i];
+            let np = layer.num_params();
+            off -= np;
+            let nw = np - layer.fan_out();
+            let (gw, gb) = flat[off..off + np].split_at_mut(nw);
+            let (gl, gr) = grads.split_at_mut(i + 1);
+            let g_out: &Tensor = if i == n - 1 { grad_out } else { &gr[0] };
+            layer.backward_into(&acts[i], g_out, &mut gl[i], gw, gb);
+            if i > 0 {
+                // Multiply by the activation derivative of the previous
+                // layer's output (exactly acts[i]), as in [`Mlp::backward`].
+                let act = self.activation;
+                for (g, &y) in gl[i].as_mut_slice().iter_mut().zip(acts[i].as_slice()) {
+                    *g *= act.derivative_from_output(y);
+                }
+            }
+        }
+        flat
+    }
+
+    /// Mutable parameter segments in [`Mlp::write_params`] order (per
+    /// layer: weights row-major, then bias) — the in-place counterpart of
+    /// [`Mlp::params_vec`]/[`Mlp::read_params`], built for
+    /// [`crate::adam::Adam::step_segments`].
+    pub fn params_mut(&mut self) -> impl Iterator<Item = &mut [f64]> {
+        self.layers.iter_mut().flat_map(|l| [l.w.as_mut_slice(), l.b.as_mut_slice()])
     }
 
     /// Backward pass: given the cache and `∂L/∂output`, returns the flat
@@ -270,6 +441,51 @@ mod tests {
         let json = serde_json::to_string(&mlp).unwrap();
         let back: Mlp = serde_json::from_str(&json).unwrap();
         assert_eq!(mlp, back);
+    }
+
+    #[test]
+    fn workspace_paths_bit_identical_to_allocating_paths() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mlp = Mlp::new(&[4, 8, 5, 3], Activation::Tanh, &mut rng);
+        let mut ws = Workspace::new().with_grad_tail(2);
+        // Two different batch sizes through the SAME workspace (reuse and
+        // reshape must not perturb results).
+        for (batch, salt) in [(3usize, 0.3), (1usize, 0.9), (3usize, 0.1)] {
+            let x = Tensor::from_vec(
+                batch,
+                4,
+                (0..batch * 4).map(|i| ((i as f64) * 0.7 + salt).sin()).collect(),
+            );
+            let cache = mlp.forward_cached(&x);
+            let out = mlp.forward_into(&x, &mut ws);
+            assert_eq!(out, cache.output());
+            let grad_out = cache.output().clone();
+            let flat_ref = mlp.backward(&cache, &grad_out);
+            let flat = mlp.backward_into(&mut ws, &grad_out);
+            assert_eq!(flat.len(), mlp.num_params() + 2);
+            for (i, (a, b)) in flat_ref.iter().zip(flat.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "flat grad {i}");
+            }
+        }
+        // Batch-1 fast path against forward_one.
+        let x1 = [0.2, -0.4, 0.8, 0.0];
+        let one = mlp.forward_one_into(&x1, &mut ws).to_vec();
+        assert_eq!(one, mlp.forward_one(&x1));
+    }
+
+    #[test]
+    fn params_mut_covers_write_params_order() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(&[3, 6, 2], Activation::Tanh, &mut rng);
+        let flat = mlp.params_vec();
+        let mut off = 0;
+        for seg in mlp.params_mut() {
+            for (a, b) in seg.iter().zip(&flat[off..]) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            off += seg.len();
+        }
+        assert_eq!(off, flat.len());
     }
 
     #[test]

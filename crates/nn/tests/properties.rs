@@ -1,15 +1,39 @@
 //! Crate-level property tests for the neural-network substrate.
 
-use mflb_nn::{clip_grad_norm, Activation, Adam, DiagGaussian, Mlp, Tensor};
+use mflb_nn::{clip_grad_norm, Activation, Adam, DiagGaussian, Mlp, Tensor, Workspace};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Trims a generated entry pool to `n` values, injecting exact ±0.0
+/// entries so the blocked kernels' zero-skip branches face the same
+/// inputs the naive kernels special-case.
+fn entries(pool: &[f64], n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| match i % 7 {
+            3 => 0.0,
+            5 => -0.0,
+            _ => pool[i % pool.len()],
+        })
+        .collect()
+}
+
+/// Bitwise slice equality (stricter than `==`: distinguishes ±0.0).
+fn assert_bits(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "entry {i}: {x} vs {y}");
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     /// Full-network gradient check on random shapes, inputs and seeds:
-    /// backprop must match central finite differences everywhere.
+    /// backprop must match central finite differences everywhere. The
+    /// analytic gradient deliberately runs through the workspace path
+    /// (`forward_into`/`backward_into`) — the one PPO trains with — so the
+    /// finite-difference certificate covers the production kernels.
     #[test]
     fn random_network_gradient_check(
         seed in 0u64..200,
@@ -23,9 +47,10 @@ proptest! {
             3,
             (0..batch * 3).map(|i| ((i as f64) * 1.37 + seed as f64).sin()).collect(),
         );
-        let cache = mlp.forward_cached(&x);
-        let grad_out = cache.output().clone();
-        let analytic = mlp.backward(&cache, &grad_out);
+        let mut ws = Workspace::new();
+        mlp.forward_into(&x, &mut ws);
+        let grad_out = ws.output().clone();
+        let analytic = mlp.backward_into(&mut ws, &grad_out).to_vec();
         let loss = |m: &Mlp| -> f64 {
             m.forward(&x).as_slice().iter().map(|v| v * v).sum::<f64>() / 2.0
         };
@@ -114,6 +139,83 @@ proptest! {
         } else {
             prop_assert_eq!(&clipped, &g);
         }
+    }
+
+    /// The register-blocked `*_into` kernels are **bit-identical** to the
+    /// naive allocating matmuls on random shapes straddling every panel
+    /// boundary (32/8/4/1 lanes), with exact ±0.0 entries mixed in so the
+    /// zero-skip branches face the inputs the naive kernels special-case.
+    #[test]
+    fn blocked_kernels_bit_identical_to_naive(
+        r in 1usize..6,
+        k in 1usize..9,
+        c in 1usize..48,
+        pool in proptest::collection::vec(-2.0f64..2.0, 64..=64),
+    ) {
+        let a_vals = entries(&pool, r * k);
+        let b_vals = entries(&pool[7..], k * c);
+        let a = Tensor::from_vec(r, k, a_vals.clone());
+        let b = Tensor::from_vec(k, c, b_vals.clone());
+        let mut out = Tensor::zeros(0, 0);
+
+        a.matmul_into(&b, &mut out);
+        assert_bits(out.as_slice(), a.matmul(&b).as_slice());
+
+        // Aᵀ·B with the same entries reinterpreted (k×r)ᵀ·(k×c) → (r×c).
+        let at = Tensor::from_vec(k, r, a_vals);
+        at.matmul_tn_into(&b, &mut out);
+        assert_bits(out.as_slice(), at.matmul_tn(&b).as_slice());
+
+        // A·Bᵀ with b's entries reinterpreted (c×k) → (r×c).
+        let bt = Tensor::from_vec(c, k, b_vals);
+        a.matmul_nt_into(&bt, &mut out);
+        assert_bits(out.as_slice(), a.matmul_nt(&bt).as_slice());
+
+        // Batch-1 gemv fast path vs a 1-row naive matmul.
+        let x = a.row(0);
+        let mut gout = vec![0.0; c];
+        Tensor::gemv_into(x, &b, &mut gout);
+        let xt = Tensor::from_vec(1, k, x.to_vec());
+        assert_bits(&gout, xt.matmul(&b).as_slice());
+    }
+
+    /// `forward_into`/`backward_into` through one **reused** workspace are
+    /// bit-identical to `forward_cached`/`backward`, across alternating
+    /// batch sizes (the PPO final-minibatch pattern) and the batch-1
+    /// inference path.
+    #[test]
+    fn workspace_paths_bit_identical_to_allocating(
+        seed in 0u64..200,
+        h1 in 1usize..9,
+        h2 in 1usize..9,
+        b1 in 1usize..5,
+        b2 in 1usize..5,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[3, h1, h2, 2], Activation::Tanh, &mut rng);
+        let mut ws = Workspace::new();
+        for (round, batch) in [b1, b2, b1].into_iter().enumerate() {
+            let x = Tensor::from_vec(
+                batch,
+                3,
+                (0..batch * 3)
+                    .map(|i| ((i as f64) * 0.91 + seed as f64 + round as f64).sin())
+                    .collect(),
+            );
+            let cache = mlp.forward_cached(&x);
+            {
+                let out = mlp.forward_into(&x, &mut ws);
+                assert_bits(out.as_slice(), cache.output().as_slice());
+            }
+            let grad_out = cache.output().clone();
+            let flat_ref = mlp.backward(&cache, &grad_out);
+            let flat = mlp.backward_into(&mut ws, &grad_out);
+            assert_bits(&flat_ref, flat);
+        }
+        // Batch-1 fast path through the same (already warm) workspace.
+        let x1 = [0.3, -0.6, 0.2];
+        let one = mlp.forward_one_into(&x1, &mut ws).to_vec();
+        assert_bits(&one, &mlp.forward_one(&x1));
     }
 
     /// Tensor matmul identities: (A·B)·C == A·(B·C) for random chains.

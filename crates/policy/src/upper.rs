@@ -12,15 +12,24 @@
 //! logits are used directly), matching how the paper deploys the trained
 //! MF policy in finite systems (Algorithm 1).
 
-use mflb_core::mdp::UpperPolicy;
+use mflb_core::mdp::{encode_observation_into, UpperPolicy};
 use mflb_core::{DecisionRule, StateDist};
-use mflb_nn::Mlp;
+use mflb_nn::{Mlp, Workspace};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::Mutex;
 
 // Canonical encoders live in `mflb_core::mdp` so the RL environment and the
 // deployed policy can never drift apart; re-exported here for convenience.
 pub use mflb_core::mdp::{action_dim, encode_observation, observation_dim};
+
+/// Reusable per-decision scratch: the encoded observation vector plus the
+/// network workspace driving the batch-1 `gemv` inference path.
+#[derive(Debug, Default)]
+struct DecideScratch {
+    obs: Vec<f64>,
+    ws: Workspace,
+}
 
 /// A trained policy checkpoint: network weights plus the shape metadata
 /// needed to rebuild the decision-rule decoding, and provenance fields.
@@ -41,7 +50,7 @@ pub struct PolicyCheckpoint {
 }
 
 /// The neural upper-level policy π̃.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct NeuralUpperPolicy {
     net: Mlp,
     /// States of the *observed* distribution (queue lengths: `B + 1`).
@@ -53,6 +62,27 @@ pub struct NeuralUpperPolicy {
     d: usize,
     num_levels: usize,
     name: String,
+    /// Pool of warmed-up [`DecideScratch`]es. `decide` takes `&self` and
+    /// runs concurrently from parallel Monte-Carlo threads, so each call
+    /// checks a scratch out of the pool (creating one on first use per
+    /// concurrent caller) and returns it afterwards — steady-state
+    /// decision epochs are allocation-free and the lock is held only for
+    /// the pop/push, never across the network forward.
+    scratch: Mutex<Vec<DecideScratch>>,
+}
+
+impl Clone for NeuralUpperPolicy {
+    fn clone(&self) -> Self {
+        Self {
+            net: self.net.clone(),
+            obs_states: self.obs_states,
+            rule_states: self.rule_states,
+            d: self.d,
+            num_levels: self.num_levels,
+            name: self.name.clone(),
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl NeuralUpperPolicy {
@@ -80,7 +110,15 @@ impl NeuralUpperPolicy {
             "network input dim mismatch"
         );
         assert_eq!(net.output_dim(), action_dim(rule_states, d), "network output dim mismatch");
-        Self { net, obs_states, rule_states, d, num_levels, name: "MF (learned)".into() }
+        Self {
+            net,
+            obs_states,
+            rule_states,
+            d,
+            num_levels,
+            name: "MF (learned)".into(),
+            scratch: Mutex::new(Vec::new()),
+        }
     }
 
     /// Builds from a checkpoint.
@@ -140,9 +178,18 @@ impl NeuralUpperPolicy {
 impl UpperPolicy for NeuralUpperPolicy {
     fn decide(&self, dist: &StateDist, lambda_idx: usize, _lambda: f64) -> DecisionRule {
         debug_assert_eq!(dist.num_states(), self.obs_states, "observed distribution shape");
-        let obs = encode_observation(dist, lambda_idx, self.num_levels);
-        let logits = self.net.forward_one(&obs);
-        DecisionRule::from_logits(self.rule_states, self.d, &logits)
+        // Check a scratch out of the pool: the observation encode and the
+        // network forward then run allocation-free on warmed buffers
+        // (bit-identical to the allocating encode + `forward_one` path).
+        let mut scratch =
+            self.scratch.lock().expect("scratch pool poisoned").pop().unwrap_or_default();
+        encode_observation_into(dist, lambda_idx, self.num_levels, &mut scratch.obs);
+        let rule = {
+            let logits = self.net.forward_one_into(&scratch.obs, &mut scratch.ws);
+            DecisionRule::from_logits(self.rule_states, self.d, logits)
+        };
+        self.scratch.lock().expect("scratch pool poisoned").push(scratch);
+        rule
     }
 
     fn name(&self) -> &str {

@@ -27,7 +27,7 @@
 
 use crate::buffer::RolloutBuffer;
 use crate::env::Env;
-use mflb_nn::{clip_grad_norm, Activation, Adam, DiagGaussian, Mlp, Tensor};
+use mflb_nn::{clip_grad_norm, Activation, Adam, DiagGaussian, Mlp, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -126,6 +126,65 @@ pub struct IterationStats {
     pub kl_coeff: f64,
 }
 
+/// Statistics of one rollout-collection phase ([`PpoTrainer::collect_batch`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CollectStats {
+    /// Episodes that terminated inside the collected steps.
+    pub episodes_completed: usize,
+    /// Mean return of those episodes (NaN if none completed).
+    pub mean_episode_return: f64,
+}
+
+/// Statistics of one minibatch-SGD phase ([`PpoTrainer::update`]): the
+/// last epoch's per-minibatch means.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UpdateStats {
+    /// Mean surrogate policy loss.
+    pub policy_loss: f64,
+    /// Mean value loss.
+    pub value_loss: f64,
+    /// Mean KL(π_old‖π).
+    pub mean_kl: f64,
+    /// Mean policy entropy.
+    pub entropy: f64,
+}
+
+/// Per-worker inference scratch: the policy and value [`Workspace`]s a
+/// rollout worker reuses for every step of every episode it collects.
+#[derive(Default)]
+struct RolloutScratch {
+    policy: Workspace,
+    value: Workspace,
+}
+
+/// Long-lived scratch for the minibatch loop: gather buffers, network
+/// workspaces (whose flat-gradient tails hold the `log_std` gradients for
+/// joint norm clipping) and the per-sample Gaussian gradient slices. All
+/// buffers are reshaped in place per minibatch, so one warmed-up
+/// [`PpoTrainer::update`] call performs O(1) heap allocations (verified by
+/// `tests/update_allocations.rs`).
+#[derive(Default)]
+struct UpdateWorkspace {
+    /// Shuffled sample indices (Fisher–Yates, reused across epochs).
+    indices: Vec<usize>,
+    /// Minibatch observation gather.
+    obs: Tensor,
+    /// Policy-network activations/gradients/flat-grad (+`log_std` tail).
+    policy: Workspace,
+    /// Value-network activations/gradients/flat-grad.
+    value: Workspace,
+    /// `∂L/∂μ` per minibatch row.
+    grad_mean: Tensor,
+    /// `∂L/∂log_std` accumulator.
+    grad_log_std: Vec<f64>,
+    /// Value-head output gradient.
+    vgrad: Tensor,
+    /// Scratch for [`DiagGaussian::log_prob_grad_mean_into`].
+    glp_mean: Vec<f64>,
+    /// Scratch for [`DiagGaussian::log_prob_grad_log_std_into`].
+    glp_log_std: Vec<f64>,
+}
+
 /// One collected episode, tagged with its global index so shards can be
 /// merged deterministically regardless of which worker produced them.
 struct EpisodeShard {
@@ -160,6 +219,8 @@ pub struct PpoTrainer {
     episodes_started: u64,
     total_steps: u64,
     iteration: u64,
+    /// Long-lived minibatch scratch (see [`UpdateWorkspace`]).
+    ws: UpdateWorkspace,
 }
 
 impl PpoTrainer {
@@ -207,6 +268,10 @@ impl PpoTrainer {
             episodes_started: 0,
             total_steps: 0,
             iteration: 0,
+            ws: UpdateWorkspace {
+                policy: Workspace::new().with_grad_tail(act_dim),
+                ..UpdateWorkspace::default()
+            },
         }
     }
 
@@ -249,11 +314,18 @@ impl PpoTrainer {
 
     /// Runs one complete episode with the pinned per-episode RNG, stopping
     /// early after `cap` steps (the bootstrap value then covers the tail).
+    /// All network evaluations go through the worker's reusable `scratch`
+    /// (the batch-1 `gemv` fast path) — bit-identical to the allocating
+    /// `forward_one` they replace.
+    // The worker protocol is clearest with the shared state spelled out
+    // per argument; a params struct would only rename the list.
+    #[allow(clippy::too_many_arguments)]
     fn collect_episode(
         policy: &Mlp,
         value: &Mlp,
         log_std: &[f64],
         env: &mut dyn Env,
+        scratch: &mut RolloutScratch,
         seed: u64,
         index: u64,
         cap: usize,
@@ -264,11 +336,11 @@ impl PpoTrainer {
         let mut episode_return = 0.0;
         let mut done = false;
         while !done && buf.len() < cap {
-            let mean = policy.forward_one(&obs);
+            let mean = policy.forward_one_into(&obs, &mut scratch.policy).to_vec();
             let dist = DiagGaussian::new(&mean, log_std);
             let action = dist.sample(&mut rng);
             let log_prob = dist.log_prob(&action);
-            let v = value.forward_one(&obs)[0];
+            let v = value.forward_one_into(&obs, &mut scratch.value)[0];
             let result = env.step(&action, &mut rng);
             episode_return += result.reward;
             done = result.done;
@@ -284,7 +356,8 @@ impl PpoTrainer {
         }
         // Bootstrap value for a cap-truncated episode; terminated ones end
         // with value 0 by definition.
-        buf.last_value = if done { 0.0 } else { value.forward_one(&obs)[0] };
+        buf.last_value =
+            if done { 0.0 } else { value.forward_one_into(&obs, &mut scratch.value)[0] };
         buf.behaviour_log_std = log_std.to_vec();
         EpisodeShard { index, buf, done, episode_return }
     }
@@ -316,7 +389,7 @@ impl PpoTrainer {
         let full = AtomicBool::new(false);
         let shards: parking_lot::Mutex<Vec<EpisodeShard>> = parking_lot::Mutex::new(Vec::new());
 
-        let worker_loop = |env: &mut dyn Env| loop {
+        let worker_loop = |env: &mut dyn Env, scratch: &mut RolloutScratch| loop {
             // In the dynamic scheme the stop check must happen BEFORE an
             // index is claimed: a claimed index is always collected, so the
             // contiguous index range reaching the batch size is present in
@@ -330,7 +403,8 @@ impl PpoTrainer {
                     break;
                 }
             }
-            let shard = Self::collect_episode(policy, value, &log_std, env, seed, e, batch.max(1));
+            let shard =
+                Self::collect_episode(policy, value, &log_std, env, scratch, seed, e, batch.max(1));
             let got = steps_collected.fetch_add(shard.buf.len() as u64, Ordering::Relaxed)
                 + shard.buf.len() as u64;
             shards.lock().push(shard);
@@ -341,13 +415,17 @@ impl PpoTrainer {
 
         if n_workers == 1 {
             let mut env = self.proto.boxed_clone();
-            worker_loop(env.as_mut());
+            let mut scratch = RolloutScratch::default();
+            worker_loop(env.as_mut(), &mut scratch);
         } else {
             crossbeam::scope(|scope| {
                 for _ in 0..n_workers {
                     let mut env = self.proto.boxed_clone();
                     let work = &worker_loop;
-                    scope.spawn(move |_| work(env.as_mut()));
+                    scope.spawn(move |_| {
+                        let mut scratch = RolloutScratch::default();
+                        work(env.as_mut(), &mut scratch)
+                    });
                 }
             })
             .expect("rollout scope failed");
@@ -358,12 +436,12 @@ impl PpoTrainer {
         shards
     }
 
-    /// Runs one PPO iteration: collect `train_batch_size` steps, compute
-    /// GAE, run `num_epochs` of minibatch updates, adapt the KL
-    /// coefficient.
-    pub fn train_iteration(&mut self, rng: &mut StdRng) -> IterationStats {
-        self.iteration += 1;
-
+    /// Collects exactly `train_batch_size` steps as whole (or
+    /// tail-truncated) episodes with GAE targets and normalized advantages
+    /// already computed — the rollout phase of one PPO iteration, exposed
+    /// separately so the perf harness can time collection and
+    /// [`PpoTrainer::update`] independently.
+    pub fn collect_batch(&mut self) -> (RolloutBuffer, CollectStats) {
         // --- Rollout collection (parallel, episode-indexed). ---
         let shards = self.collect_shards();
 
@@ -388,7 +466,7 @@ impl PpoTrainer {
                 shard.buf.last_value = if *shard.buf.dones.last().unwrap_or(&true) {
                     0.0
                 } else {
-                    self.value.forward_one(&bootstrap_obs)[0]
+                    self.value.forward_one_into(&bootstrap_obs, &mut self.ws.value)[0]
                 };
                 shard.done = false;
             }
@@ -401,17 +479,58 @@ impl PpoTrainer {
         self.episodes_started += consumed;
         buffer.normalize_advantages();
         self.total_steps += buffer.len() as u64;
+        let stats = CollectStats {
+            episodes_completed: completed_returns.len(),
+            mean_episode_return: if completed_returns.is_empty() {
+                f64::NAN
+            } else {
+                completed_returns.iter().sum::<f64>() / completed_returns.len() as f64
+            },
+        };
+        (buffer, stats)
+    }
 
-        // --- Minibatch SGD. ---
+    /// Runs `num_epochs` of minibatch SGD over a collected batch and
+    /// adapts the KL coefficient — the optimization phase of one PPO
+    /// iteration. All per-minibatch buffers (observation gathers, network
+    /// activations, gradients, flat-gradient vectors) live in the
+    /// trainer's long-lived update workspace; after the first call the
+    /// loop performs O(1) heap allocations, and the arithmetic is
+    /// bit-identical to the historical allocating implementation.
+    pub fn update(&mut self, buffer: &RolloutBuffer, rng: &mut StdRng) -> UpdateStats {
         let n = buffer.len();
         let act_dim = self.log_std.len();
-        let mut indices: Vec<usize> = (0..n).collect();
+        // An empty buffer degenerates to zero minibatches per epoch (the
+        // historical behaviour), so don't index into it.
+        let obs_dim = buffer.obs.first().map_or(0, Vec::len);
+        // Disjoint borrows of every trainer field the loop touches.
+        let Self { cfg, policy, log_std, value, opt_policy, opt_value, kl_coeff, ws, .. } = self;
+        let UpdateWorkspace {
+            indices,
+            obs,
+            policy: policy_ws,
+            value: value_ws,
+            grad_mean,
+            grad_log_std,
+            vgrad,
+            glp_mean,
+            glp_log_std,
+        } = ws;
+        indices.clear();
+        indices.extend(0..n);
+        grad_log_std.clear();
+        grad_log_std.resize(act_dim, 0.0);
+        glp_mean.clear();
+        glp_mean.resize(act_dim, 0.0);
+        glp_log_std.clear();
+        glp_log_std.resize(act_dim, 0.0);
+
         let mut last_policy_loss = 0.0;
         let mut last_value_loss = 0.0;
         let mut last_kl = 0.0;
         let mut last_entropy = 0.0;
 
-        for _epoch in 0..self.cfg.num_epochs {
+        for _epoch in 0..cfg.num_epochs {
             // Fisher–Yates shuffle.
             for i in (1..n).rev() {
                 let j = rng.gen_range(0..=i);
@@ -423,111 +542,124 @@ impl PpoTrainer {
             let mut epoch_entropy = 0.0;
             let mut minibatches = 0usize;
 
-            for chunk in indices.chunks(self.cfg.minibatch_size) {
+            for chunk in indices.chunks(cfg.minibatch_size) {
                 let b = chunk.len();
-                let obs_dim = buffer.obs[0].len();
-                let mut obs_mb = Tensor::zeros(b, obs_dim);
+                obs.reset(b, obs_dim);
                 for (row, &idx) in chunk.iter().enumerate() {
-                    obs_mb.row_mut(row).copy_from_slice(&buffer.obs[idx]);
+                    obs.row_mut(row).copy_from_slice(&buffer.obs[idx]);
                 }
 
-                // Policy forward.
-                let cache = self.policy.forward_cached(&obs_mb);
-                let means = cache.output().clone();
+                // Policy forward through the workspace (activations stay
+                // alive for the backward pass below).
+                policy.forward_into(obs, policy_ws);
 
-                let mut grad_mean = Tensor::zeros(b, act_dim);
-                let mut grad_log_std = vec![0.0; act_dim];
+                grad_mean.reset(b, act_dim);
+                grad_mean.fill(0.0);
+                for g in grad_log_std.iter_mut() {
+                    *g = 0.0;
+                }
                 let mut policy_loss = 0.0;
                 let mut kl_sum = 0.0;
-                let entropy = DiagGaussian::new(means.row(0), &self.log_std).entropy();
+                // Entropy is mean-independent for a diagonal Gaussian, so
+                // it comes straight from the exploration head.
+                let entropy = DiagGaussian::entropy_from_log_std(log_std);
                 let inv_b = 1.0 / b as f64;
 
-                for (row, &idx) in chunk.iter().enumerate() {
-                    let mean_new = means.row(row);
-                    let dist_new = DiagGaussian::new(mean_new, &self.log_std);
-                    let action = &buffer.actions[idx];
-                    let new_logp = dist_new.log_prob(action);
-                    let ratio = (new_logp - buffer.log_probs[idx]).exp();
-                    let adv = buffer.advantages[idx];
+                {
+                    let means = policy_ws.output();
+                    for (row, &idx) in chunk.iter().enumerate() {
+                        let mean_new = means.row(row);
+                        let dist_new = DiagGaussian::new(mean_new, log_std);
+                        let action = &buffer.actions[idx];
+                        let new_logp = dist_new.log_prob(action);
+                        let ratio = (new_logp - buffer.log_probs[idx]).exp();
+                        let adv = buffer.advantages[idx];
 
-                    // Clipped surrogate.
-                    let unclipped = ratio * adv;
-                    let clipped = ratio.clamp(1.0 - self.cfg.clip, 1.0 + self.cfg.clip) * adv;
-                    let surrogate = unclipped.min(clipped);
-                    policy_loss -= surrogate * inv_b;
-                    // d(−surrogate)/d new_logp = −ratio·adv when the
-                    // unclipped branch is active (min picks it), else 0.
-                    let surr_coeff = if unclipped <= clipped { -ratio * adv * inv_b } else { 0.0 };
+                        // Clipped surrogate.
+                        let unclipped = ratio * adv;
+                        let clipped = ratio.clamp(1.0 - cfg.clip, 1.0 + cfg.clip) * adv;
+                        let surrogate = unclipped.min(clipped);
+                        policy_loss -= surrogate * inv_b;
+                        // d(−surrogate)/d new_logp = −ratio·adv when the
+                        // unclipped branch is active (min picks it), else 0.
+                        let surr_coeff =
+                            if unclipped <= clipped { -ratio * adv * inv_b } else { 0.0 };
 
-                    // Exact diagonal-Gaussian KL(old‖new) and its gradients.
-                    let mean_old = &buffer.means[idx];
-                    let mut kl = 0.0;
-                    for k in 0..act_dim {
-                        let ls_old = buffer.behaviour_log_std[k];
-                        let ls_new = self.log_std[k];
-                        let var_old = (2.0 * ls_old).exp();
-                        let inv_var_new = (-2.0 * ls_new).exp();
-                        let dmean = mean_new[k] - mean_old[k];
-                        kl += ls_new - ls_old + 0.5 * (var_old + dmean * dmean) * inv_var_new - 0.5;
-                        // Gradients of the KL penalty term (coefficient
-                        // applied below).
-                        let kl_grad_mean = dmean * inv_var_new;
-                        let kl_grad_ls = 1.0 - (var_old + dmean * dmean) * inv_var_new;
-                        let c = self.kl_coeff * inv_b;
-                        grad_mean.set(row, k, grad_mean.get(row, k) + c * kl_grad_mean);
-                        grad_log_std[k] += c * kl_grad_ls;
-                    }
-                    kl_sum += kl;
-
-                    // Surrogate gradients through log-prob.
-                    if surr_coeff != 0.0 {
-                        let glp_mean = dist_new.log_prob_grad_mean(action);
-                        let glp_ls = dist_new.log_prob_grad_log_std(action);
+                        // Exact diagonal-Gaussian KL(old‖new) and its
+                        // gradients, accumulated into the row slice.
+                        let mean_old = &buffer.means[idx];
+                        let gm_row = grad_mean.row_mut(row);
+                        let mut kl = 0.0;
                         for k in 0..act_dim {
-                            grad_mean.set(row, k, grad_mean.get(row, k) + surr_coeff * glp_mean[k]);
-                            grad_log_std[k] += surr_coeff * glp_ls[k];
+                            let ls_old = buffer.behaviour_log_std[k];
+                            let ls_new = log_std[k];
+                            let var_old = (2.0 * ls_old).exp();
+                            let inv_var_new = (-2.0 * ls_new).exp();
+                            let dmean = mean_new[k] - mean_old[k];
+                            kl += ls_new - ls_old + 0.5 * (var_old + dmean * dmean) * inv_var_new
+                                - 0.5;
+                            // Gradients of the KL penalty term (coefficient
+                            // applied below).
+                            let kl_grad_mean = dmean * inv_var_new;
+                            let kl_grad_ls = 1.0 - (var_old + dmean * dmean) * inv_var_new;
+                            let c = *kl_coeff * inv_b;
+                            gm_row[k] += c * kl_grad_mean;
+                            grad_log_std[k] += c * kl_grad_ls;
+                        }
+                        kl_sum += kl;
+
+                        // Surrogate gradients through log-prob.
+                        if surr_coeff != 0.0 {
+                            dist_new.log_prob_grad_mean_into(action, glp_mean);
+                            dist_new.log_prob_grad_log_std_into(action, glp_log_std);
+                            for k in 0..act_dim {
+                                gm_row[k] += surr_coeff * glp_mean[k];
+                                grad_log_std[k] += surr_coeff * glp_log_std[k];
+                            }
                         }
                     }
                 }
 
                 // Entropy bonus (state-independent for a Gaussian with
                 // fixed log-std): dH/d log_std_k = 1.
-                if self.cfg.entropy_coeff != 0.0 {
+                if cfg.entropy_coeff != 0.0 {
                     for g in grad_log_std.iter_mut() {
-                        *g -= self.cfg.entropy_coeff;
+                        *g -= cfg.entropy_coeff;
                     }
                 }
 
-                // Backprop through the policy network and step Adam over
-                // [network params ‖ log_std].
-                let mut flat = self.policy.backward(&cache, &grad_mean);
-                flat.extend_from_slice(&grad_log_std);
-                clip_grad_norm(&mut flat, self.cfg.grad_clip);
-                let mut params = self.policy.params_vec();
-                params.extend_from_slice(&self.log_std);
-                self.opt_policy.step(&mut params, &flat);
-                let np = self.policy.num_params();
-                self.policy.read_params(&params[..np]);
-                self.log_std.copy_from_slice(&params[np..]);
+                // Backprop through the policy network into the workspace's
+                // flat buffer (whose tail holds the log_std gradients for
+                // joint clipping), then step Adam in place over the split
+                // parameter slices [network params ‖ log_std].
+                let np = policy.num_params();
+                let flat = policy.backward_into(policy_ws, grad_mean);
+                flat[np..].copy_from_slice(grad_log_std);
+                clip_grad_norm(flat, cfg.grad_clip);
+                opt_policy.step_segments(
+                    policy.params_mut().chain(std::iter::once(log_std.as_mut_slice())),
+                    flat,
+                );
                 // Keep exploration noise in a sane band (RLlib clamps too).
-                for ls in &mut self.log_std {
+                for ls in log_std.iter_mut() {
                     *ls = ls.clamp(-5.0, 2.0);
                 }
 
                 // Value-network regression on returns.
-                let vcache = self.value.forward_cached(&obs_mb);
-                let mut vgrad = Tensor::zeros(b, 1);
+                value.forward_into(obs, value_ws);
+                vgrad.reset(b, 1);
                 let mut vloss = 0.0;
-                for (row, &idx) in chunk.iter().enumerate() {
-                    let err = vcache.output().get(row, 0) - buffer.returns[idx];
-                    vloss += err * err * inv_b;
-                    vgrad.set(row, 0, 2.0 * err * inv_b);
+                {
+                    let vout = value_ws.output();
+                    for (row, &idx) in chunk.iter().enumerate() {
+                        let err = vout.get(row, 0) - buffer.returns[idx];
+                        vloss += err * err * inv_b;
+                        vgrad.row_mut(row)[0] = 2.0 * err * inv_b;
+                    }
                 }
-                let mut vflat = self.value.backward(&vcache, &vgrad);
-                clip_grad_norm(&mut vflat, self.cfg.grad_clip);
-                let mut vparams = self.value.params_vec();
-                self.opt_value.step(&mut vparams, &vflat);
-                self.value.read_params(&vparams);
+                let vflat = value.backward_into(value_ws, vgrad);
+                clip_grad_norm(vflat, cfg.grad_clip);
+                opt_value.step_segments(value.params_mut(), vflat);
 
                 epoch_policy_loss += policy_loss;
                 epoch_value_loss += vloss;
@@ -544,25 +676,37 @@ impl PpoTrainer {
         }
 
         // Adaptive KL coefficient (RLlib rule).
-        if last_kl > 2.0 * self.cfg.kl_target {
-            self.kl_coeff *= 1.5;
-        } else if last_kl < 0.5 * self.cfg.kl_target {
-            self.kl_coeff *= 0.5;
+        if last_kl > 2.0 * cfg.kl_target {
+            *kl_coeff *= 1.5;
+        } else if last_kl < 0.5 * cfg.kl_target {
+            *kl_coeff *= 0.5;
         }
 
-        IterationStats {
-            iteration: self.iteration,
-            total_steps: self.total_steps,
-            episodes_completed: completed_returns.len(),
-            mean_episode_return: if completed_returns.is_empty() {
-                f64::NAN
-            } else {
-                completed_returns.iter().sum::<f64>() / completed_returns.len() as f64
-            },
+        UpdateStats {
             policy_loss: last_policy_loss,
             value_loss: last_value_loss,
             mean_kl: last_kl,
             entropy: last_entropy,
+        }
+    }
+
+    /// Runs one PPO iteration: collect `train_batch_size` steps
+    /// ([`PpoTrainer::collect_batch`]), compute GAE, run `num_epochs` of
+    /// minibatch updates and adapt the KL coefficient
+    /// ([`PpoTrainer::update`]).
+    pub fn train_iteration(&mut self, rng: &mut StdRng) -> IterationStats {
+        self.iteration += 1;
+        let (buffer, collect) = self.collect_batch();
+        let update = self.update(&buffer, rng);
+        IterationStats {
+            iteration: self.iteration,
+            total_steps: self.total_steps,
+            episodes_completed: collect.episodes_completed,
+            mean_episode_return: collect.mean_episode_return,
+            policy_loss: update.policy_loss,
+            value_loss: update.value_loss,
+            mean_kl: update.mean_kl,
+            entropy: update.entropy,
             kl_coeff: self.kl_coeff,
         }
     }

@@ -12,12 +12,15 @@
 //! * [`sim`] — the finite N-client M-queue simulator (Algorithm 1),
 //! * [`nn`] — the minimal neural-network substrate,
 //! * [`rl`] — hand-rolled PPO, REINFORCE and CEM,
-//! * [`dp`] — exact value iteration on the discretized MFC MDP.
+//! * [`dp`] — exact value iteration on the discretized MFC MDP,
+//! * [`bench`](mod@bench) — the paper-artifact harness and the tracked
+//!   perf suite behind `mflb bench`.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub use mflb_bench as bench;
 pub use mflb_core as core;
 pub use mflb_dp as dp;
 pub use mflb_linalg as linalg;

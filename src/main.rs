@@ -10,6 +10,7 @@
 //! mflb tune-beta --dt 5                            # optimal softmin(β*)
 //! mflb dp-solve --dt 5 --grid 8 --out dp.json      # certified lattice optimum
 //! mflb scv-compare --dt 5 --scv 4                  # phase-type service check
+//! mflb bench --quick --workers 1                   # tracked perf suite -> BENCH_kernels.json
 //! ```
 //!
 //! The heavy experiment pipeline lives in `mflb-bench` (one binary per
@@ -33,6 +34,18 @@ fn arg(flag: &str) -> Option<String> {
 
 fn parse<T: std::str::FromStr>(flag: &str, default: T) -> T {
     arg(flag).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// `true` iff a valueless flag (e.g. `--quick`) is present.
+fn has_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Worker-thread count for parallel fan-outs: `--workers` (the documented
+/// spelling, so CI perf runs pin their core count) with `--threads` kept
+/// as an alias.
+fn workers_flag(default: usize) -> usize {
+    parse("--workers", parse("--threads", default))
 }
 
 /// Prints an error and exits with status 1 (runtime failure; status 2 is
@@ -192,7 +205,7 @@ fn ppo_for_scale(scale: &str, threads: usize) -> (PpoConfig, usize) {
 fn cmd_train() {
     let scenario = build_scenario();
     let scale = arg("--scale").unwrap_or_else(|| "quick".into());
-    let threads: usize = parse("--threads", 1);
+    let threads: usize = workers_flag(1);
     let seed: u64 = parse("--seed", 1);
     let (ppo, default_iters) = ppo_for_scale(&scale, threads);
     let iters: usize = parse("--iters", default_iters);
@@ -271,7 +284,7 @@ fn cmd_eval() {
         .unwrap_or_default();
     let runs: usize = parse("--runs", 20);
     let seed: u64 = parse("--seed", 1);
-    let threads: usize = parse("--threads", 0);
+    let threads: usize = workers_flag(0);
 
     let report = evaluate_checkpoint(&ckpt, &scenario, &m_sweep, runs, seed, threads)
         .unwrap_or_else(|e| fail(e));
@@ -471,6 +484,54 @@ fn cmd_scv_compare() {
     );
 }
 
+/// Runs the tracked perf suite ([`mflb::bench::perf`]) and writes the
+/// `BENCH_kernels.json` trajectory file.
+fn cmd_bench() {
+    let quick = has_flag("--quick");
+    let workers: usize = workers_flag(1);
+    let out = arg("--out").unwrap_or_else(|| "BENCH_kernels.json".into());
+    println!(
+        "perf suite: {} scale, {workers} worker(s) — pinned seeds, wall-clock + throughput",
+        if quick { "quick" } else { "full" }
+    );
+    let t0 = std::time::Instant::now();
+    let report = mflb::bench::perf::run_suite(quick, workers);
+    println!(
+        "{:<36} {:>8} {:>12} {:>14} {:>12} {:>9}",
+        "benchmark", "iters", "per-op", "throughput", "baseline", "speedup"
+    );
+    for e in &report.entries {
+        let (tp, unit) = human_rate(e.throughput, &e.unit);
+        println!(
+            "{:<36} {:>8} {:>10.1}us {:>9.2} {unit:<4} {:>10} {:>9}",
+            e.name,
+            e.iters,
+            e.per_op_us,
+            tp,
+            e.baseline_per_op_us.map_or("-".into(), |b| format!("{b:.1}us")),
+            e.speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+        );
+    }
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(&out, report.to_json()).unwrap_or_else(|e| fail(format!("write {out}: {e}")));
+    println!("suite finished in {:.1}s; JSON written to {out}", t0.elapsed().as_secs_f64());
+}
+
+/// Scales a rate into k/M/G for the table (`(value, unit)`).
+fn human_rate(rate: f64, unit: &str) -> (f64, String) {
+    if rate >= 1e9 {
+        (rate / 1e9, format!("G{unit}"))
+    } else if rate >= 1e6 {
+        (rate / 1e6, format!("M{unit}"))
+    } else if rate >= 1e3 {
+        (rate / 1e3, format!("k{unit}"))
+    } else {
+        (rate, unit.to_string())
+    }
+}
+
 fn cmd_fit_mmpp() {
     use mflb::queue::fit_mmpp;
     let levels: usize = parse("--levels", 2);
@@ -536,6 +597,7 @@ fn usage() -> String {
         "  dp-solve     solve the lattice DP (certified optimum), optionally --out <json>",
         "  scv-compare  phase-type service: mean-field vs finite at a given --scv",
         "  fit-mmpp     estimate an L-level MMPP from a rate trace (--trace <file>, --levels L)",
+        "  bench        run the tracked perf suite -> BENCH_kernels.json (--quick for CI scale)",
         "  help         print this synopsis",
         "",
         "scenario selection (train / eval / simulate):",
@@ -545,7 +607,9 @@ fn usage() -> String {
         "common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>",
         "              --policy jsq|rnd|softmin|checkpoint [--beta f] [--checkpoint path]",
         "              --runs <int> --episodes <int> --seed <int> --grid <int> --scv <f>",
-        "              --scale quick|paper --iters <int> --threads <int> --out <path>",
+        "              --scale quick|paper --iters <int> --out <path>",
+        "              --workers <int> (worker threads for train/eval/bench fan-outs;",
+        "              --threads is an alias — pin it on fixed-core CI runners)",
     ]
     .join("\n")
 }
@@ -562,6 +626,7 @@ fn main() {
         Some("dp-solve") => cmd_dp_solve(),
         Some("scv-compare") => cmd_scv_compare(),
         Some("fit-mmpp") => cmd_fit_mmpp(),
+        Some("bench") => cmd_bench(),
         Some("help") | Some("--help") | Some("-h") => println!("{}", usage()),
         unknown => {
             // No subcommand or an unrecognized one: synopsis on stderr,

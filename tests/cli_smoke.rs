@@ -15,7 +15,7 @@ fn no_subcommand_prints_usage_and_exits_2() {
     let out = mflb().output().expect("run mflb");
     assert_eq!(out.status.code(), Some(2), "no subcommand must be a usage error");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for cmd in ["train", "eval", "simulate", "meanfield", "compare", "dp-solve"] {
+    for cmd in ["train", "eval", "simulate", "meanfield", "compare", "dp-solve", "bench"] {
         assert!(stderr.contains(cmd), "usage synopsis must list `{cmd}`:\n{stderr}");
     }
 }
