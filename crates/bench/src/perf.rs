@@ -15,9 +15,13 @@
 //!
 //! `mflb bench` serializes the [`BenchReport`] to `BENCH_kernels.json`,
 //! establishing the repo's perf trajectory: every PR's CI uploads the
-//! quick-suite JSON as an artifact, so kernel regressions show up as a
-//! diffable number, not a hunch. All workloads are seeded, so two runs on
-//! the same machine measure the same computation.
+//! quick-suite JSON as an artifact **and gates on it** — `mflb bench-diff`
+//! runs [`compare_reports`] against the committed quick-scale baseline
+//! (`BENCH_kernels_quick.json`; quick vs quick, because measured margins
+//! shift with iteration count) and fails the job when any tracked kernel
+//! lost more than 1.3x of its same-machine speedup over its naive twin.
+//! All workloads are seeded, so two runs on the same machine measure the
+//! same computation.
 
 use mflb_core::SystemConfig;
 use mflb_nn::{Activation, DiagGaussian, Mlp, Tensor, Workspace};
@@ -71,6 +75,116 @@ impl BenchReport {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serialization cannot fail")
     }
+
+    /// Parses a report from JSON.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| format!("parse perf report: {e}"))
+    }
+}
+
+/// One kernel's baseline-vs-fresh comparison (see [`compare_reports`]).
+#[derive(Debug, Clone)]
+pub struct PerfDiffRow {
+    /// Kernel identifier.
+    pub name: String,
+    /// `speedup` recorded in the committed baseline report.
+    pub baseline_speedup: Option<f64>,
+    /// `speedup` measured by the fresh run.
+    pub fresh_speedup: Option<f64>,
+    /// `baseline_speedup / fresh_speedup` — how much of the kernel's
+    /// same-machine margin over its naive twin was lost (`> 1` = lost).
+    pub ratio: Option<f64>,
+    /// Whether `ratio` exceeds the gate threshold.
+    pub regressed: bool,
+}
+
+/// Result of diffing a fresh perf report against the committed baseline.
+///
+/// Wall-clock numbers are machine-dependent (the committed baseline and a
+/// CI runner are different machines), so the gate compares each kernel's
+/// **speedup over its own in-run naive twin** — a same-machine ratio by
+/// construction. Entries without an in-run baseline (rollout/update/MC
+/// throughputs) are listed for visibility but never gate.
+#[derive(Debug, Clone)]
+pub struct PerfDiff {
+    /// Per-kernel comparison, in baseline-report order.
+    pub rows: Vec<PerfDiffRow>,
+    /// The gating threshold on `ratio` (e.g. `1.3`).
+    pub max_ratio: f64,
+}
+
+impl PerfDiff {
+    /// The kernels whose same-machine margin regressed past the threshold.
+    pub fn regressions(&self) -> Vec<&PerfDiffRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// Renders the comparison as a GitHub-flavored markdown table (the
+    /// `$GITHUB_STEP_SUMMARY` payload of the CI perf gate).
+    pub fn to_markdown(&self) -> String {
+        let mut out =
+            String::from("### Perf gate: kernel speedup ratios vs committed baseline\n\n");
+        out.push_str(&format!(
+            "Gate: a tracked kernel fails if `baseline speedup / fresh speedup` exceeds \
+             **{:.2}x** (speedups are same-machine: each run times the kernel against its \
+             own naive twin).\n\n",
+            self.max_ratio
+        ));
+        out.push_str("| kernel | baseline speedup | fresh speedup | ratio | verdict |\n");
+        out.push_str("|---|---|---|---|---|\n");
+        let fmt = |v: Option<f64>| v.map_or("–".to_string(), |s| format!("{s:.2}x"));
+        for r in &self.rows {
+            let verdict = match (r.ratio, r.regressed) {
+                (None, _) => "untracked",
+                (Some(_), true) => "**REGRESSED**",
+                (Some(_), false) => "ok",
+            };
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} |\n",
+                r.name,
+                fmt(r.baseline_speedup),
+                fmt(r.fresh_speedup),
+                r.ratio.map_or("–".to_string(), |x| format!("{x:.2}")),
+                verdict
+            ));
+        }
+        let n = self.regressions().len();
+        if n == 0 {
+            out.push_str("\nAll tracked kernels within the gate.\n");
+        } else {
+            out.push_str(&format!(
+                "\n**{n} kernel(s) regressed past the {:.2}x gate.**\n",
+                self.max_ratio
+            ));
+        }
+        out
+    }
+}
+
+/// Diffs a fresh perf report against the committed baseline (see
+/// [`PerfDiff`] for the gating semantics). Kernels present in only one
+/// report are skipped silently — renaming a kernel therefore *removes* it
+/// from the gate, so rename together with the committed baseline.
+pub fn compare_reports(baseline: &BenchReport, fresh: &BenchReport, max_ratio: f64) -> PerfDiff {
+    assert!(max_ratio > 0.0 && max_ratio.is_finite());
+    let mut rows = Vec::new();
+    for b in &baseline.entries {
+        let Some(f) = fresh.entries.iter().find(|f| f.name == b.name) else {
+            continue;
+        };
+        let ratio = match (b.speedup, f.speedup) {
+            (Some(bs), Some(fs)) if fs > 0.0 => Some(bs / fs),
+            _ => None,
+        };
+        rows.push(PerfDiffRow {
+            name: b.name.clone(),
+            baseline_speedup: b.speedup,
+            fresh_speedup: f.speedup,
+            ratio,
+            regressed: ratio.is_some_and(|r| r > max_ratio),
+        });
+    }
+    PerfDiff { rows, max_ratio }
 }
 
 /// Times `iters` repetitions of `f`; returns total seconds.
@@ -381,5 +495,78 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.entries.len(), 2);
         assert!(back.entries[0].speedup.is_none());
+    }
+
+    fn report_with(speedups: &[(&str, Option<f64>)]) -> BenchReport {
+        BenchReport {
+            unix_time: 0,
+            quick: true,
+            workers: 1,
+            entries: speedups
+                .iter()
+                .map(|(name, s)| {
+                    let mut e = entry(name, 2, 0.5, 1.0, "ops/s");
+                    if let Some(s) = s {
+                        // entry() timed 0.5 s for the fast path; a baseline
+                        // of 0.5·s seconds makes the speedup exactly `s`.
+                        e = with_baseline(e, 0.5 * s);
+                    }
+                    e
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn compare_reports_gates_on_same_machine_speedup_ratios() {
+        let baseline = report_with(&[("gemv", Some(2.6)), ("gemm", Some(1.8)), ("rollout", None)]);
+        // gemv kept its margin, gemm lost half of it (1.8 / 0.9 = 2.0 > 1.3).
+        let fresh = report_with(&[
+            ("gemv", Some(2.5)),
+            ("gemm", Some(0.9)),
+            ("rollout", None),
+            ("brand_new", Some(3.0)),
+        ]);
+        let diff = compare_reports(&baseline, &fresh, 1.3);
+        assert_eq!(diff.rows.len(), 3, "only shared entries are compared");
+        let regressed: Vec<&str> = diff.regressions().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(regressed, vec!["gemm"]);
+        let md = diff.to_markdown();
+        assert!(md.contains("| `gemm` |"), "{md}");
+        assert!(md.contains("REGRESSED"), "{md}");
+        assert!(md.contains("untracked"), "throughput-only entries never gate: {md}");
+        assert!(md.contains("1 kernel(s) regressed"), "{md}");
+    }
+
+    #[test]
+    fn compare_reports_passes_when_margins_hold() {
+        let baseline = report_with(&[("gemv", Some(2.0))]);
+        let fresh = report_with(&[("gemv", Some(1.7))]); // ratio 1.18 < 1.3
+        let diff = compare_reports(&baseline, &fresh, 1.3);
+        assert!(diff.regressions().is_empty());
+        assert!(diff.to_markdown().contains("All tracked kernels within the gate"));
+    }
+
+    #[test]
+    fn committed_baseline_files_parse_and_self_compare_clean() {
+        // BENCH_kernels_quick.json is the CI gate's reference (quick
+        // compares against quick — margins shift with iteration count);
+        // BENCH_kernels.json is the full-suite perf trajectory. Both must
+        // stay parseable and trivially pass against themselves.
+        for file in ["BENCH_kernels_quick.json", "BENCH_kernels.json"] {
+            let path =
+                std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(file);
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("committed baseline {file} must exist: {e}"));
+            let report = BenchReport::from_json(&text)
+                .unwrap_or_else(|e| panic!("committed baseline {file} must parse: {e}"));
+            assert!(!report.entries.is_empty());
+            let diff = compare_reports(&report, &report, 1.3);
+            assert!(diff.regressions().is_empty(), "{file}: self-comparison cannot regress");
+            assert!(
+                diff.rows.iter().any(|r| r.ratio.is_some()),
+                "{file}: at least one kernel must carry a same-machine speedup to gate on"
+            );
+        }
     }
 }

@@ -24,6 +24,7 @@
 
 pub mod config;
 pub mod dist;
+pub mod graph_meanfield;
 pub mod hetero_meanfield;
 pub mod mdp;
 pub mod meanfield;
@@ -31,12 +32,18 @@ pub mod partial;
 pub mod ph_meanfield;
 pub mod rule;
 pub mod theory;
+pub mod topology;
 
 pub use config::SystemConfig;
 pub use dist::StateDist;
+pub use graph_meanfield::{graph_arrival_rates, graph_mean_field_step};
 pub use hetero_meanfield::{HeteroMeanField, HeteroMeanFieldStep};
 pub use mdp::{MeanFieldMdp, MfState, UpperPolicy};
-pub use meanfield::{mean_field_step, per_state_arrival_rates, MeanFieldStep};
+pub use meanfield::{
+    mean_field_step, mean_field_step_with_rates, per_state_arrival_rates,
+    per_state_arrival_rates_into, MeanFieldStep,
+};
 pub use partial::{sampled_estimate, ObservationModel, PartialObservationPolicy};
 pub use ph_meanfield::{ph_mean_field_step, PhDist, PhMeanFieldMdp, PhMfState};
 pub use rule::DecisionRule;
+pub use topology::Topology;

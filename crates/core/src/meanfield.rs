@@ -39,11 +39,36 @@ pub struct MeanFieldStep {
 /// (Eq. 22, in the analytically cancelled form described in the module
 /// docs).
 pub fn per_state_arrival_rates(nu: &StateDist, rule: &DecisionRule, lambda: f64) -> Vec<f64> {
-    let zs = nu.num_states();
+    let mut rates = vec![0.0f64; nu.num_states()];
+    per_state_arrival_rates_into(nu.as_slice(), rule, lambda, &mut rates);
+    rates
+}
+
+/// Buffer-reusing, slice-level core of [`per_state_arrival_rates`]: the
+/// state measure arrives as a raw probability slice and the rates are
+/// written into `rates` (one slot per state). This is what the
+/// graph-constrained engine calls once per *dispatcher neighborhood* per
+/// epoch, so it must not allocate per call beyond the `d`-length tuple
+/// scratch.
+pub fn per_state_arrival_rates_into(
+    nu: &[f64],
+    rule: &DecisionRule,
+    lambda: f64,
+    rates: &mut [f64],
+) {
+    let zs = nu.len();
     let d = rule.d();
     assert_eq!(rule.num_states(), zs, "rule/state-space mismatch");
-    let mut rates = vec![0.0f64; zs];
-    let mut tuple = vec![0usize; d];
+    assert_eq!(rates.len(), zs, "rate buffer/state-space mismatch");
+    rates.iter_mut().for_each(|r| *r = 0.0);
+    let mut tuple = [0usize; 8];
+    let mut tuple_vec;
+    let tuple: &mut [usize] = if d <= 8 {
+        &mut tuple[..d]
+    } else {
+        tuple_vec = vec![0usize; d];
+        &mut tuple_vec
+    };
     for row in 0..rule.num_rows() {
         // Decode the observation tuple for this row.
         let mut idx = row;
@@ -60,7 +85,7 @@ pub fn per_state_arrival_rates(nu: &StateDist, rule: &DecisionRule, lambda: f64)
             let mut others = 1.0;
             for (k, &z) in tuple.iter().enumerate() {
                 if k != u {
-                    others *= nu.prob(z);
+                    others *= nu[z];
                 }
             }
             if others == 0.0 {
@@ -69,7 +94,6 @@ pub fn per_state_arrival_rates(nu: &StateDist, rule: &DecisionRule, lambda: f64)
             rates[tuple[u]] += lambda * h * others;
         }
     }
-    rates
 }
 
 /// Builds the paper's extended rate matrix `Q̄(ν, z)` (Eq. 27) in column
@@ -104,10 +128,27 @@ pub fn mean_field_step(
     service_rate: f64,
     dt: f64,
 ) -> MeanFieldStep {
-    assert!(lambda >= 0.0 && service_rate >= 0.0 && dt > 0.0);
-    let zs = nu.num_states();
-    let buffer = zs - 1;
+    assert!(lambda >= 0.0, "negative arrival rate");
     let rates = per_state_arrival_rates(nu, rule, lambda);
+    mean_field_step_with_rates(nu, rates, service_rate, dt)
+}
+
+/// Advances the mean field by one epoch under **explicit** per-state
+/// arrival rates (the Eq. 24–28 aggregation with `λ_t(ν, z)` supplied by
+/// the caller). [`mean_field_step`] uses the full-mesh Eq. 22 rates;
+/// [`crate::graph_meanfield::graph_mean_field_step`] the degree-indexed
+/// locality-constrained ones. Consumes `rates` and returns it inside the
+/// step's diagnostics.
+pub fn mean_field_step_with_rates(
+    nu: &StateDist,
+    rates: Vec<f64>,
+    service_rate: f64,
+    dt: f64,
+) -> MeanFieldStep {
+    assert!(service_rate >= 0.0 && dt > 0.0);
+    let zs = nu.num_states();
+    assert_eq!(rates.len(), zs, "rate vector/state-space mismatch");
+    let buffer = zs - 1;
 
     let mut next = vec![0.0f64; zs];
     let mut drops = 0.0f64;

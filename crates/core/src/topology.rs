@@ -1,0 +1,372 @@
+//! Locality topologies: which queues each dispatcher can observe and
+//! route to.
+//!
+//! The paper's model is a **full mesh** — every client may sample any of
+//! the `M` queues. The sparse/localized follow-up work (Tahir, Cui &
+//! Koeppl, *Sparse Mean Field Load Balancing in Large Localized Queueing
+//! Systems*, arXiv:2312.12973) constrains dispatchers to a graph
+//! neighborhood instead, which changes both the finite-system dynamics
+//! and the mean-field limit. A [`Topology`] describes that constraint as
+//! data:
+//!
+//! * every queue `j ∈ {0,…,M−1}` hosts a dispatcher;
+//! * the dispatcher's **accessible set** `A(j)` is its *closed*
+//!   neighborhood — the queue itself plus its graph neighbors;
+//! * clients connected to dispatcher `j` sample their `d` queues
+//!   uniformly **with replacement from `A(j)`** (instead of from all `M`
+//!   queues) and observe the same synchronously-broadcast, hence stale,
+//!   epoch-start states as in the full-mesh model.
+//!
+//! All supported families are **vertex-transitive or regular**, so every
+//! accessible set has the same size `k` — the quantity the degree-indexed
+//! mean-field approximation ([`crate::graph_meanfield`]) is indexed by.
+//! The full mesh is the degenerate case `k = M`, recovering the paper's
+//! model exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A locality constraint on dispatcher routing, as data.
+///
+/// Serializes with externally tagged variants, e.g.
+/// `"FullMesh"`, `{"Ring": {"radius": 2}}`,
+/// `{"Torus": {"radius": 1}}`, `{"RandomRegular": {"degree": 4, "seed": 1}}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// Every dispatcher reaches every queue (the paper's model; the
+    /// degenerate `k = M` case).
+    FullMesh,
+    /// Queues on a cycle; dispatcher `j` reaches `j ± 1, …, j ± radius`
+    /// (mod `M`). Accessible-set size `k = 2·radius + 1`.
+    Ring {
+        /// Reach on each side of the cycle (≥ 1).
+        radius: usize,
+    },
+    /// Queues on a `√M × √M` 2-D torus; dispatcher `(x, y)` reaches every
+    /// cell within L1 distance `radius` (wrapped). Accessible-set size
+    /// `k = 2·radius² + 2·radius + 1` (5 for the von-Neumann `radius = 1`).
+    Torus {
+        /// L1 reach on the lattice (≥ 1).
+        radius: usize,
+    },
+    /// A uniformly random simple `degree`-regular graph, drawn once from
+    /// the configuration model with a pinned seed (so the same spec always
+    /// builds the same graph). Accessible-set size `k = degree + 1`.
+    RandomRegular {
+        /// Number of neighbors per queue (≥ 1, < M, `degree·M` even).
+        degree: usize,
+        /// Seed of the graph draw (part of the spec: same seed, same graph).
+        seed: u64,
+    },
+}
+
+impl Topology {
+    /// Size `k` of every accessible set for an `m`-queue system.
+    pub fn neighborhood_size(&self, m: usize) -> usize {
+        match self {
+            Topology::FullMesh => m,
+            Topology::Ring { radius } => 2 * radius + 1,
+            Topology::Torus { radius } => 2 * radius * radius + 2 * radius + 1,
+            Topology::RandomRegular { degree, .. } => degree + 1,
+        }
+    }
+
+    /// Accessible-set size in the `M → ∞` limit: `None` means it grows
+    /// with `M` (full mesh — the limit is the paper's Eq. 20–28 mean
+    /// field), `Some(k)` is the fixed size the degree-indexed mean-field
+    /// approximation ([`crate::graph_meanfield`]) is evaluated at.
+    pub fn limit_neighborhood_size(&self) -> Option<usize> {
+        match self {
+            Topology::FullMesh => None,
+            other => Some(other.neighborhood_size(usize::MAX)),
+        }
+    }
+
+    /// Whether the accessible sets cover all `m` queues — the degenerate
+    /// case in which a graph-constrained system *is* the paper's full-mesh
+    /// system (e.g. a ring with `2·radius + 1 = M`, or `degree = M − 1`).
+    pub fn is_full_mesh(&self, m: usize) -> bool {
+        self.neighborhood_size(m) >= m
+    }
+
+    /// Checks the topology against a system size; returns a
+    /// human-readable complaint.
+    pub fn validate(&self, m: usize) -> Result<(), String> {
+        if m == 0 {
+            return Err("topology needs at least one queue".into());
+        }
+        match self {
+            Topology::FullMesh => Ok(()),
+            Topology::Ring { radius } => {
+                if *radius == 0 {
+                    return Err("ring radius must be at least 1".into());
+                }
+                if 2 * radius + 1 > m {
+                    return Err(format!(
+                        "ring radius {radius} needs 2·{radius}+1 = {} queues, got {m}",
+                        2 * radius + 1
+                    ));
+                }
+                Ok(())
+            }
+            Topology::Torus { radius } => {
+                if *radius == 0 {
+                    return Err("torus radius must be at least 1".into());
+                }
+                let side = (m as f64).sqrt().round() as usize;
+                if side * side != m {
+                    return Err(format!("torus topology needs a square number of queues, got {m}"));
+                }
+                // Distinct wrapped neighbors need the ball diameter to fit.
+                if 2 * radius + 1 > side {
+                    return Err(format!(
+                        "torus radius {radius} needs a side of at least {}, got {side}",
+                        2 * radius + 1
+                    ));
+                }
+                Ok(())
+            }
+            Topology::RandomRegular { degree, .. } => {
+                if *degree == 0 {
+                    return Err("random-regular degree must be at least 1".into());
+                }
+                if *degree >= m {
+                    return Err(format!(
+                        "random-regular degree {degree} needs more than {degree} queues, got {m}"
+                    ));
+                }
+                if !(*degree * m).is_multiple_of(2) {
+                    return Err(format!(
+                        "random-regular graph needs degree·M even, got {degree}·{m}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Materializes the closed neighborhoods for an `m`-queue system,
+    /// flattened with stride [`Topology::neighborhood_size`]: entry
+    /// `j·k + 0` is `j` itself (the dispatcher's own queue), followed by
+    /// its neighbors in ascending index order. Deterministic for a fixed
+    /// spec — the random-regular draw is pinned by its embedded seed.
+    pub fn neighborhoods(&self, m: usize) -> Result<Vec<usize>, String> {
+        self.validate(m)?;
+        let k = self.neighborhood_size(m);
+        let mut flat = Vec::with_capacity(m * k);
+        match self {
+            Topology::FullMesh => {
+                for j in 0..m {
+                    flat.push(j);
+                    flat.extend((0..m).filter(|&i| i != j));
+                }
+            }
+            Topology::Ring { radius } => {
+                for j in 0..m {
+                    flat.push(j);
+                    let mut nbrs: Vec<usize> =
+                        (1..=*radius).flat_map(|r| [(j + r) % m, (j + m - r % m) % m]).collect();
+                    nbrs.sort_unstable();
+                    flat.extend(nbrs);
+                }
+            }
+            Topology::Torus { radius } => {
+                let side = (m as f64).sqrt().round() as usize;
+                let r = *radius as isize;
+                let s = side as isize;
+                for j in 0..m {
+                    let (x, y) = ((j % side) as isize, (j / side) as isize);
+                    flat.push(j);
+                    let mut nbrs = Vec::new();
+                    for dx in -r..=r {
+                        let budget = r - dx.abs();
+                        for dy in -budget..=budget {
+                            if dx == 0 && dy == 0 {
+                                continue;
+                            }
+                            let nx = (x + dx).rem_euclid(s) as usize;
+                            let ny = (y + dy).rem_euclid(s) as usize;
+                            nbrs.push(ny * side + nx);
+                        }
+                    }
+                    nbrs.sort_unstable();
+                    flat.extend(nbrs);
+                }
+            }
+            Topology::RandomRegular { degree, seed } => {
+                let adj = random_regular_graph(m, *degree, *seed)?;
+                for (j, mut nbrs) in adj.into_iter().enumerate() {
+                    flat.push(j);
+                    nbrs.sort_unstable();
+                    flat.extend(nbrs);
+                }
+            }
+        }
+        debug_assert_eq!(flat.len(), m * k);
+        Ok(flat)
+    }
+}
+
+/// Draws a random simple `degree`-regular graph on `m` vertices via the
+/// configuration model with pair-swap repair (uniform stub matching;
+/// offending pairs — self-loops or parallel edges — are re-matched
+/// against random partners instead of rejecting the whole matching, the
+/// standard fix that keeps moderate degrees feasible), deterministically
+/// from `seed`.
+fn random_regular_graph(m: usize, degree: usize, seed: u64) -> Result<Vec<Vec<usize>>, String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_62A9);
+    const MAX_ATTEMPTS: usize = 40;
+    let mut stubs: Vec<usize> = (0..m).flat_map(|v| std::iter::repeat_n(v, degree)).collect();
+    let half = stubs.len() / 2;
+    for _ in 0..MAX_ATTEMPTS {
+        // Fisher–Yates shuffle; pair `t` is (stubs[2t], stubs[2t+1]).
+        for i in (1..stubs.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            stubs.swap(i, j);
+        }
+        // Repair pass: re-validate from scratch, swapping the first bad
+        // pair's second stub with a random pair's until clean (bounded so
+        // a pathological spec reshuffles instead of spinning).
+        let mut repairs_left = 200 * half.max(1);
+        'repair: loop {
+            let mut adj: Vec<Vec<usize>> = vec![Vec::with_capacity(degree); m];
+            for t in 0..half {
+                let (a, b) = (stubs[2 * t], stubs[2 * t + 1]);
+                if a == b || adj[a].contains(&b) {
+                    if repairs_left == 0 {
+                        break 'repair; // give up on this shuffle
+                    }
+                    repairs_left -= 1;
+                    let other = rng.gen_range(0..half);
+                    stubs.swap(2 * t + 1, 2 * other + 1);
+                    continue 'repair;
+                }
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+            return Ok(adj);
+        }
+    }
+    Err(format!(
+        "could not draw a simple {degree}-regular graph on {m} vertices (seed {seed}); \
+         lower the degree or change the seed"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_regular(top: &Topology, m: usize) {
+        let k = top.neighborhood_size(m);
+        let flat = top.neighborhoods(m).expect("valid topology");
+        assert_eq!(flat.len(), m * k);
+        for j in 0..m {
+            let nbrs = &flat[j * k..(j + 1) * k];
+            assert_eq!(nbrs[0], j, "own queue first");
+            let mut sorted = nbrs.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "accessible set of {j} must be distinct: {nbrs:?}");
+            assert!(sorted.iter().all(|&i| i < m));
+        }
+    }
+
+    #[test]
+    fn ring_neighborhoods_are_symmetric_windows() {
+        let top = Topology::Ring { radius: 2 };
+        check_regular(&top, 10);
+        let flat = top.neighborhoods(10).unwrap();
+        // Node 0 reaches {0, 1, 2, 8, 9}.
+        assert_eq!(&flat[0..5], &[0, 1, 2, 8, 9]);
+    }
+
+    #[test]
+    fn torus_radius1_is_von_neumann() {
+        let top = Topology::Torus { radius: 1 };
+        assert_eq!(top.neighborhood_size(25), 5);
+        check_regular(&top, 25);
+        let flat = top.neighborhoods(25).unwrap();
+        // Node 6 = (1,1) on the 5×5 torus reaches (0,1),(2,1),(1,0),(1,2).
+        assert_eq!(&flat[6 * 5..7 * 5], &[6, 1, 5, 7, 11]);
+    }
+
+    #[test]
+    fn random_regular_is_regular_and_seed_pinned() {
+        let top = Topology::RandomRegular { degree: 4, seed: 7 };
+        check_regular(&top, 30);
+        let a = top.neighborhoods(30).unwrap();
+        let b = top.neighborhoods(30).unwrap();
+        assert_eq!(a, b, "same seed, same graph");
+        let other = Topology::RandomRegular { degree: 4, seed: 8 }.neighborhoods(30).unwrap();
+        assert_ne!(a, other, "different seed, different graph (w.h.p.)");
+        // Undirected: j ∈ A(i) ⇔ i ∈ A(j).
+        let k = 5;
+        for i in 0..30 {
+            for &j in &a[i * k + 1..(i + 1) * k] {
+                assert!(a[j * k..(j + 1) * k].contains(&i), "edge {i}-{j} must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn full_mesh_covers_everything() {
+        let top = Topology::FullMesh;
+        assert!(top.is_full_mesh(17));
+        assert_eq!(top.neighborhood_size(17), 17);
+        assert_eq!(top.limit_neighborhood_size(), None);
+        check_regular(&top, 8);
+    }
+
+    #[test]
+    fn degenerate_covers_are_detected() {
+        // Ring whose window wraps the whole cycle, and a complete
+        // random-regular graph, are full meshes in disguise.
+        assert!(Topology::Ring { radius: 3 }.is_full_mesh(7));
+        assert!(!Topology::Ring { radius: 3 }.is_full_mesh(8));
+        assert!(Topology::RandomRegular { degree: 9, seed: 1 }.is_full_mesh(10));
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_with_reasons() {
+        let cases: Vec<(&str, Topology, usize)> = vec![
+            ("zero ring radius", Topology::Ring { radius: 0 }, 10),
+            ("ring wider than the cycle", Topology::Ring { radius: 5 }, 10),
+            ("zero torus radius", Topology::Torus { radius: 0 }, 25),
+            ("non-square torus", Topology::Torus { radius: 1 }, 24),
+            ("torus ball wider than the side", Topology::Torus { radius: 3 }, 25),
+            ("zero degree", Topology::RandomRegular { degree: 0, seed: 1 }, 10),
+            ("degree >= M", Topology::RandomRegular { degree: 10, seed: 1 }, 10),
+            ("odd stub count", Topology::RandomRegular { degree: 3, seed: 1 }, 9),
+        ];
+        for (what, top, m) in cases {
+            assert!(top.validate(m).is_err(), "{what} must be rejected");
+            assert!(top.neighborhoods(m).is_err(), "{what} must not materialize");
+        }
+    }
+
+    #[test]
+    fn limit_sizes_are_m_independent_for_sparse_families() {
+        assert_eq!(Topology::Ring { radius: 2 }.limit_neighborhood_size(), Some(5));
+        assert_eq!(Topology::Torus { radius: 1 }.limit_neighborhood_size(), Some(5));
+        assert_eq!(
+            Topology::RandomRegular { degree: 4, seed: 1 }.limit_neighborhood_size(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn topology_serde_round_trips() {
+        for top in [
+            Topology::FullMesh,
+            Topology::Ring { radius: 2 },
+            Topology::Torus { radius: 1 },
+            Topology::RandomRegular { degree: 4, seed: 9 },
+        ] {
+            let json = serde_json::to_string(&top).unwrap();
+            let back: Topology = serde_json::from_str(&json).unwrap();
+            assert_eq!(top, back, "{json}");
+        }
+    }
+}

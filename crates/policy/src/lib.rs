@@ -11,6 +11,18 @@
 //! All policies implement [`mflb_core::mdp::UpperPolicy`] and therefore run
 //! unchanged in the mean-field MDP *and* in the finite `N,M` simulator
 //! (`mflb-sim`), exactly as in the paper's evaluation.
+//!
+//! ### Locality
+//!
+//! Every rule here is a table over the *observed states of the `d`
+//! sampled queues*, not over queue identities — so the same JSQ(d), RND
+//! and softmin(β) tables are automatically **neighborhood-restricted**
+//! when deployed on a graph-constrained engine
+//! (`mflb_sim::GraphEngine`): the engine draws the `d` samples from each
+//! dispatcher's closed neighborhood, and the rule only ever ranks what
+//! was sampled. JSQ(d) on a ring is "join the shortest *observed
+//! neighbor*", with the usual stale-information caveats on top. See
+//! [`rules`] for details.
 
 #![deny(rustdoc::broken_intra_doc_links)]
 

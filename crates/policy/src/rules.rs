@@ -12,6 +12,17 @@
 //! * [`sed_rule`] — Shortest-Expected-Delay for heterogeneous pools over
 //!   *composite* states `(queue length, rate class)`; with a single class
 //!   it coincides with JSQ (tested).
+//!
+//! ### Neighborhood restriction
+//!
+//! Rules rank **sampled observations**, never queue identities, so no
+//! separate "local" variants exist: deployed on a locality-constrained
+//! engine (`mflb_sim::GraphEngine`, where samples come from each
+//! dispatcher's closed neighborhood) the same tables become the
+//! neighborhood-restricted baselines JSQ(d)/RND/softmin of the sparse
+//! mean-field load-balancing literature (arXiv:2312.12973). The
+//! restriction is enforced by the engine's sampling — property-tested in
+//! `mflb-sim` ("routing never leaves the neighborhood").
 
 use mflb_core::DecisionRule;
 

@@ -54,5 +54,7 @@ pub use eval::{evaluate_checkpoint, scenario_with_m, EvalReport, EvalRow};
 pub use mfc_env::MfcEnv;
 pub use ppo::{CollectStats, IterationStats, PpoConfig, PpoTrainer, UpdateStats};
 pub use reinforce::{ReinforceConfig, ReinforceStats, ReinforceTrainer};
-pub use scenario_env::{build_env, hetero_classes, HeteroMfcEnv, PhMfcEnv, PolicyShape};
+pub use scenario_env::{
+    build_env, hetero_classes, GraphMfcEnv, HeteroMfcEnv, PhMfcEnv, PolicyShape,
+};
 pub use train::{train_scenario, train_scenario_from, TrainResult};

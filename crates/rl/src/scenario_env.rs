@@ -20,6 +20,12 @@
 //! * [`EngineSpec::Ph`] — the phase-type-service mean field ([`PhMfcEnv`]
 //!   over [`mflb_core::PhMeanFieldMdp`], the §5 extension). The policy
 //!   observes the length marginal of the joint `(length, phase)` state.
+//! * [`EngineSpec::Graph`] — the **degree-indexed** graph mean field
+//!   ([`GraphMfcEnv`] over [`mflb_core::graph_mean_field_step`], the
+//!   locality-constrained extension of arXiv:2312.12973): identical
+//!   observation/action interface to the homogeneous model, but the
+//!   per-state arrival rates are the annealed `k`-neighborhood closure.
+//!   A full-mesh topology selects the exact Eq. 20–28 model ([`MfcEnv`]).
 //!
 //! [`PolicyShape`] is the single source of truth for the observation/action
 //! dimensions a scenario implies; checkpoint validation and policy
@@ -30,7 +36,8 @@ use crate::env::{Env, StepResult};
 use crate::mfc_env::MfcEnv;
 use mflb_core::mdp::{action_dim, encode_observation, observation_dim};
 use mflb_core::{
-    DecisionRule, HeteroMeanField, PhMeanFieldMdp, PhMfState, StateDist, SystemConfig,
+    graph_mean_field_step, DecisionRule, HeteroMeanField, PhMeanFieldMdp, PhMfState, StateDist,
+    SystemConfig,
 };
 use mflb_policy::NeuralUpperPolicy;
 use mflb_queue::PhaseType;
@@ -124,6 +131,12 @@ pub fn build_env(scenario: &Scenario) -> Result<Box<dyn Env>, String> {
         | EngineSpec::JobLevel => Box::new(MfcEnv::new(config)),
         EngineSpec::Hetero { rates } => Box::new(HeteroMfcEnv::new(config, rates)),
         EngineSpec::Ph { service } => Box::new(PhMfcEnv::new(config, service.build()?)),
+        EngineSpec::Graph { topology } => match topology.limit_neighborhood_size() {
+            // Accessible sets growing with M: the limit is the paper's
+            // exact full-mesh mean field.
+            None => Box::new(MfcEnv::new(config)),
+            Some(k) => Box::new(GraphMfcEnv::new(config, k)),
+        },
     })
 }
 
@@ -224,6 +237,92 @@ impl Env for HeteroMfcEnv {
             t: 0,
             horizon: self.horizon,
         })
+    }
+
+    fn horizon_hint(&self) -> Option<usize> {
+        Some(self.horizon)
+    }
+}
+
+/// The degree-indexed graph mean-field control MDP as a PPO environment
+/// (the locality-constrained extension; see
+/// [`mflb_core::graph_meanfield`]).
+///
+/// Observation and action are exactly the homogeneous model's —
+/// `[ν_t (B+1), onehot(λ_t)]` in, decision-rule logits over length
+/// tuples out — so graph checkpoints share the homogeneous
+/// [`PolicyShape`] and a net trained here deploys against
+/// `GraphEngine::empirical` unchanged. Only the *dynamics* differ: the
+/// per-state arrival rates use the annealed `k`-neighborhood closure
+/// instead of the Eq. 22 full-mesh integral, which is what teaches the
+/// policy that herding onto globally short queues is capped by each
+/// dispatcher's catchment.
+pub struct GraphMfcEnv {
+    config: SystemConfig,
+    /// Closed-neighborhood size `k` in the `M → ∞` limit.
+    k: usize,
+    nu: StateDist,
+    lambda_idx: usize,
+    t: usize,
+    horizon: usize,
+}
+
+impl GraphMfcEnv {
+    /// Creates the environment for a limit neighborhood size `k ≥ 1`
+    /// (from [`mflb_core::Topology::limit_neighborhood_size`]).
+    pub fn new(config: SystemConfig, k: usize) -> Self {
+        config.validate().expect("invalid system configuration");
+        assert!(k >= 1, "neighborhood size must be at least 1");
+        let horizon = config.train_episode_len;
+        let nu = StateDist::new(config.initial_dist.clone());
+        Self { config, k, nu, lambda_idx: 0, t: 0, horizon }
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        encode_observation(&self.nu, self.lambda_idx, self.config.arrivals.num_levels())
+    }
+}
+
+impl Env for GraphMfcEnv {
+    fn obs_dim(&self) -> usize {
+        observation_dim(self.config.num_states(), self.config.arrivals.num_levels())
+    }
+
+    fn act_dim(&self) -> usize {
+        action_dim(self.config.num_states(), self.config.d)
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.nu = StateDist::new(self.config.initial_dist.clone());
+        self.lambda_idx = self.config.arrivals.sample_initial(rng);
+        self.t = 0;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> StepResult {
+        let rule = DecisionRule::from_logits(self.config.num_states(), self.config.d, action);
+        let lambda = self.config.arrivals.level_rate(self.lambda_idx);
+        let detail = graph_mean_field_step(
+            &self.nu,
+            &rule,
+            lambda,
+            self.config.service_rate,
+            self.config.dt,
+            self.k,
+        );
+        let mut cost = detail.expected_drops;
+        if self.config.holding_cost > 0.0 {
+            cost +=
+                self.config.holding_cost * detail.next_dist.mean_queue_length() * self.config.dt;
+        }
+        self.nu = detail.next_dist;
+        self.lambda_idx = self.config.arrivals.step(self.lambda_idx, rng);
+        self.t += 1;
+        StepResult { obs: self.observe(), reward: -cost, done: self.t >= self.horizon }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Env> {
+        Box::new(Self::new(self.config.clone(), self.k))
     }
 
     fn horizon_hint(&self) -> Option<usize> {
@@ -394,6 +493,75 @@ mod tests {
     fn build_env_rejects_malformed_scenarios() {
         let bad = Scenario::new(base_config(), EngineSpec::Hetero { rates: vec![1.0; 3] });
         assert!(build_env(&bad).is_err(), "pool size mismatch must be rejected");
+        let bad_top = Scenario::new(
+            base_config(),
+            EngineSpec::Graph { topology: mflb_core::Topology::Ring { radius: 7 } },
+        );
+        assert!(build_env(&bad_top).is_err(), "over-wide ring must be rejected");
+    }
+
+    #[test]
+    fn graph_env_shares_the_homogeneous_policy_shape() {
+        let scenario = Scenario::new(
+            base_config(),
+            EngineSpec::Graph { topology: mflb_core::Topology::Ring { radius: 2 } },
+        );
+        let shape = PolicyShape::for_scenario(&scenario);
+        assert_eq!((shape.obs_states, shape.rule_states), (6, 6));
+        let mut env = build_env(&scenario).expect("valid scenario");
+        assert_eq!(env.obs_dim(), shape.obs_dim());
+        assert_eq!(env.act_dim(), shape.act_dim());
+        let mut rng = StdRng::seed_from_u64(1);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.len(), shape.obs_dim());
+        let action = vec![0.0; env.act_dim()];
+        let r = env.step(&action, &mut rng);
+        assert!(r.reward <= 0.0);
+        let mass: f64 = r.obs[..6].iter().sum();
+        assert!((mass - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn full_mesh_graph_scenario_trains_in_the_exact_mean_field() {
+        // FullMesh has no finite limit degree, so build_env must select the
+        // exact Eq. 20–28 environment: same RNG consumption, same rewards
+        // as the aggregate scenario's env.
+        let graph = Scenario::new(
+            base_config(),
+            EngineSpec::Graph { topology: mflb_core::Topology::FullMesh },
+        );
+        let agg = Scenario::new(base_config(), EngineSpec::Aggregate);
+        let mut a = build_env(&graph).unwrap();
+        let mut b = build_env(&agg).unwrap();
+        let mut rng_a = StdRng::seed_from_u64(5);
+        let mut rng_b = StdRng::seed_from_u64(5);
+        a.reset(&mut rng_a);
+        b.reset(&mut rng_b);
+        let action = vec![0.2; a.act_dim()];
+        for _ in 0..10 {
+            let ra = a.step(&action, &mut rng_a);
+            let rb = b.step(&action, &mut rng_b);
+            assert!((ra.reward - rb.reward).abs() < 1e-12, "{} vs {}", ra.reward, rb.reward);
+        }
+    }
+
+    #[test]
+    fn huge_neighborhoods_approach_the_homogeneous_env() {
+        // k = 10_000: the annealed closure is numerically indistinguishable
+        // from the full-mesh model, so per-step rewards must agree tightly.
+        let cfg = base_config();
+        let mut graph = GraphMfcEnv::new(cfg.clone(), 10_000);
+        let mut homog = MfcEnv::new(cfg);
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        graph.reset(&mut rng_a);
+        homog.reset(&mut rng_b);
+        let action = vec![0.3; homog.act_dim()];
+        for _ in 0..10 {
+            let a = graph.step(&action, &mut rng_a);
+            let b = homog.step(&action, &mut rng_b);
+            assert!((a.reward - b.reward).abs() < 1e-4, "{} vs {}", a.reward, b.reward);
+        }
     }
 
     #[test]

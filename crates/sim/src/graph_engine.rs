@@ -1,0 +1,492 @@
+//! The locality-constrained finite-system engine: dispatchers route over
+//! a graph [`Topology`] instead of the paper's full mesh.
+//!
+//! ### Model
+//! Every queue `j` hosts a dispatcher whose **accessible set** `A(j)` is
+//! its closed neighborhood (itself plus its graph neighbors, size `k` —
+//! see [`mflb_core::Topology`]). Each epoch:
+//!
+//! 1. every client connects to a uniformly random dispatcher (clients are
+//!    exchangeable traffic sources, re-mixed every epoch), so the
+//!    per-dispatcher client counts are `Multinomial(N, 1/M, …, 1/M)`;
+//! 2. each of a dispatcher's clients samples `d` queues uniformly **with
+//!    replacement from `A(j)`**, observes their epoch-start (stale)
+//!    lengths — the same delayed/staggered information semantics as every
+//!    other engine — and draws its destination from the decision rule;
+//! 3. every queue runs its exact birth–death CTMC for `Δt` (Alg. 1,
+//!    lines 15–19), unchanged.
+//!
+//! ### Exact aggregation per neighborhood
+//! Conditional on the epoch-start lengths, a dispatcher's clients are
+//! i.i.d., and a single client routes to the *specific* queue `j ∈ A(i)`
+//! with probability `ρ(H_i)[z_j] / k`, where `H_i` is the empirical
+//! length distribution of `A(i)` and `ρ` is the Eq. 22 integrand
+//! ([`mflb_core::per_state_arrival_rates_into`]) — the same hierarchical
+//! argument as [`crate::aggregate::AggregateEngine`], applied to the
+//! `k`-queue neighborhood instead of all `M` queues. The per-neighborhood
+//! count vector is therefore an exact `Multinomial(n_i, (ρ[z_j]/k)_j)`;
+//! cost `O(M·(k + |Z|^d·d))` per epoch, independent of `N`.
+//!
+//! ### Full mesh ≡ aggregate, bit for bit
+//! When the topology's accessible sets cover all `M` queues
+//! ([`Topology::is_full_mesh`]), dispatcher identity is irrelevant and
+//! the assignment law is exactly the paper's. The engine then takes the
+//! [`crate::aggregate`] fast path — the *same* RNG call sequence as
+//! [`crate::aggregate::AggregateEngine`] — so a full-mesh graph episode
+//! is **bit-identical** to an aggregate-engine episode under the same
+//! seed (enforced by `tests/engine_regression.rs` and the sim property
+//! suite).
+
+use crate::aggregate::sample_client_assignments_into;
+use crate::episode::{length_epoch_stats, simulate_birth_death_epoch, Engine, EpochStats};
+use mflb_core::{per_state_arrival_rates_into, DecisionRule, StateDist, SystemConfig, Topology};
+use mflb_queue::sampler::Sampler;
+use rand::rngs::StdRng;
+
+/// Episode state of [`GraphEngine`]: queue lengths plus reusable
+/// per-epoch scratch (client counts, per-dispatcher counts, neighborhood
+/// histogram/rates/probability buffers).
+#[derive(Debug, Clone)]
+pub struct GraphState {
+    queues: Vec<usize>,
+    counts: Vec<u64>,
+    home_counts: Vec<u64>,
+    hist: Vec<f64>,
+    rates: Vec<f64>,
+    probs: Vec<f64>,
+}
+
+impl GraphState {
+    /// Wraps explicit queue lengths (benchmarks and tests). `zs` is the
+    /// number of queue states `B + 1`, `k` the accessible-set size.
+    pub fn from_queues(queues: Vec<usize>, zs: usize, k: usize) -> Self {
+        let m = queues.len();
+        Self {
+            queues,
+            counts: vec![0; m],
+            home_counts: vec![0; m],
+            hist: vec![0.0; zs],
+            rates: vec![0.0; zs],
+            probs: vec![0.0; k],
+        }
+    }
+
+    /// Current queue lengths.
+    pub fn queues(&self) -> &[usize] {
+        &self.queues
+    }
+}
+
+/// Locality-constrained epoch executor over a graph topology.
+#[derive(Debug, Clone)]
+pub struct GraphEngine {
+    config: SystemConfig,
+    topology: Topology,
+    /// Flattened closed neighborhoods, stride `k` (empty on the full-mesh
+    /// fast path, which never consults them).
+    nbr: Vec<usize>,
+    /// Accessible-set size.
+    k: usize,
+    /// Whether the accessible sets cover all `M` queues (aggregate fast
+    /// path, bit-identical RNG stream).
+    full_mesh: bool,
+}
+
+impl GraphEngine {
+    /// Creates the engine for a validated configuration and topology.
+    ///
+    /// # Panics
+    /// Panics if the configuration or topology is invalid — construct via
+    /// [`crate::Scenario::build`] for an `Err`-reporting path.
+    pub fn new(config: SystemConfig, topology: Topology) -> Self {
+        config.validate().expect("invalid system configuration");
+        let m = config.num_queues;
+        topology.validate(m).expect("invalid topology");
+        let full_mesh = topology.is_full_mesh(m);
+        let (nbr, k) = if full_mesh {
+            (Vec::new(), m)
+        } else {
+            let k = topology.neighborhood_size(m);
+            (topology.neighborhoods(m).expect("validated topology must materialize"), k)
+        };
+        Self { config, topology, nbr, k, full_mesh }
+    }
+
+    /// The topology in force.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Accessible-set size `k` (equals `M` on the full-mesh fast path).
+    pub fn neighborhood_size(&self) -> usize {
+        self.k
+    }
+
+    /// The closed neighborhood `A(node)` (own queue first). Empty slice on
+    /// the full-mesh fast path, where `A(node)` is implicitly all queues.
+    pub fn neighborhood(&self, node: usize) -> &[usize] {
+        if self.full_mesh {
+            &[]
+        } else {
+            &self.nbr[node * self.k..(node + 1) * self.k]
+        }
+    }
+
+    /// Samples the assignments of `clients` clients connected to one
+    /// dispatcher, **adding** the resulting counts into `counts` (exposed
+    /// for the locality property tests: counts outside
+    /// [`GraphEngine::neighborhood`]`(node)` are never touched).
+    ///
+    /// # Panics
+    /// Panics on the full-mesh fast path, which has no per-dispatcher
+    /// assignment stage.
+    pub fn sample_node_assignments(
+        &self,
+        node: usize,
+        clients: u64,
+        queues: &[usize],
+        rule: &DecisionRule,
+        rng: &mut StdRng,
+        counts: &mut [u64],
+    ) {
+        assert!(!self.full_mesh, "full-mesh fast path has no per-node stage");
+        let zs = self.config.num_states();
+        let mut hist = vec![0.0; zs];
+        let mut rates = vec![0.0; zs];
+        let mut probs = vec![0.0; self.k];
+        self.assign_node(
+            node, clients, queues, rule, rng, counts, &mut hist, &mut rates, &mut probs,
+        );
+    }
+
+    /// Scratch-buffer core of [`GraphEngine::sample_node_assignments`].
+    #[allow(clippy::too_many_arguments)]
+    fn assign_node(
+        &self,
+        node: usize,
+        clients: u64,
+        queues: &[usize],
+        rule: &DecisionRule,
+        rng: &mut StdRng,
+        counts: &mut [u64],
+        hist: &mut [f64],
+        rates: &mut [f64],
+        probs: &mut [f64],
+    ) {
+        let k = self.k;
+        let nbrs = &self.nbr[node * k..(node + 1) * k];
+        // Empirical length distribution of the accessible set.
+        hist.iter_mut().for_each(|h| *h = 0.0);
+        for &j in nbrs {
+            hist[queues[j]] += 1.0;
+        }
+        let inv_k = 1.0 / k as f64;
+        hist.iter_mut().for_each(|h| *h *= inv_k);
+        // ρ(H_i)[z] = k · (specific-queue pick probability for state z);
+        // Σ_j ρ[z_j]/k = Σ_z H_i(z)·ρ[z] = 1 exactly (thinning identity).
+        per_state_arrival_rates_into(hist, rule, 1.0, rates);
+        for (t, &j) in nbrs.iter().enumerate() {
+            probs[t] = rates[queues[j]] * inv_k;
+        }
+        multinomial_add_into(rng, clients, probs, nbrs, counts);
+    }
+
+    /// Samples the per-queue client counts for one epoch (exposed for the
+    /// engine-agreement and conservation tests).
+    pub fn sample_assignments(
+        &self,
+        queues: &[usize],
+        rule: &DecisionRule,
+        rng: &mut StdRng,
+    ) -> Vec<u64> {
+        let mut state = GraphState::from_queues(queues.to_vec(), self.config.num_states(), self.k);
+        self.sample_assignments_into(rule, rng, &mut state);
+        state.counts
+    }
+
+    fn sample_assignments_into(
+        &self,
+        rule: &DecisionRule,
+        rng: &mut StdRng,
+        state: &mut GraphState,
+    ) {
+        let GraphState { queues, counts, home_counts, hist, rates, probs } = state;
+        if self.full_mesh {
+            // Dispatcher identity is irrelevant when every accessible set
+            // covers all M queues: take the aggregate engine's exact
+            // hierarchical-multinomial path — same law, same RNG stream.
+            sample_client_assignments_into(
+                self.config.num_clients,
+                self.config.buffer,
+                queues,
+                rule,
+                rng,
+                counts,
+            );
+            return;
+        }
+        counts.iter_mut().for_each(|c| *c = 0);
+        // 1. Clients → dispatchers, Multinomial(N, uniform).
+        let m = queues.len();
+        let uniform = 1.0 / m as f64;
+        let mut remaining_n = self.config.num_clients;
+        let mut remaining_mass = 1.0f64;
+        for (i, h) in home_counts.iter_mut().enumerate() {
+            if remaining_n == 0 {
+                *h = 0;
+                continue;
+            }
+            let cond = if i + 1 == m { 1.0 } else { (uniform / remaining_mass).clamp(0.0, 1.0) };
+            let c = Sampler::binomial(rng, remaining_n, cond);
+            *h = c;
+            remaining_n -= c;
+            remaining_mass -= uniform;
+        }
+        // 2. Per dispatcher: exact multinomial over its neighborhood.
+        for i in 0..m {
+            if home_counts[i] == 0 {
+                continue;
+            }
+            self.assign_node(i, home_counts[i], queues, rule, rng, counts, hist, rates, probs);
+        }
+    }
+}
+
+/// Samples `Multinomial(n, probs)` by conditional binomials and **adds**
+/// the category counts onto `counts[targets[t]]`. `probs` must sum to 1
+/// (up to floating-point drift; the last category — and any earlier
+/// positive-probability category the drifted residual mass has shrunk to —
+/// absorbs everyone left, so all `n` trials always land).
+fn multinomial_add_into(
+    rng: &mut StdRng,
+    n: u64,
+    probs: &[f64],
+    targets: &[usize],
+    counts: &mut [u64],
+) {
+    debug_assert_eq!(probs.len(), targets.len());
+    let mut remaining_n = n;
+    let mut remaining_mass: f64 = probs.iter().sum();
+    for (t, &p) in probs.iter().enumerate() {
+        if remaining_n == 0 {
+            break;
+        }
+        // FP subtraction is not exact, so neither `remaining_mass <= p` at
+        // the last positive category nor a nonpositive residual can be
+        // relied on alone: the last index must absorb unconditionally
+        // (else drift above p_last strands clients), and an early absorb
+        // must require p > 0 (else drift below zero dumps clients on a
+        // zero-probability neighbor).
+        let c = if t + 1 == probs.len() || (p > 0.0 && remaining_mass <= p) {
+            remaining_n
+        } else {
+            Sampler::binomial(rng, remaining_n, (p / remaining_mass).clamp(0.0, 1.0))
+        };
+        counts[targets[t]] += c;
+        remaining_n -= c;
+        remaining_mass -= p;
+    }
+    debug_assert_eq!(remaining_n, 0, "every client must land in the neighborhood");
+}
+
+impl Engine for GraphEngine {
+    type State = GraphState;
+
+    fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn init_state(&self, rng: &mut StdRng) -> GraphState {
+        GraphState::from_queues(
+            crate::episode::sample_initial_queues(&self.config, rng),
+            self.config.num_states(),
+            self.k,
+        )
+    }
+
+    fn empirical(&self, state: &GraphState) -> StateDist {
+        StateDist::empirical(&state.queues, self.config.buffer)
+    }
+
+    fn step(
+        &self,
+        state: &mut GraphState,
+        rule: &DecisionRule,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> EpochStats {
+        debug_assert_eq!(state.queues.len(), self.config.num_queues);
+        self.sample_assignments_into(rule, rng, state);
+        let GraphState { queues, counts, .. } = state;
+        let m = queues.len();
+        let scale = m as f64 * lambda / self.config.num_clients as f64;
+        let (dropped, served) = simulate_birth_death_epoch(
+            queues,
+            counts,
+            scale,
+            &|_| self.config.service_rate,
+            self.config.buffer,
+            self.config.dt,
+            rng,
+        );
+        length_epoch_stats(queues, counts, self.config.num_clients, dropped, served)
+    }
+
+    fn name(&self) -> &'static str {
+        "graph"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateEngine;
+    use crate::episode::{run_episode, run_rng};
+    use mflb_core::mdp::FixedRulePolicy;
+    use rand::SeedableRng;
+
+    fn jsq_rule() -> DecisionRule {
+        DecisionRule::from_fn(6, 2, |t| {
+            use std::cmp::Ordering::*;
+            match t[0].cmp(&t[1]) {
+                Less => vec![1.0, 0.0],
+                Greater => vec![0.0, 1.0],
+                Equal => vec![0.5, 0.5],
+            }
+        })
+    }
+
+    #[test]
+    fn counts_sum_to_n_on_sparse_topologies() {
+        let cfg = SystemConfig::paper().with_size(10_000, 36);
+        for top in [
+            Topology::Ring { radius: 1 },
+            Topology::Ring { radius: 3 },
+            Topology::Torus { radius: 1 },
+            Topology::RandomRegular { degree: 4, seed: 3 },
+        ] {
+            let engine = GraphEngine::new(cfg.clone(), top.clone());
+            let queues: Vec<usize> = (0..36).map(|j| j % 6).collect();
+            let mut rng = StdRng::seed_from_u64(1);
+            for rule in [DecisionRule::uniform(6, 2), jsq_rule()] {
+                let counts = engine.sample_assignments(&queues, &rule, &mut rng);
+                assert_eq!(counts.iter().sum::<u64>(), 10_000, "{top:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_assignments_stay_in_the_neighborhood() {
+        let cfg = SystemConfig::paper().with_size(5_000, 20);
+        let engine = GraphEngine::new(cfg, Topology::Ring { radius: 2 });
+        let queues: Vec<usize> = (0..20).map(|j| (j * 3) % 6).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u64; 20];
+        engine.sample_node_assignments(7, 1_000, &queues, &jsq_rule(), &mut rng, &mut counts);
+        assert_eq!(counts.iter().sum::<u64>(), 1_000);
+        let nbrs = engine.neighborhood(7);
+        for (j, &c) in counts.iter().enumerate() {
+            if !nbrs.contains(&j) {
+                assert_eq!(c, 0, "queue {j} is outside A(7) = {nbrs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_mesh_episode_is_bit_identical_to_aggregate() {
+        let cfg = SystemConfig::paper().with_size(900, 30).with_dt(3.0);
+        let graph = GraphEngine::new(cfg.clone(), Topology::FullMesh);
+        let agg = AggregateEngine::new(cfg);
+        let policy = FixedRulePolicy::new(jsq_rule(), "JSQ(2)");
+        let a = run_episode(&graph, &policy, 15, &mut run_rng(9, 0));
+        let b = run_episode(&agg, &policy, 15, &mut run_rng(9, 0));
+        assert_eq!(a.drops_per_epoch, b.drops_per_epoch);
+        assert_eq!(a.mean_queue_len, b.mean_queue_len);
+        assert_eq!(a.lambda_trace, b.lambda_trace);
+    }
+
+    #[test]
+    fn covering_ring_takes_the_full_mesh_fast_path_too() {
+        // 2·radius + 1 = M: the ring is a full mesh in disguise and must
+        // take the bit-identical aggregate path.
+        let cfg = SystemConfig::paper().with_size(200, 9).with_dt(2.0);
+        let ring = GraphEngine::new(cfg.clone(), Topology::Ring { radius: 4 });
+        let agg = AggregateEngine::new(cfg);
+        let policy = FixedRulePolicy::new(jsq_rule(), "JSQ(2)");
+        let a = run_episode(&ring, &policy, 10, &mut run_rng(3, 1));
+        let b = run_episode(&agg, &policy, 10, &mut run_rng(3, 1));
+        assert_eq!(a.drops_per_epoch, b.drops_per_epoch);
+    }
+
+    #[test]
+    fn ring_episode_runs_and_accumulates() {
+        let cfg = SystemConfig::paper().with_size(400, 20).with_dt(2.0);
+        let engine = GraphEngine::new(cfg.clone(), Topology::Ring { radius: 2 });
+        let policy = FixedRulePolicy::new(DecisionRule::uniform(6, 2), "RND");
+        let out = run_episode(&engine, &policy, 20, &mut run_rng(7, 0));
+        assert_eq!(out.drops_per_epoch.len(), 20);
+        assert!(out.total_drops >= 0.0);
+        assert!(out.max_share_per_epoch.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        assert!((out.jobs_dropped as f64 / 20.0 - out.total_drops).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_ring_episodes_reproduce() {
+        let cfg = SystemConfig::paper().with_size(400, 20).with_dt(2.0);
+        let engine = GraphEngine::new(cfg, Topology::RandomRegular { degree: 4, seed: 5 });
+        let policy = FixedRulePolicy::new(jsq_rule(), "JSQ(2)");
+        let a = run_episode(&engine, &policy, 10, &mut run_rng(11, 3));
+        let b = run_episode(&engine, &policy, 10, &mut run_rng(11, 3));
+        assert_eq!(a.drops_per_epoch, b.drops_per_epoch);
+    }
+
+    #[test]
+    fn rnd_marginals_match_the_mesh_but_jsq_localizes() {
+        // Under RND, locality is invisible in law (each client lands on a
+        // uniformly random queue either way): per-queue count means match
+        // the aggregate engine's. Under JSQ they must differ, because a
+        // locally short queue only attracts its own neighborhood.
+        let cfg = SystemConfig::paper().with_size(4_000, 10);
+        let ring = GraphEngine::new(cfg.clone(), Topology::Ring { radius: 1 });
+        let agg = AggregateEngine::new(cfg);
+        // Queue 0 is the unique empty queue; the rest are full.
+        let mut queues = vec![5usize; 10];
+        queues[0] = 0;
+        let reps = 300;
+        let mut rng_a = StdRng::seed_from_u64(3);
+        let mut rng_b = StdRng::seed_from_u64(4);
+        let (mut rnd_ring, mut rnd_agg, mut jsq_ring, mut jsq_agg) = (0u64, 0u64, 0u64, 0u64);
+        for _ in 0..reps {
+            rnd_ring +=
+                ring.sample_assignments(&queues, &DecisionRule::uniform(6, 2), &mut rng_a)[0];
+            rnd_agg += agg.sample_assignments(&queues, &DecisionRule::uniform(6, 2), &mut rng_b)[0];
+            jsq_ring += ring.sample_assignments(&queues, &jsq_rule(), &mut rng_a)[0];
+            jsq_agg += agg.sample_assignments(&queues, &jsq_rule(), &mut rng_b)[0];
+        }
+        let (rnd_ring, rnd_agg) = (rnd_ring as f64 / reps as f64, rnd_agg as f64 / reps as f64);
+        let (jsq_ring, jsq_agg) = (jsq_ring as f64 / reps as f64, jsq_agg as f64 / reps as f64);
+        assert!(
+            (rnd_ring - rnd_agg).abs() < 0.05 * rnd_agg,
+            "RND means must agree: ring {rnd_ring} vs mesh {rnd_agg}"
+        );
+        // Mesh JSQ: every client seeing queue 0 routes there, P = 1−(9/10)²
+        // = 0.19 → ≈760 clients. Ring: only the 3 neighborhoods containing
+        // queue 0 can reach it (1200 clients, each P = 1−(2/3)² = 5/9)
+        // → ≈667. The catchment cap must show up well beyond noise.
+        assert!(
+            jsq_ring < 0.93 * jsq_agg,
+            "locality must cap the herd: ring {jsq_ring} vs mesh {jsq_agg}"
+        );
+    }
+
+    #[test]
+    fn zero_arrival_rate_only_drains() {
+        let cfg = SystemConfig::paper().with_size(100, 10).with_dt(50.0);
+        let engine = GraphEngine::new(cfg, Topology::Ring { radius: 1 });
+        let mut state = GraphState::from_queues(vec![5usize; 10], 6, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let stats = engine.step(&mut state, &DecisionRule::uniform(6, 2), 0.0, &mut rng);
+        assert_eq!(stats.drops, 0.0);
+        assert!(state.queues().iter().all(|&z| z == 0), "queues must drain: {:?}", state.queues());
+    }
+}

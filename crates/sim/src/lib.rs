@@ -22,7 +22,12 @@
 //! * [`ph_engine::PhAggregateEngine`] — phase-type service over joint
 //!   `(length, phase)` queue states (§5 extension);
 //! * [`fifo_engine::FifoEngine`] — job-level FIFO queues reporting
-//!   per-job sojourn times (the Fig. 8 response-time extension).
+//!   per-job sojourn times (the Fig. 8 response-time extension);
+//! * [`graph_engine::GraphEngine`] — locality-constrained routing over a
+//!   graph [`mflb_core::Topology`] (ring/torus/random-regular): each
+//!   dispatcher samples its `d` queues from its closed neighborhood; the
+//!   full mesh is the degenerate case and reproduces the aggregate
+//!   engine's RNG stream bit for bit.
 //!
 //! [`scenario`] adds a serde-driven construction layer: a [`Scenario`]
 //! (engine kind + [`mflb_core::SystemConfig`] + service law / pool /
@@ -36,6 +41,7 @@ pub mod aggregate;
 pub mod client;
 pub mod episode;
 pub mod fifo_engine;
+pub mod graph_engine;
 pub mod hetero;
 pub mod monte_carlo;
 pub mod ph_engine;
@@ -49,6 +55,7 @@ pub use episode::{
     EpochStats,
 };
 pub use fifo_engine::FifoEngine;
+pub use graph_engine::{GraphEngine, GraphState};
 pub use hetero::HeteroEngine;
 pub use monte_carlo::{monte_carlo, monte_carlo_conditioned, MonteCarloResult};
 pub use ph_engine::{sample_initial_ph_queues, PhAggregateEngine};

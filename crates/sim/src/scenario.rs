@@ -59,6 +59,18 @@
 //! | `{"Staggered": {"cohorts": k}}` | cohort-staggered refreshes | `k ≥ 1`; `buffer ≤ 255` |
 //! | `{"Hetero": {"rates": [α…]}}` | heterogeneous pool | non-empty, `len == num_queues`, all rates > 0 and finite |
 //! | `{"Ph": {"service": law}}` | phase-type service | see laws below |
+//! | `{"Graph": {"topology": top}}` | locality-constrained routing | see topologies below |
+//!
+//! Topologies for `Graph` (the [`mflb_core::Topology`] families; clients
+//! sample their `d` queues from the dispatcher's closed neighborhood
+//! instead of all `M` queues — see the "locality" section of the README):
+//!
+//! | JSON | topology | validation |
+//! |---|---|---|
+//! | `"FullMesh"` | the paper's model (degenerate case) | — |
+//! | `{"Ring": {"radius": r}}` | cycle, reach `±r` | `r ≥ 1`, `2r+1 ≤ M` |
+//! | `{"Torus": {"radius": r}}` | `√M × √M` torus, L1-ball reach | `M` square, `2r+1 ≤ √M` |
+//! | `{"RandomRegular": {"degree": g, "seed": s}}` | seed-pinned random `g`-regular graph | `1 ≤ g < M`, `g·M` even |
 //!
 //! Service laws for `Ph` (all rates/means/probabilities must be positive
 //! and finite; phase expansions are capped at [`MAX_SERVICE_PHASES`]):
@@ -85,10 +97,11 @@ use crate::aggregate::AggregateEngine;
 use crate::client::PerClientEngine;
 use crate::episode::{Engine, EpochStats};
 use crate::fifo_engine::FifoEngine;
+use crate::graph_engine::GraphEngine;
 use crate::hetero::HeteroEngine;
 use crate::ph_engine::PhAggregateEngine;
 use crate::staggered::StaggeredEngine;
-use mflb_core::{DecisionRule, StateDist, SystemConfig};
+use mflb_core::{DecisionRule, StateDist, SystemConfig, Topology};
 use mflb_queue::hetero::ServerPool;
 use mflb_queue::PhaseType;
 use rand::rngs::StdRng;
@@ -235,6 +248,14 @@ pub enum EngineSpec {
     },
     /// Job-level FIFO queues with sojourn tracking ([`FifoEngine`]).
     JobLevel,
+    /// Locality-constrained routing over a graph topology
+    /// ([`GraphEngine`]): each dispatcher samples its `d` queues from its
+    /// closed neighborhood instead of all `M` queues.
+    Graph {
+        /// The neighborhood structure (ring / torus / random-regular /
+        /// full mesh).
+        topology: Topology,
+    },
 }
 
 /// A complete, serializable simulation scenario.
@@ -288,6 +309,9 @@ impl Scenario {
                 Ok(())
             }
             EngineSpec::Ph { service } => service.validate().map_err(|e| format!("service: {e}")),
+            EngineSpec::Graph { topology } => {
+                topology.validate(self.config.num_queues).map_err(|e| format!("topology: {e}"))
+            }
         }
     }
 
@@ -312,6 +336,9 @@ impl Scenario {
                 AnyEngine::Ph(PhAggregateEngine::new(self.config.clone(), service.build()?))
             }
             EngineSpec::JobLevel => AnyEngine::JobLevel(FifoEngine::new(self.config.clone())),
+            EngineSpec::Graph { topology } => {
+                AnyEngine::Graph(GraphEngine::new(self.config.clone(), topology.clone()))
+            }
         })
     }
 
@@ -345,6 +372,8 @@ pub enum AnyEngine {
     Ph(PhAggregateEngine),
     /// Job-level FIFO engine.
     JobLevel(FifoEngine),
+    /// Locality-constrained graph engine.
+    Graph(GraphEngine),
 }
 
 /// Episode state of [`AnyEngine`] (one variant per engine).
@@ -356,6 +385,7 @@ pub enum AnyState {
     Staggered(<StaggeredEngine as Engine>::State),
     Ph(<PhAggregateEngine as Engine>::State),
     JobLevel(<FifoEngine as Engine>::State),
+    Graph(<GraphEngine as Engine>::State),
 }
 
 macro_rules! delegate {
@@ -367,6 +397,7 @@ macro_rules! delegate {
             AnyEngine::Staggered($e) => $body,
             AnyEngine::Ph($e) => $body,
             AnyEngine::JobLevel($e) => $body,
+            AnyEngine::Graph($e) => $body,
         }
     };
 }
@@ -380,6 +411,7 @@ macro_rules! delegate_state {
             (AnyEngine::Staggered($e), AnyState::Staggered($s)) => $body,
             (AnyEngine::Ph($e), AnyState::Ph($s)) => $body,
             (AnyEngine::JobLevel($e), AnyState::JobLevel($s)) => $body,
+            (AnyEngine::Graph($e), AnyState::Graph($s)) => $body,
             _ => panic!("AnyState does not belong to this AnyEngine"),
         }
     };
@@ -400,6 +432,7 @@ impl Engine for AnyEngine {
             AnyEngine::Staggered(e) => AnyState::Staggered(e.init_state(rng)),
             AnyEngine::Ph(e) => AnyState::Ph(e.init_state(rng)),
             AnyEngine::JobLevel(e) => AnyState::JobLevel(e.init_state(rng)),
+            AnyEngine::Graph(e) => AnyState::Graph(e.init_state(rng)),
         }
     }
 
@@ -441,6 +474,9 @@ mod tests {
             EngineSpec::Staggered { cohorts: 4 },
             EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: 2.0 } },
             EngineSpec::JobLevel,
+            EngineSpec::Graph { topology: Topology::Ring { radius: 2 } },
+            EngineSpec::Graph { topology: Topology::RandomRegular { degree: 4, seed: 1 } },
+            EngineSpec::Graph { topology: Topology::FullMesh },
         ]
     }
 
@@ -503,6 +539,19 @@ mod tests {
             (
                 "scv needing more phases than the cap",
                 EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: 1e-9 } },
+            ),
+            ("zero-radius ring", EngineSpec::Graph { topology: Topology::Ring { radius: 0 } }),
+            (
+                "ring wider than the cycle",
+                EngineSpec::Graph { topology: Topology::Ring { radius: 5 } },
+            ),
+            (
+                "torus on a non-square queue count",
+                EngineSpec::Graph { topology: Topology::Torus { radius: 1 } },
+            ),
+            (
+                "random-regular degree beyond M",
+                EngineSpec::Graph { topology: Topology::RandomRegular { degree: 10, seed: 1 } },
             ),
         ];
         for (what, spec) in cases {

@@ -85,12 +85,30 @@ fn build_scenario() -> Scenario {
             EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: parse("--scv", 2.0) } }
         }
         "joblevel" => EngineSpec::JobLevel,
+        "graph" => EngineSpec::Graph { topology: build_topology() },
         other => fail(format!(
-            "unknown --engine '{other}' (aggregate|perclient|staggered|ph|joblevel; \
+            "unknown --engine '{other}' (aggregate|perclient|staggered|ph|joblevel|graph; \
              heterogeneous pools need a --scenario file)"
         )),
     };
     Scenario::new(config, engine)
+}
+
+/// Resolves `--topology` plus its parameters for `--engine graph`.
+fn build_topology() -> mflb::core::Topology {
+    use mflb::core::Topology;
+    match arg("--topology").as_deref().unwrap_or("ring") {
+        "ring" => Topology::Ring { radius: parse("--radius", 1) },
+        "torus" => Topology::Torus { radius: parse("--radius", 1) },
+        "random" => {
+            Topology::RandomRegular { degree: parse("--degree", 4), seed: parse("--graph-seed", 1) }
+        }
+        "full" => Topology::FullMesh,
+        other => fail(format!(
+            "unknown --topology '{other}' (ring|torus|random|full; \
+             richer graphs need a --scenario file)"
+        )),
+    }
 }
 
 /// Builds the `--policy` selection for a scenario. Rule-based baselines
@@ -262,6 +280,7 @@ fn engine_slug(spec: &EngineSpec) -> &'static str {
         EngineSpec::Staggered { .. } => "staggered",
         EngineSpec::Ph { .. } => "ph",
         EngineSpec::JobLevel => "joblevel",
+        EngineSpec::Graph { .. } => "graph",
     }
 }
 
@@ -519,6 +538,80 @@ fn cmd_bench() {
     println!("suite finished in {:.1}s; JSON written to {out}", t0.elapsed().as_secs_f64());
 }
 
+/// Validates one or more scenario spec files (the CI scenario-corpus
+/// gate): parse, semantic validation and a full engine build for each.
+/// Exit 0 iff every file passes; any failure is reported per file and
+/// turns the run into exit 1.
+fn cmd_validate() {
+    let files: Vec<String> = std::env::args().skip(2).filter(|a| !a.starts_with("--")).collect();
+    if files.is_empty() {
+        eprintln!("usage: mflb validate <scenario.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    let mut failures = 0usize;
+    for path in &files {
+        let verdict = std::fs::read_to_string(path)
+            .map_err(|e| format!("read: {e}"))
+            .and_then(|text| Scenario::from_json(&text).map_err(|e| format!("parse: {e}")))
+            .and_then(|scenario| {
+                scenario.build().map(|engine| (scenario, engine)).map_err(|e| format!("build: {e}"))
+            });
+        match verdict {
+            Ok((scenario, _engine)) => {
+                println!(
+                    "OK    {path} (engine={}, M={}, N={}, Δt={})",
+                    engine_slug(&scenario.engine),
+                    scenario.config.num_queues,
+                    scenario.config.num_clients,
+                    scenario.config.dt
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL  {path}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("error: {failures} of {} scenario file(s) failed validation", files.len());
+        std::process::exit(1);
+    }
+    println!("{} scenario file(s) valid", files.len());
+}
+
+/// Diffs a fresh perf report against the committed baseline and gates on
+/// same-machine kernel speedup ratios (the CI perf-smoke gate). Prints
+/// the markdown table on stdout (CI pipes it into
+/// `$GITHUB_STEP_SUMMARY`); exits 1 when any tracked kernel regressed
+/// past `--max-ratio` (default 1.3).
+fn cmd_bench_diff() {
+    use mflb::bench::perf::{compare_reports, BenchReport};
+    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_kernels.json".into());
+    let fresh_path =
+        arg("--fresh").unwrap_or_else(|| fail("bench-diff needs --fresh <report.json>"));
+    let max_ratio: f64 = parse("--max-ratio", 1.3);
+    let load = |path: &str| -> BenchReport {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+        BenchReport::from_json(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")))
+    };
+    let diff = compare_reports(&load(&baseline_path), &load(&fresh_path), max_ratio);
+    println!("{}", diff.to_markdown());
+    let regressions = diff.regressions();
+    if !regressions.is_empty() {
+        for r in &regressions {
+            eprintln!(
+                "error: kernel `{}` lost {:.2}x of its same-machine margin \
+                 (baseline {:.2}x -> fresh {:.2}x, gate {max_ratio}x)",
+                r.name,
+                r.ratio.unwrap_or(f64::NAN),
+                r.baseline_speedup.unwrap_or(f64::NAN),
+                r.fresh_speedup.unwrap_or(f64::NAN),
+            );
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Scales a rate into k/M/G for the table (`(value, unit)`).
 fn human_rate(rate: f64, unit: &str) -> (f64, String) {
     if rate >= 1e9 {
@@ -598,11 +691,16 @@ fn usage() -> String {
         "  scv-compare  phase-type service: mean-field vs finite at a given --scv",
         "  fit-mmpp     estimate an L-level MMPP from a rate trace (--trace <file>, --levels L)",
         "  bench        run the tracked perf suite -> BENCH_kernels.json (--quick for CI scale)",
+        "  bench-diff   gate a fresh perf report against the committed baseline",
+        "               (--baseline <json> --fresh <json> [--max-ratio 1.3])",
+        "  validate     validate scenario spec files (exit 1 on any invalid file)",
         "  help         print this synopsis",
         "",
         "scenario selection (train / eval / simulate):",
         "  --scenario <file.json>        a spec from examples/scenarios/, or",
-        "  --engine aggregate|perclient|staggered|ph|joblevel [--cohorts k] [--scv f]",
+        "  --engine aggregate|perclient|staggered|ph|joblevel|graph",
+        "           [--cohorts k] [--scv f]",
+        "           [--topology ring|torus|random|full --radius r --degree g --graph-seed s]",
         "",
         "common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>",
         "              --policy jsq|rnd|softmin|checkpoint [--beta f] [--checkpoint path]",
@@ -627,6 +725,8 @@ fn main() {
         Some("scv-compare") => cmd_scv_compare(),
         Some("fit-mmpp") => cmd_fit_mmpp(),
         Some("bench") => cmd_bench(),
+        Some("bench-diff") => cmd_bench_diff(),
+        Some("validate") => cmd_validate(),
         Some("help") | Some("--help") | Some("-h") => println!("{}", usage()),
         unknown => {
             // No subcommand or an unrecognized one: synopsis on stderr,

@@ -84,7 +84,113 @@ fn shipped_scenario_specs_are_valid() {
         scenario.build().unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         seen += 1;
     }
-    assert!(seen >= 6, "expected at least one spec per engine kind, found {seen}");
+    assert!(seen >= 7, "expected at least one spec per engine kind, found {seen}");
+}
+
+/// `mflb validate` — the CI scenario-corpus gate: exit 0 over the shipped
+/// corpus, exit 1 as soon as any file is invalid, exit 2 without files.
+#[test]
+fn validate_subcommand_gates_the_scenario_corpus() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/scenarios");
+    let mut files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().and_then(|x| x.to_str()) == Some("json"))
+                .then(|| p.to_str().unwrap().to_string())
+        })
+        .collect();
+    files.sort();
+    let out = mflb().arg("validate").args(&files).output().expect("run mflb validate");
+    assert!(
+        out.status.success(),
+        "shipped corpus must validate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("graph_ring.json"), "{stdout}");
+    assert!(stdout.contains("engine=graph"), "{stdout}");
+
+    // One rotten file turns the whole run into exit 1, naming the culprit.
+    let tmp = std::env::temp_dir().join("mflb_validate_smoke");
+    std::fs::create_dir_all(&tmp).unwrap();
+    let bad = tmp.join("rotten.json");
+    std::fs::write(&bad, "{\"engine\": \"Aggregate\"}").unwrap(); // missing config
+    let mut with_bad = files.clone();
+    with_bad.push(bad.to_str().unwrap().to_string());
+    let out = mflb().arg("validate").args(&with_bad).output().expect("run mflb validate");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("rotten.json"), "{stderr}");
+    std::fs::remove_file(&bad).ok();
+
+    // No files at all is a usage error.
+    let out = mflb().arg("validate").output().expect("run mflb validate");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// `mflb bench-diff` — the CI perf gate: self-comparison of the committed
+/// quick-scale baseline (the gate's actual reference) passes, a doctored
+/// regression fails with exit 1.
+#[test]
+fn bench_diff_subcommand_gates_on_speedup_ratios() {
+    let baseline =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_kernels_quick.json");
+    let baseline = baseline.to_str().unwrap();
+    let out = mflb()
+        .args(["bench-diff", "--baseline", baseline, "--fresh", baseline])
+        .output()
+        .expect("run mflb bench-diff");
+    assert!(
+        out.status.success(),
+        "self-comparison must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("| kernel |"), "markdown table expected: {stdout}");
+
+    // Halve every speedup in a doctored fresh report: every tracked kernel
+    // regresses by 2x > 1.3x.
+    let text = std::fs::read_to_string(baseline).unwrap();
+    let doctored = regex_free_halve_speedups(&text);
+    let tmp = std::env::temp_dir().join("mflb_bench_diff_smoke");
+    std::fs::create_dir_all(&tmp).unwrap();
+    let fresh = tmp.join("fresh.json");
+    std::fs::write(&fresh, doctored).unwrap();
+    let out = mflb()
+        .args(["bench-diff", "--baseline", baseline, "--fresh", fresh.to_str().unwrap()])
+        .output()
+        .expect("run mflb bench-diff");
+    assert_eq!(out.status.code(), Some(1), "halved speedups must fail the 1.3x gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("same-machine margin"), "{stderr}");
+    std::fs::remove_file(&fresh).ok();
+}
+
+/// Rewrites a perf report JSON so every non-null `"speedup"` is halved
+/// (structured edit via the JSON value tree, no string surgery).
+fn regex_free_halve_speedups(text: &str) -> String {
+    use serde_json::Value;
+    let mut v = Value::parse(text).unwrap();
+    let Value::Obj(fields) = &mut v else { panic!("report must be an object") };
+    let entries = fields
+        .iter_mut()
+        .find_map(|(k, v)| (k == "entries").then_some(v))
+        .expect("report must carry entries");
+    let Value::Arr(entries) = entries else { panic!("entries must be an array") };
+    for e in entries {
+        let Value::Obj(ef) = e else { continue };
+        for (k, val) in ef.iter_mut() {
+            if k == "speedup" {
+                match val {
+                    Value::Float(s) => *s /= 2.0,
+                    Value::Int(i) => *val = Value::Float(*i as f64 / 2.0),
+                    _ => {}
+                }
+            }
+        }
+    }
+    v.to_json()
 }
 
 /// End-to-end `mflb train` → `mflb eval` at a deliberately tiny scale:

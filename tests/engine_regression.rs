@@ -9,12 +9,12 @@
 //! constants (print `total_drops.to_bits()`) and say so in the PR.
 
 use mflb::core::mdp::FixedRulePolicy;
-use mflb::core::SystemConfig;
+use mflb::core::{SystemConfig, Topology};
 use mflb::policy::{jsq_rule, sed_rule};
 use mflb::queue::hetero::ServerPool;
 use mflb::queue::{ArrivalProcess, PhaseType};
 use mflb::sim::{
-    run_episode, run_rng, AggregateEngine, EngineSpec, HeteroEngine, PerClientEngine,
+    run_episode, run_rng, AggregateEngine, EngineSpec, GraphEngine, HeteroEngine, PerClientEngine,
     PhAggregateEngine, Scenario, ServiceLaw, StaggeredEngine,
 };
 
@@ -69,6 +69,27 @@ fn ph_engine_reproduces_pre_refactor_drops() {
     );
     let drops = run_episode(&engine, &jsq(), 20, &mut run_rng(0xC0FFEE, 5)).total_drops;
     assert_eq!(drops.to_bits(), 0x4020e66666666666, "got {drops}");
+}
+
+#[test]
+fn full_mesh_graph_engine_reproduces_the_aggregate_pinned_drops() {
+    // The graph engine's degenerate full-mesh case must follow the
+    // aggregate engine's exact RNG call sequence — same pinned constant as
+    // `aggregate_engine_reproduces_pre_refactor_drops`, same seed.
+    let cfg = hot(SystemConfig::paper().with_size(900, 30).with_dt(3.0));
+    let engine = GraphEngine::new(cfg, Topology::FullMesh);
+    let drops = run_episode(&engine, &jsq(), 20, &mut run_rng(0xC0FFEE, 2)).total_drops;
+    assert_eq!(drops.to_bits(), 0x4014666666666666, "got {drops}");
+}
+
+#[test]
+fn ring_graph_engine_reproduces_its_introduction_drops() {
+    // Pinned at the PR that introduced the graph engine: the per-node
+    // multinomial draw order is part of the regression contract.
+    let cfg = hot(SystemConfig::paper().with_size(900, 30).with_dt(3.0));
+    let engine = GraphEngine::new(cfg, Topology::Ring { radius: 2 });
+    let drops = run_episode(&engine, &jsq(), 20, &mut run_rng(0xC0FFEE, 6)).total_drops;
+    assert_eq!(drops.to_bits(), 0x4011333333333333, "got {drops}");
 }
 
 #[test]

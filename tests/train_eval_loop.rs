@@ -1,6 +1,7 @@
 //! Quarantined full-loop reproduction test: `Scenario → PPO → checkpoint →
-//! finite-N eval` for three engine kinds, asserting the quality bar of the
-//! quick-scale pipeline — the learned policy beats the RND baseline.
+//! finite-N eval` for four engine kinds (including the locality-constrained
+//! ring graph), asserting the quality bar of the quick-scale pipeline —
+//! the learned policy beats the (neighborhood-restricted) RND baseline.
 //!
 //! Run with `cargo test --release -- --ignored` (CI's long-tests job).
 
@@ -32,11 +33,14 @@ fn scenario_from_file(name: &str) -> Scenario {
 }
 
 #[test]
-#[ignore = "full train->eval loop over three engine kinds; quarantined for CI speed"]
-fn learned_policy_beats_rnd_on_three_engine_kinds() {
-    for (file, iters) in
-        [("aggregate.json", 40), ("hetero_two_speed.json", 40), ("ph_erlang2.json", 40)]
-    {
+#[ignore = "full train->eval loop over four engine kinds; quarantined for CI speed"]
+fn learned_policy_beats_rnd_on_four_engine_kinds() {
+    for (file, iters) in [
+        ("aggregate.json", 40),
+        ("hetero_two_speed.json", 40),
+        ("ph_erlang2.json", 40),
+        ("graph_ring.json", 40),
+    ] {
         let scenario = scenario_from_file(file);
         let result =
             train_scenario(&scenario, quick_ppo(), iters, 1, false).expect("training failed");
