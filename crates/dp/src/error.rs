@@ -1,0 +1,79 @@
+//! Typed errors for DP checkpoint I/O.
+//!
+//! `DpSolution::save_json`/`load_json` used to return `Result<_, String>`;
+//! the CLI and the oracle cache need to distinguish "file missing" from
+//! "file corrupt" and to compose with `std::error::Error` consumers, so
+//! checkpoint I/O now reports a [`DpError`].
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors arising when saving or loading a [`crate::DpCheckpoint`].
+#[derive(Debug)]
+pub enum DpError {
+    /// The file could not be read or written.
+    Io {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// Underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The file's JSON could not be parsed or serialized.
+    Json {
+        /// Path of the offending file.
+        path: PathBuf,
+        /// Underlying (de)serialization error.
+        source: serde_json::Error,
+    },
+    /// The checkpoint parsed but is internally inconsistent (table shapes,
+    /// out-of-range action indices, invalid configuration).
+    Checkpoint(String),
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::Io { path, source } => {
+                write!(f, "DP checkpoint I/O error at {}: {source}", path.display())
+            }
+            DpError::Json { path, source } => {
+                write!(f, "DP checkpoint JSON error at {}: {source}", path.display())
+            }
+            DpError::Checkpoint(msg) => write!(f, "invalid DP checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DpError::Io { source, .. } => Some(source),
+            DpError::Json { source, .. } => Some(source),
+            DpError::Checkpoint(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_path_and_cause() {
+        let err = DpError::Io {
+            path: PathBuf::from("/nope/sol.json"),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        let text = err.to_string();
+        assert!(text.contains("/nope/sol.json"), "{text}");
+        assert!(text.contains("gone"), "{text}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn checkpoint_variant_has_no_source() {
+        let err = DpError::Checkpoint("value table shape".into());
+        assert!(std::error::Error::source(&err).is_none());
+        assert!(err.to_string().contains("value table shape"));
+    }
+}

@@ -24,9 +24,11 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod actions;
+pub mod error;
 pub mod simplex_grid;
 pub mod value_iteration;
 
 pub use actions::ActionLibrary;
+pub use error::DpError;
 pub use simplex_grid::SimplexGrid;
 pub use value_iteration::{DpCheckpoint, DpConfig, DpSolution, GridPolicy};

@@ -30,6 +30,7 @@
 //! ablation is measured against.
 
 use crate::actions::ActionLibrary;
+use crate::error::DpError;
 use crate::simplex_grid::SimplexGrid;
 use mflb_core::mdp::UpperPolicy;
 use mflb_core::{DecisionRule, MeanFieldMdp, StateDist, SystemConfig};
@@ -346,25 +347,35 @@ impl DpSolution {
             .sum()
     }
 
-    /// Greedy action index by one-step lookahead from an arbitrary state
-    /// (evaluates every library action through the true model and the
-    /// interpolated continuation value).
-    pub fn greedy_action(&self, dist: &StateDist, lambda_idx: usize) -> usize {
+    /// One-step-lookahead Q-values of every library action at an
+    /// arbitrary state: `Q(ν, l, a) = r + γ·Σ_{l'} P(l'|l)·V(ν', l')`
+    /// with the next distribution `ν'` stepped through the exact model
+    /// and the continuation interpolated over the lattice.
+    pub fn q_values(&self, dist: &StateDist, lambda_idx: usize) -> Vec<f64> {
         assert!(lambda_idx < self.num_levels);
         let mdp = MeanFieldMdp::new(self.config.clone());
         let state = mflb_core::MfState { dist: dist.clone(), lambda_idx };
         let kernel = self.config.arrivals.kernel_row(lambda_idx);
-        let mut best_q = f64::NEG_INFINITY;
+        (0..self.actions.len())
+            .map(|a| {
+                let (next, reward, _) = mdp.step_with_next_lambda(&state, self.actions.rule(a), 0);
+                let mut cont = 0.0;
+                for (lp, &p) in kernel.iter().enumerate() {
+                    cont += p * self.value(&next.dist, lp);
+                }
+                reward + self.config.gamma * cont
+            })
+            .collect()
+    }
+
+    /// Greedy action index by one-step lookahead from an arbitrary state
+    /// (evaluates every library action through the true model and the
+    /// interpolated continuation value).
+    pub fn greedy_action(&self, dist: &StateDist, lambda_idx: usize) -> usize {
+        let q = self.q_values(dist, lambda_idx);
         let mut best_a = 0usize;
-        for a in 0..self.actions.len() {
-            let (next, reward, _) = mdp.step_with_next_lambda(&state, self.actions.rule(a), 0);
-            let mut cont = 0.0;
-            for (lp, &p) in kernel.iter().enumerate() {
-                cont += p * self.value(&next.dist, lp);
-            }
-            let q = reward + self.config.gamma * cont;
-            if q > best_q {
-                best_q = q;
+        for (a, &qa) in q.iter().enumerate() {
+            if qa > q[best_a] {
                 best_a = a;
             }
         }
@@ -379,19 +390,15 @@ impl DpSolution {
     /// Recomputes `|V(s,l) − max_a Q(s,l,a)|` from the model at a lattice
     /// state (test hook for Bellman consistency).
     pub fn bellman_residual_at(&self, s: usize, l: usize) -> f64 {
-        let mdp = MeanFieldMdp::new(self.config.clone());
         let nu = self.grid.point(s);
-        let state = mflb_core::MfState { dist: nu, lambda_idx: l };
-        let mut best_q = f64::NEG_INFINITY;
-        for a in 0..self.actions.len() {
-            let (next, reward, _) = mdp.step_with_next_lambda(&state, self.actions.rule(a), 0);
-            let mut cont = 0.0;
-            for (lp, &p) in self.config.arrivals.kernel_row(l).iter().enumerate() {
-                cont += p * self.value(&next.dist, lp);
-            }
-            best_q = best_q.max(reward + self.config.gamma * cont);
-        }
+        let q = self.q_values(&nu, l);
+        let best_q = q.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
         (self.values[s * self.num_levels + l] - best_q).abs()
+    }
+
+    /// Number of arrival levels in the solved MDP.
+    pub fn num_levels(&self) -> usize {
+        self.num_levels
     }
 
     /// Extracts the greedy policy as a reusable [`UpperPolicy`].
@@ -418,19 +425,47 @@ impl DpSolution {
     /// Restores a solution from a checkpoint.
     ///
     /// # Panics
-    /// Panics if the checkpoint is internally inconsistent.
+    /// Panics if the checkpoint is internally inconsistent. Use
+    /// [`DpSolution::try_from_checkpoint`] for a fallible variant.
     pub fn from_checkpoint(ckpt: DpCheckpoint) -> Self {
+        Self::try_from_checkpoint(ckpt).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Restores a solution from a checkpoint, rejecting inconsistent
+    /// tables with a [`DpError::Checkpoint`] instead of panicking.
+    pub fn try_from_checkpoint(ckpt: DpCheckpoint) -> Result<Self, DpError> {
+        ckpt.config.validate().map_err(DpError::Checkpoint)?;
+        if ckpt.grid_resolution == 0 {
+            return Err(DpError::Checkpoint("grid resolution must be positive".into()));
+        }
         let grid = SimplexGrid::new(ckpt.config.num_states(), ckpt.grid_resolution);
         let num_levels = ckpt.config.arrivals.num_levels();
-        assert_eq!(ckpt.values.len(), grid.num_points() * num_levels, "value table shape");
-        assert_eq!(ckpt.best.len(), ckpt.values.len(), "policy table shape");
+        if ckpt.values.len() != grid.num_points() * num_levels {
+            return Err(DpError::Checkpoint(format!(
+                "value table shape: {} entries, expected {}",
+                ckpt.values.len(),
+                grid.num_points() * num_levels
+            )));
+        }
+        if ckpt.best.len() != ckpt.values.len() {
+            return Err(DpError::Checkpoint(format!(
+                "policy table shape: {} entries, expected {}",
+                ckpt.best.len(),
+                ckpt.values.len()
+            )));
+        }
+        if ckpt.action_names.len() != ckpt.action_rules.len() || ckpt.action_rules.is_empty() {
+            return Err(DpError::Checkpoint("action names/rules mismatch".into()));
+        }
         let actions =
             ActionLibrary::new(ckpt.action_names.into_iter().zip(ckpt.action_rules).collect());
-        assert!(
-            ckpt.best.iter().all(|&a| (a as usize) < actions.len()),
-            "action index out of range"
-        );
-        Self {
+        if let Some(&bad) = ckpt.best.iter().find(|&&a| (a as usize) >= actions.len()) {
+            return Err(DpError::Checkpoint(format!(
+                "action index {bad} out of range (library has {})",
+                actions.len()
+            )));
+        }
+        Ok(Self {
             config: ckpt.config,
             grid,
             actions,
@@ -439,20 +474,25 @@ impl DpSolution {
             best: ckpt.best,
             sweeps: ckpt.sweeps,
             residual: ckpt.residual,
-        }
+        })
     }
 
     /// Saves the solution as JSON.
-    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> Result<(), String> {
-        let json = serde_json::to_string(&self.to_checkpoint()).map_err(|e| e.to_string())?;
-        std::fs::write(path, json).map_err(|e| e.to_string())
+    pub fn save_json(&self, path: impl AsRef<std::path::Path>) -> Result<(), DpError> {
+        let path = path.as_ref();
+        let json = serde_json::to_string(&self.to_checkpoint())
+            .map_err(|e| DpError::Json { path: path.to_path_buf(), source: e })?;
+        std::fs::write(path, json).map_err(|e| DpError::Io { path: path.to_path_buf(), source: e })
     }
 
     /// Loads a solution saved by [`DpSolution::save_json`].
-    pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
-        let json = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
-        let ckpt: DpCheckpoint = serde_json::from_str(&json).map_err(|e| e.to_string())?;
-        Ok(Self::from_checkpoint(ckpt))
+    pub fn load_json(path: impl AsRef<std::path::Path>) -> Result<Self, DpError> {
+        let path = path.as_ref();
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| DpError::Io { path: path.to_path_buf(), source: e })?;
+        let ckpt: DpCheckpoint = serde_json::from_str(&json)
+            .map_err(|e| DpError::Json { path: path.to_path_buf(), source: e })?;
+        Self::try_from_checkpoint(ckpt)
     }
 }
 

@@ -24,7 +24,7 @@
 //! restriction is enforced by the engine's sampling — property-tested in
 //! `mflb-sim` ("routing never leaves the neighborhood").
 
-use mflb_core::DecisionRule;
+use mflb_core::{DecisionRule, StateDist};
 
 /// MF-JSQ(d): probability `1/|argmin|` on each observed minimum (Eq. 34).
 pub fn jsq_rule(num_states: usize, d: usize) -> DecisionRule {
@@ -93,6 +93,35 @@ pub fn sed_rule(num_queue_states: usize, d: usize, class_rates: &[f64]) -> Decis
         let n_min = delays.iter().filter(|&&x| (x - min).abs() < 1e-12).count() as f64;
         delays.iter().map(|&x| if (x - min).abs() < 1e-12 { 1.0 / n_min } else { 0.0 }).collect()
     })
+}
+
+/// Expected ℓ₁ distance between two decision rules' routing rows when the
+/// `d` observed states are drawn i.i.d. from `ν`:
+/// `Σ_{z̄} ν^⊗d(z̄) · Σ_u |a(u|z̄) − b(u|z̄)|`.
+///
+/// This is the natural "how differently would these rules route *right
+/// now*" metric: observation tuples the current mean field never produces
+/// contribute nothing. Used by the distillation pass to project a neural
+/// rule onto the nearest library member per lattice vertex.
+pub fn rule_l1_weighted(a: &DecisionRule, b: &DecisionRule, nu: &StateDist) -> f64 {
+    assert_eq!(a.num_states(), b.num_states(), "rules must share the state space");
+    assert_eq!(a.d(), b.d(), "rules must share d");
+    assert_eq!(nu.num_states(), a.num_states(), "ν must match the rules' state space");
+    let d = a.d();
+    let mut total = 0.0;
+    for row in 0..a.num_rows() {
+        let tuple = a.decode_index(row);
+        let w: f64 = tuple.iter().map(|&z| nu.prob(z)).product();
+        if w == 0.0 {
+            continue;
+        }
+        let mut dist = 0.0;
+        for u in 0..d {
+            dist += (a.prob_by_row(row, u) - b.prob_by_row(row, u)).abs();
+        }
+        total += w * dist;
+    }
+    total
 }
 
 #[cfg(test)]
@@ -179,6 +208,28 @@ mod tests {
         // JSQ on raw lengths would pick the empty one — opposite choice.
         let jsq = jsq_rule(zs, 2);
         assert_eq!(jsq.prob(&[2, 0], 1), 1.0);
+    }
+
+    #[test]
+    fn rule_l1_weighted_is_zero_on_identical_rules_and_bounded() {
+        let nu = StateDist::new(vec![0.5, 0.3, 0.2, 0.0]);
+        let jsq = jsq_rule(4, 2);
+        let rnd = rnd_rule(4, 2);
+        assert_eq!(rule_l1_weighted(&jsq, &jsq, &nu), 0.0);
+        let d = rule_l1_weighted(&jsq, &rnd, &nu);
+        assert!(d > 0.0 && d <= 2.0, "ℓ₁ between distributions is in [0, 2], got {d}");
+        // Symmetry.
+        assert!((d - rule_l1_weighted(&rnd, &jsq, &nu)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rule_l1_weighted_ignores_unreachable_tuples() {
+        // ν concentrated on state 0: only the (0,0) tuple matters, where
+        // JSQ ties (0.5/0.5) and RND is 0.5/0.5 — so the distance is 0
+        // even though the rules differ elsewhere.
+        let nu = StateDist::delta(3, 0);
+        let d = rule_l1_weighted(&jsq_rule(4, 2), &rnd_rule(4, 2), &nu);
+        assert_eq!(d, 0.0);
     }
 
     #[test]

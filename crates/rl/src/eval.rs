@@ -11,6 +11,7 @@
 //! [`mflb_policy::lift_to_composite`] (rate-blind, as in §5).
 
 use crate::checkpoint::TrainingCheckpoint;
+use crate::oracle::{solve_oracle, OracleConfig};
 use crate::scenario_env::PolicyShape;
 use mflb_core::mdp::FixedRulePolicy;
 use mflb_sim::{monte_carlo, EngineSpec, Scenario};
@@ -19,7 +20,8 @@ use serde::{Deserialize, Serialize};
 /// One (policy, system size) cell of the evaluation table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EvalRow {
-    /// Policy label (`MF (learned)`, `JSQ(d)`, `RND`, `SOFT(β*)`).
+    /// Policy label (`MF (learned)`, `JSQ(d)`, `RND`, `SOFT(β*)`,
+    /// `MF-DP (oracle)`).
     pub policy: String,
     /// Number of queues `M`.
     pub m: usize,
@@ -31,6 +33,30 @@ pub struct EvalRow {
     pub ci95: f64,
     /// Fraction of jobs dropped among all jobs that reached a queue.
     pub drop_fraction: f64,
+    /// Optimality gap versus the DP oracle at the same `M`, in percent:
+    /// `(drops − oracle drops) / max(oracle drops, ε) · 100`. Present only
+    /// when the eval ran with an oracle; exactly `0` on the oracle's own
+    /// row.
+    #[serde(default)]
+    pub gap_pct: Option<f64>,
+}
+
+/// Provenance of the oracle a gap-reporting eval ran against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OracleSummary {
+    /// Simplex lattice resolution of the solve.
+    pub grid_resolution: usize,
+    /// Value-iteration sweeps used.
+    pub sweeps: usize,
+    /// Final sup-norm residual of the solve.
+    pub residual: f64,
+    /// Whether the oracle is an exact certificate for this scenario (vs a
+    /// mean-matched reference).
+    pub exact: bool,
+    /// Approximation note for non-exact oracles (empty when exact).
+    pub note: String,
+    /// Whether the solution came from the on-disk checkpoint cache.
+    pub cache_hit: bool,
 }
 
 /// The full evaluation report (serialized by `mflb eval --out`).
@@ -46,6 +72,9 @@ pub struct EvalReport {
     pub seed: u64,
     /// Softmin temperature used for the `SOFT` baseline.
     pub softmin_beta: f64,
+    /// Provenance of the DP oracle when the eval ran with one.
+    #[serde(default)]
+    pub oracle: Option<OracleSummary>,
     /// The table, grouped by system size then policy.
     pub rows: Vec<EvalRow>,
 }
@@ -60,6 +89,12 @@ impl EvalReport {
     /// swept `M`), if present.
     pub fn mean_drops_of(&self, policy: &str) -> Option<f64> {
         self.rows.iter().find(|r| r.policy == policy).map(|r| r.mean_drops)
+    }
+
+    /// Optimality gap of a policy at the first swept `M`, if the eval ran
+    /// with an oracle.
+    pub fn gap_pct_of(&self, policy: &str) -> Option<f64> {
+        self.rows.iter().find(|r| r.policy == policy).and_then(|r| r.gap_pct)
     }
 }
 
@@ -91,7 +126,34 @@ pub fn evaluate_checkpoint(
     seed: u64,
     threads: usize,
 ) -> Result<EvalReport, String> {
+    evaluate_checkpoint_with_oracle(ckpt, scenario, m_sweep, runs, seed, threads, None)
+}
+
+/// Drops-denominator floor of the gap computation: keeps the percentage
+/// finite when the oracle achieves (numerically) zero drops.
+const GAP_EPSILON: f64 = 1e-9;
+
+/// [`evaluate_checkpoint`] plus optimality-gap certification: when an
+/// [`OracleConfig`] is supplied, the discretized-MDP optimum is solved
+/// (or loaded from its cache), deployed in the same finite system as an
+/// extra `MF-DP (oracle)` row per `M`, and every row gains a `gap_pct`
+/// column — `(drops − oracle drops) / max(oracle drops, ε) · 100`, with
+/// the oracle's own row pinned to exactly `0`.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_checkpoint_with_oracle(
+    ckpt: &TrainingCheckpoint,
+    scenario: &Scenario,
+    m_sweep: &[usize],
+    runs: usize,
+    seed: u64,
+    threads: usize,
+    oracle: Option<&OracleConfig>,
+) -> Result<EvalReport, String> {
     ckpt.validate_for(scenario)?;
+    let oracle = match oracle {
+        Some(cfg) => Some(solve_oracle(scenario, cfg)?),
+        None => None,
+    };
     let learned = ckpt.shape().into_policy(ckpt.policy_net.clone());
     let shape = PolicyShape::for_scenario(scenario);
     let zs = shape.obs_states;
@@ -131,6 +193,7 @@ pub fn evaluate_checkpoint(
         };
         let engine = sized.build()?;
         let n = sized.config.num_clients;
+        let group_start = rows.len();
         let mc = monte_carlo(&engine, &learned, horizon, runs, seed, threads);
         rows.push(EvalRow {
             policy: "MF (learned)".into(),
@@ -139,6 +202,7 @@ pub fn evaluate_checkpoint(
             mean_drops: mc.mean(),
             ci95: mc.ci95(),
             drop_fraction: mc.drop_fraction(),
+            gap_pct: None,
         });
         for (label, policy) in &baselines {
             let mc = monte_carlo(&engine, policy, horizon, runs, seed, threads);
@@ -149,9 +213,45 @@ pub fn evaluate_checkpoint(
                 mean_drops: mc.mean(),
                 ci95: mc.ci95(),
                 drop_fraction: mc.drop_fraction(),
+                gap_pct: None,
+            });
+        }
+        if let Some(o) = &oracle {
+            let mc = monte_carlo(&engine, &o.policy, horizon, runs, seed, threads);
+            let oracle_drops = mc.mean();
+            for row in &mut rows[group_start..] {
+                row.gap_pct =
+                    Some((row.mean_drops - oracle_drops) / oracle_drops.max(GAP_EPSILON) * 100.0);
+            }
+            rows.push(EvalRow {
+                policy: "MF-DP (oracle)".into(),
+                m,
+                n,
+                mean_drops: oracle_drops,
+                ci95: mc.ci95(),
+                drop_fraction: mc.drop_fraction(),
+                // The oracle is its own yardstick: pinned to exactly 0,
+                // not recomputed through the division.
+                gap_pct: Some(0.0),
             });
         }
     }
 
-    Ok(EvalReport { scenario: scenario.clone(), horizon, runs, seed, softmin_beta: beta, rows })
+    let oracle_summary = oracle.map(|o| OracleSummary {
+        grid_resolution: o.grid_resolution,
+        sweeps: o.sweeps,
+        residual: o.residual,
+        exact: o.exactness.is_exact(),
+        note: o.exactness.note().to_string(),
+        cache_hit: o.cache_hit,
+    });
+    Ok(EvalReport {
+        scenario: scenario.clone(),
+        horizon,
+        runs,
+        seed,
+        softmin_beta: beta,
+        oracle: oracle_summary,
+        rows,
+    })
 }

@@ -30,7 +30,14 @@
 //! * [`train::train_scenario`] — the `Scenario → PPO → checkpoint` driver
 //!   behind `mflb train`,
 //! * [`eval::evaluate_checkpoint`] — finite-N Monte-Carlo comparison of a
-//!   checkpoint against JSQ(d)/RND/softmin, the Fig. 4–6 protocol.
+//!   checkpoint against JSQ(d)/RND/softmin, the Fig. 4–6 protocol,
+//! * [`oracle`] — the exact-DP bridge: classify a scenario's oracle
+//!   exactness, solve (or cache) the discretized MDP and report
+//!   per-policy optimality gaps through
+//!   [`eval::evaluate_checkpoint_with_oracle`] / `mflb eval --oracle`,
+//! * [`distill`] — projection of a neural checkpoint onto a tabular
+//!   lattice policy (greedy-match + DP polish), the `mflb distill`
+//!   backend.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -38,9 +45,11 @@
 pub mod buffer;
 pub mod cem;
 pub mod checkpoint;
+pub mod distill;
 pub mod env;
 pub mod eval;
 pub mod mfc_env;
+pub mod oracle;
 pub mod ppo;
 pub mod reinforce;
 pub mod scenario_env;
@@ -49,9 +58,20 @@ pub mod train;
 pub use buffer::RolloutBuffer;
 pub use cem::{CemConfig, CemStats, CemTrainer};
 pub use checkpoint::{CurvePoint, TrainingCheckpoint, CHECKPOINT_FORMAT_VERSION};
+pub use distill::{
+    distill_checkpoint, DistillConfig, DistillResult, DistilledCheckpoint, TabularPolicy,
+    DISTILLED_FORMAT_VERSION,
+};
 pub use env::{Env, StepResult, ToyControlEnv};
-pub use eval::{evaluate_checkpoint, scenario_with_m, EvalReport, EvalRow};
+pub use eval::{
+    evaluate_checkpoint, evaluate_checkpoint_with_oracle, scenario_with_m, EvalReport, EvalRow,
+    OracleSummary,
+};
 pub use mfc_env::MfcEnv;
+pub use oracle::{
+    oracle_exactness, oracle_feasibility, oracle_mdp_config, scenario_oracle_key, solve_oracle,
+    Oracle, OracleConfig, OracleExactness,
+};
 pub use ppo::{CollectStats, IterationStats, PpoConfig, PpoTrainer, UpdateStats};
 pub use reinforce::{ReinforceConfig, ReinforceStats, ReinforceTrainer};
 pub use scenario_env::{

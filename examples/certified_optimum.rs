@@ -59,6 +59,31 @@ fn main() {
         }
     }
 
+    // The same solve through the scenario-level oracle bridge — the code
+    // path behind `mflb eval --oracle` and `mflb distill`. The bridge
+    // classifies the scenario (exact vs mean-matched reference), caches
+    // the solution under a content key of the MDP-relevant fields (re-run
+    // this example and it loads instead of solving), and can re-verify
+    // convergence from the model.
+    {
+        use mflb::rl::{solve_oracle, OracleConfig};
+        use mflb::sim::{EngineSpec, Scenario};
+        let scenario = Scenario::new(config.clone(), EngineSpec::Aggregate);
+        let oracle_cfg = OracleConfig {
+            cache_dir: Some(std::path::PathBuf::from("target/oracle")),
+            ..OracleConfig::default()
+        };
+        let oracle = solve_oracle(&scenario, &oracle_cfg).expect("oracle solve");
+        println!(
+            "\noracle bridge: {} for this scenario, cache {} (key {}), \
+             max Bellman residual {:.1e} over every 13th lattice state",
+            if oracle.exactness.is_exact() { "exact certificate" } else { "reference" },
+            if oracle.cache_hit { "hit" } else { "miss -> solved + cached" },
+            oracle.key,
+            oracle.max_bellman_residual(13),
+        );
+    }
+
     let dp_policy = sol.into_policy();
 
     // Mean-field comparison on common arrival noise.

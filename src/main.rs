@@ -4,6 +4,8 @@
 //! ```text
 //! mflb train --scenario spec.json --scale quick    # PPO -> versioned checkpoint
 //! mflb eval --checkpoint ckpt.json --m 50,100      # vs JSQ/RND/softmin, JSON table
+//! mflb eval --checkpoint ckpt.json --oracle        # + exact-DP optimality-gap column
+//! mflb distill --checkpoint ckpt.json              # NN -> tabular lattice policy
 //! mflb simulate --dt 5 --m 100 --policy jsq        # finite-system episode
 //! mflb meanfield --dt 5 --policy softmin --beta 2  # limiting-model episode
 //! mflb compare --dt 5 --m 100                      # JSQ vs RND vs softmin
@@ -22,7 +24,10 @@
 use mflb::core::mdp::{FixedRulePolicy, UpperPolicy};
 use mflb::core::{MeanFieldMdp, SystemConfig};
 use mflb::policy::{jsq_rule, optimize_beta, rnd_rule, softmin_rule, NeuralUpperPolicy};
-use mflb::rl::{evaluate_checkpoint, train_scenario, PpoConfig, TrainingCheckpoint};
+use mflb::rl::{
+    distill_checkpoint, evaluate_checkpoint_with_oracle, oracle_feasibility, train_scenario,
+    DistillConfig, DistilledCheckpoint, OracleConfig, PpoConfig, TrainingCheckpoint,
+};
 use mflb::sim::{monte_carlo, AggregateEngine, EngineSpec, Scenario, ServiceLaw};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,6 +58,35 @@ fn workers_flag(default: usize) -> usize {
 fn fail(msg: impl AsRef<str>) -> ! {
     eprintln!("error: {}", msg.as_ref());
     std::process::exit(1);
+}
+
+/// Prints an error and exits with status 2 (usage error: the request
+/// itself is malformed or infeasible, not a runtime failure).
+fn fail_usage(msg: impl AsRef<str>) -> ! {
+    eprintln!("error: {}", msg.as_ref());
+    std::process::exit(2);
+}
+
+/// `--oracle-cache <dir>` with a `target/oracle` default; the literal
+/// value `none` disables checkpoint caching.
+fn oracle_cache_dir() -> Option<std::path::PathBuf> {
+    match arg("--oracle-cache").as_deref() {
+        Some("none") => None,
+        Some(dir) => Some(std::path::PathBuf::from(dir)),
+        None => Some(std::path::PathBuf::from("target/oracle")),
+    }
+}
+
+/// Assembles the oracle solve configuration from `--oracle-grid`,
+/// `--oracle-sweeps`, `--oracle-cache` and the worker flags.
+fn oracle_config_from_flags() -> OracleConfig {
+    OracleConfig {
+        grid_resolution: parse("--oracle-grid", 8),
+        max_sweeps: parse("--oracle-sweeps", 4_000),
+        threads: workers_flag(0),
+        cache_dir: oracle_cache_dir(),
+        ..OracleConfig::default()
+    }
 }
 
 fn build_config() -> SystemConfig {
@@ -177,8 +211,18 @@ fn build_policy_for(scenario: &Scenario) -> Box<dyn UpperPolicy + Sync + Send> {
                 },
             }
         }
+        "distilled" => {
+            let path = arg("--checkpoint").unwrap_or_else(|| {
+                fail("--policy distilled needs --checkpoint <path>");
+            });
+            let table = DistilledCheckpoint::load(&path).unwrap_or_else(|e| fail(e));
+            table
+                .validate_for(scenario)
+                .unwrap_or_else(|e| fail(format!("{path} does not fit this scenario: {e}")));
+            Box::new(table.into_policy().unwrap_or_else(|e| fail(format!("{path}: {e}"))))
+        }
         other => {
-            eprintln!("unknown policy '{other}' (jsq|rnd|softmin|checkpoint)");
+            eprintln!("unknown policy '{other}' (jsq|rnd|softmin|checkpoint|distilled)");
             std::process::exit(2);
         }
     }
@@ -304,9 +348,32 @@ fn cmd_eval() {
     let runs: usize = parse("--runs", 20);
     let seed: u64 = parse("--seed", 1);
     let threads: usize = workers_flag(0);
+    let max_gap: Option<f64> = arg("--max-gap")
+        .map(|v| v.parse().unwrap_or_else(|_| fail_usage(format!("bad --max-gap value '{v}'"))));
 
-    let report = evaluate_checkpoint(&ckpt, &scenario, &m_sweep, runs, seed, threads)
-        .unwrap_or_else(|e| fail(e));
+    // `--max-gap` is meaningless without an oracle, so it implies one.
+    let oracle = if has_flag("--oracle") || max_gap.is_some() {
+        let cfg = oracle_config_from_flags();
+        // Pre-flight: unsupported engines and oversized lattices are
+        // usage errors (exit 2) caught before minutes of value iteration.
+        if let Err(e) = oracle_feasibility(&scenario, &cfg) {
+            fail_usage(e);
+        }
+        Some(cfg)
+    } else {
+        None
+    };
+
+    let report = evaluate_checkpoint_with_oracle(
+        &ckpt,
+        &scenario,
+        &m_sweep,
+        runs,
+        seed,
+        threads,
+        oracle.as_ref(),
+    )
+    .unwrap_or_else(|e| fail(e));
     println!(
         "eval: engine={} Δt={} Te={} ({} runs each, seed {seed})",
         engine_slug(&scenario.engine),
@@ -314,14 +381,49 @@ fn cmd_eval() {
         report.horizon,
         report.runs
     );
-    println!(
-        "{:<16} {:>6} {:>10} {:>14} {:>10} {:>10}",
-        "policy", "M", "N", "drops/queue", "±95%", "drop frac"
-    );
-    for row in &report.rows {
+    let with_gap = report.oracle.is_some();
+    if with_gap {
         println!(
-            "{:<16} {:>6} {:>10} {:>14.3} {:>10.3} {:>10.4}",
-            row.policy, row.m, row.n, row.mean_drops, row.ci95, row.drop_fraction
+            "{:<16} {:>6} {:>10} {:>14} {:>10} {:>10} {:>9}",
+            "policy", "M", "N", "drops/queue", "±95%", "drop frac", "gap %"
+        );
+    } else {
+        println!(
+            "{:<16} {:>6} {:>10} {:>14} {:>10} {:>10}",
+            "policy", "M", "N", "drops/queue", "±95%", "drop frac"
+        );
+    }
+    for row in &report.rows {
+        if with_gap {
+            println!(
+                "{:<16} {:>6} {:>10} {:>14.3} {:>10.3} {:>10.4} {:>9}",
+                row.policy,
+                row.m,
+                row.n,
+                row.mean_drops,
+                row.ci95,
+                row.drop_fraction,
+                row.gap_pct.map_or("-".into(), |g| format!("{g:+.2}")),
+            );
+        } else {
+            println!(
+                "{:<16} {:>6} {:>10} {:>14.3} {:>10.3} {:>10.4}",
+                row.policy, row.m, row.n, row.mean_drops, row.ci95, row.drop_fraction
+            );
+        }
+    }
+    if let Some(o) = &report.oracle {
+        println!(
+            "oracle: G={} lattice, {} sweeps, residual {:.2e}, {}{}",
+            o.grid_resolution,
+            o.sweeps,
+            o.residual,
+            if o.cache_hit { "cache hit, " } else { "" },
+            if o.exact {
+                "exact certificate".to_string()
+            } else {
+                format!("reference ({})", o.note)
+            },
         );
     }
     let learned = report.mean_drops_of("MF (learned)");
@@ -345,6 +447,104 @@ fn cmd_eval() {
     }
     std::fs::write(&out, report.to_json()).unwrap_or_else(|e| fail(format!("write report: {e}")));
     println!("JSON table written to {}", out.display());
+
+    // Regression gate (the bench-diff pattern): the worst learned-policy
+    // gap across the sweep must stay under --max-gap percent.
+    if let Some(cap) = max_gap {
+        let worst = report
+            .rows
+            .iter()
+            .filter(|r| r.policy == "MF (learned)")
+            .filter_map(|r| r.gap_pct)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if worst.is_finite() && worst <= cap {
+            println!("[gate] learned optimality gap {worst:+.2}% within --max-gap {cap}%");
+        } else {
+            eprintln!(
+                "error: learned optimality gap {worst:+.2}% exceeds the --max-gap {cap}% gate"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `mflb distill`: project a trained checkpoint onto a tabular lattice
+/// policy (greedy-match against the softmin library + DP-polish sweep)
+/// and write the versioned [`DistilledCheckpoint`] artifact.
+fn cmd_distill() {
+    let path = arg("--checkpoint").unwrap_or_else(|| fail("distill needs --checkpoint <path>"));
+    let ckpt = TrainingCheckpoint::load(&path).unwrap_or_else(|e| fail(e));
+    let scenario = match arg("--scenario") {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).unwrap_or_else(|e| fail(format!("{p}: {e}")));
+            Scenario::from_json(&text).unwrap_or_else(|e| fail(format!("parse {p}: {e}")))
+        }
+        None => ckpt.scenario.clone(),
+    };
+    let mut oracle = oracle_config_from_flags();
+    // `--grid` is the natural spelling here (mirrors dp-solve);
+    // --oracle-grid stays as the shared alias.
+    oracle.grid_resolution = parse("--grid", oracle.grid_resolution);
+    if let Err(e) = oracle_feasibility(&scenario, &oracle) {
+        fail_usage(e);
+    }
+    let config = DistillConfig { oracle, polish_slack: parse("--slack", 0.005) };
+
+    let t0 = std::time::Instant::now();
+    let result = distill_checkpoint(&ckpt, &scenario, &config).unwrap_or_else(|e| fail(e));
+    let table = &result.checkpoint;
+    println!(
+        "distilled {} lattice entries (G={}, {} levels, {} actions) in {:.1}s: \
+         {:.0}% network-matched, {:.0}% oracle-corrected (slack {})",
+        table.table.len(),
+        table.grid_resolution,
+        table.scenario.config.arrivals.num_levels(),
+        table.action_names.len(),
+        t0.elapsed().as_secs_f64(),
+        table.nn_fraction * 100.0,
+        (1.0 - table.nn_fraction) * 100.0,
+        table.polish_slack,
+    );
+    if !result.oracle.exactness.is_exact() {
+        println!("note: {}", result.oracle.exactness.note());
+    }
+
+    let out = arg("--out").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::path::PathBuf::from(format!(
+            "target/checkpoints/distilled_{}_dt{}.json",
+            engine_slug(&scenario.engine),
+            scenario.config.dt
+        ))
+    });
+    table.save(&out).unwrap_or_else(|e| fail(e));
+    println!(
+        "distilled checkpoint (format v{}) written to {}",
+        table.format_version,
+        out.display()
+    );
+
+    // Deployment check: the table vs its source network in the scenario's
+    // finite system (skippable with --runs 0).
+    let runs: usize = parse("--runs", 8);
+    if runs > 0 {
+        let seed: u64 = parse("--seed", 1);
+        let engine = scenario.build().unwrap_or_else(|e| fail(e));
+        let horizon = scenario.config.eval_episode_len();
+        let nn = ckpt.into_policy().unwrap_or_else(|e| fail(e));
+        let tabular = table.into_policy().unwrap_or_else(|e| fail(e));
+        let mc_nn = monte_carlo(&engine, &nn, horizon, runs, seed, workers_flag(0));
+        let mc_tab = monte_carlo(&engine, &tabular, horizon, runs, seed, workers_flag(0));
+        println!(
+            "finite-system check (M={}, {runs} runs): network {:.3} ± {:.3}, \
+             table {:.3} ± {:.3} drops/queue",
+            scenario.config.num_queues,
+            mc_nn.mean(),
+            mc_nn.ci95(),
+            mc_tab.mean(),
+            mc_tab.ci95(),
+        );
+    }
+    println!("deploy it via --policy distilled --checkpoint {}", out.display());
 }
 
 fn cmd_simulate() {
@@ -450,7 +650,7 @@ fn cmd_dp_solve() {
         );
     }
     if let Some(path) = arg("--out") {
-        sol.save_json(&path).expect("write DP checkpoint");
+        sol.save_json(&path).unwrap_or_else(|e| fail(e.to_string()));
         println!("checkpoint written to {path}");
     }
 
@@ -683,6 +883,10 @@ fn usage() -> String {
         "commands:",
         "  train        train a PPO policy for a scenario -> versioned checkpoint + curve JSON",
         "  eval         evaluate a checkpoint vs JSQ/RND/softmin on its finite system -> JSON table",
+        "               (--oracle adds an exact-DP row + per-policy optimality-gap column;",
+        "                --max-gap <pct> gates the learned gap, exit 1 on breach)",
+        "  distill      project a checkpoint onto a tabular lattice policy via the DP oracle",
+        "               (--checkpoint <path> [--grid G] [--slack f] [--out <json>])",
         "  simulate     run a finite-system Monte-Carlo evaluation",
         "  meanfield    evaluate a policy in the limiting mean-field MDP",
         "  compare      JSQ vs RND vs tuned softmin on one configuration",
@@ -703,7 +907,9 @@ fn usage() -> String {
         "           [--topology ring|torus|random|full --radius r --degree g --graph-seed s]",
         "",
         "common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>",
-        "              --policy jsq|rnd|softmin|checkpoint [--beta f] [--checkpoint path]",
+        "              --policy jsq|rnd|softmin|checkpoint|distilled [--beta f] [--checkpoint path]",
+        "              --oracle [--oracle-grid G] [--oracle-sweeps n] [--oracle-cache dir|none]",
+        "              [--max-gap <pct>] (DP-oracle certification on eval)",
         "              --runs <int> --episodes <int> --seed <int> --grid <int> --scv <f>",
         "              --scale quick|paper --iters <int> --out <path>",
         "              --workers <int> (worker threads for train/eval/bench fan-outs;",
@@ -717,6 +923,7 @@ fn main() {
     match cmd.as_deref() {
         Some("train") => cmd_train(),
         Some("eval") => cmd_eval(),
+        Some("distill") => cmd_distill(),
         Some("simulate") => cmd_simulate(),
         Some("meanfield") => cmd_meanfield(),
         Some("compare") => cmd_compare(),

@@ -15,7 +15,8 @@ fn no_subcommand_prints_usage_and_exits_2() {
     let out = mflb().output().expect("run mflb");
     assert_eq!(out.status.code(), Some(2), "no subcommand must be a usage error");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    for cmd in ["train", "eval", "simulate", "meanfield", "compare", "dp-solve", "bench"] {
+    for cmd in ["train", "eval", "distill", "simulate", "meanfield", "compare", "dp-solve", "bench"]
+    {
         assert!(stderr.contains(cmd), "usage synopsis must list `{cmd}`:\n{stderr}");
     }
 }
@@ -242,5 +243,207 @@ fn train_then_eval_loop_completes_at_tiny_scale() {
     assert!(stdout.contains("RND"), "{stdout}");
     let text = std::fs::read_to_string(&report).unwrap();
     assert!(text.contains("\"rows\""), "JSON table must be written");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Trains a throwaway tiny checkpoint (M = 20, one iteration) under `dir`
+/// and returns its path.
+fn train_tiny_checkpoint(dir: &std::path::Path) -> std::path::PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let ckpt = dir.join("tiny.json");
+    let out = mflb()
+        .args([
+            "train",
+            "--engine",
+            "aggregate",
+            "--m",
+            "20",
+            "--iters",
+            "1",
+            "--seed",
+            "1",
+            "--out",
+            ckpt.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mflb train");
+    assert!(out.status.success(), "train failed: {}", String::from_utf8_lossy(&out.stderr));
+    ckpt
+}
+
+/// `mflb eval --oracle` — the optimality-certificate surface: the table
+/// gains a gap column and an `MF-DP (oracle)` row whose own gap is
+/// exactly 0, and the JSON report carries the oracle provenance block.
+#[test]
+fn eval_with_oracle_reports_gap_column_and_pins_oracle_gap_to_zero() {
+    let dir = std::env::temp_dir().join("mflb_cli_oracle_eval");
+    let ckpt = train_tiny_checkpoint(&dir);
+    let report = dir.join("oracle_eval.json");
+    let out = mflb()
+        .args([
+            "eval",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--oracle",
+            "--oracle-grid",
+            "3",
+            "--oracle-cache",
+            "none",
+            "--runs",
+            "2",
+            "--seed",
+            "1",
+            "--out",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mflb eval --oracle");
+    assert!(out.status.success(), "oracle eval failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gap %"), "gap column expected:\n{stdout}");
+    assert!(stdout.contains("MF-DP (oracle)"), "oracle row expected:\n{stdout}");
+    assert!(stdout.contains("exact certificate"), "provenance line expected:\n{stdout}");
+
+    let parsed: mflb::rl::EvalReport =
+        serde_json::from_str(&std::fs::read_to_string(&report).unwrap())
+            .expect("report JSON must deserialize");
+    let oracle = parsed.oracle.as_ref().expect("report must carry the oracle summary");
+    assert!(oracle.exact, "the aggregate engine is an exact-oracle scenario");
+    assert_eq!(oracle.grid_resolution, 3);
+    assert_eq!(
+        parsed.gap_pct_of("MF-DP (oracle)"),
+        Some(0.0),
+        "the oracle's own gap must be exactly zero"
+    );
+    for row in &parsed.rows {
+        assert!(row.gap_pct.is_some(), "every row gains a gap: {}", row.policy);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Infeasible or unsupported oracle requests are usage errors (exit 2)
+/// with a message that names the fix, caught before any solving starts.
+#[test]
+fn eval_oracle_rejects_oversized_grids_and_hetero_scenarios_with_exit_2() {
+    let dir = std::env::temp_dir().join("mflb_cli_oracle_reject");
+    let ckpt = train_tiny_checkpoint(&dir);
+    let out = mflb()
+        .args([
+            "eval",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--oracle",
+            "--oracle-grid",
+            "100000",
+        ])
+        .output()
+        .expect("run mflb eval --oracle");
+    assert_eq!(out.status.code(), Some(2), "oversized lattice must be a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--oracle-grid"), "must tell the user the fix: {stderr}");
+
+    let hetero = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios/hetero_two_speed.json");
+    let out = mflb()
+        .args([
+            "eval",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--scenario",
+            hetero.to_str().unwrap(),
+            "--oracle",
+        ])
+        .output()
+        .expect("run mflb eval --oracle");
+    assert_eq!(out.status.code(), Some(2), "hetero pools have no DP oracle");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("heterogeneous"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--max-gap` — the regression gate: a generous cap passes (exit 0), an
+/// impossible one fails with exit 1 and a readable breach message.
+#[test]
+fn eval_max_gap_gate_passes_and_breaches_by_exit_code() {
+    let dir = std::env::temp_dir().join("mflb_cli_oracle_gate");
+    let ckpt = train_tiny_checkpoint(&dir);
+    let args = |cap: &str, out: &str| {
+        vec![
+            "eval".to_string(),
+            "--checkpoint".into(),
+            ckpt.to_str().unwrap().into(),
+            "--oracle-grid".into(),
+            "3".into(),
+            "--oracle-cache".into(),
+            "none".into(),
+            "--runs".into(),
+            "2".into(),
+            "--seed".into(),
+            "1".into(),
+            "--max-gap".into(),
+            cap.into(),
+            "--out".into(),
+            dir.join(out).to_str().unwrap().into(),
+        ]
+    };
+    // --max-gap implies --oracle; a huge cap always passes.
+    let out = mflb().args(args("100000", "pass.json")).output().expect("run mflb eval");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("[gate]"));
+    // Gaps are bounded below by −100%, so a cap of −200 must breach.
+    let out = mflb().args(args("-200", "breach.json")).output().expect("run mflb eval");
+    assert_eq!(out.status.code(), Some(1), "breach must be exit 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--max-gap"), "breach message must name the gate: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mflb distill` → `--policy distilled` — the distillation surface: the
+/// artifact is written, reloads, and deploys through `mflb simulate`.
+#[test]
+fn distill_then_deploy_loop_completes_at_tiny_scale() {
+    let dir = std::env::temp_dir().join("mflb_cli_distill");
+    let ckpt = train_tiny_checkpoint(&dir);
+    let table = dir.join("distilled.json");
+    let out = mflb()
+        .args([
+            "distill",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--grid",
+            "3",
+            "--oracle-cache",
+            "none",
+            "--runs",
+            "0",
+            "--out",
+            table.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mflb distill");
+    assert!(out.status.success(), "distill failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("network-matched"), "{stdout}");
+    let loaded = mflb::rl::DistilledCheckpoint::load(&table).expect("artifact must reload");
+    assert_eq!(loaded.grid_resolution, 3);
+
+    let out = mflb()
+        .args([
+            "simulate",
+            "--engine",
+            "aggregate",
+            "--m",
+            "20",
+            "--policy",
+            "distilled",
+            "--checkpoint",
+            table.to_str().unwrap(),
+            "--runs",
+            "2",
+        ])
+        .output()
+        .expect("run mflb simulate");
+    assert!(out.status.success(), "deploy failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("MF-DP (distilled)"));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -1,0 +1,169 @@
+//! Property-based certification of the distillation pass: for *arbitrary*
+//! (random-weight) policy networks, slacks and small lattices, the
+//! distilled table must never route outside the action library, must be
+//! what `decide()` actually executes at every lattice vertex, and must
+//! honor the polish sweep's certified Q-slack bound — with slack 0
+//! collapsing to exact Q-agreement with the DP greedy policy.
+
+use mflb::core::mdp::UpperPolicy;
+use mflb::core::SystemConfig;
+use mflb::nn::{Activation, Mlp};
+use mflb::queue::mmpp::ArrivalProcess;
+use mflb::rl::{
+    distill_checkpoint, DistillConfig, DistilledCheckpoint, OracleConfig, PolicyShape, PpoConfig,
+    TrainingCheckpoint, CHECKPOINT_FORMAT_VERSION, DISTILLED_FORMAT_VERSION,
+};
+use mflb::sim::{EngineSpec, Scenario};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A tiny homogeneous scenario the oracle solves in milliseconds.
+fn tiny_scenario(buffer: usize) -> Scenario {
+    let arrivals =
+        ArrivalProcess::new(vec![0.9, 0.6], vec![vec![0.8, 0.2], vec![0.5, 0.5]], vec![0.5, 0.5]);
+    let mut config = SystemConfig::paper()
+        .with_size(100, 10)
+        .with_buffer(buffer)
+        .with_dt(5.0)
+        .with_arrivals(arrivals);
+    config.eval_time = 100.0;
+    Scenario::new(config, EngineSpec::Aggregate)
+}
+
+/// An untrained checkpoint with random network weights: distillation must
+/// hold for arbitrary networks, not just converged ones.
+fn synthetic_checkpoint(scenario: &Scenario, seed: u64) -> TrainingCheckpoint {
+    let shape = PolicyShape::for_scenario(scenario);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let policy_net = Mlp::new(&[shape.obs_dim(), 16, shape.act_dim()], Activation::Tanh, &mut rng);
+    let value_net = Mlp::new(&[shape.obs_dim(), 16, 1], Activation::Tanh, &mut rng);
+    TrainingCheckpoint {
+        format_version: CHECKPOINT_FORMAT_VERSION,
+        scenario: scenario.clone(),
+        ppo: PpoConfig::paper(),
+        seed,
+        total_steps: 0,
+        curve: Vec::new(),
+        policy_net,
+        value_net,
+        log_std: vec![-0.5; shape.act_dim()],
+    }
+}
+
+/// `unwrap_err` without requiring `DistillResult: Debug` (it wraps the
+/// non-`Debug` oracle policy).
+fn expect_err(result: Result<mflb::rl::DistillResult, String>) -> String {
+    match result {
+        Err(e) => e,
+        Ok(_) => panic!("expected an error, got a distilled checkpoint"),
+    }
+}
+
+fn distill_config(grid: usize, slack: f64) -> DistillConfig {
+    DistillConfig {
+        oracle: OracleConfig { grid_resolution: grid, cache_dir: None, ..OracleConfig::default() },
+        polish_slack: slack,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn distilled_table_is_certified_at_every_vertex(
+        buffer in 1usize..=2,
+        grid in 3usize..=5,
+        slack_idx in 0usize..3,
+        seed in 0u64..1_000,
+    ) {
+        let slack = [0.0, 0.01, 0.05][slack_idx];
+        let scenario = tiny_scenario(buffer);
+        let ckpt = synthetic_checkpoint(&scenario, seed);
+        let config = distill_config(grid, slack);
+        let result = distill_checkpoint(&ckpt, &scenario, &config).unwrap();
+        let table = &result.checkpoint;
+        let sol = result.oracle.policy.solution();
+        let lattice = sol.grid();
+        let levels = sol.num_levels();
+        let policy = table.into_policy().unwrap();
+
+        prop_assert_eq!(table.table.len(), lattice.num_points() * levels);
+        prop_assert!(table.nn_fraction >= 0.0 && table.nn_fraction <= 1.0);
+
+        for s in lattice.indices() {
+            let nu = lattice.point(s);
+            for l in 0..levels {
+                // 1. Never routes outside the action library.
+                let a = table.table[s * levels + l] as usize;
+                prop_assert!(a < table.action_rules.len(),
+                    "table routes to {a}, library has {}", table.action_rules.len());
+
+                // 2. decide() at a lattice vertex IS the table lookup
+                //    (vertices snap to themselves).
+                prop_assert_eq!(policy.action_index(&nu, l), a);
+                let decided = policy.decide(&nu, l, 0.0);
+                prop_assert_eq!(&decided, &table.action_rules[a]);
+
+                // 3. The certified Q-slack bound of the polish sweep.
+                let q = sol.q_values(&nu, l);
+                let best = q.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let tolerance = slack * best.abs().max(1.0);
+                prop_assert!(q[a] >= best - tolerance - 1e-9,
+                    "vertex ({s}, {l}): Q(table) = {} but Q(best) = {best} (slack {slack})",
+                    q[a]);
+
+                // 4. Slack 0 ⇒ exact Q-agreement with the DP greedy policy.
+                if slack == 0.0 {
+                    prop_assert!((q[a] - best).abs() < 1e-12,
+                        "slack 0 must force Q-agreement with the greedy action");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn distilled_checkpoint_roundtrips_through_json() {
+    let scenario = tiny_scenario(2);
+    let ckpt = synthetic_checkpoint(&scenario, 7);
+    let result = distill_checkpoint(&ckpt, &scenario, &distill_config(4, 0.02)).unwrap();
+    let json = result.checkpoint.to_json();
+    let reloaded = DistilledCheckpoint::from_json(&json).unwrap();
+    assert_eq!(reloaded.table, result.checkpoint.table);
+    assert_eq!(reloaded.action_names, result.checkpoint.action_names);
+    assert_eq!(reloaded.grid_resolution, result.checkpoint.grid_resolution);
+    assert_eq!(reloaded.format_version, DISTILLED_FORMAT_VERSION);
+}
+
+#[test]
+fn future_format_versions_are_rejected_on_load() {
+    let scenario = tiny_scenario(1);
+    let ckpt = synthetic_checkpoint(&scenario, 3);
+    let mut distilled =
+        distill_checkpoint(&ckpt, &scenario, &distill_config(3, 0.02)).unwrap().checkpoint;
+    distilled.format_version = DISTILLED_FORMAT_VERSION + 1;
+    let err = DistilledCheckpoint::from_json(&distilled.to_json()).unwrap_err();
+    assert!(err.contains("format version"), "must name the version mismatch: {err}");
+}
+
+#[test]
+fn heterogeneous_scenarios_are_rejected_with_a_readable_message() {
+    let hetero = Scenario::new(
+        tiny_scenario(2).config,
+        EngineSpec::Hetero { rates: vec![1.0, 1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0, 2.0] },
+    );
+    let ckpt = synthetic_checkpoint(&hetero, 11);
+    let err = expect_err(distill_checkpoint(&ckpt, &hetero, &distill_config(3, 0.02)));
+    assert!(err.contains("heterogeneous"), "must explain the rejection: {err}");
+}
+
+#[test]
+fn negative_or_non_finite_slack_is_rejected() {
+    let scenario = tiny_scenario(1);
+    let ckpt = synthetic_checkpoint(&scenario, 5);
+    for bad in [-0.1, f64::NAN, f64::INFINITY] {
+        let err = expect_err(distill_checkpoint(&ckpt, &scenario, &distill_config(3, bad)));
+        assert!(err.contains("slack"), "must name the bad flag: {err}");
+    }
+}
