@@ -1,0 +1,126 @@
+//! Million-queue scaling demo (ours, after arXiv:2312.12973): sharded
+//! sparse-graph epochs from 10^4 to 10^6 queues on a single process.
+//!
+//! ```text
+//! cargo run -p mflb-bench --release --bin fig_sparse_scale -- [--scale quick|paper]
+//! ```
+//!
+//! For each system size the harness builds a torus and a random 4-regular
+//! topology (streaming CSR generators), runs a seeded finite-system
+//! episode under the β-optimized softmin rule on the sharded
+//! [`mflb_sim::GraphEngine`], and reports build plus epoch-stepping
+//! throughput (`epochs/s` and `queues·epochs/s`) next to the measured
+//! drop rate. The `queues·epochs/s` column is the headline: it stays
+//! roughly flat from 10^4 to 10^6 queues because a sharded epoch is
+//! `O(M·(k + |support|^d·d))` — nothing in the hot loop looks at `N` or
+//! at the dense `|Z|^d` tuple space. The tracked-gate twin of this demo
+//! lives in `mflb bench --suite graph` (`BENCH_graph_quick.json`).
+
+use mflb_bench::harness::{arg_value, print_table, write_csv, Scale};
+use mflb_core::mdp::FixedRulePolicy;
+use mflb_core::{SystemConfig, Topology};
+use mflb_policy::{optimize_beta, softmin_rule};
+use mflb_sim::{run_episode, run_rng, GraphEngine, StepMode};
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_args();
+    let seed: u64 = arg_value("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(7);
+    let workers: usize = arg_value("--workers").map(|v| v.parse().expect("--workers")).unwrap_or(0);
+    // (queues, torus side, epochs): torus sizes are the nearest squares.
+    let cases: Vec<(usize, usize, usize)> = match scale {
+        Scale::Quick => vec![(10_000, 100, 50), (100_000, 316, 10), (1_000_000, 1_000, 5)],
+        Scale::Paper => vec![(10_000, 100, 200), (100_000, 316, 60), (1_000_000, 1_000, 20)],
+    };
+
+    // β from the (size-independent) mean-field sweep at the Table-1 point.
+    let base_cfg = SystemConfig::paper().with_dt(5.0);
+    let zs = base_cfg.num_states();
+    let d = base_cfg.d;
+    let beta = optimize_beta(&base_cfg, 60, 8, seed).beta;
+    let policy = FixedRulePolicy::new(softmin_rule(zs, d, beta), "SOFT");
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for &(m, side, epochs) in &cases {
+        for (topology, label, m_eff) in [
+            (Topology::Torus { radius: 1 }, "torus r=1", side * side),
+            (Topology::RandomRegular { degree: 4, seed: 11 }, "random 4-reg", m),
+        ] {
+            let cfg = base_cfg.clone().with_size(4 * m_eff as u64, m_eff);
+            let t0 = Instant::now();
+            let engine =
+                GraphEngine::new(cfg, topology).with_mode(StepMode::Sharded).with_workers(workers);
+            let build_s = t0.elapsed().as_secs_f64();
+            let k = engine.neighborhood_size();
+
+            let t1 = Instant::now();
+            let out = run_episode(&engine, &policy, epochs, &mut run_rng(seed, 1));
+            let wall_s = t1.elapsed().as_secs_f64();
+            let eps = epochs as f64 / wall_s;
+            let qeps = m_eff as f64 * eps;
+
+            rows.push(vec![
+                label.to_string(),
+                format!("{m_eff}"),
+                format!("{k}"),
+                format!("{epochs}"),
+                format!("{build_s:.2}"),
+                format!("{wall_s:.2}"),
+                format!("{eps:.1}"),
+                format!("{:.2}", qeps / 1e6),
+                format!("{:.3}", out.total_drops),
+            ]);
+            csv.push(vec![
+                label.replace(' ', "_"),
+                format!("{m_eff}"),
+                format!("{k}"),
+                format!("{epochs}"),
+                format!("{build_s:.4}"),
+                format!("{wall_s:.4}"),
+                format!("{eps:.2}"),
+                format!("{qeps:.0}"),
+                format!("{:.4}", out.total_drops),
+            ]);
+        }
+    }
+
+    print_table(
+        &format!(
+            "Sparse-graph scaling (N = 4M, Δt = 5, β* = {beta:.2}, sharded engine, \
+             workers = {})",
+            if workers == 0 { "auto".to_string() } else { workers.to_string() }
+        ),
+        &[
+            "topology",
+            "M",
+            "k",
+            "epochs",
+            "build s",
+            "episode s",
+            "epochs/s",
+            "Mq·epochs/s",
+            "drops",
+        ],
+        &rows,
+    );
+    write_csv(
+        &format!("fig_sparse_scale_{}.csv", scale.label()),
+        &[
+            "topology",
+            "m",
+            "k",
+            "epochs",
+            "build_s",
+            "wall_s",
+            "epochs_per_s",
+            "q_epochs_per_s",
+            "drops",
+        ],
+        &csv,
+    );
+
+    println!("\n[shape] q·epochs/s should stay ~flat across three decades of M:");
+    let trend: Vec<String> = csv.iter().map(|r| format!("{} M={}: {}", r[0], r[1], r[7])).collect();
+    println!("  {}", trend.join("  "));
+}

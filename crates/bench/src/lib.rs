@@ -8,7 +8,10 @@
 //! * `fig4_convergence` — finite-system → mean-field convergence over M,
 //! * `fig5_delay_sweep` — MF vs JSQ(2) vs RND over Δt (N = M²),
 //! * `fig6_ablation` — the N ⋡ M ablation,
-//! * `train_policy` — trains and checkpoints an MF policy for a given Δt.
+//! * `train_policy` — trains and checkpoints an MF policy for a given Δt,
+//! * `fig_locality` — drops vs dispatcher neighborhood size (ours),
+//! * `fig_sparse_scale` — sharded sparse-graph epoch throughput from
+//!   10^4 to 10^6 queues (ours).
 //!
 //! `cargo bench -p mflb-bench` runs the criterion micro-benchmarks of the
 //! computational kernels.

@@ -475,6 +475,160 @@ fn env_obs_dim(env: &MfcEnv) -> usize {
     env.obs_dim()
 }
 
+/// Runs the sparse-graph suite behind `mflb bench --suite graph`
+/// (`BENCH_graph_quick.json` is its committed CI baseline).
+///
+/// Two gated kernels time the sparse-support Eq. 22 sweep against the
+/// dense `|Z|^d·d` sweep it replaced — same machine, same inputs,
+/// bit-identical outputs (tested in `mflb-core`), so the speedup is
+/// purely algorithmic: first as a single-histogram micro-op, then as the
+/// full per-dispatcher rate sweep of a 10^4-node ring (exactly the inner
+/// loop a graph epoch runs). The untracked throughput entries record the
+/// scaling trajectory: sharded epoch rates at 10^4/10^5/10^6 queues
+/// (unit `q·epochs/s`; `per_op_us` is the epoch time, so epoch-steps/s
+/// is its reciprocal) and the streaming CSR build of a 10^6-node random
+/// 4-regular topology.
+pub fn run_graph_suite(quick: bool, workers: usize) -> BenchReport {
+    use mflb_core::{per_state_arrival_rates_into, per_state_arrival_rates_sparse_into, Topology};
+    use mflb_policy::jsq_rule;
+    use mflb_sim::{Engine, GraphEngine, GraphState, StepMode};
+
+    let unix_time =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs();
+    let scale = if quick { 1 } else { 10 };
+    let mut entries = Vec::new();
+
+    // --- 1. Sparse vs dense Eq. 22 rates, single histogram. B = 10 and a
+    //     5-state support is the regime a degree-4 neighborhood lives in:
+    //     the dense sweep enumerates 11² = 121 length-d tuples, the
+    //     sparse one at most 5² = 25. ---
+    {
+        let zs = 11;
+        let rule = jsq_rule(zs, 2);
+        let mut hist = vec![0.0f64; zs];
+        for (z, w) in [(0usize, 0.2f64), (2, 0.2), (5, 0.2), (7, 0.2), (10, 0.2)] {
+            hist[z] = w;
+        }
+        let support = vec![0usize, 2, 5, 7, 10];
+        let mut rates = vec![0.0f64; zs];
+        // Sub-µs kernel: enough iterations that the timed region is tens of
+        // milliseconds even at quick scale, or the margin ratio is noise.
+        let iters = 200_000 * scale;
+        let dense = time_loop(iters, || {
+            per_state_arrival_rates_into(black_box(&hist), &rule, 1.0, &mut rates);
+            black_box(&rates);
+        });
+        let sparse = time_loop(iters, || {
+            per_state_arrival_rates_sparse_into(
+                black_box(&hist),
+                black_box(&support),
+                &rule,
+                1.0,
+                &mut rates,
+            );
+            black_box(&rates);
+        });
+        entries.push(with_baseline(
+            entry("graph_rates_sparse_B10_d2", iters, sparse, 1.0, "ops/s"),
+            dense,
+        ));
+    }
+
+    // --- 2. The same cutover at engine granularity: the per-dispatcher
+    //     rate sweep over every node of a 10^4-queue ring (k = 5),
+    //     replaying exactly what one epoch's assignment phase computes.
+    //     ---
+    {
+        let m = 10_000usize;
+        let zs = 11;
+        let rule = jsq_rule(zs, 2);
+        let csr = Topology::Ring { radius: 2 }.csr(m).expect("ring CSR");
+        let k = csr.neighborhood_size();
+        let queues: Vec<usize> = (0..m).map(|j| (j * 7) % zs).collect();
+        let inv_k = 1.0 / k as f64;
+        let mut hist = vec![0.0f64; zs];
+        let mut rates = vec![0.0f64; zs];
+        let mut support: Vec<usize> = Vec::with_capacity(zs);
+        let fill_hist = |node: usize, hist: &mut [f64], support: &mut Vec<usize>| {
+            hist.iter_mut().for_each(|h| *h = 0.0);
+            support.clear();
+            for &j in csr.row(node) {
+                let z = queues[j as usize];
+                if hist[z] == 0.0 {
+                    support.push(z);
+                }
+                hist[z] += 1.0;
+            }
+            hist.iter_mut().for_each(|h| *h *= inv_k);
+            support.sort_unstable();
+        };
+        let iters = 10 * scale;
+        let dense = time_loop(iters, || {
+            for node in 0..m {
+                fill_hist(node, &mut hist, &mut support);
+                per_state_arrival_rates_into(black_box(&hist), &rule, 1.0, &mut rates);
+                black_box(&rates);
+            }
+        });
+        let sparse = time_loop(iters, || {
+            for node in 0..m {
+                fill_hist(node, &mut hist, &mut support);
+                per_state_arrival_rates_sparse_into(
+                    black_box(&hist),
+                    black_box(&support),
+                    &rule,
+                    1.0,
+                    &mut rates,
+                );
+                black_box(&rates);
+            }
+        });
+        entries.push(with_baseline(
+            entry("graph_rates_sweep_ring_M10k", iters, sparse, m as f64, "nodes/s"),
+            dense,
+        ));
+    }
+
+    // --- 3. Sharded epoch throughput at 10^4 / 10^5 / 10^6 queues
+    //     (N = 4M clients, JSQ(2), pinned seeds). ---
+    let epoch_cases: [(usize, Topology, usize, &str); 3] = [
+        (10_000, Topology::Ring { radius: 2 }, 4 * scale, "graph_epoch_ring_M10k"),
+        (100_000, Topology::Ring { radius: 2 }, 2 * scale, "graph_epoch_ring_M100k"),
+        (1_000_000, Topology::RandomRegular { degree: 4, seed: 7 }, scale, "graph_epoch_rr4_M1m"),
+    ];
+    for (m, topology, iters, name) in epoch_cases {
+        let cfg = SystemConfig::paper().with_size(4 * m as u64, m);
+        let zs = cfg.num_states();
+        let rule = jsq_rule(zs, cfg.d);
+        let engine =
+            GraphEngine::new(cfg, topology).with_mode(StepMode::Sharded).with_workers(workers);
+        let queues: Vec<usize> = (0..m).map(|j| (j * 5) % zs).collect();
+        let mut state = GraphState::from_queues(queues, zs, engine.neighborhood_size());
+        let mut rng = StdRng::seed_from_u64(29);
+        // One warm-up epoch touches every page out of the timed region.
+        black_box(engine.step(&mut state, &rule, 0.9, &mut rng));
+        let secs = time_loop(iters, || {
+            black_box(engine.step(&mut state, &rule, 0.9, &mut rng));
+        });
+        entries.push(entry(name, iters, secs, m as f64, "q·epochs/s"));
+    }
+
+    // --- 4. Streaming CSR build of a million-node random 4-regular
+    //     topology (the O(M·d) configuration-model draw). ---
+    {
+        let m = 1_000_000usize;
+        let iters = scale;
+        let secs = time_loop(iters, || {
+            black_box(
+                Topology::RandomRegular { degree: 4, seed: 7 }.csr(m).expect("build must succeed"),
+            );
+        });
+        entries.push(entry("topology_build_rr4_M1m", iters, secs, m as f64, "nodes/s"));
+    }
+
+    BenchReport { unix_time, quick, workers, entries }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -549,11 +703,12 @@ mod tests {
 
     #[test]
     fn committed_baseline_files_parse_and_self_compare_clean() {
-        // BENCH_kernels_quick.json is the CI gate's reference (quick
-        // compares against quick — margins shift with iteration count);
-        // BENCH_kernels.json is the full-suite perf trajectory. Both must
-        // stay parseable and trivially pass against themselves.
-        for file in ["BENCH_kernels_quick.json", "BENCH_kernels.json"] {
+        // BENCH_kernels_quick.json and BENCH_graph_quick.json are the CI
+        // gates' references (quick compares against quick — margins shift
+        // with iteration count); BENCH_kernels.json is the full-suite perf
+        // trajectory. All must stay parseable and trivially pass against
+        // themselves.
+        for file in ["BENCH_kernels_quick.json", "BENCH_kernels.json", "BENCH_graph_quick.json"] {
             let path =
                 std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(file);
             let text = std::fs::read_to_string(&path)

@@ -36,14 +36,17 @@ pub mod topology;
 
 pub use config::SystemConfig;
 pub use dist::StateDist;
-pub use graph_meanfield::{graph_arrival_rates, graph_mean_field_step};
+pub use graph_meanfield::{
+    graph_arrival_rates, graph_mean_field_step, independent_pair, pair_arrival_rates,
+    pair_marginal, pair_mean_field_step,
+};
 pub use hetero_meanfield::{HeteroMeanField, HeteroMeanFieldStep};
 pub use mdp::{MeanFieldMdp, MfState, UpperPolicy};
 pub use meanfield::{
     mean_field_step, mean_field_step_with_rates, per_state_arrival_rates,
-    per_state_arrival_rates_into, MeanFieldStep,
+    per_state_arrival_rates_into, per_state_arrival_rates_sparse_into, MeanFieldStep,
 };
 pub use partial::{sampled_estimate, ObservationModel, PartialObservationPolicy};
 pub use ph_meanfield::{ph_mean_field_step, PhDist, PhMeanFieldMdp, PhMfState};
 pub use rule::DecisionRule;
-pub use topology::Topology;
+pub use topology::{CsrNeighborhoods, Topology};

@@ -96,6 +96,99 @@ pub fn per_state_arrival_rates_into(
     }
 }
 
+/// Sparse-support variant of [`per_state_arrival_rates_into`] for
+/// measures concentrated on few states — the locality-constrained
+/// engine's case, where `ν` is a `k`-queue neighborhood histogram with at
+/// most `min(k, |Z|)` occupied states.
+///
+/// `support` must list the states with `ν(z) > 0` in **ascending** order.
+/// Only observation tuples drawn entirely from the support are
+/// enumerated — `|support|^d` of them instead of the dense `|Z|^d` rows —
+/// because every excluded row has some coordinate with zero measure and
+/// therefore contributes nothing to any *occupied* state's rate.
+///
+/// The enumeration visits the surviving rows in the same (row-index)
+/// order as the dense sweep and accumulates the identical products, so
+/// `rates[z]` is **bit-identical** to the dense result for every
+/// `z ∈ support` (enforced by a `to_bits` test). Entries outside the
+/// support are left at `0.0`; the dense sweep can assign them positive
+/// rates (the analytically-cancelled Eq. 22 is defined for zero-mass
+/// states too), so callers must read support states only.
+pub fn per_state_arrival_rates_sparse_into(
+    nu: &[f64],
+    support: &[usize],
+    rule: &DecisionRule,
+    lambda: f64,
+    rates: &mut [f64],
+) {
+    let zs = nu.len();
+    let d = rule.d();
+    let s = support.len();
+    assert_eq!(rule.num_states(), zs, "rule/state-space mismatch");
+    assert_eq!(rates.len(), zs, "rate buffer/state-space mismatch");
+    debug_assert!(support.windows(2).all(|w| w[0] < w[1]), "support must be ascending");
+    debug_assert!(support.iter().all(|&z| z < zs && nu[z] > 0.0), "support must carry mass");
+    rates.iter_mut().for_each(|r| *r = 0.0);
+    if s == 0 {
+        return;
+    }
+    // Odometer over support positions; lexicographic tuple order is
+    // ascending row order restricted to the support sub-grid.
+    let mut pos = [0usize; 8];
+    let mut pos_vec;
+    let pos: &mut [usize] = if d <= 8 {
+        &mut pos[..d]
+    } else {
+        pos_vec = vec![0usize; d];
+        &mut pos_vec
+    };
+    let mut tuple = [0usize; 8];
+    let mut tuple_vec;
+    let tuple: &mut [usize] = if d <= 8 {
+        &mut tuple[..d]
+    } else {
+        tuple_vec = vec![0usize; d];
+        &mut tuple_vec
+    };
+    loop {
+        let mut row = 0usize;
+        for k in 0..d {
+            tuple[k] = support[pos[k]];
+            row = row * zs + tuple[k];
+        }
+        for u in 0..d {
+            let h = rule.prob_by_row(row, u);
+            if h == 0.0 {
+                continue;
+            }
+            // Π_{k≠u} ν(z̄_k), multiplied in the dense sweep's index order.
+            let mut others = 1.0;
+            for (k, &z) in tuple.iter().enumerate() {
+                if k != u {
+                    others *= nu[z];
+                }
+            }
+            if others == 0.0 {
+                continue;
+            }
+            rates[tuple[u]] += lambda * h * others;
+        }
+        // Advance the odometer (most significant digit first ⇒ row order).
+        let mut k = d;
+        loop {
+            if k == 0 {
+                return;
+            }
+            k -= 1;
+            pos[k] += 1;
+            if pos[k] < s {
+                break;
+            }
+            pos[k] = 0;
+        }
+    }
+}
+
 /// Builds the paper's extended rate matrix `Q̄(ν, z)` (Eq. 27) in column
 /// convention for a queue with per-epoch arrival rate `arrival` and service
 /// rate `service` over states `{0,…,B}`; size `(B+2)×(B+2)`.
@@ -240,6 +333,52 @@ mod tests {
             0.5 * 0.5 + 0.5 * 0.5 + 0.5 * 1.0 + 0.5 * 1.0
         };
         assert!((rates[0] - manual_rate0 * 1.0).abs() < 1e-12, "{}", rates[0]);
+    }
+
+    #[test]
+    fn sparse_rates_are_bit_identical_to_dense_on_the_support() {
+        // The sparse sweep is the graph engine's hot path; it must agree
+        // with the dense Eq. 22 sweep to the last bit on occupied states,
+        // for any support pattern — that is what lets the engine cut over
+        // between the two without perturbing pinned RNG streams.
+        let patterns: Vec<Vec<f64>> = vec![
+            vec![0.4, 0.0, 0.6, 0.0, 0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 1.0],
+            vec![0.2, 0.2, 0.2, 0.2, 0.1, 0.1],
+            vec![0.0, 0.5, 0.0, 0.3, 0.0, 0.2],
+        ];
+        for rule in [DecisionRule::uniform(6, 2), jsq_rule(6)] {
+            for nu in &patterns {
+                let support: Vec<usize> =
+                    nu.iter().enumerate().filter(|(_, &p)| p > 0.0).map(|(z, _)| z).collect();
+                let mut dense = vec![0.0; 6];
+                let mut sparse = vec![0.0; 6];
+                per_state_arrival_rates_into(nu, &rule, 0.9, &mut dense);
+                per_state_arrival_rates_sparse_into(nu, &support, &rule, 0.9, &mut sparse);
+                for &z in &support {
+                    assert_eq!(
+                        dense[z].to_bits(),
+                        sparse[z].to_bits(),
+                        "state {z}: dense {} vs sparse {}",
+                        dense[z],
+                        sparse[z]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_rates_handle_degenerate_supports() {
+        let rule = jsq_rule(6);
+        let mut rates = vec![1.0; 6];
+        per_state_arrival_rates_sparse_into(&[0.0; 6], &[], &rule, 0.9, &mut rates);
+        assert!(rates.iter().all(|&r| r == 0.0), "empty support zeroes the buffer");
+        let mut nu = vec![0.0; 6];
+        nu[3] = 1.0;
+        per_state_arrival_rates_sparse_into(&nu, &[3], &rule, 0.9, &mut rates);
+        // All mass in one state: that state receives exactly λ.
+        assert!((rates[3] - 0.9).abs() < 1e-12, "{}", rates[3]);
     }
 
     #[test]

@@ -144,7 +144,7 @@ pub fn oracle_exactness(scenario: &Scenario) -> Result<OracleExactness, String> 
         | EngineSpec::Aggregate
         | EngineSpec::Staggered { .. }
         | EngineSpec::JobLevel => Ok(OracleExactness::Exact),
-        EngineSpec::Graph { topology } => match topology.limit_neighborhood_size() {
+        EngineSpec::Graph { topology, .. } => match topology.limit_neighborhood_size() {
             None => Ok(OracleExactness::Exact),
             Some(k) => Ok(OracleExactness::Reference {
                 note: format!(
@@ -392,12 +392,17 @@ mod tests {
         assert!(oracle_exactness(&with(EngineSpec::PerClient)).unwrap().is_exact());
         assert!(oracle_exactness(&with(EngineSpec::JobLevel)).unwrap().is_exact());
         assert!(oracle_exactness(&with(EngineSpec::Staggered { cohorts: 4 })).unwrap().is_exact());
-        assert!(oracle_exactness(&with(EngineSpec::Graph { topology: Topology::FullMesh }))
-            .unwrap()
-            .is_exact());
-        let ring =
-            oracle_exactness(&with(EngineSpec::Graph { topology: Topology::Ring { radius: 2 } }))
-                .unwrap();
+        assert!(oracle_exactness(&with(EngineSpec::Graph {
+            topology: Topology::FullMesh,
+            shard_size: None
+        }))
+        .unwrap()
+        .is_exact());
+        let ring = oracle_exactness(&with(EngineSpec::Graph {
+            topology: Topology::Ring { radius: 2 },
+            shard_size: None,
+        }))
+        .unwrap();
         assert!(!ring.is_exact());
         assert!(ring.note().contains("full-mesh"), "{}", ring.note());
         let exp = oracle_exactness(&with(EngineSpec::Ph {

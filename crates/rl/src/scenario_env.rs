@@ -131,7 +131,7 @@ pub fn build_env(scenario: &Scenario) -> Result<Box<dyn Env>, String> {
         | EngineSpec::JobLevel => Box::new(MfcEnv::new(config)),
         EngineSpec::Hetero { rates } => Box::new(HeteroMfcEnv::new(config, rates)),
         EngineSpec::Ph { service } => Box::new(PhMfcEnv::new(config, service.build()?)),
-        EngineSpec::Graph { topology } => match topology.limit_neighborhood_size() {
+        EngineSpec::Graph { topology, .. } => match topology.limit_neighborhood_size() {
             // Accessible sets growing with M: the limit is the paper's
             // exact full-mesh mean field.
             None => Box::new(MfcEnv::new(config)),
@@ -495,7 +495,10 @@ mod tests {
         assert!(build_env(&bad).is_err(), "pool size mismatch must be rejected");
         let bad_top = Scenario::new(
             base_config(),
-            EngineSpec::Graph { topology: mflb_core::Topology::Ring { radius: 7 } },
+            EngineSpec::Graph {
+                topology: mflb_core::Topology::Ring { radius: 7 },
+                shard_size: None,
+            },
         );
         assert!(build_env(&bad_top).is_err(), "over-wide ring must be rejected");
     }
@@ -504,7 +507,10 @@ mod tests {
     fn graph_env_shares_the_homogeneous_policy_shape() {
         let scenario = Scenario::new(
             base_config(),
-            EngineSpec::Graph { topology: mflb_core::Topology::Ring { radius: 2 } },
+            EngineSpec::Graph {
+                topology: mflb_core::Topology::Ring { radius: 2 },
+                shard_size: None,
+            },
         );
         let shape = PolicyShape::for_scenario(&scenario);
         assert_eq!((shape.obs_states, shape.rule_states), (6, 6));
@@ -528,7 +534,7 @@ mod tests {
         // as the aggregate scenario's env.
         let graph = Scenario::new(
             base_config(),
-            EngineSpec::Graph { topology: mflb_core::Topology::FullMesh },
+            EngineSpec::Graph { topology: mflb_core::Topology::FullMesh, shard_size: None },
         );
         let agg = Scenario::new(base_config(), EngineSpec::Aggregate);
         let mut a = build_env(&graph).unwrap();

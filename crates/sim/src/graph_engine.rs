@@ -20,40 +20,128 @@
 //! Conditional on the epoch-start lengths, a dispatcher's clients are
 //! i.i.d., and a single client routes to the *specific* queue `j ∈ A(i)`
 //! with probability `ρ(H_i)[z_j] / k`, where `H_i` is the empirical
-//! length distribution of `A(i)` and `ρ` is the Eq. 22 integrand
-//! ([`mflb_core::per_state_arrival_rates_into`]) — the same hierarchical
-//! argument as [`crate::aggregate::AggregateEngine`], applied to the
-//! `k`-queue neighborhood instead of all `M` queues. The per-neighborhood
-//! count vector is therefore an exact `Multinomial(n_i, (ρ[z_j]/k)_j)`;
-//! cost `O(M·(k + |Z|^d·d))` per epoch, independent of `N`.
+//! length distribution of `A(i)` and `ρ` is the Eq. 22 integrand — the
+//! same hierarchical argument as [`crate::aggregate::AggregateEngine`],
+//! applied to the `k`-queue neighborhood instead of all `M` queues. `H_i`
+//! occupies at most `min(k, |Z|)` states, so `ρ` is evaluated by the
+//! **sparse-support** sweep
+//! ([`mflb_core::per_state_arrival_rates_sparse_into`], cost
+//! `|support|^d·d`) whenever the support is smaller than the state space,
+//! and by the dense `|Z|^d·d` sweep otherwise — a bit-identical,
+//! perf-only cutover. Per-epoch cost is `O(M·(k + min(k,|Z|)^d·d))`,
+//! independent of `N`.
+//!
+//! ### Execution modes
+//! [`StepMode::Sequential`] is the original single-stream path: one
+//! episode RNG drives the client multinomial, every per-dispatcher draw
+//! and every queue CTMC in index order — **byte-identical** to the PR
+//! that introduced the engine (pinned in `tests/engine_regression.rs`).
+//! [`StepMode::Sharded`] re-keys every stochastic ingredient of an epoch
+//! to its own SplitMix64-derived stream (one `epoch_base` draw from the
+//! episode RNG per epoch, then per-tree-node home-count splits,
+//! per-dispatcher assignment draws, per-queue CTMCs), so the epoch can be
+//! stepped shard-by-shard in parallel while staying **bit-identical
+//! across any shard size and worker count**: cross-shard routing counts
+//! accumulate through relaxed `AtomicU64` adds (integer addition
+//! commutes) and per-epoch statistics are merged as integers in
+//! shard-index-free form. The mode is auto-selected by system size and
+//! can be forced via [`GraphEngine::with_mode`]; the two modes sample the
+//! same law but different streams.
 //!
 //! ### Full mesh ≡ aggregate, bit for bit
 //! When the topology's accessible sets cover all `M` queues
 //! ([`Topology::is_full_mesh`]), dispatcher identity is irrelevant and
 //! the assignment law is exactly the paper's. The engine then takes the
 //! [`crate::aggregate`] fast path — the *same* RNG call sequence as
-//! [`crate::aggregate::AggregateEngine`] — so a full-mesh graph episode
-//! is **bit-identical** to an aggregate-engine episode under the same
-//! seed (enforced by `tests/engine_regression.rs` and the sim property
-//! suite).
+//! [`crate::aggregate::AggregateEngine`], regardless of the configured
+//! mode — so a full-mesh graph episode is **bit-identical** to an
+//! aggregate-engine episode under the same seed (enforced by
+//! `tests/engine_regression.rs` and the sim property suite).
 
 use crate::aggregate::sample_client_assignments_into;
 use crate::episode::{length_epoch_stats, simulate_birth_death_epoch, Engine, EpochStats};
-use mflb_core::{per_state_arrival_rates_into, DecisionRule, StateDist, SystemConfig, Topology};
+use mflb_core::{
+    per_state_arrival_rates_into, per_state_arrival_rates_sparse_into, CsrNeighborhoods,
+    DecisionRule, StateDist, SystemConfig, Topology,
+};
 use mflb_queue::sampler::Sampler;
 use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stream salts keeping the sharded epoch's three phase families (home
+/// counts, per-dispatcher assignment, per-queue service) on disjoint
+/// SplitMix64-derived streams.
+const SALT_HOME: u64 = 0x9AE1_6A3B_2F90_404F;
+const SALT_ASSIGN: u64 = 0xD1B5_4A32_D192_ED03;
+const SALT_SERVE: u64 = 0x8CB9_2BA7_2F3D_8DD7;
+
+/// Largest system the constructor keeps on the legacy sequential path by
+/// default (small systems gain nothing from sharding, and the sequential
+/// stream is the one the pinned regression constants were captured on).
+const AUTO_SEQUENTIAL_MAX: usize = 4096;
+
+/// Default contiguous dispatcher range per shard in [`StepMode::Sharded`].
+const DEFAULT_SHARD_SIZE: usize = 16_384;
+
+/// Below this many clients a dispatcher draws per-client categorical
+/// inversions over its `k`-entry support instead of the `k`-binomial
+/// chain — fewer RNG draws when `N/M` is small, same law. The cutoff
+/// depends only on the (partition-independent) client count, so it never
+/// perturbs cross-shard determinism.
+const PER_CLIENT_DRAW_MAX: u64 = 16;
+
+/// How [`GraphEngine`] executes one epoch on a sparse topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepMode {
+    /// Single-stream path: the episode RNG drives every draw in index
+    /// order. Byte-identical to the engine's original (PR 5) behaviour;
+    /// auto-selected for systems of at most a few thousand queues.
+    Sequential,
+    /// Partition-independent derived-stream path: one `epoch_base` draw
+    /// per epoch re-keys per-node/per-dispatcher/per-queue streams, so
+    /// shards step in parallel and episodes are bit-identical across any
+    /// shard size and worker count. Auto-selected for large systems.
+    Sharded,
+}
 
 /// Episode state of [`GraphEngine`]: queue lengths plus reusable
 /// per-epoch scratch (client counts, per-dispatcher counts, neighborhood
-/// histogram/rates/probability buffers).
-#[derive(Debug, Clone)]
+/// histogram/rates/probability buffers, and the atomic count lattice the
+/// sharded mode accumulates cross-shard routing into).
+#[derive(Debug)]
 pub struct GraphState {
     queues: Vec<usize>,
     counts: Vec<u64>,
+    /// Sharded-mode accumulation target: dispatchers add their routed
+    /// clients here with relaxed `fetch_add` (commutative, hence
+    /// deterministic under any thread interleaving); drained back to
+    /// zero into `counts` before the service pass.
+    counts_atomic: Vec<AtomicU64>,
     home_counts: Vec<u64>,
     hist: Vec<f64>,
     rates: Vec<f64>,
     probs: Vec<f64>,
+    support: Vec<usize>,
+}
+
+impl Clone for GraphState {
+    fn clone(&self) -> Self {
+        Self {
+            queues: self.queues.clone(),
+            counts: self.counts.clone(),
+            counts_atomic: self
+                .counts_atomic
+                .iter()
+                .map(|a| AtomicU64::new(a.load(Ordering::Relaxed)))
+                .collect(),
+            home_counts: self.home_counts.clone(),
+            hist: self.hist.clone(),
+            rates: self.rates.clone(),
+            probs: self.probs.clone(),
+            support: self.support.clone(),
+        }
+    }
 }
 
 impl GraphState {
@@ -64,10 +152,12 @@ impl GraphState {
         Self {
             queues,
             counts: vec![0; m],
+            counts_atomic: (0..m).map(|_| AtomicU64::new(0)).collect(),
             home_counts: vec![0; m],
             hist: vec![0.0; zs],
             rates: vec![0.0; zs],
             probs: vec![0.0; k],
+            support: Vec::with_capacity(zs),
         }
     }
 
@@ -82,18 +172,29 @@ impl GraphState {
 pub struct GraphEngine {
     config: SystemConfig,
     topology: Topology,
-    /// Flattened closed neighborhoods, stride `k` (empty on the full-mesh
-    /// fast path, which never consults them).
-    nbr: Vec<usize>,
+    /// CSR closed neighborhoods (`None` on the full-mesh fast path, which
+    /// never consults them).
+    csr: Option<CsrNeighborhoods>,
     /// Accessible-set size.
     k: usize,
     /// Whether the accessible sets cover all `M` queues (aggregate fast
     /// path, bit-identical RNG stream).
     full_mesh: bool,
+    /// Epoch execution mode (see [`StepMode`]).
+    mode: StepMode,
+    /// Contiguous dispatcher range per shard in sharded mode.
+    shard_size: usize,
+    /// Worker threads for sharded stepping (`0` = one per available
+    /// core). Never affects results — only wall-clock.
+    workers: usize,
 }
 
 impl GraphEngine {
     /// Creates the engine for a validated configuration and topology.
+    ///
+    /// Systems with at most a few thousand queues start in
+    /// [`StepMode::Sequential`] (the pinned legacy stream); larger ones
+    /// in [`StepMode::Sharded`]. Override with [`GraphEngine::with_mode`].
     ///
     /// # Panics
     /// Panics if the configuration or topology is invalid — construct via
@@ -103,13 +204,55 @@ impl GraphEngine {
         let m = config.num_queues;
         topology.validate(m).expect("invalid topology");
         let full_mesh = topology.is_full_mesh(m);
-        let (nbr, k) = if full_mesh {
-            (Vec::new(), m)
+        let (csr, k) = if full_mesh {
+            (None, m)
         } else {
-            let k = topology.neighborhood_size(m);
-            (topology.neighborhoods(m).expect("validated topology must materialize"), k)
+            let csr = topology.csr(m).expect("validated topology must materialize");
+            let k = csr.neighborhood_size();
+            (Some(csr), k)
         };
-        Self { config, topology, nbr, k, full_mesh }
+        let mode = if full_mesh || m <= AUTO_SEQUENTIAL_MAX {
+            StepMode::Sequential
+        } else {
+            StepMode::Sharded
+        };
+        Self {
+            config,
+            topology,
+            csr,
+            k,
+            full_mesh,
+            mode,
+            shard_size: DEFAULT_SHARD_SIZE,
+            workers: 0,
+        }
+    }
+
+    /// Forces the epoch execution mode (no-op on the full-mesh fast path,
+    /// which always follows the aggregate engine's stream).
+    pub fn with_mode(mut self, mode: StepMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the contiguous dispatcher range per shard (≥ 1). Sharded
+    /// episodes are bit-identical for **any** shard size; this knob only
+    /// trades scheduling granularity against per-shard overhead.
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// Sets the sharded-mode worker-thread count (`0` = one per available
+    /// core). Results are bit-identical for any value.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The epoch execution mode in force.
+    pub fn mode(&self) -> StepMode {
+        self.mode
     }
 
     /// The topology in force.
@@ -122,20 +265,29 @@ impl GraphEngine {
         self.k
     }
 
-    /// The closed neighborhood `A(node)` (own queue first). Empty slice on
-    /// the full-mesh fast path, where `A(node)` is implicitly all queues.
-    pub fn neighborhood(&self, node: usize) -> &[usize] {
-        if self.full_mesh {
-            &[]
+    /// The closed neighborhood `A(node)` (own queue first, CSR row).
+    /// Empty slice on the full-mesh fast path, where `A(node)` is
+    /// implicitly all queues.
+    pub fn neighborhood(&self, node: usize) -> &[u32] {
+        match &self.csr {
+            Some(csr) => csr.row(node),
+            None => &[],
+        }
+    }
+
+    fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
-            &self.nbr[node * self.k..(node + 1) * self.k]
+            self.workers
         }
     }
 
     /// Samples the assignments of `clients` clients connected to one
     /// dispatcher, **adding** the resulting counts into `counts` (exposed
     /// for the locality property tests: counts outside
-    /// [`GraphEngine::neighborhood`]`(node)` are never touched).
+    /// [`GraphEngine::neighborhood`]`(node)` are never touched). This is
+    /// the **sequential-stream** form, drawing from the caller's RNG.
     ///
     /// # Panics
     /// Panics on the full-mesh fast path, which has no per-dispatcher
@@ -154,45 +306,90 @@ impl GraphEngine {
         let mut hist = vec![0.0; zs];
         let mut rates = vec![0.0; zs];
         let mut probs = vec![0.0; self.k];
-        self.assign_node(
-            node, clients, queues, rule, rng, counts, &mut hist, &mut rates, &mut probs,
-        );
+        let mut support = Vec::with_capacity(zs);
+        self.node_probs(node, queues, rule, &mut hist, &mut rates, &mut probs, &mut support);
+        let row = self.csr.as_ref().expect("sparse path").row(node);
+        multinomial_add_into(rng, clients, &probs, row, counts);
     }
 
-    /// Scratch-buffer core of [`GraphEngine::sample_node_assignments`].
-    #[allow(clippy::too_many_arguments)]
-    fn assign_node(
+    /// Sharded-stream counterpart of
+    /// [`GraphEngine::sample_node_assignments`]: draws dispatcher
+    /// `node`'s assignments from its `(epoch_base, node)`-derived stream —
+    /// the exact stream the sharded epoch uses, independent of which
+    /// shard or worker processes the node (exposed for the shard
+    /// determinism and locality property tests).
+    pub fn sample_node_assignments_sharded(
         &self,
         node: usize,
         clients: u64,
         queues: &[usize],
         rule: &DecisionRule,
-        rng: &mut StdRng,
+        epoch_base: u64,
         counts: &mut [u64],
+    ) {
+        assert!(!self.full_mesh, "full-mesh fast path has no per-node stage");
+        let zs = self.config.num_states();
+        let mut hist = vec![0.0; zs];
+        let mut rates = vec![0.0; zs];
+        let mut probs = vec![0.0; self.k];
+        let mut support = Vec::with_capacity(zs);
+        self.node_probs(node, queues, rule, &mut hist, &mut rates, &mut probs, &mut support);
+        let row = self.csr.as_ref().expect("sparse path").row(node);
+        sharded_assign_draws(node, clients, &probs, row, epoch_base, |j, c| {
+            counts[j] += c;
+        });
+    }
+
+    /// Builds dispatcher `node`'s neighborhood histogram `H_i`, its
+    /// occupied support, the per-state rates `ρ(H_i)` (sparse/dense
+    /// cutover — bit-identical either way) and the routing probabilities
+    /// `probs[t] = ρ[z_{A(i)_t}]/k`.
+    #[allow(clippy::too_many_arguments)]
+    fn node_probs(
+        &self,
+        node: usize,
+        queues: &[usize],
+        rule: &DecisionRule,
         hist: &mut [f64],
         rates: &mut [f64],
         probs: &mut [f64],
+        support: &mut Vec<usize>,
     ) {
+        let row = self.csr.as_ref().expect("sparse path").row(node);
         let k = self.k;
-        let nbrs = &self.nbr[node * k..(node + 1) * k];
         // Empirical length distribution of the accessible set.
         hist.iter_mut().for_each(|h| *h = 0.0);
-        for &j in nbrs {
-            hist[queues[j]] += 1.0;
+        support.clear();
+        for &j in row {
+            let z = queues[j as usize];
+            if hist[z] == 0.0 {
+                support.push(z);
+            }
+            hist[z] += 1.0;
         }
         let inv_k = 1.0 / k as f64;
         hist.iter_mut().for_each(|h| *h *= inv_k);
+        support.sort_unstable();
         // ρ(H_i)[z] = k · (specific-queue pick probability for state z);
         // Σ_j ρ[z_j]/k = Σ_z H_i(z)·ρ[z] = 1 exactly (thinning identity).
-        per_state_arrival_rates_into(hist, rule, 1.0, rates);
-        for (t, &j) in nbrs.iter().enumerate() {
-            probs[t] = rates[queues[j]] * inv_k;
+        // The sparse sweep visits only the ≤ min(k,|Z|) occupied states
+        // and is bit-identical to the dense one on them, so the cutover
+        // cannot shift any downstream draw.
+        if support.len() < hist.len() {
+            per_state_arrival_rates_sparse_into(hist, support, rule, 1.0, rates);
+        } else {
+            per_state_arrival_rates_into(hist, rule, 1.0, rates);
         }
-        multinomial_add_into(rng, clients, probs, nbrs, counts);
+        for (t, &j) in row.iter().enumerate() {
+            probs[t] = rates[queues[j as usize]] * inv_k;
+        }
     }
 
     /// Samples the per-queue client counts for one epoch (exposed for the
-    /// engine-agreement and conservation tests).
+    /// engine-agreement and conservation tests). Follows the engine's
+    /// configured mode: the sequential stream consumes the caller's RNG
+    /// draw-by-draw; the sharded stream consumes exactly one `u64` from
+    /// it (the epoch base).
     pub fn sample_assignments(
         &self,
         queues: &[usize],
@@ -210,7 +407,8 @@ impl GraphEngine {
         rng: &mut StdRng,
         state: &mut GraphState,
     ) {
-        let GraphState { queues, counts, home_counts, hist, rates, probs } = state;
+        let GraphState { queues, counts, counts_atomic, home_counts, hist, rates, probs, support } =
+            state;
         if self.full_mesh {
             // Dispatcher identity is irrelevant when every accessible set
             // covers all M queues: take the aggregate engine's exact
@@ -225,31 +423,364 @@ impl GraphEngine {
             );
             return;
         }
-        counts.iter_mut().for_each(|c| *c = 0);
-        // 1. Clients → dispatchers, Multinomial(N, uniform).
-        let m = queues.len();
-        let uniform = 1.0 / m as f64;
-        let mut remaining_n = self.config.num_clients;
-        let mut remaining_mass = 1.0f64;
-        for (i, h) in home_counts.iter_mut().enumerate() {
-            if remaining_n == 0 {
-                *h = 0;
-                continue;
+        match self.mode {
+            StepMode::Sequential => {
+                counts.iter_mut().for_each(|c| *c = 0);
+                // 1. Clients → dispatchers, Multinomial(N, uniform).
+                let m = queues.len();
+                let uniform = 1.0 / m as f64;
+                let mut remaining_n = self.config.num_clients;
+                let mut remaining_mass = 1.0f64;
+                for (i, h) in home_counts.iter_mut().enumerate() {
+                    if remaining_n == 0 {
+                        *h = 0;
+                        continue;
+                    }
+                    let cond =
+                        if i + 1 == m { 1.0 } else { (uniform / remaining_mass).clamp(0.0, 1.0) };
+                    let c = Sampler::binomial(rng, remaining_n, cond);
+                    *h = c;
+                    remaining_n -= c;
+                    remaining_mass -= uniform;
+                }
+                // 2. Per dispatcher: exact multinomial over its neighborhood.
+                for i in 0..m {
+                    if home_counts[i] == 0 {
+                        continue;
+                    }
+                    self.node_probs(i, queues, rule, hist, rates, probs, support);
+                    let row = self.csr.as_ref().expect("sparse path").row(i);
+                    multinomial_add_into(rng, home_counts[i], probs, row, counts);
+                }
             }
-            let cond = if i + 1 == m { 1.0 } else { (uniform / remaining_mass).clamp(0.0, 1.0) };
-            let c = Sampler::binomial(rng, remaining_n, cond);
-            *h = c;
-            remaining_n -= c;
-            remaining_mass -= uniform;
-        }
-        // 2. Per dispatcher: exact multinomial over its neighborhood.
-        for i in 0..m {
-            if home_counts[i] == 0 {
-                continue;
+            StepMode::Sharded => {
+                let epoch_base: u64 = rng.gen();
+                self.run_assignment_pass(queues, home_counts, counts_atomic, rule, epoch_base);
+                for (c, a) in counts.iter_mut().zip(counts_atomic.iter()) {
+                    *c = a.swap(0, Ordering::Relaxed);
+                }
             }
-            self.assign_node(i, home_counts[i], queues, rule, rng, counts, hist, rates, probs);
         }
     }
+
+    /// Sharded phase 1+2: per-shard home counts (dyadic multinomial
+    /// splitting) followed by per-dispatcher assignment draws, with
+    /// routed counts accumulated into the atomic lattice. Shards are
+    /// distributed round-robin over workers; every draw comes from an
+    /// `(epoch_base, entity)`-derived stream, so the outcome is
+    /// independent of the shard/worker partition.
+    fn run_assignment_pass(
+        &self,
+        queues: &[usize],
+        home_counts: &mut [u64],
+        counts_atomic: &[AtomicU64],
+        rule: &DecisionRule,
+        epoch_base: u64,
+    ) {
+        let shard = self.shard_size.max(1);
+        let num_shards = home_counts.len().div_ceil(shard);
+        let workers = self.effective_workers().clamp(1, num_shards.max(1));
+        if workers == 1 {
+            for (s, home) in home_counts.chunks_mut(shard).enumerate() {
+                self.shard_assignment_pass(
+                    s * shard,
+                    home,
+                    queues,
+                    counts_atomic,
+                    rule,
+                    epoch_base,
+                );
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(usize, &mut [u64])>> = (0..workers).map(|_| Vec::new()).collect();
+        for (s, home) in home_counts.chunks_mut(shard).enumerate() {
+            buckets[s % workers].push((s * shard, home));
+        }
+        crossbeam::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move |_| {
+                    for (start, home) in bucket {
+                        self.shard_assignment_pass(
+                            start,
+                            home,
+                            queues,
+                            counts_atomic,
+                            rule,
+                            epoch_base,
+                        );
+                    }
+                });
+            }
+        })
+        .expect("assignment worker panicked");
+    }
+
+    /// Phase 1+2 for one shard `[start, start + home.len())`.
+    fn shard_assignment_pass(
+        &self,
+        start: usize,
+        home: &mut [u64],
+        queues: &[usize],
+        counts_atomic: &[AtomicU64],
+        rule: &DecisionRule,
+        epoch_base: u64,
+    ) {
+        let m = self.config.num_queues;
+        dyadic_home_counts(
+            epoch_base,
+            self.config.num_clients,
+            0,
+            m,
+            start,
+            start + home.len(),
+            home,
+        );
+        let zs = self.config.num_states();
+        let mut hist = vec![0.0; zs];
+        let mut rates = vec![0.0; zs];
+        let mut probs = vec![0.0; self.k];
+        let mut support = Vec::with_capacity(zs);
+        let csr = self.csr.as_ref().expect("sparse path");
+        for (off, &clients) in home.iter().enumerate() {
+            if clients == 0 {
+                continue;
+            }
+            let node = start + off;
+            self.node_probs(node, queues, rule, &mut hist, &mut rates, &mut probs, &mut support);
+            sharded_assign_draws(node, clients, &probs, csr.row(node), epoch_base, |j, c| {
+                counts_atomic[j].fetch_add(c, Ordering::Relaxed);
+            });
+        }
+    }
+
+    /// Sharded phase 3: drain the atomic counts, run every queue's CTMC
+    /// from its `(epoch_base, queue)`-derived stream, and merge the
+    /// integer drop/serve totals (order-free).
+    fn run_service_pass(
+        &self,
+        queues: &mut [usize],
+        counts: &mut [u64],
+        counts_atomic: &[AtomicU64],
+        scale: f64,
+        epoch_base: u64,
+    ) -> (u64, u64) {
+        let shard = self.shard_size.max(1);
+        let num_shards = queues.len().div_ceil(shard);
+        let workers = self.effective_workers().clamp(1, num_shards.max(1));
+        if workers == 1 {
+            let (mut dropped, mut served) = (0u64, 0u64);
+            for (s, (qs, cs)) in queues.chunks_mut(shard).zip(counts.chunks_mut(shard)).enumerate()
+            {
+                let (d, sv) =
+                    self.shard_service_pass(s * shard, qs, cs, counts_atomic, scale, epoch_base);
+                dropped += d;
+                served += sv;
+            }
+            return (dropped, served);
+        }
+        // A shard's work item: (first queue index, queue states, counts).
+        type ShardItem<'a> = (usize, &'a mut [usize], &'a mut [u64]);
+        let mut buckets: Vec<Vec<ShardItem>> = (0..workers).map(|_| Vec::new()).collect();
+        for (s, (qs, cs)) in queues.chunks_mut(shard).zip(counts.chunks_mut(shard)).enumerate() {
+            buckets[s % workers].push((s * shard, qs, cs));
+        }
+        let (mut dropped, mut served) = (0u64, 0u64);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move |_| {
+                        let (mut d, mut sv) = (0u64, 0u64);
+                        for (start, qs, cs) in bucket {
+                            let (bd, bs) = self.shard_service_pass(
+                                start,
+                                qs,
+                                cs,
+                                counts_atomic,
+                                scale,
+                                epoch_base,
+                            );
+                            d += bd;
+                            sv += bs;
+                        }
+                        (d, sv)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (d, sv) = h.join().expect("service worker panicked");
+                dropped += d;
+                served += sv;
+            }
+        })
+        .expect("service worker panicked");
+        (dropped, served)
+    }
+
+    /// Phase 3 for one shard `[start, start + queues.len())`.
+    fn shard_service_pass(
+        &self,
+        start: usize,
+        queues: &mut [usize],
+        counts: &mut [u64],
+        counts_atomic: &[AtomicU64],
+        scale: f64,
+        epoch_base: u64,
+    ) -> (u64, u64) {
+        let (mut dropped, mut served) = (0u64, 0u64);
+        for (off, (q, c)) in queues.iter_mut().zip(counts.iter_mut()).enumerate() {
+            let j = start + off;
+            let cj = counts_atomic[j].swap(0, Ordering::Relaxed);
+            *c = cj;
+            if cj == 0 && *q == 0 {
+                continue; // idle empty queue: nothing can happen
+            }
+            let mut rng = stream_rng(epoch_base, SALT_SERVE, j as u64);
+            let model = mflb_queue::BirthDeathQueue::new(
+                scale * cj as f64,
+                self.config.service_rate,
+                self.config.buffer,
+            );
+            let outcome = model.simulate_epoch(*q, self.config.dt, &mut rng);
+            *q = outcome.final_state;
+            dropped += outcome.drops;
+            served += outcome.served;
+        }
+        (dropped, served)
+    }
+
+    /// One sharded epoch: a single `epoch_base` draw from the episode RNG
+    /// re-keys all phase streams; both passes run shard-parallel.
+    fn step_sharded(
+        &self,
+        state: &mut GraphState,
+        rule: &DecisionRule,
+        lambda: f64,
+        rng: &mut StdRng,
+    ) -> EpochStats {
+        let epoch_base: u64 = rng.gen();
+        let GraphState { queues, counts, counts_atomic, home_counts, .. } = state;
+        self.run_assignment_pass(queues, home_counts, counts_atomic, rule, epoch_base);
+        let m = queues.len();
+        let scale = m as f64 * lambda / self.config.num_clients as f64;
+        let (dropped, served) =
+            self.run_service_pass(queues, counts, counts_atomic, scale, epoch_base);
+        length_epoch_stats(queues, counts, self.config.num_clients, dropped, served)
+    }
+}
+
+/// Derives the RNG for one `(phase, entity)` pair of one sharded epoch:
+/// a SplitMix64-style scramble of `(epoch_base ^ salt) + idx·φ` seeds the
+/// engine-wide `StdRng` (whose `seed_from_u64` adds four more SplitMix64
+/// rounds), keeping streams decorrelated across entities and phases.
+fn stream_rng(epoch_base: u64, salt: u64, idx: u64) -> StdRng {
+    let mut z = (epoch_base ^ salt).wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Writes the `Multinomial(N, uniform)` home counts for dispatchers in
+/// `[a, b)` into `out` by descending a **fixed dyadic splitting tree**
+/// over `[lo, hi)`: each internal node draws `Binomial(n, left/width)`
+/// from its own `(epoch_base, node)`-derived stream to split its client
+/// mass between halves. The tree shape depends only on `M`, so every
+/// shard recomputes the `O(log M)` ancestors of its range plus its own
+/// subtree and gets counts that are **independent of the shard
+/// partition** — the key to bit-identical episodes across shard sizes.
+fn dyadic_home_counts(
+    epoch_base: u64,
+    clients: u64,
+    lo: usize,
+    hi: usize,
+    a: usize,
+    b: usize,
+    out: &mut [u64],
+) {
+    if hi <= a || lo >= b {
+        return; // subtree entirely outside the shard
+    }
+    if hi - lo == 1 {
+        out[lo - a] = clients;
+        return;
+    }
+    if clients == 0 {
+        out[lo.max(a) - a..hi.min(b) - a].iter_mut().for_each(|h| *h = 0);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let p = (mid - lo) as f64 / (hi - lo) as f64;
+    // (lo, hi) identifies the tree node; hi ≤ M < 2³² cannot collide.
+    let key = ((lo as u64) << 32).wrapping_add(hi as u64);
+    let mut rng = stream_rng(epoch_base, SALT_HOME, key);
+    let left = Sampler::binomial(&mut rng, clients, p);
+    dyadic_home_counts(epoch_base, left, lo, mid, a, b, out);
+    dyadic_home_counts(epoch_base, clients - left, mid, hi, a, b, out);
+}
+
+/// Draws one dispatcher's `Multinomial(clients, probs)` from its
+/// `(epoch_base, node)`-derived stream and feeds nonzero category counts
+/// to `add(queue, count)`. Small client batches use per-client categorical
+/// inversion over the `k`-entry support (the "cumulative sampling over the
+/// nonzero support" of the sparse design — cheaper than `k` binomials
+/// when `N/M` is small); larger ones the conditional-binomial chain. The
+/// branch depends only on `clients`, never on the partition.
+fn sharded_assign_draws(
+    node: usize,
+    clients: u64,
+    probs: &[f64],
+    targets: &[u32],
+    epoch_base: u64,
+    mut add: impl FnMut(usize, u64),
+) {
+    debug_assert_eq!(probs.len(), targets.len());
+    let mut rng = stream_rng(epoch_base, SALT_ASSIGN, node as u64);
+    if clients <= PER_CLIENT_DRAW_MAX {
+        for _ in 0..clients {
+            let t = categorical_positive(&mut rng, probs);
+            add(targets[t] as usize, 1);
+        }
+        return;
+    }
+    let mut remaining_n = clients;
+    let mut remaining_mass: f64 = probs.iter().sum();
+    for (t, &p) in probs.iter().enumerate() {
+        if remaining_n == 0 {
+            break;
+        }
+        let c = if t + 1 == probs.len() || (p > 0.0 && remaining_mass <= p) {
+            remaining_n
+        } else {
+            Sampler::binomial(&mut rng, remaining_n, (p / remaining_mass).clamp(0.0, 1.0))
+        };
+        if c > 0 {
+            add(targets[t] as usize, c);
+        }
+        remaining_n -= c;
+        remaining_mass -= p;
+    }
+    debug_assert_eq!(remaining_n, 0, "every client must land in the neighborhood");
+}
+
+/// Inversion sample over an unnormalized pmf that never lands on a
+/// zero-probability category (floating-point slack falls back to the
+/// last *positive* entry, mirroring [`multinomial_add_into`]'s absorb
+/// rule).
+fn categorical_positive(rng: &mut StdRng, pmf: &[f64]) -> usize {
+    let total: f64 = pmf.iter().sum();
+    let mut u = rng.gen::<f64>() * total;
+    let mut last_positive = 0usize;
+    for (t, &p) in pmf.iter().enumerate() {
+        if p > 0.0 {
+            last_positive = t;
+            u -= p;
+            if u <= 0.0 {
+                return t;
+            }
+        }
+    }
+    last_positive
 }
 
 /// Samples `Multinomial(n, probs)` by conditional binomials and **adds**
@@ -261,7 +792,7 @@ fn multinomial_add_into(
     rng: &mut StdRng,
     n: u64,
     probs: &[f64],
-    targets: &[usize],
+    targets: &[u32],
     counts: &mut [u64],
 ) {
     debug_assert_eq!(probs.len(), targets.len());
@@ -282,7 +813,7 @@ fn multinomial_add_into(
         } else {
             Sampler::binomial(rng, remaining_n, (p / remaining_mass).clamp(0.0, 1.0))
         };
-        counts[targets[t]] += c;
+        counts[targets[t] as usize] += c;
         remaining_n -= c;
         remaining_mass -= p;
     }
@@ -316,6 +847,9 @@ impl Engine for GraphEngine {
         rng: &mut StdRng,
     ) -> EpochStats {
         debug_assert_eq!(state.queues.len(), self.config.num_queues);
+        if !self.full_mesh && self.mode == StepMode::Sharded {
+            return self.step_sharded(state, rule, lambda, rng);
+        }
         self.sample_assignments_into(rule, rng, state);
         let GraphState { queues, counts, .. } = state;
         let m = queues.len();
@@ -365,12 +899,14 @@ mod tests {
             Topology::Torus { radius: 1 },
             Topology::RandomRegular { degree: 4, seed: 3 },
         ] {
-            let engine = GraphEngine::new(cfg.clone(), top.clone());
-            let queues: Vec<usize> = (0..36).map(|j| j % 6).collect();
-            let mut rng = StdRng::seed_from_u64(1);
-            for rule in [DecisionRule::uniform(6, 2), jsq_rule()] {
-                let counts = engine.sample_assignments(&queues, &rule, &mut rng);
-                assert_eq!(counts.iter().sum::<u64>(), 10_000, "{top:?}");
+            for mode in [StepMode::Sequential, StepMode::Sharded] {
+                let engine = GraphEngine::new(cfg.clone(), top.clone()).with_mode(mode);
+                let queues: Vec<usize> = (0..36).map(|j| j % 6).collect();
+                let mut rng = StdRng::seed_from_u64(1);
+                for rule in [DecisionRule::uniform(6, 2), jsq_rule()] {
+                    let counts = engine.sample_assignments(&queues, &rule, &mut rng);
+                    assert_eq!(counts.iter().sum::<u64>(), 10_000, "{top:?} {mode:?}");
+                }
             }
         }
     }
@@ -384,10 +920,14 @@ mod tests {
         let mut counts = vec![0u64; 20];
         engine.sample_node_assignments(7, 1_000, &queues, &jsq_rule(), &mut rng, &mut counts);
         assert_eq!(counts.iter().sum::<u64>(), 1_000);
+        let mut sharded = vec![0u64; 20];
+        engine.sample_node_assignments_sharded(7, 1_000, &queues, &jsq_rule(), 99, &mut sharded);
+        assert_eq!(sharded.iter().sum::<u64>(), 1_000);
         let nbrs = engine.neighborhood(7);
-        for (j, &c) in counts.iter().enumerate() {
+        for j in 0..20u32 {
             if !nbrs.contains(&j) {
-                assert_eq!(c, 0, "queue {j} is outside A(7) = {nbrs:?}");
+                assert_eq!(counts[j as usize], 0, "queue {j} is outside A(7) = {nbrs:?}");
+                assert_eq!(sharded[j as usize], 0, "queue {j} is outside A(7) = {nbrs:?}");
             }
         }
     }
@@ -441,6 +981,60 @@ mod tests {
     }
 
     #[test]
+    fn sharded_episodes_are_bit_identical_across_shard_and_worker_counts() {
+        // The sharded stream's defining property: the (shard size, worker
+        // count) pair is pure execution detail. One shard on one thread,
+        // many tiny shards on one thread, and many shards on many threads
+        // must produce byte-identical episodes.
+        let cfg = SystemConfig::paper().with_size(2_000, 60).with_dt(2.0);
+        let policy = FixedRulePolicy::new(jsq_rule(), "JSQ(2)");
+        let base = GraphEngine::new(cfg.clone(), Topology::Ring { radius: 2 })
+            .with_mode(StepMode::Sharded);
+        let reference = run_episode(
+            &base.clone().with_shard_size(1 << 20).with_workers(1),
+            &policy,
+            12,
+            &mut run_rng(21, 0),
+        );
+        for (shard_size, workers) in [(7usize, 1usize), (16, 3), (1, 4), (60, 2)] {
+            let engine = base.clone().with_shard_size(shard_size).with_workers(workers);
+            let out = run_episode(&engine, &policy, 12, &mut run_rng(21, 0));
+            assert_eq!(
+                out.drops_per_epoch, reference.drops_per_epoch,
+                "shard_size={shard_size} workers={workers}"
+            );
+            assert_eq!(out.mean_queue_len, reference.mean_queue_len);
+            assert_eq!(out.max_share_per_epoch, reference.max_share_per_epoch);
+            assert_eq!(out.jobs_completed, reference.jobs_completed);
+        }
+    }
+
+    #[test]
+    fn sequential_and_sharded_agree_in_law() {
+        // Different streams, same distribution: long-run per-queue count
+        // means under RND must match λ·N/M for both modes, and the two
+        // modes' empirical means must agree with each other.
+        let cfg = SystemConfig::paper().with_size(4_000, 36);
+        let top = Topology::Torus { radius: 1 };
+        let seq = GraphEngine::new(cfg.clone(), top.clone()).with_mode(StepMode::Sequential);
+        let sha = GraphEngine::new(cfg, top).with_mode(StepMode::Sharded).with_shard_size(13);
+        let queues: Vec<usize> = (0..36).map(|j| (j * 7) % 6).collect();
+        let rule = jsq_rule();
+        let reps = 200;
+        let (mut rng_a, mut rng_b) = (StdRng::seed_from_u64(8), StdRng::seed_from_u64(9));
+        let (mut tot_seq, mut tot_sha) = (0u64, 0u64);
+        for _ in 0..reps {
+            tot_seq += seq.sample_assignments(&queues, &rule, &mut rng_a)[0];
+            tot_sha += sha.sample_assignments(&queues, &rule, &mut rng_b)[0];
+        }
+        let (mean_seq, mean_sha) = (tot_seq as f64 / reps as f64, tot_sha as f64 / reps as f64);
+        assert!(
+            (mean_seq - mean_sha).abs() < 0.1 * mean_seq.max(1.0),
+            "mode laws must agree: sequential {mean_seq} vs sharded {mean_sha}"
+        );
+    }
+
+    #[test]
     fn rnd_marginals_match_the_mesh_but_jsq_localizes() {
         // Under RND, locality is invisible in law (each client lands on a
         // uniformly random queue either way): per-queue count means match
@@ -480,13 +1074,47 @@ mod tests {
     }
 
     #[test]
-    fn zero_arrival_rate_only_drains() {
-        let cfg = SystemConfig::paper().with_size(100, 10).with_dt(50.0);
-        let engine = GraphEngine::new(cfg, Topology::Ring { radius: 1 });
-        let mut state = GraphState::from_queues(vec![5usize; 10], 6, 3);
-        let mut rng = StdRng::seed_from_u64(5);
-        let stats = engine.step(&mut state, &DecisionRule::uniform(6, 2), 0.0, &mut rng);
-        assert_eq!(stats.drops, 0.0);
-        assert!(state.queues().iter().all(|&z| z == 0), "queues must drain: {:?}", state.queues());
+    fn zero_arrival_rate_only_drains_in_both_modes() {
+        for mode in [StepMode::Sequential, StepMode::Sharded] {
+            let cfg = SystemConfig::paper().with_size(100, 10).with_dt(50.0);
+            let engine = GraphEngine::new(cfg, Topology::Ring { radius: 1 }).with_mode(mode);
+            let mut state = GraphState::from_queues(vec![5usize; 10], 6, 3);
+            let mut rng = StdRng::seed_from_u64(5);
+            let stats = engine.step(&mut state, &DecisionRule::uniform(6, 2), 0.0, &mut rng);
+            assert_eq!(stats.drops, 0.0, "{mode:?}");
+            assert!(
+                state.queues().iter().all(|&z| z == 0),
+                "queues must drain ({mode:?}): {:?}",
+                state.queues()
+            );
+        }
+    }
+
+    #[test]
+    fn large_systems_auto_select_sharded_mode_and_small_ones_do_not() {
+        let small = GraphEngine::new(
+            SystemConfig::paper().with_size(400, 100),
+            Topology::Ring { radius: 2 },
+        );
+        assert_eq!(small.mode(), StepMode::Sequential);
+        let large = GraphEngine::new(
+            SystemConfig::paper().with_size(40_000, 10_000),
+            Topology::Ring { radius: 2 },
+        );
+        assert_eq!(large.mode(), StepMode::Sharded);
+    }
+
+    #[test]
+    fn dyadic_home_counts_are_partition_independent_and_conserving() {
+        let (m, n, base) = (37usize, 10_000u64, 0xFEED_u64);
+        let mut whole = vec![0u64; m];
+        dyadic_home_counts(base, n, 0, m, 0, m, &mut whole);
+        assert_eq!(whole.iter().sum::<u64>(), n);
+        // Recompute each sub-range independently: identical counts.
+        for (a, b) in [(0usize, 5usize), (5, 6), (6, 20), (20, 37)] {
+            let mut part = vec![0u64; b - a];
+            dyadic_home_counts(base, n, 0, m, a, b, &mut part);
+            assert_eq!(part, whole[a..b], "range [{a},{b})");
+        }
     }
 }

@@ -55,7 +55,7 @@ pub use episode::{
     EpochStats,
 };
 pub use fifo_engine::FifoEngine;
-pub use graph_engine::{GraphEngine, GraphState};
+pub use graph_engine::{GraphEngine, GraphState, StepMode};
 pub use hetero::HeteroEngine;
 pub use monte_carlo::{monte_carlo, monte_carlo_conditioned, MonteCarloResult};
 pub use ph_engine::{sample_initial_ph_queues, PhAggregateEngine};

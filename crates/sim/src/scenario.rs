@@ -59,11 +59,13 @@
 //! | `{"Staggered": {"cohorts": k}}` | cohort-staggered refreshes | `k ≥ 1`; `buffer ≤ 255` |
 //! | `{"Hetero": {"rates": [α…]}}` | heterogeneous pool | non-empty, `len == num_queues`, all rates > 0 and finite |
 //! | `{"Ph": {"service": law}}` | phase-type service | see laws below |
-//! | `{"Graph": {"topology": top}}` | locality-constrained routing | see topologies below |
+//! | `{"Graph": {"topology": top, "shard_size": s}}` | locality-constrained routing | see topologies below; `shard_size` is optional (≥ 1 when given — forces sharded parallel stepping with that dispatcher range per shard; omitted = auto by system size) |
 //!
 //! Topologies for `Graph` (the [`mflb_core::Topology`] families; clients
 //! sample their `d` queues from the dispatcher's closed neighborhood
-//! instead of all `M` queues — see the "locality" section of the README):
+//! instead of all `M` queues — see the "Locality" and "Scaling" sections
+//! of the README). All are stored CSR and built by `O(M·d)` streaming
+//! generators, so million-queue specs stay cheap to materialize:
 //!
 //! | JSON | topology | validation |
 //! |---|---|---|
@@ -255,6 +257,14 @@ pub enum EngineSpec {
         /// The neighborhood structure (ring / torus / random-regular /
         /// full mesh).
         topology: Topology,
+        /// Forces the sharded parallel stepping path with this contiguous
+        /// dispatcher range per shard (≥ 1). Omitted: the engine picks its
+        /// mode by system size. Sharded episodes are bit-identical for
+        /// **any** shard size and worker count, so this knob only affects
+        /// wall-clock; worker threads stay an execution-level setting
+        /// ([`AnyEngine::with_workers`]), never part of the spec.
+        #[serde(default)]
+        shard_size: Option<usize>,
     },
 }
 
@@ -309,7 +319,10 @@ impl Scenario {
                 Ok(())
             }
             EngineSpec::Ph { service } => service.validate().map_err(|e| format!("service: {e}")),
-            EngineSpec::Graph { topology } => {
+            EngineSpec::Graph { topology, shard_size } => {
+                if let Some(0) = shard_size {
+                    return Err("graph shard_size must be at least 1".into());
+                }
                 topology.validate(self.config.num_queues).map_err(|e| format!("topology: {e}"))
             }
         }
@@ -336,8 +349,14 @@ impl Scenario {
                 AnyEngine::Ph(PhAggregateEngine::new(self.config.clone(), service.build()?))
             }
             EngineSpec::JobLevel => AnyEngine::JobLevel(FifoEngine::new(self.config.clone())),
-            EngineSpec::Graph { topology } => {
-                AnyEngine::Graph(GraphEngine::new(self.config.clone(), topology.clone()))
+            EngineSpec::Graph { topology, shard_size } => {
+                let mut engine = GraphEngine::new(self.config.clone(), topology.clone());
+                if let Some(s) = shard_size {
+                    engine = engine
+                        .with_mode(crate::graph_engine::StepMode::Sharded)
+                        .with_shard_size(*s);
+                }
+                AnyEngine::Graph(engine)
             }
         })
     }
@@ -374,6 +393,21 @@ pub enum AnyEngine {
     JobLevel(FifoEngine),
     /// Locality-constrained graph engine.
     Graph(GraphEngine),
+}
+
+impl AnyEngine {
+    /// Sets the worker-thread count for engines with a parallel stepping
+    /// path (`0` = one per available core; a no-op for every other
+    /// engine). Currently that is the sharded [`GraphEngine`]. Never part
+    /// of a [`Scenario`] spec: sharded episodes are bit-identical for any
+    /// worker count, so this is pure execution configuration (the CLI
+    /// wires `--workers` through here).
+    pub fn with_workers(self, workers: usize) -> Self {
+        match self {
+            AnyEngine::Graph(e) => AnyEngine::Graph(e.with_workers(workers)),
+            other => other,
+        }
+    }
 }
 
 /// Episode state of [`AnyEngine`] (one variant per engine).
@@ -474,9 +508,12 @@ mod tests {
             EngineSpec::Staggered { cohorts: 4 },
             EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: 2.0 } },
             EngineSpec::JobLevel,
-            EngineSpec::Graph { topology: Topology::Ring { radius: 2 } },
-            EngineSpec::Graph { topology: Topology::RandomRegular { degree: 4, seed: 1 } },
-            EngineSpec::Graph { topology: Topology::FullMesh },
+            EngineSpec::Graph { topology: Topology::Ring { radius: 2 }, shard_size: None },
+            EngineSpec::Graph {
+                topology: Topology::RandomRegular { degree: 4, seed: 1 },
+                shard_size: None,
+            },
+            EngineSpec::Graph { topology: Topology::FullMesh, shard_size: None },
         ]
     }
 
@@ -540,18 +577,24 @@ mod tests {
                 "scv needing more phases than the cap",
                 EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: 1e-9 } },
             ),
-            ("zero-radius ring", EngineSpec::Graph { topology: Topology::Ring { radius: 0 } }),
+            (
+                "zero-radius ring",
+                EngineSpec::Graph { topology: Topology::Ring { radius: 0 }, shard_size: None },
+            ),
             (
                 "ring wider than the cycle",
-                EngineSpec::Graph { topology: Topology::Ring { radius: 5 } },
+                EngineSpec::Graph { topology: Topology::Ring { radius: 5 }, shard_size: None },
             ),
             (
                 "torus on a non-square queue count",
-                EngineSpec::Graph { topology: Topology::Torus { radius: 1 } },
+                EngineSpec::Graph { topology: Topology::Torus { radius: 1 }, shard_size: None },
             ),
             (
                 "random-regular degree beyond M",
-                EngineSpec::Graph { topology: Topology::RandomRegular { degree: 10, seed: 1 } },
+                EngineSpec::Graph {
+                    topology: Topology::RandomRegular { degree: 10, seed: 1 },
+                    shard_size: None,
+                },
             ),
         ];
         for (what, spec) in cases {

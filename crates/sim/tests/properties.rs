@@ -6,7 +6,7 @@ use mflb_core::mdp::FixedRulePolicy;
 use mflb_core::meanfield::per_state_arrival_rates;
 use mflb_core::{DecisionRule, StateDist, SystemConfig, Topology};
 use mflb_sim::aggregate::sample_client_assignments;
-use mflb_sim::{run_episode, run_rng, AggregateEngine, GraphEngine};
+use mflb_sim::{run_episode, run_rng, AggregateEngine, GraphEngine, StepMode};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -163,7 +163,7 @@ proptest! {
             prop_assert_eq!(counts.iter().sum::<u64>(), clients);
             let nbrs = engine.neighborhood(node);
             for (j, &c) in counts.iter().enumerate() {
-                if !nbrs.contains(&j) {
+                if !nbrs.contains(&(j as u32)) {
                     prop_assert_eq!(
                         c, 0,
                         "queue {} outside A({}) = {:?} got clients", j, node, nbrs
@@ -201,6 +201,99 @@ proptest! {
             prop_assert_eq!(&got.drops_per_epoch, &reference.drops_per_epoch, "{:?}", &top);
             prop_assert_eq!(&got.mean_queue_len, &reference.mean_queue_len, "{:?}", &top);
             prop_assert_eq!(&got.lambda_trace, &reference.lambda_trace, "{:?}", &top);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sharded_episodes_are_partition_invariant(
+        m in 10usize..48,
+        n in 100u64..20_000,
+        shard_a in 1usize..64,
+        shard_b in 1usize..64,
+        workers in 1usize..5,
+        seed in 0u64..10_000,
+    ) {
+        // The defining property of the sharded stream: shard size and
+        // worker count are pure execution detail. Any (shard, workers)
+        // pair — including the 1-shard degenerate split — must produce
+        // byte-identical episodes.
+        let mut top_rng = StdRng::seed_from_u64(seed ^ 0xC33E);
+        let top = topology_strategy(m).generate(&mut top_rng);
+        // Full-mesh covers always take the aggregate path; the sharded
+        // invariant is vacuous there.
+        if !top.is_full_mesh(m) {
+            let cfg = SystemConfig::paper().with_size(n, m).with_dt(2.0);
+            let policy = FixedRulePolicy::new(mflb_policy::jsq_rule(6, 2), "JSQ(2)");
+            let base = GraphEngine::new(cfg, top).with_mode(StepMode::Sharded);
+            let one = base.clone().with_shard_size(1 << 20).with_workers(1);
+            let reference = run_episode(&one, &policy, 6, &mut run_rng(seed, 0));
+            let split = base.with_shard_size(shard_a.min(shard_b)).with_workers(workers);
+            let got = run_episode(&split, &policy, 6, &mut run_rng(seed, 0));
+            prop_assert_eq!(&got.drops_per_epoch, &reference.drops_per_epoch);
+            prop_assert_eq!(&got.mean_queue_len, &reference.mean_queue_len);
+            prop_assert_eq!(&got.max_share_per_epoch, &reference.max_share_per_epoch);
+            prop_assert_eq!(got.jobs_completed, reference.jobs_completed);
+        }
+    }
+
+    #[test]
+    fn sharded_assignments_conserve_job_mass(
+        queues in profile_strategy(),
+        rule in rule_strategy(),
+        n in 1u64..50_000,
+        shard in 1usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let m = queues.len();
+        let mut top_rng = StdRng::seed_from_u64(seed ^ 0xD44F);
+        let top = topology_strategy(m).generate(&mut top_rng);
+        let cfg = SystemConfig::paper().with_size(n.max(1), m);
+        let engine = GraphEngine::new(cfg, top)
+            .with_mode(StepMode::Sharded)
+            .with_shard_size(shard);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = engine.sample_assignments(&queues, &rule, &mut rng);
+        prop_assert_eq!(counts.len(), m);
+        prop_assert_eq!(counts.iter().sum::<u64>(), n, "every client lands somewhere");
+    }
+
+    #[test]
+    fn sharded_routing_never_leaves_the_neighborhood(
+        queues in profile_strategy(),
+        rule in rule_strategy(),
+        node_pick in 0usize..1_000,
+        clients in 1u64..20_000,
+        epoch_base in 0u64..u64::MAX,
+        seed in 0u64..10_000,
+    ) {
+        // The per-dispatcher derived stream (both the ≤16-client
+        // per-client path and the binomial chain above it) must respect
+        // A(i) for any epoch base.
+        let m = queues.len();
+        let mut top_rng = StdRng::seed_from_u64(seed ^ 0xE55A);
+        let top = topology_strategy(m).generate(&mut top_rng);
+        if !top.is_full_mesh(m) {
+            let cfg = SystemConfig::paper().with_size(clients, m);
+            let engine = GraphEngine::new(cfg, top);
+            let node = node_pick % m;
+            let mut counts = vec![0u64; m];
+            engine.sample_node_assignments_sharded(
+                node, clients, &queues, &rule, epoch_base, &mut counts,
+            );
+            prop_assert_eq!(counts.iter().sum::<u64>(), clients);
+            let nbrs = engine.neighborhood(node);
+            for (j, &c) in counts.iter().enumerate() {
+                if !nbrs.contains(&(j as u32)) {
+                    prop_assert_eq!(
+                        c, 0,
+                        "queue {} outside A({}) = {:?} got clients", j, node, nbrs
+                    );
+                }
+            }
         }
     }
 }

@@ -32,7 +32,7 @@ fn main() {
     let ring = Scenario::from_json(&text).expect("shipped scenario must parse");
     let config = ring.config.clone();
     let radius = match &ring.engine {
-        EngineSpec::Graph { topology: Topology::Ring { radius } } => *radius,
+        EngineSpec::Graph { topology: Topology::Ring { radius }, .. } => *radius,
         other => panic!("graph_ring.json must hold a ring topology, got {other:?}"),
     };
     let k = 2 * radius + 1;
@@ -51,7 +51,10 @@ fn main() {
     // observations*, so locality comes entirely from the engine's sampling.
     let jsq = FixedRulePolicy::new(jsq_rule(zs, d), "JSQ(2)");
     let rnd = FixedRulePolicy::new(rnd_rule(zs, d), "RND");
-    let mesh = Scenario::new(config.clone(), EngineSpec::Graph { topology: Topology::FullMesh });
+    let mesh = Scenario::new(
+        config.clone(),
+        EngineSpec::Graph { topology: Topology::FullMesh, shard_size: None },
+    );
 
     println!("\n{:<10} {:>16} {:>16}", "policy", "ring drops/q", "mesh drops/q");
     let mut ring_jsq_mean = 0.0;

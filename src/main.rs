@@ -119,7 +119,7 @@ fn build_scenario() -> Scenario {
             EngineSpec::Ph { service: ServiceLaw::MeanScv { mean: 1.0, scv: parse("--scv", 2.0) } }
         }
         "joblevel" => EngineSpec::JobLevel,
-        "graph" => EngineSpec::Graph { topology: build_topology() },
+        "graph" => EngineSpec::Graph { topology: build_topology(), shard_size: None },
         other => fail(format!(
             "unknown --engine '{other}' (aggregate|perclient|staggered|ph|joblevel|graph; \
              heterogeneous pools need a --scenario file)"
@@ -554,7 +554,12 @@ fn cmd_simulate() {
     let runs: usize = parse("--runs", 20);
     let seed: u64 = parse("--seed", 1);
     let horizon = config.eval_episode_len();
-    let engine = scenario.build().unwrap_or_else(|e| fail(e));
+    let workers = workers_flag(0);
+    // Engine-internal workers (the sharded graph engine's shard fan-out;
+    // never affects results) vs the Monte-Carlo run fan-out: a single
+    // sharded run parallelizes inside the epoch, so keep the run pool
+    // sequential when the engine itself goes wide.
+    let engine = scenario.build().unwrap_or_else(|e| fail(e)).with_workers(workers);
     let mc = monte_carlo(&engine, policy.as_ref(), horizon, runs, seed, 0);
     println!(
         "finite system engine={} N={} M={} Δt={} Te={horizon} policy={}",
@@ -708,13 +713,23 @@ fn cmd_scv_compare() {
 fn cmd_bench() {
     let quick = has_flag("--quick");
     let workers: usize = workers_flag(1);
-    let out = arg("--out").unwrap_or_else(|| "BENCH_kernels.json".into());
+    let suite = arg("--suite").unwrap_or_else(|| "kernels".into());
+    let default_out = match suite.as_str() {
+        "kernels" => "BENCH_kernels.json",
+        "graph" => "BENCH_graph.json",
+        other => fail_usage(format!("unknown bench suite '{other}' (kernels | graph)")),
+    };
+    let out = arg("--out").unwrap_or_else(|| default_out.into());
     println!(
-        "perf suite: {} scale, {workers} worker(s) — pinned seeds, wall-clock + throughput",
+        "perf suite '{suite}': {} scale, {workers} worker(s) — pinned seeds, \
+         wall-clock + throughput",
         if quick { "quick" } else { "full" }
     );
     let t0 = std::time::Instant::now();
-    let report = mflb::bench::perf::run_suite(quick, workers);
+    let report = match suite.as_str() {
+        "graph" => mflb::bench::perf::run_graph_suite(quick, workers),
+        _ => mflb::bench::perf::run_suite(quick, workers),
+    };
     println!(
         "{:<36} {:>8} {:>12} {:>14} {:>12} {:>9}",
         "benchmark", "iters", "per-op", "throughput", "baseline", "speedup"
@@ -748,22 +763,35 @@ fn cmd_validate() {
         eprintln!("usage: mflb validate <scenario.json> [more.json ...]");
         std::process::exit(2);
     }
+    // Above this many queues a full engine build materializes a
+    // multi-megabyte CSR topology per file; semantic validation
+    // (`Scenario::validate`, which includes the topology checks) already
+    // catches everything a build would, so huge specs are validated
+    // without materializing the graph.
+    const BUILD_MAX_QUEUES: usize = 200_000;
     let mut failures = 0usize;
     for path in &files {
         let verdict = std::fs::read_to_string(path)
             .map_err(|e| format!("read: {e}"))
             .and_then(|text| Scenario::from_json(&text).map_err(|e| format!("parse: {e}")))
             .and_then(|scenario| {
-                scenario.build().map(|engine| (scenario, engine)).map_err(|e| format!("build: {e}"))
+                if scenario.config.num_queues > BUILD_MAX_QUEUES {
+                    scenario.validate().map_err(|e| format!("validate: {e}"))?;
+                    Ok((scenario, false))
+                } else {
+                    scenario.build().map_err(|e| format!("build: {e}"))?;
+                    Ok((scenario, true))
+                }
             });
         match verdict {
-            Ok((scenario, _engine)) => {
+            Ok((scenario, built)) => {
                 println!(
-                    "OK    {path} (engine={}, M={}, N={}, Δt={})",
+                    "OK    {path} (engine={}, M={}, N={}, Δt={}{})",
                     engine_slug(&scenario.engine),
                     scenario.config.num_queues,
                     scenario.config.num_clients,
-                    scenario.config.dt
+                    scenario.config.dt,
+                    if built { "" } else { "; topology checked without materializing" }
                 );
             }
             Err(e) => {
@@ -894,7 +922,9 @@ fn usage() -> String {
         "  dp-solve     solve the lattice DP (certified optimum), optionally --out <json>",
         "  scv-compare  phase-type service: mean-field vs finite at a given --scv",
         "  fit-mmpp     estimate an L-level MMPP from a rate trace (--trace <file>, --levels L)",
-        "  bench        run the tracked perf suite -> BENCH_kernels.json (--quick for CI scale)",
+        "  bench        run a tracked perf suite -> BENCH_<suite>.json (--quick for CI scale;",
+        "               --suite kernels|graph — graph covers sparse rates, sharded epochs,",
+        "               CSR builds at up to 10^6 queues)",
         "  bench-diff   gate a fresh perf report against the committed baseline",
         "               (--baseline <json> --fresh <json> [--max-ratio 1.3])",
         "  validate     validate scenario spec files (exit 1 on any invalid file)",

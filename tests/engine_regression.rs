@@ -15,7 +15,7 @@ use mflb::queue::hetero::ServerPool;
 use mflb::queue::{ArrivalProcess, PhaseType};
 use mflb::sim::{
     run_episode, run_rng, AggregateEngine, EngineSpec, GraphEngine, HeteroEngine, PerClientEngine,
-    PhAggregateEngine, Scenario, ServiceLaw, StaggeredEngine,
+    PhAggregateEngine, Scenario, ServiceLaw, StaggeredEngine, StepMode,
 };
 
 /// High constant load makes drops frequent, so the pinned totals are
@@ -90,6 +90,21 @@ fn ring_graph_engine_reproduces_its_introduction_drops() {
     let engine = GraphEngine::new(cfg, Topology::Ring { radius: 2 });
     let drops = run_episode(&engine, &jsq(), 20, &mut run_rng(0xC0FFEE, 6)).total_drops;
     assert_eq!(drops.to_bits(), 0x4011333333333333, "got {drops}");
+}
+
+#[test]
+fn sharded_ring_graph_engine_reproduces_its_introduction_drops() {
+    // Pinned at the PR that introduced sharded epoch stepping: the
+    // derived-stream scheme (dyadic home counts, per-dispatcher assignment
+    // streams, per-queue service streams) is a regression contract of its
+    // own, independent of the shard size and worker count actually used.
+    let cfg = hot(SystemConfig::paper().with_size(900, 30).with_dt(3.0));
+    let base = GraphEngine::new(cfg, Topology::Ring { radius: 2 }).with_mode(StepMode::Sharded);
+    for (shard, workers) in [(1 << 20, 1), (7, 3)] {
+        let engine = base.clone().with_shard_size(shard).with_workers(workers);
+        let drops = run_episode(&engine, &jsq(), 20, &mut run_rng(0xC0FFEE, 6)).total_drops;
+        assert_eq!(drops.to_bits(), 0x4013333333333332, "got {drops} ({shard}, {workers})");
+    }
 }
 
 #[test]
