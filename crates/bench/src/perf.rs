@@ -629,6 +629,144 @@ pub fn run_graph_suite(quick: bool, workers: usize) -> BenchReport {
     BenchReport { unix_time, quick, workers, entries }
 }
 
+/// Runs the serving suite behind `mflb bench --suite serve`
+/// (`BENCH_serve_quick.json` is its committed CI baseline).
+///
+/// Two gated kernels time the event engine's algorithmic choices against
+/// their naive twins on the same machine and inputs: the binary-heap
+/// [`mflb_sim::Timeline`] against a linear-scan min-extraction over the
+/// same event batch, and the once-per-`Δt` sampled-and-delayed
+/// observation refresh against recomputing the empirical histogram for
+/// every dispatched job. The untracked throughput entries record the
+/// ROADMAP bar — jobs dispatched per wall-clock second through the full
+/// [`mflb_sim::serve()`] loop — for a synthetic Poisson/MMPP stream at
+/// M = 100 and M = 1000 queues and for a replayed 50k-job trace.
+pub fn run_serve_suite(quick: bool, workers: usize) -> BenchReport {
+    use mflb_core::mdp::FixedRulePolicy;
+    use mflb_core::{JobSizeLaw, StateDist};
+    use mflb_policy::jsq_rule;
+    use mflb_sim::{serve, EventEngine, Job, JobSource, ServeOptions, Timeline};
+
+    let unix_time =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs();
+    let scale = if quick { 1 } else { 10 };
+    let mut entries = Vec::new();
+
+    // --- 1. Timeline heap vs linear-scan min-extraction over the same
+    //     4096-event batch (the naive O(n²) "next event" loop the heap
+    //     replaces). Low-discrepancy times, so the batch is deterministic
+    //     without an RNG. ---
+    {
+        let n = 4096usize;
+        let events: Vec<f64> =
+            (0..n).map(|i| (i as f64 * 0.618_033_988_75).fract() * 1e3).collect();
+        let iters = 20 * scale;
+        let heap = time_loop(iters, || {
+            let mut tl: Timeline<usize> = Timeline::new();
+            for (i, &t) in events.iter().enumerate() {
+                tl.schedule(t, i);
+            }
+            let mut checksum = 0.0f64;
+            while let Some((t, _, _)) = tl.pop() {
+                checksum += t;
+            }
+            black_box(checksum);
+        });
+        let scan = time_loop(iters, || {
+            let mut pending = black_box(&events).clone();
+            let mut checksum = 0.0f64;
+            while !pending.is_empty() {
+                let mut min = 0usize;
+                for (i, &t) in pending.iter().enumerate() {
+                    if t < pending[min] {
+                        min = i;
+                    }
+                }
+                checksum += pending.swap_remove(min);
+            }
+            black_box(checksum);
+        });
+        entries.push(with_baseline(
+            entry("serve_timeline_heap_n4k", iters, heap, n as f64, "events/s"),
+            scan,
+        ));
+    }
+
+    // --- 2. The sampled-and-delayed observation design as a kernel: one
+    //     empirical-histogram refresh per sync interval vs recomputing it
+    //     for each of the interval's 256 jobs (M = 1000 queues). ---
+    {
+        let m = 1000usize;
+        let buffer = 5usize;
+        let lengths: Vec<usize> = (0..m).map(|j| (j * 3) % (buffer + 1)).collect();
+        let jobs_per_interval = 256usize;
+        let iters = 200 * scale;
+        let once = time_loop(iters, || {
+            black_box(StateDist::empirical(black_box(&lengths), buffer));
+        });
+        let per_job = time_loop(iters, || {
+            for _ in 0..jobs_per_interval {
+                black_box(StateDist::empirical(black_box(&lengths), buffer));
+            }
+        });
+        entries.push(with_baseline(
+            entry("serve_observe_refresh_M1k", iters, once, jobs_per_interval as f64, "jobs/s"),
+            per_job,
+        ));
+    }
+
+    // --- 3. End-to-end dispatch throughput of the serve loop on a
+    //     synthetic Poisson/MMPP stream (the ROADMAP jobs/sec bar). ---
+    let synth_cases: [(usize, u64, f64, &str); 2] = [
+        (100, 10_000, 200.0, "serve_dispatch_synthetic_M100"),
+        (1000, 1_000_000, 100.0, "serve_dispatch_synthetic_M1k"),
+    ];
+    for (m, n, duration, name) in synth_cases {
+        let cfg = SystemConfig::paper().with_size(n, m);
+        let policy = FixedRulePolicy::new(jsq_rule(cfg.num_states(), cfg.d), "JSQ(d)");
+        let engine = EventEngine::new(cfg, JobSizeLaw::Exponential { rate: 1.0 });
+        let opts = ServeOptions {
+            duration: Some(duration * scale as f64),
+            seed: 17,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let report = serve(&engine, &policy, "JSQ(d)", &JobSource::Synthetic, &opts, |_| {})
+            .expect("synthetic serve run");
+        let secs = t0.elapsed().as_secs_f64();
+        entries.push(entry(name, 1, secs, report.jobs_arrived as f64, "jobs/s"));
+    }
+
+    // --- 4. Trace replay throughput: a deterministic 50k-job trace at
+    //     ~0.85 per-queue load, drained to completion. ---
+    {
+        let m = 100usize;
+        let cfg = SystemConfig::paper().with_size(10_000, m);
+        let policy = FixedRulePolicy::new(jsq_rule(cfg.num_states(), cfg.d), "JSQ(d)");
+        let engine = EventEngine::new(cfg, JobSizeLaw::Exponential { rate: 1.0 });
+        let num_jobs = 50_000 * scale;
+        let mean_gap = 1.0 / (0.85 * m as f64);
+        let jobs: Vec<Job> = (0..num_jobs)
+            .map(|i| Job { t: i as f64 * mean_gap, size: 0.25 + (i as f64 * 0.377).fract() * 1.5 })
+            .collect();
+        let source = JobSource::Trace(jobs);
+        let opts = ServeOptions { seed: 23, ..Default::default() };
+        let t0 = Instant::now();
+        let report =
+            serve(&engine, &policy, "JSQ(d)", &source, &opts, |_| {}).expect("trace serve run");
+        let secs = t0.elapsed().as_secs_f64();
+        entries.push(entry(
+            "serve_dispatch_trace_M100",
+            1,
+            secs,
+            report.jobs_arrived as f64,
+            "jobs/s",
+        ));
+    }
+
+    BenchReport { unix_time, quick, workers, entries }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -708,7 +846,12 @@ mod tests {
         // with iteration count); BENCH_kernels.json is the full-suite perf
         // trajectory. All must stay parseable and trivially pass against
         // themselves.
-        for file in ["BENCH_kernels_quick.json", "BENCH_kernels.json", "BENCH_graph_quick.json"] {
+        for file in [
+            "BENCH_kernels_quick.json",
+            "BENCH_kernels.json",
+            "BENCH_graph_quick.json",
+            "BENCH_serve_quick.json",
+        ] {
             let path =
                 std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../..")).join(file);
             let text = std::fs::read_to_string(&path)

@@ -1,0 +1,221 @@
+//! Job-size laws for the event-driven, job-level serving path.
+//!
+//! The paper's model is memoryless end to end: Poisson arrivals into
+//! exponential servers, so only queue *lengths* matter and the epoch
+//! simulators never materialize individual jobs. The event engine
+//! ([`crate::config::SystemConfig`] + `mflb-sim`'s `EventEngine`) does
+//! materialize them, which opens the first workload-diversity axis of the
+//! roadmap: heavy-tailed job sizes. A [`JobSizeLaw`] is the serde-facing
+//! description of the size distribution; each job draws one size (in
+//! units of *work*), and a server with rate `α` completes `size / α` time
+//! units after the job reaches its head of line.
+//!
+//! All three laws sample by inverse CDF from a single uniform draw, so
+//! the event engine's counter-keyed per-job streams stay one-draw-cheap
+//! and bit-stable.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A job-size distribution as data.
+///
+/// # Scenario JSON schema
+///
+/// Externally tagged, like every other law in the scenario layer:
+///
+/// | JSON | law | constraints |
+/// |---|---|---|
+/// | `{"Exponential": {"rate": r}}` | `Exp(r)`, mean `1/r` | `r` > 0, finite |
+/// | `{"Pareto": {"shape": a, "scale": s}}` | Pareto with survival `(s/x)^a` on `[s, ∞)` | `a, s` > 0, finite; mean is infinite for `a ≤ 1` |
+/// | `{"BoundedPareto": {"shape": a, "lo": l, "hi": h}}` | Pareto truncated to `[l, h]` | `a, l` > 0, finite; `l < h < ∞` |
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobSizeLaw {
+    /// Exponential sizes (the paper's model: with unit-rate sizes and
+    /// exponential servers the length process is the classic M/M/1/B).
+    Exponential {
+        /// Rate parameter; the mean size is `1/rate`.
+        rate: f64,
+    },
+    /// Unbounded Pareto sizes on `[scale, ∞)` with survival function
+    /// `(scale/x)^shape` — the canonical heavy-tailed workload.
+    Pareto {
+        /// Tail index `a`; the mean is finite only for `a > 1`.
+        shape: f64,
+        /// Minimum job size (the left endpoint of the support).
+        scale: f64,
+    },
+    /// Pareto truncated to `[lo, hi]` — the Park/`LoadBalanceEnv`-style
+    /// workload with a controlled worst case.
+    BoundedPareto {
+        /// Tail index `a` of the underlying Pareto.
+        shape: f64,
+        /// Smallest job size.
+        lo: f64,
+        /// Largest job size.
+        hi: f64,
+    },
+}
+
+impl JobSizeLaw {
+    /// Checks the law's parameters; returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        let pos = |v: f64, what: &str| {
+            if v > 0.0 && v.is_finite() {
+                Ok(())
+            } else {
+                Err(format!("{what} must be positive and finite, got {v}"))
+            }
+        };
+        match self {
+            JobSizeLaw::Exponential { rate } => pos(*rate, "exponential job-size rate"),
+            JobSizeLaw::Pareto { shape, scale } => {
+                pos(*shape, "pareto shape")?;
+                pos(*scale, "pareto scale")
+            }
+            JobSizeLaw::BoundedPareto { shape, lo, hi } => {
+                pos(*shape, "bounded-pareto shape")?;
+                pos(*lo, "bounded-pareto lo")?;
+                pos(*hi, "bounded-pareto hi")?;
+                if lo >= hi {
+                    return Err(format!("bounded-pareto needs lo < hi, got lo = {lo}, hi = {hi}"));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Mean job size; `f64::INFINITY` for a Pareto with `shape ≤ 1`.
+    pub fn mean(&self) -> f64 {
+        match self {
+            JobSizeLaw::Exponential { rate } => 1.0 / rate,
+            JobSizeLaw::Pareto { shape, scale } => {
+                if *shape > 1.0 {
+                    shape * scale / (shape - 1.0)
+                } else {
+                    f64::INFINITY
+                }
+            }
+            JobSizeLaw::BoundedPareto { shape, lo, hi } => {
+                // E[X] of a Pareto(a) truncated to [lo, hi]; the a = 1
+                // case is the log limit of the general formula.
+                let a = *shape;
+                if (a - 1.0).abs() < 1e-12 {
+                    lo * (hi / lo).ln() / (1.0 - lo / hi)
+                } else {
+                    let norm = 1.0 - (lo / hi).powf(a);
+                    a * lo.powf(a) * (lo.powf(1.0 - a) - hi.powf(1.0 - a)) / ((a - 1.0) * norm)
+                }
+            }
+        }
+    }
+
+    /// Inverse CDF: the size at quantile `u ∈ [0, 1)`.
+    ///
+    /// One uniform draw fully determines a sample, which is what keeps
+    /// the event engine's per-job counter streams bit-stable: a job's
+    /// size depends only on its own stream, never on heap order.
+    pub fn quantile(&self, u: f64) -> f64 {
+        debug_assert!((0.0..1.0).contains(&u));
+        match self {
+            JobSizeLaw::Exponential { rate } => -(1.0 - u).ln() / rate,
+            JobSizeLaw::Pareto { shape, scale } => scale * (1.0 - u).powf(-1.0 / shape),
+            JobSizeLaw::BoundedPareto { shape, lo, hi } => {
+                let a = *shape;
+                let norm = 1.0 - (lo / hi).powf(a);
+                lo * (1.0 - u * norm).powf(-1.0 / a)
+            }
+        }
+    }
+
+    /// Draws one job size.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.quantile(rng.gen::<f64>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn empirical_mean(law: &JobSizeLaw, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| law.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn validation_accepts_good_and_rejects_bad_parameters() {
+        assert!(JobSizeLaw::Exponential { rate: 2.0 }.validate().is_ok());
+        assert!(JobSizeLaw::Pareto { shape: 1.5, scale: 0.5 }.validate().is_ok());
+        assert!(JobSizeLaw::BoundedPareto { shape: 1.0, lo: 1.0, hi: 100.0 }.validate().is_ok());
+        for bad in [
+            JobSizeLaw::Exponential { rate: 0.0 },
+            JobSizeLaw::Exponential { rate: f64::NAN },
+            JobSizeLaw::Pareto { shape: -1.0, scale: 1.0 },
+            JobSizeLaw::Pareto { shape: 2.0, scale: f64::INFINITY },
+            JobSizeLaw::BoundedPareto { shape: 2.0, lo: 3.0, hi: 3.0 },
+            JobSizeLaw::BoundedPareto { shape: 2.0, lo: 5.0, hi: 1.0 },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn means_match_closed_forms_and_samples() {
+        let exp = JobSizeLaw::Exponential { rate: 4.0 };
+        assert!((exp.mean() - 0.25).abs() < 1e-12);
+
+        let par = JobSizeLaw::Pareto { shape: 3.0, scale: 2.0 };
+        assert!((par.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(JobSizeLaw::Pareto { shape: 1.0, scale: 2.0 }.mean(), f64::INFINITY);
+        assert_eq!(JobSizeLaw::Pareto { shape: 0.5, scale: 2.0 }.mean(), f64::INFINITY);
+
+        for (law, tol) in [
+            (exp, 0.01),
+            (JobSizeLaw::Pareto { shape: 3.0, scale: 2.0 }, 0.05),
+            (JobSizeLaw::BoundedPareto { shape: 1.5, lo: 1.0, hi: 50.0 }, 0.05),
+            (JobSizeLaw::BoundedPareto { shape: 1.0, lo: 1.0, hi: 20.0 }, 0.05),
+        ] {
+            let mean = law.mean();
+            let emp = empirical_mean(&law, 200_000, 9);
+            assert!((emp - mean).abs() < tol * mean, "{law:?}: empirical {emp} vs analytic {mean}");
+        }
+    }
+
+    #[test]
+    fn quantile_respects_support_bounds() {
+        let bp = JobSizeLaw::BoundedPareto { shape: 2.0, lo: 1.0, hi: 10.0 };
+        assert!((bp.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!(bp.quantile(0.999_999) <= 10.0 + 1e-9);
+        let par = JobSizeLaw::Pareto { shape: 2.0, scale: 3.0 };
+        assert!((par.quantile(0.0) - 3.0).abs() < 1e-12);
+        // Quantiles are nondecreasing.
+        let mut last = 0.0;
+        for i in 0..100 {
+            let q = bp.quantile(i as f64 / 100.0);
+            assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_mean_is_continuous_at_shape_one() {
+        let at = JobSizeLaw::BoundedPareto { shape: 1.0, lo: 1.0, hi: 30.0 }.mean();
+        let near = JobSizeLaw::BoundedPareto { shape: 1.0 + 1e-7, lo: 1.0, hi: 30.0 }.mean();
+        assert!((at - near).abs() < 1e-4, "{at} vs {near}");
+    }
+
+    #[test]
+    fn laws_round_trip_through_serde() {
+        for law in [
+            JobSizeLaw::Exponential { rate: 1.0 },
+            JobSizeLaw::Pareto { shape: 2.0, scale: 0.5 },
+            JobSizeLaw::BoundedPareto { shape: 1.5, lo: 1.0, hi: 100.0 },
+        ] {
+            let json = serde_json::to_string(&law).unwrap();
+            let back: JobSizeLaw = serde_json::from_str(&json).unwrap();
+            assert_eq!(law, back, "json: {json}");
+        }
+    }
+}

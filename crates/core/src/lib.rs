@@ -26,6 +26,7 @@ pub mod config;
 pub mod dist;
 pub mod graph_meanfield;
 pub mod hetero_meanfield;
+pub mod jobs;
 pub mod mdp;
 pub mod meanfield;
 pub mod partial;
@@ -41,6 +42,7 @@ pub use graph_meanfield::{
     pair_marginal, pair_mean_field_step,
 };
 pub use hetero_meanfield::{HeteroMeanField, HeteroMeanFieldStep};
+pub use jobs::JobSizeLaw;
 pub use mdp::{MeanFieldMdp, MfState, UpperPolicy};
 pub use meanfield::{
     mean_field_step, mean_field_step_with_rates, per_state_arrival_rates,

@@ -169,6 +169,28 @@ pub fn oracle_exactness(scenario: &Scenario) -> Result<OracleExactness, String> 
                 })
             }
         }
+        EngineSpec::Event { job_size } => {
+            let mean = job_size.mean();
+            if !mean.is_finite() {
+                return Err(format!(
+                    "event job sizes have infinite mean ({job_size:?}); no mean-matched \
+                     exponential model exists — use shape > 1 or a bounded law"
+                ));
+            }
+            if matches!(job_size, mflb_core::JobSizeLaw::Exponential { .. }) {
+                // Exponential sizes over exponential servers: the length
+                // process is the homogeneous M/M/1/B in law.
+                Ok(OracleExactness::Exact)
+            } else {
+                Ok(OracleExactness::Reference {
+                    note: format!(
+                        "heavy-tailed job sizes mean-matched to an exponential service \
+                         rate {:.4}; gaps are indicative, not certificates",
+                        scenario.config.service_rate / mean
+                    ),
+                })
+            }
+        }
         EngineSpec::Hetero { .. } => {
             Err("the DP oracle does not support heterogeneous pools: its softmin action \
              library is over plain length states, not composite (length, class) states"
@@ -182,12 +204,23 @@ pub fn oracle_exactness(scenario: &Scenario) -> Result<OracleExactness, String> 
 /// by its mean-matched exponential rate.
 pub fn oracle_mdp_config(scenario: &Scenario) -> Result<mflb_core::SystemConfig, String> {
     let mut config = scenario.config.clone();
-    if let EngineSpec::Ph { service } = &scenario.engine {
-        let mean = service.build()?.mean();
-        if !(mean > 0.0 && mean.is_finite()) {
-            return Err(format!("phase-type service has unusable mean {mean}"));
+    match &scenario.engine {
+        EngineSpec::Ph { service } => {
+            let mean = service.build()?.mean();
+            if !(mean > 0.0 && mean.is_finite()) {
+                return Err(format!("phase-type service has unusable mean {mean}"));
+            }
+            config.service_rate = 1.0 / mean;
         }
-        config.service_rate = 1.0 / mean;
+        EngineSpec::Event { job_size } => {
+            // A server of rate α completes mean-size jobs at rate α/mean.
+            let mean = job_size.mean();
+            if !(mean > 0.0 && mean.is_finite()) {
+                return Err(format!("event job sizes have unusable mean {mean}"));
+            }
+            config.service_rate /= mean;
+        }
+        _ => {}
     }
     Ok(config)
 }
@@ -419,6 +452,22 @@ mod tests {
         let hetero = oracle_exactness(&with(EngineSpec::Hetero { rates: vec![1.0; 10] }));
         assert!(hetero.is_err());
         assert!(hetero.unwrap_err().contains("heterogeneous"), "readable rejection");
+        let event_exp = oracle_exactness(&with(EngineSpec::Event {
+            job_size: mflb_core::JobSizeLaw::Exponential { rate: 1.0 },
+        }))
+        .unwrap();
+        assert!(event_exp.is_exact(), "exponential sizes are the homogeneous model in law");
+        let event_bp = oracle_exactness(&with(EngineSpec::Event {
+            job_size: mflb_core::JobSizeLaw::BoundedPareto { shape: 1.5, lo: 0.5, hi: 50.0 },
+        }))
+        .unwrap();
+        assert!(!event_bp.is_exact());
+        assert!(event_bp.note().contains("mean-matched"), "{}", event_bp.note());
+        let event_inf = oracle_exactness(&with(EngineSpec::Event {
+            job_size: mflb_core::JobSizeLaw::Pareto { shape: 0.8, scale: 1.0 },
+        }));
+        assert!(event_inf.is_err());
+        assert!(event_inf.unwrap_err().contains("infinite mean"), "readable rejection");
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   observation/action interface to the homogeneous model, but the
 //!   per-state arrival rates are the annealed `k`-neighborhood closure.
 //!   A full-mesh topology selects the exact Eq. 20–28 model ([`MfcEnv`]).
+//! * [`EngineSpec::Event`] — the homogeneous mean field with the service
+//!   rate mean-matched to the job-size law (`α / E[size]`): exact in law
+//!   for exponential sizes, a reference model for the heavy-tailed laws.
+//!   Infinite-mean laws are rejected.
 //!
 //! [`PolicyShape`] is the single source of truth for the observation/action
 //! dimensions a scenario implies; checkpoint validation and policy
@@ -137,6 +141,23 @@ pub fn build_env(scenario: &Scenario) -> Result<Box<dyn Env>, String> {
             None => Box::new(MfcEnv::new(config)),
             Some(k) => Box::new(GraphMfcEnv::new(config, k)),
         },
+        EngineSpec::Event { job_size } => {
+            // Mean-matched exponential model: a server of rate α working
+            // through mean-size jobs completes them at rate α/mean —
+            // exact in law for exponential sizes, a reference model for
+            // the heavy-tailed laws (the finite-system evaluation stays
+            // job-level either way).
+            let mean = job_size.mean();
+            if !(mean > 0.0 && mean.is_finite()) {
+                return Err(format!(
+                    "event job sizes have unusable mean {mean}; training needs a \
+                     finite-mean law (Pareto shape > 1 or a bounded law)"
+                ));
+            }
+            let mut c = config;
+            c.service_rate /= mean;
+            Box::new(MfcEnv::new(c))
+        }
     })
 }
 
@@ -443,6 +464,16 @@ mod tests {
                 base_config(),
                 EngineSpec::Ph { service: ServiceLaw::Erlang { k: 2, rate: 2.0 } },
             ),
+            Scenario::new(
+                base_config(),
+                EngineSpec::Event {
+                    job_size: mflb_core::JobSizeLaw::BoundedPareto {
+                        shape: 1.5,
+                        lo: 0.2,
+                        hi: 20.0,
+                    },
+                },
+            ),
         ];
         for scenario in scenarios {
             let shape = PolicyShape::for_scenario(&scenario);
@@ -501,6 +532,14 @@ mod tests {
             },
         );
         assert!(build_env(&bad_top).is_err(), "over-wide ring must be rejected");
+        let infinite_mean = Scenario::new(
+            base_config(),
+            EngineSpec::Event {
+                job_size: mflb_core::JobSizeLaw::Pareto { shape: 0.9, scale: 1.0 },
+            },
+        );
+        let err = build_env(&infinite_mean).err().expect("infinite-mean law must be rejected");
+        assert!(err.contains("mean"), "infinite-mean law must be rejected readably: {err}");
     }
 
     #[test]

@@ -59,14 +59,16 @@
 //! `tests/engine_regression.rs` and the sim property suite).
 
 use crate::aggregate::sample_client_assignments_into;
-use crate::episode::{length_epoch_stats, simulate_birth_death_epoch, Engine, EpochStats};
+use crate::episode::{
+    length_epoch_stats, simulate_birth_death_epoch, stream_rng, Engine, EpochStats,
+};
 use mflb_core::{
     per_state_arrival_rates_into, per_state_arrival_rates_sparse_into, CsrNeighborhoods,
     DecisionRule, StateDist, SystemConfig, Topology,
 };
 use mflb_queue::sampler::Sampler;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Stream salts keeping the sharded epoch's three phase families (home
@@ -668,17 +670,6 @@ impl GraphEngine {
             self.run_service_pass(queues, counts, counts_atomic, scale, epoch_base);
         length_epoch_stats(queues, counts, self.config.num_clients, dropped, served)
     }
-}
-
-/// Derives the RNG for one `(phase, entity)` pair of one sharded epoch:
-/// a SplitMix64-style scramble of `(epoch_base ^ salt) + idx·φ` seeds the
-/// engine-wide `StdRng` (whose `seed_from_u64` adds four more SplitMix64
-/// rounds), keeping streams decorrelated across entities and phases.
-fn stream_rng(epoch_base: u64, salt: u64, idx: u64) -> StdRng {
-    let mut z = (epoch_base ^ salt).wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
 }
 
 /// Writes the `Multinomial(N, uniform)` home counts for dispatchers in

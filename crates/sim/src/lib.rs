@@ -27,7 +27,12 @@
 //!   graph [`mflb_core::Topology`] (ring/torus/random-regular): each
 //!   dispatcher samples its `d` queues from its closed neighborhood; the
 //!   full mesh is the degenerate case and reproduces the aggregate
-//!   engine's RNG stream bit for bit.
+//!   engine's RNG stream bit for bit;
+//! * [`event_engine::EventEngine`] — continuous-time job-level engine on
+//!   a [`Timeline`] event heap with exponential or Pareto/bounded-Pareto
+//!   job sizes ([`mflb_core::JobSizeLaw`]); the [`serve()`] runtime drives
+//!   it as a long-running dispatcher over synthetic or replayed-trace
+//!   job streams (`mflb serve`).
 //!
 //! [`scenario`] adds a serde-driven construction layer: a [`Scenario`]
 //! (engine kind + [`mflb_core::SystemConfig`] + service law / pool /
@@ -40,12 +45,14 @@
 pub mod aggregate;
 pub mod client;
 pub mod episode;
+pub mod event_engine;
 pub mod fifo_engine;
 pub mod graph_engine;
 pub mod hetero;
 pub mod monte_carlo;
 pub mod ph_engine;
 pub mod scenario;
+pub mod serve;
 pub mod staggered;
 
 pub use aggregate::AggregateEngine;
@@ -54,10 +61,12 @@ pub use episode::{
     run_episode, run_episode_conditioned, run_rng, sample_initial_queues, Engine, EpisodeOutcome,
     EpochStats,
 };
+pub use event_engine::{EventEngine, EventState, Timeline};
 pub use fifo_engine::FifoEngine;
 pub use graph_engine::{GraphEngine, GraphState, StepMode};
 pub use hetero::HeteroEngine;
 pub use monte_carlo::{monte_carlo, monte_carlo_conditioned, MonteCarloResult};
 pub use ph_engine::{sample_initial_ph_queues, PhAggregateEngine};
 pub use scenario::{AnyEngine, AnyState, EngineSpec, Scenario, ServiceLaw};
+pub use serve::{parse_trace, serve, Job, JobSource, ServeOptions, ServeReport, ServeTick};
 pub use staggered::StaggeredEngine;

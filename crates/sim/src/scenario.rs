@@ -60,6 +60,7 @@
 //! | `{"Hetero": {"rates": [α…]}}` | heterogeneous pool | non-empty, `len == num_queues`, all rates > 0 and finite |
 //! | `{"Ph": {"service": law}}` | phase-type service | see laws below |
 //! | `{"Graph": {"topology": top, "shard_size": s}}` | locality-constrained routing | see topologies below; `shard_size` is optional (≥ 1 when given — forces sharded parallel stepping with that dispatcher range per shard; omitted = auto by system size) |
+//! | `{"Event": {"job_size": law}}` | continuous-time event-heap job-level engine | see job-size laws below |
 //!
 //! Topologies for `Graph` (the [`mflb_core::Topology`] families; clients
 //! sample their `d` queues from the dispatcher's closed neighborhood
@@ -84,6 +85,16 @@
 //! | `{"Hyperexponential": {"probs": […], "rates": […]}}` | mixture; `probs` sum to 1, lengths match |
 //! | `{"MeanScv": {"mean": m, "scv": c}}` | two-moment PH fit |
 //!
+//! Job-size laws for `Event` (the [`mflb_core::JobSizeLaw`] families —
+//! each job draws one size in work units; service takes
+//! `size / service_rate` time; all parameters positive and finite):
+//!
+//! | JSON | law |
+//! |---|---|
+//! | `{"Exponential": {"rate": r}}` | exponential sizes, mean `1/r` (the paper's model in law) |
+//! | `{"Pareto": {"shape": a, "scale": s}}` | heavy-tailed Pareto on `[s, ∞)`; infinite mean for `a ≤ 1` |
+//! | `{"BoundedPareto": {"shape": a, "lo": l, "hi": h}}` | Pareto truncated to `[l, h]`; needs `l < h` |
+//!
 //! ## Validation errors
 //!
 //! [`Scenario::from_json`] reports *syntax* problems (malformed JSON, an
@@ -98,12 +109,13 @@
 use crate::aggregate::AggregateEngine;
 use crate::client::PerClientEngine;
 use crate::episode::{Engine, EpochStats};
+use crate::event_engine::EventEngine;
 use crate::fifo_engine::FifoEngine;
 use crate::graph_engine::GraphEngine;
 use crate::hetero::HeteroEngine;
 use crate::ph_engine::PhAggregateEngine;
 use crate::staggered::StaggeredEngine;
-use mflb_core::{DecisionRule, StateDist, SystemConfig, Topology};
+use mflb_core::{DecisionRule, JobSizeLaw, StateDist, SystemConfig, Topology};
 use mflb_queue::hetero::ServerPool;
 use mflb_queue::PhaseType;
 use rand::rngs::StdRng;
@@ -266,6 +278,15 @@ pub enum EngineSpec {
         #[serde(default)]
         shard_size: Option<usize>,
     },
+    /// Continuous-time event-heap job-level engine ([`EventEngine`]):
+    /// jobs as timeline events with exponential or heavy-tailed sizes,
+    /// serviced FIFO under sampled-and-delayed observations. The engine
+    /// behind `mflb serve`.
+    Event {
+        /// The job-size law (exponential reproduces the paper's length
+        /// process in law; Pareto laws open the heavy-tailed axis).
+        job_size: JobSizeLaw,
+    },
 }
 
 /// A complete, serializable simulation scenario.
@@ -325,6 +346,9 @@ impl Scenario {
                 }
                 topology.validate(self.config.num_queues).map_err(|e| format!("topology: {e}"))
             }
+            EngineSpec::Event { job_size } => {
+                job_size.validate().map_err(|e| format!("job_size: {e}"))
+            }
         }
     }
 
@@ -357,6 +381,9 @@ impl Scenario {
                         .with_shard_size(*s);
                 }
                 AnyEngine::Graph(engine)
+            }
+            EngineSpec::Event { job_size } => {
+                AnyEngine::Event(EventEngine::new(self.config.clone(), job_size.clone()))
             }
         })
     }
@@ -393,6 +420,8 @@ pub enum AnyEngine {
     JobLevel(FifoEngine),
     /// Locality-constrained graph engine.
     Graph(GraphEngine),
+    /// Continuous-time event-heap job-level engine.
+    Event(EventEngine),
 }
 
 impl AnyEngine {
@@ -420,6 +449,7 @@ pub enum AnyState {
     Ph(<PhAggregateEngine as Engine>::State),
     JobLevel(<FifoEngine as Engine>::State),
     Graph(<GraphEngine as Engine>::State),
+    Event(<EventEngine as Engine>::State),
 }
 
 macro_rules! delegate {
@@ -432,6 +462,7 @@ macro_rules! delegate {
             AnyEngine::Ph($e) => $body,
             AnyEngine::JobLevel($e) => $body,
             AnyEngine::Graph($e) => $body,
+            AnyEngine::Event($e) => $body,
         }
     };
 }
@@ -446,6 +477,7 @@ macro_rules! delegate_state {
             (AnyEngine::Ph($e), AnyState::Ph($s)) => $body,
             (AnyEngine::JobLevel($e), AnyState::JobLevel($s)) => $body,
             (AnyEngine::Graph($e), AnyState::Graph($s)) => $body,
+            (AnyEngine::Event($e), AnyState::Event($s)) => $body,
             _ => panic!("AnyState does not belong to this AnyEngine"),
         }
     };
@@ -467,6 +499,7 @@ impl Engine for AnyEngine {
             AnyEngine::Ph(e) => AnyState::Ph(e.init_state(rng)),
             AnyEngine::JobLevel(e) => AnyState::JobLevel(e.init_state(rng)),
             AnyEngine::Graph(e) => AnyState::Graph(e.init_state(rng)),
+            AnyEngine::Event(e) => AnyState::Event(e.init_state(rng)),
         }
     }
 
@@ -514,6 +547,10 @@ mod tests {
                 shard_size: None,
             },
             EngineSpec::Graph { topology: Topology::FullMesh, shard_size: None },
+            EngineSpec::Event { job_size: JobSizeLaw::Exponential { rate: 1.0 } },
+            EngineSpec::Event {
+                job_size: JobSizeLaw::BoundedPareto { shape: 1.5, lo: 0.2, hi: 20.0 },
+            },
         ]
     }
 
@@ -594,6 +631,20 @@ mod tests {
                 EngineSpec::Graph {
                     topology: Topology::RandomRegular { degree: 10, seed: 1 },
                     shard_size: None,
+                },
+            ),
+            (
+                "nonpositive job-size rate",
+                EngineSpec::Event { job_size: JobSizeLaw::Exponential { rate: 0.0 } },
+            ),
+            (
+                "nonpositive pareto shape",
+                EngineSpec::Event { job_size: JobSizeLaw::Pareto { shape: -2.0, scale: 1.0 } },
+            ),
+            (
+                "bounded pareto with lo >= hi",
+                EngineSpec::Event {
+                    job_size: JobSizeLaw::BoundedPareto { shape: 2.0, lo: 5.0, hi: 1.0 },
                 },
             ),
         ];

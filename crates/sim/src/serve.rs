@@ -1,0 +1,400 @@
+//! The `mflb serve` runtime: a long-running dispatcher loop over the
+//! event-heap [`EventEngine`].
+//!
+//! [`serve`] ingests a job stream — either the engine's own synthetic
+//! Poisson/Pareto generator or a replayed JSONL trace — and dispatches
+//! every job through an upper-level policy under the paper's
+//! sampled-and-delayed observation model: the decision rule is refreshed
+//! once per sync interval `Δt` from the stale length snapshot, exactly as
+//! in training. Online metrics stream out as periodic [`ServeTick`]s and
+//! a final [`ServeReport`] (the JSON the CLI prints and the bench suite
+//! mines for jobs-dispatched-per-second).
+//!
+//! # Trace JSONL schema
+//!
+//! One job per line, `{"t": <arrival time>, "size": <work units>}`:
+//! times must be finite, nonnegative and nondecreasing; sizes positive
+//! and finite. Blank lines and `#` comments are skipped. A malformed
+//! line is reported with its 1-based line number ([`parse_trace`]).
+//!
+//! # Determinism
+//!
+//! A serve run is a deterministic function of `(engine, policy, source,
+//! seed)`: the master RNG only draws the initial state, the MMPP level
+//! path and one `epoch_base` per interval; all per-job randomness runs
+//! through the engine's counter-keyed streams. Replaying the same trace
+//! (or re-running the same synthetic stream) at a fixed seed is
+//! bit-identical — the regression suite pins a run.
+
+use crate::episode::{run_rng, Engine};
+use crate::event_engine::{ArrivalFeed, EventEngine, EventState, PoissonFeed};
+use mflb_core::mdp::UpperPolicy;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One job of a replayed trace: arrival time and size in work units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Arrival time (absolute, from the start of the run).
+    pub t: f64,
+    /// Work units; service takes `size / service_rate` time units.
+    pub size: f64,
+}
+
+/// Parses a JSONL job trace (see the module docs for the schema). Every
+/// complaint names the offending 1-based line.
+pub fn parse_trace(text: &str) -> Result<Vec<Job>, String> {
+    let mut jobs = Vec::new();
+    let mut last_t = 0.0f64;
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let n = i + 1;
+        let job: Job = serde_json::from_str(line).map_err(|e| format!("trace line {n}: {e}"))?;
+        if !(job.t.is_finite() && job.t >= 0.0) {
+            return Err(format!(
+                "trace line {n}: arrival time must be finite and nonnegative, got {}",
+                job.t
+            ));
+        }
+        if job.t < last_t {
+            return Err(format!(
+                "trace line {n}: arrival times must be nondecreasing, got {} after {last_t}",
+                job.t
+            ));
+        }
+        if !(job.size > 0.0 && job.size.is_finite()) {
+            return Err(format!(
+                "trace line {n}: job size must be positive and finite, got {}",
+                job.size
+            ));
+        }
+        last_t = job.t;
+        jobs.push(job);
+    }
+    Ok(jobs)
+}
+
+/// Where the served jobs come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobSource {
+    /// The engine's own Poisson arrivals with scenario job sizes,
+    /// modulated by the configured MMPP λ-path.
+    Synthetic,
+    /// A replayed trace (see [`parse_trace`]).
+    Trace(Vec<Job>),
+}
+
+impl JobSource {
+    /// Short tag used in reports and log lines (`synthetic` / `trace`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobSource::Synthetic => "synthetic",
+            JobSource::Trace(_) => "trace",
+        }
+    }
+}
+
+/// Termination and reporting knobs of one [`serve`] run. The default is
+/// an unbounded, silent, seed-0 run (synthetic streams still hard-stop
+/// at the scenario's `eval_time`).
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Stop admitting jobs once this many have been dispatched (then
+    /// drain the system). `None` = unlimited.
+    pub max_jobs: Option<u64>,
+    /// Hard stop at this simulation time. `None`: synthetic runs default
+    /// to the scenario's `eval_time`; trace runs drain to completion.
+    pub duration: Option<f64>,
+    /// Emit a [`ServeTick`] every this many sync intervals (`0` = never).
+    pub report_every: usize,
+    /// Master seed (initial state, MMPP path, per-interval stream keys).
+    pub seed: u64,
+}
+
+/// One periodic progress line of a [`serve`] run (serialized as JSONL).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeTick {
+    /// Simulation time at the end of the reported interval.
+    pub sim_time: f64,
+    /// Jobs dispatched so far (preloaded ν₀ jobs included).
+    pub jobs_arrived: u64,
+    /// Jobs that finished service so far.
+    pub jobs_completed: u64,
+    /// Jobs dropped at a full buffer so far.
+    pub jobs_dropped: u64,
+    /// Jobs currently queued or in service.
+    pub jobs_in_system: u64,
+    /// Running fraction of dispatched jobs that were dropped.
+    pub drop_fraction: f64,
+    /// Running mean sojourn time of completed jobs.
+    pub mean_sojourn: f64,
+    /// Mean queue length at the snapshot.
+    pub mean_queue_len: f64,
+}
+
+/// Final summary of a [`serve`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Engine identifier (`event-job-level`).
+    pub engine: String,
+    /// Upper-level policy label.
+    pub policy: String,
+    /// Job source (`synthetic` or `trace`).
+    pub source: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Simulation time covered.
+    pub sim_time: f64,
+    /// Sync intervals (policy refreshes) executed.
+    pub intervals: u64,
+    /// Jobs dispatched (preloaded ν₀ jobs included).
+    pub jobs_arrived: u64,
+    /// Jobs that finished service.
+    pub jobs_completed: u64,
+    /// Jobs dropped at a full buffer.
+    pub jobs_dropped: u64,
+    /// Jobs still queued or in service at the end.
+    pub jobs_in_system: u64,
+    /// Fraction of dispatched jobs that were dropped.
+    pub drop_fraction: f64,
+    /// Mean sojourn time of completed jobs.
+    pub mean_sojourn: f64,
+    /// Largest sojourn time observed.
+    pub max_sojourn: f64,
+    /// Mean queue length at the end of the run.
+    pub mean_queue_len: f64,
+    /// Wall-clock seconds spent in the dispatcher loop.
+    pub wall_seconds: f64,
+    /// Jobs dispatched per wall-clock second (the ROADMAP throughput
+    /// bar; also tracked by `mflb bench --suite serve`).
+    pub jobs_per_sec: f64,
+}
+
+impl ServeReport {
+    /// Pretty-printed JSON (the artifact `mflb serve --out` writes).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+
+    /// Parses a report back from [`Self::to_json`] output (or the
+    /// compact JSON line the CLI prints).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text).map_err(|e| e.to_string())
+    }
+}
+
+/// A replayed trace as an [`ArrivalFeed`]: absolute times straight from
+/// the file, consumed lazily across sync intervals.
+struct TraceFeed<'a> {
+    jobs: &'a [Job],
+    cursor: usize,
+}
+
+impl ArrivalFeed for TraceFeed<'_> {
+    fn peek(&mut self, _prev_time: f64, _k: u64) -> Option<(f64, f64)> {
+        self.jobs.get(self.cursor).map(|j| (j.t, j.size))
+    }
+
+    fn advance(&mut self) {
+        self.cursor += 1;
+    }
+}
+
+/// Runs the dispatcher loop; see the module docs. `on_tick` fires every
+/// `report_every` intervals with the running counters.
+pub fn serve(
+    engine: &EventEngine,
+    policy: &dyn UpperPolicy,
+    policy_name: &str,
+    source: &JobSource,
+    opts: &ServeOptions,
+    mut on_tick: impl FnMut(&ServeTick),
+) -> Result<ServeReport, String> {
+    let config = engine.config();
+    let dt = config.dt;
+    let hard_stop = match source {
+        JobSource::Synthetic => Some(opts.duration.unwrap_or(config.eval_time)),
+        JobSource::Trace(_) => opts.duration,
+    };
+    if let Some(te) = hard_stop {
+        if !(te > 0.0 && te.is_finite()) {
+            return Err(format!("serve duration must be positive and finite, got {te}"));
+        }
+    }
+
+    let t0 = Instant::now();
+    let mut rng = run_rng(opts.seed, 0);
+    let mut state: EventState = engine.init_state(&mut rng);
+    let mut lambda_idx = config.arrivals.sample_initial(&mut rng);
+    let mut trace_feed = match source {
+        JobSource::Trace(jobs) => Some(TraceFeed { jobs, cursor: 0 }),
+        JobSource::Synthetic => None,
+    };
+
+    let mut intervals = 0u64;
+    let mut sojourn_sum = 0.0f64;
+    let mut max_sojourn = 0.0f64;
+    let mut last_mean_queue_len = 0.0f64;
+
+    loop {
+        if let Some(te) = hard_stop {
+            if state.clock() + 1e-12 >= te {
+                break;
+            }
+        }
+        let admitted_all = opts.max_jobs.is_some_and(|mj| state.jobs_arrived() >= mj)
+            || trace_feed.as_ref().is_some_and(|f| f.cursor >= f.jobs.len());
+        if admitted_all && state.jobs_in_system() == 0 {
+            break;
+        }
+        // Synthetic runs without a job cap only ever stop at `hard_stop`
+        // (always set for them), so this loop cannot run away.
+
+        // The λ-level is the policy's modulation input in both modes; a
+        // trace does not carry one, so the configured MMPP path plays
+        // that role during replay as well.
+        let lambda = config.arrivals.level_rate(lambda_idx);
+        let h = engine.empirical(&state);
+        let rule = policy.decide(&h, lambda_idx, lambda);
+        let epoch_base: u64 = rng.gen();
+        let t_end = state.clock() + dt;
+        let budget = opts.max_jobs.map_or(u64::MAX, |mj| mj.saturating_sub(state.jobs_arrived()));
+        let stats = match trace_feed.as_mut() {
+            Some(feed) => engine.run_interval(&mut state, &rule, epoch_base, t_end, feed, budget),
+            None => {
+                let rate = config.num_queues as f64 * lambda;
+                let mut feed = PoissonFeed::new(epoch_base, rate, engine.job_size().clone());
+                engine.run_interval(&mut state, &rule, epoch_base, t_end, &mut feed, budget)
+            }
+        };
+        intervals += 1;
+        for &s in &stats.sojourns {
+            sojourn_sum += s;
+            if s > max_sojourn {
+                max_sojourn = s;
+            }
+        }
+        last_mean_queue_len = stats.mean_queue_len;
+        lambda_idx = config.arrivals.step(lambda_idx, &mut rng);
+
+        if opts.report_every > 0 && intervals.is_multiple_of(opts.report_every as u64) {
+            on_tick(&ServeTick {
+                sim_time: state.clock(),
+                jobs_arrived: state.jobs_arrived(),
+                jobs_completed: state.jobs_completed(),
+                jobs_dropped: state.jobs_dropped(),
+                jobs_in_system: state.jobs_in_system(),
+                drop_fraction: state.jobs_dropped() as f64 / state.jobs_arrived().max(1) as f64,
+                mean_sojourn: sojourn_sum / state.jobs_completed().max(1) as f64,
+                mean_queue_len: stats.mean_queue_len,
+            });
+        }
+    }
+
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    Ok(ServeReport {
+        engine: engine.name().to_string(),
+        policy: policy_name.to_string(),
+        source: source.label().to_string(),
+        seed: opts.seed,
+        sim_time: state.clock(),
+        intervals,
+        jobs_arrived: state.jobs_arrived(),
+        jobs_completed: state.jobs_completed(),
+        jobs_dropped: state.jobs_dropped(),
+        jobs_in_system: state.jobs_in_system(),
+        drop_fraction: state.jobs_dropped() as f64 / state.jobs_arrived().max(1) as f64,
+        mean_sojourn: sojourn_sum / state.jobs_completed().max(1) as f64,
+        max_sojourn,
+        mean_queue_len: last_mean_queue_len,
+        wall_seconds,
+        jobs_per_sec: state.jobs_arrived() as f64 / wall_seconds.max(1e-12),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mflb_core::mdp::FixedRulePolicy;
+    use mflb_core::{JobSizeLaw, SystemConfig};
+    use mflb_policy::jsq_rule;
+
+    fn engine() -> EventEngine {
+        EventEngine::new(
+            SystemConfig::paper().with_size(100, 10).with_dt(2.0),
+            JobSizeLaw::Exponential { rate: 1.0 },
+        )
+    }
+
+    fn jsq() -> FixedRulePolicy {
+        FixedRulePolicy::new(jsq_rule(6, 2), "JSQ(2)")
+    }
+
+    #[test]
+    fn parse_trace_accepts_comments_and_rejects_bad_lines() {
+        let good = "# header\n{\"t\": 0.0, \"size\": 1.0}\n\n{\"t\": 0.5, \"size\": 2.0}\n";
+        let jobs = parse_trace(good).unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1], Job { t: 0.5, size: 2.0 });
+
+        for (text, needle) in [
+            ("{\"t\": 1.0}", "line 1"),
+            ("{\"t\": 0.0, \"size\": 1.0}\nnot json", "line 2"),
+            ("{\"t\": -1.0, \"size\": 1.0}", "nonnegative"),
+            ("{\"t\": 2.0, \"size\": 1.0}\n{\"t\": 1.0, \"size\": 1.0}", "nondecreasing"),
+            ("{\"t\": 0.0, \"size\": 0.0}", "positive"),
+        ] {
+            let err = parse_trace(text).unwrap_err();
+            assert!(err.contains(needle), "{text:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn synthetic_serve_reports_consistent_counters() {
+        let e = engine();
+        let opts = ServeOptions { duration: Some(40.0), seed: 7, ..Default::default() };
+        let report = serve(&e, &jsq(), "JSQ(2)", &JobSource::Synthetic, &opts, |_| {}).unwrap();
+        assert_eq!(report.source, "synthetic");
+        assert_eq!(report.intervals, 20);
+        assert!((report.sim_time - 40.0).abs() < 1e-9);
+        assert!(report.jobs_arrived > 0);
+        assert_eq!(
+            report.jobs_arrived,
+            report.jobs_completed + report.jobs_dropped + report.jobs_in_system
+        );
+        assert!(report.jobs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn trace_serve_drains_to_completion_and_is_deterministic() {
+        let e = engine();
+        let jobs: Vec<Job> =
+            (0..25).map(|i| Job { t: 0.3 * i as f64, size: 0.5 + 0.1 * (i % 5) as f64 }).collect();
+        let source = JobSource::Trace(jobs);
+        let opts = ServeOptions { seed: 3, report_every: 2, ..Default::default() };
+        let mut ticks = Vec::new();
+        let a = serve(&e, &jsq(), "JSQ(2)", &source, &opts, |t| ticks.push(t.clone())).unwrap();
+        assert_eq!(a.jobs_arrived, 25);
+        assert_eq!(a.jobs_in_system, 0, "trace runs drain to completion");
+        assert_eq!(a.jobs_completed + a.jobs_dropped, 25);
+        assert!(!ticks.is_empty());
+        let b = serve(&e, &jsq(), "JSQ(2)", &source, &opts, |_| {}).unwrap();
+        assert_eq!(a.jobs_completed, b.jobs_completed);
+        assert_eq!(a.mean_sojourn.to_bits(), b.mean_sojourn.to_bits());
+        assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+    }
+
+    #[test]
+    fn max_jobs_caps_admissions_then_drains() {
+        let e = engine();
+        let opts =
+            ServeOptions { max_jobs: Some(30), duration: Some(1e6), seed: 5, ..Default::default() };
+        let report = serve(&e, &jsq(), "JSQ(2)", &JobSource::Synthetic, &opts, |_| {}).unwrap();
+        assert_eq!(report.jobs_arrived, 30);
+        assert_eq!(report.jobs_in_system, 0);
+    }
+}

@@ -2,14 +2,17 @@
 //! aggregation must conserve clients and respect the assignment law for
 //! *arbitrary* queue-length profiles and decision rules.
 
-use mflb_core::mdp::FixedRulePolicy;
+use mflb_core::mdp::{FixedRulePolicy, UpperPolicy};
 use mflb_core::meanfield::per_state_arrival_rates;
-use mflb_core::{DecisionRule, StateDist, SystemConfig, Topology};
+use mflb_core::{DecisionRule, JobSizeLaw, StateDist, SystemConfig, Topology};
 use mflb_sim::aggregate::sample_client_assignments;
-use mflb_sim::{run_episode, run_rng, AggregateEngine, GraphEngine, StepMode};
+use mflb_sim::{
+    run_episode, run_rng, serve, AggregateEngine, Engine, EventEngine, GraphEngine, Job, JobSource,
+    ServeOptions, StepMode, Timeline,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Strategy: an arbitrary queue-length profile over `{0..5}` for M queues.
 fn profile_strategy() -> impl Strategy<Value = Vec<usize>> {
@@ -259,6 +262,142 @@ proptest! {
         let counts = engine.sample_assignments(&queues, &rule, &mut rng);
         prop_assert_eq!(counts.len(), m);
         prop_assert_eq!(counts.iter().sum::<u64>(), n, "every client lands somewhere");
+    }
+
+    #[test]
+    fn timeline_pops_in_nondecreasing_time_seq_order(
+        raw in prop::collection::vec(0.0f64..100.0, 1..200),
+    ) {
+        // Quantizing to a coarse grid forces plenty of exact time ties,
+        // so the monotone-seq tiebreak is actually exercised.
+        let mut tl: Timeline<usize> = Timeline::new();
+        for (i, &t) in raw.iter().enumerate() {
+            tl.schedule((t * 4.0).round() / 4.0, i);
+        }
+        let mut last: Option<(f64, u64)> = None;
+        let mut popped = 0usize;
+        while let Some((t, seq, _)) = tl.pop() {
+            if let Some((lt, ls)) = last {
+                prop_assert!(
+                    t > lt || (t == lt && seq > ls),
+                    "(time, seq) must strictly increase: ({lt}, {ls}) then ({t}, {seq})"
+                );
+            }
+            last = Some((t, seq));
+            popped += 1;
+        }
+        prop_assert_eq!(popped, raw.len(), "every scheduled event pops exactly once");
+    }
+
+    #[test]
+    fn timeline_pop_order_is_insertion_order_independent(
+        raw in prop::collection::vec(0.0f64..1e4, 1..120),
+        perm_seed in 0u64..10_000,
+    ) {
+        // With distinct times the popped (time, payload) sequence is a
+        // pure function of the event set — heap layout (and therefore
+        // insertion order) must not show through.
+        let mut times = raw;
+        times.sort_by(f64::total_cmp);
+        times.dedup();
+        let sorted: Vec<(f64, usize)> = times.iter().copied().zip(0..).collect();
+        let mut shuffled = sorted.clone();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, rng.gen_range(0..=i));
+        }
+        let drain = |events: &[(f64, usize)]| {
+            let mut tl: Timeline<usize> = Timeline::new();
+            for &(t, id) in events {
+                tl.schedule(t, id);
+            }
+            let mut out = Vec::with_capacity(events.len());
+            while let Some((t, _, id)) = tl.pop() {
+                out.push((t, id));
+            }
+            out
+        };
+        prop_assert_eq!(drain(&sorted), drain(&shuffled));
+    }
+
+    #[test]
+    fn event_episodes_conserve_job_mass(
+        m in 5usize..30,
+        n in 50u64..5_000,
+        law_pick in 0usize..3,
+        horizon in 1usize..10,
+        seed in 0u64..10_000,
+    ) {
+        // Every dispatched job is accounted for exactly once: completed,
+        // dropped, or still in the system — across laws and horizons.
+        let cfg = SystemConfig::paper().with_size(n, m).with_dt(2.0);
+        let law = match law_pick {
+            0 => JobSizeLaw::Exponential { rate: 1.0 },
+            1 => JobSizeLaw::Pareto { shape: 2.5, scale: 0.5 },
+            _ => JobSizeLaw::BoundedPareto { shape: 1.5, lo: 0.2, hi: 20.0 },
+        };
+        let engine = EventEngine::new(cfg, law);
+        let policy = FixedRulePolicy::new(mflb_policy::jsq_rule(6, 2), "JSQ(2)");
+        let mut rng = run_rng(seed, 0);
+        let mut state = engine.init_state(&mut rng);
+        for _ in 0..horizon {
+            let h = engine.empirical(&state);
+            let rule = policy.decide(&h, 0, 0.9);
+            engine.step(&mut state, &rule, 0.9, &mut rng);
+            prop_assert_eq!(
+                state.jobs_arrived(),
+                state.jobs_completed() + state.jobs_dropped() + state.jobs_in_system(),
+                "job mass must balance after every epoch"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_replays_bit_identically(
+        num_jobs in 1usize..120,
+        gap_q in 1u32..40,
+        seed in 0u64..10_000,
+        synthetic_pick in 0usize..2,
+    ) {
+        let synthetic = synthetic_pick == 1;
+        // A serve run is a deterministic function of (engine, policy,
+        // source, seed): replaying the same trace — or re-running the
+        // same synthetic stream — reproduces every statistic bit for bit.
+        let cfg = SystemConfig::paper().with_size(200, 10).with_dt(2.0);
+        let engine = EventEngine::new(
+            cfg,
+            JobSizeLaw::BoundedPareto { shape: 1.5, lo: 0.2, hi: 20.0 },
+        );
+        let policy = FixedRulePolicy::new(mflb_policy::jsq_rule(6, 2), "JSQ(2)");
+        let gap = gap_q as f64 * 0.025;
+        let source = if synthetic {
+            JobSource::Synthetic
+        } else {
+            JobSource::Trace(
+                (0..num_jobs)
+                    .map(|i| Job {
+                        t: i as f64 * gap,
+                        size: 0.2 + ((i * 37 + seed as usize) % 11) as f64 * 0.15,
+                    })
+                    .collect(),
+            )
+        };
+        let opts = ServeOptions {
+            duration: synthetic.then_some(20.0),
+            seed,
+            ..Default::default()
+        };
+        let a = serve(&engine, &policy, "JSQ(2)", &source, &opts, |_| {}).unwrap();
+        let b = serve(&engine, &policy, "JSQ(2)", &source, &opts, |_| {}).unwrap();
+        prop_assert_eq!(a.jobs_arrived, b.jobs_arrived);
+        prop_assert_eq!(a.jobs_completed, b.jobs_completed);
+        prop_assert_eq!(a.jobs_dropped, b.jobs_dropped);
+        prop_assert_eq!(a.intervals, b.intervals);
+        prop_assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+        prop_assert_eq!(a.mean_sojourn.to_bits(), b.mean_sojourn.to_bits());
+        prop_assert_eq!(a.max_sojourn.to_bits(), b.max_sojourn.to_bits());
+        prop_assert_eq!(a.drop_fraction.to_bits(), b.drop_fraction.to_bits());
+        prop_assert_eq!(a.mean_queue_len.to_bits(), b.mean_queue_len.to_bits());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! mflb dp-solve --dt 5 --grid 8 --out dp.json      # certified lattice optimum
 //! mflb scv-compare --dt 5 --scv 4                  # phase-type service check
 //! mflb bench --quick --workers 1                   # tracked perf suite -> BENCH_kernels.json
+//! mflb serve --checkpoint ckpt.json --duration 50  # online dispatcher: job stream -> metrics
 //! ```
 //!
 //! The heavy experiment pipeline lives in `mflb-bench` (one binary per
@@ -120,8 +121,9 @@ fn build_scenario() -> Scenario {
         }
         "joblevel" => EngineSpec::JobLevel,
         "graph" => EngineSpec::Graph { topology: build_topology(), shard_size: None },
+        "event" => EngineSpec::Event { job_size: build_job_size() },
         other => fail(format!(
-            "unknown --engine '{other}' (aggregate|perclient|staggered|ph|joblevel|graph; \
+            "unknown --engine '{other}' (aggregate|perclient|staggered|ph|joblevel|graph|event; \
              heterogeneous pools need a --scenario file)"
         )),
     };
@@ -141,6 +143,26 @@ fn build_topology() -> mflb::core::Topology {
         other => fail(format!(
             "unknown --topology '{other}' (ring|torus|random|full; \
              richer graphs need a --scenario file)"
+        )),
+    }
+}
+
+/// Resolves `--job-size` plus its parameters for `--engine event`.
+fn build_job_size() -> mflb::core::JobSizeLaw {
+    use mflb::core::JobSizeLaw;
+    match arg("--job-size").as_deref().unwrap_or("exp") {
+        "exp" => JobSizeLaw::Exponential { rate: parse("--job-rate", 1.0) },
+        "pareto" => JobSizeLaw::Pareto {
+            shape: parse("--job-shape", 2.0),
+            scale: parse("--job-scale", 0.5),
+        },
+        "bpareto" => JobSizeLaw::BoundedPareto {
+            shape: parse("--job-shape", 1.5),
+            lo: parse("--job-lo", 0.2),
+            hi: parse("--job-hi", 20.0),
+        },
+        other => fail(format!(
+            "unknown --job-size '{other}' (exp|pareto|bpareto; richer laws need a --scenario file)"
         )),
     }
 }
@@ -325,6 +347,7 @@ fn engine_slug(spec: &EngineSpec) -> &'static str {
         EngineSpec::Ph { .. } => "ph",
         EngineSpec::JobLevel => "joblevel",
         EngineSpec::Graph { .. } => "graph",
+        EngineSpec::Event { .. } => "event",
     }
 }
 
@@ -708,6 +731,184 @@ fn cmd_scv_compare() {
     );
 }
 
+/// `mflb serve`: stand up the continuous-time event engine as an online
+/// dispatcher — load a policy, ingest jobs from a synthetic Poisson/MMPP
+/// generator or a replayed JSONL trace, route each under
+/// sampled-and-delayed observations and emit metrics.
+///
+/// Stdout is machine-readable: one JSON line per reporting interval
+/// (`ServeTick`) followed by the final `ServeReport` as the last line;
+/// human narration goes to stderr. Every malformed request — unknown
+/// policy tier, missing or unloadable checkpoint, bad numeric flag,
+/// malformed trace line — exits 2 *before* any simulation work starts;
+/// runtime failures exit 1.
+fn cmd_serve() {
+    use mflb::core::JobSizeLaw;
+    use mflb::sim::{parse_trace, serve, EventEngine, JobSource, ServeOptions};
+
+    // Strict flag parsing: serve is the deployment surface, so a typo'd
+    // value must die with exit 2 instead of silently running a default.
+    fn strict<T: std::str::FromStr>(flag: &str) -> Option<T> {
+        arg(flag)
+            .map(|v| v.parse().unwrap_or_else(|_| fail_usage(format!("bad {flag} value '{v}'"))))
+    }
+
+    // With a --checkpoint but no explicit tier, serving the checkpoint is
+    // what the caller meant — defaulting to jsq would silently ignore it.
+    let ckpt_path = arg("--checkpoint");
+    let default_tier = if ckpt_path.is_some() { "checkpoint" } else { "jsq" };
+    let policy_name = arg("--policy").unwrap_or_else(|| default_tier.into());
+    if !matches!(policy_name.as_str(), "jsq" | "rnd" | "softmin" | "checkpoint" | "distilled") {
+        fail_usage(format!(
+            "unknown --policy '{policy_name}' (jsq|rnd|softmin|checkpoint|distilled)"
+        ));
+    }
+    let max_jobs: Option<u64> = strict("--max-jobs");
+    if max_jobs == Some(0) {
+        fail_usage("--max-jobs must be at least 1");
+    }
+    let duration: Option<f64> = strict("--duration");
+    if let Some(t) = duration {
+        if !t.is_finite() || t <= 0.0 {
+            fail_usage(format!("--duration must be positive and finite, got {t}"));
+        }
+    }
+    let report_every: usize = strict("--report-every").unwrap_or(10);
+    if report_every == 0 {
+        fail_usage("--report-every must be at least 1");
+    }
+    let seed: u64 = strict("--seed").unwrap_or(1);
+
+    // Checkpoint tiers load (and shape-validate) before the trace is
+    // touched, so a wrong path fails in milliseconds, not after I/O.
+    let needs_ckpt = matches!(policy_name.as_str(), "checkpoint" | "distilled");
+    if needs_ckpt && ckpt_path.is_none() {
+        fail_usage(format!("--policy {policy_name} needs --checkpoint <path>"));
+    }
+    let mut loaded_train: Option<TrainingCheckpoint> = None;
+    let mut loaded_distilled: Option<DistilledCheckpoint> = None;
+    match policy_name.as_str() {
+        "checkpoint" => {
+            let path = ckpt_path.as_deref().expect("checked above");
+            loaded_train = Some(TrainingCheckpoint::load(path).unwrap_or_else(|e| fail_usage(e)));
+        }
+        "distilled" => {
+            let path = ckpt_path.as_deref().expect("checked above");
+            loaded_distilled =
+                Some(DistilledCheckpoint::load(path).unwrap_or_else(|e| fail_usage(e)));
+        }
+        _ => {}
+    }
+
+    // Scenario resolution: --scenario wins, then the checkpoint's
+    // embedded scenario, then the common engine flags.
+    let scenario = if let Some(p) = arg("--scenario") {
+        let text = std::fs::read_to_string(&p).unwrap_or_else(|e| fail_usage(format!("{p}: {e}")));
+        let s =
+            Scenario::from_json(&text).unwrap_or_else(|e| fail_usage(format!("parse {p}: {e}")));
+        if let Err(e) = s.validate() {
+            fail_usage(format!("invalid scenario {p}: {e}"));
+        }
+        s
+    } else if let Some(c) = &loaded_train {
+        c.scenario.clone()
+    } else if let Some(c) = &loaded_distilled {
+        c.scenario.clone()
+    } else {
+        build_scenario()
+    };
+
+    // Any homogeneous scenario serves: non-event engines adopt the event
+    // engine with unit-mean exponential job sizes, so checkpoints trained
+    // on the epoch engines deploy unchanged. Heterogeneous pools observe
+    // a composite (length, class) space the job-level engine lacks.
+    let job_size = match &scenario.engine {
+        EngineSpec::Event { job_size } => job_size.clone(),
+        EngineSpec::Hetero { .. } => fail_usage(
+            "serve cannot drive heterogeneous pools; use a homogeneous scenario \
+             (non-event engines serve with exponential job sizes)",
+        ),
+        _ => JobSizeLaw::Exponential { rate: 1.0 },
+    };
+
+    let zs = scenario.config.num_states();
+    let d = scenario.config.d;
+    let policy: Box<dyn UpperPolicy + Sync + Send> = match policy_name.as_str() {
+        "jsq" => Box::new(FixedRulePolicy::new(jsq_rule(zs, d), "JSQ(d)")),
+        "rnd" => Box::new(FixedRulePolicy::new(rnd_rule(zs, d), "RND")),
+        "softmin" => {
+            let beta: f64 = strict("--beta").unwrap_or(1.0);
+            Box::new(FixedRulePolicy::new(softmin_rule(zs, d, beta), format!("SOFT({beta})")))
+        }
+        "checkpoint" => {
+            let ckpt = loaded_train.take().expect("loaded above");
+            ckpt.validate_for(&scenario).unwrap_or_else(|e| {
+                fail_usage(format!("checkpoint does not fit this scenario: {e}"))
+            });
+            Box::new(ckpt.into_policy().unwrap_or_else(|e| fail_usage(e)))
+        }
+        "distilled" => {
+            let table = loaded_distilled.take().expect("loaded above");
+            table.validate_for(&scenario).unwrap_or_else(|e| {
+                fail_usage(format!("checkpoint does not fit this scenario: {e}"))
+            });
+            Box::new(table.into_policy().unwrap_or_else(|e| fail_usage(e)))
+        }
+        _ => unreachable!("tier validated above"),
+    };
+
+    // The trace is read last: everything above this line is pre-flight.
+    let source = match arg("--trace") {
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail_usage(format!("{path}: {e}")));
+            JobSource::Trace(
+                parse_trace(&text).unwrap_or_else(|e| fail_usage(format!("{path}: {e}"))),
+            )
+        }
+        None => JobSource::Synthetic,
+    };
+
+    let engine = EventEngine::new(scenario.config.clone(), job_size);
+    let opts = ServeOptions { max_jobs, duration, report_every, seed };
+    eprintln!(
+        "serving: M={} B={} d={} Δt={} sizes={:?} policy={} source={} seed={seed}",
+        scenario.config.num_queues,
+        scenario.config.buffer,
+        d,
+        scenario.config.dt,
+        engine.job_size(),
+        policy.name(),
+        source.label(),
+    );
+    let report = serve(&engine, policy.as_ref(), policy.name(), &source, &opts, |tick| {
+        println!("{}", serde_json::to_string(tick).expect("tick serialization cannot fail"));
+    })
+    .unwrap_or_else(|e| fail(e));
+    // Compact, so stdout stays strict JSONL: ticks, then this last line.
+    println!("{}", serde_json::to_string(&report).expect("report serialization cannot fail"));
+    eprintln!(
+        "served {} jobs over {:.1} time units ({} intervals): {} completed, {} dropped \
+         (drop fraction {:.4}), mean sojourn {:.3}, {:.0} jobs/s dispatched",
+        report.jobs_arrived,
+        report.sim_time,
+        report.intervals,
+        report.jobs_completed,
+        report.jobs_dropped,
+        report.drop_fraction,
+        report.mean_sojourn,
+        report.jobs_per_sec,
+    );
+    if let Some(out) = arg("--out") {
+        if let Some(parent) = std::path::Path::new(&out).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&out, report.to_json())
+            .unwrap_or_else(|e| fail(format!("write {out}: {e}")));
+        eprintln!("final report written to {out}");
+    }
+}
+
 /// Runs the tracked perf suite ([`mflb::bench::perf`]) and writes the
 /// `BENCH_kernels.json` trajectory file.
 fn cmd_bench() {
@@ -717,7 +918,8 @@ fn cmd_bench() {
     let default_out = match suite.as_str() {
         "kernels" => "BENCH_kernels.json",
         "graph" => "BENCH_graph.json",
-        other => fail_usage(format!("unknown bench suite '{other}' (kernels | graph)")),
+        "serve" => "BENCH_serve.json",
+        other => fail_usage(format!("unknown bench suite '{other}' (kernels | graph | serve)")),
     };
     let out = arg("--out").unwrap_or_else(|| default_out.into());
     println!(
@@ -728,6 +930,7 @@ fn cmd_bench() {
     let t0 = std::time::Instant::now();
     let report = match suite.as_str() {
         "graph" => mflb::bench::perf::run_graph_suite(quick, workers),
+        "serve" => mflb::bench::perf::run_serve_suite(quick, workers),
         _ => mflb::bench::perf::run_suite(quick, workers),
     };
     println!(
@@ -922,9 +1125,16 @@ fn usage() -> String {
         "  dp-solve     solve the lattice DP (certified optimum), optionally --out <json>",
         "  scv-compare  phase-type service: mean-field vs finite at a given --scv",
         "  fit-mmpp     estimate an L-level MMPP from a rate trace (--trace <file>, --levels L)",
+        "  serve        online dispatcher on the continuous-time event engine: jobs from a",
+        "               synthetic generator or a replayed JSONL trace, routed by --policy",
+        "               (defaults to checkpoint when --checkpoint is given, else jsq)",
+        "               under delayed observations; JSON tick lines + final report on stdout",
+        "               (--trace <jsonl> --max-jobs <n> --duration <t> --report-every <k>",
+        "                --seed <s> --out <json>; usage errors exit 2 before the trace is read)",
         "  bench        run a tracked perf suite -> BENCH_<suite>.json (--quick for CI scale;",
-        "               --suite kernels|graph — graph covers sparse rates, sharded epochs,",
-        "               CSR builds at up to 10^6 queues)",
+        "               --suite kernels|graph|serve — graph covers sparse rates, sharded",
+        "               epochs, CSR builds at up to 10^6 queues; serve tracks job-level",
+        "               dispatch throughput)",
         "  bench-diff   gate a fresh perf report against the committed baseline",
         "               (--baseline <json> --fresh <json> [--max-ratio 1.3])",
         "  validate     validate scenario spec files (exit 1 on any invalid file)",
@@ -932,9 +1142,11 @@ fn usage() -> String {
         "",
         "scenario selection (train / eval / simulate):",
         "  --scenario <file.json>        a spec from examples/scenarios/, or",
-        "  --engine aggregate|perclient|staggered|ph|joblevel|graph",
+        "  --engine aggregate|perclient|staggered|ph|joblevel|graph|event",
         "           [--cohorts k] [--scv f]",
         "           [--topology ring|torus|random|full --radius r --degree g --graph-seed s]",
+        "           [--job-size exp|pareto|bpareto --job-rate r --job-shape a --job-scale x",
+        "            --job-lo l --job-hi h] (job-size law for --engine event)",
         "",
         "common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>",
         "              --policy jsq|rnd|softmin|checkpoint|distilled [--beta f] [--checkpoint path]",
@@ -961,6 +1173,7 @@ fn main() {
         Some("dp-solve") => cmd_dp_solve(),
         Some("scv-compare") => cmd_scv_compare(),
         Some("fit-mmpp") => cmd_fit_mmpp(),
+        Some("serve") => cmd_serve(),
         Some("bench") => cmd_bench(),
         Some("bench-diff") => cmd_bench_diff(),
         Some("validate") => cmd_validate(),

@@ -398,6 +398,156 @@ fn eval_max_gap_gate_passes_and_breaches_by_exit_code() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `mflb serve` — the trace-replay surface: the shipped ten-job fixture
+/// runs end-to-end through a trained checkpoint, the periodic tick lines
+/// and the final report line all parse as their serde types, and the
+/// counters balance.
+#[test]
+fn serve_replays_the_ten_job_trace_fixture_with_a_checkpoint() {
+    let dir = std::env::temp_dir().join("mflb_cli_serve_trace");
+    let ckpt = train_tiny_checkpoint(&dir);
+    let trace =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/traces/ten_jobs.jsonl");
+    let report_path = dir.join("serve_report.json");
+    let out = mflb()
+        .args([
+            "serve",
+            "--policy",
+            "checkpoint",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--trace",
+            trace.to_str().unwrap(),
+            "--report-every",
+            "1",
+            "--seed",
+            "1",
+            "--out",
+            report_path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mflb serve");
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(lines.len() >= 2, "expected tick lines plus a final report line:\n{stdout}");
+    for tick_line in &lines[..lines.len() - 1] {
+        let tick: mflb::sim::ServeTick =
+            serde_json::from_str(tick_line).unwrap_or_else(|e| panic!("tick `{tick_line}`: {e}"));
+        assert!(tick.jobs_arrived >= tick.jobs_dropped, "counters must be consistent");
+    }
+    let report = mflb::sim::ServeReport::from_json(lines.last().unwrap())
+        .expect("last stdout line must be the final report JSON");
+    assert_eq!(report.source, "trace");
+    assert_eq!(report.jobs_arrived, 10, "the fixture carries exactly ten jobs");
+    assert_eq!(report.jobs_in_system, 0, "trace runs drain to completion");
+    assert_eq!(report.jobs_completed + report.jobs_dropped, 10);
+    // The --out artifact carries the same report.
+    let on_disk =
+        mflb::sim::ServeReport::from_json(&std::fs::read_to_string(&report_path).unwrap())
+            .expect("--out report must parse");
+    assert_eq!(on_disk.jobs_arrived, report.jobs_arrived);
+    assert_eq!(on_disk.mean_sojourn.to_bits(), report.mean_sojourn.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mflb serve` on a synthetic stream: `--duration` bounds the run for a
+/// learned checkpoint, and `--max-jobs` caps admissions then drains.
+#[test]
+fn serve_synthetic_stream_honors_duration_and_max_jobs() {
+    let dir = std::env::temp_dir().join("mflb_cli_serve_synth");
+    let ckpt = train_tiny_checkpoint(&dir);
+    let out = mflb()
+        .args([
+            "serve",
+            "--policy",
+            "checkpoint",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--duration",
+            "20",
+            "--seed",
+            "2",
+        ])
+        .output()
+        .expect("run mflb serve");
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let report = mflb::sim::ServeReport::from_json(stdout.lines().last().unwrap())
+        .expect("final report JSON");
+    assert_eq!(report.source, "synthetic");
+    assert!(report.sim_time >= 20.0 - 1e-9, "duration must be covered: {}", report.sim_time);
+    assert!(report.jobs_arrived > 0, "a synthetic stream must dispatch jobs");
+
+    let out = mflb()
+        .args(["serve", "--m", "10", "--max-jobs", "25", "--duration", "1000000", "--seed", "3"])
+        .output()
+        .expect("run mflb serve");
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let report = mflb::sim::ServeReport::from_json(stdout.lines().last().unwrap())
+        .expect("final report JSON");
+    assert_eq!(report.jobs_arrived, 25, "--max-jobs caps admissions");
+    assert_eq!(report.jobs_in_system, 0, "capped runs drain before exiting");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `mflb serve` pre-flight: every malformed request is a usage error
+/// (exit 2) raised before the trace is read.
+#[test]
+fn serve_usage_errors_exit_2_before_touching_the_trace() {
+    let dir = std::env::temp_dir().join("mflb_cli_serve_usage");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Unknown policy tier, listing the valid ones.
+    let out = mflb().args(["serve", "--policy", "warpdrive"]).output().expect("run mflb serve");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("jsq|rnd|softmin|checkpoint|distilled"), "{stderr}");
+
+    // A checkpoint tier without --checkpoint, and with an unloadable path.
+    let out = mflb().args(["serve", "--policy", "distilled"]).output().expect("run mflb serve");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--checkpoint"));
+
+    // The missing checkpoint is reported even when the trace is also
+    // malformed — checkpoints are validated first, the trace last.
+    let bad_trace = dir.join("bad.jsonl");
+    std::fs::write(&bad_trace, "{\"t\": 0.0, \"size\": 1.0}\nnot json at all\n").unwrap();
+    let out = mflb()
+        .args([
+            "serve",
+            "--policy",
+            "checkpoint",
+            "--checkpoint",
+            dir.join("missing.json").to_str().unwrap(),
+            "--trace",
+            bad_trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run mflb serve");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing.json"), "checkpoint complaint must come first: {stderr}");
+    assert!(!stderr.contains("line 2"), "the trace must not have been parsed yet: {stderr}");
+
+    // A malformed trace line is named with its 1-based number.
+    let out = mflb()
+        .args(["serve", "--trace", bad_trace.to_str().unwrap()])
+        .output()
+        .expect("run mflb serve");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "malformed line must be named: {stderr}");
+
+    // Bad numeric flags die before any work.
+    for args in [["serve", "--duration", "-3"], ["serve", "--max-jobs", "many"]] {
+        let out = mflb().args(args).output().expect("run mflb serve");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// `mflb distill` → `--policy distilled` — the distillation surface: the
 /// artifact is written, reloads, and deploys through `mflb simulate`.
 #[test]

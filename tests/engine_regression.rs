@@ -9,13 +9,15 @@
 //! constants (print `total_drops.to_bits()`) and say so in the PR.
 
 use mflb::core::mdp::FixedRulePolicy;
-use mflb::core::{SystemConfig, Topology};
+use mflb::core::{JobSizeLaw, SystemConfig, Topology};
+use mflb::linalg::stats::Summary;
 use mflb::policy::{jsq_rule, sed_rule};
 use mflb::queue::hetero::ServerPool;
 use mflb::queue::{ArrivalProcess, PhaseType};
 use mflb::sim::{
-    run_episode, run_rng, AggregateEngine, EngineSpec, GraphEngine, HeteroEngine, PerClientEngine,
-    PhAggregateEngine, Scenario, ServiceLaw, StaggeredEngine, StepMode,
+    run_episode, run_rng, serve, AggregateEngine, EngineSpec, EventEngine, FifoEngine, GraphEngine,
+    HeteroEngine, JobSource, PerClientEngine, PhAggregateEngine, Scenario, ServeOptions,
+    ServiceLaw, StaggeredEngine, StepMode,
 };
 
 /// High constant load makes drops frequent, so the pinned totals are
@@ -108,6 +110,76 @@ fn sharded_ring_graph_engine_reproduces_its_introduction_drops() {
 }
 
 #[test]
+fn event_engine_reproduces_its_introduction_drops() {
+    // Pinned at the PR that introduced the continuous-time event engine:
+    // all per-job randomness (interarrival gaps, sizes, routing) flows
+    // through counter-keyed streams, so heap refactors cannot perturb
+    // this value. One constant per job-size family.
+    let cfg = hot(SystemConfig::paper().with_size(900, 30).with_dt(3.0));
+    let exp = EventEngine::new(cfg.clone(), JobSizeLaw::Exponential { rate: 1.0 });
+    let drops = run_episode(&exp, &jsq(), 20, &mut run_rng(0xC0FFEE, 7)).total_drops;
+    assert_eq!(drops.to_bits(), 0x4012eeeeeeeeeeee, "got {drops}");
+
+    let bp = EventEngine::new(cfg, JobSizeLaw::BoundedPareto { shape: 1.5, lo: 0.2, hi: 20.0 });
+    let drops = run_episode(&bp, &jsq(), 20, &mut run_rng(0xC0FFEE, 7)).total_drops;
+    assert_eq!(drops.to_bits(), 0x3fe4444444444444, "got {drops}");
+}
+
+#[test]
+fn serve_run_reproduces_its_introduction_report() {
+    // The serve loop is a deterministic function of (engine, policy,
+    // source, seed): a synthetic heavy-tailed run is pinned bit-exact on
+    // its accumulated statistics, not just its counters.
+    let cfg = hot(SystemConfig::paper().with_size(400, 20).with_dt(2.0));
+    let engine = EventEngine::new(cfg, JobSizeLaw::BoundedPareto { shape: 1.5, lo: 0.2, hi: 20.0 });
+    let opts = ServeOptions { duration: Some(30.0), seed: 9, ..Default::default() };
+    let report = serve(&engine, &jsq(), "JSQ(2)", &JobSource::Synthetic, &opts, |_| {}).unwrap();
+    assert_eq!(report.intervals, 15);
+    assert_eq!(report.jobs_arrived, 579);
+    assert_eq!(report.mean_sojourn.to_bits(), 0x3ff116cff1b7b07b, "got {}", report.mean_sojourn);
+    assert_eq!(report.drop_fraction.to_bits(), 0x3f7c4c0c61456a8e, "got {}", report.drop_fraction);
+}
+
+#[test]
+fn event_engine_matches_the_fifo_engine_in_law_for_exponential_sizes() {
+    // Unit-mean exponential job sizes align the event engine's
+    // queue-length process with `FifoEngine`'s in law; the engines differ
+    // only in how routing randomness is organized (per-job thinned-Poisson
+    // draws vs a per-epoch frozen multinomial), so per-epoch drop and
+    // queue-length statistics agree within Monte-Carlo tolerance, not
+    // bit-for-bit.
+    let cfg = hot(SystemConfig::paper().with_size(900, 30).with_dt(3.0));
+    let event = EventEngine::new(cfg.clone(), JobSizeLaw::Exponential { rate: 1.0 });
+    let fifo = FifoEngine::new(cfg);
+    let policy = jsq();
+    let (mut da, mut db) = (Summary::new(), Summary::new());
+    let (mut qa, mut qb) = (Summary::new(), Summary::new());
+    let episode_mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    for r in 0..50 {
+        let a = run_episode(&event, &policy, 15, &mut run_rng(61, r));
+        let b = run_episode(&fifo, &policy, 15, &mut run_rng(62, r));
+        da.push(a.total_drops);
+        db.push(b.total_drops);
+        qa.push(episode_mean(&a.mean_queue_len));
+        qb.push(episode_mean(&b.mean_queue_len));
+    }
+    let tol = 4.0 * (da.std_err() + db.std_err());
+    assert!(
+        (da.mean() - db.mean()).abs() < tol,
+        "drops: event {} vs fifo {} (tol {tol})",
+        da.mean(),
+        db.mean()
+    );
+    let tol = 4.0 * (qa.std_err() + qb.std_err());
+    assert!(
+        (qa.mean() - qb.mean()).abs() < tol,
+        "queue length: event {} vs fifo {} (tol {tol})",
+        qa.mean(),
+        qb.mean()
+    );
+}
+
+#[test]
 fn scenario_built_engines_match_the_pinned_values_too() {
     // The scenario layer must construct engines with identical behaviour
     // to direct construction — spot-checked against two pinned values.
@@ -128,4 +200,13 @@ fn scenario_built_engines_match_the_pinned_values_too() {
     .unwrap();
     let drops = run_episode(&ph, &jsq(), 20, &mut run_rng(0xC0FFEE, 5)).total_drops;
     assert_eq!(drops.to_bits(), 0x4020e66666666666);
+
+    let event = Scenario::new(
+        hot(SystemConfig::paper().with_size(900, 30).with_dt(3.0)),
+        EngineSpec::Event { job_size: JobSizeLaw::Exponential { rate: 1.0 } },
+    )
+    .build()
+    .unwrap();
+    let drops = run_episode(&event, &jsq(), 20, &mut run_rng(0xC0FFEE, 7)).total_drops;
+    assert_eq!(drops.to_bits(), 0x4012eeeeeeeeeeee);
 }
