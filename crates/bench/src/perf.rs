@@ -764,6 +764,49 @@ pub fn run_serve_suite(quick: bool, workers: usize) -> BenchReport {
         ));
     }
 
+    // --- 5. Fault-injection overhead: the M = 100 synthetic stream
+    //     dispatched through (a) a fully faulted engine — crashes,
+    //     stragglers, dropped observation refreshes, overload bursts —
+    //     and (b) an engine handed an *empty* plan. Empty plans must
+    //     normalize onto the pristine fast path, so the empty-plan entry
+    //     carries the pristine run as its same-machine baseline: its
+    //     "speedup" is pinned ≈ 1.0 and bench-diff gates the
+    //     no-plan-no-overhead contract. The faulted entry tracks
+    //     absolute faulted-dispatch throughput. ---
+    {
+        use mflb_core::{
+            CrashFaults, FaultPlan, ObservationFaults, OverloadWindow, StragglerWindow,
+        };
+        let m = 100usize;
+        let cfg = SystemConfig::paper().with_size(10_000, m);
+        let policy = FixedRulePolicy::new(jsq_rule(cfg.num_states(), cfg.d), "JSQ(d)");
+        let opts =
+            ServeOptions { duration: Some(100.0 * scale as f64), seed: 17, ..Default::default() };
+        let run = |engine: &EventEngine| {
+            let t0 = Instant::now();
+            let report = serve(engine, &policy, "JSQ(d)", &JobSource::Synthetic, &opts, |_| {})
+                .expect("faulted serve run");
+            (t0.elapsed().as_secs_f64(), report.jobs_arrived as f64)
+        };
+        let pristine = EventEngine::new(cfg, JobSizeLaw::Exponential { rate: 1.0 });
+        let (pristine_secs, _) = run(&pristine);
+
+        let plan = FaultPlan {
+            crashes: Some(CrashFaults { mttf: 50.0, mttr: 10.0 }),
+            stragglers: vec![StragglerWindow { start: 20.0, end: 60.0, factor: 0.5, queues: None }],
+            observation: Some(ObservationFaults { drop_prob: 0.2 }),
+            overloads: vec![OverloadWindow { start: 70.0, end: 90.0, factor: 1.3 }],
+        };
+        let (faulted_secs, faulted_jobs) = run(&pristine.clone().with_faults(plan));
+        entries.push(entry("serve_dispatch_faulted_M100", 1, faulted_secs, faulted_jobs, "jobs/s"));
+
+        let (empty_secs, empty_jobs) = run(&pristine.clone().with_faults(FaultPlan::empty()));
+        entries.push(with_baseline(
+            entry("serve_dispatch_empty_plan_M100", 1, empty_secs, empty_jobs, "jobs/s"),
+            pristine_secs,
+        ));
+    }
+
     BenchReport { unix_time, quick, workers, entries }
 }
 

@@ -24,6 +24,7 @@
 
 pub mod config;
 pub mod dist;
+pub mod faults;
 pub mod graph_meanfield;
 pub mod hetero_meanfield;
 pub mod jobs;
@@ -37,6 +38,10 @@ pub mod topology;
 
 pub use config::SystemConfig;
 pub use dist::StateDist;
+pub use faults::{
+    stream_rng, CrashFaults, FaultPlan, FaultState, ObservationFaults, OverloadWindow,
+    StragglerWindow,
+};
 pub use graph_meanfield::{
     graph_arrival_rates, graph_mean_field_step, independent_pair, pair_arrival_rates,
     pair_marginal, pair_mean_field_step,

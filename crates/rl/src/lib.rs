@@ -75,6 +75,6 @@ pub use oracle::{
 pub use ppo::{CollectStats, IterationStats, PpoConfig, PpoTrainer, UpdateStats};
 pub use reinforce::{ReinforceConfig, ReinforceStats, ReinforceTrainer};
 pub use scenario_env::{
-    build_env, hetero_classes, GraphMfcEnv, HeteroMfcEnv, PhMfcEnv, PolicyShape,
+    build_env, hetero_classes, FaultyMfcEnv, GraphMfcEnv, HeteroMfcEnv, PhMfcEnv, PolicyShape,
 };
 pub use train::{train_scenario, train_scenario_from, TrainResult};

@@ -31,6 +31,16 @@
 //!   for exponential sizes, a reference model for the heavy-tailed laws.
 //!   Infinite-mean laws are rejected.
 //!
+//! Scenarios carrying a [`FaultPlan`] (the supported engine kinds:
+//! `Event`, `Graph`, `JobLevel`) train in [`FaultyMfcEnv`] — the same
+//! mean-field model degraded by the plan's *annealed* fault limit:
+//! crashes become the two-state availability ODE scaling the service
+//! rate, stragglers/overloads their window factors, and dropped
+//! observation refreshes freeze the snapshot the policy sees (a POMDP,
+//! exactly the paper's delayed-information information structure).
+//! Fault-free scenarios never touch this path, so their environments,
+//! RNG streams and checkpoints are byte-identical to before.
+//!
 //! [`PolicyShape`] is the single source of truth for the observation/action
 //! dimensions a scenario implies; checkpoint validation and policy
 //! construction both go through it so a net trained for one scenario can
@@ -40,13 +50,15 @@ use crate::env::{Env, StepResult};
 use crate::mfc_env::MfcEnv;
 use mflb_core::mdp::{action_dim, encode_observation, observation_dim};
 use mflb_core::{
-    graph_mean_field_step, DecisionRule, HeteroMeanField, PhMeanFieldMdp, PhMfState, StateDist,
-    SystemConfig,
+    graph_arrival_rates, graph_mean_field_step, mean_field_step_with_rates,
+    per_state_arrival_rates, DecisionRule, FaultPlan, HeteroMeanField, PhMeanFieldMdp, PhMfState,
+    StateDist, SystemConfig,
 };
 use mflb_policy::NeuralUpperPolicy;
 use mflb_queue::PhaseType;
 use mflb_sim::{EngineSpec, Scenario};
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// The policy interface a scenario implies: what the learned network
 /// observes and the state space of the decision rule it emits.
@@ -128,19 +140,30 @@ pub fn hetero_classes(rates: &[f64]) -> (Vec<f64>, Vec<f64>) {
 pub fn build_env(scenario: &Scenario) -> Result<Box<dyn Env>, String> {
     scenario.validate()?;
     let config = scenario.config.clone();
+    // Validation already restricted non-empty plans to the engine kinds
+    // that honor them (Event / Graph / JobLevel), so only those arms need
+    // a faulted branch.
+    let faults = scenario.faults.clone().filter(|p| !p.is_empty());
     Ok(match &scenario.engine {
-        EngineSpec::PerClient
-        | EngineSpec::Aggregate
-        | EngineSpec::Staggered { .. }
-        | EngineSpec::JobLevel => Box::new(MfcEnv::new(config)),
+        EngineSpec::PerClient | EngineSpec::Aggregate | EngineSpec::Staggered { .. } => {
+            Box::new(MfcEnv::new(config))
+        }
+        EngineSpec::JobLevel => match faults {
+            Some(plan) => Box::new(FaultyMfcEnv::new(config, plan, None)),
+            None => Box::new(MfcEnv::new(config)),
+        },
         EngineSpec::Hetero { rates } => Box::new(HeteroMfcEnv::new(config, rates)),
         EngineSpec::Ph { service } => Box::new(PhMfcEnv::new(config, service.build()?)),
-        EngineSpec::Graph { topology, .. } => match topology.limit_neighborhood_size() {
+        EngineSpec::Graph { topology, .. } => {
             // Accessible sets growing with M: the limit is the paper's
-            // exact full-mesh mean field.
-            None => Box::new(MfcEnv::new(config)),
-            Some(k) => Box::new(GraphMfcEnv::new(config, k)),
-        },
+            // exact full-mesh mean field (k = None in the faulted env).
+            let k = topology.limit_neighborhood_size();
+            match (faults, k) {
+                (Some(plan), k) => Box::new(FaultyMfcEnv::new(config, plan, k)),
+                (None, None) => Box::new(MfcEnv::new(config)),
+                (None, Some(k)) => Box::new(GraphMfcEnv::new(config, k)),
+            }
+        }
         EngineSpec::Event { job_size } => {
             // Mean-matched exponential model: a server of rate α working
             // through mean-size jobs completes them at rate α/mean —
@@ -156,7 +179,10 @@ pub fn build_env(scenario: &Scenario) -> Result<Box<dyn Env>, String> {
             }
             let mut c = config;
             c.service_rate /= mean;
-            Box::new(MfcEnv::new(c))
+            match faults {
+                Some(plan) => Box::new(FaultyMfcEnv::new(c, plan, None)),
+                None => Box::new(MfcEnv::new(c)),
+            }
         }
     })
 }
@@ -344,6 +370,178 @@ impl Env for GraphMfcEnv {
 
     fn boxed_clone(&self) -> Box<dyn Env> {
         Box::new(Self::new(self.config.clone(), self.k))
+    }
+
+    fn horizon_hint(&self) -> Option<usize> {
+        Some(self.horizon)
+    }
+}
+
+/// The homogeneous mean-field control MDP degraded by a [`FaultPlan`] —
+/// the annealed (`M → ∞`) limit of the finite faulted engines.
+///
+/// Per epoch `[t₀, t₀ + Δt)` the plan enters the dynamics as:
+///
+/// * **Crashes** — the per-queue Up/Down renewal becomes a *two-pool*
+///   mean field: the length distribution splits into an Up pool (full
+///   service) and a Down pool (service 0), with length-preserving mass
+///   exchange at the renewal rates (`1 − e^{−Δt/mttf}` of the Up pool
+///   fails, `1 − e^{−Δt/mttr}` of the Down pool recovers each epoch).
+///   Both pools *receive* arrivals at the same length-indexed rates —
+///   matching the finite engines, where routing cannot see liveness,
+///   only lengths — so crashed queues lengthen, drop, and drag the
+///   observable mixture right. This bimodal limit (not a uniform
+///   service-rate discount) is what makes sharp length-avoidance pay
+///   off in training the way it does against the real faulted engines.
+/// * **Stragglers** — the pool-mean window factor
+///   (`Σ_j straggler_factor(j)/M`) scales service the same way.
+/// * **Overload bursts** — [`FaultPlan::arrival_factor`] scales `λ_t`.
+/// * **Observation faults** — each epoch the snapshot refresh is dropped
+///   with probability `drop_prob` (one env-RNG draw); the policy then
+///   keeps observing the *stale* distribution while the true mean field
+///   moves on. This is hidden state — the same POMDP structure as the
+///   paper's delayed-information setting — and is what teaches a
+///   fault-aware policy to hedge instead of trusting old snapshots.
+///
+/// Observation/action dims are the homogeneous model's, so
+/// [`PolicyShape`] is unchanged: fault-trained checkpoints deploy against
+/// any engine the fault-free ones can. With `k = Some(·)` the transition
+/// uses the degree-indexed graph closure instead of the full-mesh
+/// integral ([`GraphMfcEnv`]'s dynamics, degraded the same way).
+pub struct FaultyMfcEnv {
+    config: SystemConfig,
+    plan: FaultPlan,
+    /// `Some(k)`: degree-indexed graph closure; `None`: full-mesh Eq. 22.
+    k: Option<usize>,
+    /// Length-distribution mass of the Up pool (sums to the up fraction).
+    up: Vec<f64>,
+    /// Length-distribution mass of the Down (crashed) pool.
+    down: Vec<f64>,
+    /// What the policy sees — the mixture as of the last *successful*
+    /// refresh.
+    observed: StateDist,
+    lambda_idx: usize,
+    t: usize,
+    horizon: usize,
+}
+
+impl FaultyMfcEnv {
+    /// Creates the environment for a validated plan (panics on an invalid
+    /// one — [`build_env`] goes through `Scenario::validate` first and
+    /// reports an `Err` instead).
+    pub fn new(config: SystemConfig, plan: FaultPlan, k: Option<usize>) -> Self {
+        config.validate().expect("invalid system configuration");
+        plan.validate_for(config.num_queues).expect("invalid fault plan");
+        if let Some(k) = k {
+            assert!(k >= 1, "neighborhood size must be at least 1");
+        }
+        let horizon = config.train_episode_len;
+        let up = config.initial_dist.clone();
+        let down = vec![0.0; up.len()];
+        let observed = StateDist::new(config.initial_dist.clone());
+        Self { config, plan, k, up, down, observed, lambda_idx: 0, t: 0, horizon }
+    }
+
+    /// Pool-mean straggler factor `Σ_j f_j(t₀)/M` for the epoch.
+    fn mean_straggler_factor(&self, t0: f64) -> f64 {
+        let m = self.config.num_queues.max(1);
+        (0..m).map(|j| self.plan.straggler_factor(j, t0, self.config.dt)).sum::<f64>() / m as f64
+    }
+
+    /// The observable length distribution: the Up + Down mixture (routing
+    /// and snapshots see lengths, never liveness).
+    fn mixture(&self) -> StateDist {
+        let total: f64 = self.up.iter().sum::<f64>() + self.down.iter().sum::<f64>();
+        StateDist::new(self.up.iter().zip(&self.down).map(|(u, d)| (u + d) / total).collect())
+    }
+
+    /// Advances one pool's mass through the shared per-state arrival
+    /// rates at its own service rate; returns the pool's expected drops.
+    fn advance_pool(pool: &mut [f64], rates: &[f64], service: f64, dt: f64) -> f64 {
+        let mass: f64 = pool.iter().sum();
+        if mass <= 1e-12 {
+            return 0.0;
+        }
+        let cond = StateDist::new(pool.iter().map(|p| p / mass).collect());
+        let step = mean_field_step_with_rates(&cond, rates.to_vec(), service, dt);
+        for (p, z) in pool.iter_mut().zip(0..) {
+            *p = mass * step.next_dist.prob(z);
+        }
+        mass * step.expected_drops
+    }
+
+    fn observe(&self) -> Vec<f64> {
+        encode_observation(&self.observed, self.lambda_idx, self.config.arrivals.num_levels())
+    }
+}
+
+impl Env for FaultyMfcEnv {
+    fn obs_dim(&self) -> usize {
+        observation_dim(self.config.num_states(), self.config.arrivals.num_levels())
+    }
+
+    fn act_dim(&self) -> usize {
+        action_dim(self.config.num_states(), self.config.d)
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.up = self.config.initial_dist.clone();
+        self.down = vec![0.0; self.up.len()];
+        self.observed = StateDist::new(self.config.initial_dist.clone());
+        self.lambda_idx = self.config.arrivals.sample_initial(rng);
+        self.t = 0;
+        self.observe()
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> StepResult {
+        let dt = self.config.dt;
+        let t0 = self.t as f64 * dt;
+        let rule = DecisionRule::from_logits(self.config.num_states(), self.config.d, action);
+        let lambda =
+            self.config.arrivals.level_rate(self.lambda_idx) * self.plan.arrival_factor(t0, dt);
+        // Crash renewal exchange: a length-preserving mass transfer
+        // between the Up and Down pools at the per-epoch fail/recover
+        // probabilities of the finite engines' per-queue renewals.
+        if let Some(c) = &self.plan.crashes {
+            let p_fail = 1.0 - (-dt / c.mttf).exp();
+            let p_rec = 1.0 - (-dt / c.mttr).exp();
+            for (u, d) in self.up.iter_mut().zip(&mut self.down) {
+                let fail = *u * p_fail;
+                let rec = *d * p_rec;
+                *u += rec - fail;
+                *d += fail - rec;
+            }
+        }
+        // Routing sees the mixture — lengths only, never liveness — so
+        // both pools share one length-indexed arrival-rate vector.
+        let mixture = self.mixture();
+        let rates = match self.k {
+            None => per_state_arrival_rates(&mixture, &rule, lambda),
+            Some(k) => graph_arrival_rates(&mixture, &rule, lambda, k),
+        };
+        let service = self.config.service_rate * self.mean_straggler_factor(t0);
+        let mut cost = Self::advance_pool(&mut self.up, &rates, service, dt)
+            + Self::advance_pool(&mut self.down, &rates, 0.0, dt);
+        if self.config.holding_cost > 0.0 {
+            cost += self.config.holding_cost * self.mixture().mean_queue_length() * self.config.dt;
+        }
+        // One env-RNG draw decides the refresh whenever an observation
+        // fault is configured; on a drop the policy keeps seeing the old
+        // snapshot (staleness compounds across consecutive drops).
+        let dropped = match &self.plan.observation {
+            Some(o) if o.drop_prob > 0.0 => rng.gen::<f64>() < o.drop_prob,
+            _ => false,
+        };
+        if !dropped {
+            self.observed = self.mixture();
+        }
+        self.lambda_idx = self.config.arrivals.step(self.lambda_idx, rng);
+        self.t += 1;
+        StepResult { obs: self.observe(), reward: -cost, done: self.t >= self.horizon }
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Env> {
+        Box::new(Self::new(self.config.clone(), self.plan.clone(), self.k))
     }
 
     fn horizon_hint(&self) -> Option<usize> {
@@ -614,5 +812,106 @@ mod tests {
         let (w, r) = hetero_classes(&[1.6, 0.4, 1.6, 0.4, 0.4]);
         assert_eq!(r, vec![1.6, 0.4]);
         assert!((w[0] - 0.4).abs() < 1e-12 && (w[1] - 0.6).abs() < 1e-12);
+    }
+
+    fn crashy_plan() -> mflb_core::FaultPlan {
+        let mut p = mflb_core::FaultPlan::empty();
+        p.crashes = Some(mflb_core::CrashFaults { mttf: 10.0, mttr: 5.0 });
+        p
+    }
+
+    #[test]
+    fn faulted_scenarios_build_the_faulty_env_with_unchanged_shapes() {
+        // FaultyMfcEnv must keep the homogeneous PolicyShape — a
+        // fault-trained checkpoint deploys anywhere a fault-free one can.
+        let scenario =
+            Scenario::new(base_config(), EngineSpec::JobLevel).with_faults(crashy_plan());
+        let shape = PolicyShape::for_scenario(&scenario);
+        let mut env = build_env(&scenario).expect("valid faulted scenario");
+        assert_eq!(env.obs_dim(), shape.obs_dim());
+        assert_eq!(env.act_dim(), shape.act_dim());
+        let mut rng = StdRng::seed_from_u64(3);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.len(), shape.obs_dim());
+        let action = vec![0.0; env.act_dim()];
+        let mut steps = 0;
+        loop {
+            let r = env.step(&action, &mut rng);
+            steps += 1;
+            assert!(r.reward <= 0.0, "reward is minus drops");
+            let mass: f64 = r.obs[..shape.obs_states].iter().sum();
+            assert!((mass - 1.0).abs() < 1e-8, "observed dist stays a distribution");
+            if r.done {
+                break;
+            }
+        }
+        assert_eq!(steps, 10);
+    }
+
+    #[test]
+    fn crashes_strictly_increase_mean_field_drops() {
+        // Same seed, same (uniform) actions: parking ~1/3 of the pool in
+        // the zero-service Down pool must cost strictly more drops.
+        let cfg = base_config();
+        let mut faulted = FaultyMfcEnv::new(cfg.clone(), crashy_plan(), None);
+        let mut pristine = MfcEnv::new(cfg);
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        faulted.reset(&mut rng_a);
+        pristine.reset(&mut rng_b);
+        let action = vec![0.0; pristine.act_dim()];
+        let (mut cost_f, mut cost_p) = (0.0, 0.0);
+        for _ in 0..10 {
+            cost_f -= faulted.step(&action, &mut rng_a).reward;
+            cost_p -= pristine.step(&action, &mut rng_b).reward;
+        }
+        assert!(
+            cost_f > cost_p,
+            "crash-degraded service must drop more: faulted {cost_f} vs pristine {cost_p}"
+        );
+    }
+
+    #[test]
+    fn certain_observation_drops_freeze_the_policy_snapshot() {
+        // drop_prob = 1: every refresh fails, so the observed length
+        // distribution must stay the initial ν₀ while the true mean field
+        // (and hence the reward) keeps moving.
+        let mut plan = mflb_core::FaultPlan::empty();
+        plan.observation = Some(mflb_core::ObservationFaults { drop_prob: 1.0 });
+        let cfg = base_config();
+        let zs = cfg.num_states();
+        let nu0: Vec<f64> = cfg.initial_dist.clone();
+        let mut env = FaultyMfcEnv::new(cfg, plan, None);
+        let mut rng = StdRng::seed_from_u64(4);
+        env.reset(&mut rng);
+        let action = vec![0.0; env.act_dim()];
+        let mut saw_drops = false;
+        for _ in 0..10 {
+            let r = env.step(&action, &mut rng);
+            for (z, &p) in nu0.iter().enumerate().take(zs) {
+                assert!((r.obs[z] - p).abs() < 1e-12, "snapshot must stay frozen at ν₀");
+            }
+            saw_drops |= r.reward < 0.0;
+        }
+        assert!(saw_drops, "the true mean field must keep evolving behind the stale snapshot");
+    }
+
+    #[test]
+    fn faulted_graph_scenarios_use_the_degraded_graph_closure() {
+        let scenario = Scenario::new(
+            base_config(),
+            EngineSpec::Graph {
+                topology: mflb_core::Topology::Ring { radius: 2 },
+                shard_size: None,
+            },
+        )
+        .with_faults(crashy_plan());
+        let mut env = build_env(&scenario).expect("valid faulted graph scenario");
+        let mut rng = StdRng::seed_from_u64(6);
+        env.reset(&mut rng);
+        let r = env.step(&vec![0.0; env.act_dim()], &mut rng);
+        assert!(r.reward <= 0.0);
+        let mass: f64 = r.obs[..6].iter().sum();
+        assert!((mass - 1.0).abs() < 1e-8);
     }
 }

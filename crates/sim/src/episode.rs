@@ -211,17 +211,14 @@ pub fn run_rng(base_seed: u64, run_index: u64) -> StdRng {
 /// SplitMix64-style scramble of `(epoch_base ^ salt) + idx·φ` seeds the
 /// engine-wide `StdRng` (whose `seed_from_u64` adds four more SplitMix64
 /// rounds), keeping streams decorrelated across entities and phases.
-/// Shared by the sharded [`crate::graph_engine::GraphEngine`] and the
-/// event-heap [`crate::event_engine::EventEngine`]: giving each logical
-/// entity (queue, dispatcher, job) its *own* counter-keyed stream is what
-/// makes epochs bit-identical regardless of shard partition, worker
-/// count, or heap tie-breaking.
-pub(crate) fn stream_rng(epoch_base: u64, salt: u64, idx: u64) -> StdRng {
-    let mut z = (epoch_base ^ salt).wrapping_add(idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
-}
+/// Shared by the sharded [`crate::graph_engine::GraphEngine`], the
+/// event-heap [`crate::event_engine::EventEngine`] and the fault layer
+/// ([`mflb_core::FaultPlan`]): giving each logical entity (queue,
+/// dispatcher, job) its *own* counter-keyed stream is what makes epochs
+/// bit-identical regardless of shard partition, worker count, or heap
+/// tie-breaking. The scramble itself lives in `mflb_core::faults` so the
+/// fault streams are salts of the exact same scheme.
+pub(crate) use mflb_core::stream_rng;
 
 /// Shared per-client assignment sweep (Eq. 3–4): every client samples `d`
 /// queue indices uniformly with replacement, observes each through

@@ -36,7 +36,7 @@
 //! episode of this engine bit-exactly.
 
 use crate::episode::{sample_initial_queues, stream_rng, Engine, EpochStats};
-use mflb_core::{DecisionRule, JobSizeLaw, StateDist, SystemConfig};
+use mflb_core::{DecisionRule, FaultPlan, JobSizeLaw, StateDist, SystemConfig};
 use mflb_queue::sampler::Sampler;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -226,9 +226,24 @@ pub struct EventState {
     sampled: Vec<usize>,
     /// Routing scratch: their observed (stale) lengths.
     tuple: Vec<usize>,
+    /// Whether a completion event is scheduled for each queue. Without
+    /// faults this is exactly `lengths[j] > 0`; a fully-crashed interval
+    /// (multiplier 0) stalls a nonempty queue with no completion pending
+    /// until [`EventEngine::begin_interval`] rescues it on recovery.
+    in_service: Vec<bool>,
+    /// Per-queue effective service-rate multiplier for the current
+    /// interval (crash up-fraction × straggler factor); all `1.0` when no
+    /// fault plan is attached.
+    mult: Vec<f64>,
+    /// Crash-renewal Up/Down phase per queue.
+    fault_up: Vec<bool>,
+    /// Sync intervals since the last observation refresh landed (`0` =
+    /// the snapshot is fresh; grows only under observation faults).
+    obs_age: u64,
     jobs_arrived: u64,
     jobs_completed: u64,
     jobs_dropped: u64,
+    jobs_shed: u64,
 }
 
 impl EventState {
@@ -247,6 +262,11 @@ impl EventState {
         self.jobs_dropped
     }
 
+    /// Jobs shed by admission control before routing (back-pressure).
+    pub fn jobs_shed(&self) -> u64 {
+        self.jobs_shed
+    }
+
     /// Jobs currently queued or in service.
     pub fn jobs_in_system(&self) -> u64 {
         self.lengths.iter().map(|&l| l as u64).sum()
@@ -255,6 +275,13 @@ impl EventState {
     /// Current simulation time.
     pub fn clock(&self) -> f64 {
         self.clock
+    }
+
+    /// Sync intervals since the last observation refresh landed; `0`
+    /// whenever the snapshot is fresh. Grows only under observation
+    /// faults — the `serve` staleness watchdog monitors this.
+    pub fn observation_age(&self) -> u64 {
+        self.obs_age
     }
 }
 
@@ -270,6 +297,7 @@ impl EventState {
 pub struct EventEngine {
     config: SystemConfig,
     job_size: JobSizeLaw,
+    faults: Option<FaultPlan>,
 }
 
 impl EventEngine {
@@ -277,7 +305,20 @@ impl EventEngine {
     pub fn new(config: SystemConfig, job_size: JobSizeLaw) -> Self {
         config.validate().expect("invalid system configuration");
         job_size.validate().expect("invalid job-size law");
-        Self { config, job_size }
+        Self { config, job_size, faults: None }
+    }
+
+    /// Attaches a fault plan ([`mflb_core::faults`]). An empty plan is
+    /// dropped on the floor, keeping the engine on the exact fault-free
+    /// code path (and its pinned RNG streams).
+    ///
+    /// # Panics
+    /// Panics if the plan fails [`FaultPlan::validate_for`] — construct
+    /// via [`crate::Scenario::build`] for an `Err`-reporting path.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        plan.validate_for(self.config.num_queues).expect("invalid fault plan");
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+        self
     }
 
     /// The configured job-size law.
@@ -285,12 +326,70 @@ impl EventEngine {
         &self.job_size
     }
 
-    /// Runs the event loop over `[state.clock, t_end)`: re-snapshots the
-    /// observation, pulls jobs from `feed` (at most `max_arrivals`),
-    /// routes each through `rule` under the stale snapshot, and services
-    /// queues until the refresh event at `t_end` pops. Advances the clock
-    /// to `t_end` and returns the interval's statistics (completions of
-    /// jobs from earlier intervals count toward this one).
+    /// The attached fault plan, if any non-empty one is configured.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Empirical distribution of the **observation snapshot** — what the
+    /// dispatchers (and the `serve` policy tier) actually see. Identical
+    /// to [`Engine::empirical`] right after a successful refresh; stale
+    /// whenever observation faults dropped the refresh.
+    pub fn observed(&self, state: &EventState) -> StateDist {
+        StateDist::empirical(&state.snapshot, self.config.buffer)
+    }
+
+    /// Opens the sync interval `[state.clock, state.clock + Δt)`: decides
+    /// whether this interval's observation refresh lands (under the fault
+    /// plan's observation channel), re-snapshots the lengths if it does,
+    /// computes every queue's effective service-rate multiplier for the
+    /// interval, and reschedules service for queues recovering from a
+    /// full stall. Must be called exactly once before each
+    /// [`EventEngine::run_interval`]; with no fault plan it reduces to
+    /// the plain snapshot copy.
+    pub(crate) fn begin_interval(&self, state: &mut EventState, epoch_base: u64) {
+        let Some(plan) = &self.faults else {
+            state.snapshot.copy_from_slice(&state.lengths);
+            return;
+        };
+        if plan.refresh_dropped(epoch_base) {
+            state.obs_age += 1;
+        } else {
+            state.snapshot.copy_from_slice(&state.lengths);
+            state.obs_age = 0;
+        }
+        if !plan.has_service_faults() {
+            return;
+        }
+        let t0 = state.clock;
+        let dt = self.config.dt;
+        let service_rate = self.config.service_rate;
+        for j in 0..self.config.num_queues {
+            state.mult[j] = plan.service_multiplier(&mut state.fault_up[j], epoch_base, j, t0, dt);
+            // Rescue a stalled queue: its head job starts service at the
+            // interval boundary, served at this interval's rate.
+            if !state.in_service[j] && state.lengths[j] > 0 && state.mult[j] > 0.0 {
+                let size = state.queues[j].front().expect("nonempty queue has a head job").1;
+                state.timeline.schedule(
+                    t0 + size / (service_rate * state.mult[j]),
+                    EngineEvent::Completion { queue: j },
+                );
+                state.in_service[j] = true;
+            }
+        }
+    }
+
+    /// Runs the event loop over `[state.clock, t_end)`: pulls jobs from
+    /// `feed` (at most `max_arrivals`), routes each through `rule` under
+    /// the stale snapshot, and services queues until the refresh event at
+    /// `t_end` pops. `shed_above` is the admission cap: a job arriving
+    /// while the in-system count is at or above it is shed before routing
+    /// (back-pressure), counted in [`EventState::jobs_shed`]. The caller
+    /// must open the interval with [`EventEngine::begin_interval`] first.
+    /// Advances the clock to `t_end` and returns the interval's
+    /// statistics (completions of jobs from earlier intervals count
+    /// toward this one).
+    #[allow(clippy::too_many_arguments)] // crate-internal; serve_with is the public surface
     pub(crate) fn run_interval(
         &self,
         state: &mut EventState,
@@ -299,10 +398,12 @@ impl EventEngine {
         t_end: f64,
         feed: &mut dyn ArrivalFeed,
         max_arrivals: u64,
+        shed_above: Option<u64>,
     ) -> EpochStats {
         let m = self.config.num_queues;
         let buffer = self.config.buffer;
         let service_rate = self.config.service_rate;
+        let faulted = self.faults.as_ref().is_some_and(|p| p.has_service_faults());
         let EventState {
             queues,
             lengths,
@@ -312,22 +413,29 @@ impl EventEngine {
             counts,
             sampled,
             tuple,
+            in_service,
+            mult,
+            fault_up: _,
+            obs_age: _,
             jobs_arrived,
             jobs_completed,
             jobs_dropped,
+            jobs_shed,
         } = state;
 
-        // The sync boundary: the observation every arrival of this
-        // interval sees is the length vector frozen here.
-        snapshot.copy_from_slice(lengths);
         counts.iter_mut().for_each(|c| *c = 0);
         timeline.schedule(t_end, EngineEvent::Refresh);
 
+        let mut in_system: u64 = match shed_above {
+            Some(_) => lengths.iter().map(|&l| l as u64).sum(),
+            None => 0,
+        };
         let mut prev_arrival = *clock;
         let mut k: u64 = 0;
         let mut arrived = 0u64;
         let mut dropped = 0u64;
         let mut completed = 0u64;
+        let mut shed = 0u64;
         let mut sojourns = Vec::new();
         let mut arrival_scheduled = false;
 
@@ -352,6 +460,15 @@ impl EventEngine {
                     feed.advance();
                     arrival_scheduled = false;
                     prev_arrival = t;
+                    if shed_above.is_some_and(|cap| in_system >= cap) {
+                        // Back-pressure: reject before routing — no
+                        // routing randomness is consumed, so shedding is
+                        // itself a deterministic function of the state.
+                        k += 1;
+                        arrived += 1;
+                        shed += 1;
+                        continue;
+                    }
                     let mut rng = stream_rng(epoch_base, SALT_ROUTE, k);
                     for s in 0..self.config.d {
                         sampled[s] = rng.gen_range(0..m);
@@ -365,27 +482,41 @@ impl EventEngine {
                     if lengths[j] >= buffer {
                         dropped += 1;
                     } else {
-                        if lengths[j] == 0 {
-                            timeline.schedule(
-                                t + size / service_rate,
-                                EngineEvent::Completion { queue: j },
-                            );
+                        if !in_service[j] {
+                            let rate = if faulted { service_rate * mult[j] } else { service_rate };
+                            if rate > 0.0 {
+                                timeline.schedule(
+                                    t + size / rate,
+                                    EngineEvent::Completion { queue: j },
+                                );
+                                in_service[j] = true;
+                            }
                         }
                         queues[j].push_back((t, size));
                         lengths[j] += 1;
+                        in_system += 1;
                     }
                 }
                 EngineEvent::Completion { queue: j } => {
                     let (arrived_at, _size) =
                         queues[j].pop_front().expect("completion implies a job in service");
                     lengths[j] -= 1;
+                    in_system = in_system.saturating_sub(1);
                     sojourns.push(t - arrived_at);
                     completed += 1;
-                    if let Some(&(_, next_size)) = queues[j].front() {
-                        timeline.schedule(
-                            t + next_size / service_rate,
-                            EngineEvent::Completion { queue: j },
-                        );
+                    match queues[j].front() {
+                        Some(&(_, next_size)) => {
+                            let rate = if faulted { service_rate * mult[j] } else { service_rate };
+                            if rate > 0.0 {
+                                timeline.schedule(
+                                    t + next_size / rate,
+                                    EngineEvent::Completion { queue: j },
+                                );
+                            } else {
+                                in_service[j] = false;
+                            }
+                        }
+                        None => in_service[j] = false,
                     }
                 }
             }
@@ -395,6 +526,7 @@ impl EventEngine {
         *jobs_arrived += arrived;
         *jobs_completed += completed;
         *jobs_dropped += dropped;
+        *jobs_shed += shed;
 
         let max_count = counts.iter().copied().max().unwrap_or(0);
         EpochStats {
@@ -445,15 +577,20 @@ impl Engine for EventEngine {
         EventState {
             queues,
             snapshot: lengths.clone(),
+            in_service: lengths.iter().map(|&n| n > 0).collect(),
             lengths,
             timeline,
             clock: 0.0,
             counts: vec![0; m],
             sampled: vec![0; self.config.d],
             tuple: vec![0; self.config.d],
+            mult: vec![1.0; m],
+            fault_up: vec![true; m],
+            obs_age: 0,
             jobs_arrived: preloaded,
             jobs_completed: 0,
             jobs_dropped: 0,
+            jobs_shed: 0,
         }
     }
 
@@ -469,10 +606,11 @@ impl Engine for EventEngine {
         rng: &mut StdRng,
     ) -> EpochStats {
         let epoch_base: u64 = rng.gen();
+        self.begin_interval(state, epoch_base);
         let t_end = state.clock + self.config.dt;
         let rate = self.config.num_queues as f64 * lambda;
         let mut feed = PoissonFeed::new(epoch_base, rate, self.job_size.clone());
-        self.run_interval(state, rule, epoch_base, t_end, &mut feed, u64::MAX)
+        self.run_interval(state, rule, epoch_base, t_end, &mut feed, u64::MAX, None)
     }
 
     fn name(&self) -> &'static str {

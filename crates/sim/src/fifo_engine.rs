@@ -14,9 +14,10 @@
 
 use crate::aggregate::sample_client_assignments_into;
 use crate::episode::{Engine, EpochStats};
-use mflb_core::{DecisionRule, StateDist, SystemConfig};
+use mflb_core::{DecisionRule, FaultPlan, StateDist, SystemConfig};
 use mflb_queue::fifo::FifoQueue;
 use rand::rngs::StdRng;
+use rand::Rng;
 
 /// Episode state of [`FifoEngine`]: the job-level queues plus scratch.
 #[derive(Debug, Clone)]
@@ -25,6 +26,12 @@ pub struct FifoState {
     /// Observed (buffer-capped) queue lengths, kept in sync with `queues`.
     lengths: Vec<usize>,
     counts: Vec<u64>,
+    /// Epochs stepped so far — the clock (`t0 = epoch · Δt`) for
+    /// window-based fault lookups. Advances even without a fault plan.
+    epoch: u64,
+    /// Per-queue crash renewal state; only consulted when a
+    /// [`FaultPlan`] is attached.
+    fault_up: Vec<bool>,
 }
 
 impl FifoState {
@@ -38,13 +45,35 @@ impl FifoState {
 #[derive(Debug, Clone)]
 pub struct FifoEngine {
     config: SystemConfig,
+    /// Deterministic fault plan (`None` = pristine engine; empty plans
+    /// are normalized to `None` so they cannot perturb any stream).
+    faults: Option<FaultPlan>,
 }
 
 impl FifoEngine {
     /// Creates the engine for a validated configuration.
     pub fn new(config: SystemConfig) -> Self {
         config.validate().expect("invalid system configuration");
-        Self { config }
+        Self { config, faults: None }
+    }
+
+    /// Attaches a deterministic [`FaultPlan`]. Empty plans are dropped so
+    /// a fault-free engine stays bit-identical to one never handed a
+    /// plan; faulted epochs draw one extra `epoch_base` to key the
+    /// crash/straggler streams.
+    ///
+    /// # Panics
+    /// Panics on an invalid plan — construct via [`crate::Scenario::build`]
+    /// for an `Err`-reporting path.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        plan.validate_for(self.config.num_queues).expect("invalid fault plan");
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 }
 
@@ -66,7 +95,7 @@ impl Engine for FifoEngine {
             })
             .collect();
         let m = queues.len();
-        FifoState { queues, lengths, counts: vec![0; m] }
+        FifoState { queues, lengths, counts: vec![0; m], epoch: 0, fault_up: vec![true; m] }
     }
 
     fn empirical(&self, state: &FifoState) -> StateDist {
@@ -80,9 +109,29 @@ impl Engine for FifoEngine {
         lambda: f64,
         rng: &mut StdRng,
     ) -> EpochStats {
-        let FifoState { queues, lengths, counts } = state;
+        let FifoState { queues, lengths, counts, epoch, fault_up } = state;
         let m = queues.len();
         debug_assert_eq!(m, self.config.num_queues);
+        let t0 = *epoch as f64 * self.config.dt;
+        *epoch += 1;
+        // A faulted epoch draws one extra `epoch_base` for the fault
+        // streams *before* any other randomness (and rewrites each
+        // queue's public `service_rate` for the interval); a fault-free
+        // engine never reaches either, so pinned streams are untouched.
+        let lambda = match &self.faults {
+            Some(plan) => {
+                let epoch_base: u64 = rng.gen();
+                if plan.has_service_faults() {
+                    let dt = self.config.dt;
+                    for (j, (q, up)) in queues.iter_mut().zip(fault_up.iter_mut()).enumerate() {
+                        let mult = plan.service_multiplier(up, epoch_base, j, t0, dt);
+                        q.service_rate = self.config.service_rate * mult;
+                    }
+                }
+                lambda * plan.arrival_factor(t0, self.config.dt)
+            }
+            None => lambda,
+        };
         sample_client_assignments_into(
             self.config.num_clients,
             self.config.buffer,

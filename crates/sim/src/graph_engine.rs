@@ -64,7 +64,7 @@ use crate::episode::{
 };
 use mflb_core::{
     per_state_arrival_rates_into, per_state_arrival_rates_sparse_into, CsrNeighborhoods,
-    DecisionRule, StateDist, SystemConfig, Topology,
+    DecisionRule, FaultPlan, StateDist, SystemConfig, Topology,
 };
 use mflb_queue::sampler::Sampler;
 use rand::rngs::StdRng;
@@ -125,6 +125,16 @@ pub struct GraphState {
     rates: Vec<f64>,
     probs: Vec<f64>,
     support: Vec<usize>,
+    /// Epochs stepped so far — the engine's clock (`t0 = epoch · Δt`) for
+    /// window-based fault lookups. Advances even without a fault plan
+    /// (no randomness involved).
+    epoch: u64,
+    /// Per-queue crash renewal state (`true` = up at interval start);
+    /// only consulted when a [`FaultPlan`] is attached.
+    fault_up: Vec<bool>,
+    /// Per-queue service-rate multipliers of the current epoch (all ones
+    /// without a fault plan).
+    mult: Vec<f64>,
 }
 
 impl Clone for GraphState {
@@ -142,6 +152,9 @@ impl Clone for GraphState {
             rates: self.rates.clone(),
             probs: self.probs.clone(),
             support: self.support.clone(),
+            epoch: self.epoch,
+            fault_up: self.fault_up.clone(),
+            mult: self.mult.clone(),
         }
     }
 }
@@ -160,6 +173,9 @@ impl GraphState {
             rates: vec![0.0; zs],
             probs: vec![0.0; k],
             support: Vec::with_capacity(zs),
+            epoch: 0,
+            fault_up: vec![true; m],
+            mult: vec![1.0; m],
         }
     }
 
@@ -189,6 +205,9 @@ pub struct GraphEngine {
     /// Worker threads for sharded stepping (`0` = one per available
     /// core). Never affects results — only wall-clock.
     workers: usize,
+    /// Deterministic fault plan (`None` = pristine engine; empty plans
+    /// are normalized to `None` so they cannot perturb any stream).
+    faults: Option<FaultPlan>,
 }
 
 impl GraphEngine {
@@ -227,7 +246,28 @@ impl GraphEngine {
             mode,
             shard_size: DEFAULT_SHARD_SIZE,
             workers: 0,
+            faults: None,
         }
+    }
+
+    /// Attaches a deterministic [`FaultPlan`]. Empty plans are dropped so
+    /// a fault-free engine stays bit-identical to one never handed a
+    /// plan; faulted epochs key their crash/straggler streams off one
+    /// extra `epoch_base` draw (sequential mode) or the existing sharded
+    /// epoch base, so they stay bit-identical across shard/worker counts.
+    ///
+    /// # Panics
+    /// Panics on an invalid plan — construct via [`crate::Scenario::build`]
+    /// for an `Err`-reporting path.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        plan.validate_for(self.config.num_queues).expect("invalid fault plan");
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+        self
+    }
+
+    /// The attached fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
     }
 
     /// Forces the epoch execution mode (no-op on the full-mesh fast path,
@@ -409,8 +449,17 @@ impl GraphEngine {
         rng: &mut StdRng,
         state: &mut GraphState,
     ) {
-        let GraphState { queues, counts, counts_atomic, home_counts, hist, rates, probs, support } =
-            state;
+        let GraphState {
+            queues,
+            counts,
+            counts_atomic,
+            home_counts,
+            hist,
+            rates,
+            probs,
+            support,
+            ..
+        } = state;
         if self.full_mesh {
             // Dispatcher identity is irrelevant when every accessible set
             // covers all M queues: take the aggregate engine's exact
@@ -565,6 +614,7 @@ impl GraphEngine {
         counts: &mut [u64],
         counts_atomic: &[AtomicU64],
         scale: f64,
+        mult: &[f64],
         epoch_base: u64,
     ) -> (u64, u64) {
         let shard = self.shard_size.max(1);
@@ -574,8 +624,15 @@ impl GraphEngine {
             let (mut dropped, mut served) = (0u64, 0u64);
             for (s, (qs, cs)) in queues.chunks_mut(shard).zip(counts.chunks_mut(shard)).enumerate()
             {
-                let (d, sv) =
-                    self.shard_service_pass(s * shard, qs, cs, counts_atomic, scale, epoch_base);
+                let (d, sv) = self.shard_service_pass(
+                    s * shard,
+                    qs,
+                    cs,
+                    counts_atomic,
+                    scale,
+                    mult,
+                    epoch_base,
+                );
                 dropped += d;
                 served += sv;
             }
@@ -601,6 +658,7 @@ impl GraphEngine {
                                 cs,
                                 counts_atomic,
                                 scale,
+                                mult,
                                 epoch_base,
                             );
                             d += bd;
@@ -620,7 +678,11 @@ impl GraphEngine {
         (dropped, served)
     }
 
-    /// Phase 3 for one shard `[start, start + queues.len())`.
+    /// Phase 3 for one shard `[start, start + queues.len())`. `mult` is
+    /// the (epoch-wide, shard-independent) per-queue service multiplier
+    /// lattice — exactly `1.0` everywhere without a fault plan, which
+    /// leaves the service rate bit-identical.
+    #[allow(clippy::too_many_arguments)]
     fn shard_service_pass(
         &self,
         start: usize,
@@ -628,6 +690,7 @@ impl GraphEngine {
         counts: &mut [u64],
         counts_atomic: &[AtomicU64],
         scale: f64,
+        mult: &[f64],
         epoch_base: u64,
     ) -> (u64, u64) {
         let (mut dropped, mut served) = (0u64, 0u64);
@@ -641,7 +704,7 @@ impl GraphEngine {
             let mut rng = stream_rng(epoch_base, SALT_SERVE, j as u64);
             let model = mflb_queue::BirthDeathQueue::new(
                 scale * cj as f64,
-                self.config.service_rate,
+                self.config.service_rate * mult[j],
                 self.config.buffer,
             );
             let outcome = model.simulate_epoch(*q, self.config.dt, &mut rng);
@@ -653,22 +716,43 @@ impl GraphEngine {
     }
 
     /// One sharded epoch: a single `epoch_base` draw from the episode RNG
-    /// re-keys all phase streams; both passes run shard-parallel.
+    /// re-keys all phase streams; both passes run shard-parallel. Fault
+    /// multipliers ride the same epoch base (computed once, serially),
+    /// so faulted sharded episodes stay bit-identical across any shard
+    /// size and worker count.
     fn step_sharded(
         &self,
         state: &mut GraphState,
         rule: &DecisionRule,
         lambda: f64,
+        t0: f64,
         rng: &mut StdRng,
     ) -> EpochStats {
         let epoch_base: u64 = rng.gen();
-        let GraphState { queues, counts, counts_atomic, home_counts, .. } = state;
+        let lambda = self.apply_faults(state, epoch_base, t0, lambda);
+        let GraphState { queues, counts, counts_atomic, home_counts, mult, .. } = state;
         self.run_assignment_pass(queues, home_counts, counts_atomic, rule, epoch_base);
         let m = queues.len();
         let scale = m as f64 * lambda / self.config.num_clients as f64;
         let (dropped, served) =
-            self.run_service_pass(queues, counts, counts_atomic, scale, epoch_base);
+            self.run_service_pass(queues, counts, counts_atomic, scale, mult, epoch_base);
         length_epoch_stats(queues, counts, self.config.num_clients, dropped, served)
+    }
+
+    /// Advances the per-queue fault state for the interval `[t0, t0+Δt)`
+    /// under `epoch_base`, filling `state.mult`, and returns the
+    /// (overload-scaled) arrival rate. No-op returning `lambda` untouched
+    /// when no plan is attached.
+    fn apply_faults(&self, state: &mut GraphState, epoch_base: u64, t0: f64, lambda: f64) -> f64 {
+        let Some(plan) = &self.faults else { return lambda };
+        if plan.has_service_faults() {
+            let dt = self.config.dt;
+            for (j, (up, mult)) in state.fault_up.iter_mut().zip(state.mult.iter_mut()).enumerate()
+            {
+                *mult = plan.service_multiplier(up, epoch_base, j, t0, dt);
+            }
+        }
+        lambda * plan.arrival_factor(t0, self.config.dt)
     }
 }
 
@@ -838,18 +922,31 @@ impl Engine for GraphEngine {
         rng: &mut StdRng,
     ) -> EpochStats {
         debug_assert_eq!(state.queues.len(), self.config.num_queues);
+        let t0 = state.epoch as f64 * self.config.dt;
+        state.epoch += 1;
         if !self.full_mesh && self.mode == StepMode::Sharded {
-            return self.step_sharded(state, rule, lambda, rng);
+            return self.step_sharded(state, rule, lambda, t0, rng);
         }
+        // A faulted sequential (or full-mesh) epoch draws one extra
+        // `epoch_base` for the crash/straggler streams *before* any other
+        // randomness; a fault-free engine never reaches this draw, so the
+        // pinned legacy streams are untouched.
+        let lambda = match &self.faults {
+            Some(_) => {
+                let epoch_base: u64 = rng.gen();
+                self.apply_faults(state, epoch_base, t0, lambda)
+            }
+            None => lambda,
+        };
         self.sample_assignments_into(rule, rng, state);
-        let GraphState { queues, counts, .. } = state;
+        let GraphState { queues, counts, mult, .. } = state;
         let m = queues.len();
         let scale = m as f64 * lambda / self.config.num_clients as f64;
         let (dropped, served) = simulate_birth_death_epoch(
             queues,
             counts,
             scale,
-            &|_| self.config.service_rate,
+            &|j| self.config.service_rate * mult[j],
             self.config.buffer,
             self.config.dt,
             rng,

@@ -68,5 +68,8 @@ pub use hetero::HeteroEngine;
 pub use monte_carlo::{monte_carlo, monte_carlo_conditioned, MonteCarloResult};
 pub use ph_engine::{sample_initial_ph_queues, PhAggregateEngine};
 pub use scenario::{AnyEngine, AnyState, EngineSpec, Scenario, ServiceLaw};
-pub use serve::{parse_trace, serve, Job, JobSource, ServeOptions, ServeReport, ServeTick};
+pub use serve::{
+    parse_trace, parse_trace_line, serve, serve_with, Job, JobSource, LineTraceReader,
+    ServeOptions, ServeReport, ServeTick,
+};
 pub use staggered::StaggeredEngine;

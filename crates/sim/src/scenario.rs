@@ -115,11 +115,17 @@ use crate::graph_engine::GraphEngine;
 use crate::hetero::HeteroEngine;
 use crate::ph_engine::PhAggregateEngine;
 use crate::staggered::StaggeredEngine;
-use mflb_core::{DecisionRule, JobSizeLaw, StateDist, SystemConfig, Topology};
+use mflb_core::{DecisionRule, FaultPlan, JobSizeLaw, StateDist, SystemConfig, Topology};
 use mflb_queue::hetero::ServerPool;
 use mflb_queue::PhaseType;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+
+/// Engine kinds that honor a [`FaultPlan`] (the job- and queue-level
+/// engines whose epoch loop exposes per-queue service rates).
+fn supports_faults(spec: &EngineSpec) -> bool {
+    matches!(spec, EngineSpec::Event { .. } | EngineSpec::Graph { .. } | EngineSpec::JobLevel)
+}
 
 /// A service-time law as data (constructs a [`PhaseType`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -290,23 +296,63 @@ pub enum EngineSpec {
 }
 
 /// A complete, serializable simulation scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct Scenario {
     /// System configuration (sizes, Δt, arrivals, buffer, ν₀, …).
     pub config: SystemConfig,
     /// Engine kind and engine-specific parameters.
     pub engine: EngineSpec,
+    /// Optional deterministic fault plan (crashes, stragglers,
+    /// observation faults, overload bursts — [`mflb_core::faults`]).
+    /// Only the job- and queue-level engines (`Event`, `Graph`,
+    /// `JobLevel`) honor one; `None` or an empty plan is the fault-free
+    /// model.
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+}
+
+// Hand-written (instead of derived) so a fault-free scenario serializes
+// to the exact bytes it produced before the `faults` field existed:
+// training checkpoints embed this JSON and pin its hash, and an absent
+// plan must not perturb them. The vendored serde derive has no
+// `skip_serializing_if`, hence the manual impl.
+impl Serialize for Scenario {
+    fn to_value(&self) -> serde::json::Value {
+        let mut entries = vec![
+            ("config".to_string(), self.config.to_value()),
+            ("engine".to_string(), self.engine.to_value()),
+        ];
+        if let Some(plan) = &self.faults {
+            entries.push(("faults".to_string(), plan.to_value()));
+        }
+        serde::json::Value::Obj(entries)
+    }
 }
 
 impl Scenario {
-    /// Bundles a configuration with an engine spec.
+    /// Bundles a configuration with an engine spec (no fault plan).
     pub fn new(config: SystemConfig, engine: EngineSpec) -> Self {
-        Self { config, engine }
+        Self { config, engine, faults: None }
+    }
+
+    /// Attaches a fault plan; an empty plan is normalized to `None` so
+    /// it cannot perturb serialized bytes or engine code paths.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_empty() { None } else { Some(plan) };
+        self
     }
 
     /// Checks the whole spec; returns a human-readable complaint.
     pub fn validate(&self) -> Result<(), String> {
         self.config.validate().map_err(|e| format!("config: {e}"))?;
+        if let Some(plan) = &self.faults {
+            if !plan.is_empty() && !supports_faults(&self.engine) {
+                return Err("faults: engine kind does not honor a fault plan \
+                            (supported: Event, Graph, JobLevel)"
+                    .into());
+            }
+            plan.validate_for(self.config.num_queues).map_err(|e| format!("faults: {e}"))?;
+        }
         match &self.engine {
             EngineSpec::PerClient | EngineSpec::Aggregate | EngineSpec::JobLevel => Ok(()),
             EngineSpec::Hetero { rates } => {
@@ -352,9 +398,11 @@ impl Scenario {
         }
     }
 
-    /// Validates and constructs the engine.
+    /// Validates and constructs the engine (attaching the fault plan, if
+    /// any, to the engines that honor one).
     pub fn build(&self) -> Result<AnyEngine, String> {
         self.validate()?;
+        let plan = || self.faults.clone().unwrap_or_default();
         Ok(match &self.engine {
             EngineSpec::PerClient => {
                 AnyEngine::PerClient(PerClientEngine::new(self.config.clone()))
@@ -372,7 +420,9 @@ impl Scenario {
             EngineSpec::Ph { service } => {
                 AnyEngine::Ph(PhAggregateEngine::new(self.config.clone(), service.build()?))
             }
-            EngineSpec::JobLevel => AnyEngine::JobLevel(FifoEngine::new(self.config.clone())),
+            EngineSpec::JobLevel => {
+                AnyEngine::JobLevel(FifoEngine::new(self.config.clone()).with_faults(plan()))
+            }
             EngineSpec::Graph { topology, shard_size } => {
                 let mut engine = GraphEngine::new(self.config.clone(), topology.clone());
                 if let Some(s) = shard_size {
@@ -380,11 +430,11 @@ impl Scenario {
                         .with_mode(crate::graph_engine::StepMode::Sharded)
                         .with_shard_size(*s);
                 }
-                AnyEngine::Graph(engine)
+                AnyEngine::Graph(engine.with_faults(plan()))
             }
-            EngineSpec::Event { job_size } => {
-                AnyEngine::Event(EventEngine::new(self.config.clone(), job_size.clone()))
-            }
+            EngineSpec::Event { job_size } => AnyEngine::Event(
+                EventEngine::new(self.config.clone(), job_size.clone()).with_faults(plan()),
+            ),
         })
     }
 
@@ -681,5 +731,90 @@ mod tests {
         let mut json = Scenario::new(base_config(), EngineSpec::PerClient).to_json();
         json = json.replace("PerClient", "Quantum");
         assert!(Scenario::from_json(&json).is_err());
+    }
+
+    fn crashy_plan() -> FaultPlan {
+        FaultPlan {
+            crashes: Some(mflb_core::CrashFaults { mttf: 20.0, mttr: 5.0 }),
+            ..FaultPlan::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_scenarios_serialize_without_a_faults_key() {
+        // Training checkpoints embed scenario JSON and pin its hash: an
+        // absent (or empty) plan must not change a single byte.
+        let pristine = Scenario::new(base_config(), EngineSpec::Aggregate);
+        let json = pristine.to_json();
+        assert!(!json.contains("faults"), "no faults key expected: {json}");
+        let emptied = pristine.clone().with_faults(FaultPlan::empty());
+        assert_eq!(emptied.to_json(), json, "empty plan must serialize identically");
+        assert_eq!(Scenario::from_json(&json).unwrap(), pristine);
+    }
+
+    #[test]
+    fn fault_plans_round_trip_through_json_and_reach_the_engine() {
+        for spec in [
+            EngineSpec::Event { job_size: JobSizeLaw::Exponential { rate: 1.0 } },
+            EngineSpec::Graph { topology: Topology::Ring { radius: 2 }, shard_size: None },
+            EngineSpec::JobLevel,
+        ] {
+            let scenario = Scenario::new(base_config(), spec).with_faults(crashy_plan());
+            let back = Scenario::from_json(&scenario.to_json()).expect("round trip");
+            assert_eq!(scenario, back);
+            let engine = back.build().expect("faulted scenario must build");
+            let has_plan = match &engine {
+                AnyEngine::Event(e) => e.faults().is_some(),
+                AnyEngine::Graph(e) => e.faults().is_some(),
+                AnyEngine::JobLevel(e) => e.faults().is_some(),
+                _ => unreachable!(),
+            };
+            assert!(has_plan, "plan must reach the built engine");
+        }
+    }
+
+    #[test]
+    fn fault_plans_on_unsupported_engines_are_rejected() {
+        for spec in
+            [EngineSpec::Aggregate, EngineSpec::PerClient, EngineSpec::Staggered { cohorts: 2 }]
+        {
+            let scenario = Scenario::new(base_config(), spec).with_faults(crashy_plan());
+            let err = scenario.validate().expect_err("plan on unsupported engine");
+            assert!(err.starts_with("faults:"), "{err}");
+        }
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_rejected_with_field_names() {
+        let plan = FaultPlan {
+            stragglers: vec![mflb_core::StragglerWindow {
+                start: 0.0,
+                end: 10.0,
+                factor: 0.5,
+                queues: Some(vec![99]),
+            }],
+            ..FaultPlan::default()
+        };
+        let scenario = Scenario::new(base_config(), EngineSpec::JobLevel).with_faults(plan);
+        let err = scenario.validate().expect_err("out-of-range queue index");
+        assert!(err.contains("queue 99"), "{err}");
+    }
+
+    #[test]
+    fn faulted_epochs_run_and_stay_reproducible_for_every_supported_engine() {
+        let policy = FixedRulePolicy::new(rnd_rule(6, 2), "RND");
+        for spec in [
+            EngineSpec::Event { job_size: JobSizeLaw::Exponential { rate: 1.0 } },
+            EngineSpec::Graph { topology: Topology::Ring { radius: 2 }, shard_size: None },
+            EngineSpec::Graph { topology: Topology::Ring { radius: 2 }, shard_size: Some(3) },
+            EngineSpec::JobLevel,
+        ] {
+            let scenario = Scenario::new(base_config(), spec).with_faults(crashy_plan());
+            let engine = scenario.build().expect("faulted scenario must build");
+            let a = run_episode(&engine, &policy, 8, &mut run_rng(41, 0));
+            let b = run_episode(&engine, &policy, 8, &mut run_rng(41, 0));
+            assert_eq!(a.drops_per_epoch, b.drops_per_epoch, "{}", engine.name());
+            assert_eq!(a.mean_queue_len, b.mean_queue_len, "{}", engine.name());
+        }
     }
 }

@@ -16,21 +16,50 @@
 //! times must be finite, nonnegative and nondecreasing; sizes positive
 //! and finite. Blank lines and `#` comments are skipped. A malformed
 //! line is reported with its 1-based line number ([`parse_trace`]).
+//! Traces replay either fully buffered ([`JobSource::Trace`]) or
+//! streamed line-by-line from any reader — e.g. stdin — with the same
+//! 1-based diagnostics ([`JobSource::Stream`], [`LineTraceReader`]).
+//!
+//! # Graceful degradation
+//!
+//! The serve loop degrades rather than falls over when the world turns
+//! hostile (typically under a [`mflb_core::FaultPlan`] attached to the
+//! engine):
+//!
+//! * **bounded admission** — with [`ServeOptions::admission_cap`] set,
+//!   a job arriving while the in-system count is at or above the cap is
+//!   shed *before* routing (back-pressure toward the client), counted in
+//!   [`ServeReport::jobs_shed`];
+//! * **staleness watchdog** — when observation faults starve the policy
+//!   of refreshes, [`ServeOptions::staleness_threshold`] switches
+//!   dispatch from the checkpoint policy to a static fallback tier
+//!   (JSQ/softmin) that herds less on stale data; the watchdog has
+//!   hysteresis (enter at age ≥ threshold, leave at age ≤ threshold/2)
+//!   so a flapping channel cannot thrash the tiers;
+//! * **ingestion retry** — streamed trace reads retry transient I/O
+//!   errors with exponential backoff before giving up
+//!   ([`LineTraceReader::with_retry`]).
 //!
 //! # Determinism
 //!
 //! A serve run is a deterministic function of `(engine, policy, source,
 //! seed)`: the master RNG only draws the initial state, the MMPP level
-//! path and one `epoch_base` per interval; all per-job randomness runs
-//! through the engine's counter-keyed streams. Replaying the same trace
-//! (or re-running the same synthetic stream) at a fixed seed is
-//! bit-identical — the regression suite pins a run.
+//! path and one `epoch_base` per interval; all per-job randomness —
+//! fault draws included — runs through the engine's counter-keyed
+//! streams. Replaying the same trace (or re-running the same synthetic
+//! stream) at a fixed seed is bit-identical — the regression suite pins
+//! both a fault-free and a faulted run. A synthetic run recorded through
+//! [`serve_with`]'s recorder and replayed as a trace at the same seed is
+//! bit-identical too, because per-interval job indices (the counter keys)
+//! are preserved by construction.
 
 use crate::episode::{run_rng, Engine};
 use crate::event_engine::{ArrivalFeed, EventEngine, EventState, PoissonFeed};
 use mflb_core::mdp::UpperPolicy;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::io::BufRead;
 use std::time::Instant;
 
 /// One job of a replayed trace: arrival time and size in work units.
@@ -42,65 +71,218 @@ pub struct Job {
     pub size: f64,
 }
 
+impl Job {
+    /// The job's trace line (compact JSON, the schema `parse_trace`
+    /// reads back).
+    pub fn to_jsonl(&self) -> String {
+        serde_json::to_string(self).expect("job serialization cannot fail")
+    }
+}
+
+/// Parses one line of a JSONL job trace. `lineno` is 1-based (used in
+/// every complaint), `last_t` the previous job's arrival time (for the
+/// nondecreasing check). Returns `Ok(None)` for blank lines and `#`
+/// comments.
+pub fn parse_trace_line(raw: &str, lineno: usize, last_t: f64) -> Result<Option<Job>, String> {
+    let line = raw.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let job: Job = serde_json::from_str(line).map_err(|e| format!("trace line {lineno}: {e}"))?;
+    if !(job.t.is_finite() && job.t >= 0.0) {
+        return Err(format!(
+            "trace line {lineno}: arrival time must be finite and nonnegative, got {}",
+            job.t
+        ));
+    }
+    if job.t < last_t {
+        return Err(format!(
+            "trace line {lineno}: arrival times must be nondecreasing, got {} after {last_t}",
+            job.t
+        ));
+    }
+    if !(job.size > 0.0 && job.size.is_finite()) {
+        return Err(format!(
+            "trace line {lineno}: job size must be positive and finite, got {}",
+            job.size
+        ));
+    }
+    Ok(Some(job))
+}
+
 /// Parses a JSONL job trace (see the module docs for the schema). Every
 /// complaint names the offending 1-based line.
 pub fn parse_trace(text: &str) -> Result<Vec<Job>, String> {
     let mut jobs = Vec::new();
     let mut last_t = 0.0f64;
     for (i, raw) in text.lines().enumerate() {
-        let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        if let Some(job) = parse_trace_line(raw, i + 1, last_t)? {
+            last_t = job.t;
+            jobs.push(job);
         }
-        let n = i + 1;
-        let job: Job = serde_json::from_str(line).map_err(|e| format!("trace line {n}: {e}"))?;
-        if !(job.t.is_finite() && job.t >= 0.0) {
-            return Err(format!(
-                "trace line {n}: arrival time must be finite and nonnegative, got {}",
-                job.t
-            ));
-        }
-        if job.t < last_t {
-            return Err(format!(
-                "trace line {n}: arrival times must be nondecreasing, got {} after {last_t}",
-                job.t
-            ));
-        }
-        if !(job.size > 0.0 && job.size.is_finite()) {
-            return Err(format!(
-                "trace line {n}: job size must be positive and finite, got {}",
-                job.size
-            ));
-        }
-        last_t = job.t;
-        jobs.push(job);
     }
     Ok(jobs)
 }
 
-/// Where the served jobs come from.
-#[derive(Debug, Clone, PartialEq)]
-pub enum JobSource {
-    /// The engine's own Poisson arrivals with scenario job sizes,
-    /// modulated by the configured MMPP λ-path.
-    Synthetic,
-    /// A replayed trace (see [`parse_trace`]).
-    Trace(Vec<Job>),
+/// A streaming JSONL trace reader: parses jobs lazily, line by line,
+/// from any [`BufRead`] (a file, stdin, a pipe) with the same 1-based
+/// line diagnostics as [`parse_trace`]. Transient read errors are
+/// retried with exponential backoff before the run aborts.
+pub struct LineTraceReader {
+    reader: Box<dyn BufRead>,
+    lineno: usize,
+    last_t: f64,
+    retries: u32,
+    backoff_ms: u64,
+    pending: Option<Job>,
+    error: Option<String>,
+    done: bool,
 }
 
-impl JobSource {
-    /// Short tag used in reports and log lines (`synthetic` / `trace`).
-    pub fn label(&self) -> &'static str {
-        match self {
-            JobSource::Synthetic => "synthetic",
-            JobSource::Trace(_) => "trace",
+impl std::fmt::Debug for LineTraceReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LineTraceReader")
+            .field("lineno", &self.lineno)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LineTraceReader {
+    /// Wraps `reader` with the default retry budget (3 retries, 50 ms
+    /// initial backoff).
+    pub fn new(reader: Box<dyn BufRead>) -> Self {
+        Self::with_retry(reader, 3, 50)
+    }
+
+    /// Wraps `reader`, retrying each failed line read up to `retries`
+    /// times with `backoff_ms · 2^attempt` sleeps in between. A retried
+    /// read restarts the line, so the reader must not deliver partial
+    /// lines across errors (files, pipes and stdin all qualify).
+    pub fn with_retry(reader: Box<dyn BufRead>, retries: u32, backoff_ms: u64) -> Self {
+        Self {
+            reader,
+            lineno: 0,
+            last_t: 0.0,
+            retries,
+            backoff_ms,
+            pending: None,
+            error: None,
+            done: false,
+        }
+    }
+
+    /// Whether the stream has been fully consumed (EOF reached and the
+    /// last job dispatched).
+    pub fn exhausted(&self) -> bool {
+        self.done && self.pending.is_none()
+    }
+
+    /// Takes the first ingestion error, if one occurred (the serve loop
+    /// turns it into its own `Err`).
+    pub fn take_error(&mut self) -> Option<String> {
+        self.error.take()
+    }
+
+    fn read_line_with_retry(&mut self, buf: &mut String) -> std::io::Result<usize> {
+        let mut attempt = 0u32;
+        loop {
+            buf.clear();
+            match self.reader.read_line(buf) {
+                Ok(n) => return Ok(n),
+                Err(_) if attempt < self.retries => {
+                    attempt += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        self.backoff_ms << (attempt - 1).min(6),
+                    ));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Advances to the next job (skipping blanks/comments); parks parse
+    /// and I/O failures in `error` and marks the stream done.
+    fn fill(&mut self) {
+        if self.pending.is_some() || self.done {
+            return;
+        }
+        let mut buf = String::new();
+        loop {
+            match self.read_line_with_retry(&mut buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return;
+                }
+                Ok(_) => {
+                    self.lineno += 1;
+                    match parse_trace_line(&buf, self.lineno, self.last_t) {
+                        Ok(None) => continue,
+                        Ok(Some(job)) => {
+                            self.last_t = job.t;
+                            self.pending = Some(job);
+                            return;
+                        }
+                        Err(e) => {
+                            self.error = Some(e);
+                            self.done = true;
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.error = Some(format!(
+                        "trace line {}: read failed after {} retries: {e}",
+                        self.lineno + 1,
+                        self.retries
+                    ));
+                    self.done = true;
+                    return;
+                }
+            }
         }
     }
 }
 
-/// Termination and reporting knobs of one [`serve`] run. The default is
-/// an unbounded, silent, seed-0 run (synthetic streams still hard-stop
-/// at the scenario's `eval_time`).
+impl ArrivalFeed for LineTraceReader {
+    fn peek(&mut self, _prev_time: f64, _k: u64) -> Option<(f64, f64)> {
+        self.fill();
+        self.pending.map(|j| (j.t, j.size))
+    }
+
+    fn advance(&mut self) {
+        self.pending = None;
+    }
+}
+
+/// Where the served jobs come from.
+#[derive(Debug)]
+pub enum JobSource {
+    /// The engine's own Poisson arrivals with scenario job sizes,
+    /// modulated by the configured MMPP λ-path.
+    Synthetic,
+    /// A replayed, fully-buffered trace (see [`parse_trace`]).
+    Trace(Vec<Job>),
+    /// A trace streamed line-by-line from a reader (e.g. stdin); parsed
+    /// lazily, consumed once.
+    Stream(RefCell<LineTraceReader>),
+}
+
+impl JobSource {
+    /// Short tag used in reports and log lines
+    /// (`synthetic` / `trace` / `stream`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobSource::Synthetic => "synthetic",
+            JobSource::Trace(_) => "trace",
+            JobSource::Stream(_) => "stream",
+        }
+    }
+}
+
+/// Termination, reporting and degradation knobs of one [`serve`] run.
+/// The default is an unbounded, silent, seed-0, unprotected run
+/// (synthetic streams still hard-stop at the scenario's `eval_time`).
 #[derive(Debug, Clone, Default)]
 pub struct ServeOptions {
     /// Stop admitting jobs once this many have been dispatched (then
@@ -113,6 +295,15 @@ pub struct ServeOptions {
     pub report_every: usize,
     /// Master seed (initial state, MMPP path, per-interval stream keys).
     pub seed: u64,
+    /// Bounded admission: shed a job (before routing) whenever the
+    /// in-system count is at or above this cap. `None` = admit all.
+    pub admission_cap: Option<u64>,
+    /// Staleness watchdog: once the observation snapshot is at least
+    /// this many intervals old, dispatch falls back to the static tier
+    /// passed to [`serve_with`]; it returns to the primary policy when
+    /// the age drops back to `threshold / 2` (hysteresis). `None` (or no
+    /// fallback tier) disables the watchdog.
+    pub staleness_threshold: Option<u64>,
 }
 
 /// One periodic progress line of a [`serve`] run (serialized as JSONL).
@@ -126,6 +317,9 @@ pub struct ServeTick {
     pub jobs_completed: u64,
     /// Jobs dropped at a full buffer so far.
     pub jobs_dropped: u64,
+    /// Jobs shed by bounded admission so far.
+    #[serde(default)]
+    pub jobs_shed: u64,
     /// Jobs currently queued or in service.
     pub jobs_in_system: u64,
     /// Running fraction of dispatched jobs that were dropped.
@@ -134,6 +328,12 @@ pub struct ServeTick {
     pub mean_sojourn: f64,
     /// Mean queue length at the snapshot.
     pub mean_queue_len: f64,
+    /// Sync intervals since the last observation refresh landed.
+    #[serde(default)]
+    pub observation_age: u64,
+    /// Whether the staleness watchdog has dispatch on the fallback tier.
+    #[serde(default)]
+    pub fallback_active: bool,
 }
 
 /// Final summary of a [`serve`] run.
@@ -143,7 +343,7 @@ pub struct ServeReport {
     pub engine: String,
     /// Upper-level policy label.
     pub policy: String,
-    /// Job source (`synthetic` or `trace`).
+    /// Job source (`synthetic`, `trace` or `stream`).
     pub source: String,
     /// Master seed of the run.
     pub seed: u64,
@@ -151,22 +351,40 @@ pub struct ServeReport {
     pub sim_time: f64,
     /// Sync intervals (policy refreshes) executed.
     pub intervals: u64,
-    /// Jobs dispatched (preloaded ν₀ jobs included).
+    /// Jobs dispatched (preloaded ν₀ jobs included; shed jobs too).
     pub jobs_arrived: u64,
     /// Jobs that finished service.
     pub jobs_completed: u64,
     /// Jobs dropped at a full buffer.
     pub jobs_dropped: u64,
+    /// Jobs shed by bounded admission (back-pressure, never routed).
+    #[serde(default)]
+    pub jobs_shed: u64,
     /// Jobs still queued or in service at the end.
     pub jobs_in_system: u64,
-    /// Fraction of dispatched jobs that were dropped.
+    /// Fraction of dispatched jobs that were dropped at a buffer.
     pub drop_fraction: f64,
+    /// Fraction of dispatched jobs lost either way (dropped or shed) —
+    /// the robustness headline number.
+    #[serde(default)]
+    pub loss_fraction: f64,
     /// Mean sojourn time of completed jobs.
     pub mean_sojourn: f64,
     /// Largest sojourn time observed.
     pub max_sojourn: f64,
     /// Mean queue length at the end of the run.
     pub mean_queue_len: f64,
+    /// Intervals whose observation refresh was dropped by the fault
+    /// plan's observation channel.
+    #[serde(default)]
+    pub observation_dropped: u64,
+    /// Times the staleness watchdog switched dispatch onto the fallback
+    /// tier.
+    #[serde(default)]
+    pub fallback_activations: u64,
+    /// Intervals dispatched on the fallback tier.
+    #[serde(default)]
+    pub fallback_intervals: u64,
     /// Wall-clock seconds spent in the dispatcher loop.
     pub wall_seconds: f64,
     /// Jobs dispatched per wall-clock second (the ROADMAP throughput
@@ -204,25 +422,76 @@ impl ArrivalFeed for TraceFeed<'_> {
     }
 }
 
+/// Wraps a feed and records every job the engine actually consumed —
+/// `advance` fires exactly when a job enters the timeline, so the
+/// recorded trace replays bit-identically at the same seed.
+struct RecordingFeed<'a, F: ArrivalFeed> {
+    inner: F,
+    out: &'a mut Vec<Job>,
+    last: Option<Job>,
+}
+
+impl<F: ArrivalFeed> ArrivalFeed for RecordingFeed<'_, F> {
+    fn peek(&mut self, prev_time: f64, k: u64) -> Option<(f64, f64)> {
+        let peeked = self.inner.peek(prev_time, k);
+        self.last = peeked.map(|(t, size)| Job { t, size });
+        peeked
+    }
+
+    fn advance(&mut self) {
+        if let Some(job) = self.last.take() {
+            self.out.push(job);
+        }
+        self.inner.advance();
+    }
+}
+
 /// Runs the dispatcher loop; see the module docs. `on_tick` fires every
-/// `report_every` intervals with the running counters.
+/// `report_every` intervals with the running counters. Equivalent to
+/// [`serve_with`] with no fallback tier and no trace recorder.
 pub fn serve(
     engine: &EventEngine,
     policy: &dyn UpperPolicy,
     policy_name: &str,
     source: &JobSource,
     opts: &ServeOptions,
+    on_tick: impl FnMut(&ServeTick),
+) -> Result<ServeReport, String> {
+    serve_with(engine, policy, policy_name, None, source, opts, None, on_tick)
+}
+
+/// The full dispatcher loop behind [`serve`]: `fallback` is the static
+/// policy tier the staleness watchdog degrades to (with its label), and
+/// `record` collects every synthetic job the engine consumed, in trace
+/// order, for `mflb simulate --record-trace`-style replay.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_with(
+    engine: &EventEngine,
+    policy: &dyn UpperPolicy,
+    policy_name: &str,
+    fallback: Option<&dyn UpperPolicy>,
+    source: &JobSource,
+    opts: &ServeOptions,
+    mut record: Option<&mut Vec<Job>>,
     mut on_tick: impl FnMut(&ServeTick),
 ) -> Result<ServeReport, String> {
     let config = engine.config();
     let dt = config.dt;
     let hard_stop = match source {
         JobSource::Synthetic => Some(opts.duration.unwrap_or(config.eval_time)),
-        JobSource::Trace(_) => opts.duration,
+        JobSource::Trace(_) | JobSource::Stream(_) => opts.duration,
     };
     if let Some(te) = hard_stop {
         if !(te > 0.0 && te.is_finite()) {
             return Err(format!("serve duration must be positive and finite, got {te}"));
+        }
+    }
+    if let Some(th) = opts.staleness_threshold {
+        if th == 0 {
+            return Err("staleness threshold must be at least 1 interval".into());
+        }
+        if fallback.is_none() {
+            return Err("a staleness threshold needs a fallback policy tier".into());
         }
     }
 
@@ -232,13 +501,22 @@ pub fn serve(
     let mut lambda_idx = config.arrivals.sample_initial(&mut rng);
     let mut trace_feed = match source {
         JobSource::Trace(jobs) => Some(TraceFeed { jobs, cursor: 0 }),
-        JobSource::Synthetic => None,
+        JobSource::Synthetic | JobSource::Stream(_) => None,
+    };
+    let mut stream_feed = match source {
+        JobSource::Stream(reader) => Some(reader.borrow_mut()),
+        JobSource::Synthetic | JobSource::Trace(_) => None,
     };
 
     let mut intervals = 0u64;
     let mut sojourn_sum = 0.0f64;
     let mut max_sojourn = 0.0f64;
     let mut last_mean_queue_len = 0.0f64;
+    let mut fallback_active = false;
+    let mut fallback_activations = 0u64;
+    let mut fallback_intervals = 0u64;
+    let mut observation_dropped = 0u64;
+    let mut prev_obs_age = 0u64;
 
     loop {
         if let Some(te) = hard_stop {
@@ -247,28 +525,72 @@ pub fn serve(
             }
         }
         let admitted_all = opts.max_jobs.is_some_and(|mj| state.jobs_arrived() >= mj)
-            || trace_feed.as_ref().is_some_and(|f| f.cursor >= f.jobs.len());
+            || trace_feed.as_ref().is_some_and(|f| f.cursor >= f.jobs.len())
+            || stream_feed.as_ref().is_some_and(|f| f.exhausted());
         if admitted_all && state.jobs_in_system() == 0 {
             break;
         }
         // Synthetic runs without a job cap only ever stop at `hard_stop`
         // (always set for them), so this loop cannot run away.
 
+        // One `epoch_base` per interval, drawn before the policy decides:
+        // `decide` consumes no master randomness, so the draw order (and
+        // with it every pinned stream) is unchanged, while the fault
+        // plan's observation channel can settle *before* the decision.
+        let epoch_base: u64 = rng.gen();
+        engine.begin_interval(&mut state, epoch_base);
+
+        // Staleness watchdog with hysteresis: degrade to the static tier
+        // at age ≥ threshold, return at age ≤ threshold/2.
+        if let (Some(th), Some(_)) = (opts.staleness_threshold, fallback) {
+            let age = state.observation_age();
+            if !fallback_active && age >= th {
+                fallback_active = true;
+                fallback_activations += 1;
+            } else if fallback_active && age <= th / 2 {
+                fallback_active = false;
+            }
+        }
+        if state.observation_age() > prev_obs_age {
+            observation_dropped += 1;
+        }
+        prev_obs_age = state.observation_age();
+
         // The λ-level is the policy's modulation input in both modes; a
         // trace does not carry one, so the configured MMPP path plays
-        // that role during replay as well.
+        // that role during replay as well. The policy sees the engine's
+        // *observation* — under observation faults a stale snapshot.
         let lambda = config.arrivals.level_rate(lambda_idx);
-        let h = engine.empirical(&state);
-        let rule = policy.decide(&h, lambda_idx, lambda);
-        let epoch_base: u64 = rng.gen();
+        let h = engine.observed(&state);
+        let rule = match (fallback_active, fallback) {
+            (true, Some(fb)) => fb.decide(&h, lambda_idx, lambda),
+            _ => policy.decide(&h, lambda_idx, lambda),
+        };
+        if fallback_active {
+            fallback_intervals += 1;
+        }
         let t_end = state.clock() + dt;
         let budget = opts.max_jobs.map_or(u64::MAX, |mj| mj.saturating_sub(state.jobs_arrived()));
-        let stats = match trace_feed.as_mut() {
-            Some(feed) => engine.run_interval(&mut state, &rule, epoch_base, t_end, feed, budget),
-            None => {
-                let rate = config.num_queues as f64 * lambda;
-                let mut feed = PoissonFeed::new(epoch_base, rate, engine.job_size().clone());
-                engine.run_interval(&mut state, &rule, epoch_base, t_end, &mut feed, budget)
+        let cap = opts.admission_cap;
+        let stats = if let Some(feed) = trace_feed.as_mut() {
+            engine.run_interval(&mut state, &rule, epoch_base, t_end, feed, budget, cap)
+        } else if let Some(feed) = stream_feed.as_mut() {
+            let stats =
+                engine.run_interval(&mut state, &rule, epoch_base, t_end, &mut **feed, budget, cap);
+            if let Some(e) = feed.take_error() {
+                return Err(e);
+            }
+            stats
+        } else {
+            let rate = config.num_queues as f64 * lambda;
+            let mut feed = PoissonFeed::new(epoch_base, rate, engine.job_size().clone());
+            match record.as_deref_mut() {
+                Some(out) => {
+                    let mut rec = RecordingFeed { inner: feed, out, last: None };
+                    engine.run_interval(&mut state, &rule, epoch_base, t_end, &mut rec, budget, cap)
+                }
+                None => engine
+                    .run_interval(&mut state, &rule, epoch_base, t_end, &mut feed, budget, cap),
             }
         };
         intervals += 1;
@@ -287,15 +609,19 @@ pub fn serve(
                 jobs_arrived: state.jobs_arrived(),
                 jobs_completed: state.jobs_completed(),
                 jobs_dropped: state.jobs_dropped(),
+                jobs_shed: state.jobs_shed(),
                 jobs_in_system: state.jobs_in_system(),
                 drop_fraction: state.jobs_dropped() as f64 / state.jobs_arrived().max(1) as f64,
                 mean_sojourn: sojourn_sum / state.jobs_completed().max(1) as f64,
                 mean_queue_len: stats.mean_queue_len,
+                observation_age: state.observation_age(),
+                fallback_active,
             });
         }
     }
 
     let wall_seconds = t0.elapsed().as_secs_f64();
+    let arrived = state.jobs_arrived();
     Ok(ServeReport {
         engine: engine.name().to_string(),
         policy: policy_name.to_string(),
@@ -303,16 +629,21 @@ pub fn serve(
         seed: opts.seed,
         sim_time: state.clock(),
         intervals,
-        jobs_arrived: state.jobs_arrived(),
+        jobs_arrived: arrived,
         jobs_completed: state.jobs_completed(),
         jobs_dropped: state.jobs_dropped(),
+        jobs_shed: state.jobs_shed(),
         jobs_in_system: state.jobs_in_system(),
-        drop_fraction: state.jobs_dropped() as f64 / state.jobs_arrived().max(1) as f64,
+        drop_fraction: state.jobs_dropped() as f64 / arrived.max(1) as f64,
+        loss_fraction: (state.jobs_dropped() + state.jobs_shed()) as f64 / arrived.max(1) as f64,
         mean_sojourn: sojourn_sum / state.jobs_completed().max(1) as f64,
         max_sojourn,
         mean_queue_len: last_mean_queue_len,
+        observation_dropped,
+        fallback_activations,
+        fallback_intervals,
         wall_seconds,
-        jobs_per_sec: state.jobs_arrived() as f64 / wall_seconds.max(1e-12),
+        jobs_per_sec: arrived as f64 / wall_seconds.max(1e-12),
     })
 }
 
@@ -320,7 +651,7 @@ pub fn serve(
 mod tests {
     use super::*;
     use mflb_core::mdp::FixedRulePolicy;
-    use mflb_core::{JobSizeLaw, SystemConfig};
+    use mflb_core::{FaultPlan, JobSizeLaw, SystemConfig};
     use mflb_policy::jsq_rule;
 
     fn engine() -> EventEngine {
@@ -366,6 +697,8 @@ mod tests {
             report.jobs_arrived,
             report.jobs_completed + report.jobs_dropped + report.jobs_in_system
         );
+        assert_eq!(report.jobs_shed, 0);
+        assert_eq!(report.loss_fraction.to_bits(), report.drop_fraction.to_bits());
         assert!(report.jobs_per_sec > 0.0);
     }
 
@@ -396,5 +729,110 @@ mod tests {
         let report = serve(&e, &jsq(), "JSQ(2)", &JobSource::Synthetic, &opts, |_| {}).unwrap();
         assert_eq!(report.jobs_arrived, 30);
         assert_eq!(report.jobs_in_system, 0);
+    }
+
+    #[test]
+    fn streamed_source_matches_the_buffered_trace_bit_for_bit() {
+        let e = engine();
+        let jobs: Vec<Job> =
+            (0..40).map(|i| Job { t: 0.2 * i as f64, size: 0.4 + 0.05 * (i % 7) as f64 }).collect();
+        let text: String = jobs.iter().map(|j| j.to_jsonl() + "\n").collect();
+        let opts = ServeOptions { seed: 11, ..Default::default() };
+        let buffered = serve(&e, &jsq(), "JSQ(2)", &JobSource::Trace(jobs), &opts, |_| {}).unwrap();
+        let stream = JobSource::Stream(RefCell::new(LineTraceReader::new(Box::new(
+            std::io::Cursor::new(text),
+        ))));
+        let streamed = serve(&e, &jsq(), "JSQ(2)", &stream, &opts, |_| {}).unwrap();
+        assert_eq!(streamed.source, "stream");
+        assert_eq!(buffered.jobs_completed, streamed.jobs_completed);
+        assert_eq!(buffered.mean_sojourn.to_bits(), streamed.mean_sojourn.to_bits());
+        assert_eq!(buffered.sim_time.to_bits(), streamed.sim_time.to_bits());
+    }
+
+    #[test]
+    fn streamed_source_reports_the_offending_line() {
+        let e = engine();
+        let text = "{\"t\": 0.0, \"size\": 1.0}\n{\"t\": 0.5, \"size\": -2.0}\n";
+        let stream = JobSource::Stream(RefCell::new(LineTraceReader::new(Box::new(
+            std::io::Cursor::new(text.to_string()),
+        ))));
+        let err =
+            serve(&e, &jsq(), "JSQ(2)", &stream, &ServeOptions::default(), |_| {}).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn recorded_synthetic_run_replays_bit_identically() {
+        let e = engine();
+        let opts = ServeOptions { duration: Some(30.0), seed: 13, ..Default::default() };
+        let mut recorded = Vec::new();
+        let live = serve_with(
+            &e,
+            &jsq(),
+            "JSQ(2)",
+            None,
+            &JobSource::Synthetic,
+            &opts,
+            Some(&mut recorded),
+            |_| {},
+        )
+        .unwrap();
+        assert!(!recorded.is_empty());
+        let replay =
+            serve(&e, &jsq(), "JSQ(2)", &JobSource::Trace(recorded), &opts, |_| {}).unwrap();
+        assert_eq!(live.jobs_arrived, replay.jobs_arrived);
+        assert_eq!(live.jobs_completed, replay.jobs_completed);
+        assert_eq!(live.jobs_dropped, replay.jobs_dropped);
+        assert_eq!(live.mean_sojourn.to_bits(), replay.mean_sojourn.to_bits());
+        assert_eq!(live.drop_fraction.to_bits(), replay.drop_fraction.to_bits());
+    }
+
+    #[test]
+    fn admission_cap_sheds_and_keeps_job_mass_conserved() {
+        let e = engine();
+        let opts = ServeOptions {
+            duration: Some(40.0),
+            seed: 7,
+            admission_cap: Some(5),
+            ..Default::default()
+        };
+        let report = serve(&e, &jsq(), "JSQ(2)", &JobSource::Synthetic, &opts, |_| {}).unwrap();
+        assert!(report.jobs_shed > 0, "a tight cap must shed under paper load");
+        assert_eq!(
+            report.jobs_arrived,
+            report.jobs_completed + report.jobs_dropped + report.jobs_shed + report.jobs_in_system
+        );
+        assert!(report.loss_fraction >= report.drop_fraction);
+    }
+
+    #[test]
+    fn watchdog_degrades_to_the_fallback_tier_under_observation_faults() {
+        let plan = FaultPlan::from_json(r#"{"observation": {"drop_prob": 0.9}}"#).unwrap();
+        let e = engine().with_faults(plan);
+        let opts = ServeOptions {
+            duration: Some(60.0),
+            seed: 2,
+            staleness_threshold: Some(2),
+            ..Default::default()
+        };
+        let fb = jsq();
+        let report =
+            serve_with(&e, &jsq(), "JSQ(2)", Some(&fb), &JobSource::Synthetic, &opts, None, |_| {})
+                .unwrap();
+        assert!(report.observation_dropped > 0);
+        assert!(report.fallback_activations > 0, "watchdog must trip at 90% drop");
+        assert!(report.fallback_intervals >= report.fallback_activations);
+        // Hysteresis: activations are sticky — far fewer switches than
+        // degraded intervals.
+        assert!(report.fallback_intervals <= report.intervals);
+    }
+
+    #[test]
+    fn watchdog_without_fallback_tier_is_a_usage_error() {
+        let e = engine();
+        let opts = ServeOptions { staleness_threshold: Some(3), ..Default::default() };
+        let err = serve(&e, &jsq(), "JSQ(2)", &JobSource::Synthetic, &opts, |_| {}).unwrap_err();
+        assert!(err.contains("fallback"), "{err}");
     }
 }

@@ -130,6 +130,22 @@ fn build_scenario() -> Scenario {
     Scenario::new(config, engine)
 }
 
+/// Applies `--faults <plan.json>` to a resolved scenario. A malformed or
+/// incompatible plan is a usage error (exit 2) caught before any
+/// simulation work; the flag overrides a scenario-embedded plan.
+fn apply_faults_flag(scenario: Scenario) -> Scenario {
+    let Some(path) = arg("--faults") else { return scenario };
+    let text =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| fail_usage(format!("{path}: {e}")));
+    let plan = mflb::core::FaultPlan::from_json(&text)
+        .unwrap_or_else(|e| fail_usage(format!("parse {path}: {e}")));
+    let faulted = scenario.with_faults(plan);
+    if let Err(e) = faulted.validate() {
+        fail_usage(format!("fault plan {path}: {e}"));
+    }
+    faulted
+}
+
 /// Resolves `--topology` plus its parameters for `--engine graph`.
 fn build_topology() -> mflb::core::Topology {
     use mflb::core::Topology;
@@ -287,7 +303,7 @@ fn ppo_for_scale(scale: &str, threads: usize) -> (PpoConfig, usize) {
 }
 
 fn cmd_train() {
-    let scenario = build_scenario();
+    let scenario = apply_faults_flag(build_scenario());
     let scale = arg("--scale").unwrap_or_else(|| "quick".into());
     let threads: usize = workers_flag(1);
     let seed: u64 = parse("--seed", 1);
@@ -354,13 +370,13 @@ fn engine_slug(spec: &EngineSpec) -> &'static str {
 fn cmd_eval() {
     let path = arg("--checkpoint").unwrap_or_else(|| fail("eval needs --checkpoint <path>"));
     let ckpt = TrainingCheckpoint::load(&path).unwrap_or_else(|e| fail(e));
-    let scenario = match arg("--scenario") {
+    let scenario = apply_faults_flag(match arg("--scenario") {
         Some(p) => {
             let text = std::fs::read_to_string(&p).unwrap_or_else(|e| fail(format!("{p}: {e}")));
             Scenario::from_json(&text).unwrap_or_else(|e| fail(format!("parse {p}: {e}")))
         }
         None => ckpt.scenario.clone(),
-    };
+    });
     let m_sweep: Vec<usize> = arg("--m")
         .map(|v| {
             v.split(',')
@@ -571,7 +587,11 @@ fn cmd_distill() {
 }
 
 fn cmd_simulate() {
-    let scenario = build_scenario();
+    let scenario = apply_faults_flag(build_scenario());
+    if let Some(path) = arg("--record-trace") {
+        record_trace(&scenario, &path);
+        return;
+    }
     let config = scenario.config.clone();
     let policy = build_policy_for(&scenario);
     let runs: usize = parse("--runs", 20);
@@ -593,6 +613,55 @@ fn cmd_simulate() {
         policy.name()
     );
     println!("drops/queue over episode: {:.3} ± {:.3} ({} runs)", mc.mean(), mc.ci95(), runs);
+}
+
+/// `mflb simulate --record-trace <out.jsonl>`: run the synthetic serve
+/// loop once and dump every job the engine consumed — in the serve trace
+/// schema, in dispatch order — so `mflb serve --trace <out.jsonl>` at the
+/// same seed and duration replays the run bit for bit.
+fn record_trace(scenario: &Scenario, out: &str) {
+    use mflb::sim::{serve_with, EventEngine, JobSource, ServeOptions};
+    let EngineSpec::Event { job_size } = &scenario.engine else {
+        fail_usage("--record-trace needs an event-engine scenario (--engine event)");
+    };
+    let seed: u64 = parse("--seed", 1);
+    let duration: f64 = parse("--duration", scenario.config.eval_time);
+    if !(duration > 0.0 && duration.is_finite()) {
+        fail_usage(format!("--duration must be positive and finite, got {duration}"));
+    }
+    let mut engine = EventEngine::new(scenario.config.clone(), job_size.clone());
+    if let Some(plan) = &scenario.faults {
+        engine = engine.with_faults(plan.clone());
+    }
+    let policy = build_policy_for(scenario);
+    let opts = ServeOptions { duration: Some(duration), seed, ..Default::default() };
+    let mut jobs = Vec::new();
+    let report = serve_with(
+        &engine,
+        policy.as_ref(),
+        policy.name(),
+        None,
+        &JobSource::Synthetic,
+        &opts,
+        Some(&mut jobs),
+        |_| {},
+    )
+    .unwrap_or_else(|e| fail(e));
+    let mut text = String::with_capacity(jobs.len() * 32);
+    for job in &jobs {
+        text.push_str(&job.to_jsonl());
+        text.push('\n');
+    }
+    if let Some(parent) = std::path::Path::new(out).parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    std::fs::write(out, text).unwrap_or_else(|e| fail(format!("write {out}: {e}")));
+    println!(
+        "recorded {} jobs over {:.1} time units to {out} (seed {seed}); replay with: \
+         mflb serve --trace {out} --seed {seed} --duration {duration}",
+        jobs.len(),
+        report.sim_time,
+    );
 }
 
 fn cmd_meanfield() {
@@ -743,8 +812,11 @@ fn cmd_scv_compare() {
 /// malformed trace line — exits 2 *before* any simulation work starts;
 /// runtime failures exit 1.
 fn cmd_serve() {
-    use mflb::core::JobSizeLaw;
-    use mflb::sim::{parse_trace, serve, EventEngine, JobSource, ServeOptions};
+    use mflb::core::{FaultPlan, JobSizeLaw};
+    use mflb::sim::{
+        parse_trace, serve_with, EventEngine, JobSource, LineTraceReader, ServeOptions,
+    };
+    use std::cell::RefCell;
 
     // Strict flag parsing: serve is the deployment surface, so a typo'd
     // value must die with exit 2 instead of silently running a default.
@@ -778,6 +850,23 @@ fn cmd_serve() {
         fail_usage("--report-every must be at least 1");
     }
     let seed: u64 = strict("--seed").unwrap_or(1);
+
+    // Graceful-degradation knobs: bounded admission plus the staleness
+    // watchdog (which needs a static tier to fall back to).
+    let admission_cap: Option<u64> = strict("--admission-cap");
+    if admission_cap == Some(0) {
+        fail_usage("--admission-cap must be at least 1");
+    }
+    let staleness_threshold: Option<u64> = strict("--staleness-threshold");
+    if staleness_threshold == Some(0) {
+        fail_usage("--staleness-threshold must be at least 1");
+    }
+    let fallback_name = arg("--fallback");
+    match (&staleness_threshold, &fallback_name) {
+        (Some(_), None) => fail_usage("--staleness-threshold needs --fallback jsq|softmin"),
+        (None, Some(_)) => fail_usage("--fallback needs --staleness-threshold <intervals>"),
+        _ => {}
+    }
 
     // Checkpoint tiers load (and shape-validate) before the trace is
     // touched, so a wrong path fails in milliseconds, not after I/O.
@@ -857,10 +946,51 @@ fn cmd_serve() {
         _ => unreachable!("tier validated above"),
     };
 
-    // The trace is read last: everything above this line is pre-flight.
-    let source = match arg("--trace") {
+    // The fallback tier is static by design: it must keep working when
+    // the observation channel (which checkpoint policies lean on) stalls.
+    let fallback: Option<Box<dyn UpperPolicy + Sync + Send>> = match fallback_name.as_deref() {
+        None => None,
+        Some("jsq") => Some(Box::new(FixedRulePolicy::new(jsq_rule(zs, d), "JSQ(d) fallback"))),
+        Some("softmin") => {
+            let beta: f64 = strict("--fallback-beta").unwrap_or(1.0);
+            Some(Box::new(FixedRulePolicy::new(
+                softmin_rule(zs, d, beta),
+                format!("SOFT({beta}) fallback"),
+            )))
+        }
+        Some(other) => fail_usage(format!("unknown --fallback '{other}' (jsq|softmin)")),
+    };
+
+    // Fault plan: the --faults flag wins, a scenario-embedded plan rides
+    // along otherwise. Validated (exit 2) before the trace is touched.
+    let fault_plan = match arg("--faults") {
         Some(path) => {
             let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail_usage(format!("{path}: {e}")));
+            let plan = FaultPlan::from_json(&text)
+                .unwrap_or_else(|e| fail_usage(format!("parse {path}: {e}")));
+            plan.validate_for(scenario.config.num_queues)
+                .unwrap_or_else(|e| fail_usage(format!("fault plan {path}: {e}")));
+            Some(plan)
+        }
+        None => scenario.faults.clone(),
+    };
+
+    // The trace is read last: everything above this line is pre-flight.
+    // `--trace -` streams JSONL from stdin line by line (parsed lazily,
+    // with bounded retry-with-backoff on read errors).
+    let source = match arg("--trace").as_deref() {
+        Some("-") => {
+            let retries: u32 = strict("--ingest-retries").unwrap_or(3);
+            let backoff_ms: u64 = strict("--ingest-backoff-ms").unwrap_or(50);
+            JobSource::Stream(RefCell::new(LineTraceReader::with_retry(
+                Box::new(std::io::BufReader::new(std::io::stdin())),
+                retries,
+                backoff_ms,
+            )))
+        }
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| fail_usage(format!("{path}: {e}")));
             JobSource::Trace(
                 parse_trace(&text).unwrap_or_else(|e| fail_usage(format!("{path}: {e}"))),
@@ -869,10 +999,14 @@ fn cmd_serve() {
         None => JobSource::Synthetic,
     };
 
-    let engine = EventEngine::new(scenario.config.clone(), job_size);
-    let opts = ServeOptions { max_jobs, duration, report_every, seed };
+    let mut engine = EventEngine::new(scenario.config.clone(), job_size);
+    if let Some(plan) = fault_plan {
+        engine = engine.with_faults(plan);
+    }
+    let opts =
+        ServeOptions { max_jobs, duration, report_every, seed, admission_cap, staleness_threshold };
     eprintln!(
-        "serving: M={} B={} d={} Δt={} sizes={:?} policy={} source={} seed={seed}",
+        "serving: M={} B={} d={} Δt={} sizes={:?} policy={} source={} seed={seed}{}{}{}",
         scenario.config.num_queues,
         scenario.config.buffer,
         d,
@@ -880,25 +1014,45 @@ fn cmd_serve() {
         engine.job_size(),
         policy.name(),
         source.label(),
+        if engine.faults().is_some() { " faults=on" } else { "" },
+        admission_cap.map_or(String::new(), |c| format!(" admission-cap={c}")),
+        staleness_threshold.map_or(String::new(), |t| format!(" staleness-threshold={t}")),
     );
-    let report = serve(&engine, policy.as_ref(), policy.name(), &source, &opts, |tick| {
-        println!("{}", serde_json::to_string(tick).expect("tick serialization cannot fail"));
-    })
+    let report = serve_with(
+        &engine,
+        policy.as_ref(),
+        policy.name(),
+        fallback.as_deref().map(|p| p as &dyn UpperPolicy),
+        &source,
+        &opts,
+        None,
+        |tick| {
+            println!("{}", serde_json::to_string(tick).expect("tick serialization cannot fail"));
+        },
+    )
     .unwrap_or_else(|e| fail(e));
     // Compact, so stdout stays strict JSONL: ticks, then this last line.
     println!("{}", serde_json::to_string(&report).expect("report serialization cannot fail"));
     eprintln!(
-        "served {} jobs over {:.1} time units ({} intervals): {} completed, {} dropped \
-         (drop fraction {:.4}), mean sojourn {:.3}, {:.0} jobs/s dispatched",
+        "served {} jobs over {:.1} time units ({} intervals): {} completed, {} dropped, \
+         {} shed (loss fraction {:.4}), mean sojourn {:.3}, {:.0} jobs/s dispatched",
         report.jobs_arrived,
         report.sim_time,
         report.intervals,
         report.jobs_completed,
         report.jobs_dropped,
-        report.drop_fraction,
+        report.jobs_shed,
+        report.loss_fraction,
         report.mean_sojourn,
         report.jobs_per_sec,
     );
+    if report.fallback_activations > 0 || report.observation_dropped > 0 {
+        eprintln!(
+            "degradation: {} observation refreshes dropped, watchdog fell back {} time(s) \
+             covering {} interval(s)",
+            report.observation_dropped, report.fallback_activations, report.fallback_intervals,
+        );
+    }
     if let Some(out) = arg("--out") {
         if let Some(parent) = std::path::Path::new(&out).parent() {
             std::fs::create_dir_all(parent).ok();
@@ -1119,6 +1273,8 @@ fn usage() -> String {
         "  distill      project a checkpoint onto a tabular lattice policy via the DP oracle",
         "               (--checkpoint <path> [--grid G] [--slack f] [--out <json>])",
         "  simulate     run a finite-system Monte-Carlo evaluation",
+        "               (--record-trace <out.jsonl> instead records one synthetic serve run",
+        "                as a replayable job trace; needs an event-engine scenario)",
         "  meanfield    evaluate a policy in the limiting mean-field MDP",
         "  compare      JSQ vs RND vs tuned softmin on one configuration",
         "  tune-beta    find the optimal softmin temperature for a Δt",
@@ -1129,8 +1285,12 @@ fn usage() -> String {
         "               synthetic generator or a replayed JSONL trace, routed by --policy",
         "               (defaults to checkpoint when --checkpoint is given, else jsq)",
         "               under delayed observations; JSON tick lines + final report on stdout",
-        "               (--trace <jsonl> --max-jobs <n> --duration <t> --report-every <k>",
+        "               (--trace <jsonl>|- (- = stream stdin; --ingest-retries n",
+        "                --ingest-backoff-ms t) --max-jobs <n> --duration <t> --report-every <k>",
         "                --seed <s> --out <json>; usage errors exit 2 before the trace is read)",
+        "               graceful degradation: --admission-cap <jobs> sheds load above the cap,",
+        "               --staleness-threshold <k> --fallback jsq|softmin [--fallback-beta f]",
+        "               degrades to the static tier when observations go stale (hysteresis)",
         "  bench        run a tracked perf suite -> BENCH_<suite>.json (--quick for CI scale;",
         "               --suite kernels|graph|serve — graph covers sparse rates, sharded",
         "               epochs, CSR builds at up to 10^6 queues; serve tracks job-level",
@@ -1147,6 +1307,12 @@ fn usage() -> String {
         "           [--topology ring|torus|random|full --radius r --degree g --graph-seed s]",
         "           [--job-size exp|pareto|bpareto --job-rate r --job-shape a --job-scale x",
         "            --job-lo l --job-hi h] (job-size law for --engine event)",
+        "",
+        "fault injection (train / eval / simulate / serve):",
+        "  --faults <plan.json>          deterministic fault plan (crashes, stragglers,",
+        "                                observation drops, overload bursts); also embeddable",
+        "                                as a \"faults\" key in scenario JSON. Same seed =>",
+        "                                bit-identical faulted runs; malformed plans exit 2",
         "",
         "common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>",
         "              --policy jsq|rnd|softmin|checkpoint|distilled [--beta f] [--checkpoint path]",

@@ -597,3 +597,180 @@ fn distill_then_deploy_loop_completes_at_tiny_scale() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("MF-DP (distilled)"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Malformed fault plans and inconsistent degradation flags are usage
+/// errors (exit 2) raised before any simulation work.
+#[test]
+fn fault_plan_usage_errors_exit_2() {
+    let dir = std::env::temp_dir().join("mflb_cli_faults_usage");
+    std::fs::create_dir_all(&dir).unwrap();
+    let crashy = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios/event_crashy.json");
+
+    // Unparseable plan JSON.
+    let garbled = dir.join("garbled.json");
+    std::fs::write(&garbled, "{\"crashes\": {").unwrap();
+    let out = mflb()
+        .args(["simulate", "--engine", "event", "--faults", garbled.to_str().unwrap()])
+        .output()
+        .expect("run mflb simulate");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fault plan"));
+
+    // A parseable plan with a nonsense parameter (mttf <= 0).
+    let negative = dir.join("negative.json");
+    std::fs::write(&negative, "{\"crashes\": {\"mttf\": -3.0, \"mttr\": 1.0}}").unwrap();
+    let out = mflb()
+        .args(["simulate", "--engine", "event", "--faults", negative.to_str().unwrap()])
+        .output()
+        .expect("run mflb simulate");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mttf"));
+
+    // A straggler window naming a queue the system does not have.
+    let oob = dir.join("oob.json");
+    std::fs::write(
+        &oob,
+        "{\"stragglers\": [{\"start\": 0.0, \"end\": 5.0, \"factor\": 0.5, \"queues\": [999]}]}",
+    )
+    .unwrap();
+    for cmd in ["simulate", "serve"] {
+        let out = mflb()
+            .args([cmd, "--engine", "event", "--m", "20", "--faults", oob.to_str().unwrap()])
+            .output()
+            .expect("run mflb");
+        assert_eq!(out.status.code(), Some(2), "{cmd} must reject the out-of-range queue");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("999"));
+    }
+
+    // Engines that do not honor fault plans reject them up front.
+    let valid = dir.join("valid.json");
+    std::fs::write(&valid, "{\"crashes\": {\"mttf\": 20.0, \"mttr\": 5.0}}").unwrap();
+    let out = mflb()
+        .args(["simulate", "--engine", "aggregate", "--faults", valid.to_str().unwrap()])
+        .output()
+        .expect("run mflb simulate");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("does not honor"));
+
+    // Degradation flags come in consistent pairs, with positive values.
+    let scenario = crashy.to_str().unwrap();
+    for args in [
+        vec!["serve", "--scenario", scenario, "--staleness-threshold", "2"],
+        vec!["serve", "--scenario", scenario, "--fallback", "jsq"],
+        vec!["serve", "--scenario", scenario, "--admission-cap", "0"],
+        vec![
+            "serve",
+            "--scenario",
+            scenario,
+            "--fallback",
+            "teleport",
+            "--staleness-threshold",
+            "2",
+        ],
+    ] {
+        let out = mflb().args(&args).output().expect("run mflb serve");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The robustness acceptance gate: on the shipped crash scenario, the
+/// protected serve loop (bounded admission + staleness fallback) must
+/// lose a strictly smaller fraction of jobs than the unprotected one,
+/// while actually exercising shedding and the watchdog.
+#[test]
+fn serve_graceful_degradation_beats_the_unprotected_loop() {
+    let crashy = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/scenarios/event_crashy.json");
+    let base = [
+        "serve",
+        "--scenario",
+        crashy.to_str().unwrap(),
+        "--duration",
+        "100",
+        "--seed",
+        "7",
+        "--report-every",
+        "1000",
+    ];
+    let run = |extra: &[&str]| {
+        let out = mflb().args(base).args(extra).output().expect("run mflb serve");
+        assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        mflb::sim::ServeReport::from_json(stdout.lines().last().unwrap())
+            .expect("final report JSON")
+    };
+
+    let unprotected = run(&[]);
+    let protected =
+        run(&["--admission-cap", "85", "--staleness-threshold", "2", "--fallback", "jsq"]);
+
+    assert!(unprotected.drop_fraction > 0.0, "the crash plan must actually cost jobs");
+    assert_eq!(unprotected.jobs_shed, 0, "no admission cap, no shedding");
+    assert!(protected.jobs_shed > 0, "the cap must engage under crash backlog");
+    assert!(protected.fallback_activations > 0, "stale snapshots must trip the watchdog");
+    assert!(protected.observation_dropped > 0, "the observation fault must fire");
+    assert!(
+        protected.drop_fraction < unprotected.drop_fraction,
+        "graceful degradation must beat the unprotected loop: protected {} vs unprotected {}",
+        protected.drop_fraction,
+        unprotected.drop_fraction
+    );
+    assert!(
+        protected.loss_fraction < unprotected.loss_fraction,
+        "even counting shed jobs as losses: protected {} vs unprotected {}",
+        protected.loss_fraction,
+        unprotected.loss_fraction
+    );
+}
+
+/// `simulate --record-trace` → `serve --trace` round trip: the recorded
+/// synthetic stream replays with identical job counts, and replaying the
+/// same file twice is bit-identical on every reported statistic.
+#[test]
+fn recorded_traces_replay_bit_identically_through_the_cli() {
+    let dir = std::env::temp_dir().join("mflb_cli_record_replay");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("recorded.jsonl");
+    let sys = ["--engine", "event", "--m", "20", "--n", "400", "--dt", "2"];
+
+    let out = mflb()
+        .args(["simulate"])
+        .args(sys)
+        .args(["--duration", "20", "--seed", "5", "--record-trace", trace.to_str().unwrap()])
+        .output()
+        .expect("run mflb simulate");
+    assert!(out.status.success(), "record failed: {}", String::from_utf8_lossy(&out.stderr));
+    let recorded = std::fs::read_to_string(&trace).unwrap().lines().count() as u64;
+    assert!(recorded > 0, "a busy synthetic run must record jobs");
+
+    let replay = || {
+        let out = mflb()
+            .args(["serve"])
+            .args(sys)
+            .args([
+                "--trace",
+                trace.to_str().unwrap(),
+                "--seed",
+                "5",
+                "--duration",
+                "20",
+                "--report-every",
+                "1000",
+            ])
+            .output()
+            .expect("run mflb serve");
+        assert!(out.status.success(), "replay failed: {}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        mflb::sim::ServeReport::from_json(stdout.lines().last().unwrap())
+            .expect("final report JSON")
+    };
+    let a = replay();
+    let b = replay();
+    assert_eq!(a.jobs_arrived, recorded, "every recorded job must be replayed");
+    assert_eq!(a.jobs_completed, b.jobs_completed);
+    assert_eq!(a.mean_sojourn.to_bits(), b.mean_sojourn.to_bits());
+    assert_eq!(a.drop_fraction.to_bits(), b.drop_fraction.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -9,7 +9,10 @@
 //! constants (print `total_drops.to_bits()`) and say so in the PR.
 
 use mflb::core::mdp::FixedRulePolicy;
-use mflb::core::{JobSizeLaw, SystemConfig, Topology};
+use mflb::core::{
+    CrashFaults, FaultPlan, JobSizeLaw, ObservationFaults, OverloadWindow, StragglerWindow,
+    SystemConfig, Topology,
+};
 use mflb::linalg::stats::Summary;
 use mflb::policy::{jsq_rule, sed_rule};
 use mflb::queue::hetero::ServerPool;
@@ -209,4 +212,49 @@ fn scenario_built_engines_match_the_pinned_values_too() {
     .unwrap();
     let drops = run_episode(&event, &jsq(), 20, &mut run_rng(0xC0FFEE, 7)).total_drops;
     assert_eq!(drops.to_bits(), 0x4012eeeeeeeeeeee);
+}
+
+/// The fault plan of the pinned faulted runs: every fault family active
+/// at once, so the pinned constants cover the crash renewal streams, the
+/// straggler/overload window arithmetic and the observation-drop stream.
+fn regression_fault_plan() -> FaultPlan {
+    FaultPlan {
+        crashes: Some(CrashFaults { mttf: 20.0, mttr: 5.0 }),
+        stragglers: vec![StragglerWindow { start: 9.0, end: 30.0, factor: 0.5, queues: None }],
+        observation: Some(ObservationFaults { drop_prob: 0.3 }),
+        overloads: vec![OverloadWindow { start: 30.0, end: 48.0, factor: 1.4 }],
+    }
+}
+
+#[test]
+fn faulted_event_and_fifo_engines_reproduce_their_introduction_drops() {
+    // Pinned at the PR that introduced deterministic fault injection:
+    // all fault randomness flows through `(epoch_base, salt, index)`
+    // counter streams, so these values are a regression contract for the
+    // crash renewal sampling order on top of the engines' own streams.
+    let cfg = hot(SystemConfig::paper().with_size(900, 30).with_dt(3.0));
+    let event = EventEngine::new(cfg.clone(), JobSizeLaw::Exponential { rate: 1.0 })
+        .with_faults(regression_fault_plan());
+    let drops = run_episode(&event, &jsq(), 20, &mut run_rng(0xC0FFEE, 7)).total_drops;
+    assert_eq!(drops.to_bits(), 0x40333bbbbbbbbbbb, "got {drops}");
+
+    let fifo = FifoEngine::new(cfg).with_faults(regression_fault_plan());
+    let drops = run_episode(&fifo, &jsq(), 20, &mut run_rng(0xC0FFEE, 8)).total_drops;
+    assert_eq!(drops.to_bits(), 0x403499999999999a, "got {drops}");
+}
+
+#[test]
+fn faulted_sharded_graph_engine_is_shard_and_worker_independent() {
+    // The faulted epoch's service multipliers are computed once, serially,
+    // from the counter streams before the parallel service pass — so the
+    // pinned value must be reproduced by any (shard size, worker count).
+    let cfg = hot(SystemConfig::paper().with_size(900, 30).with_dt(3.0));
+    let base = GraphEngine::new(cfg, Topology::Ring { radius: 2 })
+        .with_mode(StepMode::Sharded)
+        .with_faults(regression_fault_plan());
+    for (shard, workers) in [(1 << 20, 1), (7, 3)] {
+        let engine = base.clone().with_shard_size(shard).with_workers(workers);
+        let drops = run_episode(&engine, &jsq(), 20, &mut run_rng(0xC0FFEE, 6)).total_drops;
+        assert_eq!(drops.to_bits(), 0x4039a22222222223, "got {drops} ({shard}, {workers})");
+    }
 }
