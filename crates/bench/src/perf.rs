@@ -5,8 +5,11 @@
 //!
 //! 1. **kernels** — the register-blocked `*_into` GEMMs vs the naive
 //!    allocating matmuls at the paper's 2×256 policy shape,
-//! 2. **batch-1 inference** — the `gemv`/workspace `forward_one_into`
-//!    fast path vs the allocating `forward_one` it replaced,
+//! 2. **inference tiers** — the `gemv`/workspace `forward_one_into`
+//!    batch-1 fast path vs the allocating `forward_one` it replaced, the
+//!    batched `forward_rows_into` gemm vs K sequential gemvs (the
+//!    `decide_batch` cutover), the f32 serving tier vs the f64 batched
+//!    path, and the distilled tabular tier's snap-and-lookup `decide()`,
 //! 3. **PPO** — rollout collection and minibatch-update throughput of
 //!    [`mflb_rl::PpoTrainer`] on the mean-field control environment,
 //! 4. **deployment** — Monte-Carlo finite-system epochs driven by a
@@ -24,7 +27,7 @@
 //! same computation.
 
 use mflb_core::SystemConfig;
-use mflb_nn::{Activation, DiagGaussian, Mlp, Tensor, Workspace};
+use mflb_nn::{Activation, DiagGaussian, F32Workspace, Mlp, Tensor, Workspace};
 use mflb_policy::{action_dim, observation_dim, NeuralUpperPolicy};
 use mflb_rl::{train_scenario, MfcEnv, PpoConfig, PpoTrainer};
 use mflb_sim::{monte_carlo, AggregateEngine, EngineSpec, Scenario};
@@ -332,6 +335,89 @@ pub fn run_suite(quick: bool, workers: usize) -> BenchReport {
             entry("gemv_policy_head_32x72_batch1", hiters, hfast, 1.0, "ops/s"),
             hnaive,
         ));
+    }
+
+    // --- 2b. Batched decision-epoch inference on the paper net: one
+    //     K-row gemm through `forward_rows_into` vs K sequential
+    //     `forward_one_into` gemvs — the `decide_batch` vs `decide`
+    //     cutover the lockstep Monte-Carlo driver rides (bit-identical
+    //     outputs, so the margin is purely from amortizing the 512 KB
+    //     weight stream over the batch). The f32 serving tier then runs
+    //     the same batch with converted weights as its own tracked entry,
+    //     baselined against the f64 batched path. ---
+    {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mlp = Mlp::new(&[8, 256, 256, 72], Activation::Tanh, &mut rng);
+        let k = 32usize;
+        let rows: Vec<f64> = (0..k * 8).map(|i| ((i as f64) * 0.13).sin() * 0.5 + 0.5).collect();
+        let iters = 200 * scale;
+        let mut ws_seq = Workspace::new();
+        let gemv = time_loop(iters, || {
+            for r in 0..k {
+                black_box(mlp.forward_one_into(black_box(&rows[r * 8..(r + 1) * 8]), &mut ws_seq));
+            }
+        });
+        let mut ws = Workspace::new();
+        let batched = time_loop(iters, || {
+            black_box(mlp.forward_rows_into(k, black_box(&rows), &mut ws));
+        });
+        entries.push(with_baseline(
+            entry("batched_vs_gemv", iters, batched, k as f64, "rows/s"),
+            gemv,
+        ));
+
+        let f32_net = mlp.to_f32();
+        let mut ws32 = F32Workspace::new();
+        let f32_secs = time_loop(iters, || {
+            black_box(f32_net.forward_rows_into(k, black_box(&rows), &mut ws32));
+        });
+        entries
+            .push(with_baseline(entry("f32_vs_f64", iters, f32_secs, k as f64, "rows/s"), batched));
+    }
+
+    // --- 2c. Distilled tabular tier: snap-and-lookup `decide()`, timed at
+    //     the same decision granularity as the neural tiers so the three
+    //     serving tiers read off one table. Untracked (no naive twin to
+    //     ratio against) — the absolute per-op cost is the datum. ---
+    {
+        use mflb_core::mdp::UpperPolicy;
+        use mflb_core::StateDist;
+        use mflb_dp::SimplexGrid;
+        use mflb_policy::{jsq_rule, softmin_rule};
+        use mflb_rl::{DistilledCheckpoint, DISTILLED_FORMAT_VERSION};
+
+        let config = SystemConfig::paper().with_m_squared(100).with_dt(5.0);
+        let zs = config.num_states();
+        let d = config.d;
+        let levels = config.arrivals.num_levels();
+        let grid_resolution = 8;
+        let points = SimplexGrid::new(zs, grid_resolution).num_points();
+        let ckpt = DistilledCheckpoint {
+            format_version: DISTILLED_FORMAT_VERSION,
+            scenario: Scenario::new(config.clone(), EngineSpec::Aggregate),
+            grid_resolution,
+            action_names: vec!["JSQ".into(), "SOFT(1)".into(), "SOFT(4)".into()],
+            action_rules: vec![jsq_rule(zs, d), softmin_rule(zs, d, 1.0), softmin_rule(zs, d, 4.0)],
+            table: (0..points * levels).map(|i| (i % 3) as u32).collect(),
+            nn_fraction: 1.0,
+            polish_slack: 0.005,
+            source_steps: 0,
+            source_seed: 0,
+        };
+        let tabular = ckpt.into_policy().expect("bench table is consistent");
+        let dists: Vec<StateDist> = (0..8usize)
+            .map(|s| {
+                let lengths: Vec<usize> = (0..100).map(|j| (j * (s + 3)) % zs).collect();
+                StateDist::empirical(&lengths, config.buffer)
+            })
+            .collect();
+        let iters = 20_000 * scale;
+        let mut k = 0usize;
+        let secs = time_loop(iters, || {
+            black_box(tabular.decide(black_box(&dists[k % dists.len()]), k % levels, 1.0));
+            k += 1;
+        });
+        entries.push(entry("tabular_policy_decide", iters, secs, 1.0, "ops/s"));
     }
 
     // --- 3. Backward pass: workspace vs allocating, batch 128. ---

@@ -58,6 +58,104 @@ pub struct MfState {
     pub lambda_idx: usize,
 }
 
+/// A batch of stacked policy observations collected for one decision
+/// epoch (or one lockstep sweep over several episodes).
+///
+/// Each pushed observation is encoded immediately into a contiguous
+/// row-major buffer with the exact [`encode_observation_into`] layout —
+/// `[ν(0..B), onehot(λ_idx)]` — so a neural policy can run **one** batched
+/// matrix product over [`ObservationBatch::as_slice`] instead of one gemv
+/// per observation. The original `(dist, λ_idx, λ)` triples are retained
+/// so non-neural policies (and the default [`UpperPolicy::decide_batch`])
+/// can fall back to per-observation [`UpperPolicy::decide`] calls.
+///
+/// The batch reuses its row buffer across [`ObservationBatch::clear`]
+/// calls, so steady-state encoding costs one `memcpy` per observation.
+#[derive(Debug, Clone)]
+pub struct ObservationBatch {
+    num_states: usize,
+    num_levels: usize,
+    /// Row-major `len × (num_states + num_levels)` observation matrix.
+    rows: Vec<f64>,
+    dists: Vec<StateDist>,
+    lambda_idxs: Vec<usize>,
+    lambdas: Vec<f64>,
+}
+
+impl ObservationBatch {
+    /// An empty batch for observations over `num_states` queue states and
+    /// `num_levels` arrival levels.
+    pub fn new(num_states: usize, num_levels: usize) -> Self {
+        Self {
+            num_states,
+            num_levels,
+            rows: Vec::new(),
+            dists: Vec::new(),
+            lambda_idxs: Vec::new(),
+            lambdas: Vec::new(),
+        }
+    }
+
+    /// Empties the batch, keeping every allocation for reuse.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.dists.clear();
+        self.lambda_idxs.clear();
+        self.lambdas.clear();
+    }
+
+    /// Appends one observation, encoding it into the stacked row buffer.
+    ///
+    /// # Panics
+    /// Panics if `dist` does not have the batch's `num_states` states.
+    pub fn push(&mut self, dist: StateDist, lambda_idx: usize, lambda: f64) {
+        assert_eq!(dist.num_states(), self.num_states, "observation batch state count");
+        self.rows.extend_from_slice(dist.as_slice());
+        for l in 0..self.num_levels {
+            self.rows.push(if l == lambda_idx { 1.0 } else { 0.0 });
+        }
+        self.dists.push(dist);
+        self.lambda_idxs.push(lambda_idx);
+        self.lambdas.push(lambda);
+    }
+
+    /// Number of stacked observations.
+    pub fn len(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Whether the batch holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.dists.is_empty()
+    }
+
+    /// Width of one encoded observation row
+    /// ([`observation_dim`]`(num_states, num_levels)`).
+    pub fn obs_dim(&self) -> usize {
+        observation_dim(self.num_states, self.num_levels)
+    }
+
+    /// The stacked row-major `len × obs_dim` observation matrix.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.rows
+    }
+
+    /// The `i`-th observation's queue-state distribution.
+    pub fn dist(&self, i: usize) -> &StateDist {
+        &self.dists[i]
+    }
+
+    /// The `i`-th observation's arrival-level index.
+    pub fn lambda_idx(&self, i: usize) -> usize {
+        self.lambda_idxs[i]
+    }
+
+    /// The `i`-th observation's arrival rate `λ`.
+    pub fn lambda(&self, i: usize) -> f64 {
+        self.lambdas[i]
+    }
+}
+
 /// An upper-level policy `π̃ : P(Z) × Λ → H` (Eq. 30): maps the observed
 /// queue-state distribution and arrival level to a decision rule.
 ///
@@ -67,6 +165,23 @@ pub struct MfState {
 pub trait UpperPolicy {
     /// Produces the decision rule for the epoch.
     fn decide(&self, dist: &StateDist, lambda_idx: usize, lambda: f64) -> DecisionRule;
+
+    /// Produces one decision rule per stacked observation, writing
+    /// `out[i]` for observation `i` (`out` must have exactly
+    /// [`ObservationBatch::len`] slots; every slot is overwritten).
+    ///
+    /// The default implementation loops [`UpperPolicy::decide`], so
+    /// table-driven policies (JSQ, RND, softmin, distilled) and external
+    /// implementors keep working unchanged. Policies with a batched fast
+    /// path (one gemm over the whole batch instead of one gemv per
+    /// observation) override this; overrides must stay **bit-identical**
+    /// to the sequential path so seed-pinned runs are unperturbed.
+    fn decide_batch(&self, batch: &ObservationBatch, out: &mut [DecisionRule]) {
+        assert_eq!(out.len(), batch.len(), "decide_batch output slots");
+        for i in 0..batch.len() {
+            out[i] = self.decide(batch.dist(i), batch.lambda_idx(i), batch.lambda(i));
+        }
+    }
 
     /// Human-readable identifier used by the experiment harness.
     fn name(&self) -> &str {

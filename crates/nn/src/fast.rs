@@ -1,0 +1,353 @@
+//! Fast inference kernels: a vectorizable rational `tanh` and a narrowed
+//! `f32` forward-only network.
+//!
+//! The batch-1 serving path is dominated by libm `tanh` (~10 ns/element)
+//! and by streaming 512 KB of `f64` weights per decision on the paper's
+//! 2×256 nets. This module provides the two ROADMAP remedies:
+//!
+//! * [`fast_tanh`] / [`fast_tanh_f32`] — a clamped odd rational
+//!   approximation (the Eigen/XLA `ptanh` polynomial) that the compiler
+//!   autovectorizes under the pinned `target-cpu`, selected via
+//!   [`TanhMode::Fast`];
+//! * [`F32Mlp`] + [`F32Workspace`] — a forward-only single-precision copy
+//!   of a trained [`Mlp`] (half the weight traffic),
+//!   built with [`Mlp::to_f32`](crate::mlp::Mlp::to_f32).
+//!
+//! Both are opt-in: the default [`TanhMode::BitCompat`] keeps every
+//! pinned checkpoint and regression stream byte-identical, and `f32`
+//! serving is gated behind an explicit `--precision f32` flag plus an
+//! eval certification gate upstream.
+
+use crate::linear::Linear;
+use crate::mlp::{Activation, Mlp};
+
+/// How `tanh` activations are evaluated during a forward pass.
+///
+/// Training always uses [`TanhMode::BitCompat`] semantics (the backward
+/// pass is derived from post-activation values and is unaffected by the
+/// mode); `Fast` is an inference-only switch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TanhMode {
+    /// libm `tanh` — bit-identical to every pinned checkpoint,
+    /// regression stream, and training trajectory. The default.
+    #[default]
+    BitCompat,
+    /// Clamped rational approximation ([`fast_tanh`]): ~1e-7 max
+    /// absolute error, branchless, autovectorizes. Opt-in via
+    /// `--fast-math` on the serving/eval CLIs.
+    Fast,
+}
+
+/// Saturation clamp for the rational approximation: beyond this |x| the
+/// polynomial ratio is within f32 ulp of ±1.
+const TANH_CLAMP: f64 = 7.905_311_107_635_498;
+
+const ALPHA_1: f64 = 4.893_524_558_917_86e-3;
+const ALPHA_3: f64 = 6.372_619_288_754_36e-4;
+const ALPHA_5: f64 = 1.485_722_357_179_79e-5;
+const ALPHA_7: f64 = 5.122_297_090_371_14e-8;
+const ALPHA_9: f64 = -8.604_671_522_137_35e-11;
+const ALPHA_11: f64 = 2.000_187_904_824_77e-13;
+const ALPHA_13: f64 = -2.760_768_477_423_55e-16;
+const BETA_0: f64 = 4.893_525_185_543_85e-3;
+const BETA_2: f64 = 2.268_434_632_439e-3;
+const BETA_4: f64 = 1.185_347_056_866_54e-4;
+const BETA_6: f64 = 1.198_258_394_667_02e-6;
+
+/// Branchless rational `tanh` approximation (numerator degree 13,
+/// denominator degree 6, inputs clamped to ±7.905…).
+///
+/// Max absolute error vs libm `tanh` is ~1e-7 over ℝ — far below the
+/// softmax temperature scale of the decision-rule logits — and the
+/// straight-line clamp/Horner body autovectorizes where a libm call
+/// cannot. Selected by [`TanhMode::Fast`].
+#[inline]
+pub fn fast_tanh(x: f64) -> f64 {
+    let x = x.clamp(-TANH_CLAMP, TANH_CLAMP);
+    let x2 = x * x;
+    let mut p = ALPHA_13;
+    p = x2 * p + ALPHA_11;
+    p = x2 * p + ALPHA_9;
+    p = x2 * p + ALPHA_7;
+    p = x2 * p + ALPHA_5;
+    p = x2 * p + ALPHA_3;
+    p = x2 * p + ALPHA_1;
+    p *= x;
+    let mut q = BETA_6;
+    q = x2 * q + BETA_4;
+    q = x2 * q + BETA_2;
+    q = x2 * q + BETA_0;
+    p / q
+}
+
+/// Single-precision twin of [`fast_tanh`] for the [`F32Mlp`] tier.
+#[inline]
+pub fn fast_tanh_f32(x: f32) -> f32 {
+    let x = x.clamp(-(TANH_CLAMP as f32), TANH_CLAMP as f32);
+    let x2 = x * x;
+    let mut p = ALPHA_13 as f32;
+    p = x2 * p + ALPHA_11 as f32;
+    p = x2 * p + ALPHA_9 as f32;
+    p = x2 * p + ALPHA_7 as f32;
+    p = x2 * p + ALPHA_5 as f32;
+    p = x2 * p + ALPHA_3 as f32;
+    p = x2 * p + ALPHA_1 as f32;
+    p *= x;
+    let mut q = BETA_6 as f32;
+    q = x2 * q + BETA_4 as f32;
+    q = x2 * q + BETA_2 as f32;
+    q = x2 * q + BETA_0 as f32;
+    p / q
+}
+
+/// One dense layer of an [`F32Mlp`]: weights row-major `fan_in × fan_out`
+/// plus a bias, all narrowed to `f32`.
+#[derive(Debug, Clone)]
+struct F32Layer {
+    w: Vec<f32>,
+    b: Vec<f32>,
+    fan_in: usize,
+    fan_out: usize,
+}
+
+impl F32Layer {
+    fn from_linear(l: &Linear) -> Self {
+        Self {
+            w: l.w.as_slice().iter().map(|&v| v as f32).collect(),
+            b: l.b.iter().map(|&v| v as f32).collect(),
+            fan_in: l.fan_in(),
+            fan_out: l.fan_out(),
+        }
+    }
+
+    /// `y[r] = x[r]·W + b` for each of `rows` stacked rows — an
+    /// axpy-ordered loop (unit-stride inner dimension) the compiler turns
+    /// into packed FMA under the pinned `target-cpu`.
+    fn forward_rows(&self, rows: usize, x: &[f32], y: &mut [f32]) {
+        for r in 0..rows {
+            let xr = &x[r * self.fan_in..(r + 1) * self.fan_in];
+            let yr = &mut y[r * self.fan_out..(r + 1) * self.fan_out];
+            yr.copy_from_slice(&self.b);
+            for (k, &xv) in xr.iter().enumerate() {
+                let wrow = &self.w[k * self.fan_out..(k + 1) * self.fan_out];
+                for (o, &wv) in yr.iter_mut().zip(wrow) {
+                    *o += xv * wv;
+                }
+            }
+        }
+    }
+}
+
+/// Forward-only single-precision copy of a trained [`Mlp`], produced by
+/// [`Mlp::to_f32`].
+///
+/// Halves the weight-streaming traffic that dominates batch-1 inference
+/// on the paper's 2×256 networks. Outputs are **not** bit-identical to
+/// the `f64` source (narrowing is lossy), so the serving CLI only enables
+/// this tier behind `--precision f32`, certified by an eval gate that
+/// compares drops/queue statistics against the `f64` checkpoint.
+#[derive(Debug, Clone)]
+pub struct F32Mlp {
+    layers: Vec<F32Layer>,
+    activation: Activation,
+    tanh_mode: TanhMode,
+}
+
+impl F32Mlp {
+    /// Narrows every layer of `mlp` to `f32`, inheriting its activation
+    /// and [`TanhMode`].
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        Self {
+            layers: mlp.layers().iter().map(F32Layer::from_linear).collect(),
+            activation: mlp.activation(),
+            tanh_mode: mlp.tanh_mode(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().unwrap().fan_in
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().unwrap().fan_out
+    }
+
+    /// The `tanh` evaluation mode used by forward passes.
+    pub fn tanh_mode(&self) -> TanhMode {
+        self.tanh_mode
+    }
+
+    /// Sets the `tanh` evaluation mode (builder form).
+    pub fn with_tanh_mode(mut self, mode: TanhMode) -> Self {
+        self.tanh_mode = mode;
+        self
+    }
+
+    /// Runs `rows` stacked input rows (`rows × input_dim`, row-major
+    /// `f64` — narrowed on the fly) through the network; returns the
+    /// `rows × output_dim` row-major `f32` output living in `ws`.
+    ///
+    /// Allocation-free once `ws` is warm.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * input_dim`.
+    pub fn forward_rows_into<'w>(
+        &self,
+        rows: usize,
+        data: &[f64],
+        ws: &'w mut F32Workspace,
+    ) -> &'w [f32] {
+        assert_eq!(data.len(), rows * self.input_dim(), "input dims");
+        ws.ensure(self, rows);
+        for (dst, &src) in ws.acts[0].iter_mut().zip(data) {
+            *dst = src as f32;
+        }
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            let (prev, rest) = ws.acts.split_at_mut(i + 1);
+            layer.forward_rows(rows, &prev[i], &mut rest[0]);
+            if i < last {
+                let y = &mut rest[0];
+                match (self.activation, self.tanh_mode) {
+                    (Activation::Tanh, TanhMode::BitCompat) => {
+                        for v in y.iter_mut() {
+                            *v = v.tanh();
+                        }
+                    }
+                    (Activation::Tanh, TanhMode::Fast) => {
+                        for v in y.iter_mut() {
+                            *v = fast_tanh_f32(*v);
+                        }
+                    }
+                    (Activation::Relu, _) => {
+                        for v in y.iter_mut() {
+                            *v = v.max(0.0);
+                        }
+                    }
+                    (Activation::Identity, _) => {}
+                }
+            }
+        }
+        ws.acts.last().unwrap()
+    }
+
+    /// Batch-1 convenience over [`F32Mlp::forward_rows_into`].
+    pub fn forward_one_into<'w>(&self, x: &[f64], ws: &'w mut F32Workspace) -> &'w [f32] {
+        self.forward_rows_into(1, x, ws)
+    }
+}
+
+/// Reusable caller-owned scratch for [`F32Mlp`] forward passes —
+/// the single-precision analogue of [`Workspace`](crate::mlp::Workspace),
+/// forward-only (the `f32` tier never trains).
+#[derive(Debug, Clone, Default)]
+pub struct F32Workspace {
+    /// `acts[0]` is the narrowed input copy; `acts[i+1]` the
+    /// (post-activation, except for the last) output of layer `i`.
+    acts: Vec<Vec<f32>>,
+}
+
+impl F32Workspace {
+    /// An empty workspace; buffers materialize on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reshapes all buffers for `mlp` at `rows` rows, reusing capacity.
+    fn ensure(&mut self, mlp: &F32Mlp, rows: usize) {
+        let n = mlp.layers.len();
+        if self.acts.len() != n + 1 {
+            self.acts = vec![Vec::new(); n + 1];
+        }
+        self.acts[0].resize(rows * mlp.input_dim(), 0.0);
+        for (i, layer) in mlp.layers.iter().enumerate() {
+            let want = rows * layer.fan_out;
+            if self.acts[i + 1].len() != want {
+                self.acts[i + 1].resize(want, 0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::Workspace;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fast_tanh_tracks_libm() {
+        let mut worst = 0.0f64;
+        let mut x = -12.0;
+        while x <= 12.0 {
+            let err = (fast_tanh(x) - x.tanh()).abs();
+            if err > worst {
+                worst = err;
+            }
+            x += 1.0 / 1024.0;
+        }
+        assert!(worst < 5e-7, "max |fast_tanh - tanh| = {worst}");
+        // Saturation and odd symmetry.
+        assert!((fast_tanh(40.0) - 1.0).abs() < 1e-6);
+        assert!((fast_tanh(-40.0) + 1.0).abs() < 1e-6);
+        assert_eq!(fast_tanh(0.0), 0.0);
+        assert_eq!(fast_tanh(0.7), -fast_tanh(-0.7));
+    }
+
+    #[test]
+    fn fast_tanh_f32_tracks_libm() {
+        let mut x = -10.0f32;
+        while x <= 10.0 {
+            let err = (fast_tanh_f32(x) - x.tanh()).abs();
+            assert!(err < 3e-6, "x={x}: err {err}");
+            x += 1.0 / 256.0;
+        }
+    }
+
+    #[test]
+    fn f32_forward_close_to_f64() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mlp = Mlp::new(&[6, 32, 32, 4], Activation::Tanh, &mut rng);
+        let f32net = mlp.to_f32();
+        assert_eq!(f32net.input_dim(), 6);
+        assert_eq!(f32net.output_dim(), 4);
+        let mut ws64 = Workspace::new();
+        let mut ws32 = F32Workspace::new();
+        let rows: Vec<Vec<f64>> =
+            (0..5).map(|r| (0..6).map(|c| ((r * 6 + c) as f64 * 0.37).sin()).collect()).collect();
+        // Batched f32 pass vs per-sample f64 reference.
+        let flat: Vec<f64> = rows.concat();
+        let out32 = f32net.forward_rows_into(5, &flat, &mut ws32).to_vec();
+        for (r, row) in rows.iter().enumerate() {
+            let ref64 = mlp.forward_one_into(row, &mut ws64).to_vec();
+            for (c, &v64) in ref64.iter().enumerate() {
+                let v32 = out32[r * 4 + c] as f64;
+                assert!((v32 - v64).abs() < 1e-4, "row {r} col {c}: f32 {v32} vs f64 {v64}");
+            }
+        }
+        // Batch-1 path agrees with the batched path bitwise.
+        let one = f32net.forward_one_into(&rows[0], &mut ws32).to_vec();
+        for (a, b) in one.iter().zip(&out32[..4]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_fast_mode_close_to_bitcompat() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mlp = Mlp::new(&[4, 16, 3], Activation::Tanh, &mut rng);
+        let mut ws_a = F32Workspace::new();
+        let mut ws_b = F32Workspace::new();
+        let a = mlp.to_f32();
+        let b = mlp.to_f32().with_tanh_mode(TanhMode::Fast);
+        let x = [0.3, -0.9, 0.05, 0.6];
+        let ya = a.forward_one_into(&x, &mut ws_a).to_vec();
+        let yb = b.forward_one_into(&x, &mut ws_b).to_vec();
+        for (u, v) in ya.iter().zip(&yb) {
+            assert!((u - v).abs() < 1e-4);
+        }
+    }
+}

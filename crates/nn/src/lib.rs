@@ -50,12 +50,14 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod adam;
+pub mod fast;
 pub mod gaussian;
 pub mod linear;
 pub mod mlp;
 pub mod tensor;
 
 pub use adam::{clip_grad_norm, Adam};
+pub use fast::{fast_tanh, fast_tanh_f32, F32Mlp, F32Workspace, TanhMode};
 pub use gaussian::{standard_normal, DiagGaussian};
 pub use linear::Linear;
 pub use mlp::{Activation, ForwardCache, Mlp, Workspace};

@@ -6,6 +6,7 @@
 //! [`Mlp::write_params`] order, so the optimizer ([`crate::adam::Adam`])
 //! can stay a plain flat-vector method.
 
+use crate::fast::{fast_tanh, F32Mlp, TanhMode};
 use crate::linear::Linear;
 use crate::tensor::Tensor;
 use rand::Rng;
@@ -29,6 +30,16 @@ impl Activation {
             Activation::Tanh => v.tanh(),
             Activation::Relu => v.max(0.0),
             Activation::Identity => v,
+        }
+    }
+
+    /// [`Activation::apply`] under a [`TanhMode`]: identical except that
+    /// `(Tanh, Fast)` routes through the rational [`fast_tanh`].
+    #[inline]
+    fn apply_mode(self, mode: TanhMode, v: f64) -> f64 {
+        match (self, mode) {
+            (Activation::Tanh, TanhMode::Fast) => fast_tanh(v),
+            _ => self.apply(v),
         }
     }
 
@@ -162,6 +173,11 @@ impl Workspace {
 pub struct Mlp {
     layers: Vec<Linear>,
     activation: Activation,
+    /// Inference-only `tanh` evaluation mode. Skipped by serde so every
+    /// pinned checkpoint stays byte-identical; deserializes to the
+    /// bit-compatible default.
+    #[serde(skip)]
+    tanh_mode: TanhMode,
 }
 
 impl Mlp {
@@ -170,7 +186,7 @@ impl Mlp {
     pub fn new<R: Rng + ?Sized>(sizes: &[usize], activation: Activation, rng: &mut R) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
         let layers = sizes.windows(2).map(|w| Linear::xavier(w[0], w[1], rng)).collect();
-        Self { layers, activation }
+        Self { layers, activation, tanh_mode: TanhMode::default() }
     }
 
     /// The paper's policy/value network shape: two tanh hidden layers of
@@ -192,6 +208,44 @@ impl Mlp {
         self.layers.last().unwrap().fan_out()
     }
 
+    /// The `tanh` evaluation mode used by all forward passes.
+    pub fn tanh_mode(&self) -> TanhMode {
+        self.tanh_mode
+    }
+
+    /// Sets the `tanh` evaluation mode (builder form). [`TanhMode::Fast`]
+    /// only changes how forward passes evaluate `Tanh` activations; the
+    /// backward pass (derived from post-activation values) and parameter
+    /// serialization are unaffected, so training pipelines should leave
+    /// the bit-compatible default in place.
+    pub fn with_tanh_mode(mut self, mode: TanhMode) -> Self {
+        self.tanh_mode = mode;
+        self
+    }
+
+    /// Sets the `tanh` evaluation mode in place (see
+    /// [`Mlp::with_tanh_mode`]).
+    pub fn set_tanh_mode(&mut self, mode: TanhMode) {
+        self.tanh_mode = mode;
+    }
+
+    /// Narrows the network to a forward-only [`F32Mlp`] inference copy
+    /// (half the weight-streaming traffic; not bit-identical — see the
+    /// [`crate::fast`] module docs for the certification story).
+    pub fn to_f32(&self) -> F32Mlp {
+        F32Mlp::from_mlp(self)
+    }
+
+    /// The dense layers, in forward order (for intra-crate conversions).
+    pub(crate) fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// The hidden activation (for intra-crate conversions).
+    pub(crate) fn activation(&self) -> Activation {
+        self.activation
+    }
+
     /// Forward pass keeping the activation cache for backprop.
     pub fn forward_cached(&self, x: &Tensor) -> ForwardCache {
         let mut activations = Vec::with_capacity(self.layers.len() + 1);
@@ -200,8 +254,8 @@ impl Mlp {
         for (i, layer) in self.layers.iter().enumerate() {
             let mut y = layer.forward(activations.last().unwrap());
             if i < last {
-                let act = self.activation;
-                y.map_inplace(|v| act.apply(v));
+                let (act, mode) = (self.activation, self.tanh_mode);
+                y.map_inplace(|v| act.apply_mode(mode, v));
             }
             activations.push(y);
         }
@@ -241,6 +295,31 @@ impl Mlp {
         ws.output().as_slice()
     }
 
+    /// Batched inference fast path: runs `rows` stacked input rows
+    /// (`rows × input_dim`, row-major — e.g. an encoded observation
+    /// batch) through the network in one gemm per layer, returning the
+    /// `rows × output_dim` output tensor living in `ws`.
+    ///
+    /// Bit-identical to `rows` successive [`Mlp::forward_one_into`] calls:
+    /// the gemm kernels accumulate each output row with exactly the
+    /// per-row gemv ordering, so batching never perturbs a seed-pinned
+    /// run. No heap allocation once `ws` is warm.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * input_dim`.
+    pub fn forward_rows_into<'w>(
+        &self,
+        rows: usize,
+        data: &[f64],
+        ws: &'w mut Workspace,
+    ) -> &'w Tensor {
+        assert_eq!(data.len(), rows * self.input_dim(), "input dims");
+        ws.ensure(self, rows);
+        ws.acts[0].as_mut_slice().copy_from_slice(data);
+        self.forward_ws(ws);
+        ws.output()
+    }
+
     /// Shared layer loop over a workspace whose `acts[0]` holds the input.
     fn forward_ws(&self, ws: &mut Workspace) {
         let last = self.layers.len() - 1;
@@ -249,8 +328,8 @@ impl Mlp {
             let y = &mut rest[0];
             layer.forward_into(&prev[i], y);
             if i < last {
-                let act = self.activation;
-                y.map_inplace(|v| act.apply(v));
+                let (act, mode) = (self.activation, self.tanh_mode);
+                y.map_inplace(|v| act.apply_mode(mode, v));
             }
         }
     }
@@ -486,6 +565,43 @@ mod tests {
             off += seg.len();
         }
         assert_eq!(off, flat.len());
+    }
+
+    #[test]
+    fn forward_rows_into_bit_identical_to_sequential_gemv() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mlp = Mlp::new(&[5, 16, 16, 3], Activation::Tanh, &mut rng);
+        let rows = 7;
+        let data: Vec<f64> = (0..rows * 5).map(|i| ((i as f64) * 0.41).cos()).collect();
+        let mut ws_batch = Workspace::new();
+        let mut ws_one = Workspace::new();
+        let out = mlp.forward_rows_into(rows, &data, &mut ws_batch);
+        assert_eq!(out.rows(), rows);
+        assert_eq!(out.cols(), 3);
+        for r in 0..rows {
+            let one = mlp.forward_one_into(&data[r * 5..(r + 1) * 5], &mut ws_one);
+            for (c, (a, b)) in out.row(r).iter().zip(one.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r} col {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tanh_mode_close_but_distinct() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bit = Mlp::new(&[4, 32, 2], Activation::Tanh, &mut rng);
+        let fast = bit.clone().with_tanh_mode(TanhMode::Fast);
+        assert_eq!(bit.tanh_mode(), TanhMode::BitCompat);
+        assert_eq!(fast.tanh_mode(), TanhMode::Fast);
+        let x = [0.4, -0.7, 0.1, 0.9];
+        let a = bit.forward_one(&x);
+        let b = fast.forward_one(&x);
+        for (u, v) in a.iter().zip(&b) {
+            assert!((u - v).abs() < 1e-6, "fast mode drifted: {u} vs {v}");
+        }
+        // Mode survives serde as the default (field is skipped).
+        let back: Mlp = serde_json::from_str(&serde_json::to_string(&fast).unwrap()).unwrap();
+        assert_eq!(back.tanh_mode(), TanhMode::BitCompat);
     }
 
     #[test]

@@ -36,5 +36,9 @@ pub use rules::{
 };
 pub use softmin::{optimize_beta, softmin_rule, BetaSearchResult, SoftminPolicy};
 pub use upper::{
-    action_dim, encode_observation, observation_dim, NeuralUpperPolicy, PolicyCheckpoint,
+    action_dim, encode_observation, observation_dim, InferenceConfig, NeuralUpperPolicy,
+    PolicyCheckpoint,
 };
+// The inference-tier switch travels with [`InferenceConfig`]; re-exported
+// so CLI layers need not depend on `mflb-nn` directly.
+pub use mflb_nn::TanhMode;

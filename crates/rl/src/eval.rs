@@ -14,6 +14,7 @@ use crate::checkpoint::TrainingCheckpoint;
 use crate::oracle::{solve_oracle, OracleConfig};
 use crate::scenario_env::PolicyShape;
 use mflb_core::mdp::FixedRulePolicy;
+use mflb_policy::InferenceConfig;
 use mflb_sim::{monte_carlo, EngineSpec, Scenario};
 use serde::{Deserialize, Serialize};
 
@@ -149,12 +150,41 @@ pub fn evaluate_checkpoint_with_oracle(
     threads: usize,
     oracle: Option<&OracleConfig>,
 ) -> Result<EvalReport, String> {
+    evaluate_checkpoint_configured(
+        ckpt,
+        scenario,
+        m_sweep,
+        runs,
+        seed,
+        threads,
+        oracle,
+        InferenceConfig::default(),
+    )
+}
+
+/// [`evaluate_checkpoint_with_oracle`] with an explicit
+/// [`InferenceConfig`] for the learned policy's network (precision tier
+/// and tanh mode — `mflb eval --precision f32` / `--fast-math` land
+/// here). The baselines and the oracle are rule tables and are unaffected;
+/// the default config reproduces [`evaluate_checkpoint_with_oracle`]
+/// bit for bit.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_checkpoint_configured(
+    ckpt: &TrainingCheckpoint,
+    scenario: &Scenario,
+    m_sweep: &[usize],
+    runs: usize,
+    seed: u64,
+    threads: usize,
+    oracle: Option<&OracleConfig>,
+    inference: InferenceConfig,
+) -> Result<EvalReport, String> {
     ckpt.validate_for(scenario)?;
     let oracle = match oracle {
         Some(cfg) => Some(solve_oracle(scenario, cfg)?),
         None => None,
     };
-    let learned = ckpt.shape().into_policy(ckpt.policy_net.clone());
+    let learned = ckpt.shape().into_policy(ckpt.policy_net.clone()).with_inference(inference);
     let shape = PolicyShape::for_scenario(scenario);
     let zs = shape.obs_states;
     let d = shape.d;

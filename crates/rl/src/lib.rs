@@ -64,8 +64,8 @@ pub use distill::{
 };
 pub use env::{Env, StepResult, ToyControlEnv};
 pub use eval::{
-    evaluate_checkpoint, evaluate_checkpoint_with_oracle, scenario_with_m, EvalReport, EvalRow,
-    OracleSummary,
+    evaluate_checkpoint, evaluate_checkpoint_configured, evaluate_checkpoint_with_oracle,
+    scenario_with_m, EvalReport, EvalRow, OracleSummary,
 };
 pub use mfc_env::MfcEnv;
 pub use oracle::{

@@ -21,7 +21,7 @@
 //! [`crate::client::PerClientEngine`] and
 //! [`crate::aggregate::AggregateEngine`].
 
-use mflb_core::mdp::UpperPolicy;
+use mflb_core::mdp::{ObservationBatch, UpperPolicy};
 use mflb_core::{DecisionRule, StateDist, SystemConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -162,16 +162,67 @@ pub fn run_episode<E: Engine>(
     let mut state = engine.init_state(rng);
     let mut lambda_idx = config.arrivals.sample_initial(rng);
     let mut out = EpisodeOutcome::default();
+    // Route the decision through the batched entry point (batch of one):
+    // `decide_batch` is bit-identical to `decide` for every policy, and
+    // going through one code path keeps the sequential and lockstep
+    // drivers impossible to drift apart.
+    let mut batch = ObservationBatch::new(config.num_states(), config.arrivals.num_levels());
+    let mut rules = vec![DecisionRule::uniform(1, 1)];
     for _ in 0..horizon {
         let lambda = config.arrivals.level_rate(lambda_idx);
-        let h = engine.empirical(&state);
-        let rule = policy.decide(&h, lambda_idx, lambda);
-        let stats = engine.step(&mut state, &rule, lambda, rng);
+        batch.clear();
+        batch.push(engine.empirical(&state), lambda_idx, lambda);
+        policy.decide_batch(&batch, &mut rules);
+        let stats = engine.step(&mut state, &rules[0], lambda, rng);
         out.record(lambda_idx, stats);
         lambda_idx = config.arrivals.step(lambda_idx, rng);
     }
     out.finish();
     out
+}
+
+/// Runs `rngs.len()` episodes in lockstep: each decision epoch stacks
+/// every live episode's observation into one [`ObservationBatch`] and
+/// makes a single [`UpperPolicy::decide_batch`] call, turning the neural
+/// policy's per-episode gemvs into one gemm per layer.
+///
+/// Bit-identical to calling [`run_episode`] once per RNG: each episode's
+/// RNG is private and consumed in exactly the same order (`init_state`,
+/// `sample_initial`, then per epoch `step` and the arrival-level
+/// transition), and `decide`/`decide_batch` draw no randomness. The
+/// Monte-Carlo driver ([`crate::monte_carlo()`]) runs chunks of episodes
+/// through this path.
+pub fn run_episodes_lockstep<E: Engine>(
+    engine: &E,
+    policy: &dyn UpperPolicy,
+    horizon: usize,
+    rngs: &mut [StdRng],
+) -> Vec<EpisodeOutcome> {
+    let config = engine.config();
+    let k = rngs.len();
+    let mut states: Vec<E::State> = rngs.iter_mut().map(|r| engine.init_state(r)).collect();
+    let mut lambda_idxs: Vec<usize> =
+        rngs.iter_mut().map(|r| config.arrivals.sample_initial(r)).collect();
+    let mut outs = vec![EpisodeOutcome::default(); k];
+    let mut batch = ObservationBatch::new(config.num_states(), config.arrivals.num_levels());
+    let mut rules = vec![DecisionRule::uniform(1, 1); k];
+    for _ in 0..horizon {
+        batch.clear();
+        for i in 0..k {
+            let lambda = config.arrivals.level_rate(lambda_idxs[i]);
+            batch.push(engine.empirical(&states[i]), lambda_idxs[i], lambda);
+        }
+        policy.decide_batch(&batch, &mut rules);
+        for i in 0..k {
+            let stats = engine.step(&mut states[i], &rules[i], batch.lambda(i), &mut rngs[i]);
+            outs[i].record(lambda_idxs[i], stats);
+            lambda_idxs[i] = config.arrivals.step(lambda_idxs[i], &mut rngs[i]);
+        }
+    }
+    for o in &mut outs {
+        o.finish();
+    }
+    outs
 }
 
 /// Runs one episode conditioned on an explicit arrival-level sequence (the
@@ -186,11 +237,14 @@ pub fn run_episode_conditioned<E: Engine>(
     let config = engine.config();
     let mut state = engine.init_state(rng);
     let mut out = EpisodeOutcome::default();
+    let mut batch = ObservationBatch::new(config.num_states(), config.arrivals.num_levels());
+    let mut rules = vec![DecisionRule::uniform(1, 1)];
     for &lambda_idx in lambda_seq {
         let lambda = config.arrivals.level_rate(lambda_idx);
-        let h = engine.empirical(&state);
-        let rule = policy.decide(&h, lambda_idx, lambda);
-        let stats = engine.step(&mut state, &rule, lambda, rng);
+        batch.clear();
+        batch.push(engine.empirical(&state), lambda_idx, lambda);
+        policy.decide_batch(&batch, &mut rules);
+        let stats = engine.step(&mut state, &rules[0], lambda, rng);
         out.record(lambda_idx, stats);
     }
     out.finish();

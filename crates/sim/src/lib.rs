@@ -45,6 +45,7 @@
 pub mod aggregate;
 pub mod client;
 pub mod episode;
+pub mod error;
 pub mod event_engine;
 pub mod fifo_engine;
 pub mod graph_engine;
@@ -58,9 +59,10 @@ pub mod staggered;
 pub use aggregate::AggregateEngine;
 pub use client::PerClientEngine;
 pub use episode::{
-    run_episode, run_episode_conditioned, run_rng, sample_initial_queues, Engine, EpisodeOutcome,
-    EpochStats,
+    run_episode, run_episode_conditioned, run_episodes_lockstep, run_rng, sample_initial_queues,
+    Engine, EpisodeOutcome, EpochStats,
 };
+pub use error::{ScenarioError, ServeError};
 pub use event_engine::{EventEngine, EventState, Timeline};
 pub use fifo_engine::FifoEngine;
 pub use graph_engine::{GraphEngine, GraphState, StepMode};

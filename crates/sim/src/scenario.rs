@@ -109,6 +109,7 @@
 use crate::aggregate::AggregateEngine;
 use crate::client::PerClientEngine;
 use crate::episode::{Engine, EpochStats};
+use crate::error::ScenarioError;
 use crate::event_engine::EventEngine;
 use crate::fifo_engine::FifoEngine;
 use crate::graph_engine::GraphEngine;
@@ -165,8 +166,14 @@ pub enum ServiceLaw {
 pub const MAX_SERVICE_PHASES: usize = 64;
 
 impl ServiceLaw {
-    /// Checks the law's parameters.
-    pub fn validate(&self) -> Result<(), String> {
+    /// Checks the law's parameters. Complaints come back as
+    /// [`ScenarioError::Service`], whose rendering carries the historical
+    /// `service:` prefix.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.check().map_err(ScenarioError::Service)
+    }
+
+    fn check(&self) -> Result<(), String> {
         let pos = |v: f64, what: &str| {
             if v > 0.0 && v.is_finite() {
                 Ok(())
@@ -230,7 +237,7 @@ impl ServiceLaw {
     }
 
     /// Constructs the phase-type law.
-    pub fn build(&self) -> Result<PhaseType, String> {
+    pub fn build(&self) -> Result<PhaseType, ScenarioError> {
         self.validate()?;
         Ok(match self {
             ServiceLaw::Exponential { rate } => PhaseType::exponential(*rate),
@@ -342,65 +349,75 @@ impl Scenario {
         self
     }
 
-    /// Checks the whole spec; returns a human-readable complaint.
-    pub fn validate(&self) -> Result<(), String> {
-        self.config.validate().map_err(|e| format!("config: {e}"))?;
+    /// Checks the whole spec. Each complaint comes back as the
+    /// [`ScenarioError`] variant naming the offending layer; the
+    /// `Display` renderings are the historical human-readable strings.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.config.validate().map_err(ScenarioError::Config)?;
         if let Some(plan) = &self.faults {
             if !plan.is_empty() && !supports_faults(&self.engine) {
-                return Err("faults: engine kind does not honor a fault plan \
-                            (supported: Event, Graph, JobLevel)"
-                    .into());
+                return Err(ScenarioError::Faults(
+                    "engine kind does not honor a fault plan \
+                     (supported: Event, Graph, JobLevel)"
+                        .into(),
+                ));
             }
-            plan.validate_for(self.config.num_queues).map_err(|e| format!("faults: {e}"))?;
+            plan.validate_for(self.config.num_queues).map_err(ScenarioError::Faults)?;
         }
         match &self.engine {
             EngineSpec::PerClient | EngineSpec::Aggregate | EngineSpec::JobLevel => Ok(()),
             EngineSpec::Hetero { rates } => {
                 if rates.is_empty() {
-                    return Err("hetero engine needs a non-empty server pool".into());
+                    return Err(ScenarioError::Engine(
+                        "hetero engine needs a non-empty server pool".into(),
+                    ));
                 }
                 if rates.len() != self.config.num_queues {
-                    return Err(format!(
+                    return Err(ScenarioError::Engine(format!(
                         "hetero pool has {} servers but config.num_queues is {}",
                         rates.len(),
                         self.config.num_queues
-                    ));
+                    )));
                 }
                 if rates.iter().any(|&r| !(r > 0.0 && r.is_finite())) {
-                    return Err("hetero server rates must be positive and finite".into());
+                    return Err(ScenarioError::Engine(
+                        "hetero server rates must be positive and finite".into(),
+                    ));
                 }
                 Ok(())
             }
             EngineSpec::Staggered { cohorts } => {
                 if *cohorts == 0 {
-                    return Err("staggered engine needs at least one cohort".into());
+                    return Err(ScenarioError::Engine(
+                        "staggered engine needs at least one cohort".into(),
+                    ));
                 }
                 // Client snapshots store queue lengths as u8.
                 if self.config.buffer > u8::MAX as usize {
-                    return Err(format!(
+                    return Err(ScenarioError::Engine(format!(
                         "staggered engine supports buffers up to {}, got {}",
                         u8::MAX,
                         self.config.buffer
-                    ));
+                    )));
                 }
                 Ok(())
             }
-            EngineSpec::Ph { service } => service.validate().map_err(|e| format!("service: {e}")),
+            EngineSpec::Ph { service } => service.validate(),
             EngineSpec::Graph { topology, shard_size } => {
                 if let Some(0) = shard_size {
-                    return Err("graph shard_size must be at least 1".into());
+                    return Err(ScenarioError::Engine(
+                        "graph shard_size must be at least 1".into(),
+                    ));
                 }
-                topology.validate(self.config.num_queues).map_err(|e| format!("topology: {e}"))
+                topology.validate(self.config.num_queues).map_err(ScenarioError::Topology)
             }
-            EngineSpec::Event { job_size } => {
-                job_size.validate().map_err(|e| format!("job_size: {e}"))
-            }
+            EngineSpec::Event { job_size } => job_size.validate().map_err(ScenarioError::JobSize),
         }
     }
 
     /// Validates and constructs the engine (attaching the fault plan, if
     /// any, to the engines that honor one).
-    pub fn build(&self) -> Result<AnyEngine, String> {
+    pub fn build(&self) -> Result<AnyEngine, ScenarioError> {
         self.validate()?;
         let plan = || self.faults.clone().unwrap_or_default();
         Ok(match &self.engine {
@@ -444,10 +461,10 @@ impl Scenario {
     }
 
     /// Parses a scenario from JSON (syntax errors and unknown engine
-    /// kinds surface as `Err`; call [`Scenario::validate`] / `build` for
-    /// semantic checks).
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| e.to_string())
+    /// kinds surface as [`ScenarioError::Json`]; call
+    /// [`Scenario::validate`] / `build` for semantic checks).
+    pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
+        serde_json::from_str(text).map_err(ScenarioError::Json)
     }
 }
 
@@ -779,7 +796,7 @@ mod tests {
             [EngineSpec::Aggregate, EngineSpec::PerClient, EngineSpec::Staggered { cohorts: 2 }]
         {
             let scenario = Scenario::new(base_config(), spec).with_faults(crashy_plan());
-            let err = scenario.validate().expect_err("plan on unsupported engine");
+            let err = scenario.validate().expect_err("plan on unsupported engine").to_string();
             assert!(err.starts_with("faults:"), "{err}");
         }
     }
@@ -796,7 +813,7 @@ mod tests {
             ..FaultPlan::default()
         };
         let scenario = Scenario::new(base_config(), EngineSpec::JobLevel).with_faults(plan);
-        let err = scenario.validate().expect_err("out-of-range queue index");
+        let err = scenario.validate().expect_err("out-of-range queue index").to_string();
         assert!(err.contains("queue 99"), "{err}");
     }
 

@@ -54,8 +54,10 @@
 //! are preserved by construction.
 
 use crate::episode::{run_rng, Engine};
+use crate::error::ServeError;
 use crate::event_engine::{ArrivalFeed, EventEngine, EventState, PoissonFeed};
-use mflb_core::mdp::UpperPolicy;
+use mflb_core::mdp::{ObservationBatch, UpperPolicy};
+use mflb_core::DecisionRule;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -83,36 +85,28 @@ impl Job {
 /// every complaint), `last_t` the previous job's arrival time (for the
 /// nondecreasing check). Returns `Ok(None)` for blank lines and `#`
 /// comments.
-pub fn parse_trace_line(raw: &str, lineno: usize, last_t: f64) -> Result<Option<Job>, String> {
+pub fn parse_trace_line(raw: &str, lineno: usize, last_t: f64) -> Result<Option<Job>, ServeError> {
     let line = raw.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
     }
-    let job: Job = serde_json::from_str(line).map_err(|e| format!("trace line {lineno}: {e}"))?;
+    let job: Job = serde_json::from_str(line)
+        .map_err(|source| ServeError::TraceParse { line: lineno, source })?;
     if !(job.t.is_finite() && job.t >= 0.0) {
-        return Err(format!(
-            "trace line {lineno}: arrival time must be finite and nonnegative, got {}",
-            job.t
-        ));
+        return Err(ServeError::ArrivalTime { line: lineno, t: job.t });
     }
     if job.t < last_t {
-        return Err(format!(
-            "trace line {lineno}: arrival times must be nondecreasing, got {} after {last_t}",
-            job.t
-        ));
+        return Err(ServeError::ArrivalOrder { line: lineno, t: job.t, last_t });
     }
     if !(job.size > 0.0 && job.size.is_finite()) {
-        return Err(format!(
-            "trace line {lineno}: job size must be positive and finite, got {}",
-            job.size
-        ));
+        return Err(ServeError::JobSize { line: lineno, size: job.size });
     }
     Ok(Some(job))
 }
 
 /// Parses a JSONL job trace (see the module docs for the schema). Every
 /// complaint names the offending 1-based line.
-pub fn parse_trace(text: &str) -> Result<Vec<Job>, String> {
+pub fn parse_trace(text: &str) -> Result<Vec<Job>, ServeError> {
     let mut jobs = Vec::new();
     let mut last_t = 0.0f64;
     for (i, raw) in text.lines().enumerate() {
@@ -135,7 +129,7 @@ pub struct LineTraceReader {
     retries: u32,
     backoff_ms: u64,
     pending: Option<Job>,
-    error: Option<String>,
+    error: Option<ServeError>,
     done: bool,
 }
 
@@ -180,7 +174,7 @@ impl LineTraceReader {
 
     /// Takes the first ingestion error, if one occurred (the serve loop
     /// turns it into its own `Err`).
-    pub fn take_error(&mut self) -> Option<String> {
+    pub fn take_error(&mut self) -> Option<ServeError> {
         self.error.take()
     }
 
@@ -231,11 +225,11 @@ impl LineTraceReader {
                     }
                 }
                 Err(e) => {
-                    self.error = Some(format!(
-                        "trace line {}: read failed after {} retries: {e}",
-                        self.lineno + 1,
-                        self.retries
-                    ));
+                    self.error = Some(ServeError::TraceIo {
+                        line: self.lineno + 1,
+                        retries: self.retries,
+                        source: e,
+                    });
                     self.done = true;
                     return;
                 }
@@ -400,8 +394,8 @@ impl ServeReport {
 
     /// Parses a report back from [`Self::to_json`] output (or the
     /// compact JSON line the CLI prints).
-    pub fn from_json(text: &str) -> Result<Self, String> {
-        serde_json::from_str(text).map_err(|e| e.to_string())
+    pub fn from_json(text: &str) -> Result<Self, ServeError> {
+        serde_json::from_str(text).map_err(ServeError::Report)
     }
 }
 
@@ -456,7 +450,7 @@ pub fn serve(
     source: &JobSource,
     opts: &ServeOptions,
     on_tick: impl FnMut(&ServeTick),
-) -> Result<ServeReport, String> {
+) -> Result<ServeReport, ServeError> {
     serve_with(engine, policy, policy_name, None, source, opts, None, on_tick)
 }
 
@@ -474,7 +468,7 @@ pub fn serve_with(
     opts: &ServeOptions,
     mut record: Option<&mut Vec<Job>>,
     mut on_tick: impl FnMut(&ServeTick),
-) -> Result<ServeReport, String> {
+) -> Result<ServeReport, ServeError> {
     let config = engine.config();
     let dt = config.dt;
     let hard_stop = match source {
@@ -483,15 +477,15 @@ pub fn serve_with(
     };
     if let Some(te) = hard_stop {
         if !(te > 0.0 && te.is_finite()) {
-            return Err(format!("serve duration must be positive and finite, got {te}"));
+            return Err(ServeError::Duration(te));
         }
     }
     if let Some(th) = opts.staleness_threshold {
         if th == 0 {
-            return Err("staleness threshold must be at least 1 interval".into());
+            return Err(ServeError::StalenessZero);
         }
         if fallback.is_none() {
-            return Err("a staleness threshold needs a fallback policy tier".into());
+            return Err(ServeError::MissingFallback);
         }
     }
 
@@ -517,6 +511,12 @@ pub fn serve_with(
     let mut fallback_intervals = 0u64;
     let mut observation_dropped = 0u64;
     let mut prev_obs_age = 0u64;
+    // Dispatch goes through the batched policy entry point (batch of
+    // one): bit-identical to `decide` for every tier, and the neural
+    // policy's f32/fast-tanh paths are exercised by exactly the code the
+    // Monte-Carlo driver uses.
+    let mut batch = ObservationBatch::new(config.num_states(), config.arrivals.num_levels());
+    let mut rules = vec![DecisionRule::uniform(1, 1)];
 
     loop {
         if let Some(te) = hard_stop {
@@ -561,11 +561,13 @@ pub fn serve_with(
         // that role during replay as well. The policy sees the engine's
         // *observation* — under observation faults a stale snapshot.
         let lambda = config.arrivals.level_rate(lambda_idx);
-        let h = engine.observed(&state);
-        let rule = match (fallback_active, fallback) {
-            (true, Some(fb)) => fb.decide(&h, lambda_idx, lambda),
-            _ => policy.decide(&h, lambda_idx, lambda),
-        };
+        batch.clear();
+        batch.push(engine.observed(&state), lambda_idx, lambda);
+        match (fallback_active, fallback) {
+            (true, Some(fb)) => fb.decide_batch(&batch, &mut rules),
+            _ => policy.decide_batch(&batch, &mut rules),
+        }
+        let rule = &rules[0];
         if fallback_active {
             fallback_intervals += 1;
         }
@@ -573,10 +575,10 @@ pub fn serve_with(
         let budget = opts.max_jobs.map_or(u64::MAX, |mj| mj.saturating_sub(state.jobs_arrived()));
         let cap = opts.admission_cap;
         let stats = if let Some(feed) = trace_feed.as_mut() {
-            engine.run_interval(&mut state, &rule, epoch_base, t_end, feed, budget, cap)
+            engine.run_interval(&mut state, rule, epoch_base, t_end, feed, budget, cap)
         } else if let Some(feed) = stream_feed.as_mut() {
             let stats =
-                engine.run_interval(&mut state, &rule, epoch_base, t_end, &mut **feed, budget, cap);
+                engine.run_interval(&mut state, rule, epoch_base, t_end, &mut **feed, budget, cap);
             if let Some(e) = feed.take_error() {
                 return Err(e);
             }
@@ -587,10 +589,11 @@ pub fn serve_with(
             match record.as_deref_mut() {
                 Some(out) => {
                     let mut rec = RecordingFeed { inner: feed, out, last: None };
-                    engine.run_interval(&mut state, &rule, epoch_base, t_end, &mut rec, budget, cap)
+                    engine.run_interval(&mut state, rule, epoch_base, t_end, &mut rec, budget, cap)
                 }
-                None => engine
-                    .run_interval(&mut state, &rule, epoch_base, t_end, &mut feed, budget, cap),
+                None => {
+                    engine.run_interval(&mut state, rule, epoch_base, t_end, &mut feed, budget, cap)
+                }
             }
         };
         intervals += 1;
@@ -679,7 +682,7 @@ mod tests {
             ("{\"t\": 2.0, \"size\": 1.0}\n{\"t\": 1.0, \"size\": 1.0}", "nondecreasing"),
             ("{\"t\": 0.0, \"size\": 0.0}", "positive"),
         ] {
-            let err = parse_trace(text).unwrap_err();
+            let err = parse_trace(text).unwrap_err().to_string();
             assert!(err.contains(needle), "{text:?} → {err}");
         }
     }
@@ -756,8 +759,9 @@ mod tests {
         let stream = JobSource::Stream(RefCell::new(LineTraceReader::new(Box::new(
             std::io::Cursor::new(text.to_string()),
         ))));
-        let err =
-            serve(&e, &jsq(), "JSQ(2)", &stream, &ServeOptions::default(), |_| {}).unwrap_err();
+        let err = serve(&e, &jsq(), "JSQ(2)", &stream, &ServeOptions::default(), |_| {})
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("line 2"), "{err}");
         assert!(err.contains("positive"), "{err}");
     }
@@ -832,7 +836,9 @@ mod tests {
     fn watchdog_without_fallback_tier_is_a_usage_error() {
         let e = engine();
         let opts = ServeOptions { staleness_threshold: Some(3), ..Default::default() };
-        let err = serve(&e, &jsq(), "JSQ(2)", &JobSource::Synthetic, &opts, |_| {}).unwrap_err();
+        let err = serve(&e, &jsq(), "JSQ(2)", &JobSource::Synthetic, &opts, |_| {})
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("fallback"), "{err}");
     }
 }

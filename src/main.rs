@@ -24,9 +24,11 @@
 
 use mflb::core::mdp::{FixedRulePolicy, UpperPolicy};
 use mflb::core::{MeanFieldMdp, SystemConfig};
-use mflb::policy::{jsq_rule, optimize_beta, rnd_rule, softmin_rule, NeuralUpperPolicy};
+use mflb::policy::{
+    jsq_rule, optimize_beta, rnd_rule, softmin_rule, InferenceConfig, NeuralUpperPolicy, TanhMode,
+};
 use mflb::rl::{
-    distill_checkpoint, evaluate_checkpoint_with_oracle, oracle_feasibility, train_scenario,
+    distill_checkpoint, evaluate_checkpoint_configured, oracle_feasibility, train_scenario,
     DistillConfig, DistilledCheckpoint, OracleConfig, PpoConfig, TrainingCheckpoint,
 };
 use mflb::sim::{monte_carlo, AggregateEngine, EngineSpec, Scenario, ServiceLaw};
@@ -52,6 +54,23 @@ fn has_flag(flag: &str) -> bool {
 /// as an alias.
 fn workers_flag(default: usize) -> usize {
     parse("--workers", parse("--threads", default))
+}
+
+/// Shared `--precision f64|f32` / `--fast-math` parser: the neural
+/// inference tier, spelled identically across eval / simulate / serve /
+/// bench. `f64` (the default) is bit-compatible with training; `f32`
+/// converts the network weights once at load; `--fast-math` swaps libm
+/// tanh for the vectorizable rational approximation. Unknown values are
+/// usage errors (exit 2). Rule-table tiers (jsq/rnd/softmin/distilled)
+/// ignore the result.
+fn inference_flags() -> InferenceConfig {
+    let f32_weights = match arg("--precision").as_deref() {
+        None | Some("f64") => false,
+        Some("f32") => true,
+        Some(other) => fail_usage(format!("unknown --precision '{other}' (f64|f32)")),
+    };
+    let tanh_mode = if has_flag("--fast-math") { TanhMode::Fast } else { TanhMode::BitCompat };
+    InferenceConfig { tanh_mode, f32_weights }
 }
 
 /// Prints an error and exits with status 1 (runtime failure; status 2 is
@@ -188,6 +207,8 @@ fn build_job_size() -> mflb::core::JobSizeLaw {
 /// pools; checkpoints are strictly validated against the scenario's shape.
 fn build_policy_for(scenario: &Scenario) -> Box<dyn UpperPolicy + Sync + Send> {
     let name = arg("--policy").unwrap_or_else(|| "jsq".into());
+    // Parsed unconditionally so a typo'd --precision exits 2 on every tier.
+    let inference = inference_flags();
     let config = &scenario.config;
     let zs = config.num_states();
     let classes = match &scenario.engine {
@@ -221,7 +242,11 @@ fn build_policy_for(scenario: &Scenario) -> Box<dyn UpperPolicy + Sync + Send> {
                     ckpt.validate_for(scenario).unwrap_or_else(|e| {
                         fail(format!("{path} does not fit this scenario: {e}"))
                     });
-                    Box::new(ckpt.into_policy().unwrap_or_else(|e| fail(format!("{path}: {e}"))))
+                    Box::new(
+                        ckpt.into_policy()
+                            .unwrap_or_else(|e| fail(format!("{path}: {e}")))
+                            .with_inference(inference),
+                    )
                 }
                 Err(versioned_err) => match NeuralUpperPolicy::load(&path) {
                     Ok(p) => {
@@ -241,7 +266,7 @@ fn build_policy_for(scenario: &Scenario) -> Box<dyn UpperPolicy + Sync + Send> {
                                 shape.act_dim()
                             ));
                         }
-                        Box::new(p)
+                        Box::new(p.with_inference(inference))
                     }
                     Err(legacy_err) => {
                         fail(format!("load {path}: {versioned_err} (legacy format: {legacy_err})"))
@@ -387,6 +412,7 @@ fn cmd_eval() {
     let runs: usize = parse("--runs", 20);
     let seed: u64 = parse("--seed", 1);
     let threads: usize = workers_flag(0);
+    let inference = inference_flags();
     let max_gap: Option<f64> = arg("--max-gap")
         .map(|v| v.parse().unwrap_or_else(|_| fail_usage(format!("bad --max-gap value '{v}'"))));
 
@@ -403,7 +429,7 @@ fn cmd_eval() {
         None
     };
 
-    let report = evaluate_checkpoint_with_oracle(
+    let report = evaluate_checkpoint_configured(
         &ckpt,
         &scenario,
         &m_sweep,
@@ -411,14 +437,20 @@ fn cmd_eval() {
         seed,
         threads,
         oracle.as_ref(),
+        inference,
     )
     .unwrap_or_else(|e| fail(e));
     println!(
-        "eval: engine={} Δt={} Te={} ({} runs each, seed {seed})",
+        "eval: engine={} Δt={} Te={} ({} runs each, seed {seed}{})",
         engine_slug(&scenario.engine),
         scenario.config.dt,
         report.horizon,
-        report.runs
+        report.runs,
+        if inference.is_bit_compat() {
+            String::new()
+        } else {
+            format!(", inference {}", inference.label())
+        },
     );
     let with_gap = report.oracle.is_some();
     if with_gap {
@@ -567,7 +599,7 @@ fn cmd_distill() {
     let runs: usize = parse("--runs", 8);
     if runs > 0 {
         let seed: u64 = parse("--seed", 1);
-        let engine = scenario.build().unwrap_or_else(|e| fail(e));
+        let engine = scenario.build().unwrap_or_else(|e| fail(e.to_string()));
         let horizon = scenario.config.eval_episode_len();
         let nn = ckpt.into_policy().unwrap_or_else(|e| fail(e));
         let tabular = table.into_policy().unwrap_or_else(|e| fail(e));
@@ -602,7 +634,7 @@ fn cmd_simulate() {
     // never affects results) vs the Monte-Carlo run fan-out: a single
     // sharded run parallelizes inside the epoch, so keep the run pool
     // sequential when the engine itself goes wide.
-    let engine = scenario.build().unwrap_or_else(|e| fail(e)).with_workers(workers);
+    let engine = scenario.build().unwrap_or_else(|e| fail(e.to_string())).with_workers(workers);
     let mc = monte_carlo(&engine, policy.as_ref(), horizon, runs, seed, 0);
     println!(
         "finite system engine={} N={} M={} Δt={} Te={horizon} policy={}",
@@ -646,7 +678,7 @@ fn record_trace(scenario: &Scenario, out: &str) {
         Some(&mut jobs),
         |_| {},
     )
-    .unwrap_or_else(|e| fail(e));
+    .unwrap_or_else(|e| fail(e.to_string()));
     let mut text = String::with_capacity(jobs.len() * 32);
     for job in &jobs {
         text.push_str(&job.to_jsonl());
@@ -835,6 +867,7 @@ fn cmd_serve() {
             "unknown --policy '{policy_name}' (jsq|rnd|softmin|checkpoint|distilled)"
         ));
     }
+    let inference = inference_flags();
     let max_jobs: Option<u64> = strict("--max-jobs");
     if max_jobs == Some(0) {
         fail_usage("--max-jobs must be at least 1");
@@ -934,7 +967,7 @@ fn cmd_serve() {
             ckpt.validate_for(&scenario).unwrap_or_else(|e| {
                 fail_usage(format!("checkpoint does not fit this scenario: {e}"))
             });
-            Box::new(ckpt.into_policy().unwrap_or_else(|e| fail_usage(e)))
+            Box::new(ckpt.into_policy().unwrap_or_else(|e| fail_usage(e)).with_inference(inference))
         }
         "distilled" => {
             let table = loaded_distilled.take().expect("loaded above");
@@ -1006,7 +1039,7 @@ fn cmd_serve() {
     let opts =
         ServeOptions { max_jobs, duration, report_every, seed, admission_cap, staleness_threshold };
     eprintln!(
-        "serving: M={} B={} d={} Δt={} sizes={:?} policy={} source={} seed={seed}{}{}{}",
+        "serving: M={} B={} d={} Δt={} sizes={:?} policy={} source={} seed={seed}{}{}{}{}",
         scenario.config.num_queues,
         scenario.config.buffer,
         d,
@@ -1014,6 +1047,11 @@ fn cmd_serve() {
         engine.job_size(),
         policy.name(),
         source.label(),
+        if inference.is_bit_compat() {
+            String::new()
+        } else {
+            format!(" inference={}", inference.label())
+        },
         if engine.faults().is_some() { " faults=on" } else { "" },
         admission_cap.map_or(String::new(), |c| format!(" admission-cap={c}")),
         staleness_threshold.map_or(String::new(), |t| format!(" staleness-threshold={t}")),
@@ -1030,7 +1068,7 @@ fn cmd_serve() {
             println!("{}", serde_json::to_string(tick).expect("tick serialization cannot fail"));
         },
     )
-    .unwrap_or_else(|e| fail(e));
+    .unwrap_or_else(|e| fail(e.to_string()));
     // Compact, so stdout stays strict JSONL: ticks, then this last line.
     println!("{}", serde_json::to_string(&report).expect("report serialization cannot fail"));
     eprintln!(
@@ -1068,6 +1106,11 @@ fn cmd_serve() {
 fn cmd_bench() {
     let quick = has_flag("--quick");
     let workers: usize = workers_flag(1);
+    // Same spelling as eval/simulate/serve so a typo'd value exits 2 here
+    // too; the kernel suite itself times every inference tier regardless.
+    if inference_flags() != InferenceConfig::default() {
+        eprintln!("note: the perf suites time every inference tier; --precision/--fast-math do not narrow them");
+    }
     let suite = arg("--suite").unwrap_or_else(|| "kernels".into());
     let default_out = match suite.as_str() {
         "kernels" => "BENCH_kernels.json",
@@ -1316,6 +1359,10 @@ fn usage() -> String {
         "",
         "common flags: --dt <f> --m <int> --n <int> --buffer <int> --d <int>",
         "              --policy jsq|rnd|softmin|checkpoint|distilled [--beta f] [--checkpoint path]",
+        "              --precision f64|f32 [--fast-math] (neural inference tier for",
+        "              eval/simulate/serve/bench: f32 converts checkpoint weights at load,",
+        "              --fast-math swaps libm tanh for the vectorizable rational approximation;",
+        "              the f64 default reproduces training bit for bit)",
         "              --oracle [--oracle-grid G] [--oracle-sweeps n] [--oracle-cache dir|none]",
         "              [--max-gap <pct>] (DP-oracle certification on eval)",
         "              --runs <int> --episodes <int> --seed <int> --grid <int> --scv <f>",
